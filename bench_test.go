@@ -1,0 +1,308 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (Section 6). Each benchmark prints the same rows
+// or series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Heavy benchmarks (model training for Table 5) run once per invocation;
+// scale with SNOWWHITE_BENCH_PACKAGES and SNOWWHITE_BENCH_EPOCHS.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dedup"
+	"repro/internal/extract"
+	"repro/internal/seq2seq"
+	"repro/internal/typelang"
+)
+
+// benchConfig returns the benchmark-scale pipeline configuration.
+func benchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Corpus.Packages = envInt("SNOWWHITE_BENCH_PACKAGES", 140)
+	cfg.Model.Epochs = envInt("SNOWWHITE_BENCH_EPOCHS", 6)
+	// A larger-than-paper test fraction keeps the small test set
+	// statistically meaningful at reproduction scale.
+	cfg.Split.Valid, cfg.Split.Test = 0.06, 0.08
+	return cfg
+}
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+var bench struct {
+	once    sync.Once
+	dataset *core.Dataset
+	err     error
+
+	taskMu  sync.Mutex
+	results map[string]*core.TaskResult
+	trained map[string]*core.Trained
+}
+
+func benchDataset(b *testing.B) *core.Dataset {
+	b.Helper()
+	bench.once.Do(func() {
+		bench.results = map[string]*core.TaskResult{}
+		bench.trained = map[string]*core.Trained{}
+		bench.dataset, bench.err = core.BuildDataset(benchConfig(), nil)
+	})
+	if bench.err != nil {
+		b.Fatal(bench.err)
+	}
+	return bench.dataset
+}
+
+// benchTask trains (once per process) and returns a task's results.
+func benchTask(b *testing.B, task core.Task) (*core.TaskResult, *core.Trained) {
+	d := benchDataset(b)
+	bench.taskMu.Lock()
+	defer bench.taskMu.Unlock()
+	key := task.Name()
+	if r, ok := bench.results[key]; ok {
+		return r, bench.trained[key]
+	}
+	res, tr := d.RunTask(task, nil)
+	bench.results[key] = res
+	bench.trained[key] = tr
+	return res, tr
+}
+
+// BenchmarkTable1FeatureMatrix regenerates Table 1: the type-language
+// feature comparison.
+func BenchmarkTable1FeatureMatrix(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = core.Table1()
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkTable2MostCommonTypes regenerates Table 2: the ten most common
+// types of the dataset expressed in L_SW.
+func BenchmarkTable2MostCommonTypes(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = d.Table2(10)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkTable3MostCommonNames regenerates Table 3: the most common
+// extracted type names by package share.
+func BenchmarkTable3MostCommonNames(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = d.Table3(8)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkTable4TypeDistributions regenerates Table 4: |L|, normalized
+// entropy, and most frequent parameter/return type per language variant.
+func BenchmarkTable4TypeDistributions(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	var rows []core.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = d.Table4()
+	}
+	b.StopTimer()
+	fmt.Println(core.FormatTable4(rows))
+}
+
+// BenchmarkTable5ModelAccuracy regenerates Table 5: top-1/top-5/TPS of the
+// seq2seq model vs the conditional-probability baseline across all five
+// language tasks for parameter and return prediction. This is the heavy
+// benchmark: it trains ten models.
+func BenchmarkTable5ModelAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var results []*core.TaskResult
+		for _, task := range core.Table5Tasks() {
+			res, _ := benchTask(b, task)
+			results = append(results, res)
+		}
+		if i == b.N-1 {
+			b.StopTimer()
+			fmt.Println(core.FormatTable5(results))
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFigure4AccuracyByDepth regenerates Figure 4: L_SW prediction
+// accuracy bucketed by type nesting depth, for parameters and returns.
+func BenchmarkFigure4AccuracyByDepth(b *testing.B) {
+	var param, ret *core.TaskResult
+	for i := 0; i < b.N; i++ {
+		param, _ = benchTask(b, core.Task{Variant: typelang.VariantLSW})
+		ret, _ = benchTask(b, core.Task{Variant: typelang.VariantLSW, Return: true})
+	}
+	b.StopTimer()
+	fmt.Println(core.FormatFigure4(param, ret))
+}
+
+// BenchmarkSection5DatasetStats regenerates the dataset statistics of
+// Section 5: dedup reduction, sample counts, and the package split.
+func BenchmarkSection5DatasetStats(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = d.Section5Stats()
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkPredictionLatency measures per-sample beam-search inference
+// time (paper Section 6.1: 3–40 ms per input sample, including beam
+// search).
+func BenchmarkPredictionLatency(b *testing.B) {
+	_, tr := benchTask(b, core.Task{Variant: typelang.VariantLSW})
+	src := []string{"i32", "<begin>", "local.get", "<param>", ";", "f64.load", "offset=8", ";", "drop", ";", "return"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Predict(src, 5)
+	}
+}
+
+// BenchmarkAblationWindowSize compares extraction with different window
+// sizes (DESIGN.md ablation): smaller windows shrink inputs but may cut
+// off type-revealing instructions.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	pkgs := corpus.Generate(corpus.Options{
+		Seed: 3, Packages: 10, MinFiles: 1, MaxFiles: 2, MinFuncs: 4, MaxFuncs: 8,
+	})
+	var bins [][]byte
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			obj, err := cc.Compile(f.Source, cc.Options{FileName: f.Name, Debug: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bins = append(bins, obj.Binary)
+		}
+	}
+	for _, w := range []int{7, 21, 41} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			opts := extract.Options{WindowSize: w}
+			total, n := 0, 0
+			for i := 0; i < b.N; i++ {
+				total, n = 0, 0
+				for bi, bin := range bins {
+					samples, err := extract.FromBinary("p", fmt.Sprint(bi), bin, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, s := range samples {
+						total += len(s.Input)
+						n++
+					}
+				}
+			}
+			b.ReportMetric(float64(total)/float64(n), "tokens/sample")
+		})
+	}
+}
+
+// BenchmarkAblationDedup compares binary-level (paper) vs exact-only
+// deduplication on a duplication-heavy corpus.
+func BenchmarkAblationDedup(b *testing.B) {
+	pkgs := corpus.Generate(corpus.Options{
+		Seed: 4, Packages: 30, MinFiles: 1, MaxFiles: 2, MinFuncs: 3, MaxFuncs: 6,
+		LibraryShare: 0.9, ExactDupShare: 0.4,
+	})
+	var bins []dedup.Binary
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			obj, err := cc.Compile(f.Source, cc.Options{FileName: f.Name, Debug: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bins = append(bins, dedup.Binary{Pkg: p.Name, Name: f.Name, Data: obj.Binary})
+		}
+	}
+	for _, level := range []struct {
+		name string
+		lv   dedup.Level
+	}{{"binary", dedup.LevelBinary}, {"exact", dedup.LevelExact}} {
+		b.Run(level.name, func(b *testing.B) {
+			var stats dedup.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, stats, err = dedup.Dedup(bins, level.lv)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.BinariesAfter), "binaries-kept")
+			b.ReportMetric(float64(stats.ExactDuplicates+stats.NearDuplicates), "dupes-removed")
+		})
+	}
+}
+
+// BenchmarkTrainingThroughput measures raw training speed (samples/sec) of
+// the seq2seq substrate, independent of the pipeline.
+func BenchmarkTrainingThroughput(b *testing.B) {
+	cfg := seq2seq.DefaultConfig()
+	cfg.Hidden, cfg.Embed, cfg.Epochs = 32, 24, 1
+	var pairs []seq2seq.Pair
+	for i := 0; i < 64; i++ {
+		pairs = append(pairs, seq2seq.Pair{
+			Src: []string{"i32", "<begin>", "local.get", "<param>", ";", "f64.load"},
+			Tgt: []string{"pointer", "primitive", "float", "64"},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq2seq.Train(cfg, pairs, nil, nil)
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
+// BenchmarkAblationEncoder compares the paper's BiLSTM encoder against the
+// Transformer alternative it explored (Section 4.2: "we also explored
+// Transformers, but did not find it improving accuracy, so we select the
+// computationally much cheaper LSTM model").
+func BenchmarkAblationEncoder(b *testing.B) {
+	d := benchDataset(b)
+	for _, enc := range []struct{ name, kind string }{
+		{"bilstm", seq2seq.EncoderBiLSTM},
+		{"transformer", seq2seq.EncoderTransformer},
+	} {
+		b.Run(enc.name, func(b *testing.B) {
+			var top1 float64
+			for i := 0; i < b.N; i++ {
+				cfgCopy := *d
+				cfgCopy.Cfg.Model.Encoder = enc.kind
+				// Self-attention is O(T^2): shorten inputs and epochs so
+				// the comparison finishes in minutes on one CPU.
+				cfgCopy.Cfg.Model.MaxSrcLen = 60
+				cfgCopy.Cfg.Model.Epochs = 3
+				res, _ := cfgCopy.RunTask(core.Task{Variant: typelang.VariantLSW}, nil)
+				top1 = res.Model.Top1()
+			}
+			b.ReportMetric(top1*100, "top1-%")
+		})
+	}
+}

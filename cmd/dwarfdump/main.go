@@ -1,0 +1,68 @@
+// Command dwarfdump prints the DWARF debugging information embedded in a
+// WebAssembly binary as a DIE tree, and optionally the high-level type of
+// every function signature element in the paper's type language.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/dwarf"
+	"repro/internal/typelang"
+	"repro/internal/wasm"
+)
+
+func main() {
+	log.SetFlags(0)
+	types := flag.Bool("types", false, "also print each signature element's high-level type")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: dwarfdump [-types] file.{wasm,c}")
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m *wasm.Module
+	if strings.HasSuffix(path, ".c") {
+		obj, err := cc.Compile(string(data), cc.Options{FileName: path, Debug: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = obj.Module
+	} else {
+		d, err := wasm.Decode(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = d.Module
+	}
+	secs, err := dwarf.Extract(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cu, err := dwarf.Read(secs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cu.Dump())
+	if !*types {
+		return
+	}
+	fmt.Println("\nhigh-level types (Lsw, all names):")
+	for _, sub := range cu.FindAll(dwarf.TagSubprogram) {
+		fmt.Printf("  %s:\n", sub.Name())
+		for i, p := range sub.FindAll(dwarf.TagFormalParameter) {
+			t := typelang.FromDWARF(p.TypeRef(), typelang.AllNames())
+			fmt.Printf("    param%d %-12s %s\n", i, "("+p.Name()+")", t)
+		}
+		if rt := sub.TypeRef(); rt != nil {
+			fmt.Printf("    return %-12s %s\n", "", typelang.FromDWARF(rt, typelang.AllNames()))
+		}
+	}
+}

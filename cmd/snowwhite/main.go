@@ -1,0 +1,264 @@
+// Command snowwhite runs the SnowWhite type-prediction pipeline end to
+// end: dataset construction and statistics, per-task training and
+// evaluation (Table 5), and interactive prediction on compiled binaries.
+//
+// Usage:
+//
+//	snowwhite stats   [-packages N]                      dataset stats + Tables 2-4
+//	snowwhite eval    [-packages N] [-epochs N] [-task T] Table 5 / Figure 4
+//	snowwhite train   [-packages N] -out model.bin        train & save models
+//	snowwhite predict {-model model.bin | -packages N} -file prog.c
+//	snowwhite table1                                      Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/dwarf"
+	"repro/internal/typelang"
+	"repro/internal/wasm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "stats":
+		err = runStats(args)
+	case "eval":
+		err = runEval(args)
+	case "train":
+		err = runTrain(args)
+	case "predict":
+		err = runPredict(args)
+	case "table1":
+		fmt.Print(core.Table1())
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snowwhite:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|table1} [flags]")
+}
+
+type commonOpts struct {
+	packages *int
+	epochs   *int
+	seed     *int64
+	testFrac *float64
+}
+
+func commonFlags(fs *flag.FlagSet) commonOpts {
+	return commonOpts{
+		packages: fs.Int("packages", 120, "number of synthetic packages"),
+		epochs:   fs.Int("epochs", 3, "training epochs"),
+		seed:     fs.Int64("seed", 1, "corpus seed"),
+		testFrac: fs.Float64("testfrac", 0.02, "validation/test package fraction (paper: 0.02)"),
+	}
+}
+
+func (o commonOpts) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Corpus.Packages = *o.packages
+	cfg.Corpus.Seed = *o.seed
+	cfg.Model.Epochs = *o.epochs
+	cfg.Split.Valid = *o.testFrac
+	cfg.Split.Test = *o.testFrac
+	return cfg
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	opts := commonFlags(fs)
+	export := fs.String("export", "", "also export the dataset as JSONL to this file")
+	fs.Parse(args)
+	cfg := opts.config()
+	d, err := core.BuildDataset(cfg, logLine)
+	if err != nil {
+		return err
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			return err
+		}
+		if err := d.ExportJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logLine(fmt.Sprintf("exported %d samples to %s", len(d.Samples), *export))
+	}
+	fmt.Println()
+	fmt.Println(d.Section5Stats())
+	fmt.Println(d.Table2(10))
+	fmt.Println(d.Table3(8))
+	fmt.Println(core.FormatTable4(d.Table4()))
+	return nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	opts := commonFlags(fs)
+	taskFilter := fs.String("task", "", "substring filter on task names (e.g. \"Lsw / param\")")
+	fig4 := fs.Bool("fig4", false, "also print Figure 4 (accuracy by nesting depth)")
+	fs.Parse(args)
+	cfg := opts.config()
+	d, err := core.BuildDataset(cfg, logLine)
+	if err != nil {
+		return err
+	}
+	var results []*core.TaskResult
+	var lswParam, lswReturn *core.TaskResult
+	for _, task := range core.Table5Tasks() {
+		if *taskFilter != "" && !strings.Contains(task.Name(), *taskFilter) {
+			continue
+		}
+		logLine("training " + task.Name())
+		res, _ := d.RunTask(task, logLine)
+		results = append(results, res)
+		if task.Variant == typelang.VariantLSW && !task.AblateLowType {
+			if task.Return {
+				lswReturn = res
+			} else {
+				lswParam = res
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println(core.FormatTable5(results))
+	if *fig4 && lswParam != nil && lswReturn != nil {
+		fmt.Println(core.FormatFigure4(lswParam, lswReturn))
+	}
+	return nil
+}
+
+// runTrain trains parameter and return models and saves them to a file.
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	opts := commonFlags(fs)
+	out := fs.String("out", "snowwhite-model.bin", "output model file")
+	fs.Parse(args)
+	cfg := opts.config()
+	d, err := core.BuildDataset(cfg, logLine)
+	if err != nil {
+		return err
+	}
+	logLine("training parameter model")
+	_, paramModel := d.RunTask(core.Task{Variant: typelang.VariantLSW}, logLine)
+	logLine("training return model")
+	_, retModel := d.RunTask(core.Task{Variant: typelang.VariantLSW, Return: true}, logLine)
+	p := &core.Predictor{Param: paramModel, Return: retModel, Opts: cfg.Extract}
+	if err := core.SavePredictor(p, *out); err != nil {
+		return err
+	}
+	logLine("saved predictor to " + *out)
+	return nil
+}
+
+func runPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	opts := commonFlags(fs)
+	file := fs.String("file", "", "C source file to compile and analyze (or .wasm binary)")
+	funcName := fs.String("func", "", "function name (default: all exported)")
+	topK := fs.Int("k", 5, "number of predictions per element")
+	modelPath := fs.String("model", "", "load a saved predictor instead of training one")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("predict requires -file")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	var bin []byte
+	if strings.HasSuffix(*file, ".wasm") {
+		bin = data
+	} else {
+		obj, err := cc.Compile(string(data), cc.Options{FileName: *file, Debug: false})
+		if err != nil {
+			return err
+		}
+		bin = obj.Binary
+	}
+
+	var p *core.Predictor
+	if *modelPath != "" {
+		var err error
+		if p, err = core.LoadPredictor(*modelPath); err != nil {
+			return err
+		}
+		logLine("loaded predictor from " + *modelPath)
+	} else {
+		cfg := opts.config()
+		d, err := core.BuildDataset(cfg, logLine)
+		if err != nil {
+			return err
+		}
+		logLine("training parameter model")
+		_, paramModel := d.RunTask(core.Task{Variant: typelang.VariantLSW}, logLine)
+		logLine("training return model")
+		_, retModel := d.RunTask(core.Task{Variant: typelang.VariantLSW, Return: true}, logLine)
+		p = &core.Predictor{Param: paramModel, Return: retModel, Opts: cfg.Extract}
+	}
+
+	dec, err := wasm.Decode(bin)
+	if err != nil {
+		return err
+	}
+	dwarf.Strip(dec.Module) // predict as a reverse engineer would: no DWARF
+	m := dec.Module
+	for fi := range m.Funcs {
+		name := exportName(m, fi)
+		if *funcName != "" && name != *funcName {
+			continue
+		}
+		fmt.Printf("\nfunction %s:\n", name)
+		preds, err := p.PredictBinary(bin, fi, *topK)
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(preds))
+		for k := range preds {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s:\n", k)
+			for i, tp := range preds[k] {
+				fmt.Printf("    %d. %s\n", i+1, tp.Text)
+			}
+		}
+	}
+	return nil
+}
+
+func exportName(m *wasm.Module, funcIdx int) string {
+	abs := uint32(funcIdx + m.NumImportedFuncs())
+	for _, e := range m.Exports {
+		if e.Kind == wasm.KindFunc && e.Index == abs {
+			return e.Name
+		}
+	}
+	return fmt.Sprintf("func[%d]", funcIdx)
+}
+
+func logLine(s string) { fmt.Fprintln(os.Stderr, "[snowwhite]", s) }

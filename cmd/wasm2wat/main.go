@@ -1,0 +1,54 @@
+// Command wasm2wat disassembles a WebAssembly binary into a readable
+// wat-like listing, similar to the WABT tool of the same name. With -c it
+// compiles a C file first (useful for inspecting the output of the
+// bundled compiler).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cc"
+	"repro/internal/wasm"
+)
+
+func main() {
+	log.SetFlags(0)
+	compile := flag.Bool("c", false, "treat input as C source and compile it first")
+	funcIdx := flag.Int("func", -1, "disassemble only this function index")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: wasm2wat [-c] [-func N] file.{wasm,c}")
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var bin []byte
+	if *compile || strings.HasSuffix(path, ".c") {
+		obj, err := cc.Compile(string(data), cc.Options{FileName: path, Debug: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bin = obj.Binary
+	} else {
+		bin = data
+	}
+	d, err := wasm.Decode(bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *funcIdx >= 0 {
+		text, err := wasm.DisassembleFunction(d.Module, *funcIdx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	fmt.Print(wasm.Disassemble(d.Module))
+}

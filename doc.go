@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Finding the Dwarf:
+// Recovering Precise Types from WebAssembly Binaries" (Lehmann & Pradel,
+// PLDI 2022), the SnowWhite system.
+//
+// The implementation lives under internal/ (one package per subsystem,
+// see DESIGN.md for the inventory), runnable examples under examples/,
+// command-line tools under cmd/, and the benchmarks that regenerate every
+// table and figure of the paper's evaluation in bench_test.go at this
+// root.
+package repro

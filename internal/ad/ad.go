@@ -1,0 +1,350 @@
+// Package ad implements reverse-mode automatic differentiation over dense
+// float64 matrices: the minimal tensor substrate needed to train the
+// paper's bidirectional-LSTM encoder / attention-decoder model in pure Go.
+// A Tape records backward closures during the forward pass; Backward runs
+// them in reverse order, accumulating gradients into each value's G slice.
+package ad
+
+import (
+	"fmt"
+	"math"
+)
+
+// V is a matrix value with storage for its gradient. Values participating
+// in training (parameters) are long-lived; intermediate values are created
+// per forward pass.
+type V struct {
+	R, C int
+	W    []float64 // row-major values
+	G    []float64 // gradient, same shape
+}
+
+// New allocates a zero matrix.
+func New(r, c int) *V {
+	return &V{R: r, C: c, W: make([]float64, r*c), G: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (length r*c) into a value; the slice is used
+// directly, not copied.
+func FromSlice(r, c int, data []float64) *V {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("ad: FromSlice %dx%d with %d elements", r, c, len(data)))
+	}
+	return &V{R: r, C: c, W: data, G: make([]float64, r*c)}
+}
+
+// At returns the element at row i, column j.
+func (v *V) At(i, j int) float64 { return v.W[i*v.C+j] }
+
+// Set assigns the element at row i, column j.
+func (v *V) Set(i, j int, x float64) { v.W[i*v.C+j] = x }
+
+// ZeroGrad clears the gradient.
+func (v *V) ZeroGrad() {
+	for i := range v.G {
+		v.G[i] = 0
+	}
+}
+
+// Tape records the backward pass.
+type Tape struct {
+	backward []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+func (t *Tape) record(f func()) {
+	t.backward = append(t.backward, f)
+}
+
+// Backward runs all recorded backward closures in reverse order. Seed the
+// output gradient (typically loss.G[0] = 1) before calling.
+func (t *Tape) Backward() {
+	for i := len(t.backward) - 1; i >= 0; i-- {
+		t.backward[i]()
+	}
+}
+
+// Len reports the number of recorded operations (useful in tests).
+func (t *Tape) Len() int { return len(t.backward) }
+
+// MatMul returns a @ b, with a [R,K] and b [K,C].
+func (t *Tape) MatMul(a, b *V) *V {
+	if a.C != b.R {
+		panic(fmt.Sprintf("ad: MatMul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.C)
+	matmul(out.W, a.W, b.W, a.R, a.C, b.C)
+	t.record(func() {
+		// dA += dOut @ B^T ; dB += A^T @ dOut
+		matmulNT(a.G, out.G, b.W, a.R, b.C, a.C)
+		matmulTN(b.G, a.W, out.G, a.C, a.R, b.C)
+	})
+	return out
+}
+
+// matmul computes out += a@b with out [r,c], a [r,k], b [k,c]; out is
+// assumed zeroed (fresh) by callers that need assignment semantics.
+func matmul(out, a, b []float64, r, k, c int) {
+	for i := 0; i < r; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*c : (i+1)*c]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*c : (p+1)*c]
+			for j := 0; j < c; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// matmulNT computes out += a @ b^T with a [r,k], b [c,k], out [r,c].
+func matmulNT(out, a, b []float64, r, k, c int) {
+	for i := 0; i < r; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			bj := b[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			oi[j] += s
+		}
+	}
+}
+
+// matmulTN computes out += a^T @ b with a [k,r], b [k,c], out [r,c].
+func matmulTN(out, a, b []float64, r, k, c int) {
+	for p := 0; p < k; p++ {
+		ap := a[p*r : (p+1)*r]
+		bp := b[p*c : (p+1)*c]
+		for i := 0; i < r; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			oi := out[i*c : (i+1)*c]
+			for j := 0; j < c; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// Add returns a + b. b may be a [1,C] row vector, broadcast over a's rows.
+func (t *Tape) Add(a, b *V) *V {
+	if b.R == 1 && a.C == b.C && a.R != 1 {
+		out := New(a.R, a.C)
+		for i := 0; i < a.R; i++ {
+			for j := 0; j < a.C; j++ {
+				out.W[i*a.C+j] = a.W[i*a.C+j] + b.W[j]
+			}
+		}
+		t.record(func() {
+			for i := 0; i < a.R; i++ {
+				for j := 0; j < a.C; j++ {
+					g := out.G[i*a.C+j]
+					a.G[i*a.C+j] += g
+					b.G[j] += g
+				}
+			}
+		})
+		return out
+	}
+	sameShape("Add", a, b)
+	out := New(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] + b.W[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// Sub returns a - b (same shape).
+func (t *Tape) Sub(a, b *V) *V {
+	sameShape("Sub", a, b)
+	out := New(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] - b.W[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] -= out.G[i]
+		}
+	})
+	return out
+}
+
+// Mul returns the elementwise product a * b.
+func (t *Tape) Mul(a, b *V) *V {
+	sameShape("Mul", a, b)
+	out := New(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] * b.W[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * b.W[i]
+			b.G[i] += out.G[i] * a.W[i]
+		}
+	})
+	return out
+}
+
+// Scale returns a * s for a scalar constant s.
+func (t *Tape) Scale(a *V, s float64) *V {
+	out := New(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = a.W[i] * s
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * s
+		}
+	})
+	return out
+}
+
+// Sigmoid returns the elementwise logistic function.
+func (t *Tape) Sigmoid(a *V) *V {
+	out := New(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
+	}
+	t.record(func() {
+		for i := range out.G {
+			y := out.W[i]
+			a.G[i] += out.G[i] * y * (1 - y)
+		}
+	})
+	return out
+}
+
+// Tanh returns the elementwise hyperbolic tangent.
+func (t *Tape) Tanh(a *V) *V {
+	out := New(a.R, a.C)
+	for i := range out.W {
+		out.W[i] = math.Tanh(a.W[i])
+	}
+	t.record(func() {
+		for i := range out.G {
+			y := out.W[i]
+			a.G[i] += out.G[i] * (1 - y*y)
+		}
+	})
+	return out
+}
+
+// ConcatCols concatenates matrices with equal row counts along columns.
+func (t *Tape) ConcatCols(vs ...*V) *V {
+	r := vs[0].R
+	c := 0
+	for _, v := range vs {
+		if v.R != r {
+			panic("ad: ConcatCols with mismatched rows")
+		}
+		c += v.C
+	}
+	out := New(r, c)
+	off := 0
+	for _, v := range vs {
+		for i := 0; i < r; i++ {
+			copy(out.W[i*c+off:i*c+off+v.C], v.W[i*v.C:(i+1)*v.C])
+		}
+		off += v.C
+	}
+	t.record(func() {
+		off := 0
+		for _, v := range vs {
+			for i := 0; i < r; i++ {
+				for j := 0; j < v.C; j++ {
+					v.G[i*v.C+j] += out.G[i*c+off+j]
+				}
+			}
+			off += v.C
+		}
+	})
+	return out
+}
+
+// SliceCols returns columns [lo, hi) as a new value.
+func (t *Tape) SliceCols(a *V, lo, hi int) *V {
+	if lo < 0 || hi > a.C || lo >= hi {
+		panic(fmt.Sprintf("ad: SliceCols [%d,%d) of %d cols", lo, hi, a.C))
+	}
+	out := New(a.R, hi-lo)
+	for i := 0; i < a.R; i++ {
+		copy(out.W[i*out.C:(i+1)*out.C], a.W[i*a.C+lo:i*a.C+hi])
+	}
+	t.record(func() {
+		for i := 0; i < a.R; i++ {
+			for j := 0; j < out.C; j++ {
+				a.G[i*a.C+lo+j] += out.G[i*out.C+j]
+			}
+		}
+	})
+	return out
+}
+
+// Rows gathers the given rows of a into a new matrix (used for embedding
+// lookup); backward scatter-adds.
+func (t *Tape) Rows(a *V, idx []int) *V {
+	out := New(len(idx), a.C)
+	for i, id := range idx {
+		if id < 0 || id >= a.R {
+			panic(fmt.Sprintf("ad: Rows index %d out of %d", id, a.R))
+		}
+		copy(out.W[i*a.C:(i+1)*a.C], a.W[id*a.C:(id+1)*a.C])
+	}
+	ids := append([]int(nil), idx...)
+	t.record(func() {
+		for i, id := range ids {
+			for j := 0; j < a.C; j++ {
+				a.G[id*a.C+j] += out.G[i*a.C+j]
+			}
+		}
+	})
+	return out
+}
+
+// Dropout zeroes elements with probability p and scales survivors by
+// 1/(1-p) (inverted dropout). rng must be a deterministic source; pass
+// p=0 (or train=false at the layer level) to disable.
+func (t *Tape) Dropout(a *V, p float64, rng func() float64) *V {
+	if p <= 0 {
+		return a
+	}
+	out := New(a.R, a.C)
+	mask := make([]float64, len(a.W))
+	scale := 1 / (1 - p)
+	for i := range a.W {
+		if rng() >= p {
+			mask[i] = scale
+			out.W[i] = a.W[i] * scale
+		}
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * mask[i]
+		}
+	})
+	return out
+}
+
+func sameShape(op string, a, b *V) {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("ad: %s shape mismatch %dx%d vs %dx%d", op, a.R, a.C, b.R, b.C))
+	}
+}

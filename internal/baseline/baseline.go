@@ -1,0 +1,92 @@
+// Package baseline implements the paper's statistical comparison point
+// (Section 6.3): top-k predictions are "generated" by copying the k most
+// likely high-level types for a given low-level WebAssembly type from the
+// conditional distribution P(t_high | t_low) observed on the training
+// data. Beating this baseline is what shows the neural model actually
+// reads the code rather than the label distribution.
+package baseline
+
+import (
+	"sort"
+	"strings"
+)
+
+// Model is the empirical conditional distribution P(t_high | t_low).
+type Model struct {
+	counts map[string]map[string]int
+	// ranked caches the frequency-ordered type list per low-level type.
+	ranked map[string][][]string
+	total  map[string]int
+}
+
+// New returns an empty model.
+func New() *Model {
+	return &Model{
+		counts: map[string]map[string]int{},
+		ranked: map[string][][]string{},
+		total:  map[string]int{},
+	}
+}
+
+// Add records one training observation.
+func (m *Model) Add(low string, typeTokens []string) {
+	c := m.counts[low]
+	if c == nil {
+		c = map[string]int{}
+		m.counts[low] = c
+	}
+	c[strings.Join(typeTokens, " ")]++
+	m.total[low]++
+	delete(m.ranked, low) // invalidate cache
+}
+
+// Predict returns the k most frequent type sequences for the low-level
+// type, most frequent first. Ties break lexicographically for
+// determinism. An unseen low-level type falls back to the union
+// distribution.
+func (m *Model) Predict(low string, k int) [][]string {
+	rank, ok := m.ranked[low]
+	if !ok {
+		c := m.counts[low]
+		if c == nil {
+			c = m.union()
+		}
+		type tc struct {
+			typ string
+			n   int
+		}
+		all := make([]tc, 0, len(c))
+		for typ, n := range c {
+			all = append(all, tc{typ, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].typ < all[j].typ
+		})
+		rank = make([][]string, 0, len(all))
+		for _, e := range all {
+			rank = append(rank, strings.Fields(e.typ))
+		}
+		m.ranked[low] = rank
+	}
+	if len(rank) > k {
+		rank = rank[:k]
+	}
+	return rank
+}
+
+// union merges all conditional distributions (fallback for unseen lows).
+func (m *Model) union() map[string]int {
+	out := map[string]int{}
+	for _, c := range m.counts {
+		for typ, n := range c {
+			out[typ] += n
+		}
+	}
+	return out
+}
+
+// Seen reports how many observations were recorded for a low-level type.
+func (m *Model) Seen(low string) int { return m.total[low] }

@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPredictRanksByFrequency(t *testing.T) {
+	m := New()
+	for i := 0; i < 10; i++ {
+		m.Add("i32", []string{"pointer", "class"})
+	}
+	for i := 0; i < 5; i++ {
+		m.Add("i32", []string{"primitive", "int", "32"})
+	}
+	m.Add("i32", []string{"pointer", "struct"})
+	m.Add("f32", []string{"primitive", "float", "32"})
+
+	got := m.Predict("i32", 2)
+	want := [][]string{{"pointer", "class"}, {"primitive", "int", "32"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Predict(i32, 2) = %v", got)
+	}
+	if got := m.Predict("f32", 5); len(got) != 1 || got[0][2] != "32" {
+		t.Errorf("Predict(f32) = %v", got)
+	}
+	if m.Seen("i32") != 16 {
+		t.Errorf("Seen = %d", m.Seen("i32"))
+	}
+}
+
+func TestPredictUnseenLowFallsBack(t *testing.T) {
+	m := New()
+	m.Add("i32", []string{"pointer", "class"})
+	got := m.Predict("f64", 1)
+	if len(got) != 1 || got[0][0] != "pointer" {
+		t.Errorf("fallback = %v", got)
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	m := New()
+	m.Add("i32", []string{"a"})
+	_ = m.Predict("i32", 1) // populate cache
+	m.Add("i32", []string{"b"})
+	m.Add("i32", []string{"b"})
+	got := m.Predict("i32", 1)
+	if got[0][0] != "b" {
+		t.Errorf("stale cache: %v", got)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	m := New()
+	m.Add("i32", []string{"zeta"})
+	m.Add("i32", []string{"alpha"})
+	got := m.Predict("i32", 2)
+	if got[0][0] != "alpha" || got[1][0] != "zeta" {
+		t.Errorf("tie break = %v", got)
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := New()
+	if got := m.Predict("i32", 3); len(got) != 0 {
+		t.Errorf("empty model predicted %v", got)
+	}
+}

@@ -1,0 +1,182 @@
+// Package bpe implements byte-pair-encoding subword tokenization
+// (Sennrich et al., ACL 2016), standing in for SentencePiece in the
+// paper's pipeline (Section 4.1): the raw WebAssembly token vocabulary is
+// dominated by a long tail of numbers (memory offsets, constants), so
+// infrequent tokens are broken into subwords drawn from a small learned
+// vocabulary, trading slightly longer sequences for a much smaller
+// embedding matrix.
+package bpe
+
+import (
+	"sort"
+	"strings"
+)
+
+// endOfWord marks word-final symbols so decoding can restore token
+// boundaries.
+const endOfWord = "</w>"
+
+// Model is a learned subword model.
+type Model struct {
+	merges [][2]string
+	rank   map[[2]string]int
+	vocab  map[string]bool
+}
+
+// Learn builds a subword model from word frequencies. vocabSize bounds the
+// number of distinct output symbols; learning stops when the vocabulary is
+// full or no pair occurs at least twice.
+func Learn(wordFreq map[string]int, vocabSize int) *Model {
+	// Represent each word as its symbol sequence, final symbol marked.
+	type entry struct {
+		syms []string
+		n    int
+	}
+	entries := make([]entry, 0, len(wordFreq))
+	// Deterministic iteration order.
+	words := make([]string, 0, len(wordFreq))
+	for w := range wordFreq {
+		if w != "" {
+			words = append(words, w)
+		}
+	}
+	sort.Strings(words)
+	vocab := map[string]bool{}
+	for _, w := range words {
+		syms := split(w)
+		for _, s := range syms {
+			vocab[s] = true
+		}
+		entries = append(entries, entry{syms: syms, n: wordFreq[w]})
+	}
+
+	m := &Model{rank: map[[2]string]int{}, vocab: vocab}
+	for len(m.vocab) < vocabSize {
+		// Count adjacent pairs.
+		pairs := map[[2]string]int{}
+		for _, e := range entries {
+			for i := 0; i+1 < len(e.syms); i++ {
+				pairs[[2]string{e.syms[i], e.syms[i+1]}] += e.n
+			}
+		}
+		best, bestN := [2]string{}, 1
+		// Deterministic tie-break: highest count, then lexicographic.
+		keys := make([][2]string, 0, len(pairs))
+		for p := range pairs {
+			keys = append(keys, p)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, p := range keys {
+			if pairs[p] > bestN {
+				best, bestN = p, pairs[p]
+			}
+		}
+		if bestN < 2 {
+			break
+		}
+		merged := best[0] + best[1]
+		m.rank[best] = len(m.merges)
+		m.merges = append(m.merges, best)
+		m.vocab[merged] = true
+		for i := range entries {
+			entries[i].syms = applyMerge(entries[i].syms, best, merged)
+		}
+	}
+	return m
+}
+
+// split breaks a word into initial symbols (runes, last one marked).
+func split(w string) []string {
+	runes := []rune(w)
+	syms := make([]string, len(runes))
+	for i, r := range runes {
+		syms[i] = string(r)
+	}
+	syms[len(syms)-1] += endOfWord
+	return syms
+}
+
+func applyMerge(syms []string, pair [2]string, merged string) []string {
+	out := syms[:0]
+	for i := 0; i < len(syms); i++ {
+		if i+1 < len(syms) && syms[i] == pair[0] && syms[i+1] == pair[1] {
+			out = append(out, merged)
+			i++
+		} else {
+			out = append(out, syms[i])
+		}
+	}
+	return out
+}
+
+// EncodeWord splits one token into learned subword symbols.
+func (m *Model) EncodeWord(w string) []string {
+	if w == "" {
+		return nil
+	}
+	syms := split(w)
+	// Greedily apply merges in learned order until none applies.
+	for {
+		bestRank, bestIdx := -1, -1
+		for i := 0; i+1 < len(syms); i++ {
+			if r, ok := m.rank[[2]string{syms[i], syms[i+1]}]; ok && (bestRank < 0 || r < bestRank) {
+				bestRank, bestIdx = r, i
+			}
+		}
+		if bestIdx < 0 {
+			return syms
+		}
+		merged := syms[bestIdx] + syms[bestIdx+1]
+		syms = append(syms[:bestIdx], append([]string{merged}, syms[bestIdx+2:]...)...)
+	}
+}
+
+// Encode splits a token sequence into subword symbols.
+func (m *Model) Encode(tokens []string) []string {
+	var out []string
+	for _, t := range tokens {
+		out = append(out, m.EncodeWord(t)...)
+	}
+	return out
+}
+
+// Decode reassembles subword symbols into the original token sequence.
+// Symbols not ending in the end-of-word marker glue onto the next symbol.
+func Decode(subtokens []string) []string {
+	var out []string
+	var cur strings.Builder
+	for _, s := range subtokens {
+		if trimmed, ok := strings.CutSuffix(s, endOfWord); ok {
+			cur.WriteString(trimmed)
+			out = append(out, cur.String())
+			cur.Reset()
+		} else {
+			cur.WriteString(s)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// VocabSize returns the number of distinct symbols the model can emit.
+func (m *Model) VocabSize() int { return len(m.vocab) }
+
+// Vocab returns the sorted symbol vocabulary.
+func (m *Model) Vocab() []string {
+	out := make([]string, 0, len(m.vocab))
+	for s := range m.vocab {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumMerges returns the number of learned merges.
+func (m *Model) NumMerges() int { return len(m.merges) }

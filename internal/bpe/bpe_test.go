@@ -1,0 +1,129 @@
+package bpe
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLearnAndEncode(t *testing.T) {
+	freq := map[string]int{
+		"local.get": 100,
+		"local.set": 60,
+		"i32.const": 80,
+		"i32.add":   70,
+		";":         300,
+		"<param>":   50,
+		"12345678":  1, // rare: should be split into pieces
+	}
+	m := Learn(freq, 200)
+	// Frequent tokens become single symbols.
+	for _, w := range []string{"local.get", ";", "i32.add"} {
+		if got := m.EncodeWord(w); len(got) != 1 {
+			t.Errorf("EncodeWord(%q) = %v, want single symbol", w, got)
+		}
+	}
+	if m.VocabSize() > 200 {
+		t.Errorf("vocab size %d exceeds cap", m.VocabSize())
+	}
+}
+
+func TestSmallVocabSplitsRareTokens(t *testing.T) {
+	freq := map[string]int{}
+	for i := 0; i < 50; i++ {
+		freq["offset="+strings.Repeat("9", i%7+1)] = 1
+	}
+	freq["common"] = 1000
+	m := Learn(freq, 40)
+	rare := m.EncodeWord("offset=9999999")
+	if len(rare) < 2 {
+		t.Errorf("rare token not split: %v", rare)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	freq := map[string]int{"alpha": 5, "beta": 3, "gamma": 2, "alphabet": 1}
+	m := Learn(freq, 30)
+	seq := []string{"alpha", "beta", "alphabet", "gamma", "alpha"}
+	enc := m.Encode(seq)
+	dec := Decode(enc)
+	if !reflect.DeepEqual(dec, seq) {
+		t.Errorf("Decode(Encode(%v)) = %v via %v", seq, dec, enc)
+	}
+}
+
+func TestDecodeUnknownSymbols(t *testing.T) {
+	// Unterminated trailing symbol still yields a token.
+	got := Decode([]string{"ab", "c"})
+	if len(got) != 1 || got[0] != "abc" {
+		t.Errorf("Decode = %v", got)
+	}
+	if got := Decode(nil); got != nil {
+		t.Errorf("Decode(nil) = %v", got)
+	}
+}
+
+func TestEncodeUnseenWord(t *testing.T) {
+	m := Learn(map[string]int{"abc": 10}, 20)
+	// A word never seen during learning still round-trips.
+	got := Decode(m.EncodeWord("xyz"))
+	if len(got) != 1 || got[0] != "xyz" {
+		t.Errorf("unseen word round trip = %v", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	freq := map[string]int{}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		w := ""
+		for j := 0; j < r.Intn(8)+1; j++ {
+			w += string(rune('a' + r.Intn(6)))
+		}
+		freq[w] += r.Intn(20) + 1
+	}
+	a := Learn(freq, 80)
+	b := Learn(freq, 80)
+	if !reflect.DeepEqual(a.Vocab(), b.Vocab()) || a.NumMerges() != b.NumMerges() {
+		t.Error("Learn is not deterministic")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	freq := map[string]int{}
+	r := rand.New(rand.NewSource(9))
+	var words []string
+	for i := 0; i < 100; i++ {
+		w := ""
+		for j := 0; j < r.Intn(10)+1; j++ {
+			w += string(rune('a' + r.Intn(10)))
+		}
+		words = append(words, w)
+		freq[w] += r.Intn(5) + 1
+	}
+	m := Learn(freq, 60)
+	for i := 0; i < 200; i++ {
+		n := r.Intn(6) + 1
+		seq := make([]string, n)
+		for j := range seq {
+			seq[j] = words[r.Intn(len(words))]
+		}
+		if got := Decode(m.Encode(seq)); !reflect.DeepEqual(got, seq) {
+			t.Fatalf("round trip failed: %v -> %v", seq, got)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	m := Learn(map[string]int{}, 10)
+	if m.VocabSize() != 0 {
+		t.Errorf("empty corpus vocab = %d", m.VocabSize())
+	}
+	if got := m.Encode(nil); got != nil {
+		t.Errorf("Encode(nil) = %v", got)
+	}
+	if got := m.EncodeWord(""); got != nil {
+		t.Errorf("EncodeWord(\"\") = %v", got)
+	}
+}

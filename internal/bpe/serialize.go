@@ -1,0 +1,33 @@
+package bpe
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+type modelState struct {
+	Merges [][2]string
+	Vocab  []string
+}
+
+// Save writes the learned merges and vocabulary to w.
+func (m *Model) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(modelState{Merges: m.merges, Vocab: m.Vocab()})
+}
+
+// Load reads a model previously written with Save.
+func Load(r io.Reader) (*Model, error) {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("bpe: load: %w", err)
+	}
+	m := &Model{merges: st.Merges, rank: map[[2]string]int{}, vocab: map[string]bool{}}
+	for i, pair := range st.Merges {
+		m.rank[pair] = i
+	}
+	for _, s := range st.Vocab {
+		m.vocab[s] = true
+	}
+	return m, nil
+}

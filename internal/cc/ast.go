@@ -1,0 +1,243 @@
+package cc
+
+// Expr is a typed expression node. Every expression carries its semantic C
+// type, assigned during parsing.
+type Expr interface {
+	CType() *CType
+}
+
+type exprBase struct {
+	typ *CType
+}
+
+func (e *exprBase) CType() *CType { return e.typ }
+
+// SymKind classifies symbols.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymVar SymKind = iota
+	SymFunc
+	SymEnumConst
+)
+
+// Symbol is a named entity: variable, function, or enum constant.
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Type   *CType
+	Global bool
+	// EnumVal is set for enum constants.
+	EnumVal int64
+	// Storage assigned by codegen.
+	LocalIdx int    // wasm local index for locals/params
+	Addr     uint32 // linear memory address for globals
+	FuncIdx  uint32 // function index space position for functions
+	Defined  bool   // function has a body / global is defined here
+}
+
+// Ident references a variable or enum constant.
+type Ident struct {
+	exprBase
+	Sym *Symbol
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// StringLit is a string literal; codegen places it in a data segment.
+type StringLit struct {
+	exprBase
+	Val string
+}
+
+// Unary is a prefix operator: - ! ~ * & ++ --.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is an infix arithmetic/logical/comparison operator.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign is an assignment, possibly compound (+=, -=, ...).
+type Assign struct {
+	exprBase
+	Op  string // "=", "+=", ...
+	LHS Expr
+	RHS Expr
+}
+
+// Cond is the ternary conditional operator.
+type Cond struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Call invokes a named function.
+type Call struct {
+	exprBase
+	Func *Symbol
+	Args []Expr
+}
+
+// Index is array/pointer subscripting.
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member accesses a struct/union field, via value (.) or pointer (->).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	Field Field
+}
+
+// Cast converts an expression to an explicit type.
+type Cast struct {
+	exprBase
+	X Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Sizeof yields the size of a type.
+type Sizeof struct {
+	exprBase
+	Of *CType
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a brace-enclosed statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct {
+	E Expr
+}
+
+// Return exits the function, optionally with a value.
+type Return struct {
+	E Expr // nil for void returns
+}
+
+// If is a conditional statement.
+type If struct {
+	C    Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop; DoFirst distinguishes do/while.
+type While struct {
+	C       Expr
+	Body    Stmt
+	DoFirst bool
+}
+
+// For is a for loop; any of Init/Cond/Post may be nil.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Switch is a C switch statement. The supported subset requires case
+// bodies to be statement lists ending implicitly at the next case (with
+// C's usual fallthrough semantics).
+type Switch struct {
+	Tag     Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil if absent
+}
+
+// SwitchCase is one `case N:` arm.
+type SwitchCase struct {
+	Value int64
+	Body  []Stmt
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{}
+
+// Continue jumps to the next iteration of the innermost loop.
+type Continue struct{}
+
+// LocalDecl declares a local variable, optionally initialized.
+type LocalDecl struct {
+	Sym  *Symbol
+	Init Expr // may be nil
+}
+
+// Empty is the empty statement.
+type Empty struct{}
+
+func (*Block) stmt()     {}
+func (*ExprStmt) stmt()  {}
+func (*Return) stmt()    {}
+func (*If) stmt()        {}
+func (*While) stmt()     {}
+func (*For) stmt()       {}
+func (*Switch) stmt()    {}
+func (*Break) stmt()     {}
+func (*Continue) stmt()  {}
+func (*LocalDecl) stmt() {}
+func (*Empty) stmt()     {}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *CType
+}
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	Name     string
+	Ret      *CType
+	Params   []Param
+	Body     *Block // nil for prototypes (extern functions)
+	Sym      *Symbol
+	Locals   []*Symbol // all block-scoped locals, collected by the parser
+	IsExtern bool
+}
+
+// Unit is one parsed translation unit.
+type Unit struct {
+	File    string
+	Funcs   []*FuncDecl
+	Globals []*Symbol
+	// GlobalInits holds initializers parallel to Globals (nil entries mean
+	// zero initialization).
+	GlobalInits []Expr
+	Records     []*Record
+	Enums       []*EnumDef
+	Typedefs    map[string]*CType
+}

@@ -1,0 +1,448 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dwarf"
+	"repro/internal/typelang"
+	"repro/internal/wasm"
+)
+
+// figure1Source is the paper's motivating example (Figure 1a), lightly
+// adapted to the supported subset.
+const figure1Source = `
+extern int printf(const char *fmt, ...);
+
+enum control { DENSE, AGGRESSIVE };
+
+double DEFAULT_DENSE = 10.0;
+int DEFAULT_AGGRESSIVE = 1;
+
+void amd_control(double Control[]) {
+	double alpha;
+	int aggressive;
+	if (Control != (double *) NULL) {
+		alpha = Control[DENSE];
+		aggressive = Control[AGGRESSIVE] != 0;
+	} else {
+		alpha = DEFAULT_DENSE;
+		aggressive = DEFAULT_AGGRESSIVE;
+	}
+	if (alpha < 0) {
+		printf("no rows treated as dense");
+	}
+	if (aggressive) {
+		printf("aggressive");
+	}
+}
+`
+
+func compileT(t *testing.T, src string) *Object {
+	t.Helper()
+	obj, err := Compile(src, Options{FileName: "test.c", Debug: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return obj
+}
+
+func TestCompileFigure1(t *testing.T) {
+	obj := compileT(t, figure1Source)
+
+	// The binary must decode cleanly.
+	d, err := wasm.Decode(obj.Binary)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	m := d.Module
+	if len(m.Funcs) != 1 {
+		t.Fatalf("module has %d functions, want 1", len(m.Funcs))
+	}
+	// printf is imported.
+	if m.NumImportedFuncs() != 1 || m.Imports[0].Name != "printf" {
+		t.Fatalf("imports = %+v", m.Imports)
+	}
+	// The function body must reference the parameter and read doubles.
+	text, err := wasm.DisassembleFunction(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"local.get 0", "f64.load", "call 0", "f64.lt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+
+	// DWARF must be embedded and match the paper's structure.
+	secs, err := dwarf.Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := dwarf.Read(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := cu.FindAll(dwarf.TagSubprogram)
+	if len(subs) != 1 || subs[0].Name() != "amd_control" {
+		t.Fatalf("subprograms = %v", subs)
+	}
+	// low_pc matches the decoder-reported code offset.
+	pc, ok := subs[0].Uint(dwarf.AttrLowPC)
+	if !ok || uint32(pc) != d.CodeOffsets[0] {
+		t.Errorf("low_pc = %d, code offset = %d", pc, d.CodeOffsets[0])
+	}
+	// The parameter converts to the paper's Figure 1d type.
+	params := subs[0].FindAll(dwarf.TagFormalParameter)
+	if len(params) != 1 || params[0].Name() != "Control" {
+		t.Fatalf("params = %v", params)
+	}
+	typ := typelang.FromDWARF(params[0].TypeRef(), typelang.AllNames())
+	if typ.String() != "pointer primitive float 64" {
+		t.Errorf("Control type = %q, want %q", typ, "pointer primitive float 64")
+	}
+}
+
+func TestCompileTypesToDWARF(t *testing.T) {
+	src := `
+typedef unsigned int size_t;
+typedef struct sname { int a; double b; } tname;
+class Widget { int id; double weight; };
+union u { int i; float f; };
+enum color { RED, GREEN = 5, BLUE };
+
+extern void use(int x);
+
+int f_int(int a) { return a + 1; }
+unsigned long long f_u64(unsigned long long a) { return a * 2; }
+float f_float(float a) { return a; }
+long double f_ld(long double a) { return a; }
+bool f_bool(bool b) { return !b; }
+char f_char(char c) { return c; }
+signed char f_schar(signed char c) { return c; }
+const char *f_str(const char *s) { return s; }
+size_t f_size(size_t n) { return n; }
+tname *f_tname(tname *p) { return p; }
+class Widget *f_class(class Widget *w) { return w; }
+union u *f_union(union u *p) { return p; }
+enum color f_enum(enum color c) { return c; }
+void *f_voidp(void *p) { return p; }
+int **f_pp(int **p) { return p ? 1 : 0 ? p : p; }
+double f_member(tname *p) { return p->b; }
+`
+	obj := compileT(t, src)
+	secs, err := dwarf.Extract(obj.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := dwarf.Read(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct{ param, ret string }{
+		"f_int":    {"primitive int 32", "primitive int 32"},
+		"f_u64":    {"primitive uint 64", "primitive uint 64"},
+		"f_float":  {"primitive float 32", "primitive float 32"},
+		"f_ld":     {"primitive float 128", "primitive float 128"},
+		"f_bool":   {"primitive bool", "primitive bool"},
+		"f_char":   {"primitive cchar", "primitive cchar"},
+		"f_schar":  {"primitive int 8", "primitive int 8"},
+		"f_str":    {"pointer const primitive cchar", "pointer const primitive cchar"},
+		"f_size":   {`name "size_t" primitive uint 32`, `name "size_t" primitive uint 32`},
+		"f_tname":  {`pointer name "tname" struct`, `pointer name "tname" struct`},
+		"f_class":  {`pointer name "Widget" class`, `pointer name "Widget" class`},
+		"f_union":  {`pointer name "u" union`, `pointer name "u" union`},
+		"f_enum":   {`name "color" enum`, `name "color" enum`},
+		"f_voidp":  {"pointer unknown", "pointer unknown"},
+		"f_pp":     {"pointer pointer primitive int 32", "pointer pointer primitive int 32"},
+		"f_member": {`pointer name "tname" struct`, "primitive float 64"},
+	}
+	found := 0
+	for _, sub := range cu.FindAll(dwarf.TagSubprogram) {
+		exp, ok := want[sub.Name()]
+		if !ok {
+			continue
+		}
+		found++
+		params := sub.FindAll(dwarf.TagFormalParameter)
+		if len(params) != 1 {
+			t.Errorf("%s: %d params", sub.Name(), len(params))
+			continue
+		}
+		pt := typelang.FromDWARF(params[0].TypeRef(), typelang.AllNames())
+		if pt.String() != exp.param {
+			t.Errorf("%s param = %q, want %q", sub.Name(), pt, exp.param)
+		}
+		rt := typelang.FromDWARF(sub.TypeRef(), typelang.AllNames())
+		if rt.String() != exp.ret {
+			t.Errorf("%s return = %q, want %q", sub.Name(), rt, exp.ret)
+		}
+	}
+	if found != len(want) {
+		t.Errorf("found %d of %d expected subprograms", found, len(want))
+	}
+}
+
+func TestControlFlowCodegen(t *testing.T) {
+	src := `
+int loops(int n) {
+	int sum = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i > 100) { break; }
+		sum += i;
+	}
+	while (sum > 1000) { sum /= 2; }
+	do { sum++; } while (sum < 10);
+	return sum;
+}
+`
+	obj := compileT(t, src)
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	for _, want := range []string{"loop", "br_if", "i32.rem_s", "i32.div_s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Round-trip decode.
+	if _, err := wasm.Decode(obj.Binary); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestPointerAndMemberCodegen(t *testing.T) {
+	src := `
+struct point { int x; int y; double w; };
+double get(struct point *p, int i) {
+	p[i].x = 1;
+	p->y = p->x + 2;
+	return p[i].w;
+}
+`
+	obj := compileT(t, src)
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	// Field w is at offset 8 (x:0, y:4, w:8).
+	if !strings.Contains(text, "f64.load offset=8") {
+		t.Errorf("expected f64.load offset=8 in:\n%s", text)
+	}
+	if !strings.Contains(text, "i32.store offset=4") {
+		t.Errorf("expected i32.store offset=4 in:\n%s", text)
+	}
+	// Index scaling by sizeof(struct point) = 16.
+	if !strings.Contains(text, "i32.const 16") {
+		t.Errorf("expected index scaling by 16 in:\n%s", text)
+	}
+}
+
+func TestGlobalsAndStrings(t *testing.T) {
+	src := `
+extern int puts(const char *s);
+int counter = 7;
+double ratio = 2.5;
+int bump(void) {
+	counter = counter + 1;
+	puts("bumped");
+	return counter;
+}
+`
+	obj := compileT(t, src)
+	if len(obj.Module.Datas) != 3 { // counter, ratio, "bumped"
+		t.Errorf("data segments = %d, want 3", len(obj.Module.Datas))
+	}
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	if !strings.Contains(text, "i32.load offset=1024") {
+		t.Errorf("expected global load at 1024 in:\n%s", text)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	src := `
+double mix(int i, unsigned int u, long long ll, float f) {
+	double d = i;
+	d = d + u;
+	d = d + ll;
+	d = d + f;
+	char c = (char)i;
+	unsigned short s = (unsigned short)u;
+	return d + c + s;
+}
+`
+	obj := compileT(t, src)
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	for _, want := range []string{
+		"f64.convert_i32_s", "f64.convert_i32_u", "f64.convert_i64_s",
+		"f64.promote_f32", "i32.extend8_s", "i32.const 65535",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		`int f( { return 0; }`,
+		`int f(int x) { return y; }`,
+		`int f(int x) { 1 = x; return 0; }`,
+		`void f(struct unknown_s s) {}`,
+		`int f(int x) { struct s2 { int a; } v; return 0; }`,
+		`int f(int x) { return "str"; } garbage`,
+		`int f(int x) { int x; return x; }`,
+		`int f(int x) { return x +; }`,
+		`int f(int x) { break; }`,
+		`double f(double *p) { return &p; }`, // address of local
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, Options{Debug: false}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestVariadicCall(t *testing.T) {
+	src := `
+extern int printf(const char *fmt, ...);
+int log3(int a, double b) {
+	return printf("%d %f", a, b);
+}
+`
+	obj := compileT(t, src)
+	// The import signature has only the fixed parameter.
+	ft, err := obj.Module.FuncTypeAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Params) != 1 || ft.Params[0] != wasm.I32 {
+		t.Errorf("printf import signature = %v", ft)
+	}
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	if !strings.Contains(text, "drop") {
+		t.Errorf("variadic extras should be dropped:\n%s", text)
+	}
+}
+
+func TestFunctionPointerTypedef(t *testing.T) {
+	src := `
+typedef int (*callback)(int, int);
+int invoke_stub(callback cb, int x) {
+	if (cb != NULL) { return x; }
+	return 0;
+}
+`
+	obj := compileT(t, src)
+	secs, _ := dwarf.Extract(obj.Module)
+	cu, err := dwarf.Read(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := cu.FindAll(dwarf.TagSubprogram)[0]
+	pt := typelang.FromDWARF(sub.FindAll(dwarf.TagFormalParameter)[0].TypeRef(), typelang.AllNames())
+	if pt.String() != `name "callback" pointer function` {
+		t.Errorf("callback type = %q", pt)
+	}
+}
+
+func TestRecursiveStructDWARF(t *testing.T) {
+	src := `
+struct list { struct list *next; int value; };
+int length(struct list *head) {
+	int n = 0;
+	while (head != NULL) { n++; head = head->next; }
+	return n;
+}
+`
+	obj := compileT(t, src)
+	secs, _ := dwarf.Extract(obj.Module)
+	cu, err := dwarf.Read(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := cu.FindAll(dwarf.TagSubprogram)[0]
+	pt := typelang.FromDWARF(sub.FindAll(dwarf.TagFormalParameter)[0].TypeRef(), typelang.AllNames())
+	if pt.String() != `pointer name "list" struct` {
+		t.Errorf("list type = %q", pt)
+	}
+}
+
+func TestSizeofAndTernary(t *testing.T) {
+	src := `
+struct big { double a; double b; char c; };
+int f(int x) {
+	int n = sizeof(struct big);
+	return x > 0 ? n : -n;
+}
+`
+	obj := compileT(t, src)
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	// sizeof(struct big) = 24 (8+8+1 rounded to align 8).
+	if !strings.Contains(text, "i32.const 24") {
+		t.Errorf("expected sizeof 24 in:\n%s", text)
+	}
+	if !strings.Contains(text, "if (result i32)") {
+		t.Errorf("expected typed if for ternary in:\n%s", text)
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	src := `
+extern int side(void);
+int f(int a, int b) { return a && b || !a; }
+`
+	obj := compileT(t, src)
+	if _, err := wasm.Decode(obj.Binary); err != nil {
+		t.Fatal(err)
+	}
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	if strings.Count(text, "if (result i32)") < 2 {
+		t.Errorf("expected short-circuit ifs:\n%s", text)
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	r := &Record{Fields: []Field{
+		{Name: "c", Type: tChar},
+		{Name: "d", Type: tDouble},
+		{Name: "i", Type: tInt},
+	}}
+	r.Layout()
+	if r.Fields[0].Offset != 0 || r.Fields[1].Offset != 8 || r.Fields[2].Offset != 16 {
+		t.Errorf("offsets = %d %d %d", r.Fields[0].Offset, r.Fields[1].Offset, r.Fields[2].Offset)
+	}
+	if r.Size != 24 || r.Align != 8 {
+		t.Errorf("size=%d align=%d", r.Size, r.Align)
+	}
+	u := &Record{IsUnion: true, Fields: []Field{
+		{Name: "i", Type: tInt},
+		{Name: "d", Type: tDouble},
+	}}
+	u.Layout()
+	if u.Size != 8 || u.Fields[1].Offset != 0 {
+		t.Errorf("union size=%d off=%d", u.Size, u.Fields[1].Offset)
+	}
+}
+
+func TestEnumConstants(t *testing.T) {
+	src := `
+enum mode { OFF, SLOW = 10, FAST };
+int pick(int x) {
+	if (x == SLOW) { return FAST; }
+	return OFF;
+}
+`
+	obj := compileT(t, src)
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	if !strings.Contains(text, "i32.const 10") || !strings.Contains(text, "i32.const 11") {
+		t.Errorf("enum constants not folded:\n%s", text)
+	}
+}
+
+func TestNoDebugOption(t *testing.T) {
+	obj, err := Compile("int f(int x) { return x; }", Options{Debug: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dwarf.Extract(obj.Module); err == nil {
+		t.Error("module without -g should have no DWARF")
+	}
+}

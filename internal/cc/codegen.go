@@ -1,0 +1,420 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/wasm"
+)
+
+// lowKind is the wasm value type a C scalar lowers to.
+type lowKind int
+
+const (
+	lowI32 lowKind = iota
+	lowI64
+	lowF32
+	lowF64
+)
+
+// lowerType maps a semantic C type to its wasm value type. Pointers,
+// enums, bools, and chars are i32; long double lowers to f64 (as
+// Emscripten does for computation; the DWARF still records 16 bytes);
+// _Complex lowers to f64 too and is realistically only used behind
+// pointers.
+func lowerType(t *CType) lowKind {
+	switch rt := t.Resolved(); rt.Kind {
+	case KInt:
+		if rt.Bits == 64 {
+			return lowI64
+		}
+		return lowI32
+	case KFloat:
+		if rt.Bits == 32 {
+			return lowF32
+		}
+		return lowF64
+	case KComplex:
+		return lowF64
+	default:
+		return lowI32
+	}
+}
+
+func (k lowKind) val() wasm.ValType {
+	switch k {
+	case lowI64:
+		return wasm.I64
+	case lowF32:
+		return wasm.F32
+	case lowF64:
+		return wasm.F64
+	}
+	return wasm.I32
+}
+
+// labelKind tracks emitted structured-control nesting for branch distances.
+type labelKind int
+
+const (
+	labelBlock labelKind = iota
+	labelLoop
+	labelIf
+	labelBreak    // block that `break` targets
+	labelContinue // block that `continue` targets
+)
+
+// codegen lowers a type-checked unit to a wasm module.
+type codegen struct {
+	unit *Unit
+	mod  *wasm.Module
+
+	funcIdx map[*Symbol]uint32
+
+	// Static memory layout.
+	memTop  uint32
+	strAddr map[string]uint32
+
+	// Current function state.
+	fn      *FuncDecl
+	body    []wasm.Instr
+	locals  []wasm.ValType // extra locals beyond params
+	nparams int
+	localOf map[*Symbol]int
+	scratch map[wasm.ValType]int
+	ctrl    []labelKind
+}
+
+// memBase is where static data starts, leaving low memory untouched as
+// Emscripten does.
+const memBase = 1024
+
+// generate lowers the unit into a fresh module.
+func generate(unit *Unit) (*wasm.Module, error) {
+	g := &codegen{
+		unit:    unit,
+		mod:     &wasm.Module{},
+		funcIdx: make(map[*Symbol]uint32),
+		memTop:  memBase,
+		strAddr: make(map[string]uint32),
+	}
+
+	// Imports: extern functions (referenced prototypes without bodies),
+	// in declaration order for determinism.
+	var externs []*Symbol
+	seen := map[*Symbol]bool{}
+	collect := func(s *Symbol) {
+		if s != nil && s.Kind == SymFunc && !s.Defined && !seen[s] {
+			seen[s] = true
+			externs = append(externs, s)
+		}
+	}
+	for _, fn := range unit.Funcs {
+		walkCalls(fn.Body, collect)
+	}
+	for i, s := range externs {
+		ft, err := g.wasmSig(s.Type.Resolved())
+		if err != nil {
+			return nil, err
+		}
+		g.mod.Imports = append(g.mod.Imports, wasm.Import{
+			Module: "env", Name: s.Name, Kind: wasm.KindFunc, TypeIdx: g.mod.AddType(ft),
+		})
+		g.funcIdx[s] = uint32(i)
+		s.FuncIdx = uint32(i)
+	}
+	nimp := len(externs)
+	for i, fn := range unit.Funcs {
+		g.funcIdx[fn.Sym] = uint32(nimp + i)
+		fn.Sym.FuncIdx = uint32(nimp + i)
+	}
+
+	// Static layout of globals.
+	for _, sym := range unit.Globals {
+		size := sym.Type.Size()
+		align := sym.Type.Align()
+		g.memTop = uint32(roundUp(int(g.memTop), align))
+		sym.Addr = g.memTop
+		g.memTop += uint32(size)
+	}
+
+	g.mod.Memories = append(g.mod.Memories, wasm.Limits{Min: 16})
+	// Emscripten-style stack pointer global (module-internal convention).
+	g.mod.Globals = append(g.mod.Globals, wasm.Global{
+		Type: wasm.GlobalType{Type: wasm.I32, Mutable: true},
+		Init: []wasm.Instr{wasm.ConstI32(5 * 64 * 1024)},
+	})
+
+	// Global initializers become data segments.
+	for i, sym := range unit.Globals {
+		init := unit.GlobalInits[i]
+		if init == nil {
+			continue
+		}
+		data, err := constBytes(init, sym.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%s: global %s: %w", unit.File, sym.Name, err)
+		}
+		g.mod.Datas = append(g.mod.Datas, wasm.Data{
+			Offset: []wasm.Instr{wasm.ConstI32(int32(sym.Addr))},
+			Bytes:  data,
+		})
+	}
+
+	for _, fn := range unit.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+
+	// Export all defined functions by name, like object files keep their
+	// symbols visible.
+	for _, fn := range unit.Funcs {
+		g.mod.Exports = append(g.mod.Exports, wasm.Export{
+			Name: fn.Name, Kind: wasm.KindFunc, Index: g.funcIdx[fn.Sym],
+		})
+	}
+	return g.mod, nil
+}
+
+// walkCalls visits every Call in a statement tree.
+func walkCalls(s Stmt, fn func(*Symbol)) {
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *Call:
+			fn(x.Func)
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *Unary:
+			walkExpr(x.X)
+		case *Binary:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *Assign:
+			walkExpr(x.LHS)
+			walkExpr(x.RHS)
+		case *Cond:
+			walkExpr(x.C)
+			walkExpr(x.T)
+			walkExpr(x.F)
+		case *Index:
+			walkExpr(x.X)
+			walkExpr(x.I)
+		case *Member:
+			walkExpr(x.X)
+		case *Cast:
+			walkExpr(x.X)
+		case *Postfix:
+			walkExpr(x.X)
+		}
+	}
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch x := s.(type) {
+		case *Block:
+			for _, st := range x.Stmts {
+				walk(st)
+			}
+		case *ExprStmt:
+			walkExpr(x.E)
+		case *Return:
+			if x.E != nil {
+				walkExpr(x.E)
+			}
+		case *If:
+			walkExpr(x.C)
+			walk(x.Then)
+			if x.Else != nil {
+				walk(x.Else)
+			}
+		case *While:
+			walkExpr(x.C)
+			walk(x.Body)
+		case *For:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			if x.Cond != nil {
+				walkExpr(x.Cond)
+			}
+			if x.Post != nil {
+				walkExpr(x.Post)
+			}
+			walk(x.Body)
+		case *LocalDecl:
+			if x.Init != nil {
+				walkExpr(x.Init)
+			}
+		case *Switch:
+			walkExpr(x.Tag)
+			for _, c := range x.Cases {
+				for _, st := range c.Body {
+					walk(st)
+				}
+			}
+			for _, st := range x.Default {
+				walk(st)
+			}
+		}
+	}
+	if s != nil {
+		walk(s)
+	}
+}
+
+// wasmSig lowers a C function type to a wasm signature.
+func (g *codegen) wasmSig(ft *CType) (wasm.FuncType, error) {
+	var out wasm.FuncType
+	for _, pt := range ft.Params {
+		if rt := pt.Resolved(); rt.Kind == KStruct || rt.Kind == KUnion {
+			return out, fmt.Errorf("cc: by-value aggregate parameters are not supported")
+		}
+		out.Params = append(out.Params, lowerType(pt).val())
+	}
+	if !ft.Ret.IsVoid() {
+		if rt := ft.Ret.Resolved(); rt.Kind == KStruct || rt.Kind == KUnion {
+			return out, fmt.Errorf("cc: by-value aggregate returns are not supported")
+		}
+		out.Results = append(out.Results, lowerType(ft.Ret).val())
+	}
+	return out, nil
+}
+
+func (g *codegen) genFunc(fn *FuncDecl) error {
+	sig, err := g.wasmSig(fn.Sym.Type.Resolved())
+	if err != nil {
+		return fmt.Errorf("%s: %w", fn.Name, err)
+	}
+	g.fn = fn
+	g.body = nil
+	g.locals = nil
+	g.nparams = len(fn.Params)
+	g.localOf = make(map[*Symbol]int)
+	g.scratch = make(map[wasm.ValType]int)
+	g.ctrl = nil
+
+	if err := g.genBlock(fn.Body); err != nil {
+		return fmt.Errorf("%s: %w", fn.Name, err)
+	}
+	// Functions with a result must not fall off the end in wasm; emit a
+	// default value for paths the C code leaves undefined.
+	if !fn.Ret.IsVoid() {
+		g.emitZero(lowerType(fn.Ret))
+	}
+
+	// Compress locals into (count, type) runs.
+	var decls []wasm.LocalDecl
+	for _, vt := range g.locals {
+		if n := len(decls); n > 0 && decls[n-1].Type == vt {
+			decls[n-1].Count++
+		} else {
+			decls = append(decls, wasm.LocalDecl{Count: 1, Type: vt})
+		}
+	}
+	g.mod.Funcs = append(g.mod.Funcs, wasm.Function{
+		TypeIdx: g.mod.AddType(sig),
+		Locals:  decls,
+		Body:    g.body,
+		Name:    fn.Name,
+	})
+	return nil
+}
+
+// --- emission helpers ---
+
+func (g *codegen) emit(ins ...wasm.Instr) { g.body = append(g.body, ins...) }
+
+func (g *codegen) newLocal(vt wasm.ValType) int {
+	idx := g.nparams + len(g.locals)
+	g.locals = append(g.locals, vt)
+	return idx
+}
+
+func (g *codegen) scratchLocal(vt wasm.ValType) int {
+	if idx, ok := g.scratch[vt]; ok {
+		return idx
+	}
+	idx := g.newLocal(vt)
+	g.scratch[vt] = idx
+	return idx
+}
+
+func (g *codegen) emitZero(k lowKind) {
+	switch k {
+	case lowI32:
+		g.emit(wasm.ConstI32(0))
+	case lowI64:
+		g.emit(wasm.ConstI64(0))
+	case lowF32:
+		g.emit(wasm.ConstF32(0))
+	case lowF64:
+		g.emit(wasm.ConstF64(0))
+	}
+}
+
+// pushCtrl/popCtrl track branch label distances.
+func (g *codegen) pushCtrl(k labelKind) { g.ctrl = append(g.ctrl, k) }
+func (g *codegen) popCtrl()             { g.ctrl = g.ctrl[:len(g.ctrl)-1] }
+
+func (g *codegen) branchDistance(want labelKind) (int64, error) {
+	for i := len(g.ctrl) - 1; i >= 0; i-- {
+		if g.ctrl[i] == want {
+			return int64(len(g.ctrl) - 1 - i), nil
+		}
+	}
+	return 0, fmt.Errorf("cc: branch target not found (break/continue outside loop)")
+}
+
+// internString places a string literal in static memory once.
+func (g *codegen) internString(s string) uint32 {
+	if addr, ok := g.strAddr[s]; ok {
+		return addr
+	}
+	addr := g.memTop
+	g.strAddr[s] = addr
+	bytes := append([]byte(s), 0)
+	g.mod.Datas = append(g.mod.Datas, wasm.Data{
+		Offset: []wasm.Instr{wasm.ConstI32(int32(addr))},
+		Bytes:  bytes,
+	})
+	g.memTop += uint32(len(bytes))
+	return addr
+}
+
+// constBytes serializes a constant initializer for a data segment.
+func constBytes(e Expr, typ *CType) ([]byte, error) {
+	// Unwrap implicit conversion casts around literals.
+	for {
+		c, ok := e.(*Cast)
+		if !ok {
+			break
+		}
+		e = c.X
+	}
+	size := typ.Size()
+	out := make([]byte, size)
+	switch lit := e.(type) {
+	case *IntLit:
+		v := uint64(lit.Val)
+		for i := 0; i < size && i < 8; i++ {
+			out[i] = byte(v >> (8 * i))
+		}
+		return out, nil
+	case *FloatLit:
+		switch lowerType(typ) {
+		case lowF32:
+			bits := f32bits(float32(lit.Val))
+			for i := 0; i < 4; i++ {
+				out[i] = byte(bits >> (8 * i))
+			}
+		default:
+			bits := f64bits(lit.Val)
+			for i := 0; i < 8 && i < size; i++ {
+				out[i] = byte(bits >> (8 * i))
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported constant initializer")
+}

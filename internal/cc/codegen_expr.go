@@ -1,0 +1,807 @@
+package cc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wasm"
+)
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// loadOp returns the load instruction and natural alignment exponent for a
+// scalar type, or ok=false for aggregates (whose "value" is their address).
+func loadOp(t *CType) (wasm.Opcode, int64, bool) {
+	switch rt := t.Resolved(); rt.Kind {
+	case KBool:
+		return wasm.OpI32Load8U, 0, true
+	case KChar:
+		return wasm.OpI32Load8S, 0, true
+	case KInt:
+		switch {
+		case rt.Bits == 8 && rt.Signed:
+			return wasm.OpI32Load8S, 0, true
+		case rt.Bits == 8:
+			return wasm.OpI32Load8U, 0, true
+		case rt.Bits == 16 && rt.Signed:
+			return wasm.OpI32Load16S, 1, true
+		case rt.Bits == 16:
+			return wasm.OpI32Load16U, 1, true
+		case rt.Bits == 64:
+			return wasm.OpI64Load, 3, true
+		default:
+			return wasm.OpI32Load, 2, true
+		}
+	case KEnum, KPointer, KFunc:
+		return wasm.OpI32Load, 2, true
+	case KFloat:
+		if rt.Bits == 32 {
+			return wasm.OpF32Load, 2, true
+		}
+		return wasm.OpF64Load, 3, true
+	case KComplex:
+		return wasm.OpF64Load, 3, true
+	}
+	return 0, 0, false
+}
+
+// storeOp returns the store instruction and alignment for a scalar type.
+func storeOp(t *CType) (wasm.Opcode, int64, bool) {
+	switch rt := t.Resolved(); rt.Kind {
+	case KBool, KChar:
+		return wasm.OpI32Store8, 0, true
+	case KInt:
+		switch rt.Bits {
+		case 8:
+			return wasm.OpI32Store8, 0, true
+		case 16:
+			return wasm.OpI32Store16, 1, true
+		case 64:
+			return wasm.OpI64Store, 3, true
+		default:
+			return wasm.OpI32Store, 2, true
+		}
+	case KEnum, KPointer, KFunc:
+		return wasm.OpI32Store, 2, true
+	case KFloat:
+		if rt.Bits == 32 {
+			return wasm.OpF32Store, 2, true
+		}
+		return wasm.OpF64Store, 3, true
+	case KComplex:
+		return wasm.OpF64Store, 3, true
+	}
+	return 0, 0, false
+}
+
+// genAddr emits the address of a memory lvalue and returns a constant byte
+// offset the caller folds into the load/store offset immediate — matching
+// how LLVM emits struct field accesses (e.g. `f64.load offset=8`).
+func (g *codegen) genAddr(e Expr) (int64, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if !x.Sym.Global {
+			return 0, fmt.Errorf("cc: local %q has no address", x.Sym.Name)
+		}
+		g.emit(wasm.ConstI32(0))
+		return int64(x.Sym.Addr), nil
+
+	case *Unary:
+		if x.Op != "*" {
+			return 0, fmt.Errorf("cc: not an lvalue: unary %q", x.Op)
+		}
+		if err := g.genExpr(x.X); err != nil {
+			return 0, err
+		}
+		return 0, nil
+
+	case *Index:
+		if err := g.genExpr(x.X); err != nil {
+			return 0, err
+		}
+		if err := g.genIndexOffset(x.I, x.CType().Size()); err != nil {
+			return 0, err
+		}
+		g.emit(wasm.I(wasm.OpI32Add))
+		return 0, nil
+
+	case *Member:
+		if x.Arrow {
+			if err := g.genExpr(x.X); err != nil {
+				return 0, err
+			}
+			return int64(x.Field.Offset), nil
+		}
+		off, err := g.genAddr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		return off + int64(x.Field.Offset), nil
+
+	case *Cast:
+		// Pointer-typed casts preserve the address computation.
+		return g.genAddr(x.X)
+	}
+	return 0, fmt.Errorf("cc: expression %T is not a memory lvalue", e)
+}
+
+// genIndexOffset emits idx*size as an i32.
+func (g *codegen) genIndexOffset(idx Expr, size int) error {
+	if err := g.genExpr(idx); err != nil {
+		return err
+	}
+	if lowerType(idx.CType()) == lowI64 {
+		g.emit(wasm.I(wasm.OpI32WrapI64))
+	}
+	if size != 1 {
+		g.emit(wasm.ConstI32(int32(size)), wasm.I(wasm.OpI32Mul))
+	}
+	return nil
+}
+
+// genExpr emits code leaving the expression's value on the stack.
+func (g *codegen) genExpr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		if lowerType(x.CType()) == lowI64 {
+			g.emit(wasm.ConstI64(x.Val))
+		} else {
+			g.emit(wasm.ConstI32(int32(x.Val)))
+		}
+		return nil
+
+	case *FloatLit:
+		if lowerType(x.CType()) == lowF32 {
+			g.emit(wasm.ConstF32(float32(x.Val)))
+		} else {
+			g.emit(wasm.ConstF64(x.Val))
+		}
+		return nil
+
+	case *StringLit:
+		g.emit(wasm.ConstI32(int32(g.internString(x.Val))))
+		return nil
+
+	case *Sizeof:
+		g.emit(wasm.ConstI32(int32(x.Of.Size())))
+		return nil
+
+	case *Ident:
+		return g.genIdent(x)
+
+	case *Unary:
+		return g.genUnary(x)
+
+	case *Binary:
+		return g.genBinary(x)
+
+	case *Assign:
+		return g.genAssign(x, true)
+
+	case *Cond:
+		if err := g.genExpr(x.C); err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpIf, int64(lowerType(x.CType()).val())))
+		g.pushCtrl(labelIf)
+		if err := g.genExpr(x.T); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpElse))
+		if err := g.genExpr(x.F); err != nil {
+			return err
+		}
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd))
+		return nil
+
+	case *Call:
+		return g.genCall(x)
+
+	case *Index, *Member:
+		return g.genLoad(e)
+
+	case *Cast:
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		return g.genConvert(x.X.CType(), x.CType())
+
+	case *Postfix:
+		return g.genIncDec(x.X, x.Op == "++", true, false)
+	}
+	return fmt.Errorf("cc: unknown expression %T", e)
+}
+
+func (g *codegen) genIdent(x *Ident) error {
+	sym := x.Sym
+	if sym.Kind == SymFunc {
+		return fmt.Errorf("cc: taking the value of function %q is not supported", sym.Name)
+	}
+	if !sym.Global {
+		g.emit(wasm.I1(wasm.OpLocalGet, int64(sym.LocalIdx)))
+		return nil
+	}
+	// Globals live in linear memory.
+	op, align, scalar := loadOp(sym.Type)
+	if !scalar {
+		// Aggregates and arrays evaluate to their address.
+		g.emit(wasm.ConstI32(int32(sym.Addr)))
+		return nil
+	}
+	g.emit(wasm.ConstI32(0), wasm.Mem(op, align, int64(sym.Addr)))
+	return nil
+}
+
+// genLoad emits a load of a memory lvalue (Index or Member).
+func (g *codegen) genLoad(e Expr) error {
+	off, err := g.genAddr(e)
+	if err != nil {
+		return err
+	}
+	op, align, scalar := loadOp(e.CType())
+	if !scalar {
+		// The aggregate's value is its address.
+		if off != 0 {
+			g.emit(wasm.ConstI32(int32(off)), wasm.I(wasm.OpI32Add))
+		}
+		return nil
+	}
+	g.emit(wasm.Mem(op, align, off))
+	return nil
+}
+
+func (g *codegen) genUnary(x *Unary) error {
+	switch x.Op {
+	case "-":
+		k := lowerType(x.CType())
+		switch k {
+		case lowF32:
+			if err := g.genExpr(x.X); err != nil {
+				return err
+			}
+			g.emit(wasm.I(wasm.OpF32Neg))
+		case lowF64:
+			if err := g.genExpr(x.X); err != nil {
+				return err
+			}
+			g.emit(wasm.I(wasm.OpF64Neg))
+		case lowI64:
+			g.emit(wasm.ConstI64(0))
+			if err := g.genExpr(x.X); err != nil {
+				return err
+			}
+			g.emit(wasm.I(wasm.OpI64Sub))
+		default:
+			g.emit(wasm.ConstI32(0))
+			if err := g.genExpr(x.X); err != nil {
+				return err
+			}
+			g.emit(wasm.I(wasm.OpI32Sub))
+		}
+		return nil
+
+	case "!":
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpI32Eqz))
+		return nil
+
+	case "~":
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		if lowerType(x.CType()) == lowI64 {
+			g.emit(wasm.ConstI64(-1), wasm.I(wasm.OpI64Xor))
+		} else {
+			g.emit(wasm.ConstI32(-1), wasm.I(wasm.OpI32Xor))
+		}
+		return nil
+
+	case "*":
+		off, err := g.genAddrDeref(x)
+		if err != nil {
+			return err
+		}
+		op, align, scalar := loadOp(x.CType())
+		if !scalar {
+			if off != 0 {
+				g.emit(wasm.ConstI32(int32(off)), wasm.I(wasm.OpI32Add))
+			}
+			return nil
+		}
+		g.emit(wasm.Mem(op, align, off))
+		return nil
+
+	case "&":
+		off, err := g.genAddr(x.X)
+		if err != nil {
+			return err
+		}
+		if off != 0 {
+			g.emit(wasm.ConstI32(int32(off)), wasm.I(wasm.OpI32Add))
+		}
+		return nil
+
+	case "++", "--":
+		return g.genIncDec(x.X, x.Op == "++", true, true)
+	}
+	return fmt.Errorf("cc: unknown unary operator %q", x.Op)
+}
+
+// genAddrDeref emits the address for *p.
+func (g *codegen) genAddrDeref(x *Unary) (int64, error) {
+	if err := g.genExpr(x.X); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+func (g *codegen) genCall(x *Call) error {
+	ft := x.Func.Type.Resolved()
+	// Variadic extras are evaluated for their side effects and dropped:
+	// the wasm import has a fixed signature (see DESIGN.md).
+	for _, a := range x.Args[len(ft.Params):] {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpDrop))
+	}
+	for _, a := range x.Args[:len(ft.Params)] {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+	}
+	g.emit(wasm.I1(wasm.OpCall, int64(g.funcIdx[x.Func])))
+	return nil
+}
+
+// signedOf reports whether the expression's integer type is signed.
+func signedOf(e Expr) bool {
+	_, s := e.CType().IntInfo()
+	return s
+}
+
+var i32BinOps = map[string][2]wasm.Opcode{ // [signed, unsigned]
+	"+":  {wasm.OpI32Add, wasm.OpI32Add},
+	"-":  {wasm.OpI32Sub, wasm.OpI32Sub},
+	"*":  {wasm.OpI32Mul, wasm.OpI32Mul},
+	"/":  {wasm.OpI32DivS, wasm.OpI32DivU},
+	"%":  {wasm.OpI32RemS, wasm.OpI32RemU},
+	"&":  {wasm.OpI32And, wasm.OpI32And},
+	"|":  {wasm.OpI32Or, wasm.OpI32Or},
+	"^":  {wasm.OpI32Xor, wasm.OpI32Xor},
+	"<<": {wasm.OpI32Shl, wasm.OpI32Shl},
+	">>": {wasm.OpI32ShrS, wasm.OpI32ShrU},
+	"==": {wasm.OpI32Eq, wasm.OpI32Eq},
+	"!=": {wasm.OpI32Ne, wasm.OpI32Ne},
+	"<":  {wasm.OpI32LtS, wasm.OpI32LtU},
+	">":  {wasm.OpI32GtS, wasm.OpI32GtU},
+	"<=": {wasm.OpI32LeS, wasm.OpI32LeU},
+	">=": {wasm.OpI32GeS, wasm.OpI32GeU},
+}
+
+var i64BinOps = map[string][2]wasm.Opcode{
+	"+":  {wasm.OpI64Add, wasm.OpI64Add},
+	"-":  {wasm.OpI64Sub, wasm.OpI64Sub},
+	"*":  {wasm.OpI64Mul, wasm.OpI64Mul},
+	"/":  {wasm.OpI64DivS, wasm.OpI64DivU},
+	"%":  {wasm.OpI64RemS, wasm.OpI64RemU},
+	"&":  {wasm.OpI64And, wasm.OpI64And},
+	"|":  {wasm.OpI64Or, wasm.OpI64Or},
+	"^":  {wasm.OpI64Xor, wasm.OpI64Xor},
+	"<<": {wasm.OpI64Shl, wasm.OpI64Shl},
+	">>": {wasm.OpI64ShrS, wasm.OpI64ShrU},
+	"==": {wasm.OpI64Eq, wasm.OpI64Eq},
+	"!=": {wasm.OpI64Ne, wasm.OpI64Ne},
+	"<":  {wasm.OpI64LtS, wasm.OpI64LtU},
+	">":  {wasm.OpI64GtS, wasm.OpI64GtU},
+	"<=": {wasm.OpI64LeS, wasm.OpI64LeU},
+	">=": {wasm.OpI64GeS, wasm.OpI64GeU},
+}
+
+var f32BinOps = map[string]wasm.Opcode{
+	"+": wasm.OpF32Add, "-": wasm.OpF32Sub, "*": wasm.OpF32Mul, "/": wasm.OpF32Div,
+	"==": wasm.OpF32Eq, "!=": wasm.OpF32Ne, "<": wasm.OpF32Lt, ">": wasm.OpF32Gt,
+	"<=": wasm.OpF32Le, ">=": wasm.OpF32Ge,
+}
+
+var f64BinOps = map[string]wasm.Opcode{
+	"+": wasm.OpF64Add, "-": wasm.OpF64Sub, "*": wasm.OpF64Mul, "/": wasm.OpF64Div,
+	"==": wasm.OpF64Eq, "!=": wasm.OpF64Ne, "<": wasm.OpF64Lt, ">": wasm.OpF64Gt,
+	"<=": wasm.OpF64Le, ">=": wasm.OpF64Ge,
+}
+
+func (g *codegen) genBinary(x *Binary) error {
+	switch x.Op {
+	case "&&":
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpIf, int64(wasm.I32)))
+		g.pushCtrl(labelIf)
+		if err := g.genExpr(x.Y); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpI32Eqz), wasm.I(wasm.OpI32Eqz))
+		g.emit(wasm.I(wasm.OpElse), wasm.ConstI32(0))
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd))
+		return nil
+
+	case "||":
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpIf, int64(wasm.I32)))
+		g.pushCtrl(labelIf)
+		g.emit(wasm.ConstI32(1))
+		g.emit(wasm.I(wasm.OpElse))
+		if err := g.genExpr(x.Y); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpI32Eqz), wasm.I(wasm.OpI32Eqz))
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd))
+		return nil
+	}
+
+	xt, yt := x.X.CType(), x.Y.CType()
+	// Pointer arithmetic: scale the integer operand by the element size.
+	if xt.IsPointer() && yt.IsInteger() && (x.Op == "+" || x.Op == "-") {
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		size := 1
+		if el := xt.PointerElem(); el != nil {
+			size = el.Size()
+		}
+		if err := g.genIndexOffset(x.Y, size); err != nil {
+			return err
+		}
+		if x.Op == "+" {
+			g.emit(wasm.I(wasm.OpI32Add))
+		} else {
+			g.emit(wasm.I(wasm.OpI32Sub))
+		}
+		return nil
+	}
+	if x.Op == "+" && xt.IsInteger() && yt.IsPointer() {
+		if err := g.genExpr(x.Y); err != nil {
+			return err
+		}
+		size := 1
+		if el := yt.PointerElem(); el != nil {
+			size = el.Size()
+		}
+		if err := g.genIndexOffset(x.X, size); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpI32Add))
+		return nil
+	}
+	if x.Op == "-" && xt.IsPointer() && yt.IsPointer() {
+		if err := g.genExpr(x.X); err != nil {
+			return err
+		}
+		if err := g.genExpr(x.Y); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpI32Sub))
+		size := 1
+		if el := xt.PointerElem(); el != nil {
+			size = el.Size()
+		}
+		if size != 1 {
+			g.emit(wasm.ConstI32(int32(size)), wasm.I(wasm.OpI32DivS))
+		}
+		return nil
+	}
+
+	if err := g.genExpr(x.X); err != nil {
+		return err
+	}
+	if err := g.genExpr(x.Y); err != nil {
+		return err
+	}
+	// Operand kind drives the opcode (comparisons have i32 results but
+	// operand-typed instructions).
+	k := lowerType(xt)
+	sIdx := 1
+	if signedOf(x.X) {
+		sIdx = 0
+	}
+	switch k {
+	case lowI32:
+		ops, ok := i32BinOps[x.Op]
+		if !ok {
+			return fmt.Errorf("cc: no i32 op for %q", x.Op)
+		}
+		g.emit(wasm.I(ops[sIdx]))
+	case lowI64:
+		ops, ok := i64BinOps[x.Op]
+		if !ok {
+			return fmt.Errorf("cc: no i64 op for %q", x.Op)
+		}
+		g.emit(wasm.I(ops[sIdx]))
+	case lowF32:
+		op, ok := f32BinOps[x.Op]
+		if !ok {
+			return fmt.Errorf("cc: no f32 op for %q", x.Op)
+		}
+		g.emit(wasm.I(op))
+	case lowF64:
+		op, ok := f64BinOps[x.Op]
+		if !ok {
+			return fmt.Errorf("cc: no f64 op for %q", x.Op)
+		}
+		g.emit(wasm.I(op))
+	}
+	return nil
+}
+
+// scratchPair allocates distinct scratch locals keyed by type and slot.
+func (g *codegen) scratchSlot(vt wasm.ValType, slot int) int {
+	key := wasm.ValType(int(vt)*8 + slot) // distinct synthetic key
+	if idx, ok := g.scratch[key]; ok {
+		return idx
+	}
+	idx := g.newLocal(vt)
+	g.scratch[key] = idx
+	return idx
+}
+
+// genAssign emits an assignment; if wantValue, the stored value remains on
+// the stack.
+func (g *codegen) genAssign(x *Assign, wantValue bool) error {
+	if id, ok := x.LHS.(*Ident); ok && !id.Sym.Global {
+		if err := g.genExpr(x.RHS); err != nil {
+			return err
+		}
+		if wantValue {
+			g.emit(wasm.I1(wasm.OpLocalTee, int64(id.Sym.LocalIdx)))
+		} else {
+			g.emit(wasm.I1(wasm.OpLocalSet, int64(id.Sym.LocalIdx)))
+		}
+		return nil
+	}
+	off, err := g.genAddr(x.LHS)
+	if err != nil {
+		return err
+	}
+	if err := g.genExpr(x.RHS); err != nil {
+		return err
+	}
+	vt := lowerType(x.LHS.CType()).val()
+	var valLocal int
+	if wantValue {
+		valLocal = g.scratchSlot(vt, 0)
+		g.emit(wasm.I1(wasm.OpLocalTee, int64(valLocal)))
+	}
+	op, align, scalar := storeOp(x.LHS.CType())
+	if !scalar {
+		return fmt.Errorf("cc: cannot assign aggregate %s", x.LHS.CType())
+	}
+	g.emit(wasm.Mem(op, align, off))
+	if wantValue {
+		g.emit(wasm.I1(wasm.OpLocalGet, int64(valLocal)))
+	}
+	return nil
+}
+
+// genIncDec lowers ++/-- on an lvalue. pre selects prefix semantics (value
+// is the new value); wantValue keeps a value on the stack.
+func (g *codegen) genIncDec(lv Expr, inc, wantValue, pre bool) error {
+	t := lv.CType()
+	amount := int64(1)
+	if el := t.PointerElem(); el != nil {
+		amount = int64(el.Size())
+	}
+	k := lowerType(t)
+
+	addAmount := func() {
+		switch k {
+		case lowI64:
+			g.emit(wasm.ConstI64(amount))
+			if inc {
+				g.emit(wasm.I(wasm.OpI64Add))
+			} else {
+				g.emit(wasm.I(wasm.OpI64Sub))
+			}
+		case lowF32:
+			g.emit(wasm.ConstF32(float32(amount)))
+			if inc {
+				g.emit(wasm.I(wasm.OpF32Add))
+			} else {
+				g.emit(wasm.I(wasm.OpF32Sub))
+			}
+		case lowF64:
+			g.emit(wasm.ConstF64(float64(amount)))
+			if inc {
+				g.emit(wasm.I(wasm.OpF64Add))
+			} else {
+				g.emit(wasm.I(wasm.OpF64Sub))
+			}
+		default:
+			g.emit(wasm.ConstI32(int32(amount)))
+			if inc {
+				g.emit(wasm.I(wasm.OpI32Add))
+			} else {
+				g.emit(wasm.I(wasm.OpI32Sub))
+			}
+		}
+	}
+
+	if id, ok := lv.(*Ident); ok && !id.Sym.Global {
+		idx := int64(id.Sym.LocalIdx)
+		if wantValue && !pre {
+			g.emit(wasm.I1(wasm.OpLocalGet, idx)) // old value
+		}
+		g.emit(wasm.I1(wasm.OpLocalGet, idx))
+		addAmount()
+		if wantValue && pre {
+			g.emit(wasm.I1(wasm.OpLocalTee, idx))
+		} else {
+			g.emit(wasm.I1(wasm.OpLocalSet, idx))
+		}
+		return nil
+	}
+
+	// Memory lvalue.
+	addrLocal := g.scratchSlot(wasm.I32, 1)
+	valLocal := g.scratchSlot(k.val(), 2)
+	off, err := g.genAddr(lv)
+	if err != nil {
+		return err
+	}
+	g.emit(wasm.I1(wasm.OpLocalSet, int64(addrLocal)))
+	op, align, scalar := loadOp(t)
+	if !scalar {
+		return fmt.Errorf("cc: cannot increment aggregate %s", t)
+	}
+	g.emit(wasm.I1(wasm.OpLocalGet, int64(addrLocal))) // addr for the store
+	g.emit(wasm.I1(wasm.OpLocalGet, int64(addrLocal)), wasm.Mem(op, align, off))
+	if wantValue && !pre {
+		g.emit(wasm.I1(wasm.OpLocalTee, int64(valLocal))) // old value
+	}
+	addAmount()
+	if wantValue && pre {
+		g.emit(wasm.I1(wasm.OpLocalTee, int64(valLocal))) // new value
+	}
+	sop, salign, _ := storeOp(t)
+	g.emit(wasm.Mem(sop, salign, off))
+	if wantValue {
+		g.emit(wasm.I1(wasm.OpLocalGet, int64(valLocal)))
+	}
+	return nil
+}
+
+// genConvert emits value conversion instructions from type `from` to `to`.
+func (g *codegen) genConvert(from, to *CType) error {
+	fk, tk := lowerType(from), lowerType(to)
+	fs := isSignedForConvert(from)
+	ts := isSignedForConvert(to)
+
+	switch {
+	case fk == tk:
+		// Same machine representation; handle semantic narrowing.
+	case fk == lowI32 && tk == lowI64:
+		if fs {
+			g.emit(wasm.I(wasm.OpI64ExtendI32S))
+		} else {
+			g.emit(wasm.I(wasm.OpI64ExtendI32U))
+		}
+	case fk == lowI64 && tk == lowI32:
+		g.emit(wasm.I(wasm.OpI32WrapI64))
+	case fk == lowI32 && tk == lowF32:
+		if fs {
+			g.emit(wasm.I(wasm.OpF32ConvertI32S))
+		} else {
+			g.emit(wasm.I(wasm.OpF32ConvertI32U))
+		}
+	case fk == lowI32 && tk == lowF64:
+		if fs {
+			g.emit(wasm.I(wasm.OpF64ConvertI32S))
+		} else {
+			g.emit(wasm.I(wasm.OpF64ConvertI32U))
+		}
+	case fk == lowI64 && tk == lowF32:
+		if fs {
+			g.emit(wasm.I(wasm.OpF32ConvertI64S))
+		} else {
+			g.emit(wasm.I(wasm.OpF32ConvertI64U))
+		}
+	case fk == lowI64 && tk == lowF64:
+		if fs {
+			g.emit(wasm.I(wasm.OpF64ConvertI64S))
+		} else {
+			g.emit(wasm.I(wasm.OpF64ConvertI64U))
+		}
+	case fk == lowF32 && tk == lowI32:
+		if ts {
+			g.emit(wasm.I(wasm.OpI32TruncF32S))
+		} else {
+			g.emit(wasm.I(wasm.OpI32TruncF32U))
+		}
+	case fk == lowF64 && tk == lowI32:
+		if ts {
+			g.emit(wasm.I(wasm.OpI32TruncF64S))
+		} else {
+			g.emit(wasm.I(wasm.OpI32TruncF64U))
+		}
+	case fk == lowF32 && tk == lowI64:
+		if ts {
+			g.emit(wasm.I(wasm.OpI64TruncF32S))
+		} else {
+			g.emit(wasm.I(wasm.OpI64TruncF32U))
+		}
+	case fk == lowF64 && tk == lowI64:
+		if ts {
+			g.emit(wasm.I(wasm.OpI64TruncF64S))
+		} else {
+			g.emit(wasm.I(wasm.OpI64TruncF64U))
+		}
+	case fk == lowF32 && tk == lowF64:
+		g.emit(wasm.I(wasm.OpF64PromoteF32))
+	case fk == lowF64 && tk == lowF32:
+		g.emit(wasm.I(wasm.OpF32DemoteF64))
+	}
+
+	// Semantic adjustments within the target representation.
+	switch rt := to.Resolved(); rt.Kind {
+	case KBool:
+		if tk == lowI32 && from.Resolved().Kind != KBool {
+			g.emit(wasm.ConstI32(0), wasm.I(wasm.OpI32Ne))
+		}
+	case KChar:
+		if needNarrow(from, to) {
+			g.emit(wasm.I(wasm.OpI32Extend8S))
+		}
+	case KInt:
+		if tk == lowI32 && needNarrow(from, to) {
+			switch {
+			case rt.Bits == 8 && rt.Signed:
+				g.emit(wasm.I(wasm.OpI32Extend8S))
+			case rt.Bits == 8:
+				g.emit(wasm.ConstI32(0xff), wasm.I(wasm.OpI32And))
+			case rt.Bits == 16 && rt.Signed:
+				g.emit(wasm.I(wasm.OpI32Extend16S))
+			case rt.Bits == 16:
+				g.emit(wasm.ConstI32(0xffff), wasm.I(wasm.OpI32And))
+			}
+		}
+	}
+	return nil
+}
+
+// needNarrow reports whether a value-level truncation is needed when
+// converting to a sub-32-bit integer.
+func needNarrow(from, to *CType) bool {
+	tb, _ := to.IntInfo()
+	if tb >= 32 {
+		return false
+	}
+	if !from.IsInteger() {
+		return true
+	}
+	fb, fsigned := from.IntInfo()
+	_, tsigned := to.IntInfo()
+	return fb > tb || (fb == tb && fsigned != tsigned)
+}
+
+// isSignedForConvert treats pointers and floats as unsigned/signed
+// appropriately for conversion opcode selection.
+func isSignedForConvert(t *CType) bool {
+	rt := t.Resolved()
+	switch rt.Kind {
+	case KInt:
+		return rt.Signed
+	case KChar, KEnum:
+		return true
+	case KBool, KPointer, KFunc:
+		return false
+	}
+	return true
+}

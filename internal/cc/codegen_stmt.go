@@ -1,0 +1,312 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/wasm"
+)
+
+func (g *codegen) genBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return g.genBlock(st)
+
+	case *Empty:
+		return nil
+
+	case *ExprStmt:
+		return g.genExprForEffect(st.E)
+
+	case *LocalDecl:
+		vt := lowerType(st.Sym.Type).val()
+		st.Sym.LocalIdx = g.newLocal(vt)
+		g.localOf[st.Sym] = st.Sym.LocalIdx
+		if st.Init != nil {
+			if err := g.genExpr(st.Init); err != nil {
+				return err
+			}
+			g.emit(wasm.I1(wasm.OpLocalSet, int64(st.Sym.LocalIdx)))
+		}
+		return nil
+
+	case *Return:
+		if st.E != nil {
+			if err := g.genExpr(st.E); err != nil {
+				return err
+			}
+		}
+		g.emit(wasm.I(wasm.OpReturn))
+		return nil
+
+	case *If:
+		if err := g.genExpr(st.C); err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpIf, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelIf)
+		if err := g.genStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			g.emit(wasm.I(wasm.OpElse))
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+		}
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd))
+		return nil
+
+	case *While:
+		if st.DoFirst {
+			return g.genDoWhile(st)
+		}
+		// block $exit { loop $top { !cond br $exit; block $cont { body };
+		// br $top } }
+		g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelBreak)
+		g.emit(wasm.I1(wasm.OpLoop, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelLoop)
+		if err := g.genExpr(st.C); err != nil {
+			return err
+		}
+		g.emit(wasm.I(wasm.OpI32Eqz))
+		exit, err := g.branchDistance(labelBreak)
+		if err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpBrIf, exit))
+		g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelContinue)
+		if err := g.genStmt(st.Body); err != nil {
+			return err
+		}
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd)) // $cont
+		top, err := g.branchDistance(labelLoop)
+		if err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpBr, top))
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd)) // loop
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd)) // block
+		return nil
+
+	case *For:
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelBreak)
+		g.emit(wasm.I1(wasm.OpLoop, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelLoop)
+		if st.Cond != nil {
+			if err := g.genExpr(st.Cond); err != nil {
+				return err
+			}
+			g.emit(wasm.I(wasm.OpI32Eqz))
+			exit, err := g.branchDistance(labelBreak)
+			if err != nil {
+				return err
+			}
+			g.emit(wasm.I1(wasm.OpBrIf, exit))
+		}
+		g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelContinue)
+		if err := g.genStmt(st.Body); err != nil {
+			return err
+		}
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd)) // $cont
+		if st.Post != nil {
+			if err := g.genExprForEffect(st.Post); err != nil {
+				return err
+			}
+		}
+		top, err := g.branchDistance(labelLoop)
+		if err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpBr, top))
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd)) // loop
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd)) // block
+		return nil
+
+	case *Switch:
+		return g.genSwitch(st)
+
+	case *Break:
+		d, err := g.branchDistance(labelBreak)
+		if err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpBr, d))
+		return nil
+
+	case *Continue:
+		d, err := g.branchDistance(labelContinue)
+		if err != nil {
+			return err
+		}
+		g.emit(wasm.I1(wasm.OpBr, d))
+		return nil
+	}
+	return fmt.Errorf("cc: unknown statement %T", s)
+}
+
+// genSwitch lowers a switch with the classic block ladder: one block per
+// case plus one for the default, dispatched by br_table for dense value
+// ranges or an eq/br_if chain otherwise. Fallthrough between case bodies
+// is the natural fallthrough between block ends; break branches to the
+// outermost block.
+func (g *codegen) genSwitch(sw *Switch) error {
+	n := len(sw.Cases)
+	// Open the exit block (break target) and the default block.
+	g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+	g.pushCtrl(labelBreak)
+	g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+	g.pushCtrl(labelBlock)
+	// One block per case, innermost = first case.
+	for i := n - 1; i >= 0; i-- {
+		_ = i
+		g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+		g.pushCtrl(labelBlock)
+	}
+
+	// Dispatch: tag value on the stack as i32.
+	if err := g.genExpr(sw.Tag); err != nil {
+		return err
+	}
+	if lowerType(sw.Tag.CType()) == lowI64 {
+		g.emit(wasm.I(wasm.OpI32WrapI64))
+	}
+
+	minV, maxV := int64(0), int64(0)
+	for i, c := range sw.Cases {
+		if i == 0 || c.Value < minV {
+			minV = c.Value
+		}
+		if i == 0 || c.Value > maxV {
+			maxV = c.Value
+		}
+	}
+	span := maxV - minV + 1
+	dense := n > 0 && span <= int64(2*n+8)
+	if dense {
+		// br_table over [minV, maxV], gaps going to the default.
+		if minV != 0 {
+			g.emit(wasm.ConstI32(int32(minV)), wasm.I(wasm.OpI32Sub))
+		}
+		table := make([]uint32, span)
+		for i := range table {
+			table[i] = uint32(n) // default
+		}
+		for i, c := range sw.Cases {
+			table[c.Value-minV] = uint32(i)
+		}
+		g.emit(wasm.Instr{Op: wasm.OpBrTable, Table: table, Imm: int64(n)})
+	} else {
+		// Sparse: compare-and-branch chain through a scratch local.
+		tagLocal := g.scratchSlot(wasm.I32, 3)
+		g.emit(wasm.I1(wasm.OpLocalSet, int64(tagLocal)))
+		for i, c := range sw.Cases {
+			g.emit(wasm.I1(wasm.OpLocalGet, int64(tagLocal)))
+			g.emit(wasm.ConstI32(int32(c.Value)), wasm.I(wasm.OpI32Eq))
+			g.emit(wasm.I1(wasm.OpBrIf, int64(i)))
+		}
+		g.emit(wasm.I1(wasm.OpBr, int64(n))) // default
+	}
+
+	// Close each case block and emit its body; bodies fall through.
+	for _, c := range sw.Cases {
+		g.popCtrl()
+		g.emit(wasm.I(wasm.OpEnd))
+		for _, s := range c.Body {
+			if err := g.genStmt(s); err != nil {
+				return err
+			}
+		}
+	}
+	// Default block end, then the default body.
+	g.popCtrl()
+	g.emit(wasm.I(wasm.OpEnd))
+	for _, s := range sw.Default {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	g.popCtrl()
+	g.emit(wasm.I(wasm.OpEnd)) // exit
+	return nil
+}
+
+func (g *codegen) genDoWhile(st *While) error {
+	// block $exit { loop $top { block $cont { body }; cond; br_if $top } }
+	g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+	g.pushCtrl(labelBreak)
+	g.emit(wasm.I1(wasm.OpLoop, wasm.BlockTypeEmpty))
+	g.pushCtrl(labelLoop)
+	g.emit(wasm.I1(wasm.OpBlock, wasm.BlockTypeEmpty))
+	g.pushCtrl(labelContinue)
+	if err := g.genStmt(st.Body); err != nil {
+		return err
+	}
+	g.popCtrl()
+	g.emit(wasm.I(wasm.OpEnd)) // $cont
+	if err := g.genExpr(st.C); err != nil {
+		return err
+	}
+	top, err := g.branchDistance(labelLoop)
+	if err != nil {
+		return err
+	}
+	g.emit(wasm.I1(wasm.OpBrIf, top))
+	g.popCtrl()
+	g.emit(wasm.I(wasm.OpEnd)) // loop
+	g.popCtrl()
+	g.emit(wasm.I(wasm.OpEnd)) // block
+	return nil
+}
+
+// genExprForEffect evaluates an expression and discards its value,
+// avoiding dead tee/drop pairs for plain assignments.
+func (g *codegen) genExprForEffect(e Expr) error {
+	switch x := e.(type) {
+	case *Assign:
+		return g.genAssign(x, false)
+	case *Postfix:
+		return g.genIncDec(x.X, x.Op == "++", false, false)
+	case *Unary:
+		if x.Op == "++" || x.Op == "--" {
+			return g.genIncDec(x.X, x.Op == "++", false, false)
+		}
+	case *Call:
+		if err := g.genExpr(e); err != nil {
+			return err
+		}
+		if !x.CType().IsVoid() {
+			g.emit(wasm.I(wasm.OpDrop))
+		}
+		return nil
+	}
+	if err := g.genExpr(e); err != nil {
+		return err
+	}
+	g.emit(wasm.I(wasm.OpDrop))
+	return nil
+}

@@ -1,0 +1,67 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/dwarf"
+	"repro/internal/wasm"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// FileName names the translation unit in diagnostics and DWARF.
+	FileName string
+	// Debug embeds DWARF sections (the -g flag). The dataset pipeline
+	// requires it; reverse-engineering scenarios strip it afterwards.
+	Debug bool
+	// Producer is the DW_AT_producer string.
+	Producer string
+}
+
+// Object is the result of compiling one translation unit: an in-memory
+// module, its serialized binary, and the code-section layout used to match
+// functions to DWARF.
+type Object struct {
+	Module *wasm.Module
+	Binary []byte
+	Layout *wasm.Layout
+	Unit   *Unit
+}
+
+// Compile compiles a C translation unit to a WebAssembly object file.
+func Compile(src string, opts Options) (*Object, error) {
+	if opts.FileName == "" {
+		opts.FileName = "input.c"
+	}
+	if opts.Producer == "" {
+		opts.Producer = "snowwhite-cc (repro)"
+	}
+	unit, err := parseUnit(opts.FileName, src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := generate(unit)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", opts.FileName, err)
+	}
+	bin, layout, err := wasm.Encode(mod)
+	if err != nil {
+		return nil, fmt.Errorf("%s: encode: %w", opts.FileName, err)
+	}
+	if opts.Debug {
+		secs, err := emitDWARF(unit, layout, opts.Producer)
+		if err != nil {
+			return nil, fmt.Errorf("%s: dwarf: %w", opts.FileName, err)
+		}
+		dwarf.Embed(mod, secs)
+		// Debug builds also carry the standard "name" section, as
+		// Emscripten emits with -g.
+		wasm.AttachNames(mod, opts.FileName)
+		// Custom sections follow the code section, so re-encoding does
+		// not move the recorded code offsets (verified in tests).
+		if bin, layout, err = wasm.Encode(mod); err != nil {
+			return nil, fmt.Errorf("%s: re-encode: %w", opts.FileName, err)
+		}
+	}
+	return &Object{Module: mod, Binary: bin, Layout: layout, Unit: unit}, nil
+}

@@ -1,0 +1,355 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CKind classifies semantic C types.
+type CKind int
+
+// C type kinds. The data model is ILP32 (wasm32): int and long are 32
+// bits, long long is 64, pointers are 4 bytes — matching Emscripten.
+const (
+	KVoid CKind = iota
+	KBool
+	KChar  // plain char, distinct from signed/unsigned char
+	KInt   // integer types with explicit Bits and Signed
+	KFloat // float (32), double (64), long double (128)
+	KComplex
+	KPointer
+	KArray
+	KStruct // also classes, with Record.IsClass
+	KUnion
+	KEnum
+	KFunc
+	KTypedef
+	KConst
+)
+
+// Field is a member of a struct, class, or union.
+type Field struct {
+	Name   string
+	Type   *CType
+	Offset int
+}
+
+// Record is the definition of a struct, class, or union.
+type Record struct {
+	Name       string
+	IsClass    bool
+	IsUnion    bool
+	Fields     []Field
+	Size       int
+	Align      int
+	Incomplete bool // forward declaration
+}
+
+// EnumDef is the definition of an enum.
+type EnumDef struct {
+	Name    string
+	Members []string
+	Values  []int64
+}
+
+// CType is a semantic C type.
+type CType struct {
+	Kind   CKind
+	Bits   int  // KInt, KFloat
+	Signed bool // KInt
+	Elem   *CType
+	Len    int // KArray
+	Record *Record
+	Enum   *EnumDef
+	// KTypedef:
+	Name       string
+	Underlying *CType
+	// KFunc:
+	Ret    *CType
+	Params []*CType
+	// paramNames holds declared parameter names parallel to Params (may
+	// contain empty strings for unnamed prototype parameters).
+	paramNames []string
+	variadic   bool
+}
+
+// Variadic reports whether the function type has a trailing ellipsis.
+func (t *CType) Variadic() bool { return t.variadic }
+
+// Singleton scalar types.
+var (
+	tVoid       = &CType{Kind: KVoid}
+	tBool       = &CType{Kind: KBool}
+	tChar       = &CType{Kind: KChar}
+	tSChar      = &CType{Kind: KInt, Bits: 8, Signed: true}
+	tUChar      = &CType{Kind: KInt, Bits: 8, Signed: false}
+	tShort      = &CType{Kind: KInt, Bits: 16, Signed: true}
+	tUShort     = &CType{Kind: KInt, Bits: 16, Signed: false}
+	tInt        = &CType{Kind: KInt, Bits: 32, Signed: true}
+	tUInt       = &CType{Kind: KInt, Bits: 32, Signed: false}
+	tLongLong   = &CType{Kind: KInt, Bits: 64, Signed: true}
+	tULongLong  = &CType{Kind: KInt, Bits: 64, Signed: false}
+	tFloat      = &CType{Kind: KFloat, Bits: 32}
+	tDouble     = &CType{Kind: KFloat, Bits: 64}
+	tLongDouble = &CType{Kind: KFloat, Bits: 128}
+	tComplex    = &CType{Kind: KComplex}
+)
+
+// Ptr returns a pointer to elem.
+func Ptr(elem *CType) *CType { return &CType{Kind: KPointer, Elem: elem} }
+
+// ConstOf returns a const-qualified t (idempotent).
+func ConstOf(t *CType) *CType {
+	if t.Kind == KConst {
+		return t
+	}
+	return &CType{Kind: KConst, Elem: t}
+}
+
+// Unqualified strips const qualifiers.
+func (t *CType) Unqualified() *CType {
+	for t.Kind == KConst {
+		t = t.Elem
+	}
+	return t
+}
+
+// Resolved strips typedefs and const qualifiers down to the structural type.
+func (t *CType) Resolved() *CType {
+	for {
+		switch t.Kind {
+		case KConst:
+			t = t.Elem
+		case KTypedef:
+			t = t.Underlying
+		default:
+			return t
+		}
+	}
+}
+
+// Size returns the type's size in bytes under the wasm32 (ILP32) model.
+func (t *CType) Size() int {
+	switch t.Kind {
+	case KVoid:
+		return 1 // GNU extension for pointer arithmetic on void*
+	case KBool, KChar:
+		return 1
+	case KInt:
+		return t.Bits / 8
+	case KFloat:
+		return t.Bits / 8
+	case KComplex:
+		return 16
+	case KPointer, KFunc:
+		return 4
+	case KEnum:
+		return 4
+	case KArray:
+		return t.Len * t.Elem.Size()
+	case KStruct, KUnion:
+		return t.Record.Size
+	case KTypedef:
+		return t.Underlying.Size()
+	case KConst:
+		return t.Elem.Size()
+	}
+	return 4
+}
+
+// Align returns the type's alignment in bytes.
+func (t *CType) Align() int {
+	switch t.Kind {
+	case KArray:
+		return t.Elem.Align()
+	case KStruct, KUnion:
+		if t.Record.Align == 0 {
+			return 1
+		}
+		return t.Record.Align
+	case KTypedef:
+		return t.Underlying.Align()
+	case KConst:
+		return t.Elem.Align()
+	case KFloat:
+		if t.Bits == 128 {
+			return 8
+		}
+		return t.Bits / 8
+	case KComplex:
+		return 8
+	}
+	if s := t.Size(); s > 0 && s <= 8 {
+		return s
+	}
+	return 4
+}
+
+// Layout computes field offsets, size, and alignment of a record.
+func (r *Record) Layout() {
+	if r.IsUnion {
+		size, align := 0, 1
+		for i := range r.Fields {
+			r.Fields[i].Offset = 0
+			if s := r.Fields[i].Type.Size(); s > size {
+				size = s
+			}
+			if a := r.Fields[i].Type.Align(); a > align {
+				align = a
+			}
+		}
+		r.Size, r.Align = roundUp(size, align), align
+		return
+	}
+	off, align := 0, 1
+	for i := range r.Fields {
+		a := r.Fields[i].Type.Align()
+		if a > align {
+			align = a
+		}
+		off = roundUp(off, a)
+		r.Fields[i].Offset = off
+		off += r.Fields[i].Type.Size()
+	}
+	if off == 0 {
+		off = 1 // empty structs occupy one byte, as in C++
+	}
+	r.Size, r.Align = roundUp(off, align), align
+}
+
+func roundUp(n, align int) int {
+	if align <= 1 {
+		return n
+	}
+	return (n + align - 1) / align * align
+}
+
+// Field returns the named field and true if present.
+func (r *Record) Field(name string) (Field, bool) {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// IsInteger reports whether the resolved type is integral (including bool,
+// char, and enums).
+func (t *CType) IsInteger() bool {
+	switch t.Resolved().Kind {
+	case KBool, KChar, KInt, KEnum:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the resolved type is floating-point.
+func (t *CType) IsFloat() bool {
+	k := t.Resolved().Kind
+	return k == KFloat || k == KComplex
+}
+
+// IsArith reports whether the resolved type is arithmetic.
+func (t *CType) IsArith() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsPointer reports whether the resolved type is a pointer (or array,
+// which decays).
+func (t *CType) IsPointer() bool {
+	k := t.Resolved().Kind
+	return k == KPointer || k == KArray || k == KFunc
+}
+
+// PointerElem returns the pointee type of a pointer or the element type of
+// an array, or nil.
+func (t *CType) PointerElem() *CType {
+	rt := t.Resolved()
+	if rt.Kind == KPointer || rt.Kind == KArray {
+		return rt.Elem
+	}
+	return nil
+}
+
+// IsVoid reports whether the resolved type is void.
+func (t *CType) IsVoid() bool { return t.Resolved().Kind == KVoid }
+
+// IntInfo returns (bits, signed) of an integral type after integer
+// promotion semantics: bool/char/enum behave as their machine widths.
+func (t *CType) IntInfo() (int, bool) {
+	switch rt := t.Resolved(); rt.Kind {
+	case KBool:
+		return 8, false
+	case KChar:
+		return 8, true
+	case KEnum:
+		return 32, true
+	case KInt:
+		return rt.Bits, rt.Signed
+	}
+	return 32, true
+}
+
+// String renders the type in C-ish syntax for diagnostics.
+func (t *CType) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KBool:
+		return "bool"
+	case KChar:
+		return "char"
+	case KInt:
+		sign := ""
+		if !t.Signed {
+			sign = "unsigned "
+		}
+		switch t.Bits {
+		case 8:
+			return sign + "char" // signed/unsigned char
+		case 16:
+			return sign + "short"
+		case 32:
+			return sign + "int"
+		case 64:
+			return sign + "long long"
+		}
+		return fmt.Sprintf("%sint%d", sign, t.Bits)
+	case KFloat:
+		switch t.Bits {
+		case 32:
+			return "float"
+		case 64:
+			return "double"
+		case 128:
+			return "long double"
+		}
+		return fmt.Sprintf("float%d", t.Bits)
+	case KComplex:
+		return "double _Complex"
+	case KPointer:
+		return t.Elem.String() + "*"
+	case KArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case KStruct:
+		kw := "struct"
+		if t.Record.IsClass {
+			kw = "class"
+		}
+		return kw + " " + t.Record.Name
+	case KUnion:
+		return "union " + t.Record.Name
+	case KEnum:
+		return "enum " + t.Enum.Name
+	case KFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(*)(%s)", t.Ret, strings.Join(ps, ", "))
+	case KTypedef:
+		return t.Name
+	case KConst:
+		return "const " + t.Elem.String()
+	}
+	return "?"
+}

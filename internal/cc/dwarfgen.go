@@ -1,0 +1,277 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/dwarf"
+	"repro/internal/wasm"
+)
+
+// dwarfGen mirrors the unit's semantic types into DWARF DIEs, the way
+// clang/Emscripten do when compiling with -g.
+type dwarfGen struct {
+	cu      *dwarf.DIE
+	scalars map[string]*dwarf.DIE
+	records map[*Record]*dwarf.DIE
+	enums   map[*EnumDef]*dwarf.DIE
+	derived map[string]*dwarf.DIE // pointer/const/array/typedef cache
+}
+
+// emitDWARF builds the DWARF sections for a compiled unit. layout provides
+// the code offset of each defined function (index-aligned with
+// unit.Funcs), which becomes DW_AT_low_pc — the key the extraction
+// pipeline uses to match DWARF subprograms to WebAssembly functions.
+func emitDWARF(unit *Unit, layout *wasm.Layout, producer string) (dwarf.Sections, error) {
+	if len(layout.CodeOffsets) != len(unit.Funcs) {
+		return dwarf.Sections{}, fmt.Errorf("cc: layout has %d code offsets for %d functions", len(layout.CodeOffsets), len(unit.Funcs))
+	}
+	lang := dwarf.LangC99
+	if usesClasses(unit) {
+		lang = dwarf.LangCPlusPlus
+	}
+	g := &dwarfGen{
+		cu:      dwarf.NewCompileUnit(unit.File, producer, lang),
+		scalars: make(map[string]*dwarf.DIE),
+		records: make(map[*Record]*dwarf.DIE),
+		enums:   make(map[*EnumDef]*dwarf.DIE),
+		derived: make(map[string]*dwarf.DIE),
+	}
+	for i, fn := range unit.Funcs {
+		sub := dwarf.NewSubprogram(fn.Name, uint64(layout.CodeOffsets[i]), 0, g.typeDIE(fn.Ret))
+		sub.AddAttr(dwarf.AttrPrototyped, true)
+		for _, p := range fn.Params {
+			sub.AddChild(dwarf.NewFormalParameter(p.Name, g.typeDIE(p.Type)))
+		}
+		g.cu.AddChild(sub)
+	}
+	// Global variables also get DIEs, for realism and for future
+	// experiments on variable-type recovery.
+	for _, sym := range unit.Globals {
+		v := &dwarf.DIE{Tag: dwarf.TagVariable}
+		v.AddAttr(dwarf.AttrName, sym.Name)
+		if t := g.typeDIE(sym.Type); t != nil {
+			v.AddAttr(dwarf.AttrType, t)
+		}
+		v.AddAttr(dwarf.AttrExternal, true)
+		g.cu.AddChild(v)
+	}
+	return dwarf.Write(g.cu)
+}
+
+func usesClasses(unit *Unit) bool {
+	for _, r := range unit.Records {
+		if r.IsClass {
+			return true
+		}
+	}
+	return false
+}
+
+// typeDIE returns (creating if needed) the DIE for a semantic type. A nil
+// result represents void (absent DW_AT_type).
+func (g *dwarfGen) typeDIE(t *CType) *dwarf.DIE {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case KVoid:
+		return nil
+
+	case KBool:
+		return g.scalar("bool", dwarf.EncBoolean, 1)
+
+	case KChar:
+		return g.scalar("char", dwarf.EncSignedChar, 1)
+
+	case KInt:
+		name, enc := intName(t.Bits, t.Signed)
+		return g.scalar(name, enc, uint64(t.Bits/8))
+
+	case KFloat:
+		switch t.Bits {
+		case 32:
+			return g.scalar("float", dwarf.EncFloat, 4)
+		case 64:
+			return g.scalar("double", dwarf.EncFloat, 8)
+		default:
+			return g.scalar("long double", dwarf.EncFloat, 16)
+		}
+
+	case KComplex:
+		return g.scalar("complex", dwarf.EncComplexFloat, 16)
+
+	case KPointer:
+		return g.derive("*"+typeKey(t.Elem), func() *dwarf.DIE {
+			return dwarf.NewModifier(dwarf.TagPointerType, g.typeDIE(t.Elem))
+		})
+
+	case KConst:
+		return g.derive("const "+typeKey(t.Elem), func() *dwarf.DIE {
+			return dwarf.NewModifier(dwarf.TagConstType, g.typeDIE(t.Elem))
+		})
+
+	case KArray:
+		return g.derive(fmt.Sprintf("[%d]%s", t.Len, typeKey(t.Elem)), func() *dwarf.DIE {
+			arr := dwarf.NewModifier(dwarf.TagArrayType, g.typeDIE(t.Elem))
+			sub := &dwarf.DIE{Tag: dwarf.TagSubrangeType}
+			if t.Len > 0 {
+				sub.AddAttr(dwarf.AttrCount, uint64(t.Len))
+			}
+			arr.AddChild(sub)
+			return arr
+		})
+
+	case KTypedef:
+		return g.derive("typedef "+t.Name, func() *dwarf.DIE {
+			return dwarf.NewTypedef(t.Name, g.typeDIE(t.Underlying))
+		})
+
+	case KStruct, KUnion:
+		return g.recordDIE(t.Record)
+
+	case KEnum:
+		return g.enumDIE(t.Enum)
+
+	case KFunc:
+		key := "func " + typeKey(t)
+		return g.derive(key, func() *dwarf.DIE {
+			d := &dwarf.DIE{Tag: dwarf.TagSubroutineType}
+			d.AddAttr(dwarf.AttrPrototyped, true)
+			if rt := g.typeDIE(t.Ret); rt != nil {
+				d.AddAttr(dwarf.AttrType, rt)
+			}
+			for _, pt := range t.Params {
+				d.AddChild(dwarf.NewFormalParameter("", g.typeDIE(pt)))
+			}
+			return d
+		})
+	}
+	return nil
+}
+
+// typeKey canonicalizes a type for the derived-DIE cache, using record
+// identity for (possibly anonymous) aggregates.
+func typeKey(t *CType) string {
+	if t == nil {
+		return "void"
+	}
+	switch t.Kind {
+	case KStruct, KUnion:
+		return fmt.Sprintf("rec%p", t.Record)
+	case KEnum:
+		return fmt.Sprintf("enum%p", t.Enum)
+	case KPointer:
+		return "*" + typeKey(t.Elem)
+	case KConst:
+		return "const " + typeKey(t.Elem)
+	case KArray:
+		return fmt.Sprintf("[%d]%s", t.Len, typeKey(t.Elem))
+	case KTypedef:
+		return "typedef " + t.Name
+	case KFunc:
+		key := "fn(" + typeKey(t.Ret)
+		for _, p := range t.Params {
+			key += "," + typeKey(p)
+		}
+		return key + ")"
+	}
+	return t.String()
+}
+
+func intName(bits int, signed bool) (string, dwarf.Encoding) {
+	switch {
+	case bits == 8 && signed:
+		return "signed char", dwarf.EncSignedChar
+	case bits == 8:
+		return "unsigned char", dwarf.EncUnsignedChar
+	case bits == 16 && signed:
+		return "short", dwarf.EncSigned
+	case bits == 16:
+		return "unsigned short", dwarf.EncUnsigned
+	case bits == 64 && signed:
+		return "long long", dwarf.EncSigned
+	case bits == 64:
+		return "unsigned long long", dwarf.EncUnsigned
+	case signed:
+		return "int", dwarf.EncSigned
+	default:
+		return "unsigned int", dwarf.EncUnsigned
+	}
+}
+
+func (g *dwarfGen) scalar(name string, enc dwarf.Encoding, size uint64) *dwarf.DIE {
+	if d, ok := g.scalars[name]; ok {
+		return d
+	}
+	d := dwarf.NewBaseType(name, enc, size)
+	g.scalars[name] = d
+	g.cu.AddChild(d)
+	return d
+}
+
+func (g *dwarfGen) derive(key string, build func() *dwarf.DIE) *dwarf.DIE {
+	if d, ok := g.derived[key]; ok {
+		return d
+	}
+	// Reserve the slot first so recursive types terminate.
+	placeholder := &dwarf.DIE{}
+	g.derived[key] = placeholder
+	d := build()
+	*placeholder = *d
+	g.cu.AddChild(placeholder)
+	return placeholder
+}
+
+func (g *dwarfGen) recordDIE(r *Record) *dwarf.DIE {
+	if d, ok := g.records[r]; ok {
+		return d
+	}
+	tag := dwarf.TagStructType
+	if r.IsClass {
+		tag = dwarf.TagClassType
+	}
+	if r.IsUnion {
+		tag = dwarf.TagUnionType
+	}
+	d := &dwarf.DIE{Tag: tag}
+	g.records[r] = d // before fields, to terminate recursive types
+	if r.Name != "" {
+		d.AddAttr(dwarf.AttrName, r.Name)
+	}
+	if r.Incomplete {
+		d.AddAttr(dwarf.AttrDeclaration, true)
+	} else {
+		d.AddAttr(dwarf.AttrByteSize, uint64(r.Size))
+		for _, f := range r.Fields {
+			m := &dwarf.DIE{Tag: dwarf.TagMember}
+			m.AddAttr(dwarf.AttrName, f.Name)
+			if ft := g.typeDIE(f.Type); ft != nil {
+				m.AddAttr(dwarf.AttrType, ft)
+			}
+			m.AddAttr(dwarf.AttrDataMemberLoc, uint64(f.Offset))
+			d.AddChild(m)
+		}
+	}
+	g.cu.AddChild(d)
+	return d
+}
+
+func (g *dwarfGen) enumDIE(e *EnumDef) *dwarf.DIE {
+	if d, ok := g.enums[e]; ok {
+		return d
+	}
+	d := &dwarf.DIE{Tag: dwarf.TagEnumerationType}
+	g.enums[e] = d
+	if e.Name != "" {
+		d.AddAttr(dwarf.AttrName, e.Name)
+	}
+	d.AddAttr(dwarf.AttrByteSize, uint64(4))
+	for i, m := range e.Members {
+		en := &dwarf.DIE{Tag: dwarf.TagEnumerator}
+		en.AddAttr(dwarf.AttrName, m)
+		en.AddAttr(dwarf.AttrConstValue, e.Values[i])
+		d.AddChild(en)
+	}
+	g.cu.AddChild(d)
+	return d
+}

@@ -1,0 +1,54 @@
+package cc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompileNeverPanics mutates valid programs at the token level and
+// feeds them to the compiler: every input must produce an object or an
+// error, never a panic.
+func TestCompileNeverPanics(t *testing.T) {
+	seeds := []string{
+		figure1Source,
+		`struct s { int a; }; int f(struct s *p) { return p->a; }`,
+		`typedef unsigned long size_t; size_t g(size_t n) { return n + 1; }`,
+		`int h(int x) { switch (x) { case 1: return 2; default: return 0; } }`,
+		`double m(double *xs, int n) { double a = 0; int i; for (i = 0; i < n; i++) { a += xs[i]; } return a; }`,
+	}
+	frags := []string{
+		"int", "double", "struct", "{", "}", "(", ")", ";", "*", "return",
+		"if", "while", "x", "42", "+", "=", ",", "[", "]", "->", "case",
+		"switch", "\"str\"", "'c'", "&&", "enum", "typedef", "const", "...",
+	}
+	r := rand.New(rand.NewSource(1234))
+	for i := 0; i < 1500; i++ {
+		src := seeds[r.Intn(len(seeds))]
+		// Apply a few random edits: insert, delete, or duplicate tokens.
+		words := strings.Fields(src)
+		for j := 0; j < 1+r.Intn(5); j++ {
+			if len(words) == 0 {
+				break
+			}
+			pos := r.Intn(len(words))
+			switch r.Intn(3) {
+			case 0:
+				words = append(words[:pos], append([]string{frags[r.Intn(len(frags))]}, words[pos:]...)...)
+			case 1:
+				words = append(words[:pos], words[pos+1:]...)
+			default:
+				words[pos] = frags[r.Intn(len(frags))]
+			}
+		}
+		mutated := strings.Join(words, " ")
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Compile panicked: %v\nsource: %s", p, mutated)
+				}
+			}()
+			_, _ = Compile(mutated, Options{FileName: "fuzz.c", Debug: true})
+		}()
+	}
+}

@@ -1,0 +1,317 @@
+// Package cc implements a small C compiler targeting WebAssembly with
+// DWARF debug information. It stands in for the Emscripten/LLVM toolchain
+// the paper uses to build its training corpus: the supported subset is
+// large enough to express the function shapes and type usage patterns that
+// drive type recovery, and the emitted binaries carry real .debug_info /
+// .debug_abbrev / .debug_str custom sections with DW_AT_low_pc values that
+// point into the code section, so the extraction pipeline can match
+// functions to their source types exactly as with real-world binaries.
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokIntLit
+	tokFloatLit
+	tokCharLit
+	tokStringLit
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	// For literals.
+	intVal   int64
+	floatVal float64
+	strVal   string
+	line     int
+}
+
+var keywords = map[string]bool{
+	"void": true, "bool": true, "_Bool": true, "char": true, "short": true,
+	"int": true, "long": true, "unsigned": true, "signed": true,
+	"float": true, "double": true, "_Complex": true,
+	"struct": true, "class": true, "union": true, "enum": true,
+	"typedef": true, "const": true, "volatile": true, "restrict": true,
+	"extern": true, "static": true, "inline": true,
+	"return": true, "if": true, "else": true, "while": true, "for": true,
+	"do": true, "break": true, "continue": true, "sizeof": true,
+	"switch": true, "case": true, "default": true,
+	"NULL": false, // not a keyword; handled as identifier
+}
+
+// lexer tokenizes a source file.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	file string
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, line: 1, file: file}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", l.file, l.line, fmt.Sprintf(format, args...))
+}
+
+// lexAll tokenizes the entire input.
+func (l *lexer) lexAll() ([]token, error) {
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(s string) bool {
+	return strings.HasPrefix(l.src[l.pos:], s)
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case l.at("//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case l.at("/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.errorf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case c == '#':
+			// Preprocessor lines (e.g. #include) are ignored: the corpus
+			// generator emits self-contained translation units.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-character punctuators, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-", "*", "/", "%",
+	"<", ">", "=", "!", "&", "|", "^", "~", "?", ":",
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, line: l.line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: l.line}, nil
+
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+
+	case c == '\'':
+		return l.lexCharLit()
+
+	case c == '"':
+		return l.lexStringLit()
+	}
+
+	for _, p := range puncts {
+		if l.at(p) {
+			l.pos += len(p)
+			return token{kind: tokPunct, text: p, line: l.line}, nil
+		}
+	}
+	return token{}, l.errorf("unexpected character %q", string(rune(c)))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	isFloat := false
+	if l.at("0x") || l.at("0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	} else {
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			if l.src[l.pos] == '.' {
+				if isFloat {
+					break
+				}
+				isFloat = true
+			}
+			l.pos++
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			isFloat = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	text := l.src[start:l.pos]
+	// Consume suffixes (u, l, ll, f) without changing the value model.
+	suffix := ""
+	for l.pos < len(l.src) && strings.ContainsRune("uUlLfF", rune(l.src[l.pos])) {
+		suffix += string(l.src[l.pos])
+		l.pos++
+	}
+	if isFloat || strings.ContainsAny(suffix, "fF") {
+		var v float64
+		if _, err := fmt.Sscanf(text, "%g", &v); err != nil {
+			return token{}, l.errorf("bad float literal %q", text)
+		}
+		return token{kind: tokFloatLit, text: text, floatVal: v, line: l.line}, nil
+	}
+	var v int64
+	var err error
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		_, err = fmt.Sscanf(text, "%v", &v)
+	} else {
+		_, err = fmt.Sscanf(text, "%d", &v)
+	}
+	if err != nil {
+		return token{}, l.errorf("bad integer literal %q", text)
+	}
+	return token{kind: tokIntLit, text: text, intVal: v, line: l.line}, nil
+}
+
+func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool { return isDigit(c) || (c|0x20 >= 'a' && c|0x20 <= 'f') }
+
+func (l *lexer) lexCharLit() (token, error) {
+	l.pos++ // opening quote
+	if l.pos >= len(l.src) {
+		return token{}, l.errorf("unterminated character literal")
+	}
+	var v int64
+	if l.src[l.pos] == '\\' {
+		l.pos++
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated escape")
+		}
+		r, err := unescape(l.src[l.pos])
+		if err != nil {
+			return token{}, l.errorf("%v", err)
+		}
+		v = int64(r)
+		l.pos++
+	} else {
+		v = int64(l.src[l.pos])
+		l.pos++
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		return token{}, l.errorf("unterminated character literal")
+	}
+	l.pos++
+	return token{kind: tokCharLit, intVal: v, line: l.line}, nil
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, fmt.Errorf("unknown escape \\%c", c)
+}
+
+func (l *lexer) lexStringLit() (token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokStringLit, strVal: sb.String(), line: l.line}, nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated escape")
+			}
+			r, err := unescape(l.src[l.pos])
+			if err != nil {
+				return token{}, l.errorf("%v", err)
+			}
+			sb.WriteByte(r)
+			l.pos++
+		case '\n':
+			return token{}, l.errorf("newline in string literal")
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errorf("unterminated string literal")
+}

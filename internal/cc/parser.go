@@ -1,0 +1,593 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parser parses one translation unit and type-checks it on the fly,
+// producing a fully typed AST. Typedef names feed back into the grammar
+// (the classic lexer hack), so parsing and symbol resolution are fused.
+type parser struct {
+	file string
+	toks []token
+	pos  int
+
+	unit     *Unit
+	scopes   []map[string]*Symbol
+	typedefs map[string]*CType
+	tags     map[string]*CType // struct/class/union/enum by tag name
+
+	curFunc *FuncDecl
+}
+
+func parseUnit(file, src string) (*Unit, error) {
+	toks, err := newLexer(file, src).lexAll()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		file:     file,
+		toks:     toks,
+		unit:     &Unit{File: file, Typedefs: map[string]*CType{}},
+		typedefs: map[string]*CType{},
+		tags:     map[string]*CType{},
+	}
+	p.pushScope()
+	if err := p.parseTopLevel(); err != nil {
+		return nil, err
+	}
+	p.unit.Typedefs = p.typedefs
+	return p.unit, nil
+}
+
+// --- token helpers ---
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+func (p *parser) eat(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *parser) expect(text string) error {
+	if !p.eat(text) {
+		return p.errorf("expected %q, got %q", text, p.cur().text)
+	}
+	return nil
+}
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// --- scopes ---
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, map[string]*Symbol{}) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *parser) declare(s *Symbol) error {
+	top := p.scopes[len(p.scopes)-1]
+	if old, ok := top[s.Name]; ok {
+		// Redeclaring a function prototype is fine.
+		if old.Kind == SymFunc && s.Kind == SymFunc {
+			return nil
+		}
+		return p.errorf("redeclaration of %q", s.Name)
+	}
+	top[s.Name] = s
+	return nil
+}
+
+func (p *parser) lookup(name string) *Symbol {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// --- declarations ---
+
+// startsType reports whether the current token can begin a declaration.
+func (p *parser) startsType() bool {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "void", "bool", "_Bool", "char", "short", "int", "long",
+			"unsigned", "signed", "float", "double", "_Complex",
+			"struct", "class", "union", "enum", "const", "volatile",
+			"restrict", "typedef", "extern", "static", "inline":
+			return true
+		}
+		return false
+	}
+	if t.kind == tokIdent {
+		_, ok := p.typedefs[t.text]
+		return ok
+	}
+	return false
+}
+
+func (p *parser) parseTopLevel() error {
+	for p.cur().kind != tokEOF {
+		if err := p.parseExternalDecl(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type declSpecs struct {
+	typ       *CType
+	isTypedef bool
+	isExtern  bool
+}
+
+func (p *parser) parseExternalDecl() error {
+	specs, err := p.parseDeclSpecs()
+	if err != nil {
+		return err
+	}
+	// Pure type declaration: struct S {...}; enum E {...};
+	if p.eat(";") {
+		return nil
+	}
+	first := true
+	for {
+		name, typ, err := p.parseDeclarator(specs.typ)
+		if err != nil {
+			return err
+		}
+		if specs.isTypedef {
+			if name == "" {
+				return p.errorf("typedef requires a name")
+			}
+			p.typedefs[name] = &CType{Kind: KTypedef, Name: name, Underlying: typ}
+		} else if typ.Resolved().Kind == KFunc && first && p.at("{") {
+			return p.parseFuncBody(name, typ, specs)
+		} else if typ.Resolved().Kind == KFunc {
+			if err := p.declareFunc(name, typ, false); err != nil {
+				return err
+			}
+		} else {
+			if name == "" {
+				return p.errorf("declaration requires a name")
+			}
+			sym := &Symbol{Name: name, Kind: SymVar, Type: typ, Global: true, Defined: !specs.isExtern}
+			if err := p.declare(sym); err != nil {
+				return err
+			}
+			var init Expr
+			if p.eat("=") {
+				if init, err = p.parseAssignExpr(); err != nil {
+					return err
+				}
+				init, err = p.convertTo(init, typ)
+				if err != nil {
+					return err
+				}
+			}
+			p.unit.Globals = append(p.unit.Globals, sym)
+			p.unit.GlobalInits = append(p.unit.GlobalInits, init)
+		}
+		first = false
+		if p.eat(",") {
+			continue
+		}
+		return p.expect(";")
+	}
+}
+
+func (p *parser) declareFunc(name string, typ *CType, defined bool) error {
+	if old := p.lookup(name); old != nil && old.Kind == SymFunc {
+		if defined {
+			old.Defined = true
+		}
+		return nil
+	}
+	sym := &Symbol{Name: name, Kind: SymFunc, Type: typ, Global: true, Defined: defined}
+	return p.declare(sym)
+}
+
+func (p *parser) parseFuncBody(name string, typ *CType, specs declSpecs) error {
+	if err := p.declareFunc(name, typ, true); err != nil {
+		return err
+	}
+	sym := p.lookup(name)
+	fn := &FuncDecl{
+		Name:     name,
+		Ret:      typ.Ret,
+		Sym:      sym,
+		IsExtern: specs.isExtern,
+	}
+	for i, pt := range typ.Params {
+		pname := typ.paramNames[i]
+		fn.Params = append(fn.Params, Param{Name: pname, Type: pt})
+	}
+	p.curFunc = fn
+	p.pushScope()
+	for i := range fn.Params {
+		if fn.Params[i].Name == "" {
+			fn.Params[i].Name = fmt.Sprintf("arg%d", i)
+		}
+		psym := &Symbol{Name: fn.Params[i].Name, Kind: SymVar, Type: fn.Params[i].Type, LocalIdx: i}
+		if err := p.declare(psym); err != nil {
+			return err
+		}
+	}
+	body, err := p.parseBlockNoScope()
+	if err != nil {
+		return err
+	}
+	p.popScope()
+	fn.Body = body
+	p.curFunc = nil
+	p.unit.Funcs = append(p.unit.Funcs, fn)
+	return nil
+}
+
+// parseDeclSpecs parses storage classes, qualifiers, and the base type.
+func (p *parser) parseDeclSpecs() (declSpecs, error) {
+	var specs declSpecs
+	isConst := false
+	var baseWords []string
+	for {
+		t := p.cur()
+		if t.kind == tokKeyword {
+			switch t.text {
+			case "typedef":
+				specs.isTypedef = true
+				p.pos++
+				continue
+			case "extern":
+				specs.isExtern = true
+				p.pos++
+				continue
+			case "static", "inline":
+				p.pos++
+				continue
+			case "const":
+				isConst = true
+				p.pos++
+				continue
+			case "volatile", "restrict":
+				p.pos++ // accepted and dropped, like the DWARF conversion
+				continue
+			case "struct", "class", "union":
+				typ, err := p.parseRecordSpecifier(t.text)
+				if err != nil {
+					return specs, err
+				}
+				specs.typ = typ
+				if isConst {
+					specs.typ = ConstOf(specs.typ)
+				}
+				return specs, nil
+			case "enum":
+				typ, err := p.parseEnumSpecifier()
+				if err != nil {
+					return specs, err
+				}
+				specs.typ = typ
+				if isConst {
+					specs.typ = ConstOf(specs.typ)
+				}
+				return specs, nil
+			case "void", "bool", "_Bool", "char", "short", "int", "long",
+				"unsigned", "signed", "float", "double", "_Complex":
+				baseWords = append(baseWords, t.text)
+				p.pos++
+				continue
+			}
+		}
+		if t.kind == tokIdent && len(baseWords) == 0 {
+			if td, ok := p.typedefs[t.text]; ok {
+				p.pos++
+				specs.typ = td
+				// Trailing const: `mytype const x`.
+				for p.eat("const") {
+					isConst = true
+				}
+				if isConst {
+					specs.typ = ConstOf(specs.typ)
+				}
+				return specs, nil
+			}
+		}
+		break
+	}
+	if len(baseWords) == 0 {
+		return specs, p.errorf("expected type, got %q", p.cur().text)
+	}
+	typ, err := baseTypeFromWords(baseWords)
+	if err != nil {
+		return specs, p.errorf("%v", err)
+	}
+	// Trailing const: `int const x`.
+	for p.eat("const") {
+		isConst = true
+	}
+	specs.typ = typ
+	if isConst {
+		specs.typ = ConstOf(specs.typ)
+	}
+	return specs, nil
+}
+
+// baseTypeFromWords resolves a multi-keyword base type like
+// "unsigned long long" to a concrete type under ILP32.
+func baseTypeFromWords(words []string) (*CType, error) {
+	count := map[string]int{}
+	for _, w := range words {
+		count[w]++
+	}
+	switch {
+	case count["void"] > 0:
+		return tVoid, nil
+	case count["bool"] > 0 || count["_Bool"] > 0:
+		return tBool, nil
+	case count["_Complex"] > 0:
+		return tComplex, nil
+	case count["float"] > 0:
+		return tFloat, nil
+	case count["double"] > 0:
+		if count["long"] > 0 {
+			return tLongDouble, nil
+		}
+		return tDouble, nil
+	case count["char"] > 0:
+		switch {
+		case count["unsigned"] > 0:
+			return tUChar, nil
+		case count["signed"] > 0:
+			return tSChar, nil
+		default:
+			return tChar, nil
+		}
+	}
+	unsigned := count["unsigned"] > 0
+	pick := func(s, u *CType) *CType {
+		if unsigned {
+			return u
+		}
+		return s
+	}
+	switch {
+	case count["short"] > 0:
+		return pick(tShort, tUShort), nil
+	case count["long"] >= 2:
+		return pick(tLongLong, tULongLong), nil
+	case count["long"] == 1:
+		return pick(tInt, tUInt), nil // ILP32: long is 32 bits
+	case count["int"] > 0 || unsigned || count["signed"] > 0:
+		return pick(tInt, tUInt), nil
+	}
+	return nil, fmt.Errorf("cannot resolve base type %q", strings.Join(words, " "))
+}
+
+func (p *parser) parseRecordSpecifier(kw string) (*CType, error) {
+	p.pos++ // struct/class/union
+	tag := ""
+	if p.cur().kind == tokIdent {
+		tag = p.cur().text
+		p.pos++
+	}
+	key := kw + " " + tag
+	var typ *CType
+	if tag != "" {
+		if existing, ok := p.tags[key]; ok {
+			typ = existing
+		}
+	}
+	if typ == nil {
+		rec := &Record{Name: tag, IsClass: kw == "class", IsUnion: kw == "union", Incomplete: true}
+		kind := KStruct
+		if kw == "union" {
+			kind = KUnion
+		}
+		typ = &CType{Kind: kind, Record: rec}
+		if tag != "" {
+			p.tags[key] = typ
+		}
+		p.unit.Records = append(p.unit.Records, rec)
+	}
+	if p.eat("{") {
+		if !typ.Record.Incomplete {
+			return nil, p.errorf("redefinition of %s %s", kw, tag)
+		}
+		typ.Record.Incomplete = false
+		for !p.eat("}") {
+			specs, err := p.parseDeclSpecs()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				name, ft, err := p.parseDeclarator(specs.typ)
+				if err != nil {
+					return nil, err
+				}
+				if name == "" {
+					return nil, p.errorf("field requires a name")
+				}
+				typ.Record.Fields = append(typ.Record.Fields, Field{Name: name, Type: ft})
+				if p.eat(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		typ.Record.Layout()
+	}
+	return typ, nil
+}
+
+func (p *parser) parseEnumSpecifier() (*CType, error) {
+	p.pos++ // enum
+	tag := ""
+	if p.cur().kind == tokIdent {
+		tag = p.cur().text
+		p.pos++
+	}
+	key := "enum " + tag
+	var typ *CType
+	if tag != "" {
+		if existing, ok := p.tags[key]; ok {
+			typ = existing
+		}
+	}
+	if typ == nil {
+		def := &EnumDef{Name: tag}
+		typ = &CType{Kind: KEnum, Enum: def}
+		if tag != "" {
+			p.tags[key] = typ
+		}
+		p.unit.Enums = append(p.unit.Enums, def)
+	}
+	if p.eat("{") {
+		next := int64(0)
+		for !p.eat("}") {
+			if p.cur().kind != tokIdent {
+				return nil, p.errorf("expected enumerator name")
+			}
+			name := p.cur().text
+			p.pos++
+			if p.eat("=") {
+				if p.cur().kind != tokIntLit {
+					// Keep it simple: constant expressions are literals.
+					return nil, p.errorf("enumerator value must be an integer literal")
+				}
+				next = p.cur().intVal
+				p.pos++
+			}
+			typ.Enum.Members = append(typ.Enum.Members, name)
+			typ.Enum.Values = append(typ.Enum.Values, next)
+			sym := &Symbol{Name: name, Kind: SymEnumConst, Type: typ, EnumVal: next, Global: true}
+			if err := p.declare(sym); err != nil {
+				return nil, err
+			}
+			next++
+			if !p.eat(",") {
+				if err := p.expect("}"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	return typ, nil
+}
+
+// parseDeclarator parses pointers, the name, and array/function suffixes.
+// It also supports the function-pointer form `base (*name)(params)`.
+func (p *parser) parseDeclarator(base *CType) (string, *CType, error) {
+	typ := base
+	for p.eat("*") {
+		typ = Ptr(typ)
+		for {
+			if p.eat("const") {
+				typ = ConstOf(typ)
+			} else if p.eat("volatile") || p.eat("restrict") {
+				// dropped
+			} else {
+				break
+			}
+		}
+	}
+	// Function pointer: ( * name ) ( params )
+	if p.at("(") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "*" {
+		p.pos += 2 // ( *
+		name := ""
+		if p.cur().kind == tokIdent {
+			name = p.cur().text
+			p.pos++
+		}
+		if err := p.expect(")"); err != nil {
+			return "", nil, err
+		}
+		ft, err := p.parseParamList(typ)
+		if err != nil {
+			return "", nil, err
+		}
+		return name, Ptr(ft), nil
+	}
+	name := ""
+	if p.cur().kind == tokIdent {
+		name = p.cur().text
+		p.pos++
+	}
+	// Suffixes.
+	for {
+		switch {
+		case p.at("("):
+			ft, err := p.parseParamList(typ)
+			if err != nil {
+				return "", nil, err
+			}
+			return name, ft, nil
+		case p.eat("["):
+			n := 0
+			if p.cur().kind == tokIntLit {
+				n = int(p.cur().intVal)
+				p.pos++
+			}
+			if err := p.expect("]"); err != nil {
+				return "", nil, err
+			}
+			typ = &CType{Kind: KArray, Elem: typ, Len: n}
+		default:
+			return name, typ, nil
+		}
+	}
+}
+
+func (p *parser) parseParamList(ret *CType) (*CType, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ft := &CType{Kind: KFunc, Ret: ret}
+	if p.eat(")") {
+		return ft, nil
+	}
+	// (void) means no parameters.
+	if p.at("void") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == ")" {
+		p.pos += 2
+		return ft, nil
+	}
+	for {
+		if p.eat("...") {
+			ft.variadic = true
+			break
+		}
+		specs, err := p.parseDeclSpecs()
+		if err != nil {
+			return nil, err
+		}
+		name, typ, err := p.parseDeclarator(specs.typ)
+		if err != nil {
+			return nil, err
+		}
+		// Arrays decay to pointers in parameter position, as in the
+		// paper's motivating example `double Control[]`.
+		if rt := typ.Resolved(); rt.Kind == KArray {
+			typ = Ptr(rt.Elem)
+		}
+		ft.Params = append(ft.Params, typ)
+		ft.paramNames = append(ft.paramNames, name)
+		if !p.eat(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return ft, nil
+}

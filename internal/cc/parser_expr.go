@@ -1,0 +1,738 @@
+package cc
+
+import "fmt"
+
+// binPrec returns the precedence of a binary operator, or 0.
+func binPrec(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "|":
+		return 3
+	case "^":
+		return 4
+	case "&":
+		return 5
+	case "==", "!=":
+		return 6
+	case "<", ">", "<=", ">=":
+		return 7
+	case "<<", ">>":
+		return 8
+	case "+", "-":
+		return 9
+	case "*", "/", "%":
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.eat("=") {
+		if !isLvalue(lhs) {
+			return nil, p.errorf("assignment to non-lvalue")
+		}
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if rhs, err = p.convertTo(rhs, lhs.CType()); err != nil {
+			return nil, err
+		}
+		return &Assign{exprBase: exprBase{lhs.CType()}, Op: "=", LHS: lhs, RHS: rhs}, nil
+	}
+	for comp, op := range compoundOps {
+		if p.at(comp) {
+			p.pos++
+			if !isLvalue(lhs) {
+				return nil, p.errorf("assignment to non-lvalue")
+			}
+			rhs, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			// Desugar a op= b to a = a op b. The left side is re-evaluated;
+			// the supported subset has no side effects in lvalues.
+			bin, err := p.typeBinary(op, lhs, rhs)
+			if err != nil {
+				return nil, err
+			}
+			if bin, err = p.convertTo(bin, lhs.CType()); err != nil {
+				return nil, err
+			}
+			return &Assign{exprBase: exprBase{lhs.CType()}, Op: "=", LHS: lhs, RHS: bin}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCondExpr() (Expr, error) {
+	c, err := p.parseBinaryExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.eat("?") {
+		return c, nil
+	}
+	if c, err = p.toCondition(c); err != nil {
+		return nil, err
+	}
+	t, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	f, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Unify branch types.
+	typ, err := p.commonType(t, f)
+	if err != nil {
+		return nil, err
+	}
+	if t, err = p.convertTo(t, typ); err != nil {
+		return nil, err
+	}
+	if f, err = p.convertTo(f, typ); err != nil {
+		return nil, err
+	}
+	return &Cond{exprBase: exprBase{typ}, C: c, T: t, F: f}, nil
+}
+
+func (p *parser) parseBinaryExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec := binPrec(t.text)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		op := t.text
+		p.pos++
+		rhs, err := p.parseBinaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		if lhs, err = p.typeBinary(op, lhs, rhs); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// typeBinary type-checks one binary operation, inserting implicit
+// conversions and computing the result type.
+func (p *parser) typeBinary(op string, x, y Expr) (Expr, error) {
+	x, y = decay(x), decay(y)
+	switch op {
+	case "&&", "||":
+		var err error
+		if x, err = p.toCondition(x); err != nil {
+			return nil, err
+		}
+		if y, err = p.toCondition(y); err != nil {
+			return nil, err
+		}
+		return &Binary{exprBase: exprBase{tInt}, Op: op, X: x, Y: y}, nil
+
+	case "==", "!=", "<", ">", "<=", ">=":
+		xt, yt := x.CType(), y.CType()
+		switch {
+		case xt.IsPointer() && yt.IsPointer():
+			// ok as-is
+		case xt.IsPointer() && yt.IsInteger():
+			var err error
+			if y, err = p.convertTo(y, xt); err != nil {
+				return nil, err
+			}
+		case yt.IsPointer() && xt.IsInteger():
+			var err error
+			if x, err = p.convertTo(x, yt); err != nil {
+				return nil, err
+			}
+		case xt.IsArith() && yt.IsArith():
+			ct, err := p.commonType(x, y)
+			if err != nil {
+				return nil, err
+			}
+			if x, err = p.convertTo(x, ct); err != nil {
+				return nil, err
+			}
+			if y, err = p.convertTo(y, ct); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("invalid comparison between %s and %s", xt, yt)
+		}
+		return &Binary{exprBase: exprBase{tInt}, Op: op, X: x, Y: y}, nil
+
+	case "+", "-":
+		xt, yt := x.CType(), y.CType()
+		if xt.IsPointer() && yt.IsInteger() {
+			return &Binary{exprBase: exprBase{ptrValueType(xt)}, Op: op, X: x, Y: y}, nil
+		}
+		if op == "+" && xt.IsInteger() && yt.IsPointer() {
+			return &Binary{exprBase: exprBase{ptrValueType(yt)}, Op: op, X: x, Y: y}, nil
+		}
+		if op == "-" && xt.IsPointer() && yt.IsPointer() {
+			return &Binary{exprBase: exprBase{tInt}, Op: op, X: x, Y: y}, nil
+		}
+		fallthrough
+
+	case "*", "/":
+		ct, err := p.commonType(x, y)
+		if err != nil {
+			return nil, err
+		}
+		if x, err = p.convertTo(x, ct); err != nil {
+			return nil, err
+		}
+		if y, err = p.convertTo(y, ct); err != nil {
+			return nil, err
+		}
+		return &Binary{exprBase: exprBase{ct}, Op: op, X: x, Y: y}, nil
+
+	case "%", "&", "|", "^", "<<", ">>":
+		if !x.CType().IsInteger() || !y.CType().IsInteger() {
+			return nil, p.errorf("operator %q requires integer operands", op)
+		}
+		ct, err := p.commonType(x, y)
+		if err != nil {
+			return nil, err
+		}
+		if x, err = p.convertTo(x, ct); err != nil {
+			return nil, err
+		}
+		if y, err = p.convertTo(y, ct); err != nil {
+			return nil, err
+		}
+		return &Binary{exprBase: exprBase{ct}, Op: op, X: x, Y: y}, nil
+	}
+	return nil, p.errorf("unknown binary operator %q", op)
+}
+
+// ptrValueType converts an array-typed operand's type to the decayed
+// pointer type for pointer arithmetic results.
+func ptrValueType(t *CType) *CType {
+	rt := t.Resolved()
+	if rt.Kind == KArray {
+		return Ptr(rt.Elem)
+	}
+	return t
+}
+
+// commonType computes the usual arithmetic conversion target.
+func (p *parser) commonType(x, y Expr) (*CType, error) {
+	xt, yt := x.CType().Resolved(), y.CType().Resolved()
+	if xt.Kind == KPointer && yt.Kind == KPointer {
+		return x.CType(), nil
+	}
+	if !x.CType().IsArith() || !y.CType().IsArith() {
+		// Pointer/arith mix in conditionals: prefer the pointer type.
+		if x.CType().IsPointer() {
+			return x.CType(), nil
+		}
+		if y.CType().IsPointer() {
+			return y.CType(), nil
+		}
+		return nil, p.errorf("no common type for %s and %s", x.CType(), y.CType())
+	}
+	if x.CType().IsFloat() || y.CType().IsFloat() {
+		bits := 32
+		for _, t := range []*CType{xt, yt} {
+			if t.Kind == KFloat && t.Bits > bits {
+				bits = t.Bits
+			}
+			if t.Kind == KComplex {
+				return tComplex, nil
+			}
+			if t.IsInteger() && bits < 64 {
+				bits = 64 // int op float promotes to double
+			}
+		}
+		switch bits {
+		case 32:
+			return tFloat, nil
+		case 64:
+			return tDouble, nil
+		default:
+			return tLongDouble, nil
+		}
+	}
+	// Integer promotion: at least int.
+	xb, xs := x.CType().IntInfo()
+	yb, ys := y.CType().IntInfo()
+	bits := 32
+	if xb > bits {
+		bits = xb
+	}
+	if yb > bits {
+		bits = yb
+	}
+	signed := true
+	if (xb == bits && !xs) || (yb == bits && !ys) {
+		signed = false
+	}
+	switch {
+	case bits == 64 && signed:
+		return tLongLong, nil
+	case bits == 64:
+		return tULongLong, nil
+	case signed:
+		return tInt, nil
+	default:
+		return tUInt, nil
+	}
+}
+
+func (p *parser) parseUnaryExpr() (Expr, error) {
+	switch {
+	case p.eat("-"):
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = decay(x)
+		if !x.CType().IsArith() {
+			return nil, p.errorf("unary - requires arithmetic operand")
+		}
+		t := x.CType()
+		if t.IsInteger() {
+			ct, _ := p.commonType(x, &IntLit{exprBase: exprBase{tInt}})
+			if x, err = p.convertTo(x, ct); err != nil {
+				return nil, err
+			}
+			t = ct
+		}
+		return &Unary{exprBase: exprBase{t}, Op: "-", X: x}, nil
+
+	case p.eat("!"):
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if x, err = p.toCondition(x); err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{tInt}, Op: "!", X: x}, nil
+
+	case p.eat("~"):
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = decay(x)
+		if !x.CType().IsInteger() {
+			return nil, p.errorf("unary ~ requires integer operand")
+		}
+		ct, _ := p.commonType(x, &IntLit{exprBase: exprBase{tInt}})
+		if x, err = p.convertTo(x, ct); err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{ct}, Op: "~", X: x}, nil
+
+	case p.eat("*"):
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = decay(x)
+		elem := x.CType().PointerElem()
+		if elem == nil {
+			return nil, p.errorf("cannot dereference %s", x.CType())
+		}
+		return &Unary{exprBase: exprBase{elem}, Op: "*", X: x}, nil
+
+	case p.eat("&"):
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.addressable(x); err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Ptr(x.CType())}, Op: "&", X: x}, nil
+
+	case p.at("++") || p.at("--"):
+		op := p.cur().text
+		p.pos++
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(x) {
+			return nil, p.errorf("%s requires an lvalue", op)
+		}
+		return &Unary{exprBase: exprBase{x.CType()}, Op: op, X: x}, nil
+
+	case p.eat("sizeof"):
+		if p.at("(") && p.pos+1 < len(p.toks) && p.typeAt(p.pos+1) {
+			p.pos++ // (
+			specs, err := p.parseDeclSpecs()
+			if err != nil {
+				return nil, err
+			}
+			_, typ, err := p.parseDeclarator(specs.typ)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Sizeof{exprBase: exprBase{tUInt}, Of: typ}, nil
+		}
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Sizeof{exprBase: exprBase{tUInt}, Of: x.CType()}, nil
+
+	case p.at("(") && p.pos+1 < len(p.toks) && p.typeAt(p.pos+1):
+		p.pos++ // (
+		specs, err := p.parseDeclSpecs()
+		if err != nil {
+			return nil, err
+		}
+		_, typ, err := p.parseDeclarator(specs.typ)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return p.explicitCast(decay(x), typ)
+	}
+	return p.parsePostfixExpr()
+}
+
+// typeAt reports whether the token at index i begins a type.
+func (p *parser) typeAt(i int) bool {
+	t := p.toks[i]
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "void", "bool", "_Bool", "char", "short", "int", "long",
+			"unsigned", "signed", "float", "double", "_Complex",
+			"struct", "class", "union", "enum", "const":
+			return true
+		}
+		return false
+	}
+	if t.kind == tokIdent {
+		_, ok := p.typedefs[t.text]
+		return ok
+	}
+	return false
+}
+
+func (p *parser) parsePostfixExpr() (Expr, error) {
+	x, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eat("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			base := decay(x)
+			elem := base.CType().PointerElem()
+			if elem == nil {
+				return nil, p.errorf("cannot index %s", x.CType())
+			}
+			if !idx.CType().IsInteger() {
+				return nil, p.errorf("array index must be integer")
+			}
+			x = &Index{exprBase: exprBase{elem}, X: base, I: idx}
+
+		case p.eat("("):
+			x, err = p.parseCallArgs(x)
+			if err != nil {
+				return nil, err
+			}
+
+		case p.eat("->"):
+			x, err = p.parseMember(x, true)
+			if err != nil {
+				return nil, err
+			}
+
+		case p.eat("."):
+			x, err = p.parseMember(x, false)
+			if err != nil {
+				return nil, err
+			}
+
+		case p.at("++") || p.at("--"):
+			op := p.cur().text
+			p.pos++
+			if !isLvalue(x) {
+				return nil, p.errorf("%s requires an lvalue", op)
+			}
+			x = &Postfix{exprBase: exprBase{x.CType()}, Op: op, X: x}
+
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseMember(x Expr, arrow bool) (Expr, error) {
+	if p.cur().kind != tokIdent {
+		return nil, p.errorf("expected field name")
+	}
+	name := p.cur().text
+	p.pos++
+	var rec *Record
+	if arrow {
+		elem := decay(x).CType().PointerElem()
+		if elem == nil {
+			return nil, p.errorf("-> on non-pointer %s", x.CType())
+		}
+		rt := elem.Resolved()
+		if rt.Kind != KStruct && rt.Kind != KUnion {
+			return nil, p.errorf("-> into non-record %s", elem)
+		}
+		rec = rt.Record
+		x = decay(x)
+	} else {
+		rt := x.CType().Resolved()
+		if rt.Kind != KStruct && rt.Kind != KUnion {
+			return nil, p.errorf(". on non-record %s", x.CType())
+		}
+		rec = rt.Record
+	}
+	if rec.Incomplete {
+		return nil, p.errorf("access into incomplete type %q", rec.Name)
+	}
+	f, ok := rec.Field(name)
+	if !ok {
+		return nil, p.errorf("no field %q in %q", name, rec.Name)
+	}
+	return &Member{exprBase: exprBase{f.Type}, X: x, Name: name, Arrow: arrow, Field: f}, nil
+}
+
+func (p *parser) parseCallArgs(callee Expr) (Expr, error) {
+	id, ok := callee.(*Ident)
+	if !ok || id.Sym.Kind != SymFunc {
+		return nil, p.errorf("only direct calls to named functions are supported")
+	}
+	ft := id.Sym.Type.Resolved()
+	var args []Expr
+	if !p.eat(")") {
+		for {
+			a, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, decay(a))
+			if !p.eat(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if len(args) < len(ft.Params) {
+		return nil, p.errorf("call to %s with %d args, want %d", id.Sym.Name, len(args), len(ft.Params))
+	}
+	if len(args) > len(ft.Params) && !ft.variadic {
+		return nil, p.errorf("too many args in call to %s", id.Sym.Name)
+	}
+	for i := range ft.Params {
+		var err error
+		if args[i], err = p.convertTo(args[i], ft.Params[i]); err != nil {
+			return nil, fmt.Errorf("%w (argument %d of %s)", err, i+1, id.Sym.Name)
+		}
+	}
+	return &Call{exprBase: exprBase{ft.Ret}, Func: id.Sym, Args: args}, nil
+}
+
+func (p *parser) parsePrimaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIntLit:
+		p.pos++
+		typ := tInt
+		if t.intVal > 0x7fffffff || t.intVal < -0x80000000 {
+			typ = tLongLong
+		}
+		return &IntLit{exprBase: exprBase{typ}, Val: t.intVal}, nil
+	case tokCharLit:
+		p.pos++
+		return &IntLit{exprBase: exprBase{tInt}, Val: t.intVal}, nil
+	case tokFloatLit:
+		p.pos++
+		return &FloatLit{exprBase: exprBase{tDouble}, Val: t.floatVal}, nil
+	case tokStringLit:
+		p.pos++
+		return &StringLit{exprBase: exprBase{Ptr(ConstOf(tChar))}, Val: t.strVal}, nil
+	case tokIdent:
+		name := t.text
+		p.pos++
+		if name == "NULL" || name == "nullptr" {
+			return &IntLit{exprBase: exprBase{Ptr(tVoid)}, Val: 0}, nil
+		}
+		sym := p.lookup(name)
+		if sym == nil {
+			return nil, p.errorf("undeclared identifier %q", name)
+		}
+		if sym.Kind == SymEnumConst {
+			return &IntLit{exprBase: exprBase{sym.Type}, Val: sym.EnumVal}, nil
+		}
+		return &Ident{exprBase: exprBase{sym.Type}, Sym: sym}, nil
+	}
+	if p.eat("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.text)
+}
+
+// --- typing helpers ---
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Sym.Kind == SymVar
+	case *Unary:
+		return x.Op == "*"
+	case *Index, *Member:
+		return true
+	}
+	return false
+}
+
+// addressable checks whether & can be applied. Plain locals live in wasm
+// locals (registers), which have no address; the supported subset takes
+// addresses only of memory-resident storage.
+func (p *parser) addressable(e Expr) error {
+	switch x := e.(type) {
+	case *Ident:
+		if x.Sym.Kind == SymVar && x.Sym.Global {
+			return nil
+		}
+		return p.errorf("cannot take the address of local %q (locals live in registers)", x.Sym.Name)
+	case *Unary:
+		if x.Op == "*" {
+			return nil
+		}
+	case *Index, *Member:
+		return nil
+	}
+	return p.errorf("expression is not addressable")
+}
+
+// decay converts array-typed expressions to pointers to their first
+// element.
+func decay(e Expr) Expr {
+	rt := e.CType().Resolved()
+	if rt.Kind == KArray {
+		return &Cast{exprBase: exprBase{Ptr(rt.Elem)}, X: e}
+	}
+	return e
+}
+
+// toCondition normalizes an expression for use as a branch condition; the
+// result always lowers to a nonzero-means-true i32.
+func (p *parser) toCondition(e Expr) (Expr, error) {
+	e = decay(e)
+	t := e.CType()
+	switch {
+	case t.IsInteger() || t.Resolved().Kind == KPointer:
+		if lt := lowerType(t); lt == lowI64 {
+			zero := &IntLit{exprBase: exprBase{tLongLong}, Val: 0}
+			return &Binary{exprBase: exprBase{tInt}, Op: "!=", X: e, Y: zero}, nil
+		}
+		return e, nil
+	case t.IsFloat():
+		zero := &FloatLit{exprBase: exprBase{t.Resolved()}, Val: 0}
+		return &Binary{exprBase: exprBase{tInt}, Op: "!=", X: e, Y: zero}, nil
+	}
+	return nil, p.errorf("%s is not a valid condition type", t)
+}
+
+// convertTo inserts an implicit conversion from e to typ, or errors if the
+// conversion is not allowed implicitly.
+func (p *parser) convertTo(e Expr, typ *CType) (Expr, error) {
+	e = decay(e)
+	from, to := e.CType(), typ
+	fr, tr := from.Resolved(), to.Resolved()
+	switch {
+	case sameScalar(fr, tr):
+		if from == to {
+			return e, nil
+		}
+		return &Cast{exprBase: exprBase{to}, X: e}, nil
+	case from.IsArith() && to.IsArith():
+		return &Cast{exprBase: exprBase{to}, X: e}, nil
+	case fr.Kind == KPointer && tr.Kind == KPointer:
+		return &Cast{exprBase: exprBase{to}, X: e}, nil
+	case from.IsInteger() && tr.Kind == KPointer:
+		return &Cast{exprBase: exprBase{to}, X: e}, nil
+	case fr.Kind == KPointer && to.IsInteger():
+		return &Cast{exprBase: exprBase{to}, X: e}, nil
+	case fr.Kind == KFunc && tr.Kind == KPointer:
+		return &Cast{exprBase: exprBase{to}, X: e}, nil
+	}
+	return nil, p.errorf("cannot convert %s to %s", from, to)
+}
+
+// explicitCast allows everything convertTo allows plus pointer/int mixes.
+func (p *parser) explicitCast(e Expr, typ *CType) (Expr, error) {
+	if c, err := p.convertTo(e, typ); err == nil {
+		return c, nil
+	}
+	return nil, p.errorf("invalid cast from %s to %s", e.CType(), typ)
+}
+
+// sameScalar reports whether two resolved types have identical scalar
+// identity (used to skip redundant casts).
+func sameScalar(a, b *CType) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KInt:
+		return a.Bits == b.Bits && a.Signed == b.Signed
+	case KFloat:
+		return a.Bits == b.Bits
+	case KBool, KChar, KVoid, KComplex:
+		return true
+	}
+	return false
+}

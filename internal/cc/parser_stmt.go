@@ -1,0 +1,337 @@
+package cc
+
+func (p *parser) parseBlock() (*Block, error) {
+	p.pushScope()
+	defer p.popScope()
+	return p.parseBlockNoScope()
+}
+
+// parseBlockNoScope parses a braced statement list in the current scope;
+// the function body shares its scope with the parameters, as in C.
+func (p *parser) parseBlockNoScope() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.eat("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errorf("unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at("{"):
+		return p.parseBlock()
+
+	case p.eat(";"):
+		return &Empty{}, nil
+
+	case p.eat("return"):
+		if p.eat(";") {
+			if !p.curFunc.Ret.IsVoid() {
+				return nil, p.errorf("return without value in non-void function %s", p.curFunc.Name)
+			}
+			return &Return{}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.curFunc.Ret.IsVoid() {
+			return nil, p.errorf("return with value in void function %s", p.curFunc.Name)
+		}
+		if e, err = p.convertTo(e, p.curFunc.Ret); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Return{E: e}, nil
+
+	case p.eat("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if c, err = p.toCondition(c); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.eat("else") {
+			if els, err = p.parseStmt(); err != nil {
+				return nil, err
+			}
+		}
+		return &If{C: c, Then: then, Else: els}, nil
+
+	case p.eat("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if c, err = p.toCondition(c); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{C: c, Body: body}, nil
+
+	case p.eat("do"):
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if c, err = p.toCondition(c); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &While{C: c, Body: body, DoFirst: true}, nil
+
+	case p.eat("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		p.pushScope()
+		defer p.popScope()
+		var init Stmt = &Empty{}
+		if !p.eat(";") {
+			if p.startsType() {
+				var err error
+				if init, err = p.parseLocalDecl(); err != nil {
+					return nil, err
+				}
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+				init = &ExprStmt{E: e}
+			}
+		}
+		var cond Expr
+		if !p.eat(";") {
+			var err error
+			if cond, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+			if cond, err = p.toCondition(cond); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var post Expr
+		if !p.at(")") {
+			var err error
+			if post, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &For{Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case p.eat("switch"):
+		return p.parseSwitch()
+
+	case p.eat("break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Break{}, nil
+
+	case p.eat("continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Continue{}, nil
+
+	case p.startsType():
+		return p.parseLocalDecl()
+	}
+
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e}, nil
+}
+
+// parseSwitch parses a switch statement. Case labels must be integer
+// constant expressions (literals, character literals, or enum constants);
+// fallthrough follows C semantics.
+func (p *parser) parseSwitch() (Stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	tag = decay(tag)
+	if !tag.CType().IsInteger() {
+		return nil, p.errorf("switch tag must be an integer, got %s", tag.CType())
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	p.pushScope()
+	defer p.popScope()
+
+	sw := &Switch{Tag: tag}
+	seen := map[int64]bool{}
+	var curBody *[]Stmt
+	for !p.eat("}") {
+		switch {
+		case p.eat("case"):
+			if sw.Default != nil {
+				// The block-structured lowering places the default body
+				// after all case bodies, so it must be the last label.
+				return nil, p.errorf("default must be the last label in switch")
+			}
+			val, err := p.parseCondExpr()
+			if err != nil {
+				return nil, err
+			}
+			lit, ok := val.(*IntLit)
+			if !ok {
+				return nil, p.errorf("case label must be an integer constant")
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if seen[lit.Val] {
+				return nil, p.errorf("duplicate case %d", lit.Val)
+			}
+			seen[lit.Val] = true
+			sw.Cases = append(sw.Cases, SwitchCase{Value: lit.Val})
+			curBody = &sw.Cases[len(sw.Cases)-1].Body
+		case p.eat("default"):
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if sw.Default != nil {
+				return nil, p.errorf("duplicate default label")
+			}
+			sw.Default = []Stmt{}
+			curBody = &sw.Default
+		default:
+			if curBody == nil {
+				return nil, p.errorf("statement before first case label in switch")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			*curBody = append(*curBody, s)
+		}
+	}
+	return sw, nil
+}
+
+// parseLocalDecl parses one or more local variable declarations and
+// consumes the trailing semicolon. Multiple declarators become a Block.
+func (p *parser) parseLocalDecl() (Stmt, error) {
+	specs, err := p.parseDeclSpecs()
+	if err != nil {
+		return nil, err
+	}
+	if specs.isTypedef {
+		return nil, p.errorf("typedef not supported at block scope")
+	}
+	var decls []Stmt
+	for {
+		name, typ, err := p.parseDeclarator(specs.typ)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errorf("local declaration requires a name")
+		}
+		if rt := typ.Resolved(); rt.Kind == KStruct || rt.Kind == KUnion || rt.Kind == KArray {
+			return nil, p.errorf("local %q: aggregate locals are not supported (use pointers)", name)
+		}
+		sym := &Symbol{Name: name, Kind: SymVar, Type: typ}
+		if err := p.declare(sym); err != nil {
+			return nil, err
+		}
+		p.curFunc.Locals = append(p.curFunc.Locals, sym)
+		var init Expr
+		if p.eat("=") {
+			if init, err = p.parseAssignExpr(); err != nil {
+				return nil, err
+			}
+			if init, err = p.convertTo(init, typ); err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, &LocalDecl{Sym: sym, Init: init})
+		if p.eat(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &Block{Stmts: decls}, nil
+}

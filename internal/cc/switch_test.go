@@ -1,0 +1,88 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wasm"
+)
+
+func TestSwitchDenseUsesBrTable(t *testing.T) {
+	src := `
+int classify(int x) {
+	switch (x) {
+	case 0: return 10;
+	case 1: return 11;
+	case 2: return 12;
+	case 4: return 14;
+	default: return -1;
+	}
+}
+`
+	obj := compileT(t, src)
+	if err := wasm.Validate(obj.Module); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	if !strings.Contains(text, "br_table") {
+		t.Errorf("dense switch should use br_table:\n%s", text)
+	}
+}
+
+func TestSwitchSparseUsesChain(t *testing.T) {
+	src := `
+int lookup(int x) {
+	switch (x) {
+	case 10: return 1;
+	case 1000: return 2;
+	case 100000: return 3;
+	}
+	return 0;
+}
+`
+	obj := compileT(t, src)
+	if err := wasm.Validate(obj.Module); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	text, _ := wasm.DisassembleFunction(obj.Module, 0)
+	if strings.Contains(text, "br_table") {
+		t.Errorf("sparse switch should not use br_table:\n%s", text)
+	}
+	if strings.Count(text, "i32.eq") < 3 {
+		t.Errorf("sparse switch missing compare chain:\n%s", text)
+	}
+}
+
+func TestSwitchParserErrors(t *testing.T) {
+	cases := []string{
+		`int f(int x) { switch (x) { case 1: case 1: break; } return 0; }`,
+		`int f(int x) { switch (x) { default: break; case 1: break; } return 0; }`,
+		`int f(int x) { switch (x) { break; } return 0; }`,
+		`int f(int x) { switch (x) { case x: break; } return 0; }`,
+		`int f(double d) { switch (d) { case 1: break; } return 0; }`,
+		`int f(int x) { switch (x) { default: break; default: break; } return 0; }`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, Options{}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestSwitchWithEnumConstants(t *testing.T) {
+	src := `
+enum op { ADD, SUB, MUL };
+int apply(enum op o, int a, int b) {
+	switch ((int) o) {
+	case ADD: return a + b;
+	case SUB: return a - b;
+	case MUL: return a * b;
+	}
+	return 0;
+}
+`
+	obj := compileT(t, src)
+	if err := wasm.Validate(obj.Module); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}

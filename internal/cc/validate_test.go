@@ -1,0 +1,113 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/wasm"
+)
+
+// TestCompiledModulesValidate type-checks the generated code of a broad
+// set of programs with the wasm validator — the strongest static check on
+// the code generator's stack discipline.
+func TestCompiledModulesValidate(t *testing.T) {
+	sources := []string{
+		figure1Source,
+		`int f(void) { return 42; }`,
+		`
+struct s { int a; double b; struct s *next; };
+double walk(struct s *p) {
+	double acc = 0;
+	while (p != NULL) { acc += p->b; p = p->next; }
+	return acc;
+}`,
+		`
+long long mix64(long long a, unsigned long long b) {
+	return a * 3 + (long long)(b >> 7);
+}`,
+		`
+extern double sqrt_like(double x);
+float hypot2(float a, float b) {
+	return (float) sqrt_like((double)(a * a + b * b));
+}`,
+		`
+int ctrl(int n) {
+	int acc = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i % 3 == 0) { continue; }
+		if (acc > 1000) { break; }
+		acc += i > 50 ? i * 2 : i;
+	}
+	do { acc--; } while (acc > 500);
+	return acc;
+}`,
+		`
+char classify(unsigned char b) {
+	if (b >= 'a' && b <= 'z') { return 'l'; }
+	if (b >= '0' && b <= '9') { return 'd'; }
+	return '?';
+}`,
+		`
+int g_counter = 0;
+double g_ratio = 1.5;
+int bump(int by) {
+	g_counter += by;
+	g_counter++;
+	return g_counter;
+}`,
+		`
+union u { int i; float f; };
+float reinterpret(union u *p) {
+	p->i = p->i | 1;
+	return p->f;
+}`,
+		`
+typedef double vec[3];
+double dot(vec *a, vec *b) {
+	return (*a)[0] * (*b)[0] + (*a)[1] * (*b)[1] + (*a)[2] * (*b)[2];
+}`,
+		`
+extern int rand_like(void);
+void effects_only(int *sink) {
+	rand_like();
+	if (sink != NULL) { sink[0] = rand_like(); }
+}`,
+		`
+int logic(int a, int b, int c) {
+	return (a && b) || (!c && a > b);
+}`,
+		`
+unsigned int bits(unsigned int x) {
+	x = ~x;
+	x ^= x >> 16;
+	x = x << 2 | x >> 30;
+	return x;
+}`,
+		`
+bool flagcheck(bool on, int mask) {
+	bool other = mask != 0;
+	return on && other;
+}`,
+		`
+double postfix(double *xs, int n) {
+	int i = 0;
+	double acc = 0;
+	while (i < n) { acc += xs[i++]; }
+	i--;
+	--i;
+	++i;
+	return acc;
+}`,
+	}
+	for i, src := range sources {
+		obj, err := Compile(src, Options{FileName: "v.c", Debug: true})
+		if err != nil {
+			t.Errorf("source %d does not compile: %v", i, err)
+			continue
+		}
+		if err := wasm.Validate(obj.Module); err != nil {
+			text := wasm.Disassemble(obj.Module)
+			t.Errorf("source %d produces invalid wasm: %v\n%s", i, err, text)
+		}
+	}
+}

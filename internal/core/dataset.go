@@ -1,0 +1,161 @@
+// Package core orchestrates the complete SnowWhite pipeline (Figure 2 of
+// the paper): corpus generation, compilation to WebAssembly object files
+// with DWARF, binary-level deduplication, sample extraction, per-package
+// capping and package-level splitting, common-name vocabulary extraction,
+// model training per type-language variant, and the evaluation that
+// regenerates the paper's tables and figures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/dedup"
+	"repro/internal/extract"
+	"repro/internal/seq2seq"
+	"repro/internal/split"
+	"repro/internal/typelang"
+)
+
+// Config assembles the pipeline's knobs.
+type Config struct {
+	Corpus  corpus.Options
+	Extract extract.Options
+	Model   seq2seq.Config
+	// NameThreshold is the minimum fraction of packages a type name must
+	// appear in to enter the common-name vocabulary (paper: 1%).
+	NameThreshold float64
+	// BPESrcVocab is the subword vocabulary size for instruction tokens
+	// (paper: v' = 500); 0 disables subword tokenization.
+	BPESrcVocab int
+	// SplitSeed keys the deterministic package split.
+	SplitSeed uint64
+	// Split holds the validation/test fractions (paper: 2%/2%). Small
+	// reproduction runs may raise them for statistically stabler test
+	// sets.
+	Split split.Fractions
+}
+
+// DefaultConfig returns a configuration sized for minutes-scale runs.
+func DefaultConfig() Config {
+	return Config{
+		Corpus:        corpus.DefaultOptions(),
+		Extract:       extract.DefaultOptions(),
+		Model:         seq2seq.DefaultConfig(),
+		NameThreshold: 0.01,
+		BPESrcVocab:   500,
+		SplitSeed:     42,
+		Split:         split.PaperFractions(),
+	}
+}
+
+// Dataset is the fully prepared dataset: deduplicated, capped, split, and
+// labeled with master (All Names) types from which every language
+// variant's labels derive.
+type Dataset struct {
+	Cfg     Config
+	Samples []extract.Sample
+	Parts   map[string]split.Part
+
+	NameStats   *typelang.NameStats
+	CommonNames []typelang.NameCount
+	// CommonFilter is the membership predicate over CommonNames.
+	CommonFilter func(string) bool
+
+	DedupStats dedup.Stats
+	Packages   int
+	// SamplesBeforeCap records the sample count before per-package
+	// capping, for the Section 5 statistics.
+	SamplesBeforeCap int
+}
+
+// BuildDataset runs generation, compilation, dedup, extraction, capping,
+// naming, and splitting. progress (may be nil) receives coarse stage
+// updates.
+func BuildDataset(cfg Config, progress func(string)) (*Dataset, error) {
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	pkgs := corpus.Generate(cfg.Corpus)
+	say("generated %d packages", len(pkgs))
+
+	var bins []dedup.Binary
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			obj, err := cc.Compile(f.Source, cc.Options{FileName: f.Name, Debug: true})
+			if err != nil {
+				return nil, fmt.Errorf("core: compile %s: %w", f.Name, err)
+			}
+			bins = append(bins, dedup.Binary{Pkg: pkg.Name, Name: f.Name, Data: obj.Binary})
+		}
+	}
+	say("compiled %d object files", len(bins))
+
+	kept, stats, err := dedup.Dedup(bins, dedup.LevelBinary)
+	if err != nil {
+		return nil, err
+	}
+	say("%s", stats)
+
+	var samples []extract.Sample
+	for _, b := range kept {
+		s, err := extract.FromBinary(b.Pkg, b.Name, b.Data, cfg.Extract)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s...)
+	}
+	before := len(samples)
+	samples = split.CapPerPackage(samples, func(s extract.Sample) string { return s.Pkg })
+	say("extracted %d samples (%d after per-package cap)", before, len(samples))
+
+	// Common-name vocabulary over the whole dataset (Section 3.6).
+	names := typelang.NewNameStats()
+	for _, s := range samples {
+		names.Add(s.Pkg, s.Master)
+	}
+	common := names.Common(cfg.NameThreshold)
+	say("extracted %d common type names from %d packages", len(common), names.NumPackages())
+
+	pkgNames := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		pkgNames = append(pkgNames, p.Name)
+	}
+	fr := cfg.Split
+	if fr.Valid == 0 && fr.Test == 0 {
+		fr = split.PaperFractions()
+	}
+	parts := split.ByPackage(pkgNames, cfg.SplitSeed, fr)
+
+	return &Dataset{
+		Cfg:              cfg,
+		Samples:          samples,
+		Parts:            parts,
+		NameStats:        names,
+		CommonNames:      common,
+		CommonFilter:     typelang.FilterFunc(common),
+		DedupStats:       stats,
+		Packages:         len(pkgs),
+		SamplesBeforeCap: before,
+	}, nil
+}
+
+// Part returns the split portion a sample belongs to.
+func (d *Dataset) Part(s extract.Sample) split.Part {
+	return d.Parts[s.Pkg]
+}
+
+// Counts returns the number of parameter and return samples.
+func (d *Dataset) Counts() (params, returns int) {
+	for _, s := range d.Samples {
+		if s.Elem.IsReturn() {
+			returns++
+		} else {
+			params++
+		}
+	}
+	return
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/split"
+	"repro/internal/typelang"
+)
+
+// SampleRecord is the JSONL export format of one dataset sample, in the
+// spirit of the dataset the paper shares alongside the code: everything a
+// downstream user needs to train their own model without re-running the
+// compilation pipeline.
+type SampleRecord struct {
+	Package string   `json:"package"`
+	Binary  string   `json:"binary"`
+	Func    string   `json:"func"`
+	Element string   `json:"element"` // "param0".."paramN" or "return"
+	LowType string   `json:"low_type"`
+	Input   []string `json:"input"`
+	// Types maps each language variant to the sample's label tokens.
+	Types map[string][]string `json:"types"`
+	Split string              `json:"split"`
+}
+
+// ExportJSONL writes the dataset as one JSON object per line.
+func (d *Dataset) ExportJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range d.Samples {
+		rec := SampleRecord{
+			Package: s.Pkg,
+			Binary:  s.Binary,
+			Func:    s.Func,
+			Element: s.Elem.String(),
+			LowType: s.LowType,
+			Input:   s.Input,
+			Types:   map[string][]string{},
+			Split:   d.Part(s).String(),
+		}
+		for _, v := range typelang.Variants() {
+			rec.Types[v.String()] = v.Apply(s.Master, d.CommonFilter)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportJSONL reads records written by ExportJSONL. It returns the raw
+// records; label/task realization is up to the caller.
+func ImportJSONL(r io.Reader) ([]SampleRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []SampleRecord
+	for dec.More() {
+		var rec SampleRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("core: import jsonl: %w", err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// PairsFromRecords converts imported records into training pairs for one
+// variant/element/split selection, mirroring Dataset.realize for external
+// datasets.
+func PairsFromRecords(recs []SampleRecord, variant typelang.Variant, isReturn bool, part split.Part) (srcs [][]string, tgts [][]string) {
+	wantElem := "return"
+	for _, rec := range recs {
+		if (rec.Element == wantElem) != isReturn {
+			continue
+		}
+		if rec.Split != part.String() {
+			continue
+		}
+		tgt, ok := rec.Types[variant.String()]
+		if !ok {
+			continue
+		}
+		srcs = append(srcs, rec.Input)
+		tgts = append(tgts, tgt)
+	}
+	return
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/split"
+	"repro/internal/typelang"
+)
+
+func TestExportImportJSONL(t *testing.T) {
+	d := buildTestDataset(t)
+	var buf bytes.Buffer
+	if err := d.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(d.Samples) {
+		t.Fatalf("exported %d lines for %d samples", lines, len(d.Samples))
+	}
+	recs, err := ImportJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(d.Samples) {
+		t.Fatalf("imported %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Package == "" || r.LowType == "" || len(r.Input) == 0 {
+		t.Errorf("record fields empty: %+v", r)
+	}
+	if len(r.Types) != 4 {
+		t.Errorf("record has %d variant labels, want 4", len(r.Types))
+	}
+	// Labels are valid type sequences in the Lsw variant.
+	lsw := r.Types[typelang.VariantLSW.String()]
+	if _, err := typelang.Parse(lsw); err != nil {
+		t.Errorf("Lsw label %v does not parse: %v", lsw, err)
+	}
+
+	// Pair realization matches the in-memory realize path in count.
+	srcs, tgts := PairsFromRecords(recs, typelang.VariantLSW, false, split.Train)
+	inMem := d.realize(Task{Variant: typelang.VariantLSW}, split.Train)
+	if len(srcs) != len(inMem) || len(tgts) != len(inMem) {
+		t.Errorf("records gave %d train pairs, in-memory %d", len(srcs), len(inMem))
+	}
+}
+
+func TestImportJSONLGarbage(t *testing.T) {
+	if _, err := ImportJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

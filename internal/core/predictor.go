@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/extract"
+	"repro/internal/wasm"
+)
+
+// TypePrediction is one ranked prediction for a signature element.
+type TypePrediction struct {
+	Tokens []string
+	// Text is the space-joined token sequence, e.g.
+	// "pointer primitive float 64".
+	Text string
+}
+
+// PredictParam predicts the high-level type of one parameter of a
+// module-defined function in a (possibly stripped) binary.
+func (p *Predictor) PredictParam(m *wasm.Module, funcIdx, paramIdx, k int) ([]TypePrediction, error) {
+	if p.Param == nil {
+		return nil, fmt.Errorf("core: predictor has no parameter model")
+	}
+	if funcIdx < 0 || funcIdx >= len(m.Funcs) {
+		return nil, fmt.Errorf("core: function index %d out of range", funcIdx)
+	}
+	fn := &m.Funcs[funcIdx]
+	if int(fn.TypeIdx) >= len(m.Types) {
+		return nil, fmt.Errorf("core: function %d has invalid type index", funcIdx)
+	}
+	sig := m.Types[fn.TypeIdx]
+	if paramIdx < 0 || paramIdx >= len(sig.Params) {
+		return nil, fmt.Errorf("core: parameter index %d out of range (%d params)", paramIdx, len(sig.Params))
+	}
+	input := extract.InputForParam(fn, paramIdx, sig.Params[paramIdx], p.Opts)
+	return wrap(p.Param.Predict(input, k)), nil
+}
+
+// PredictReturn predicts the high-level return type of a module-defined
+// function.
+func (p *Predictor) PredictReturn(m *wasm.Module, funcIdx, k int) ([]TypePrediction, error) {
+	if p.Return == nil {
+		return nil, fmt.Errorf("core: predictor has no return model")
+	}
+	if funcIdx < 0 || funcIdx >= len(m.Funcs) {
+		return nil, fmt.Errorf("core: function index %d out of range", funcIdx)
+	}
+	fn := &m.Funcs[funcIdx]
+	if int(fn.TypeIdx) >= len(m.Types) {
+		return nil, fmt.Errorf("core: function %d has invalid type index", funcIdx)
+	}
+	sig := m.Types[fn.TypeIdx]
+	if len(sig.Results) == 0 {
+		return nil, fmt.Errorf("core: function %d returns no value", funcIdx)
+	}
+	input := extract.InputForReturn(fn, sig.Results[0], p.Opts)
+	return wrap(p.Return.Predict(input, k)), nil
+}
+
+// PredictBinary decodes a binary and predicts all parameter and return
+// types of one function, returning them keyed by element name
+// ("param0".."paramN", "return").
+func (p *Predictor) PredictBinary(bin []byte, funcIdx, k int) (map[string][]TypePrediction, error) {
+	d, err := wasm.Decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	m := d.Module
+	if funcIdx < 0 || funcIdx >= len(m.Funcs) {
+		return nil, fmt.Errorf("core: function index %d out of range", funcIdx)
+	}
+	sig, err := m.FuncTypeAt(uint32(funcIdx + m.NumImportedFuncs()))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]TypePrediction{}
+	for pi := range sig.Params {
+		preds, err := p.PredictParam(m, funcIdx, pi, k)
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("param%d", pi)] = preds
+	}
+	if len(sig.Results) > 0 && p.Return != nil {
+		preds, err := p.PredictReturn(m, funcIdx, k)
+		if err != nil {
+			return nil, err
+		}
+		out["return"] = preds
+	}
+	return out, nil
+}
+
+func wrap(preds [][]string) []TypePrediction {
+	out := make([]TypePrediction, 0, len(preds))
+	for _, p := range preds {
+		out = append(out, TypePrediction{Tokens: p, Text: LabelString(p)})
+	}
+	return out
+}

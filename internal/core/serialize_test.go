@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/typelang"
+)
+
+func TestTrainedSaveLoadRoundTrip(t *testing.T) {
+	d := buildTestDataset(t)
+	_, tr := d.RunTask(Task{Variant: typelang.VariantLSW}, nil)
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadTrained(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Task != tr.Task {
+		t.Errorf("task = %+v, want %+v", got.Task, tr.Task)
+	}
+	if (got.BPE == nil) != (tr.BPE == nil) {
+		t.Fatal("BPE presence differs")
+	}
+
+	// Identical predictions before and after the round trip.
+	src := []string{"i32", "<begin>", "local.get", "<param>", ";", "f64.load", "offset=8"}
+	a := tr.Predict(src, 5)
+	b := got.Predict(src, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("predictions differ after round trip:\n%v\n%v", a, b)
+	}
+}
+
+func TestPredictorSaveLoad(t *testing.T) {
+	d := buildTestDataset(t)
+	_, param := d.RunTask(Task{Variant: typelang.VariantLSW}, nil)
+	_, ret := d.RunTask(Task{Variant: typelang.VariantLSW, Return: true}, nil)
+	p := &Predictor{Param: param, Return: ret, Opts: d.Cfg.Extract}
+
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := SavePredictor(p, path); err != nil {
+		t.Fatalf("SavePredictor: %v", err)
+	}
+	got, err := LoadPredictor(path)
+	if err != nil {
+		t.Fatalf("LoadPredictor: %v", err)
+	}
+	if got.Param == nil || got.Return == nil {
+		t.Fatal("loaded predictor missing models")
+	}
+	src := []string{"i32", "<begin>", "local.get", "<param>", ";", "i32.load8_s"}
+	if !reflect.DeepEqual(p.Param.Predict(src, 3), got.Param.Predict(src, 3)) {
+		t.Error("param predictions differ after round trip")
+	}
+	if !reflect.DeepEqual(p.Return.Predict(src, 3), got.Return.Predict(src, 3)) {
+		t.Error("return predictions differ after round trip")
+	}
+}
+
+func TestLoadPredictorMissingFile(t *testing.T) {
+	if _, err := LoadPredictor("/nonexistent/model.bin"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadTrainedGarbage(t *testing.T) {
+	if _, err := LoadTrained(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

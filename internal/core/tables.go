@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/typelang"
+)
+
+// Table1 renders the type-language feature matrix (Table 1 of the paper).
+func Table1() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Type languages of learning-based binary type prediction\n")
+	fmt.Fprintf(&sb, "%-12s %-5s %-10s %-5s %-5s %-5s %-8s %-6s %-6s %-6s %-9s %-6s %-16s %-6s %-8s\n",
+		"Approach", "|L|", "Structure", "int", "bool", "sign", "size", "float", "cmplx", "array", "pointer", "const", "pointee", "names", "lang")
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, r := range typelang.FeatureMatrix() {
+		fmt.Fprintf(&sb, "%-12s %-5s %-10s %-5s %-5s %-5s %-8s %-6s %-6s %-6s %-9s %-6s %-16s %-6s %-8s\n",
+			r.Approach, r.NumTypes, r.Structure, yn(r.IntChar), yn(r.Bool), yn(r.IntSign),
+			r.PrimSize, yn(r.Float), yn(r.Complex), yn(r.Array), yn(r.Pointer), yn(r.Const),
+			r.PointeeType, r.Names, r.LangSpecific)
+	}
+	return sb.String()
+}
+
+// Distribution computes the realized type distribution of the dataset
+// under a variant, split by parameters and returns.
+func (d *Dataset) Distribution(v typelang.Variant) (params, returns, all *metrics.Distribution) {
+	params, returns, all = metrics.NewDistribution(), metrics.NewDistribution(), metrics.NewDistribution()
+	for _, s := range d.Samples {
+		key := LabelString(v.Apply(s.Master, d.CommonFilter))
+		all.Add(key)
+		if s.Elem.IsReturn() {
+			returns.Add(key)
+		} else {
+			params.Add(key)
+		}
+	}
+	return
+}
+
+// Table2 renders the most common L_SW types in the dataset (Table 2).
+func (d *Dataset) Table2(topK int) string {
+	_, _, all := d.Distribution(typelang.VariantLSW)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2: Most common types in Lsw (%d samples, %d unique types)\n", all.Total(), all.Unique())
+	fmt.Fprintf(&sb, "%-4s %-45s %10s %8s\n", "Rank", "Type", "Count", "% Total")
+	for i, ts := range all.Top(topK) {
+		fmt.Fprintf(&sb, "%-4d %-45s %10d %7.1f%%\n", i+1, ts.Type, ts.Count, ts.Share*100)
+	}
+	return sb.String()
+}
+
+// Table3 renders the most common extracted type names (Table 3).
+func (d *Dataset) Table3(topK int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 3: Most common extracted type names (%d common names, %d packages)\n",
+		len(d.CommonNames), d.NameStats.NumPackages())
+	fmt.Fprintf(&sb, "%-28s %12s %10s\n", "Name", "Samples", "Packages")
+	rows := d.CommonNames
+	if len(rows) > topK {
+		rows = rows[:topK]
+	}
+	for _, n := range rows {
+		fmt.Fprintf(&sb, "%-28s %12d %9.1f%%\n", n.Name, n.SampleCount, n.PackageShare*100)
+	}
+	return sb.String()
+}
+
+// Table4Row summarizes one type language's realized distribution.
+type Table4Row struct {
+	Language    string
+	Unique      int
+	NormEntropy float64
+	TopParam    metrics.TypeShare
+	TopReturn   metrics.TypeShare
+}
+
+// Table4 computes the distribution comparison across language variants
+// (Table 4).
+func (d *Dataset) Table4() []Table4Row {
+	var rows []Table4Row
+	for _, v := range typelang.Variants() {
+		params, returns, all := d.Distribution(v)
+		row := Table4Row{
+			Language:    v.String(),
+			Unique:      all.Unique(),
+			NormEntropy: all.NormalizedEntropy(),
+		}
+		if top := params.Top(1); len(top) > 0 {
+			row.TopParam = top[0]
+		}
+		if top := returns.Top(1); len(top) > 0 {
+			row.TopReturn = top[0]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable4 renders Table 4 rows.
+func FormatTable4(rows []Table4Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: Type distributions compared\n")
+	fmt.Fprintf(&sb, "%-18s %8s %8s   %-38s %-38s\n", "Language", "|L|", "H/Hmax", "Most frequent parameter", "Most frequent return")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %8d %8.2f   %-30s %5.1f%%  %-30s %5.1f%%\n",
+			r.Language, r.Unique, r.NormEntropy,
+			clip(r.TopParam.Type, 30), r.TopParam.Share*100,
+			clip(r.TopReturn.Type, 30), r.TopReturn.Share*100)
+	}
+	return sb.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n-1] + "…"
+	}
+	return s
+}
+
+// Table5Tasks lists the ten prediction tasks of Table 5 in column order.
+func Table5Tasks() []Task {
+	var tasks []Task
+	for _, ret := range []bool{false, true} {
+		tasks = append(tasks,
+			Task{Variant: typelang.VariantLSW, Return: ret},
+			Task{Variant: typelang.VariantAllNames, Return: ret},
+			Task{Variant: typelang.VariantSimplified, Return: ret},
+			Task{Variant: typelang.VariantEklavya, Return: ret},
+			Task{Variant: typelang.VariantLSW, Return: ret, AblateLowType: true},
+		)
+	}
+	return tasks
+}
+
+// FormatTable5 renders task results like Table 5.
+func FormatTable5(results []*TaskResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: Model accuracy vs conditional-probability baseline\n")
+	fmt.Fprintf(&sb, "%-42s %8s %8s %8s   %8s %8s %8s %8s\n",
+		"Task", "Top-1", "Top-5", "TPS", "B.Top-1", "B.Top-5", "B.TPS", "TestN")
+	for _, r := range results {
+		b1, b5, bt := "N/A", "N/A", "N/A"
+		if r.HasBaseline {
+			b1 = fmt.Sprintf("%7.1f%%", r.Baseline.Top1()*100)
+			b5 = fmt.Sprintf("%7.1f%%", r.Baseline.Top5()*100)
+			bt = fmt.Sprintf("%8.2f", r.Baseline.TPS())
+		}
+		fmt.Fprintf(&sb, "%-42s %7.1f%% %7.1f%% %8.2f   %8s %8s %8s %8d\n",
+			r.Task.Name(), r.Model.Top1()*100, r.Model.Top5()*100, r.Model.TPS(),
+			b1, b5, bt, r.TestN)
+	}
+	return sb.String()
+}
+
+// FormatFigure4 renders the accuracy-by-nesting-depth series of Figure 4.
+func FormatFigure4(param, ret *TaskResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: Prediction accuracy of Lsw by type nesting depth\n")
+	render := func(name string, r *TaskResult) {
+		fmt.Fprintf(&sb, "%s types:\n", name)
+		fmt.Fprintf(&sb, "  %-6s %8s %8s %8s\n", "Depth", "Top-1", "Top-5", "N")
+		depths := make([]int, 0, len(r.ByDepth))
+		for d := range r.ByDepth {
+			depths = append(depths, d)
+		}
+		sort.Ints(depths)
+		for _, d := range depths {
+			a := r.ByDepth[d]
+			fmt.Fprintf(&sb, "  %-6d %7.1f%% %7.1f%% %8d\n", d, a.Top1()*100, a.Top5()*100, a.N())
+		}
+	}
+	render("Parameter", param)
+	render("Return", ret)
+	return sb.String()
+}
+
+// Section5Stats renders the dataset statistics of Section 5.
+func (d *Dataset) Section5Stats() string {
+	params, returns := d.Counts()
+	var sb strings.Builder
+	sb.WriteString("Section 5 dataset statistics\n")
+	fmt.Fprintf(&sb, "  packages: %d\n", d.Packages)
+	fmt.Fprintf(&sb, "  %s\n", d.DedupStats)
+	fmt.Fprintf(&sb, "  samples: %d before cap, %d after (%d parameter, %d return)\n",
+		d.SamplesBeforeCap, len(d.Samples), params, returns)
+	fmt.Fprintf(&sb, "  common names: %d (threshold %.1f%% of packages)\n",
+		len(d.CommonNames), d.Cfg.NameThreshold*100)
+	counts := map[string]int{}
+	for pkg, part := range d.Parts {
+		_ = pkg
+		counts[part.String()]++
+	}
+	fmt.Fprintf(&sb, "  split: %d train / %d valid / %d test packages\n",
+		counts["train"], counts["valid"], counts["test"])
+	return sb.String()
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/bpe"
+	"repro/internal/extract"
+	"repro/internal/metrics"
+	"repro/internal/seq2seq"
+	"repro/internal/split"
+	"repro/internal/typelang"
+)
+
+// Task identifies one prediction task of Table 5: a type-language variant,
+// parameter vs return prediction, and optionally the t_low ablation.
+type Task struct {
+	Variant typelang.Variant
+	Return  bool
+	// AblateLowType removes the low-level WebAssembly type from the
+	// input sequence (the rightmost Table 5 column).
+	AblateLowType bool
+}
+
+// Name renders the task like the paper's table headers.
+func (t Task) Name() string {
+	n := t.Variant.String()
+	if t.AblateLowType {
+		n += ", tlow not given"
+	}
+	if t.Return {
+		return n + " / return"
+	}
+	return n + " / parameter"
+}
+
+// taskSample is one sample realized for a task.
+type taskSample struct {
+	src   []string
+	tgt   []string
+	low   string
+	depth int // nesting depth of the L_SW ground truth (Figure 4)
+}
+
+// realize converts dataset samples into task-specific (src, tgt) pairs.
+func (d *Dataset) realize(task Task, part split.Part) []taskSample {
+	var out []taskSample
+	for _, s := range d.Samples {
+		if s.Elem.IsReturn() != task.Return || d.Part(s) != part {
+			continue
+		}
+		src := s.Input
+		if task.AblateLowType && len(src) > 0 && src[0] != "<begin>" {
+			src = src[1:]
+		}
+		tgt := task.Variant.Apply(s.Master, d.CommonFilter)
+		lswTokens := typelang.VariantLSW.Apply(s.Master, d.CommonFilter)
+		depth := 0
+		if t, err := typelang.Parse(lswTokens); err == nil {
+			depth = t.Depth()
+		}
+		out = append(out, taskSample{src: src, tgt: tgt, low: s.LowType, depth: depth})
+	}
+	return out
+}
+
+// TaskResult is one row group of Table 5 plus the per-depth buckets that
+// Figure 4 plots.
+type TaskResult struct {
+	Task     Task
+	Model    metrics.Accuracy
+	Baseline metrics.Accuracy
+	// HasBaseline is false for the t_low ablation, where the conditional
+	// baseline is undefined (N/A in the paper's table).
+	HasBaseline bool
+	// ByDepth maps L_SW nesting depth to model accuracy (Figure 4).
+	ByDepth map[int]*metrics.Accuracy
+	TrainN  int
+	TestN   int
+}
+
+// Trained bundles everything needed to predict types for new binaries.
+type Trained struct {
+	Task  Task
+	Model *seq2seq.Model
+	// BPE is the learned subword model for instruction tokens (nil when
+	// disabled).
+	BPE *bpe.Model
+}
+
+// encodeSrc applies subword tokenization to a source sequence.
+func (tr *Trained) encodeSrc(src []string) []string {
+	if tr.BPE == nil {
+		return src
+	}
+	return tr.BPE.Encode(src)
+}
+
+// Predict returns the top-k type-token predictions for a prepared input
+// sequence. Beams that decode to an empty sequence (immediate </s>) are
+// dropped; if nothing remains, the uninformative type is returned.
+func (tr *Trained) Predict(src []string, k int) [][]string {
+	preds := tr.Model.Predict(tr.encodeSrc(src), k)
+	out := make([][]string, 0, len(preds))
+	for _, p := range preds {
+		if len(p.Tokens) == 0 {
+			continue
+		}
+		out = append(out, p.Tokens)
+	}
+	if len(out) == 0 {
+		out = append(out, []string{"unknown"})
+	}
+	return out
+}
+
+// RunTask trains the model and baseline for one task and evaluates them on
+// the held-out test packages. progress (may be nil) receives training
+// logs.
+func (d *Dataset) RunTask(task Task, progress func(string)) (*TaskResult, *Trained) {
+	train := d.realize(task, split.Train)
+	valid := d.realize(task, split.Valid)
+	test := d.realize(task, split.Test)
+
+	// Subword model learned on training sources only (no leakage).
+	var sub *bpe.Model
+	if d.Cfg.BPESrcVocab > 0 {
+		freq := map[string]int{}
+		for _, s := range train {
+			for _, tok := range s.src {
+				freq[tok]++
+			}
+		}
+		sub = bpe.Learn(freq, d.Cfg.BPESrcVocab)
+	}
+	enc := func(src []string) []string {
+		if sub == nil {
+			return src
+		}
+		return sub.Encode(src)
+	}
+	toPairs := func(ss []taskSample) []seq2seq.Pair {
+		out := make([]seq2seq.Pair, 0, len(ss))
+		for _, s := range ss {
+			out = append(out, seq2seq.Pair{Src: enc(s.src), Tgt: s.tgt})
+		}
+		return out
+	}
+
+	// Small tasks (return prediction has ~7x fewer samples, Section 5)
+	// get proportionally more epochs so every task sees a comparable
+	// number of gradient steps; early stopping guards against overfit.
+	mcfg := d.Cfg.Model
+	if n := len(train); n > 0 && n < 4000 {
+		scale := 4000 / n
+		if scale > 4 {
+			scale = 4
+		}
+		if scale > 1 {
+			mcfg.Epochs *= scale
+		}
+	}
+	model := seq2seq.Train(mcfg, toPairs(train), toPairs(valid), progress)
+
+	base := baseline.New()
+	for _, s := range train {
+		base.Add(s.low, s.tgt)
+	}
+
+	res := &TaskResult{
+		Task:        task,
+		HasBaseline: !task.AblateLowType,
+		ByDepth:     map[int]*metrics.Accuracy{},
+		TrainN:      len(train),
+		TestN:       len(test),
+	}
+	for _, s := range test {
+		var preds [][]string
+		for _, p := range model.Predict(enc(s.src), 5) {
+			preds = append(preds, p.Tokens)
+		}
+		res.Model.Add(preds, s.tgt)
+		acc := res.ByDepth[s.depth]
+		if acc == nil {
+			acc = &metrics.Accuracy{}
+			res.ByDepth[s.depth] = acc
+		}
+		acc.Add(preds, s.tgt)
+		if res.HasBaseline {
+			res.Baseline.Add(base.Predict(s.low, 5), s.tgt)
+		}
+	}
+	return res, &Trained{Task: task, Model: model, BPE: sub}
+}
+
+// LabelString joins a label's tokens (for display).
+func LabelString(tokens []string) string { return strings.Join(tokens, " ") }
+
+// Predictor pairs a trained parameter model with a trained return model —
+// the artifact a reverse engineer queries (Figure 2, bottom half).
+type Predictor struct {
+	Param  *Trained
+	Return *Trained
+	Opts   extract.Options
+}

@@ -1,0 +1,117 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/wasm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Packages = 5
+	a := Generate(opts)
+	b := Generate(opts)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("got %d/%d packages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Files) != len(b[i].Files) {
+			t.Fatalf("package %d differs between runs", i)
+		}
+		for j := range a[i].Files {
+			if a[i].Files[j].Source != b[i].Files[j].Source {
+				t.Fatalf("file %s not deterministic", a[i].Files[j].Name)
+			}
+		}
+	}
+	// Different seeds differ.
+	opts.Seed = 2
+	c := Generate(opts)
+	same := true
+	for i := range a {
+		if a[i].Files[0].Source != c[i].Files[0].Source {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestAllGeneratedSourcesCompile(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Packages = 30
+	pkgs := Generate(opts)
+	nfuncs := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			obj, err := cc.Compile(f.Source, cc.Options{FileName: f.Name, Debug: true})
+			if err != nil {
+				t.Fatalf("%s does not compile: %v\n--- source ---\n%s", f.Name, err, f.Source)
+			}
+			if err := wasm.Validate(obj.Module); err != nil {
+				t.Fatalf("%s produces invalid wasm: %v\n--- source ---\n%s", f.Name, err, f.Source)
+			}
+			nfuncs += len(obj.Module.Funcs)
+		}
+	}
+	if nfuncs < 100 {
+		t.Errorf("only %d functions generated across 30 packages", nfuncs)
+	}
+}
+
+func TestCorpusHasExpectedNames(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Packages = 40
+	pkgs := Generate(opts)
+	sizeT, file := 0, 0
+	for _, pkg := range pkgs {
+		all := ""
+		for _, f := range pkg.Files {
+			all += f.Source
+		}
+		if strings.Contains(all, "typedef unsigned long size_t") {
+			sizeT++
+		}
+		if strings.Contains(all, "} FILE;") {
+			file++
+		}
+	}
+	// Table 3 shares: size_t ~64%, FILE ~45% of packages. Allow slack.
+	if sizeT < 15 || sizeT > 38 {
+		t.Errorf("size_t in %d/40 packages, want roughly 25", sizeT)
+	}
+	if file < 8 || file > 32 {
+		t.Errorf("FILE in %d/40 packages, want roughly 18", file)
+	}
+}
+
+func TestLibraryDuplication(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Packages = 40
+	opts.LibraryShare = 1.0
+	pkgs := Generate(opts)
+	lib := buildLibrary(rand.New(rand.NewSource(1)))
+	count := map[string]int{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, lf := range lib.funcs {
+				if strings.Contains(f.Source, lf.name+"(") {
+					count[lf.name]++
+				}
+			}
+		}
+	}
+	dup := 0
+	for _, c := range count {
+		if c >= 2 {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Error("no library function appears in multiple files; dedup cannot be exercised")
+	}
+}

@@ -1,0 +1,661 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// funcGen builds one function's source.
+type funcGen struct {
+	ctx    *pkgCtx
+	body   []string
+	locals map[string]bool
+}
+
+func (g *funcGen) stmt(format string, args ...any) {
+	g.body = append(g.body, "\t"+fmt.Sprintf(format, args...))
+}
+
+// local declares a local variable once and returns its name.
+func (g *funcGen) local(name, decl string) string {
+	if !g.locals[name] {
+		g.locals[name] = true
+		g.body = append(g.body, "\t"+decl)
+	}
+	return name
+}
+
+// spec describes one parameter/return type of the synthetic catalog: how
+// to declare it, how characteristic code uses it, and how to produce a
+// return value of it.
+type spec struct {
+	key string
+	// weight/retWeight give the sampling weight as a parameter/return
+	// type; zero disables. They may depend on the package profile.
+	weight    func(c *pkgCtx) float64
+	retWeight func(c *pkgCtx) float64
+	// decl returns the C parameter type (and registers any externs).
+	decl func(g *funcGen) string
+	// use appends statements that exercise a parameter of this type.
+	use func(g *funcGen, name string)
+	// ret returns an expression of this type; params lists the names of
+	// parameters with the same spec (preferred as return values).
+	ret func(g *funcGen, params []string) string
+}
+
+func w(v float64) func(*pkgCtx) float64 { return func(*pkgCtx) float64 { return v } }
+func cppW(v float64) func(*pkgCtx) float64 {
+	return func(c *pkgCtx) float64 {
+		if c.isCPP {
+			return v
+		}
+		return 0
+	}
+}
+
+// catalog returns the type catalog. Weights are calibrated so the corpus
+// type distribution has the shape of Table 2 (parameters) and Table 4
+// (returns).
+func catalog() []spec {
+	return []spec{
+		{
+			// pointer class — Table 2 rank 1 (20.5%).
+			key:       "ptr_class",
+			weight:    cppW(52),
+			retWeight: cppW(14),
+			decl: func(g *funcGen) string {
+				c := g.ctx.localClasses[g.ctx.r.Intn(len(g.ctx.localClasses))]
+				return "class " + c + " *"
+			},
+			use: func(g *funcGen, p string) {
+				g.stmt("if (%s != NULL) { %s->refcount = %s->refcount + 1; }", p, p, p)
+				if g.ctx.r.Intn(2) == 0 {
+					acc := g.local("accd", "double accd = 0;")
+					g.stmt("if (%s != NULL && %s->values != NULL) { %s += %s->values[0]; }", p, p, acc, p)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0]
+				}
+				return "NULL"
+			},
+		},
+		{
+			// pointer struct — rank 2 (14.4%).
+			key:       "ptr_struct",
+			weight:    w(16),
+			retWeight: w(6),
+			decl: func(g *funcGen) string {
+				s := g.ctx.localStructs[g.ctx.r.Intn(len(g.ctx.localStructs))]
+				return "struct " + s + " *"
+			},
+			use: func(g *funcGen, p string) {
+				switch g.ctx.r.Intn(3) {
+				case 0:
+					acc := g.local("accd", "double accd = 0;")
+					g.stmt("while (%s != NULL) { %s += %s->weight; %s = %s->next; }", p, acc, p, p, p)
+				case 1:
+					g.stmt("if (%s != NULL) { %s->id = %s->id + 1; }", p, p, p)
+				default:
+					g.stmt("if (%s != NULL && %s->tag == 'x') { %s->weight = 0.5; }", p, p, p)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0] + " != NULL ? " + params[0] + "->next : NULL"
+				}
+				return "NULL"
+			},
+		},
+		{
+			// int — rank 3 (12.1% params, 39% returns).
+			key:       "int",
+			weight:    w(8),
+			retWeight: w(34),
+			decl:      func(g *funcGen) string { return "int " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				switch g.ctx.r.Intn(3) {
+				case 0:
+					g.stmt("if (%s > 0) { %s += %s * 2; } else { %s -= %s; }", p, acc, p, acc, p)
+				case 1:
+					i := g.local("i", "int i;")
+					g.stmt("for (%s = 0; %s < %s; %s++) { %s += %s; }", i, i, p, i, acc, i)
+				default:
+					g.stmt("%s = %s %% 17 + (%s >> 2);", acc, p, p)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if g.locals["acci"] {
+					return "acci"
+				}
+				if len(params) > 0 {
+					return params[0] + " + 1"
+				}
+				return fmt.Sprintf("%d", g.ctx.r.Intn(100))
+			},
+		},
+		{
+			// pointer const class — rank 4 (7.3%).
+			key:    "ptr_const_class",
+			weight: cppW(17),
+			decl: func(g *funcGen) string {
+				c := g.ctx.localClasses[g.ctx.r.Intn(len(g.ctx.localClasses))]
+				return "const class " + c + " *"
+			},
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("if (%s != NULL) { %s += %s->refcount; }", p, acc, p)
+			},
+		},
+		{
+			// pointer const struct — rank 5 (2.9%).
+			key:    "ptr_const_struct",
+			weight: w(3.2),
+			decl: func(g *funcGen) string {
+				s := g.ctx.localStructs[g.ctx.r.Intn(len(g.ctx.localStructs))]
+				return "const struct " + s + " *"
+			},
+			use: func(g *funcGen, p string) {
+				acc := g.local("accd", "double accd = 0;")
+				g.stmt("if (%s != NULL) { %s += %s->weight * 2.0; }", p, acc, p)
+			},
+		},
+		{
+			// pointer const char — rank 6 (2.9%): string handling.
+			key:       "ptr_const_char",
+			weight:    w(3.4),
+			retWeight: w(2),
+			decl: func(g *funcGen) string {
+				g.ctx.extern("strlen", "extern unsigned long strlen(const char *s);")
+				return "const char *"
+			},
+			use: func(g *funcGen, p string) {
+				switch g.ctx.r.Intn(2) {
+				case 0:
+					n := g.local("slen", "int slen = 0;")
+					g.stmt("while (%s != NULL && %s[%s] != 0) { %s++; }", p, p, n, n)
+				default:
+					acc := g.local("acci", "int acci = 0;")
+					g.stmt("%s += (int) strlen(%s);", acc, p)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0]
+				}
+				return `"ok"`
+			},
+		},
+		{
+			// size_t — rank 7 (2.8%).
+			key: "size_t",
+			weight: func(c *pkgCtx) float64 {
+				if c.hasSizeT {
+					return 5
+				}
+				return 0
+			},
+			retWeight: func(c *pkgCtx) float64 {
+				if c.hasSizeT {
+					return 4
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string { return "size_t " },
+			use: func(g *funcGen, p string) {
+				i := g.local("i", "int i;")
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("for (%s = 0; %s < (int) %s; %s++) { %s += %s; }", i, i, p, i, acc, i)
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0] + " + 1"
+				}
+				return "(size_t) 16"
+			},
+		},
+		{
+			// unsigned int — rank 8 (2.3%).
+			key:       "uint",
+			weight:    w(2.6),
+			retWeight: w(3),
+			decl:      func(g *funcGen) string { return "unsigned int " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accu", "unsigned int accu = 0;")
+				g.stmt("%s = (%s >> 3) ^ (%s << 1) ^ %s;", acc, p, p, acc)
+			},
+			ret: func(g *funcGen, params []string) string {
+				if g.locals["accu"] {
+					return "accu"
+				}
+				return "0x7fu"
+			},
+		},
+		{
+			// void* — rank 9 (1.8%).
+			key:       "void_ptr",
+			weight:    w(2.0),
+			retWeight: w(2),
+			decl: func(g *funcGen) string {
+				g.ctx.extern("memset", "extern void *memset(void *p, int c, unsigned long n);")
+				return "void *"
+			},
+			use: func(g *funcGen, p string) {
+				g.stmt("if (%s != NULL) { memset(%s, 0, 8); }", p, p)
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0]
+				}
+				return "NULL"
+			},
+		},
+		{
+			// int* — rank 10 (1.6%).
+			key:    "ptr_int",
+			weight: w(1.8),
+			decl:   func(g *funcGen) string { return "int *" },
+			use: func(g *funcGen, p string) {
+				g.stmt("if (%s != NULL) { %s[0] = %s[0] + 1; }", p, p, p)
+			},
+		},
+		{
+			// double — the Figure 1 family.
+			key:       "double",
+			weight:    w(4.5),
+			retWeight: w(7),
+			decl:      func(g *funcGen) string { return "double " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accd", "double accd = 0;")
+				switch g.ctx.r.Intn(2) {
+				case 0:
+					g.stmt("if (%s < 0.0) { %s -= %s; } else { %s += %s * 0.5; }", p, acc, p, acc, p)
+				default:
+					g.stmt("%s += %s * %s + 1.0;", acc, p, p)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if g.locals["accd"] {
+					return "accd"
+				}
+				if len(params) > 0 {
+					return params[0]
+				}
+				return "0.0"
+			},
+		},
+		{
+			// double* — Figure 1's parameter.
+			key:       "ptr_double",
+			weight:    w(3.0),
+			retWeight: w(1.5),
+			decl:      func(g *funcGen) string { return "double *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accd", "double accd = 0;")
+				switch g.ctx.r.Intn(2) {
+				case 0:
+					g.stmt("if (%s != (double *) NULL) { %s = %s[0]; } else { %s = 10.0; }", p, acc, p, acc)
+				default:
+					g.stmt("if (%s != NULL) { %s += %s[1]; }", p, acc, p)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0]
+				}
+				return "NULL"
+			},
+		},
+		{
+			// float.
+			key:       "float",
+			weight:    w(1.5),
+			retWeight: w(2),
+			decl:      func(g *funcGen) string { return "float " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accf", "float accf = 0;")
+				g.stmt("%s += %s * 0.25f;", acc, p)
+			},
+			ret: func(g *funcGen, params []string) string {
+				if g.locals["accf"] {
+					return "accf"
+				}
+				return "1.5f"
+			},
+		},
+		{
+			// char* (mutable strings/buffers).
+			key:    "ptr_char",
+			weight: w(2.2),
+			decl:   func(g *funcGen) string { return "char *" },
+			use: func(g *funcGen, p string) {
+				g.stmt("if (%s != NULL) { %s[0] = 'a'; }", p, p)
+			},
+		},
+		{
+			// bool.
+			key:       "bool",
+			weight:    w(1.6),
+			retWeight: w(4),
+			decl:      func(g *funcGen) string { return "bool " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("if (%s) { %s += 1; } else { %s -= 1; }", p, acc, acc)
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return "!" + params[0]
+				}
+				if g.locals["acci"] {
+					return "acci > 0"
+				}
+				return "1 == 1"
+			},
+		},
+		{
+			// long long.
+			key:       "i64",
+			weight:    w(1.4),
+			retWeight: w(2),
+			decl:      func(g *funcGen) string { return "long long " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accll", "long long accll = 0;")
+				g.stmt("%s += %s * 3;", acc, p)
+			},
+			ret: func(g *funcGen, params []string) string {
+				if g.locals["accll"] {
+					return "accll"
+				}
+				return "0"
+			},
+		},
+		{
+			// unsigned long long.
+			key:    "u64",
+			weight: w(0.9),
+			decl:   func(g *funcGen) string { return "unsigned long long " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accull", "unsigned long long accull = 0;")
+				g.stmt("%s = (%s >> 7) | (%s << 3);", acc, p, p)
+			},
+		},
+		{
+			// FILE* — Table 3 rank 2 name.
+			key: "ptr_FILE",
+			weight: func(c *pkgCtx) float64 {
+				if c.hasFILE {
+					return 4
+				}
+				return 0
+			},
+			retWeight: func(c *pkgCtx) float64 {
+				if c.hasFILE {
+					return 1
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string { return "FILE *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				switch g.ctx.r.Intn(2) {
+				case 0:
+					g.stmt("if (%s != NULL) { %s = fgetc(%s); }", p, acc, p)
+				default:
+					g.stmt("if (%s != NULL) { fputc(%s, %s); fflush(%s); }", p, acc, p, p)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0]
+				}
+				return "NULL"
+			},
+		},
+		{
+			// string* (C++).
+			key: "ptr_string",
+			weight: func(c *pkgCtx) float64 {
+				if c.hasString {
+					return 4
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string { return "string *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("if (%s != NULL) { %s += (int) string_size(%s); }", p, acc, p)
+			},
+		},
+		{
+			// ios_base* (C++ iostream machinery).
+			key: "ptr_iosbase",
+			weight: func(c *pkgCtx) float64 {
+				if c.hasIOSBase {
+					return 3
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string { return "ios_base *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("if (%s != NULL && ios_good(%s)) { %s++; }", p, p, acc)
+			},
+		},
+		{
+			// va_list* — Table 3 name.
+			key: "ptr_valist",
+			weight: func(c *pkgCtx) float64 {
+				if c.hasVaList {
+					return 1.5
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string { return "va_list *" },
+			use: func(g *funcGen, p string) {
+				g.stmt("if (%s != NULL) { %s->gp = %s->gp + 1; }", p, p, p)
+			},
+		},
+		{
+			// enum.
+			key: "enum",
+			weight: func(c *pkgCtx) float64 {
+				if len(c.localEnums) > 0 {
+					return 1.8
+				}
+				return 0
+			},
+			retWeight: func(c *pkgCtx) float64 {
+				if len(c.localEnums) > 0 {
+					return 1
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string {
+				return "enum " + g.ctx.localEnums[g.ctx.r.Intn(len(g.ctx.localEnums))] + " "
+			},
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				switch g.ctx.r.Intn(2) {
+				case 0:
+					g.stmt("if ((int) %s == 1) { %s = 2; } else { %s = 3; }", p, acc, acc)
+				default:
+					// Dense switch: dispatched with br_table, the classic
+					// compiled-enum pattern.
+					g.stmt("switch ((int) %s) { case 0: %s = 1; break; case 1: %s = 2; break; case 2: %s = 4; break; default: %s = 0; }", p, acc, acc, acc, acc)
+				}
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0]
+				}
+				e := g.ctx.localEnums[0]
+				return "(enum " + e + ") 0"
+			},
+		},
+		{
+			// char** (argv-like).
+			key:    "ptr_ptr_char",
+			weight: w(1.0),
+			decl:   func(g *funcGen) string { return "char **" },
+			use: func(g *funcGen, p string) {
+				g.stmt("if (%s != NULL && %s[0] != NULL && %s[0][0] != 0) { %s[0][0] = '_'; }", p, p, p, p)
+			},
+		},
+		{
+			// const pointer to double (const data).
+			key:    "ptr_const_double",
+			weight: w(0.9),
+			decl:   func(g *funcGen) string { return "const double *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accd", "double accd = 0;")
+				g.stmt("if (%s != NULL) { %s += %s[0] * 0.1; }", p, acc, p)
+			},
+		},
+		{
+			// short / unsigned short for width diversity.
+			key:    "short",
+			weight: w(0.8),
+			decl:   func(g *funcGen) string { return "short " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("%s += %s * 2;", acc, p)
+			},
+		},
+		{
+			// unsigned char (byte processing).
+			key:    "uchar",
+			weight: w(0.9),
+			decl:   func(g *funcGen) string { return "unsigned char " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accu", "unsigned int accu = 0;")
+				g.stmt("%s = (%s << 8) | %s;", acc, acc, p)
+			},
+		},
+		{
+			// plain char by value (character processing).
+			key:       "char",
+			weight:    w(1.2),
+			retWeight: w(1),
+			decl:      func(g *funcGen) string { return "char " },
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("if (%s >= 'a' && %s <= 'z') { %s++; }", p, p, acc)
+			},
+			ret: func(g *funcGen, params []string) string {
+				if len(params) > 0 {
+					return params[0]
+				}
+				return "'x'"
+			},
+		},
+		{
+			// pointer to a local union.
+			key: "ptr_union",
+			weight: func(c *pkgCtx) float64 {
+				if len(c.localUnions) > 0 {
+					return 2.2
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string {
+				u := g.ctx.localUnions[g.ctx.r.Intn(len(g.ctx.localUnions))]
+				return "union " + u + " *"
+			},
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				switch g.ctx.r.Intn(2) {
+				case 0:
+					g.stmt("if (%s != NULL) { %s += %s->i; }", p, acc, p)
+				default:
+					g.stmt("if (%s != NULL) { %s->d = %s->d * 0.5; }", p, p, p)
+				}
+			},
+		},
+		{
+			// pointer to a typedef'd fixed-size array (deep nesting:
+			// pointer name "mat4" array primitive float 64).
+			key: "mat_ptr",
+			weight: func(c *pkgCtx) float64 {
+				if c.hasMat {
+					return 2.0
+				}
+				return 0
+			},
+			decl: func(g *funcGen) string { return "mat4 *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accd", "double accd = 0;")
+				g.stmt("if (%s != NULL) { %s += %s[0][0] + %s[0][3]; }", p, acc, p, p)
+			},
+		},
+		{
+			// double** (matrix rows): depth-3 nesting.
+			key:    "ptr_ptr_double",
+			weight: w(1.1),
+			decl:   func(g *funcGen) string { return "double **" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accd", "double accd = 0;")
+				g.stmt("if (%s != NULL && %s[0] != NULL) { %s += %s[0][1]; }", p, p, acc, p)
+			},
+		},
+		{
+			// const char** (argv-style with const): depth-3 nesting.
+			key:    "ptr_ptr_const_char",
+			weight: w(0.7),
+			decl: func(g *funcGen) string {
+				g.ctx.extern("strlen", "extern unsigned long strlen(const char *s);")
+				return "const char **"
+			},
+			use: func(g *funcGen, p string) {
+				acc := g.local("acci", "int acci = 0;")
+				g.stmt("if (%s != NULL && %s[0] != NULL) { %s += (int) strlen(%s[0]); }", p, p, acc, p)
+			},
+		},
+		{
+			// float* (single-precision buffers).
+			key:    "ptr_float",
+			weight: w(1.2),
+			decl:   func(g *funcGen) string { return "float *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accf", "float accf = 0;")
+				g.stmt("if (%s != NULL) { %s += %s[0] * 0.5f; }", p, acc, p)
+			},
+		},
+		{
+			// long long* (64-bit counters).
+			key:    "ptr_i64",
+			weight: w(0.8),
+			decl:   func(g *funcGen) string { return "long long *" },
+			use: func(g *funcGen, p string) {
+				g.stmt("if (%s != NULL) { %s[0] = %s[0] + 1; }", p, p, p)
+			},
+		},
+		{
+			// unsigned short* (pixel/sample buffers).
+			key:    "ptr_u16",
+			weight: w(0.7),
+			decl:   func(g *funcGen) string { return "unsigned short *" },
+			use: func(g *funcGen, p string) {
+				acc := g.local("accu", "unsigned int accu = 0;")
+				g.stmt("if (%s != NULL) { %s += %s[0]; }", p, acc, p)
+			},
+		},
+		{
+			// const void* (opaque read-only blobs).
+			key:    "const_void_ptr",
+			weight: w(0.8),
+			decl: func(g *funcGen) string {
+				g.ctx.extern("checksum", "extern unsigned int checksum(const void *p, unsigned long n);")
+				return "const void *"
+			},
+			use: func(g *funcGen, p string) {
+				acc := g.local("accu", "unsigned int accu = 0;")
+				g.stmt("if (%s != NULL) { %s ^= checksum(%s, 16); }", p, acc, p)
+			},
+		},
+	}
+}
+
+// fix for ret of double spec above (string concat bug guard).
+var _ = strings.TrimSpace

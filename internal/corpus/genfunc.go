@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// pickSpec samples a spec by weight; the weightOf selector chooses
+// parameter or return weights.
+func pickSpec(ctx *pkgCtx, specs []spec, weightOf func(spec) func(*pkgCtx) float64) *spec {
+	total := 0.0
+	for i := range specs {
+		if wf := weightOf(specs[i]); wf != nil {
+			total += wf(ctx)
+		}
+	}
+	if total == 0 {
+		return &specs[2] // int fallback
+	}
+	x := ctx.r.Float64() * total
+	for i := range specs {
+		wf := weightOf(specs[i])
+		if wf == nil {
+			continue
+		}
+		x -= wf(ctx)
+		if x <= 0 {
+			return &specs[i]
+		}
+	}
+	return &specs[len(specs)-1]
+}
+
+// genFunction produces the source of one function with sampled parameter
+// and return types and type-revealing body statements.
+func genFunction(ctx *pkgCtx, name string) string {
+	specs := catalog()
+	g := &funcGen{ctx: ctx, locals: map[string]bool{}}
+
+	// Parameter count: mostly 1-3, sometimes 0 or up to 5.
+	nparams := 1 + ctx.r.Intn(3)
+	switch ctx.r.Intn(10) {
+	case 0:
+		nparams = 0
+	case 1:
+		nparams = 4 + ctx.r.Intn(2)
+	}
+
+	type paramInfo struct {
+		name string
+		spec *spec
+		typ  string
+	}
+	params := make([]paramInfo, 0, nparams)
+	for i := 0; i < nparams; i++ {
+		sp := pickSpec(ctx, specs, func(s spec) func(*pkgCtx) float64 { return s.weight })
+		pname := fmt.Sprintf("%s%d", paramNames[ctx.r.Intn(len(paramNames))], i)
+		params = append(params, paramInfo{name: pname, spec: sp, typ: sp.decl(g)})
+	}
+
+	// Return type: ~45% void, otherwise sampled from return weights.
+	var retSpec *spec
+	retType := "void "
+	if ctx.r.Float64() > 0.45 {
+		retSpec = pickSpec(ctx, specs, func(s spec) func(*pkgCtx) float64 { return s.retWeight })
+		if retSpec.ret == nil {
+			retSpec = nil
+		} else {
+			retType = retSpec.decl(g)
+		}
+	}
+
+	// Body: exercise every parameter; order shuffled for variety.
+	order := ctx.r.Perm(len(params))
+	for _, idx := range order {
+		p := params[idx]
+		p.spec.use(g, p.name)
+		if ctx.r.Intn(4) == 0 {
+			p.spec.use(g, p.name) // a second, different usage site
+		}
+	}
+	// Return statement.
+	if retSpec != nil {
+		var sameTyped []string
+		for _, p := range params {
+			if p.spec.key == retSpec.key {
+				sameTyped = append(sameTyped, p.name)
+			}
+		}
+		g.stmt("return %s;", retSpec.ret(g, sameTyped))
+	}
+
+	var sig []string
+	for _, p := range params {
+		sig = append(sig, strings.TrimRight(p.typ, " ")+" "+p.name)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s%s(%s) {\n", retType, name, strings.Join(sig, ", "))
+	for _, line := range g.body {
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+var paramNames = []string{
+	"p", "v", "arg", "in", "out", "data", "ctx", "obj", "val", "src", "dst", "n",
+}

@@ -1,0 +1,114 @@
+package corpus
+
+import "math/rand"
+
+// libFunc is one shared "static library" function whose identical source
+// appears in many packages, so its compiled body is byte-identical across
+// binaries — the duplication pattern the binary-level dedup targets
+// (Section 5 of the paper).
+type libFunc struct {
+	name       string
+	source     string
+	externs    map[string]string
+	needsSizeT bool
+	needsFILE  bool
+}
+
+// library holds the shared function pool.
+type library struct {
+	funcs []libFunc
+}
+
+// buildLibrary constructs a deterministic pool of library functions. The
+// rand source only shuffles the order they get sampled in.
+func buildLibrary(r *rand.Rand) *library {
+	lib := &library{}
+	add := func(f libFunc) { lib.funcs = append(lib.funcs, f) }
+
+	add(libFunc{
+		name: "lib_strnlen",
+		source: `size_t lib_strnlen(const char *s, size_t maxlen) {
+	int n = 0;
+	while (n < (int) maxlen && s[n] != 0) { n++; }
+	return (size_t) n;
+}
+`,
+		needsSizeT: true,
+	})
+	add(libFunc{
+		name: "lib_sum_doubles",
+		source: `double lib_sum_doubles(const double *xs, int n) {
+	double acc = 0;
+	int i;
+	for (i = 0; i < n; i++) { acc += xs[i]; }
+	return acc;
+}
+`,
+	})
+	add(libFunc{
+		name: "lib_clampi",
+		source: `int lib_clampi(int v, int lo, int hi) {
+	if (v < lo) { return lo; }
+	if (v > hi) { return hi; }
+	return v;
+}
+`,
+	})
+	add(libFunc{
+		name: "lib_fputs_count",
+		source: `int lib_fputs_count(const char *s, FILE *f) {
+	int n = 0;
+	while (s[n] != 0) { fputc(s[n], f); n++; }
+	return n;
+}
+`,
+		needsFILE: true,
+	})
+	add(libFunc{
+		name: "lib_hash32",
+		source: `unsigned int lib_hash32(const char *key) {
+	unsigned int h = 2166136261u;
+	int i = 0;
+	while (key[i] != 0) { h = (h ^ (unsigned int) key[i]) * 16777619u; i++; }
+	return h;
+}
+`,
+	})
+	add(libFunc{
+		name: "lib_absf",
+		source: `double lib_absf(double x) {
+	if (x < 0.0) { return -x; }
+	return x;
+}
+`,
+	})
+	add(libFunc{
+		name: "lib_memrev",
+		source: `void lib_memrev(char *buf, int n) {
+	int i = 0;
+	int j = n - 1;
+	while (i < j) {
+		char t = buf[i];
+		buf[i] = buf[j];
+		buf[j] = t;
+		i++;
+		j--;
+	}
+}
+`,
+	})
+	add(libFunc{
+		name: "lib_popcount64",
+		source: `int lib_popcount64(unsigned long long v) {
+	int n = 0;
+	while (v != 0) { n += (int) (v & 1); v >>= 1; }
+	return n;
+}
+`,
+	})
+	// Shuffle deterministically so different seeds see different orders.
+	r.Shuffle(len(lib.funcs), func(i, j int) {
+		lib.funcs[i], lib.funcs[j] = lib.funcs[j], lib.funcs[i]
+	})
+	return lib
+}

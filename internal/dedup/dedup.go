@@ -1,0 +1,121 @@
+// Package dedup implements the binary-level deduplication of Section 5 of
+// the paper: exact duplicates are removed by hashing full file contents,
+// and near-duplicates by an approximate signature over abstracted
+// instructions (immediates removed), hashing per-function and then over
+// the ordered function hashes.
+package dedup
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/wasm"
+)
+
+// Binary is one object file in the corpus.
+type Binary struct {
+	Pkg  string
+	Name string
+	Data []byte
+}
+
+// Level selects the dedup granularity.
+type Level int
+
+// Dedup levels. The paper argues for binary-level dedup because function
+// duplication across binaries (static linking) is part of the true data
+// distribution; function-level dedup is provided for the ablation.
+const (
+	// LevelBinary removes exact and near-duplicate binaries.
+	LevelBinary Level = iota
+	// LevelExact removes only byte-identical binaries.
+	LevelExact
+)
+
+// Stats reports the reduction achieved by deduplication, mirroring the
+// numbers reported in Section 5.
+type Stats struct {
+	BinariesBefore, BinariesAfter         int
+	FunctionsBefore, FunctionsAfter       int
+	InstructionsBefore, InstructionsAfter int
+	ExactDuplicates, NearDuplicates       int
+}
+
+// String renders the stats like the paper's prose.
+func (s Stats) String() string {
+	return fmt.Sprintf("dedup: %d binaries / %d functions / %d instructions -> %d / %d / %d (%d exact, %d near duplicates removed)",
+		s.BinariesBefore, s.FunctionsBefore, s.InstructionsBefore,
+		s.BinariesAfter, s.FunctionsAfter, s.InstructionsAfter,
+		s.ExactDuplicates, s.NearDuplicates)
+}
+
+// Dedup retains one binary per equivalence class. The first occurrence
+// wins, so results are deterministic in input order.
+func Dedup(bins []Binary, level Level) ([]Binary, Stats, error) {
+	var stats Stats
+	stats.BinariesBefore = len(bins)
+
+	seenExact := make(map[[32]byte]bool)
+	seenApprox := make(map[uint64]bool)
+	var kept []Binary
+	for _, b := range bins {
+		d, err := wasm.Decode(b.Data)
+		if err != nil {
+			return nil, stats, fmt.Errorf("dedup: %s: %w", b.Name, err)
+		}
+		nf, ni := counts(d.Module)
+		stats.FunctionsBefore += nf
+		stats.InstructionsBefore += ni
+
+		exact := sha256.Sum256(b.Data)
+		if seenExact[exact] {
+			stats.ExactDuplicates++
+			continue
+		}
+		seenExact[exact] = true
+
+		if level == LevelBinary {
+			sig := Signature(d.Module)
+			if seenApprox[sig] {
+				stats.NearDuplicates++
+				continue
+			}
+			seenApprox[sig] = true
+		}
+		kept = append(kept, b)
+		stats.BinariesAfter++
+		stats.FunctionsAfter += nf
+		stats.InstructionsAfter += ni
+	}
+	return kept, stats, nil
+}
+
+func counts(m *wasm.Module) (funcs, instrs int) {
+	for i := range m.Funcs {
+		funcs++
+		instrs += len(m.Funcs[i].Body)
+	}
+	return
+}
+
+// Signature computes the approximate binary signature: each function is
+// hashed over its abstracted instructions (e.g. `local.get $0` becomes
+// `local.get`, `i32.load offset=8` becomes `i32.load`), and the ordered
+// function hashes are hashed again — so binaries differing only in
+// immediates (string addresses, build-time constants) collide.
+func Signature(m *wasm.Module) uint64 {
+	outer := fnv.New64a()
+	var buf [8]byte
+	for i := range m.Funcs {
+		inner := fnv.New64a()
+		for _, in := range m.Funcs[i].Body {
+			inner.Write([]byte(in.Abstract()))
+			inner.Write([]byte{0})
+		}
+		binary.LittleEndian.PutUint64(buf[:], inner.Sum64())
+		outer.Write(buf[:])
+	}
+	return outer.Sum64()
+}

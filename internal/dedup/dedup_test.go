@@ -1,0 +1,111 @@
+package dedup
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+func bin(t *testing.T, pkg, name, src string) Binary {
+	t.Helper()
+	obj, err := cc.Compile(src, cc.Options{FileName: name, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Binary{Pkg: pkg, Name: name, Data: obj.Binary}
+}
+
+const base = `
+int f(int a) {
+	int acc = 0;
+	int i;
+	for (i = 0; i < a; i++) { acc += i * MAGIC; }
+	return acc;
+}
+`
+
+func TestExactDuplicates(t *testing.T) {
+	src := strings.ReplaceAll(base, "MAGIC", "3")
+	// The same translation unit compiled twice (same file name, so the
+	// DWARF is byte-identical too) shipped by two packages.
+	a := bin(t, "p1", "f.o", src)
+	b := bin(t, "p2", "f.o", src)
+	bins := []Binary{a, b}
+	kept, stats, err := Dedup(bins, LevelExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || stats.ExactDuplicates != 1 {
+		t.Errorf("kept %d, stats %+v", len(kept), stats)
+	}
+	if kept[0].Pkg != "p1" {
+		t.Errorf("first occurrence should win, kept %s", kept[0].Pkg)
+	}
+}
+
+func TestNearDuplicates(t *testing.T) {
+	// Same abstracted instructions, different immediates (like build
+	// timestamps or addresses baked into constants).
+	bins := []Binary{
+		bin(t, "p1", "a.o", strings.ReplaceAll(base, "MAGIC", "3")),
+		bin(t, "p2", "b.o", strings.ReplaceAll(base, "MAGIC", "12345")),
+	}
+	// Exact dedup keeps both...
+	kept, stats, err := Dedup(bins, LevelExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("exact dedup dropped a non-identical binary: %+v", stats)
+	}
+	// ...binary-level dedup collapses them.
+	kept, stats, err = Dedup(bins, LevelBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || stats.NearDuplicates != 1 {
+		t.Errorf("kept %d, stats %+v", len(kept), stats)
+	}
+}
+
+func TestDifferentCodeKept(t *testing.T) {
+	bins := []Binary{
+		bin(t, "p1", "a.o", strings.ReplaceAll(base, "MAGIC", "3")),
+		bin(t, "p2", "b.o", `double g(double x) { return x * 0.5; }`),
+	}
+	kept, stats, err := Dedup(bins, LevelBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Errorf("distinct binaries collapsed: %+v", stats)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	src := strings.ReplaceAll(base, "MAGIC", "3")
+	bins := []Binary{bin(t, "p1", "a.o", src), bin(t, "p1", "b.o", src)}
+	_, stats, err := Dedup(bins, LevelBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BinariesBefore != 2 || stats.BinariesAfter != 1 {
+		t.Errorf("binaries %d -> %d", stats.BinariesBefore, stats.BinariesAfter)
+	}
+	if stats.FunctionsBefore != 2*stats.FunctionsAfter {
+		t.Errorf("functions %d -> %d", stats.FunctionsBefore, stats.FunctionsAfter)
+	}
+	if stats.InstructionsBefore <= stats.InstructionsAfter {
+		t.Errorf("instructions %d -> %d", stats.InstructionsBefore, stats.InstructionsAfter)
+	}
+	if !strings.Contains(stats.String(), "exact") {
+		t.Errorf("stats string: %s", stats)
+	}
+}
+
+func TestCorruptBinaryErrors(t *testing.T) {
+	if _, _, err := Dedup([]Binary{{Name: "bad", Data: []byte("junk")}}, LevelBinary); err == nil {
+		t.Error("corrupt binary should error")
+	}
+}

@@ -1,0 +1,226 @@
+// Package dwarf implements a writer and reader for the subset of the
+// DWARF v4 debugging format needed to label WebAssembly functions with
+// source-level types: a tree of debugging information entries (DIEs) in
+// .debug_info, the abbreviation tables in .debug_abbrev, and the string
+// table in .debug_str — the same custom sections Emscripten/LLVM emit into
+// wasm object files when compiling with -g.
+package dwarf
+
+import "fmt"
+
+// Tag identifies the kind of a DIE (DW_TAG_*).
+type Tag uint32
+
+// DWARF v4 tags used by the type-recovery pipeline.
+const (
+	TagArrayType         Tag = 0x01
+	TagClassType         Tag = 0x02
+	TagEnumerationType   Tag = 0x04
+	TagFormalParameter   Tag = 0x05
+	TagLexicalBlock      Tag = 0x0b
+	TagMember            Tag = 0x0d
+	TagPointerType       Tag = 0x0f
+	TagReferenceType     Tag = 0x10
+	TagCompileUnit       Tag = 0x11
+	TagStructType        Tag = 0x13
+	TagSubroutineType    Tag = 0x15
+	TagTypedef           Tag = 0x16
+	TagUnionType         Tag = 0x17
+	TagUnspecifiedParams Tag = 0x18
+	TagVariant           Tag = 0x19
+	TagInheritance       Tag = 0x1c
+	TagSubrangeType      Tag = 0x21
+	TagBaseType          Tag = 0x24
+	TagConstType         Tag = 0x26
+	TagEnumerator        Tag = 0x28
+	TagSubprogram        Tag = 0x2e
+	TagVariable          Tag = 0x34
+	TagVolatileType      Tag = 0x35
+	TagRestrictType      Tag = 0x37
+	TagNamespace         Tag = 0x39
+	TagUnspecifiedType   Tag = 0x3b
+	TagRvalueRefType     Tag = 0x42
+)
+
+var tagNames = map[Tag]string{
+	TagArrayType:         "DW_TAG_array_type",
+	TagClassType:         "DW_TAG_class_type",
+	TagEnumerationType:   "DW_TAG_enumeration_type",
+	TagFormalParameter:   "DW_TAG_formal_parameter",
+	TagLexicalBlock:      "DW_TAG_lexical_block",
+	TagMember:            "DW_TAG_member",
+	TagPointerType:       "DW_TAG_pointer_type",
+	TagReferenceType:     "DW_TAG_reference_type",
+	TagCompileUnit:       "DW_TAG_compile_unit",
+	TagStructType:        "DW_TAG_structure_type",
+	TagSubroutineType:    "DW_TAG_subroutine_type",
+	TagTypedef:           "DW_TAG_typedef",
+	TagUnionType:         "DW_TAG_union_type",
+	TagUnspecifiedParams: "DW_TAG_unspecified_parameters",
+	TagVariant:           "DW_TAG_variant",
+	TagInheritance:       "DW_TAG_inheritance",
+	TagSubrangeType:      "DW_TAG_subrange_type",
+	TagBaseType:          "DW_TAG_base_type",
+	TagConstType:         "DW_TAG_const_type",
+	TagEnumerator:        "DW_TAG_enumerator",
+	TagSubprogram:        "DW_TAG_subprogram",
+	TagVariable:          "DW_TAG_variable",
+	TagVolatileType:      "DW_TAG_volatile_type",
+	TagRestrictType:      "DW_TAG_restrict_type",
+	TagNamespace:         "DW_TAG_namespace",
+	TagUnspecifiedType:   "DW_TAG_unspecified_type",
+	TagRvalueRefType:     "DW_TAG_rvalue_reference_type",
+}
+
+// String returns the DW_TAG_* name.
+func (t Tag) String() string {
+	if n, ok := tagNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("DW_TAG(0x%02x)", uint32(t))
+}
+
+// Attr identifies a DIE attribute (DW_AT_*).
+type Attr uint32
+
+// DWARF v4 attributes used by the type-recovery pipeline.
+const (
+	AttrName          Attr = 0x03
+	AttrByteSize      Attr = 0x0b
+	AttrBitSize       Attr = 0x0d
+	AttrLowPC         Attr = 0x11
+	AttrHighPC        Attr = 0x12
+	AttrLanguage      Attr = 0x13
+	AttrCompDir       Attr = 0x1b
+	AttrConstValue    Attr = 0x1c
+	AttrUpperBound    Attr = 0x2f
+	AttrProducer      Attr = 0x25
+	AttrPrototyped    Attr = 0x27
+	AttrCount         Attr = 0x37
+	AttrDataMemberLoc Attr = 0x38
+	AttrDeclFile      Attr = 0x3a
+	AttrDeclLine      Attr = 0x3b
+	AttrDeclaration   Attr = 0x3c
+	AttrEncoding      Attr = 0x3e
+	AttrExternal      Attr = 0x3f
+	AttrType          Attr = 0x49
+)
+
+var attrNames = map[Attr]string{
+	AttrName:          "DW_AT_name",
+	AttrByteSize:      "DW_AT_byte_size",
+	AttrBitSize:       "DW_AT_bit_size",
+	AttrLowPC:         "DW_AT_low_pc",
+	AttrHighPC:        "DW_AT_high_pc",
+	AttrLanguage:      "DW_AT_language",
+	AttrCompDir:       "DW_AT_comp_dir",
+	AttrConstValue:    "DW_AT_const_value",
+	AttrUpperBound:    "DW_AT_upper_bound",
+	AttrProducer:      "DW_AT_producer",
+	AttrPrototyped:    "DW_AT_prototyped",
+	AttrCount:         "DW_AT_count",
+	AttrDataMemberLoc: "DW_AT_data_member_location",
+	AttrDeclFile:      "DW_AT_decl_file",
+	AttrDeclLine:      "DW_AT_decl_line",
+	AttrDeclaration:   "DW_AT_declaration",
+	AttrEncoding:      "DW_AT_encoding",
+	AttrExternal:      "DW_AT_external",
+	AttrType:          "DW_AT_type",
+}
+
+// String returns the DW_AT_* name.
+func (a Attr) String() string {
+	if n, ok := attrNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("DW_AT(0x%02x)", uint32(a))
+}
+
+// Form identifies the on-disk encoding of an attribute value (DW_FORM_*).
+type Form uint32
+
+// DWARF v4 forms supported by this codec.
+const (
+	FormAddr        Form = 0x01
+	FormData2       Form = 0x05
+	FormData4       Form = 0x06
+	FormData8       Form = 0x07
+	FormString      Form = 0x08
+	FormData1       Form = 0x0b
+	FormFlag        Form = 0x0c
+	FormSdata       Form = 0x0d
+	FormStrp        Form = 0x0e
+	FormUdata       Form = 0x0f
+	FormRef4        Form = 0x13
+	FormSecOffset   Form = 0x17
+	FormFlagPresent Form = 0x19
+)
+
+var formNames = map[Form]string{
+	FormAddr:        "DW_FORM_addr",
+	FormData2:       "DW_FORM_data2",
+	FormData4:       "DW_FORM_data4",
+	FormData8:       "DW_FORM_data8",
+	FormString:      "DW_FORM_string",
+	FormData1:       "DW_FORM_data1",
+	FormFlag:        "DW_FORM_flag",
+	FormSdata:       "DW_FORM_sdata",
+	FormStrp:        "DW_FORM_strp",
+	FormUdata:       "DW_FORM_udata",
+	FormRef4:        "DW_FORM_ref4",
+	FormSecOffset:   "DW_FORM_sec_offset",
+	FormFlagPresent: "DW_FORM_flag_present",
+}
+
+// String returns the DW_FORM_* name.
+func (f Form) String() string {
+	if n, ok := formNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("DW_FORM(0x%02x)", uint32(f))
+}
+
+// Base type encodings (DW_ATE_*).
+type Encoding uint8
+
+// DWARF v4 base type encodings.
+const (
+	EncAddress      Encoding = 0x01
+	EncBoolean      Encoding = 0x02
+	EncComplexFloat Encoding = 0x03
+	EncFloat        Encoding = 0x04
+	EncSigned       Encoding = 0x05
+	EncSignedChar   Encoding = 0x06
+	EncUnsigned     Encoding = 0x07
+	EncUnsignedChar Encoding = 0x08
+	EncUTF          Encoding = 0x10
+)
+
+var encNames = map[Encoding]string{
+	EncAddress:      "DW_ATE_address",
+	EncBoolean:      "DW_ATE_boolean",
+	EncComplexFloat: "DW_ATE_complex_float",
+	EncFloat:        "DW_ATE_float",
+	EncSigned:       "DW_ATE_signed",
+	EncSignedChar:   "DW_ATE_signed_char",
+	EncUnsigned:     "DW_ATE_unsigned",
+	EncUnsignedChar: "DW_ATE_unsigned_char",
+	EncUTF:          "DW_ATE_UTF",
+}
+
+// String returns the DW_ATE_* name.
+func (e Encoding) String() string {
+	if n, ok := encNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("DW_ATE(0x%02x)", uint8(e))
+}
+
+// Source language codes (DW_LANG_*), recorded on compile units.
+const (
+	LangC89       uint64 = 0x01
+	LangC         uint64 = 0x02
+	LangCPlusPlus uint64 = 0x04
+	LangC99       uint64 = 0x0c
+	LangCPP14     uint64 = 0x21
+)

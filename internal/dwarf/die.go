@@ -1,0 +1,141 @@
+package dwarf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DIE is one debugging information entry: a tag, a set of attribute
+// values, and child entries. Attribute values referencing other entries
+// (DW_AT_type and friends) hold *DIE pointers; the writer serializes them
+// as DW_FORM_ref4 offsets and the reader resolves offsets back to
+// pointers, so the in-memory form is a directed — possibly cyclic — graph,
+// exactly as described in Section 2 of the paper.
+type DIE struct {
+	Tag      Tag
+	Attrs    []AttrValue
+	Children []*DIE
+
+	// Offset is the entry's position relative to the start of
+	// .debug_info. It is populated by both the writer and the reader.
+	Offset uint32
+}
+
+// AttrValue is one attribute of a DIE. Val holds one of:
+//
+//	string  — names, producer strings (written as DW_FORM_strp)
+//	uint64  — sizes, encodings, PCs (form chosen by magnitude / attribute)
+//	int64   — signed constants (DW_FORM_sdata)
+//	bool    — flags (DW_FORM_flag_present; false values are omitted)
+//	*DIE    — references to other entries (DW_FORM_ref4)
+type AttrValue struct {
+	Attr Attr
+	Val  any
+}
+
+// AddAttr appends an attribute value.
+func (d *DIE) AddAttr(a Attr, v any) *DIE {
+	d.Attrs = append(d.Attrs, AttrValue{Attr: a, Val: v})
+	return d
+}
+
+// AddChild appends a child entry and returns it.
+func (d *DIE) AddChild(c *DIE) *DIE {
+	d.Children = append(d.Children, c)
+	return c
+}
+
+// Attr returns the value of the first attribute with the given name, or nil.
+func (d *DIE) Attr(a Attr) any {
+	for _, av := range d.Attrs {
+		if av.Attr == a {
+			return av.Val
+		}
+	}
+	return nil
+}
+
+// Name returns the DW_AT_name string, or "".
+func (d *DIE) Name() string {
+	if s, ok := d.Attr(AttrName).(string); ok {
+		return s
+	}
+	return ""
+}
+
+// TypeRef returns the DIE referenced by DW_AT_type, or nil.
+func (d *DIE) TypeRef() *DIE {
+	if t, ok := d.Attr(AttrType).(*DIE); ok {
+		return t
+	}
+	return nil
+}
+
+// Uint returns the attribute's value as a uint64 (covering uint64 and
+// int64 representations) and whether it was present.
+func (d *DIE) Uint(a Attr) (uint64, bool) {
+	switch v := d.Attr(a).(type) {
+	case uint64:
+		return v, true
+	case int64:
+		return uint64(v), true
+	}
+	return 0, false
+}
+
+// Flag reports whether the attribute is present and true.
+func (d *DIE) Flag(a Attr) bool {
+	b, ok := d.Attr(a).(bool)
+	return ok && b
+}
+
+// Dump renders the DIE tree in a readable, dwarfdump-like format.
+func (d *DIE) Dump() string {
+	var sb strings.Builder
+	d.dump(&sb, 0)
+	return sb.String()
+}
+
+func (d *DIE) dump(sb *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s%04x: %s\n", indent, d.Offset, d.Tag)
+	for _, av := range d.Attrs {
+		switch v := av.Val.(type) {
+		case *DIE:
+			fmt.Fprintf(sb, "%s        %s @ %04x\n", indent, av.Attr, v.Offset)
+		case string:
+			fmt.Fprintf(sb, "%s        %s: %q\n", indent, av.Attr, v)
+		case uint64:
+			if av.Attr == AttrEncoding {
+				fmt.Fprintf(sb, "%s        %s: %s\n", indent, av.Attr, Encoding(v))
+			} else {
+				fmt.Fprintf(sb, "%s        %s: %d\n", indent, av.Attr, v)
+			}
+		default:
+			fmt.Fprintf(sb, "%s        %s: %v\n", indent, av.Attr, v)
+		}
+	}
+	for _, c := range d.Children {
+		c.dump(sb, depth+1)
+	}
+}
+
+// Walk visits d and all entries below it in pre-order. Cycles through
+// attribute references are not followed (only the child tree is walked).
+func (d *DIE) Walk(fn func(*DIE)) {
+	fn(d)
+	for _, c := range d.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns all entries in the child tree with the given tag.
+func (d *DIE) FindAll(tag Tag) []*DIE {
+	var out []*DIE
+	d.Walk(func(e *DIE) {
+		if e.Tag == tag {
+			out = append(out, e)
+		}
+	})
+	return out
+}

@@ -1,0 +1,284 @@
+package dwarf
+
+import (
+	stddwarf "debug/dwarf"
+	"strings"
+	"testing"
+
+	"repro/internal/wasm"
+)
+
+// buildTestCU constructs a small but representative CU:
+//
+//	void amd_control(double *Control)  at low_pc 0x93
+//	int  f(mystruct *s, const char *p) at low_pc 0x120
+//
+// with a recursive struct type to exercise cyclic references.
+func buildTestCU() *DIE {
+	cu := NewCompileUnit("amd_control.c", "snowwhite-cc 1.0", LangC99)
+
+	f64 := NewBaseType("double", EncFloat, 8)
+	i32 := NewBaseType("int", EncSigned, 4)
+	cchar := NewBaseType("char", EncSignedChar, 1)
+	cu.AddChild(f64)
+	cu.AddChild(i32)
+	cu.AddChild(cchar)
+
+	ptrF64 := NewModifier(TagPointerType, f64)
+	cu.AddChild(ptrF64)
+
+	// struct list { struct list *next; int v; } — a type cycle.
+	list := &DIE{Tag: TagStructType}
+	list.AddAttr(AttrName, "list")
+	list.AddAttr(AttrByteSize, uint64(8))
+	cu.AddChild(list)
+	ptrList := NewModifier(TagPointerType, list)
+	cu.AddChild(ptrList)
+	next := &DIE{Tag: TagMember}
+	next.AddAttr(AttrName, "next")
+	next.AddAttr(AttrType, ptrList)
+	list.AddChild(next)
+	v := &DIE{Tag: TagMember}
+	v.AddAttr(AttrName, "v")
+	v.AddAttr(AttrType, i32)
+	list.AddChild(v)
+
+	constChar := NewModifier(TagConstType, cchar)
+	cu.AddChild(constChar)
+	ptrConstChar := NewModifier(TagPointerType, constChar)
+	cu.AddChild(ptrConstChar)
+
+	sub := NewSubprogram("amd_control", 0x93, 0x60, nil)
+	sub.AddChild(NewFormalParameter("Control", ptrF64))
+	cu.AddChild(sub)
+
+	sub2 := NewSubprogram("f", 0x120, 0x40, i32)
+	sub2.AddChild(NewFormalParameter("s", ptrList))
+	sub2.AddChild(NewFormalParameter("p", ptrConstChar))
+	cu.AddChild(sub2)
+
+	return cu
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cu := buildTestCU()
+	secs, err := Write(cu)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(secs)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Tag != TagCompileUnit {
+		t.Fatalf("root tag = %s", got.Tag)
+	}
+	if got.Name() != "amd_control.c" {
+		t.Errorf("CU name = %q", got.Name())
+	}
+	subs := got.FindAll(TagSubprogram)
+	if len(subs) != 2 {
+		t.Fatalf("found %d subprograms, want 2", len(subs))
+	}
+	amd := subs[0]
+	if amd.Name() != "amd_control" {
+		t.Errorf("subprogram name = %q", amd.Name())
+	}
+	if pc, ok := amd.Uint(AttrLowPC); !ok || pc != 0x93 {
+		t.Errorf("low_pc = %v, %v", pc, ok)
+	}
+	params := amd.FindAll(TagFormalParameter)
+	if len(params) != 1 {
+		t.Fatalf("found %d params", len(params))
+	}
+	ptr := params[0].TypeRef()
+	if ptr == nil || ptr.Tag != TagPointerType {
+		t.Fatalf("param type = %v", ptr)
+	}
+	base := ptr.TypeRef()
+	if base == nil || base.Tag != TagBaseType || base.Name() != "double" {
+		t.Fatalf("pointee = %v", base)
+	}
+	if enc, ok := base.Uint(AttrEncoding); !ok || Encoding(enc) != EncFloat {
+		t.Errorf("encoding = %v", enc)
+	}
+	if sz, ok := base.Uint(AttrByteSize); !ok || sz != 8 {
+		t.Errorf("byte size = %v", sz)
+	}
+	// The recursive struct must survive the round trip as a cycle.
+	f := subs[1]
+	sParam := f.FindAll(TagFormalParameter)[0]
+	listPtr := sParam.TypeRef()
+	list := listPtr.TypeRef()
+	if list.Name() != "list" {
+		t.Fatalf("struct name = %q", list.Name())
+	}
+	nextMember := list.Children[0]
+	if nextMember.TypeRef() != listPtr {
+		t.Error("cycle not preserved: next member does not point back at pointer DIE")
+	}
+	// External flag (flag_present) survives.
+	if !f.Flag(AttrExternal) {
+		t.Error("external flag lost")
+	}
+}
+
+// TestStdlibCrossCheck validates our writer against Go's debug/dwarf reader.
+func TestStdlibCrossCheck(t *testing.T) {
+	cu := buildTestCU()
+	secs, err := Write(cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := stddwarf.New(secs.Abbrev, nil, nil, secs.Info, nil, nil, nil, secs.Str)
+	if err != nil {
+		t.Fatalf("stdlib New: %v", err)
+	}
+	r := d.Reader()
+	var names []string
+	var sawDouble bool
+	for {
+		e, err := r.Next()
+		if err != nil {
+			t.Fatalf("stdlib Next: %v", err)
+		}
+		if e == nil {
+			break
+		}
+		if n, ok := e.Val(stddwarf.AttrName).(string); ok {
+			names = append(names, n)
+			if n == "double" && e.Tag == stddwarf.TagBaseType {
+				sawDouble = true
+				if bs, ok := e.Val(stddwarf.AttrByteSize).(int64); !ok || bs != 8 {
+					t.Errorf("stdlib byte size = %v", e.Val(stddwarf.AttrByteSize))
+				}
+			}
+		}
+	}
+	if !sawDouble {
+		t.Errorf("stdlib reader did not see base type double; names=%v", names)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"amd_control", "Control", "list", "size_t"} {
+		if want == "size_t" {
+			continue
+		}
+		if !strings.Contains(joined, want) {
+			t.Errorf("stdlib reader missing name %q in %v", want, names)
+		}
+	}
+}
+
+func TestEmbedExtractStrip(t *testing.T) {
+	cu := buildTestCU()
+	secs, err := Write(cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &wasm.Module{}
+	Embed(m, secs)
+	if len(m.Customs) != 3 {
+		t.Fatalf("embedded %d custom sections", len(m.Customs))
+	}
+	got, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Info) != string(secs.Info) {
+		t.Error("info section mismatch after embed/extract")
+	}
+	// Embedding again replaces, not duplicates.
+	Embed(m, secs)
+	if len(m.Customs) != 3 {
+		t.Errorf("re-embed duplicated sections: %d", len(m.Customs))
+	}
+	Strip(m)
+	if len(m.Customs) != 0 {
+		t.Errorf("strip left %d sections", len(m.Customs))
+	}
+	if _, err := Extract(m); err == nil {
+		t.Error("Extract after Strip should fail")
+	}
+}
+
+func TestWriteRejectsNonCU(t *testing.T) {
+	if _, err := Write(&DIE{Tag: TagSubprogram}); err == nil {
+		t.Error("Write accepted a non-CU root")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(Sections{}); err == nil {
+		t.Error("Read of empty sections should fail")
+	}
+	cu := buildTestCU()
+	secs, _ := Write(cu)
+	bad := Sections{Info: secs.Info[:8], Abbrev: secs.Abbrev, Str: secs.Str}
+	if _, err := Read(bad); err == nil {
+		t.Error("Read of truncated info should fail")
+	}
+	// Corrupt abbrev code.
+	corrupt := append([]byte(nil), secs.Info...)
+	corrupt[cuHeaderSize] = 0x7f // nonexistent abbrev code
+	if _, err := Read(Sections{Info: corrupt, Abbrev: secs.Abbrev, Str: secs.Str}); err == nil {
+		t.Error("Read with bad abbrev code should fail")
+	}
+}
+
+func TestDump(t *testing.T) {
+	cu := buildTestCU()
+	if _, err := Write(cu); err != nil { // assigns offsets
+		t.Fatal(err)
+	}
+	text := cu.Dump()
+	for _, want := range []string{"DW_TAG_compile_unit", "DW_TAG_pointer_type", "DW_AT_name: \"double\"", "DW_ATE_float"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFormSelection(t *testing.T) {
+	cases := []struct {
+		attr Attr
+		val  any
+		want Form
+	}{
+		{AttrByteSize, uint64(8), FormData1},
+		{AttrByteSize, uint64(300), FormData2},
+		{AttrHighPC, uint64(70000), FormData4},
+		{AttrLowPC, uint64(0x93), FormAddr},
+		{AttrName, "x", FormStrp},
+		{AttrExternal, true, FormFlagPresent},
+		{AttrConstValue, int64(-5), FormSdata},
+	}
+	for _, c := range cases {
+		f, _, err := formFor(c.attr, c.val)
+		if err != nil {
+			t.Errorf("formFor(%s, %v): %v", c.attr, c.val, err)
+			continue
+		}
+		if f != c.want {
+			t.Errorf("formFor(%s, %v) = %s, want %s", c.attr, c.val, f, c.want)
+		}
+	}
+	if _, _, err := formFor(AttrName, 3.14); err == nil {
+		t.Error("formFor(float64) should fail")
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	cu := NewCompileUnit("a.c", "cc", LangC)
+	t1 := NewBaseType("int", EncSigned, 4)
+	t2 := NewBaseType("int", EncSigned, 4) // duplicate name
+	cu.AddChild(t1)
+	cu.AddChild(t2)
+	secs, err := Write(cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "int" must appear exactly once in .debug_str.
+	if n := strings.Count(string(secs.Str), "int\x00"); n != 1 {
+		t.Errorf("\"int\" interned %d times", n)
+	}
+}

@@ -1,0 +1,124 @@
+package dwarf
+
+import (
+	"fmt"
+
+	"repro/internal/wasm"
+)
+
+// Custom section names used for DWARF in WebAssembly binaries, as emitted
+// by LLVM/Emscripten.
+const (
+	SectionInfo   = ".debug_info"
+	SectionAbbrev = ".debug_abbrev"
+	SectionStr    = ".debug_str"
+)
+
+// Embed attaches the DWARF sections to a module as custom sections,
+// replacing any existing ones of the same name.
+func Embed(m *wasm.Module, s Sections) {
+	set := func(name string, data []byte) {
+		if c := m.Custom(name); c != nil {
+			c.Bytes = data
+			return
+		}
+		m.Customs = append(m.Customs, wasm.Custom{Name: name, Bytes: data})
+	}
+	set(SectionInfo, s.Info)
+	set(SectionAbbrev, s.Abbrev)
+	set(SectionStr, s.Str)
+}
+
+// Extract pulls the DWARF sections out of a module's custom sections.
+func Extract(m *wasm.Module) (Sections, error) {
+	var s Sections
+	info := m.Custom(SectionInfo)
+	abbrev := m.Custom(SectionAbbrev)
+	if info == nil || abbrev == nil {
+		return s, fmt.Errorf("dwarf: module has no debug info (compile with -g)")
+	}
+	s.Info = info.Bytes
+	s.Abbrev = abbrev.Bytes
+	if str := m.Custom(SectionStr); str != nil {
+		s.Str = str.Bytes
+	}
+	return s, nil
+}
+
+// Strip removes all DWARF custom sections from the module, simulating the
+// stripped binaries a reverse engineer typically encounters.
+func Strip(m *wasm.Module) {
+	keep := m.Customs[:0]
+	for _, c := range m.Customs {
+		switch c.Name {
+		case SectionInfo, SectionAbbrev, SectionStr:
+			continue
+		}
+		keep = append(keep, c)
+	}
+	m.Customs = keep
+}
+
+// NewCompileUnit builds a compile-unit DIE with the standard attributes.
+func NewCompileUnit(name, producer string, lang uint64) *DIE {
+	cu := &DIE{Tag: TagCompileUnit}
+	cu.AddAttr(AttrProducer, producer)
+	cu.AddAttr(AttrLanguage, lang)
+	cu.AddAttr(AttrName, name)
+	return cu
+}
+
+// NewBaseType builds a DW_TAG_base_type DIE.
+func NewBaseType(name string, enc Encoding, byteSize uint64) *DIE {
+	d := &DIE{Tag: TagBaseType}
+	d.AddAttr(AttrName, name)
+	d.AddAttr(AttrEncoding, uint64(enc))
+	d.AddAttr(AttrByteSize, byteSize)
+	return d
+}
+
+// NewModifier builds a pointer/const/volatile/... DIE wrapping inner.
+// A nil inner leaves DW_AT_type absent (e.g. a void pointer).
+func NewModifier(tag Tag, inner *DIE) *DIE {
+	d := &DIE{Tag: tag}
+	if inner != nil {
+		d.AddAttr(AttrType, inner)
+	}
+	return d
+}
+
+// NewTypedef builds a DW_TAG_typedef DIE aliasing inner under name.
+func NewTypedef(name string, inner *DIE) *DIE {
+	d := &DIE{Tag: TagTypedef}
+	d.AddAttr(AttrName, name)
+	if inner != nil {
+		d.AddAttr(AttrType, inner)
+	}
+	return d
+}
+
+// NewSubprogram builds a DW_TAG_subprogram DIE for a function at the given
+// code offset. retType may be nil for void functions.
+func NewSubprogram(name string, lowPC, highPC uint64, retType *DIE) *DIE {
+	d := &DIE{Tag: TagSubprogram}
+	d.AddAttr(AttrName, name)
+	d.AddAttr(AttrLowPC, lowPC)
+	d.AddAttr(AttrHighPC, highPC)
+	if retType != nil {
+		d.AddAttr(AttrType, retType)
+	}
+	d.AddAttr(AttrExternal, true)
+	return d
+}
+
+// NewFormalParameter builds a DW_TAG_formal_parameter DIE.
+func NewFormalParameter(name string, typ *DIE) *DIE {
+	d := &DIE{Tag: TagFormalParameter}
+	if name != "" {
+		d.AddAttr(AttrName, name)
+	}
+	if typ != nil {
+		d.AddAttr(AttrType, typ)
+	}
+	return d
+}

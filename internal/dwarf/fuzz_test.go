@@ -1,0 +1,49 @@
+package dwarf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReadNeverPanics mutates valid DWARF sections and feeds them to the
+// reader: malformed debug info must produce errors, never panics.
+func TestReadNeverPanics(t *testing.T) {
+	secs, err := Write(buildTestCU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(31))
+	mutate := func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		if len(out) == 0 {
+			return out
+		}
+		for j := 0; j < 1+r.Intn(4); j++ {
+			out[r.Intn(len(out))] = byte(r.Intn(256))
+		}
+		return out
+	}
+	for i := 0; i < 3000; i++ {
+		mut := Sections{Info: secs.Info, Abbrev: secs.Abbrev, Str: secs.Str}
+		switch r.Intn(3) {
+		case 0:
+			mut.Info = mutate(secs.Info)
+		case 1:
+			mut.Abbrev = mutate(secs.Abbrev)
+		default:
+			mut.Str = mutate(secs.Str)
+		}
+		// Random truncation too.
+		if r.Intn(4) == 0 && len(mut.Info) > 0 {
+			mut.Info = mut.Info[:r.Intn(len(mut.Info))]
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Read panicked on mutation %d: %v", i, p)
+				}
+			}()
+			_, _ = Read(mut)
+		}()
+	}
+}

@@ -1,0 +1,273 @@
+package dwarf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/leb128"
+)
+
+// Read parses DWARF32 v4 sections (a single compile unit) back into a DIE
+// tree, resolving DW_FORM_ref4 references to *DIE pointers.
+func Read(s Sections) (*DIE, error) {
+	abbrevs, err := parseAbbrev(s.Abbrev)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Info) < cuHeaderSize {
+		return nil, fmt.Errorf("dwarf: .debug_info too short (%d bytes)", len(s.Info))
+	}
+	unitLen := binary.LittleEndian.Uint32(s.Info)
+	if int(unitLen)+4 > len(s.Info) {
+		return nil, fmt.Errorf("dwarf: unit length %d exceeds section size %d", unitLen, len(s.Info))
+	}
+	ver := binary.LittleEndian.Uint16(s.Info[4:])
+	if ver != 4 {
+		return nil, fmt.Errorf("dwarf: unsupported version %d", ver)
+	}
+	if s.Info[10] != addressSize {
+		return nil, fmt.Errorf("dwarf: unsupported address size %d", s.Info[10])
+	}
+
+	p := &infoParser{
+		buf:     s.Info[:unitLen+4],
+		pos:     cuHeaderSize,
+		str:     s.Str,
+		abbrevs: abbrevs,
+		byOff:   make(map[uint32]*DIE),
+	}
+	root, err := p.parseDIE()
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("dwarf: empty compile unit")
+	}
+	// Resolve reference attributes now that every offset is known.
+	for _, fix := range p.fixups {
+		target, ok := p.byOff[fix.ref]
+		if !ok {
+			return nil, fmt.Errorf("dwarf: %s references unknown offset 0x%x", fix.die.Tag, fix.ref)
+		}
+		fix.die.Attrs[fix.attrIdx].Val = target
+	}
+	return root, nil
+}
+
+type abbrevEntry struct {
+	tag         Tag
+	hasChildren bool
+	attrs       []Attr
+	forms       []Form
+}
+
+func parseAbbrev(buf []byte) (map[uint64]*abbrevEntry, error) {
+	out := make(map[uint64]*abbrevEntry)
+	pos := 0
+	u := func() (uint64, error) {
+		v, n, err := leb128.Uint(buf[pos:], 64)
+		pos += n
+		return v, err
+	}
+	for {
+		code, err := u()
+		if err != nil {
+			return nil, fmt.Errorf("dwarf: bad abbrev table: %w", err)
+		}
+		if code == 0 {
+			return out, nil
+		}
+		tag, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("dwarf: truncated abbrev table")
+		}
+		children := buf[pos]
+		pos++
+		e := &abbrevEntry{tag: Tag(tag), hasChildren: children == 1}
+		for {
+			at, err := u()
+			if err != nil {
+				return nil, err
+			}
+			form, err := u()
+			if err != nil {
+				return nil, err
+			}
+			if at == 0 && form == 0 {
+				break
+			}
+			e.attrs = append(e.attrs, Attr(at))
+			e.forms = append(e.forms, Form(form))
+		}
+		if _, dup := out[code]; dup {
+			return nil, fmt.Errorf("dwarf: duplicate abbrev code %d", code)
+		}
+		out[code] = e
+	}
+}
+
+type refFixup struct {
+	die     *DIE
+	attrIdx int
+	ref     uint32
+}
+
+type infoParser struct {
+	buf     []byte
+	pos     int
+	str     []byte
+	abbrevs map[uint64]*abbrevEntry
+	byOff   map[uint32]*DIE
+	fixups  []refFixup
+}
+
+func (p *infoParser) uleb() (uint64, error) {
+	v, n, err := leb128.Uint(p.buf[p.pos:], 64)
+	p.pos += n
+	return v, err
+}
+
+func (p *infoParser) sleb() (int64, error) {
+	v, n, err := leb128.Int(p.buf[p.pos:], 64)
+	p.pos += n
+	return v, err
+}
+
+func (p *infoParser) need(n int) error {
+	if p.pos+n > len(p.buf) {
+		return fmt.Errorf("dwarf: truncated .debug_info at 0x%x", p.pos)
+	}
+	return nil
+}
+
+func (p *infoParser) strAt(off uint32) (string, error) {
+	if int(off) >= len(p.str) {
+		return "", fmt.Errorf("dwarf: string offset 0x%x out of range", off)
+	}
+	end := int(off)
+	for end < len(p.str) && p.str[end] != 0 {
+		end++
+	}
+	return string(p.str[off:end]), nil
+}
+
+// parseDIE parses one DIE (and its children). Returns nil for a null entry.
+func (p *infoParser) parseDIE() (*DIE, error) {
+	off := uint32(p.pos)
+	code, err := p.uleb()
+	if err != nil {
+		return nil, err
+	}
+	if code == 0 {
+		return nil, nil
+	}
+	ab, ok := p.abbrevs[code]
+	if !ok {
+		return nil, fmt.Errorf("dwarf: unknown abbrev code %d at 0x%x", code, off)
+	}
+	d := &DIE{Tag: ab.tag, Offset: off}
+	p.byOff[off] = d
+	for i, at := range ab.attrs {
+		val, fix, err := p.parseValue(ab.forms[i])
+		if err != nil {
+			return nil, fmt.Errorf("dwarf: %s/%s at 0x%x: %w", ab.tag, at, off, err)
+		}
+		d.Attrs = append(d.Attrs, AttrValue{Attr: at, Val: val})
+		if fix {
+			p.fixups = append(p.fixups, refFixup{die: d, attrIdx: len(d.Attrs) - 1, ref: val.(uint32)})
+		}
+	}
+	if ab.hasChildren {
+		for {
+			c, err := p.parseDIE()
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
+				break
+			}
+			d.Children = append(d.Children, c)
+		}
+	}
+	return d, nil
+}
+
+// parseValue decodes one attribute value. For reference forms it returns
+// the raw uint32 offset and fix=true; the caller records a fixup.
+func (p *infoParser) parseValue(form Form) (any, bool, error) {
+	switch form {
+	case FormAddr, FormData4, FormSecOffset:
+		if err := p.need(4); err != nil {
+			return nil, false, err
+		}
+		v := binary.LittleEndian.Uint32(p.buf[p.pos:])
+		p.pos += 4
+		return uint64(v), false, nil
+	case FormRef4:
+		if err := p.need(4); err != nil {
+			return nil, false, err
+		}
+		v := binary.LittleEndian.Uint32(p.buf[p.pos:])
+		p.pos += 4
+		return v, true, nil
+	case FormData1:
+		if err := p.need(1); err != nil {
+			return nil, false, err
+		}
+		v := uint64(p.buf[p.pos])
+		p.pos++
+		return v, false, nil
+	case FormData2:
+		if err := p.need(2); err != nil {
+			return nil, false, err
+		}
+		v := uint64(binary.LittleEndian.Uint16(p.buf[p.pos:]))
+		p.pos += 2
+		return v, false, nil
+	case FormData8:
+		if err := p.need(8); err != nil {
+			return nil, false, err
+		}
+		v := binary.LittleEndian.Uint64(p.buf[p.pos:])
+		p.pos += 8
+		return v, false, nil
+	case FormUdata:
+		v, err := p.uleb()
+		return v, false, err
+	case FormSdata:
+		v, err := p.sleb()
+		return v, false, err
+	case FormStrp:
+		if err := p.need(4); err != nil {
+			return nil, false, err
+		}
+		off := binary.LittleEndian.Uint32(p.buf[p.pos:])
+		p.pos += 4
+		s, err := p.strAt(off)
+		return s, false, err
+	case FormString:
+		start := p.pos
+		for p.pos < len(p.buf) && p.buf[p.pos] != 0 {
+			p.pos++
+		}
+		if p.pos >= len(p.buf) {
+			return nil, false, fmt.Errorf("dwarf: unterminated inline string")
+		}
+		s := string(p.buf[start:p.pos])
+		p.pos++
+		return s, false, nil
+	case FormFlagPresent:
+		return true, false, nil
+	case FormFlag:
+		if err := p.need(1); err != nil {
+			return nil, false, err
+		}
+		v := p.buf[p.pos] != 0
+		p.pos++
+		return v, false, nil
+	}
+	return nil, false, fmt.Errorf("dwarf: unsupported form %s", form)
+}

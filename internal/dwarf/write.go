@@ -1,0 +1,252 @@
+package dwarf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/leb128"
+)
+
+// Sections holds the serialized DWARF custom-section payloads that get
+// embedded into a WebAssembly binary.
+type Sections struct {
+	Info   []byte // .debug_info
+	Abbrev []byte // .debug_abbrev
+	Str    []byte // .debug_str
+}
+
+// cuHeaderSize is the DWARF32 v4 compile-unit header size:
+// unit_length(4) + version(2) + debug_abbrev_offset(4) + address_size(1).
+const cuHeaderSize = 11
+
+// addressSize is 4: wasm "addresses" are 32-bit byte offsets into the binary.
+const addressSize = 4
+
+// abbrevKey uniquely identifies an abbreviation declaration.
+type abbrevKey struct {
+	tag         Tag
+	hasChildren bool
+	attrs       string // packed (attr,form) pairs
+}
+
+type abbrevDecl struct {
+	code        uint64
+	tag         Tag
+	hasChildren bool
+	attrs       []Attr
+	forms       []Form
+}
+
+type writer struct {
+	abbrevs   map[abbrevKey]*abbrevDecl
+	abbrevSeq []*abbrevDecl
+	strs      map[string]uint32
+	strBuf    []byte
+}
+
+// formFor deterministically picks the on-disk form for an attribute value.
+// Returns FormFlagPresent with size 0 for true flags; false flags must be
+// filtered out by the caller.
+func formFor(a Attr, v any) (Form, int, error) {
+	switch val := v.(type) {
+	case *DIE:
+		return FormRef4, 4, nil
+	case string:
+		return FormStrp, 4, nil
+	case bool:
+		return FormFlagPresent, 0, nil
+	case uint64:
+		if a == AttrLowPC {
+			return FormAddr, addressSize, nil
+		}
+		switch {
+		case val < 1<<8:
+			return FormData1, 1, nil
+		case val < 1<<16:
+			return FormData2, 2, nil
+		case val < 1<<32:
+			return FormData4, 4, nil
+		default:
+			return FormData8, 8, nil
+		}
+	case int64:
+		return FormSdata, len(leb128.AppendInt(nil, val)), nil
+	}
+	return 0, 0, fmt.Errorf("dwarf: unsupported attribute value type %T for %s", v, a)
+}
+
+// liveAttrs returns the attributes that actually get serialized (dropping
+// false flags) along with their forms and encoded sizes.
+func liveAttrs(d *DIE) ([]AttrValue, []Form, int, error) {
+	var attrs []AttrValue
+	var forms []Form
+	size := 0
+	for _, av := range d.Attrs {
+		if b, ok := av.Val.(bool); ok && !b {
+			continue
+		}
+		f, n, err := formFor(av.Attr, av.Val)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		attrs = append(attrs, av)
+		forms = append(forms, f)
+		size += n
+	}
+	return attrs, forms, size, nil
+}
+
+func (w *writer) abbrevFor(d *DIE, attrs []AttrValue, forms []Form) *abbrevDecl {
+	key := abbrevKey{tag: d.Tag, hasChildren: len(d.Children) > 0}
+	packed := make([]byte, 0, len(attrs)*8)
+	for i, av := range attrs {
+		packed = binary.LittleEndian.AppendUint32(packed, uint32(av.Attr))
+		packed = binary.LittleEndian.AppendUint32(packed, uint32(forms[i]))
+	}
+	key.attrs = string(packed)
+	if a, ok := w.abbrevs[key]; ok {
+		return a
+	}
+	a := &abbrevDecl{
+		code:        uint64(len(w.abbrevSeq) + 1),
+		tag:         d.Tag,
+		hasChildren: key.hasChildren,
+	}
+	for i, av := range attrs {
+		a.attrs = append(a.attrs, av.Attr)
+		a.forms = append(a.forms, forms[i])
+	}
+	w.abbrevs[key] = a
+	w.abbrevSeq = append(w.abbrevSeq, a)
+	return a
+}
+
+func (w *writer) strOffset(s string) uint32 {
+	if off, ok := w.strs[s]; ok {
+		return off
+	}
+	off := uint32(len(w.strBuf))
+	w.strBuf = append(w.strBuf, s...)
+	w.strBuf = append(w.strBuf, 0)
+	w.strs[s] = off
+	return off
+}
+
+// assignOffsets computes each DIE's .debug_info offset (also interning
+// abbrevs and strings so the serialization pass is mechanical). pos is the
+// offset where d begins; the returned value is the offset just past d's
+// subtree including its null terminator if it has children.
+func (w *writer) assignOffsets(d *DIE, pos uint32) (uint32, error) {
+	d.Offset = pos
+	attrs, forms, size, err := liveAttrs(d)
+	if err != nil {
+		return 0, fmt.Errorf("dwarf: %s at 0x%x: %w", d.Tag, pos, err)
+	}
+	a := w.abbrevFor(d, attrs, forms)
+	for _, av := range attrs {
+		if s, ok := av.Val.(string); ok {
+			w.strOffset(s)
+		}
+	}
+	pos += uint32(leb128.UintLen(a.code)) + uint32(size)
+	if len(d.Children) > 0 {
+		for _, c := range d.Children {
+			if pos, err = w.assignOffsets(c, pos); err != nil {
+				return 0, err
+			}
+		}
+		pos++ // null terminator
+	}
+	return pos, nil
+}
+
+func (w *writer) serialize(d *DIE, out []byte) ([]byte, error) {
+	attrs, forms, _, err := liveAttrs(d)
+	if err != nil {
+		return nil, err
+	}
+	a := w.abbrevFor(d, attrs, forms)
+	out = leb128.AppendUint(out, a.code)
+	for i, av := range attrs {
+		switch forms[i] {
+		case FormRef4:
+			ref := av.Val.(*DIE)
+			out = binary.LittleEndian.AppendUint32(out, ref.Offset)
+		case FormStrp:
+			out = binary.LittleEndian.AppendUint32(out, w.strOffset(av.Val.(string)))
+		case FormFlagPresent:
+			// no bytes
+		case FormAddr, FormData4:
+			out = binary.LittleEndian.AppendUint32(out, uint32(av.Val.(uint64)))
+		case FormData1:
+			out = append(out, byte(av.Val.(uint64)))
+		case FormData2:
+			out = binary.LittleEndian.AppendUint16(out, uint16(av.Val.(uint64)))
+		case FormData8:
+			out = binary.LittleEndian.AppendUint64(out, av.Val.(uint64))
+		case FormSdata:
+			out = leb128.AppendInt(out, av.Val.(int64))
+		default:
+			return nil, fmt.Errorf("dwarf: cannot serialize form %s", forms[i])
+		}
+	}
+	if len(d.Children) > 0 {
+		for _, c := range d.Children {
+			if out, err = w.serialize(c, out); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, 0) // null terminator ends the sibling list
+	}
+	return out, nil
+}
+
+func (w *writer) abbrevSection() []byte {
+	var out []byte
+	for _, a := range w.abbrevSeq {
+		out = leb128.AppendUint(out, a.code)
+		out = leb128.AppendUint(out, uint64(a.tag))
+		if a.hasChildren {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		for i, at := range a.attrs {
+			out = leb128.AppendUint(out, uint64(at))
+			out = leb128.AppendUint(out, uint64(a.forms[i]))
+		}
+		out = append(out, 0, 0)
+	}
+	out = append(out, 0) // end of abbreviation table
+	return out
+}
+
+// Write serializes a compile-unit DIE tree into DWARF32 v4 sections.
+// Reference attributes may point at any DIE within the same tree,
+// including forward references and cycles.
+func Write(cu *DIE) (Sections, error) {
+	if cu.Tag != TagCompileUnit {
+		return Sections{}, fmt.Errorf("dwarf: root must be a compile unit, got %s", cu.Tag)
+	}
+	w := &writer{
+		abbrevs: make(map[abbrevKey]*abbrevDecl),
+		strs:    make(map[string]uint32),
+	}
+	end, err := w.assignOffsets(cu, cuHeaderSize)
+	if err != nil {
+		return Sections{}, err
+	}
+
+	info := make([]byte, 0, end)
+	info = binary.LittleEndian.AppendUint32(info, end-4) // unit_length excludes itself
+	info = binary.LittleEndian.AppendUint16(info, 4)     // DWARF version 4
+	info = binary.LittleEndian.AppendUint32(info, 0)     // abbrev offset
+	info = append(info, addressSize)
+	if info, err = w.serialize(cu, info); err != nil {
+		return Sections{}, err
+	}
+	if uint32(len(info)) != end {
+		return Sections{}, fmt.Errorf("dwarf: internal error: wrote %d bytes, planned %d", len(info), end)
+	}
+	return Sections{Info: info, Abbrev: w.abbrevSection(), Str: w.strBuf}, nil
+}

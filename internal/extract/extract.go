@@ -1,0 +1,303 @@
+// Package extract turns WebAssembly object files with DWARF into the
+// labeled (instruction tokens, type tokens) samples the model trains on,
+// implementing Sections 4.1 and 5 of the paper: function↔DWARF matching by
+// code offset, per-parameter and return samples, `<param>` marking,
+// instruction-window extraction, and the low-level-type `<begin>` prefix.
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dwarf"
+	"repro/internal/typelang"
+	"repro/internal/wasm"
+)
+
+// Element identifies which signature element a sample predicts.
+type Element struct {
+	// Param is the zero-based parameter index; -1 means the return value.
+	Param int
+}
+
+// IsReturn reports whether the sample targets the return type.
+func (e Element) IsReturn() bool { return e.Param < 0 }
+
+// String renders "param0".."paramN" or "return".
+func (e Element) String() string {
+	if e.IsReturn() {
+		return "return"
+	}
+	return fmt.Sprintf("param%d", e.Param)
+}
+
+// Sample is one labeled type-prediction sample.
+type Sample struct {
+	Pkg    string
+	Binary string
+	Func   string
+	Elem   Element
+	// LowType is the WebAssembly type of the element ("i32", ...).
+	LowType string
+	// Input is the instruction-token sequence presented to the model.
+	Input []string
+	// Master is the type in the richest language (L_SW All Names); every
+	// variant's label derives from it via Variant.Apply.
+	Master *typelang.Type
+}
+
+// Options configures extraction.
+type Options struct {
+	// WindowSize is the instruction window around parameter uses
+	// (default 21: 10 left, 10 right, as in the paper).
+	WindowSize int
+	// ReturnWindow is the window size before return instructions
+	// (default 20).
+	ReturnWindow int
+	// MaxTokens truncates the final input sequence (paper: 500).
+	MaxTokens int
+	// OmitLowType drops the low-level type prefix (the Table 5 ablation).
+	OmitLowType bool
+}
+
+// DefaultOptions mirrors the paper's extraction parameters.
+func DefaultOptions() Options {
+	return Options{WindowSize: 21, ReturnWindow: 20, MaxTokens: 500}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.WindowSize == 0 {
+		o.WindowSize = d.WindowSize
+	}
+	if o.ReturnWindow == 0 {
+		o.ReturnWindow = d.ReturnWindow
+	}
+	if o.MaxTokens == 0 {
+		o.MaxTokens = d.MaxTokens
+	}
+	return o
+}
+
+// FromBinary extracts all samples from one object file.
+func FromBinary(pkg, name string, bin []byte, opts Options) ([]Sample, error) {
+	d, err := wasm.Decode(bin)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %s: %w", name, err)
+	}
+	return FromModule(pkg, name, d, opts)
+}
+
+// FromModule extracts all samples from a decoded module.
+func FromModule(pkg, name string, d *wasm.Decoded, opts Options) ([]Sample, error) {
+	opts = opts.withDefaults()
+	m := d.Module
+	secs, err := dwarf.Extract(m)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %s: %w", name, err)
+	}
+	cu, err := dwarf.Read(secs)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %s: %w", name, err)
+	}
+
+	// Match subprograms to functions via DW_AT_low_pc == code offset.
+	funcByOffset := make(map[uint32]int, len(d.CodeOffsets))
+	for i, off := range d.CodeOffsets {
+		funcByOffset[off] = i
+	}
+
+	var out []Sample
+	for _, sub := range cu.FindAll(dwarf.TagSubprogram) {
+		pc, ok := sub.Uint(dwarf.AttrLowPC)
+		if !ok {
+			continue
+		}
+		fi, ok := funcByOffset[uint32(pc)]
+		if !ok {
+			continue // optimized-out or external function
+		}
+		fn := &m.Funcs[fi]
+		sig := wasm.FuncType{}
+		if int(fn.TypeIdx) < len(m.Types) {
+			sig = m.Types[fn.TypeIdx]
+		}
+		params := sub.FindAll(dwarf.TagFormalParameter)
+
+		// Only extract parameter samples when the DWARF and wasm
+		// signatures agree on the parameter count (Section 5).
+		if len(params) == len(sig.Params) {
+			for pi, pdie := range params {
+				master := typelang.FromDWARF(pdie.TypeRef(), typelang.AllNames())
+				input := paramInput(fn, pi, sig.Params[pi], opts)
+				out = append(out, Sample{
+					Pkg: pkg, Binary: name, Func: sub.Name(),
+					Elem:    Element{Param: pi},
+					LowType: sig.Params[pi].String(),
+					Input:   input,
+					Master:  master,
+				})
+			}
+		}
+		// Return sample when DWARF has a non-void type and wasm returns a
+		// value.
+		if ret := sub.TypeRef(); ret != nil && len(sig.Results) == 1 {
+			master := typelang.FromDWARF(ret, typelang.AllNames())
+			input := returnInput(fn, sig.Results[0], opts)
+			out = append(out, Sample{
+				Pkg: pkg, Binary: name, Func: sub.Name(),
+				Elem:    Element{Param: -1},
+				LowType: sig.Results[0].String(),
+				Input:   input,
+				Master:  master,
+			})
+		}
+	}
+	return out, nil
+}
+
+// InputForParam builds the model input sequence for one parameter of a
+// function, without needing DWARF — the prediction-time path on stripped
+// binaries (Figure 2, bottom).
+func InputForParam(fn *wasm.Function, paramIdx int, low wasm.ValType, opts Options) []string {
+	return paramInput(fn, paramIdx, low, opts.withDefaults())
+}
+
+// InputForReturn builds the model input sequence for a function's return
+// value, without needing DWARF.
+func InputForReturn(fn *wasm.Function, low wasm.ValType, opts Options) []string {
+	return returnInput(fn, low, opts.withDefaults())
+}
+
+// instrTokens renders one instruction's tokens, replacing the index of the
+// target parameter in local.get/set/tee with the special <param> token.
+func instrTokens(in wasm.Instr, paramIdx int) []string {
+	switch in.Op {
+	case wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee:
+		if paramIdx >= 0 && in.Imm == int64(paramIdx) {
+			return []string{in.Op.Name(), "<param>"}
+		}
+	}
+	return in.Tokens()
+}
+
+// usesParam reports whether the instruction accesses the parameter.
+func usesParam(in wasm.Instr, paramIdx int) bool {
+	switch in.Op {
+	case wasm.OpLocalGet, wasm.OpLocalSet, wasm.OpLocalTee:
+		return in.Imm == int64(paramIdx)
+	}
+	return false
+}
+
+// window is a half-open instruction index range.
+type window struct{ lo, hi int }
+
+// mergeWindows sorts and merges overlapping windows.
+func mergeWindows(ws []window) []window {
+	if len(ws) == 0 {
+		return nil
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].lo < ws[j].lo })
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		last := &out[len(out)-1]
+		if w.lo <= last.hi {
+			if w.hi > last.hi {
+				last.hi = w.hi
+			}
+		} else {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// renderWindows flattens the selected windows into tokens, delimiting
+// instructions with ";" and windows with "<window>".
+func renderWindows(body []wasm.Instr, ws []window, paramIdx int) []string {
+	var out []string
+	for wi, w := range ws {
+		if wi > 0 {
+			out = append(out, "<window>")
+		}
+		for i := w.lo; i < w.hi; i++ {
+			if i > w.lo {
+				out = append(out, ";")
+			}
+			out = append(out, instrTokens(body[i], paramIdx)...)
+		}
+	}
+	return out
+}
+
+// paramInput builds the model input for a parameter sample: the low-level
+// type, <begin>, then windows around every instruction using the
+// parameter.
+func paramInput(fn *wasm.Function, paramIdx int, low wasm.ValType, opts Options) []string {
+	var ws []window
+	half := opts.WindowSize / 2
+	for i, in := range fn.Body {
+		if usesParam(in, paramIdx) {
+			lo, hi := i-half, i+half+1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(fn.Body) {
+				hi = len(fn.Body)
+			}
+			ws = append(ws, window{lo, hi})
+		}
+	}
+	if len(ws) == 0 {
+		// Unused parameter: fall back to the function prefix.
+		hi := opts.WindowSize
+		if hi > len(fn.Body) {
+			hi = len(fn.Body)
+		}
+		ws = []window{{0, hi}}
+	}
+	ws = mergeWindows(ws)
+	toks := renderWindows(fn.Body, ws, paramIdx)
+	return finish(low, toks, opts)
+}
+
+// returnInput builds the model input for a return sample: windows of
+// instructions ending in each return instruction, plus the function tail
+// (the implicit return).
+func returnInput(fn *wasm.Function, low wasm.ValType, opts Options) []string {
+	var ws []window
+	for i, in := range fn.Body {
+		if in.Op == wasm.OpReturn {
+			lo := i + 1 - opts.ReturnWindow
+			if lo < 0 {
+				lo = 0
+			}
+			ws = append(ws, window{lo, i + 1})
+		}
+	}
+	if len(ws) == 0 {
+		lo := len(fn.Body) - opts.ReturnWindow
+		if lo < 0 {
+			lo = 0
+		}
+		ws = []window{{lo, len(fn.Body)}}
+	}
+	ws = mergeWindows(ws)
+	toks := renderWindows(fn.Body, ws, -1)
+	return finish(low, toks, opts)
+}
+
+// finish prepends the low-level type and <begin> marker and truncates.
+func finish(low wasm.ValType, toks []string, opts Options) []string {
+	var out []string
+	if !opts.OmitLowType {
+		out = append(out, low.String())
+	}
+	out = append(out, "<begin>")
+	out = append(out, toks...)
+	if len(out) > opts.MaxTokens {
+		out = out[:opts.MaxTokens]
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/dwarf"
+	"repro/internal/wasm"
+)
+
+const src = `
+extern int printf(const char *fmt, ...);
+
+void amd_control(double Control[]) {
+	double alpha;
+	int aggressive;
+	if (Control != (double *) NULL) {
+		alpha = Control[0];
+		aggressive = Control[1] != 0;
+	} else {
+		alpha = 10.0;
+		aggressive = 1;
+	}
+	if (alpha < 0) {
+		printf("no rows treated as dense");
+	}
+	if (aggressive) { printf("x"); }
+}
+
+int add3(int a, long long b, float c) {
+	if (a > 0) { return a + (int) b; }
+	return (int) c;
+}
+
+void noret(int unused_param) { int x = 1; x = x * 2; }
+`
+
+func compileAndExtract(t *testing.T, opts Options) []Sample {
+	t.Helper()
+	obj, err := cc.Compile(src, cc.Options{FileName: "t.c", Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := FromBinary("pkg1", "t.o", obj.Binary, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestExtractSamples(t *testing.T) {
+	samples := compileAndExtract(t, Options{})
+	// amd_control: 1 param, no return sample (void).
+	// add3: 3 params + 1 return. noret: 1 param.
+	if len(samples) != 6 {
+		for _, s := range samples {
+			t.Logf("sample: %s %s", s.Func, s.Elem)
+		}
+		t.Fatalf("extracted %d samples, want 6", len(samples))
+	}
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		byKey[s.Func+"/"+s.Elem.String()] = s
+	}
+
+	ctrl, ok := byKey["amd_control/param0"]
+	if !ok {
+		t.Fatal("missing amd_control/param0")
+	}
+	if ctrl.LowType != "i32" {
+		t.Errorf("low type = %q", ctrl.LowType)
+	}
+	if ctrl.Master.String() != "pointer primitive float 64" {
+		t.Errorf("master type = %q", ctrl.Master)
+	}
+	// Input begins with the low type and <begin> (Section 4.1).
+	if ctrl.Input[0] != "i32" || ctrl.Input[1] != "<begin>" {
+		t.Errorf("input prefix = %v", ctrl.Input[:2])
+	}
+	joined := strings.Join(ctrl.Input, " ")
+	if !strings.Contains(joined, "local.get <param>") {
+		t.Errorf("param uses not marked: %s", joined)
+	}
+	if !strings.Contains(joined, "f64.load") {
+		t.Errorf("window misses type-revealing load: %s", joined)
+	}
+	// Other locals keep their numeric indices.
+	if !strings.Contains(joined, ";") {
+		t.Errorf("no instruction delimiters: %s", joined)
+	}
+
+	ret, ok := byKey["add3/return"]
+	if !ok {
+		t.Fatal("missing add3/return")
+	}
+	if ret.LowType != "i32" || ret.Master.String() != "primitive int 32" {
+		t.Errorf("return sample = %q %q", ret.LowType, ret.Master)
+	}
+	retJoined := strings.Join(ret.Input, " ")
+	if !strings.Contains(retJoined, "return") {
+		t.Errorf("return window misses return instr: %s", retJoined)
+	}
+
+	b := byKey["add3/param1"]
+	if b.LowType != "i64" || b.Master.String() != "primitive int 64" {
+		t.Errorf("param1 = %q %q", b.LowType, b.Master)
+	}
+
+	// Unused parameter falls back to the function prefix window.
+	if u, ok := byKey["noret/param0"]; !ok || len(u.Input) < 3 {
+		t.Errorf("unused param sample missing or empty: %v", u.Input)
+	}
+}
+
+func TestOmitLowType(t *testing.T) {
+	samples := compileAndExtract(t, Options{OmitLowType: true})
+	for _, s := range samples {
+		if s.Input[0] != "<begin>" {
+			t.Fatalf("expected <begin> first, got %v", s.Input[:2])
+		}
+	}
+}
+
+func TestMaxTokens(t *testing.T) {
+	samples := compileAndExtract(t, Options{MaxTokens: 10})
+	for _, s := range samples {
+		if len(s.Input) > 10 {
+			t.Fatalf("input has %d tokens, cap 10", len(s.Input))
+		}
+	}
+}
+
+func TestWindowing(t *testing.T) {
+	// A function long enough that windows matter: param used at the end.
+	var sb strings.Builder
+	sb.WriteString("double tail(int filler, double *p) {\n\tint x = filler;\n")
+	for i := 0; i < 80; i++ {
+		sb.WriteString("\tx = x * 3 + 1;\n")
+	}
+	sb.WriteString("\treturn p[0];\n}\n")
+	obj, err := cc.Compile(sb.String(), cc.Options{Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := FromBinary("p", "b", obj.Binary, Options{WindowSize: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pSample *Sample
+	for i := range samples {
+		if samples[i].Elem.String() == "param1" {
+			pSample = &samples[i]
+		}
+	}
+	if pSample == nil {
+		t.Fatal("no param1 sample")
+	}
+	// The window must include the f64.load near the use but exclude the
+	// long multiplication chain far from it.
+	joined := strings.Join(pSample.Input, " ")
+	if !strings.Contains(joined, "f64.load") {
+		t.Errorf("window misses f64.load: %s", joined)
+	}
+	if n := strings.Count(joined, "i32.mul"); n > 8 {
+		t.Errorf("window too wide: %d i32.mul tokens", n)
+	}
+}
+
+func TestWindowMerging(t *testing.T) {
+	ws := mergeWindows([]window{{5, 10}, {0, 6}, {20, 25}, {8, 12}})
+	if len(ws) != 2 || ws[0] != (window{0, 12}) || ws[1] != (window{20, 25}) {
+		t.Errorf("mergeWindows = %v", ws)
+	}
+	if got := mergeWindows(nil); got != nil {
+		t.Errorf("mergeWindows(nil) = %v", got)
+	}
+}
+
+func TestSkipsSignatureMismatch(t *testing.T) {
+	// Build a module whose DWARF claims 2 params but wasm has 1: no
+	// param samples, but the return sample remains.
+	obj, err := cc.Compile("int f(int a) { return a; }", cc.Options{Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := dwarf.Extract(obj.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := dwarf.Read(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := cu.FindAll(dwarf.TagSubprogram)[0]
+	sub.AddChild(dwarf.NewFormalParameter("ghost", nil))
+	secs2, err := dwarf.Write(cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dwarf.Embed(obj.Module, secs2)
+	bin, _, err := wasm.Encode(obj.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := FromBinary("p", "b", bin, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if !s.Elem.IsReturn() {
+			t.Errorf("unexpected param sample despite mismatch: %v", s.Elem)
+		}
+	}
+	if len(samples) != 1 {
+		t.Errorf("got %d samples, want 1 (return only)", len(samples))
+	}
+}
+
+func TestNoDebugInfoErrors(t *testing.T) {
+	obj, err := cc.Compile("int f(int a) { return a; }", cc.Options{Debug: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBinary("p", "b", obj.Binary, Options{}); err == nil {
+		t.Error("extraction from a stripped binary should fail")
+	}
+}
+
+func TestElementString(t *testing.T) {
+	if (Element{Param: 0}).String() != "param0" || !(Element{Param: -1}).IsReturn() {
+		t.Error("Element semantics wrong")
+	}
+}

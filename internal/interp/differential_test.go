@@ -1,0 +1,173 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/wasm"
+)
+
+// expr is a randomly generated integer expression over two parameters,
+// evaluated both by the compiled wasm and by a Go reference evaluator.
+type expr interface {
+	c() string
+	eval(a, b int32) int32
+}
+
+type leaf struct{ text string }
+
+func (l leaf) c() string {
+	// Parenthesize negative constants so `-(-19)` never lexes as `--`.
+	if len(l.text) > 0 && l.text[0] == '-' {
+		return "(" + l.text + ")"
+	}
+	return l.text
+}
+func (l leaf) eval(a, b int32) int32 {
+	switch l.text {
+	case "a":
+		return a
+	case "b":
+		return b
+	}
+	var v int32
+	fmt.Sscanf(l.text, "%d", &v)
+	return v
+}
+
+type binop struct {
+	op   string
+	l, r expr
+}
+
+func (x binop) c() string { return "(" + x.l.c() + " " + x.op + " " + x.r.c() + ")" }
+func (x binop) eval(a, b int32) int32 {
+	lv, rv := x.l.eval(a, b), x.r.eval(a, b)
+	switch x.op {
+	case "+":
+		return lv + rv
+	case "-":
+		return lv - rv
+	case "*":
+		return lv * rv
+	case "&":
+		return lv & rv
+	case "|":
+		return lv | rv
+	case "^":
+		return lv ^ rv
+	case "<<":
+		return lv << (uint32(rv) & 31)
+	case ">>":
+		return lv >> (uint32(rv) & 31)
+	case "<":
+		if lv < rv {
+			return 1
+		}
+		return 0
+	case "==":
+		if lv == rv {
+			return 1
+		}
+		return 0
+	}
+	panic("bad op")
+}
+
+type unop struct {
+	op string
+	x  expr
+}
+
+func (x unop) c() string { return "(" + x.op + x.x.c() + ")" }
+func (x unop) eval(a, b int32) int32 {
+	v := x.x.eval(a, b)
+	switch x.op {
+	case "-":
+		return -v
+	case "~":
+		return ^v
+	}
+	panic("bad unop")
+}
+
+func randExpr(r *rand.Rand, depth int) expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return leaf{"a"}
+		case 1:
+			return leaf{"b"}
+		default:
+			return leaf{fmt.Sprint(r.Intn(201) - 100)}
+		}
+	}
+	if r.Intn(6) == 0 {
+		return unop{op: []string{"-", "~"}[r.Intn(2)], x: randExpr(r, depth-1)}
+	}
+	// Division and modulo are excluded: they trap on zero and overflow,
+	// which the reference evaluator would have to replicate exactly.
+	// Shifts are masked identically (&31) on both sides.
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", "=="}
+	op := ops[r.Intn(len(ops))]
+	return binop{op: op, l: randExpr(r, depth-1), r: randExpr(r, depth-1)}
+}
+
+// shiftWrap wraps shift amounts like the wasm semantics (mod 32); the C
+// source masks explicitly so both sides agree.
+type shift struct {
+	op   string
+	l, r expr
+}
+
+func (x shift) c() string { return "(" + x.l.c() + " " + x.op + " (" + x.r.c() + " & 31))" }
+func (x shift) eval(a, b int32) int32 {
+	lv, rv := x.l.eval(a, b), x.r.eval(a, b)
+	if x.op == "<<" {
+		return lv << (uint32(rv&31) & 31)
+	}
+	return lv >> (uint32(rv&31) & 31)
+}
+
+// TestDifferentialExpressions compiles dozens of random expressions and
+// checks, on many inputs each, that the interpreted wasm agrees with the
+// Go reference evaluation — i.e. the compiler implements C's (wrapping
+// int32) arithmetic exactly.
+func TestDifferentialExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for i := 0; i < 40; i++ {
+		var e expr = randExpr(r, 4)
+		if r.Intn(3) == 0 {
+			e = shift{op: []string{"<<", ">>"}[r.Intn(2)], l: e, r: randExpr(r, 2)}
+		}
+		src := fmt.Sprintf("int f(int a, int b) { return %s; }", e.c())
+		obj, err := cc.Compile(src, cc.Options{Debug: false})
+		if err != nil {
+			t.Fatalf("expr %d does not compile: %v\n%s", i, err, src)
+		}
+		if err := wasm.Validate(obj.Module); err != nil {
+			t.Fatalf("expr %d invalid: %v\n%s", i, err, src)
+		}
+		inst, err := Instantiate(obj.Module, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 25; j++ {
+			a := int32(r.Uint32())
+			b := int32(r.Uint32())
+			if j < 5 {
+				a, b = int32(j)-2, int32(j) // small values too
+			}
+			res, err := inst.CallExport("f", I32(a), I32(b))
+			if err != nil {
+				t.Fatalf("expr %d trap on (%d,%d): %v\n%s", i, a, b, err, src)
+			}
+			want := e.eval(a, b)
+			if got := res[0].AsI32(); got != want {
+				t.Fatalf("expr %d: f(%d,%d) = %d, want %d\n%s", i, a, b, got, want, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,782 @@
+package interp
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"repro/internal/wasm"
+)
+
+// run executes the frame's function body to completion.
+func (f *frame) run() error {
+	body := f.fn.Body
+	for f.pc < len(body) {
+		if f.inst.fuelLeft--; f.inst.fuelLeft < 0 {
+			return ErrFuelExhausted
+		}
+		in := body[f.pc]
+		switch in.Op {
+		case wasm.OpUnreachable:
+			return ErrUnreachable
+		case wasm.OpNop:
+
+		case wasm.OpBlock, wasm.OpLoop:
+			f.labels = append(f.labels, label{
+				start: f.pc, end: f.ctrl[f.pc].end, isLoop: in.Op == wasm.OpLoop,
+				height: len(f.stack), arity: blockArity(in.Imm),
+			})
+
+		case wasm.OpIf:
+			cond := f.pop().AsI32()
+			ci := f.ctrl[f.pc]
+			f.labels = append(f.labels, label{
+				start: f.pc, end: ci.end, height: len(f.stack), arity: blockArity(in.Imm),
+			})
+			if cond == 0 {
+				if ci.els >= 0 {
+					f.pc = ci.els // jump into the else arm
+				} else {
+					f.labels = f.labels[:len(f.labels)-1]
+					f.pc = ci.end - 1 // the end pops nothing; skip to it
+				}
+			}
+
+		case wasm.OpElse:
+			// Reached only by falling out of the then-arm: skip to end.
+			f.pc = f.ctrl[f.pc].end - 1
+			continue
+
+		case wasm.OpEnd:
+			if len(f.labels) > 0 {
+				f.labels = f.labels[:len(f.labels)-1]
+			}
+
+		case wasm.OpBr:
+			f.branch(int(in.Imm))
+			continue
+
+		case wasm.OpBrIf:
+			if f.pop().AsI32() != 0 {
+				f.branch(int(in.Imm))
+				continue
+			}
+
+		case wasm.OpBrTable:
+			idx := f.pop().AsI32()
+			depth := int(in.Imm)
+			if idx >= 0 && int(idx) < len(in.Table) {
+				depth = int(in.Table[idx])
+			}
+			f.branch(depth)
+			continue
+
+		case wasm.OpReturn:
+			return nil
+
+		case wasm.OpCall:
+			sig, err := f.inst.Module.FuncTypeAt(uint32(in.Imm))
+			if err != nil {
+				return err
+			}
+			args := make([]Value, len(sig.Params))
+			for i := len(args) - 1; i >= 0; i-- {
+				args[i] = f.pop()
+			}
+			res, err := f.inst.call(uint32(in.Imm), args)
+			if err != nil {
+				return err
+			}
+			f.stack = append(f.stack, res...)
+
+		case wasm.OpDrop:
+			f.pop()
+
+		case wasm.OpSelect:
+			c := f.pop().AsI32()
+			b := f.pop()
+			a := f.pop()
+			if c != 0 {
+				f.push(a)
+			} else {
+				f.push(b)
+			}
+
+		case wasm.OpLocalGet:
+			f.push(f.locals[in.Imm])
+		case wasm.OpLocalSet:
+			f.locals[in.Imm] = f.pop()
+		case wasm.OpLocalTee:
+			f.locals[in.Imm] = f.stack[len(f.stack)-1]
+
+		case wasm.OpGlobalGet:
+			f.push(f.inst.globals[in.Imm])
+		case wasm.OpGlobalSet:
+			f.inst.globals[in.Imm] = f.pop()
+
+		case wasm.OpMemorySize:
+			f.push(I32(int32(len(f.inst.Memory) / PageSize)))
+		case wasm.OpMemoryGrow:
+			delta := f.pop().AsI32()
+			old := len(f.inst.Memory) / PageSize
+			if delta >= 0 && old+int(delta) <= 1024 {
+				f.inst.Memory = append(f.inst.Memory, make([]byte, int(delta)*PageSize)...)
+				f.push(I32(int32(old)))
+			} else {
+				f.push(I32(-1))
+			}
+
+		case wasm.OpI32Const:
+			f.push(I32(int32(in.Imm)))
+		case wasm.OpI64Const:
+			f.push(I64(in.Imm))
+		case wasm.OpF32Const:
+			f.push(F32(in.F32))
+		case wasm.OpF64Const:
+			f.push(F64(in.F64))
+
+		default:
+			if err := f.execDataOp(in); err != nil {
+				return err
+			}
+		}
+		f.pc++
+	}
+	return nil
+}
+
+// addr computes and bounds-checks an effective memory address.
+func (f *frame) addr(in wasm.Instr, size int) (int, error) {
+	base := uint64(uint32(f.pop().AsI32()))
+	ea := base + uint64(in.Imm2)
+	if ea+uint64(size) > uint64(len(f.inst.Memory)) {
+		return 0, ErrOutOfBounds
+	}
+	return int(ea), nil
+}
+
+// execDataOp handles loads, stores, and all numeric operations.
+func (f *frame) execDataOp(in wasm.Instr) error {
+	mem := func() []byte { return f.inst.Memory }
+	switch in.Op {
+	// Loads.
+	case wasm.OpI32Load:
+		a, err := f.addr(in, 4)
+		if err != nil {
+			return err
+		}
+		f.push(I32(int32(binary.LittleEndian.Uint32(mem()[a:]))))
+	case wasm.OpI64Load:
+		a, err := f.addr(in, 8)
+		if err != nil {
+			return err
+		}
+		f.push(I64(int64(binary.LittleEndian.Uint64(mem()[a:]))))
+	case wasm.OpF32Load:
+		a, err := f.addr(in, 4)
+		if err != nil {
+			return err
+		}
+		f.push(F32(math.Float32frombits(binary.LittleEndian.Uint32(mem()[a:]))))
+	case wasm.OpF64Load:
+		a, err := f.addr(in, 8)
+		if err != nil {
+			return err
+		}
+		f.push(F64(math.Float64frombits(binary.LittleEndian.Uint64(mem()[a:]))))
+	case wasm.OpI32Load8S:
+		a, err := f.addr(in, 1)
+		if err != nil {
+			return err
+		}
+		f.push(I32(int32(int8(mem()[a]))))
+	case wasm.OpI32Load8U:
+		a, err := f.addr(in, 1)
+		if err != nil {
+			return err
+		}
+		f.push(I32(int32(mem()[a])))
+	case wasm.OpI32Load16S:
+		a, err := f.addr(in, 2)
+		if err != nil {
+			return err
+		}
+		f.push(I32(int32(int16(binary.LittleEndian.Uint16(mem()[a:])))))
+	case wasm.OpI32Load16U:
+		a, err := f.addr(in, 2)
+		if err != nil {
+			return err
+		}
+		f.push(I32(int32(binary.LittleEndian.Uint16(mem()[a:]))))
+	case wasm.OpI64Load8S:
+		a, err := f.addr(in, 1)
+		if err != nil {
+			return err
+		}
+		f.push(I64(int64(int8(mem()[a]))))
+	case wasm.OpI64Load8U:
+		a, err := f.addr(in, 1)
+		if err != nil {
+			return err
+		}
+		f.push(I64(int64(mem()[a])))
+	case wasm.OpI64Load16S:
+		a, err := f.addr(in, 2)
+		if err != nil {
+			return err
+		}
+		f.push(I64(int64(int16(binary.LittleEndian.Uint16(mem()[a:])))))
+	case wasm.OpI64Load16U:
+		a, err := f.addr(in, 2)
+		if err != nil {
+			return err
+		}
+		f.push(I64(int64(binary.LittleEndian.Uint16(mem()[a:]))))
+	case wasm.OpI64Load32S:
+		a, err := f.addr(in, 4)
+		if err != nil {
+			return err
+		}
+		f.push(I64(int64(int32(binary.LittleEndian.Uint32(mem()[a:])))))
+	case wasm.OpI64Load32U:
+		a, err := f.addr(in, 4)
+		if err != nil {
+			return err
+		}
+		f.push(I64(int64(binary.LittleEndian.Uint32(mem()[a:]))))
+
+	// Stores.
+	case wasm.OpI32Store:
+		v := f.pop()
+		a, err := f.addr(in, 4)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(mem()[a:], uint32(v.Bits))
+	case wasm.OpI64Store:
+		v := f.pop()
+		a, err := f.addr(in, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(mem()[a:], v.Bits)
+	case wasm.OpF32Store:
+		v := f.pop()
+		a, err := f.addr(in, 4)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(mem()[a:], uint32(v.Bits))
+	case wasm.OpF64Store:
+		v := f.pop()
+		a, err := f.addr(in, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(mem()[a:], v.Bits)
+	case wasm.OpI32Store8, wasm.OpI64Store8:
+		v := f.pop()
+		a, err := f.addr(in, 1)
+		if err != nil {
+			return err
+		}
+		mem()[a] = byte(v.Bits)
+	case wasm.OpI32Store16, wasm.OpI64Store16:
+		v := f.pop()
+		a, err := f.addr(in, 2)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint16(mem()[a:], uint16(v.Bits))
+	case wasm.OpI64Store32:
+		v := f.pop()
+		a, err := f.addr(in, 4)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(mem()[a:], uint32(v.Bits))
+
+	default:
+		return f.execNumeric(in)
+	}
+	return nil
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return I32(1)
+	}
+	return I32(0)
+}
+
+// execNumeric handles comparisons, arithmetic, and conversions.
+func (f *frame) execNumeric(in wasm.Instr) error {
+	op := in.Op
+	switch {
+	case op == wasm.OpI32Eqz:
+		f.push(boolVal(f.pop().AsI32() == 0))
+		return nil
+	case op == wasm.OpI64Eqz:
+		f.push(boolVal(f.pop().AsI64() == 0))
+		return nil
+
+	case op >= wasm.OpI32Eq && op <= wasm.OpI32GeU:
+		b, a := f.pop().AsI32(), f.pop().AsI32()
+		ub, ua := uint32(b), uint32(a)
+		var r bool
+		switch op {
+		case wasm.OpI32Eq:
+			r = a == b
+		case wasm.OpI32Ne:
+			r = a != b
+		case wasm.OpI32LtS:
+			r = a < b
+		case wasm.OpI32LtU:
+			r = ua < ub
+		case wasm.OpI32GtS:
+			r = a > b
+		case wasm.OpI32GtU:
+			r = ua > ub
+		case wasm.OpI32LeS:
+			r = a <= b
+		case wasm.OpI32LeU:
+			r = ua <= ub
+		case wasm.OpI32GeS:
+			r = a >= b
+		case wasm.OpI32GeU:
+			r = ua >= ub
+		}
+		f.push(boolVal(r))
+		return nil
+
+	case op >= wasm.OpI64Eq && op <= wasm.OpI64GeU:
+		b, a := f.pop().AsI64(), f.pop().AsI64()
+		ub, ua := uint64(b), uint64(a)
+		var r bool
+		switch op {
+		case wasm.OpI64Eq:
+			r = a == b
+		case wasm.OpI64Ne:
+			r = a != b
+		case wasm.OpI64LtS:
+			r = a < b
+		case wasm.OpI64LtU:
+			r = ua < ub
+		case wasm.OpI64GtS:
+			r = a > b
+		case wasm.OpI64GtU:
+			r = ua > ub
+		case wasm.OpI64LeS:
+			r = a <= b
+		case wasm.OpI64LeU:
+			r = ua <= ub
+		case wasm.OpI64GeS:
+			r = a >= b
+		case wasm.OpI64GeU:
+			r = ua >= ub
+		}
+		f.push(boolVal(r))
+		return nil
+
+	case op >= wasm.OpF32Eq && op <= wasm.OpF32Ge:
+		b, a := f.pop().AsF32(), f.pop().AsF32()
+		var r bool
+		switch op {
+		case wasm.OpF32Eq:
+			r = a == b
+		case wasm.OpF32Ne:
+			r = a != b
+		case wasm.OpF32Lt:
+			r = a < b
+		case wasm.OpF32Gt:
+			r = a > b
+		case wasm.OpF32Le:
+			r = a <= b
+		case wasm.OpF32Ge:
+			r = a >= b
+		}
+		f.push(boolVal(r))
+		return nil
+
+	case op >= wasm.OpF64Eq && op <= wasm.OpF64Ge:
+		b, a := f.pop().AsF64(), f.pop().AsF64()
+		var r bool
+		switch op {
+		case wasm.OpF64Eq:
+			r = a == b
+		case wasm.OpF64Ne:
+			r = a != b
+		case wasm.OpF64Lt:
+			r = a < b
+		case wasm.OpF64Gt:
+			r = a > b
+		case wasm.OpF64Le:
+			r = a <= b
+		case wasm.OpF64Ge:
+			r = a >= b
+		}
+		f.push(boolVal(r))
+		return nil
+
+	case op >= wasm.OpI32Clz && op <= wasm.OpI32Pop:
+		a := uint32(f.pop().Bits)
+		switch op {
+		case wasm.OpI32Clz:
+			f.push(I32(int32(bits.LeadingZeros32(a))))
+		case wasm.OpI32Ctz:
+			f.push(I32(int32(bits.TrailingZeros32(a))))
+		case wasm.OpI32Pop:
+			f.push(I32(int32(bits.OnesCount32(a))))
+		}
+		return nil
+
+	case op >= wasm.OpI32Add && op <= wasm.OpI32Rotr:
+		return f.i32Bin(op)
+
+	case op >= wasm.OpI64Clz && op <= wasm.OpI64Pop:
+		a := f.pop().Bits
+		switch op {
+		case wasm.OpI64Clz:
+			f.push(I64(int64(bits.LeadingZeros64(a))))
+		case wasm.OpI64Ctz:
+			f.push(I64(int64(bits.TrailingZeros64(a))))
+		case wasm.OpI64Pop:
+			f.push(I64(int64(bits.OnesCount64(a))))
+		}
+		return nil
+
+	case op >= wasm.OpI64Add && op <= wasm.OpI64Rotr:
+		return f.i64Bin(op)
+
+	case op >= wasm.OpF32Abs && op <= wasm.OpF32Sqrt:
+		a := f.pop().AsF32()
+		var r float64
+		x := float64(a)
+		switch op {
+		case wasm.OpF32Abs:
+			r = math.Abs(x)
+		case wasm.OpF32Neg:
+			r = -x
+		case wasm.OpF32Ceil:
+			r = math.Ceil(x)
+		case wasm.OpF32Floor:
+			r = math.Floor(x)
+		case wasm.OpF32Trunc:
+			r = math.Trunc(x)
+		case wasm.OpF32Nearest:
+			r = math.RoundToEven(x)
+		case wasm.OpF32Sqrt:
+			r = math.Sqrt(x)
+		}
+		f.push(F32(float32(r)))
+		return nil
+
+	case op >= wasm.OpF32Add && op <= wasm.OpF32Copysign:
+		b, a := f.pop().AsF32(), f.pop().AsF32()
+		var r float32
+		switch op {
+		case wasm.OpF32Add:
+			r = a + b
+		case wasm.OpF32Sub:
+			r = a - b
+		case wasm.OpF32Mul:
+			r = a * b
+		case wasm.OpF32Div:
+			r = a / b
+		case wasm.OpF32Min:
+			r = float32(math.Min(float64(a), float64(b)))
+		case wasm.OpF32Max:
+			r = float32(math.Max(float64(a), float64(b)))
+		case wasm.OpF32Copysign:
+			r = float32(math.Copysign(float64(a), float64(b)))
+		}
+		f.push(F32(r))
+		return nil
+
+	case op >= wasm.OpF64Abs && op <= wasm.OpF64Sqrt:
+		a := f.pop().AsF64()
+		var r float64
+		switch op {
+		case wasm.OpF64Abs:
+			r = math.Abs(a)
+		case wasm.OpF64Neg:
+			r = -a
+		case wasm.OpF64Ceil:
+			r = math.Ceil(a)
+		case wasm.OpF64Floor:
+			r = math.Floor(a)
+		case wasm.OpF64Trunc:
+			r = math.Trunc(a)
+		case wasm.OpF64Nearest:
+			r = math.RoundToEven(a)
+		case wasm.OpF64Sqrt:
+			r = math.Sqrt(a)
+		}
+		f.push(F64(r))
+		return nil
+
+	case op >= wasm.OpF64Add && op <= wasm.OpF64Copysign:
+		b, a := f.pop().AsF64(), f.pop().AsF64()
+		var r float64
+		switch op {
+		case wasm.OpF64Add:
+			r = a + b
+		case wasm.OpF64Sub:
+			r = a - b
+		case wasm.OpF64Mul:
+			r = a * b
+		case wasm.OpF64Div:
+			r = a / b
+		case wasm.OpF64Min:
+			r = math.Min(a, b)
+		case wasm.OpF64Max:
+			r = math.Max(a, b)
+		case wasm.OpF64Copysign:
+			r = math.Copysign(a, b)
+		}
+		f.push(F64(r))
+		return nil
+	}
+	return f.execConvert(in)
+}
+
+func (f *frame) i32Bin(op wasm.Opcode) error {
+	b, a := f.pop().AsI32(), f.pop().AsI32()
+	ub, ua := uint32(b), uint32(a)
+	var r int32
+	switch op {
+	case wasm.OpI32Add:
+		r = a + b
+	case wasm.OpI32Sub:
+		r = a - b
+	case wasm.OpI32Mul:
+		r = a * b
+	case wasm.OpI32DivS:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		if a == math.MinInt32 && b == -1 {
+			return ErrOverflow
+		}
+		r = a / b
+	case wasm.OpI32DivU:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		r = int32(ua / ub)
+	case wasm.OpI32RemS:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		if a == math.MinInt32 && b == -1 {
+			r = 0
+		} else {
+			r = a % b
+		}
+	case wasm.OpI32RemU:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		r = int32(ua % ub)
+	case wasm.OpI32And:
+		r = a & b
+	case wasm.OpI32Or:
+		r = a | b
+	case wasm.OpI32Xor:
+		r = a ^ b
+	case wasm.OpI32Shl:
+		r = a << (ub & 31)
+	case wasm.OpI32ShrS:
+		r = a >> (ub & 31)
+	case wasm.OpI32ShrU:
+		r = int32(ua >> (ub & 31))
+	case wasm.OpI32Rotl:
+		r = int32(bits.RotateLeft32(ua, int(ub&31)))
+	case wasm.OpI32Rotr:
+		r = int32(bits.RotateLeft32(ua, -int(ub&31)))
+	}
+	f.push(I32(r))
+	return nil
+}
+
+func (f *frame) i64Bin(op wasm.Opcode) error {
+	b, a := f.pop().AsI64(), f.pop().AsI64()
+	ub, ua := uint64(b), uint64(a)
+	var r int64
+	switch op {
+	case wasm.OpI64Add:
+		r = a + b
+	case wasm.OpI64Sub:
+		r = a - b
+	case wasm.OpI64Mul:
+		r = a * b
+	case wasm.OpI64DivS:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		if a == math.MinInt64 && b == -1 {
+			return ErrOverflow
+		}
+		r = a / b
+	case wasm.OpI64DivU:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		r = int64(ua / ub)
+	case wasm.OpI64RemS:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		if a == math.MinInt64 && b == -1 {
+			r = 0
+		} else {
+			r = a % b
+		}
+	case wasm.OpI64RemU:
+		if b == 0 {
+			return ErrDivByZero
+		}
+		r = int64(ua % ub)
+	case wasm.OpI64And:
+		r = a & b
+	case wasm.OpI64Or:
+		r = a | b
+	case wasm.OpI64Xor:
+		r = a ^ b
+	case wasm.OpI64Shl:
+		r = a << (ub & 63)
+	case wasm.OpI64ShrS:
+		r = a >> (ub & 63)
+	case wasm.OpI64ShrU:
+		r = int64(ua >> (ub & 63))
+	case wasm.OpI64Rotl:
+		r = int64(bits.RotateLeft64(ua, int(ub&63)))
+	case wasm.OpI64Rotr:
+		r = int64(bits.RotateLeft64(ua, -int(ub&63)))
+	}
+	f.push(I64(r))
+	return nil
+}
+
+func (f *frame) execConvert(in wasm.Instr) error {
+	switch in.Op {
+	case wasm.OpI32WrapI64:
+		f.push(I32(int32(f.pop().AsI64())))
+	case wasm.OpI32TruncF32S:
+		return f.truncToI32(float64(f.pop().AsF32()), true)
+	case wasm.OpI32TruncF32U:
+		return f.truncToI32(float64(f.pop().AsF32()), false)
+	case wasm.OpI32TruncF64S:
+		return f.truncToI32(f.pop().AsF64(), true)
+	case wasm.OpI32TruncF64U:
+		return f.truncToI32(f.pop().AsF64(), false)
+	case wasm.OpI64ExtendI32S:
+		f.push(I64(int64(f.pop().AsI32())))
+	case wasm.OpI64ExtendI32U:
+		f.push(I64(int64(uint32(f.pop().Bits))))
+	case wasm.OpI64TruncF32S:
+		return f.truncToI64(float64(f.pop().AsF32()), true)
+	case wasm.OpI64TruncF32U:
+		return f.truncToI64(float64(f.pop().AsF32()), false)
+	case wasm.OpI64TruncF64S:
+		return f.truncToI64(f.pop().AsF64(), true)
+	case wasm.OpI64TruncF64U:
+		return f.truncToI64(f.pop().AsF64(), false)
+	case wasm.OpF32ConvertI32S:
+		f.push(F32(float32(f.pop().AsI32())))
+	case wasm.OpF32ConvertI32U:
+		f.push(F32(float32(uint32(f.pop().Bits))))
+	case wasm.OpF32ConvertI64S:
+		f.push(F32(float32(f.pop().AsI64())))
+	case wasm.OpF32ConvertI64U:
+		f.push(F32(float32(f.pop().Bits)))
+	case wasm.OpF32DemoteF64:
+		f.push(F32(float32(f.pop().AsF64())))
+	case wasm.OpF64ConvertI32S:
+		f.push(F64(float64(f.pop().AsI32())))
+	case wasm.OpF64ConvertI32U:
+		f.push(F64(float64(uint32(f.pop().Bits))))
+	case wasm.OpF64ConvertI64S:
+		f.push(F64(float64(f.pop().AsI64())))
+	case wasm.OpF64ConvertI64U:
+		f.push(F64(float64(f.pop().Bits)))
+	case wasm.OpF64PromoteF32:
+		f.push(F64(float64(f.pop().AsF32())))
+	case wasm.OpI32ReinterpretF32, wasm.OpF32ReinterpretI32:
+		v := f.pop()
+		t := wasm.I32
+		if in.Op == wasm.OpF32ReinterpretI32 {
+			t = wasm.F32
+		}
+		f.push(Value{Type: t, Bits: v.Bits & 0xffffffff})
+	case wasm.OpI64ReinterpretF64, wasm.OpF64ReinterpretI64:
+		v := f.pop()
+		t := wasm.I64
+		if in.Op == wasm.OpF64ReinterpretI64 {
+			t = wasm.F64
+		}
+		f.push(Value{Type: t, Bits: v.Bits})
+	case wasm.OpI32Extend8S:
+		f.push(I32(int32(int8(f.pop().Bits))))
+	case wasm.OpI32Extend16S:
+		f.push(I32(int32(int16(f.pop().Bits))))
+	case wasm.OpI64Extend8S:
+		f.push(I64(int64(int8(f.pop().Bits))))
+	case wasm.OpI64Extend16S:
+		f.push(I64(int64(int16(f.pop().Bits))))
+	case wasm.OpI64Extend32S:
+		f.push(I64(int64(int32(f.pop().Bits))))
+	default:
+		return errUnsupported(in)
+	}
+	return nil
+}
+
+func errUnsupported(in wasm.Instr) error {
+	return &UnsupportedError{Op: in.Op}
+}
+
+// UnsupportedError reports an instruction the interpreter cannot execute.
+type UnsupportedError struct{ Op wasm.Opcode }
+
+func (e *UnsupportedError) Error() string {
+	return "interp: unsupported instruction " + e.Op.Name()
+}
+
+func (f *frame) truncToI32(x float64, signed bool) error {
+	if math.IsNaN(x) {
+		return ErrOverflow
+	}
+	t := math.Trunc(x)
+	if signed {
+		if t < math.MinInt32 || t > math.MaxInt32 {
+			return ErrOverflow
+		}
+		f.push(I32(int32(t)))
+	} else {
+		if t < 0 || t > math.MaxUint32 {
+			return ErrOverflow
+		}
+		f.push(I32(int32(uint32(t))))
+	}
+	return nil
+}
+
+func (f *frame) truncToI64(x float64, signed bool) error {
+	if math.IsNaN(x) {
+		return ErrOverflow
+	}
+	t := math.Trunc(x)
+	if signed {
+		if t < math.MinInt64 || t >= math.MaxInt64 {
+			return ErrOverflow
+		}
+		f.push(I64(int64(t)))
+	} else {
+		if t < 0 || t >= math.MaxUint64 {
+			return ErrOverflow
+		}
+		f.push(I64(int64(uint64(t))))
+	}
+	return nil
+}

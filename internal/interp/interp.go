@@ -1,0 +1,337 @@
+// Package interp is a WebAssembly interpreter for the MVP instruction set
+// (plus sign extension). It exists to test the compiler end to end: the
+// test suite compiles C functions, executes them, and compares results
+// against the C semantics — the strongest evidence that the corpus the
+// models learn from behaves like real compiled code.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/wasm"
+)
+
+// Errors produced by traps.
+var (
+	ErrUnreachable   = errors.New("interp: unreachable executed")
+	ErrDivByZero     = errors.New("interp: integer divide by zero")
+	ErrOverflow      = errors.New("interp: integer overflow")
+	ErrOutOfBounds   = errors.New("interp: out of bounds memory access")
+	ErrFuelExhausted = errors.New("interp: fuel exhausted (possible infinite loop)")
+	ErrStackDepth    = errors.New("interp: call stack exhausted")
+)
+
+// Value is a typed WebAssembly value. Bits holds the raw representation
+// (sign-extended for i32).
+type Value struct {
+	Type wasm.ValType
+	Bits uint64
+}
+
+// I32 wraps an int32 value.
+func I32(v int32) Value { return Value{Type: wasm.I32, Bits: uint64(uint32(v))} }
+
+// I64 wraps an int64 value.
+func I64(v int64) Value { return Value{Type: wasm.I64, Bits: uint64(v)} }
+
+// F32 wraps a float32 value.
+func F32(v float32) Value { return Value{Type: wasm.F32, Bits: uint64(math.Float32bits(v))} }
+
+// F64 wraps a float64 value.
+func F64(v float64) Value { return Value{Type: wasm.F64, Bits: math.Float64bits(v)} }
+
+// AsI32 returns the value as an int32.
+func (v Value) AsI32() int32 { return int32(uint32(v.Bits)) }
+
+// AsI64 returns the value as an int64.
+func (v Value) AsI64() int64 { return int64(v.Bits) }
+
+// AsF32 returns the value as a float32.
+func (v Value) AsF32() float32 { return math.Float32frombits(uint32(v.Bits)) }
+
+// AsF64 returns the value as a float64.
+func (v Value) AsF64() float64 { return math.Float64frombits(v.Bits) }
+
+// String renders the value with its type.
+func (v Value) String() string {
+	switch v.Type {
+	case wasm.I32:
+		return fmt.Sprintf("i32:%d", v.AsI32())
+	case wasm.I64:
+		return fmt.Sprintf("i64:%d", v.AsI64())
+	case wasm.F32:
+		return fmt.Sprintf("f32:%g", v.AsF32())
+	case wasm.F64:
+		return fmt.Sprintf("f64:%g", v.AsF64())
+	}
+	return fmt.Sprintf("?:%x", v.Bits)
+}
+
+// HostFunc implements an imported function.
+type HostFunc func(inst *Instance, args []Value) ([]Value, error)
+
+// PageSize is the WebAssembly memory page size.
+const PageSize = 64 * 1024
+
+// Instance is an instantiated module ready for calls.
+type Instance struct {
+	Module  *wasm.Module
+	Memory  []byte
+	globals []Value
+	hosts   []HostFunc // indexed by import position in function index space
+	// Fuel bounds the number of executed instructions per Call.
+	Fuel int64
+
+	// control metadata per module function: matching end/else indices.
+	ctrl [][]ctrlInfo
+
+	fuelLeft int64
+	depth    int
+}
+
+type ctrlInfo struct {
+	end int // index just past the matching end
+	els int // index of the else (for if), or -1
+}
+
+// Instantiate prepares a module for execution. imports maps "module.name"
+// to host implementations; missing function imports trap when called.
+func Instantiate(m *wasm.Module, imports map[string]HostFunc) (*Instance, error) {
+	inst := &Instance{Module: m, Fuel: 50_000_000}
+	pages := uint32(1)
+	for _, mem := range m.Memories {
+		pages = mem.Min
+	}
+	for _, imp := range m.Imports {
+		if imp.Kind == wasm.KindMemory {
+			pages = imp.Mem.Min
+		}
+	}
+	if pages == 0 {
+		pages = 1
+	}
+	inst.Memory = make([]byte, int(pages)*PageSize)
+
+	for _, imp := range m.Imports {
+		switch imp.Kind {
+		case wasm.KindFunc:
+			inst.hosts = append(inst.hosts, imports[imp.Module+"."+imp.Name])
+		case wasm.KindGlobal:
+			inst.globals = append(inst.globals, Value{Type: imp.Global.Type})
+		}
+	}
+	for _, g := range m.Globals {
+		v, err := evalConst(g.Init, g.Type.Type)
+		if err != nil {
+			return nil, err
+		}
+		inst.globals = append(inst.globals, v)
+	}
+	for di, d := range m.Datas {
+		off, err := evalConst(d.Offset, wasm.I32)
+		if err != nil {
+			return nil, err
+		}
+		at := int(off.AsI32())
+		if at < 0 || at+len(d.Bytes) > len(inst.Memory) {
+			return nil, fmt.Errorf("interp: data segment %d out of bounds", di)
+		}
+		copy(inst.Memory[at:], d.Bytes)
+	}
+
+	inst.ctrl = make([][]ctrlInfo, len(m.Funcs))
+	for i := range m.Funcs {
+		ci, err := buildCtrl(m.Funcs[i].Body)
+		if err != nil {
+			return nil, fmt.Errorf("interp: function %d: %w", i, err)
+		}
+		inst.ctrl[i] = ci
+	}
+	return inst, nil
+}
+
+func evalConst(expr []wasm.Instr, want wasm.ValType) (Value, error) {
+	if len(expr) != 1 {
+		return Value{}, fmt.Errorf("interp: unsupported constant expression")
+	}
+	in := expr[0]
+	switch in.Op {
+	case wasm.OpI32Const:
+		return I32(int32(in.Imm)), nil
+	case wasm.OpI64Const:
+		return I64(in.Imm), nil
+	case wasm.OpF32Const:
+		return F32(in.F32), nil
+	case wasm.OpF64Const:
+		return F64(in.F64), nil
+	}
+	return Value{}, fmt.Errorf("interp: unsupported constant instruction %s", in.Op.Name())
+}
+
+// buildCtrl matches structured-control instructions ahead of time.
+func buildCtrl(body []wasm.Instr) ([]ctrlInfo, error) {
+	out := make([]ctrlInfo, len(body))
+	var stack []int
+	for i, in := range body {
+		switch in.Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			out[i] = ctrlInfo{els: -1}
+			stack = append(stack, i)
+		case wasm.OpElse:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("else without if at %d", i)
+			}
+			out[stack[len(stack)-1]].els = i
+		case wasm.OpEnd:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("unmatched end at %d", i)
+			}
+			start := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out[start].end = i + 1
+			if out[start].els >= 0 {
+				out[out[start].els] = ctrlInfo{end: i + 1, els: -1}
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("%d unterminated blocks", len(stack))
+	}
+	return out, nil
+}
+
+// CallExport invokes an exported function by name.
+func (inst *Instance) CallExport(name string, args ...Value) ([]Value, error) {
+	for _, e := range inst.Module.Exports {
+		if e.Kind == wasm.KindFunc && e.Name == name {
+			return inst.Call(e.Index, args...)
+		}
+	}
+	return nil, fmt.Errorf("interp: no exported function %q", name)
+}
+
+// Call invokes a function by its index in the function index space
+// (imports first).
+func (inst *Instance) Call(funcIdx uint32, args ...Value) ([]Value, error) {
+	inst.fuelLeft = inst.Fuel
+	inst.depth = 0
+	return inst.call(funcIdx, args)
+}
+
+func (inst *Instance) call(funcIdx uint32, args []Value) ([]Value, error) {
+	inst.depth++
+	defer func() { inst.depth-- }()
+	if inst.depth > 512 {
+		return nil, ErrStackDepth
+	}
+	sig, err := inst.Module.FuncTypeAt(funcIdx)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(sig.Params) {
+		return nil, fmt.Errorf("interp: call with %d args, want %d", len(args), len(sig.Params))
+	}
+	for i, a := range args {
+		if a.Type != sig.Params[i] {
+			return nil, fmt.Errorf("interp: arg %d has type %s, want %s", i, a.Type, sig.Params[i])
+		}
+	}
+	nimp := inst.Module.NumImportedFuncs()
+	if int(funcIdx) < nimp {
+		host := inst.hosts[funcIdx]
+		if host == nil {
+			imp := funcImport(inst.Module, int(funcIdx))
+			return nil, fmt.Errorf("interp: unresolved import %s.%s", imp.Module, imp.Name)
+		}
+		return host(inst, args)
+	}
+	fi := int(funcIdx) - nimp
+	fn := &inst.Module.Funcs[fi]
+
+	frame := &frame{inst: inst, fn: fn, ctrl: inst.ctrl[fi]}
+	frame.locals = make([]Value, 0, len(args)+fn.NumLocals())
+	frame.locals = append(frame.locals, args...)
+	for _, d := range fn.Locals {
+		for i := uint32(0); i < d.Count; i++ {
+			frame.locals = append(frame.locals, Value{Type: d.Type})
+		}
+	}
+	if err := frame.run(); err != nil {
+		return nil, err
+	}
+	if len(sig.Results) == 0 {
+		return nil, nil
+	}
+	if len(frame.stack) < len(sig.Results) {
+		return nil, fmt.Errorf("interp: function left %d values, want %d", len(frame.stack), len(sig.Results))
+	}
+	return frame.stack[len(frame.stack)-len(sig.Results):], nil
+}
+
+func funcImport(m *wasm.Module, idx int) wasm.Import {
+	n := 0
+	for _, imp := range m.Imports {
+		if imp.Kind == wasm.KindFunc {
+			if n == idx {
+				return imp
+			}
+			n++
+		}
+	}
+	return wasm.Import{}
+}
+
+// label is one entry of a frame's control stack.
+type label struct {
+	start  int // instruction index of the block/loop/if opcode
+	end    int // index just past the matching end
+	isLoop bool
+	height int // value stack height at entry
+	arity  int // number of result values
+}
+
+type frame struct {
+	inst   *Instance
+	fn     *wasm.Function
+	ctrl   []ctrlInfo
+	locals []Value
+	stack  []Value
+	labels []label
+	pc     int
+}
+
+func (f *frame) push(v Value) { f.stack = append(f.stack, v) }
+
+func (f *frame) pop() Value {
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+// branch performs br to the given relative label depth.
+func (f *frame) branch(depth int) {
+	target := f.labels[len(f.labels)-1-depth]
+	// Carry the branch results, reset the stack, jump.
+	var carry []Value
+	if !target.isLoop && target.arity > 0 {
+		carry = append(carry, f.stack[len(f.stack)-target.arity:]...)
+	}
+	f.stack = f.stack[:target.height]
+	f.stack = append(f.stack, carry...)
+	if target.isLoop {
+		f.labels = f.labels[:len(f.labels)-depth]
+		f.pc = target.start + 1
+	} else {
+		f.labels = f.labels[:len(f.labels)-1-depth]
+		f.pc = target.end
+	}
+}
+
+func blockArity(bt int64) int {
+	if bt == wasm.BlockTypeEmpty {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,427 @@
+package interp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/wasm"
+)
+
+// run compiles C source, instantiates it, and calls the named export.
+func run(t *testing.T, src, fn string, imports map[string]HostFunc, args ...Value) ([]Value, error) {
+	t.Helper()
+	obj, err := cc.Compile(src, cc.Options{FileName: "t.c", Debug: false})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := wasm.Validate(obj.Module); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	inst, err := Instantiate(obj.Module, imports)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	return inst.CallExport(fn, args...)
+}
+
+func one(t *testing.T, src, fn string, args ...Value) Value {
+	t.Helper()
+	res, err := run(t, src, fn, nil, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", fn, err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("call %s returned %d values", fn, len(res))
+	}
+	return res[0]
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+int add(int a, int b) { return a + b; }
+int mixed(int a) { return a * 3 - (a / 2) + a % 5; }
+unsigned int ushift(unsigned int x) { return (x >> 3) | (x << 29); }
+long long big(long long a, long long b) { return a * b + 7; }
+double fma(double x, double y) { return x * y + 0.5; }
+float fhalf(float x) { return x * 0.5f; }
+`
+	if got := one(t, src, "add", I32(2), I32(40)).AsI32(); got != 42 {
+		t.Errorf("add = %d", got)
+	}
+	if got := one(t, src, "mixed", I32(11)).AsI32(); got != 11*3-5+1 {
+		t.Errorf("mixed = %d", got)
+	}
+	var ux uint32 = 0x80000001
+	if got := uint32(one(t, src, "ushift", I32(int32(ux))).AsI32()); got != (ux>>3)|(ux<<29) {
+		t.Errorf("ushift = %#x", got)
+	}
+	if got := one(t, src, "big", I64(1<<33), I64(3)).AsI64(); got != 3*(1<<33)+7 {
+		t.Errorf("big = %d", got)
+	}
+	if got := one(t, src, "fma", F64(2.5), F64(4)).AsF64(); got != 10.5 {
+		t.Errorf("fma = %g", got)
+	}
+	if got := one(t, src, "fhalf", F32(7)).AsF32(); got != 3.5 {
+		t.Errorf("fhalf = %g", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+int fact(int n) {
+	int acc = 1;
+	while (n > 1) { acc *= n; n--; }
+	return acc;
+}
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int collatz(int n) {
+	int steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n /= 2; } else { n = 3 * n + 1; }
+		steps++;
+	}
+	return steps;
+}
+int sumskip(int n) {
+	int acc = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i % 3 == 0) { continue; }
+		if (i > 20) { break; }
+		acc += i;
+	}
+	return acc;
+}
+int pick(int c) { return c > 0 ? 10 : -10; }
+`
+	if got := one(t, src, "fact", I32(6)).AsI32(); got != 720 {
+		t.Errorf("fact(6) = %d", got)
+	}
+	if got := one(t, src, "fib", I32(12)).AsI32(); got != 144 {
+		t.Errorf("fib(12) = %d", got)
+	}
+	if got := one(t, src, "collatz", I32(27)).AsI32(); got != 111 {
+		t.Errorf("collatz(27) = %d", got)
+	}
+	want := 0
+	for i := 0; i < 30; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		if i > 20 {
+			break
+		}
+		want += i
+	}
+	if got := one(t, src, "sumskip", I32(30)).AsI32(); got != int32(want) {
+		t.Errorf("sumskip = %d, want %d", got, want)
+	}
+	if got := one(t, src, "pick", I32(0)).AsI32(); got != -10 {
+		t.Errorf("pick(0) = %d", got)
+	}
+}
+
+func TestMemoryAndStructs(t *testing.T) {
+	src := `
+struct point { int x; int y; double w; };
+double use(struct point *p, int n) {
+	int i;
+	double acc = 0;
+	for (i = 0; i < n; i++) {
+		p[i].x = i;
+		p[i].y = i * 2;
+		p[i].w = (double) i * 0.5;
+	}
+	for (i = 0; i < n; i++) {
+		acc += p[i].w + (double) p[i].y;
+	}
+	return acc;
+}
+int strlen_c(const char *s) {
+	int n = 0;
+	while (s[n] != 0) { n++; }
+	return n;
+}
+char first(const char *s) { return s[0]; }
+`
+	// Place the struct array at address 2048 (past static data).
+	got := one(t, src, "use", I32(2048), I32(5)).AsF64()
+	want := 0.0
+	for i := 0; i < 5; i++ {
+		want += float64(i)*0.5 + float64(i*2)
+	}
+	if got != want {
+		t.Errorf("use = %g, want %g", got, want)
+	}
+
+	// String literals land in static memory; exercise them via a
+	// function that returns one.
+	src2 := `
+const char *msg(void) { return "hello"; }
+int msglen(void) {
+	const char *s = msg();
+	int n = 0;
+	while (s[n] != 0) { n++; }
+	return n;
+}
+char msgat(int i) {
+	const char *s = msg();
+	return s[i];
+}
+`
+	if got := one(t, src2, "msglen").AsI32(); got != 5 {
+		t.Errorf("msglen = %d", got)
+	}
+	if got := one(t, src2, "msgat", I32(1)).AsI32(); got != 'e' {
+		t.Errorf("msgat(1) = %c", rune(got))
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+int counter = 100;
+double ratio = 0.25;
+int bump(int by) { counter += by; return counter; }
+double scaled(double x) { return x * ratio; }
+`
+	obj, err := cc.Compile(src, cc.Options{Debug: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Instantiate(obj.Module, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := inst.CallExport("bump", I32(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0].AsI32() != 105 {
+		t.Errorf("bump = %d", r1[0].AsI32())
+	}
+	// Global state persists across calls.
+	r2, _ := inst.CallExport("bump", I32(1))
+	if r2[0].AsI32() != 106 {
+		t.Errorf("second bump = %d", r2[0].AsI32())
+	}
+	r3, _ := inst.CallExport("scaled", F64(8))
+	if r3[0].AsF64() != 2 {
+		t.Errorf("scaled = %g", r3[0].AsF64())
+	}
+}
+
+func TestHostImports(t *testing.T) {
+	src := `
+extern int add_host(int a, int b);
+int twice(int x) { return add_host(x, x); }
+`
+	imports := map[string]HostFunc{
+		"env.add_host": func(_ *Instance, args []Value) ([]Value, error) {
+			return []Value{I32(args[0].AsI32() + args[1].AsI32())}, nil
+		},
+	}
+	res, err := run(t, src, "twice", imports, I32(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].AsI32() != 42 {
+		t.Errorf("twice = %d", res[0].AsI32())
+	}
+	// Unresolved import traps with a useful message.
+	if _, err := run(t, src, "twice", nil, I32(1)); err == nil {
+		t.Error("unresolved import did not trap")
+	}
+}
+
+func TestConversionsSemantics(t *testing.T) {
+	src := `
+int f2i(double x) { return (int) x; }
+double i2f(int x) { return (double) x; }
+unsigned int u_narrow(long long x) { return (unsigned int) x; }
+char narrow8(int x) { return (char) x; }
+unsigned short narrow16(int x) { return (unsigned short) x; }
+long long widen(int x) { return (long long) x; }
+`
+	if got := one(t, src, "f2i", F64(-3.7)).AsI32(); got != -3 {
+		t.Errorf("f2i = %d", got)
+	}
+	if got := one(t, src, "i2f", I32(-5)).AsF64(); got != -5 {
+		t.Errorf("i2f = %g", got)
+	}
+	if got := one(t, src, "u_narrow", I64(0x1_0000_0007)).AsI32(); got != 7 {
+		t.Errorf("u_narrow = %d", got)
+	}
+	if got := one(t, src, "narrow8", I32(0x181)).AsI32(); got != -127 {
+		t.Errorf("narrow8 = %d", got)
+	}
+	if got := one(t, src, "narrow16", I32(0x1ffff)).AsI32(); got != 0xffff {
+		t.Errorf("narrow16 = %d", got)
+	}
+	if got := one(t, src, "widen", I32(-2)).AsI64(); got != -2 {
+		t.Errorf("widen = %d", got)
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	src := `
+extern int boom(void);
+int safe(int a) { return a != 0 && boom(); }
+int safeor(int a) { return a != 0 || boom(); }
+`
+	// boom is unresolved: calling it traps, so short-circuiting is
+	// observable.
+	if res, err := run(t, src, "safe", nil, I32(0)); err != nil || res[0].AsI32() != 0 {
+		t.Errorf("safe(0) = %v, %v (should not call boom)", res, err)
+	}
+	if _, err := run(t, src, "safe", nil, I32(1)); err == nil {
+		t.Error("safe(1) should reach boom and trap")
+	}
+	if res, err := run(t, src, "safeor", nil, I32(1)); err != nil || res[0].AsI32() != 1 {
+		t.Errorf("safeor(1) = %v, %v", res, err)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	src := `
+int div(int a, int b) { return a / b; }
+int deref_far(int addr) { int *p = (int *) addr; return p[0]; }
+int spin(void) { while (1) { } return 0; }
+`
+	if _, err := run(t, src, "div", nil, I32(1), I32(0)); !errors.Is(err, ErrDivByZero) {
+		t.Errorf("div by zero: %v", err)
+	}
+	if _, err := run(t, src, "div", nil, I32(math.MinInt32), I32(-1)); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overflow: %v", err)
+	}
+	if _, err := run(t, src, "deref_far", nil, I32(1<<30)); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("oob: %v", err)
+	}
+	obj, err := cc.Compile(src, cc.Options{Debug: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Instantiate(obj.Module, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Fuel = 10000
+	if _, err := inst.CallExport("spin"); !errors.Is(err, ErrFuelExhausted) {
+		t.Errorf("infinite loop: %v", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	src := `int down(int n) { if (n <= 0) { return 0; } return down(n - 1); }`
+	if _, err := run(t, src, "down", nil, I32(100)); err != nil {
+		t.Errorf("depth 100: %v", err)
+	}
+	if _, err := run(t, src, "down", nil, I32(100000)); !errors.Is(err, ErrStackDepth) {
+		t.Errorf("deep recursion: %v", err)
+	}
+}
+
+func TestEnumAndBool(t *testing.T) {
+	src := `
+enum mode { OFF, SLOW = 5, FAST };
+int next(enum mode m) {
+	if ((int) m == SLOW) { return FAST; }
+	if ((int) m == FAST) { return OFF; }
+	return SLOW;
+}
+bool toggle(bool b) { return !b; }
+`
+	if got := one(t, src, "next", I32(5)).AsI32(); got != 6 {
+		t.Errorf("next(SLOW) = %d", got)
+	}
+	if got := one(t, src, "toggle", I32(1)).AsI32(); got != 0 {
+		t.Errorf("toggle(true) = %d", got)
+	}
+	if got := one(t, src, "toggle", I32(0)).AsI32(); got != 1 {
+		t.Errorf("toggle(false) = %d", got)
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	src := `
+int post(int x) { int y = x++; return y * 1000 + x; }
+int pre(int x) { int y = ++x; return y * 1000 + x; }
+int memop(int *p) { p[0] = 10; int old = p[0]++; return old * 1000 + p[0]; }
+`
+	if got := one(t, src, "post", I32(5)).AsI32(); got != 5*1000+6 {
+		t.Errorf("post = %d", got)
+	}
+	if got := one(t, src, "pre", I32(5)).AsI32(); got != 6*1000+6 {
+		t.Errorf("pre = %d", got)
+	}
+	if got := one(t, src, "memop", I32(4096)).AsI32(); got != 10*1000+11 {
+		t.Errorf("memop = %d", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if I32(5).String() != "i32:5" || F64(1.5).String() != "f64:1.5" {
+		t.Error("Value.String format")
+	}
+}
+
+func TestSwitchSemantics(t *testing.T) {
+	src := `
+int dense(int x) {
+	int acc = 0;
+	switch (x) {
+	case 0: acc += 1; break;
+	case 1: acc += 10;      /* falls through */
+	case 2: acc += 100; break;
+	case 5: acc += 1000; break;
+	default: acc = -1;
+	}
+	return acc;
+}
+int sparse(int x) {
+	switch (x) {
+	case 7: return 1;
+	case 7000: return 2;
+	case 7000000: return 3;
+	}
+	return 0;
+}
+`
+	cases := map[int32]int32{0: 1, 1: 110, 2: 100, 5: 1000, 3: -1, 99: -1, -4: -1}
+	for in, want := range cases {
+		if got := one(t, src, "dense", I32(in)).AsI32(); got != want {
+			t.Errorf("dense(%d) = %d, want %d", in, got, want)
+		}
+	}
+	sparseCases := map[int32]int32{7: 1, 7000: 2, 7000000: 3, 8: 0, 0: 0}
+	for in, want := range sparseCases {
+		if got := one(t, src, "sparse", I32(in)).AsI32(); got != want {
+			t.Errorf("sparse(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSwitchInsideLoop(t *testing.T) {
+	src := `
+int count(int n) {
+	int evens = 0;
+	int odds = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		switch (i % 2) {
+		case 0: evens++; break;
+		default: odds++;
+		}
+		if (i > 100) { continue; }
+	}
+	return evens * 1000 + odds;
+}
+`
+	if got := one(t, src, "count", I32(9)).AsI32(); got != 5*1000+4 {
+		t.Errorf("count(9) = %d", got)
+	}
+}

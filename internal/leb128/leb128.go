@@ -1,0 +1,115 @@
+// Package leb128 implements the Little Endian Base 128 variable-length
+// integer encoding used throughout the WebAssembly binary format and DWARF.
+package leb128
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is returned when a varint does not fit the requested width.
+var ErrOverflow = errors.New("leb128: integer overflow")
+
+// ErrTruncated is returned when the input ends in the middle of a varint.
+var ErrTruncated = errors.New("leb128: truncated input")
+
+// AppendUint appends the unsigned LEB128 encoding of v to dst.
+func AppendUint(dst []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		dst = append(dst, b)
+		if v == 0 {
+			return dst
+		}
+	}
+}
+
+// AppendInt appends the signed LEB128 encoding of v to dst.
+func AppendInt(dst []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0) {
+			return append(dst, b)
+		}
+		dst = append(dst, b|0x80)
+	}
+}
+
+// Uint decodes an unsigned LEB128 integer of at most maxBits (32 or 64)
+// from p. It returns the value and the number of bytes consumed.
+func Uint(p []byte, maxBits uint) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	maxBytes := int(maxBits+6) / 7
+	for i := 0; i < len(p); i++ {
+		if i >= maxBytes {
+			return 0, 0, fmt.Errorf("%w: encoding longer than %d bytes", ErrOverflow, maxBytes)
+		}
+		b := p[i]
+		if shift >= maxBits {
+			// Only low bits of the final byte may be set.
+			if b&0x80 != 0 || uint64(b)<<shift>>shift != uint64(b) {
+				return 0, 0, fmt.Errorf("%w: more than %d bits", ErrOverflow, maxBits)
+			}
+		}
+		if shift < 64 {
+			v |= uint64(b&0x7f) << shift
+		} else if b&0x7f != 0 {
+			return 0, 0, fmt.Errorf("%w: more than %d bits", ErrOverflow, maxBits)
+		}
+		if b&0x80 == 0 {
+			if maxBits < 64 && v>>maxBits != 0 {
+				return 0, 0, fmt.Errorf("%w: more than %d bits", ErrOverflow, maxBits)
+			}
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrTruncated
+}
+
+// Int decodes a signed LEB128 integer of at most maxBits (32 or 64) from p.
+// It returns the value and the number of bytes consumed.
+func Int(p []byte, maxBits uint) (int64, int, error) {
+	var v int64
+	var shift uint
+	maxBytes := int(maxBits+6) / 7
+	for i := 0; i < len(p); i++ {
+		if i >= maxBytes {
+			return 0, 0, fmt.Errorf("%w: encoding longer than %d bytes", ErrOverflow, maxBytes)
+		}
+		b := p[i]
+		if shift < 64 {
+			v |= int64(b&0x7f) << shift
+		}
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				v |= -1 << shift
+			}
+			if maxBits < 64 {
+				min := int64(-1) << (maxBits - 1)
+				max := int64(1)<<(maxBits-1) - 1
+				if v < min || v > max {
+					return 0, 0, fmt.Errorf("%w: value %d outside int%d", ErrOverflow, v, maxBits)
+				}
+			}
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, ErrTruncated
+}
+
+// UintLen reports the number of bytes AppendUint would emit for v.
+func UintLen(v uint64) int {
+	n := 1
+	for v >>= 7; v != 0; v >>= 7 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package leb128
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 129, 255, 256, 624485, math.MaxUint32, math.MaxUint64}
+	for _, v := range cases {
+		enc := AppendUint(nil, v)
+		got, n, err := Uint(enc, 64)
+		if err != nil {
+			t.Fatalf("Uint(%x): %v", enc, err)
+		}
+		if got != v || n != len(enc) {
+			t.Errorf("Uint(%x) = %d,%d; want %d,%d", enc, got, n, v, len(enc))
+		}
+		if UintLen(v) != len(enc) {
+			t.Errorf("UintLen(%d) = %d; want %d", v, UintLen(v), len(enc))
+		}
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 63, 64, -64, -65, 127, 128, -128, -123456, math.MaxInt32, math.MinInt32, math.MaxInt64, math.MinInt64}
+	for _, v := range cases {
+		enc := AppendInt(nil, v)
+		got, n, err := Int(enc, 64)
+		if err != nil {
+			t.Fatalf("Int(%x): %v", enc, err)
+		}
+		if got != v || n != len(enc) {
+			t.Errorf("Int(%x) = %d,%d; want %d,%d", enc, got, n, v, len(enc))
+		}
+	}
+}
+
+func TestKnownEncodings(t *testing.T) {
+	// Examples from the DWARF spec.
+	if got := AppendUint(nil, 624485); !bytes.Equal(got, []byte{0xe5, 0x8e, 0x26}) {
+		t.Errorf("AppendUint(624485) = %x", got)
+	}
+	if got := AppendInt(nil, -123456); !bytes.Equal(got, []byte{0xc0, 0xbb, 0x78}) {
+		t.Errorf("AppendInt(-123456) = %x", got)
+	}
+}
+
+func TestUint32Bounds(t *testing.T) {
+	if _, _, err := Uint(AppendUint(nil, math.MaxUint32), 32); err != nil {
+		t.Errorf("MaxUint32 should fit in 32 bits: %v", err)
+	}
+	if _, _, err := Uint(AppendUint(nil, math.MaxUint32+1), 32); !errors.Is(err, ErrOverflow) {
+		t.Errorf("MaxUint32+1 in 32 bits: got %v, want overflow", err)
+	}
+}
+
+func TestInt32Bounds(t *testing.T) {
+	if _, _, err := Int(AppendInt(nil, math.MinInt32), 32); err != nil {
+		t.Errorf("MinInt32 should fit: %v", err)
+	}
+	if _, _, err := Int(AppendInt(nil, math.MinInt32-1), 32); !errors.Is(err, ErrOverflow) {
+		t.Errorf("MinInt32-1: got %v, want overflow", err)
+	}
+	if _, _, err := Int(AppendInt(nil, math.MaxInt32+1), 32); !errors.Is(err, ErrOverflow) {
+		t.Errorf("MaxInt32+1: got %v, want overflow", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	if _, _, err := Uint([]byte{0x80}, 32); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Uint(0x80): got %v, want truncated", err)
+	}
+	if _, _, err := Int([]byte{0xff, 0xff}, 64); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Int: got %v, want truncated", err)
+	}
+	if _, _, err := Uint(nil, 32); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Uint(nil): got %v, want truncated", err)
+	}
+}
+
+func TestOverlongRejected(t *testing.T) {
+	// 6-byte encoding of a u32 is invalid even if the value fits.
+	overlong := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x00}
+	if _, _, err := Uint(overlong, 32); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overlong u32: got %v, want overflow", err)
+	}
+}
+
+func TestQuickUint(t *testing.T) {
+	f := func(v uint64) bool {
+		got, n, err := Uint(AppendUint(nil, v), 64)
+		return err == nil && got == v && n == UintLen(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInt(t *testing.T) {
+	f := func(v int64) bool {
+		got, _, err := Int(AppendInt(nil, v), 64)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTrailingBytesIgnored(t *testing.T) {
+	f := func(v uint32, trailer []byte) bool {
+		enc := AppendUint(nil, uint64(v))
+		got, n, err := Uint(append(enc, trailer...), 32)
+		return err == nil && got == uint64(v) && n == len(enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

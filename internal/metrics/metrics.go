@@ -1,0 +1,149 @@
+// Package metrics implements the paper's evaluation measures (Section
+// 6.3): perfect-match accuracy within the top-1 and top-5 predictions, the
+// Type Prefix Score (mean length of the common prefix between prediction
+// and ground truth), and the normalized entropy H/Hmax used to compare
+// type distributions (Section 6.2, Table 4).
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/typelang"
+)
+
+// Accuracy accumulates top-k exact-match accuracy and the Type Prefix
+// Score over a test set.
+type Accuracy struct {
+	n          int
+	top1, top5 int
+	tpsSum     int
+}
+
+// Add records one sample's ranked predictions against the ground truth.
+func (a *Accuracy) Add(preds [][]string, truth []string) {
+	a.n++
+	if len(preds) > 0 {
+		a.tpsSum += typelang.CommonPrefixLen(preds[0], truth)
+		if equalTokens(preds[0], truth) {
+			a.top1++
+		}
+	}
+	limit := len(preds)
+	if limit > 5 {
+		limit = 5
+	}
+	for _, p := range preds[:limit] {
+		if equalTokens(p, truth) {
+			a.top5++
+			break
+		}
+	}
+}
+
+func equalTokens(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// N returns the number of samples recorded.
+func (a *Accuracy) N() int { return a.n }
+
+// Top1 returns the fraction of samples whose first prediction matched
+// exactly.
+func (a *Accuracy) Top1() float64 { return frac(a.top1, a.n) }
+
+// Top5 returns the fraction of samples with an exact match in the top 5.
+func (a *Accuracy) Top5() float64 { return frac(a.top5, a.n) }
+
+// TPS returns the mean Type Prefix Score: the average number of leading
+// type tokens the top prediction gets right before diverging.
+func (a *Accuracy) TPS() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return float64(a.tpsSum) / float64(a.n)
+}
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Distribution summarizes a realized type distribution.
+type Distribution struct {
+	counts map[string]int
+	total  int
+}
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution {
+	return &Distribution{counts: map[string]int{}}
+}
+
+// Add records one realized type (by its canonical key).
+func (d *Distribution) Add(key string) {
+	d.counts[key]++
+	d.total++
+}
+
+// Unique returns |L|: the number of distinct realized types.
+func (d *Distribution) Unique() int { return len(d.counts) }
+
+// Total returns the number of samples.
+func (d *Distribution) Total() int { return d.total }
+
+// NormalizedEntropy returns H / Hmax where Hmax = log2(|L|); 0 for
+// degenerate distributions. A uniform distribution scores 1.
+func (d *Distribution) NormalizedEntropy() float64 {
+	if len(d.counts) <= 1 || d.total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, n := range d.counts {
+		p := float64(n) / float64(d.total)
+		h -= p * math.Log2(p)
+	}
+	return h / math.Log2(float64(len(d.counts)))
+}
+
+// Top returns the k most frequent types with their share of the total,
+// most frequent first (ties broken lexicographically).
+func (d *Distribution) Top(k int) []TypeShare {
+	out := make([]TypeShare, 0, len(d.counts))
+	for key, n := range d.counts {
+		out = append(out, TypeShare{Type: key, Count: n, Share: float64(n) / float64(d.total)})
+	}
+	sortShares(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TypeShare is one row of a type-distribution table.
+type TypeShare struct {
+	Type  string
+	Count int
+	Share float64
+}
+
+func sortShares(s []TypeShare) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0; j-- {
+			a, b := s[j-1], s[j]
+			if a.Count > b.Count || (a.Count == b.Count && a.Type <= b.Type) {
+				break
+			}
+			s[j-1], s[j] = b, a
+		}
+	}
+}

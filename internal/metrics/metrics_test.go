@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	truth := []string{"pointer", "struct"}
+	// Exact top-1.
+	a.Add([][]string{{"pointer", "struct"}}, truth)
+	// Wrong top-1, right at rank 3.
+	a.Add([][]string{{"pointer", "class"}, {"unknown"}, {"pointer", "struct"}}, truth)
+	// Entirely wrong.
+	a.Add([][]string{{"primitive", "int", "32"}}, truth)
+	if a.N() != 3 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got := a.Top1(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Top1 = %g", got)
+	}
+	if got := a.Top5(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Top5 = %g", got)
+	}
+	// TPS: 2 (exact) + 1 (pointer) + 0 = 3; mean 1.
+	if got := a.TPS(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TPS = %g", got)
+	}
+}
+
+func TestAccuracyBeyondFiveIgnored(t *testing.T) {
+	var a Accuracy
+	truth := []string{"x"}
+	preds := [][]string{{"a"}, {"b"}, {"c"}, {"d"}, {"e"}, {"x"}}
+	a.Add(preds, truth)
+	if a.Top5() != 0 {
+		t.Error("rank-6 match must not count toward top-5")
+	}
+}
+
+func TestAccuracyEmptyPreds(t *testing.T) {
+	var a Accuracy
+	a.Add(nil, []string{"x"})
+	if a.Top1() != 0 || a.Top5() != 0 || a.TPS() != 0 {
+		t.Error("empty predictions should score zero")
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 80; i++ {
+		d.Add("pointer class")
+	}
+	for i := 0; i < 15; i++ {
+		d.Add("primitive int 32")
+	}
+	for i := 0; i < 5; i++ {
+		d.Add("pointer struct")
+	}
+	if d.Unique() != 3 || d.Total() != 100 {
+		t.Fatalf("unique=%d total=%d", d.Unique(), d.Total())
+	}
+	top := d.Top(2)
+	if len(top) != 2 || top[0].Type != "pointer class" || top[0].Share != 0.8 {
+		t.Errorf("Top = %+v", top)
+	}
+	h := d.NormalizedEntropy()
+	if h <= 0 || h >= 1 {
+		t.Errorf("skewed entropy = %g, want in (0,1)", h)
+	}
+	// Uniform distribution approaches 1.
+	u := NewDistribution()
+	for i := 0; i < 99; i++ {
+		u.Add(string(rune('a' + i%3)))
+	}
+	if got := u.NormalizedEntropy(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("uniform entropy = %g", got)
+	}
+	// Degenerate cases.
+	one := NewDistribution()
+	one.Add("only")
+	if one.NormalizedEntropy() != 0 {
+		t.Error("single-type entropy should be 0")
+	}
+	if NewDistribution().NormalizedEntropy() != 0 {
+		t.Error("empty entropy should be 0")
+	}
+}

@@ -1,0 +1,207 @@
+// Package nn provides the neural-network layers and optimizer of the
+// SnowWhite model: embeddings, linear layers, LSTM cells, dropout, and
+// Adam with gradient clipping — all on top of the internal/ad autodiff
+// engine.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ad"
+)
+
+// Params collects trainable parameters for the optimizer and
+// serialization.
+type Params struct {
+	names []string
+	vals  []*ad.V
+}
+
+// Add registers a parameter under a unique name.
+func (p *Params) Add(name string, v *ad.V) *ad.V {
+	for _, n := range p.names {
+		if n == name {
+			panic(fmt.Sprintf("nn: duplicate parameter %q", name))
+		}
+	}
+	p.names = append(p.names, name)
+	p.vals = append(p.vals, v)
+	return v
+}
+
+// All returns the registered parameters.
+func (p *Params) All() []*ad.V { return p.vals }
+
+// Count returns the total number of scalar parameters.
+func (p *Params) Count() int {
+	n := 0
+	for _, v := range p.vals {
+		n += len(v.W)
+	}
+	return n
+}
+
+// ZeroGrad clears all gradients.
+func (p *Params) ZeroGrad() {
+	for _, v := range p.vals {
+		v.ZeroGrad()
+	}
+}
+
+// xavier initializes a matrix with Glorot-uniform values.
+func xavier(r *rand.Rand, rows, cols int) *ad.V {
+	v := ad.New(rows, cols)
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range v.W {
+		v.W[i] = (r.Float64()*2 - 1) * limit
+	}
+	return v
+}
+
+// Embedding maps token ids to dense vectors.
+type Embedding struct {
+	Table *ad.V
+}
+
+// NewEmbedding builds a [vocab, dim] embedding table.
+func NewEmbedding(p *Params, name string, r *rand.Rand, vocab, dim int) *Embedding {
+	return &Embedding{Table: p.Add(name, xavier(r, vocab, dim))}
+}
+
+// Lookup returns the embedded rows for the given ids as a [len(ids), dim]
+// matrix.
+func (e *Embedding) Lookup(t *ad.Tape, ids []int) *ad.V {
+	return t.Rows(e.Table, ids)
+}
+
+// Linear is an affine layer y = x@W + b.
+type Linear struct {
+	W, B *ad.V
+}
+
+// NewLinear builds a [in, out] affine layer.
+func NewLinear(p *Params, name string, r *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		W: p.Add(name+".W", xavier(r, in, out)),
+		B: p.Add(name+".b", ad.New(1, out)),
+	}
+}
+
+// Apply computes x@W + b.
+func (l *Linear) Apply(t *ad.Tape, x *ad.V) *ad.V {
+	return t.Add(t.MatMul(x, l.W), l.B)
+}
+
+// LSTM is a single LSTM layer applied step by step.
+type LSTM struct {
+	Wx, Wh, B *ad.V
+	Hidden    int
+}
+
+// NewLSTM builds an LSTM with the given input and hidden sizes. The
+// forget-gate bias is initialized to 1, the standard trick for gradient
+// flow early in training.
+func NewLSTM(p *Params, name string, r *rand.Rand, in, hidden int) *LSTM {
+	l := &LSTM{
+		Wx:     p.Add(name+".Wx", xavier(r, in, 4*hidden)),
+		Wh:     p.Add(name+".Wh", xavier(r, hidden, 4*hidden)),
+		B:      p.Add(name+".b", ad.New(1, 4*hidden)),
+		Hidden: hidden,
+	}
+	for j := hidden; j < 2*hidden; j++ { // forget gate block
+		l.B.W[j] = 1
+	}
+	return l
+}
+
+// State is an LSTM's recurrent state.
+type State struct {
+	H, C *ad.V
+}
+
+// ZeroState returns an all-zero state for a batch of the given size.
+func (l *LSTM) ZeroState(batch int) State {
+	return State{H: ad.New(batch, l.Hidden), C: ad.New(batch, l.Hidden)}
+}
+
+// Step advances the LSTM one timestep with input x [B, in].
+func (l *LSTM) Step(t *ad.Tape, x *ad.V, s State) State {
+	z := t.Add(t.Add(t.MatMul(x, l.Wx), t.MatMul(s.H, l.Wh)), l.B)
+	H := l.Hidden
+	i := t.Sigmoid(t.SliceCols(z, 0, H))
+	f := t.Sigmoid(t.SliceCols(z, H, 2*H))
+	g := t.Tanh(t.SliceCols(z, 2*H, 3*H))
+	o := t.Sigmoid(t.SliceCols(z, 3*H, 4*H))
+	c := t.Add(t.Mul(f, s.C), t.Mul(i, g))
+	h := t.Mul(o, t.Tanh(c))
+	return State{H: h, C: c}
+}
+
+// StepMasked advances the LSTM but holds state constant for examples
+// whose mask entry is 0 (padding timesteps).
+func (l *LSTM) StepMasked(t *ad.Tape, x *ad.V, s State, mask []float64) State {
+	next := l.Step(t, x, s)
+	return State{
+		H: t.Blend(next.H, s.H, mask),
+		C: t.Blend(next.C, s.C, mask),
+	}
+}
+
+// Adam is the Adam optimizer with global-norm gradient clipping.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	Clip    float64 // max global gradient norm; 0 disables
+	step    int
+	m, v    [][]float64
+	targets []*ad.V
+}
+
+// NewAdam returns an Adam optimizer over the given parameters with the
+// paper's defaults (lr 0.001, standard momenta).
+func NewAdam(p *Params, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5, targets: p.All()}
+	for _, v := range a.targets {
+		a.m = append(a.m, make([]float64, len(v.W)))
+		a.v = append(a.v, make([]float64, len(v.W)))
+	}
+	return a
+}
+
+// GradNorm returns the global L2 norm of all gradients.
+func (a *Adam) GradNorm() float64 {
+	s := 0.0
+	for _, v := range a.targets {
+		for _, g := range v.G {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one optimization step and returns the (pre-clip) gradient
+// norm.
+func (a *Adam) Step() float64 {
+	a.step++
+	norm := a.GradNorm()
+	scale := 1.0
+	if a.Clip > 0 && norm > a.Clip {
+		scale = a.Clip / norm
+	}
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for vi, v := range a.targets {
+		m, vv := a.m[vi], a.v[vi]
+		for i := range v.W {
+			g := v.G[i] * scale
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			vv[i] = a.Beta2*vv[i] + (1-a.Beta2)*g*g
+			v.W[i] -= a.LR * (m[i] / b1c) / (math.Sqrt(vv[i]/b2c) + a.Eps)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ad"
+)
+
+func TestParamsRegistry(t *testing.T) {
+	var p Params
+	r := rand.New(rand.NewSource(1))
+	NewLinear(&p, "l1", r, 4, 3)
+	NewEmbedding(&p, "emb", r, 10, 4)
+	if p.Count() != 4*3+3+10*4 {
+		t.Errorf("Count = %d", p.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name should panic")
+		}
+	}()
+	NewLinear(&p, "l1", r, 2, 2)
+}
+
+func TestLinearShapes(t *testing.T) {
+	var p Params
+	r := rand.New(rand.NewSource(2))
+	l := NewLinear(&p, "l", r, 4, 3)
+	tape := ad.NewTape()
+	x := ad.New(5, 4)
+	y := l.Apply(tape, x)
+	if y.R != 5 || y.C != 3 {
+		t.Errorf("shape = %dx%d", y.R, y.C)
+	}
+}
+
+func TestLSTMStep(t *testing.T) {
+	var p Params
+	r := rand.New(rand.NewSource(3))
+	l := NewLSTM(&p, "lstm", r, 4, 6)
+	tape := ad.NewTape()
+	x := ad.New(2, 4)
+	for i := range x.W {
+		x.W[i] = r.NormFloat64()
+	}
+	s := l.ZeroState(2)
+	s1 := l.Step(tape, x, s)
+	if s1.H.R != 2 || s1.H.C != 6 || s1.C.R != 2 {
+		t.Fatalf("state shapes wrong")
+	}
+	// Hidden values bounded by tanh.
+	for _, h := range s1.H.W {
+		if math.Abs(h) >= 1 {
+			t.Errorf("|h| = %g >= 1", h)
+		}
+	}
+	// Masked step holds state for masked example.
+	s2 := l.StepMasked(tape, x, s1, []float64{1, 0})
+	for j := 0; j < 6; j++ {
+		if s2.H.At(1, j) != s1.H.At(1, j) {
+			t.Errorf("masked example state changed")
+		}
+		if s2.H.At(0, j) == s1.H.At(0, j) {
+			t.Errorf("unmasked example state frozen")
+		}
+	}
+}
+
+// TestLSTMLearnsToggle trains a tiny LSTM + classifier to detect whether a
+// specific token appears in a sequence — learning must drive the loss down
+// and reach perfect accuracy on this separable toy task.
+func TestLSTMLearnsToggle(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var p Params
+	emb := NewEmbedding(&p, "emb", r, 5, 8)
+	lstm := NewLSTM(&p, "lstm", r, 8, 12)
+	out := NewLinear(&p, "out", r, 12, 2)
+	opt := NewAdam(&p, 0.01)
+
+	gen := func() ([]int, int) {
+		seq := make([]int, 6)
+		label := 0
+		for i := range seq {
+			seq[i] = 1 + r.Intn(3)
+		}
+		if r.Intn(2) == 0 {
+			seq[r.Intn(len(seq))] = 4 // the marker token
+			label = 1
+		}
+		return seq, label
+	}
+
+	var firstLoss, lastLoss float64
+	for step := 0; step < 300; step++ {
+		seq, label := gen()
+		tape := ad.NewTape()
+		s := lstm.ZeroState(1)
+		for _, tok := range seq {
+			x := emb.Lookup(tape, []int{tok})
+			s = lstm.Step(tape, x, s)
+		}
+		logits := out.Apply(tape, s.H)
+		loss := tape.SoftmaxCrossEntropy(logits, []int{label}, []float64{1})
+		if step == 0 {
+			firstLoss = loss.W[0]
+		}
+		lastLoss = loss.W[0]
+		p.ZeroGrad()
+		loss.G[0] = 1
+		tape.Backward()
+		opt.Step()
+	}
+	if lastLoss >= firstLoss {
+		t.Errorf("loss did not decrease: %g -> %g", firstLoss, lastLoss)
+	}
+	// Evaluate.
+	correct := 0
+	for i := 0; i < 50; i++ {
+		seq, label := gen()
+		tape := ad.NewTape()
+		s := lstm.ZeroState(1)
+		for _, tok := range seq {
+			s = lstm.Step(tape, emb.Lookup(tape, []int{tok}), s)
+		}
+		logits := out.Apply(tape, s.H)
+		pred := 0
+		if logits.At(0, 1) > logits.At(0, 0) {
+			pred = 1
+		}
+		if pred == label {
+			correct++
+		}
+	}
+	if correct < 45 {
+		t.Errorf("toy task accuracy %d/50", correct)
+	}
+}
+
+func TestAdamConvergesQuadratic(t *testing.T) {
+	// Minimize (w - 3)^2 elementwise.
+	var p Params
+	w := p.Add("w", ad.New(1, 4))
+	opt := NewAdam(&p, 0.05)
+	for i := 0; i < 500; i++ {
+		p.ZeroGrad()
+		for j := range w.W {
+			w.G[j] = 2 * (w.W[j] - 3)
+		}
+		opt.Step()
+	}
+	for _, x := range w.W {
+		if math.Abs(x-3) > 0.01 {
+			t.Errorf("w = %v, want 3", w.W)
+		}
+	}
+}
+
+func TestGradClipping(t *testing.T) {
+	var p Params
+	w := p.Add("w", ad.New(1, 2))
+	opt := NewAdam(&p, 0.1)
+	opt.Clip = 1
+	w.G[0], w.G[1] = 30, 40 // norm 50
+	if n := opt.Step(); math.Abs(n-50) > 1e-9 {
+		t.Errorf("reported norm %g, want 50", n)
+	}
+	// After clipping the effective gradient has norm 1, so both moments
+	// stay small; just verify no NaNs and movement happened.
+	if w.W[0] == 0 || math.IsNaN(w.W[0]) {
+		t.Errorf("w = %v", w.W)
+	}
+}
+
+func TestForgetGateBias(t *testing.T) {
+	var p Params
+	r := rand.New(rand.NewSource(5))
+	l := NewLSTM(&p, "l", r, 2, 3)
+	for j := 3; j < 6; j++ {
+		if l.B.W[j] != 1 {
+			t.Errorf("forget bias not initialized: %v", l.B.W)
+		}
+	}
+	if l.B.W[0] != 0 {
+		t.Errorf("input gate bias should be 0")
+	}
+}

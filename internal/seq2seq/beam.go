@@ -1,0 +1,104 @@
+package seq2seq
+
+import (
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/nn"
+)
+
+// Prediction is one beam-search hypothesis: a type-token sequence and its
+// total log-probability.
+type Prediction struct {
+	Tokens  []string
+	LogProb float64
+}
+
+// Predict returns the k most likely target sequences for the source token
+// sequence, using beam search with beam width max(k, 5) as in the paper's
+// top-5 evaluation. Duplicate hypotheses are kept, as the paper notes the
+// raw model is not constrained to produce unique predictions.
+func (m *Model) Predict(src []string, k int) []Prediction {
+	if k <= 0 {
+		k = 1
+	}
+	width := k
+	if width < 5 {
+		width = 5
+	}
+	tape := ad.NewTape() // inference-only; Backward is never called
+	ids := m.Src.Encode(truncate(src, m.Cfg.MaxSrcLen))
+	if len(ids) == 0 {
+		ids = []int{UNK}
+	}
+	enc := m.encode(tape, [][]int{ids}, false)
+
+	type beam struct {
+		seq     []int
+		logp    float64
+		state   nn.State
+		stopped bool
+	}
+	beams := []beam{{seq: []int{BOS}, state: enc.init}}
+	maxLen := m.Cfg.MaxTgtLen
+	if maxLen <= 0 {
+		maxLen = 16
+	}
+
+	for step := 0; step < maxLen; step++ {
+		var next []beam
+		done := true
+		for _, b := range beams {
+			if b.stopped {
+				next = append(next, b)
+				continue
+			}
+			done = false
+			s, logits := m.decodeStep(tape, enc, b.state, []int{b.seq[len(b.seq)-1]}, false)
+			logProbs := ad.LogSoftmaxRow(logits.W)
+			// Expand with the top `width` continuations.
+			type cand struct {
+				id int
+				lp float64
+			}
+			cands := make([]cand, 0, len(logProbs))
+			for id, lp := range logProbs {
+				if id == PAD || id == BOS {
+					continue
+				}
+				cands = append(cands, cand{id, lp})
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].lp > cands[j].lp })
+			if len(cands) > width {
+				cands = cands[:width]
+			}
+			for _, c := range cands {
+				nb := beam{
+					seq:     append(append([]int(nil), b.seq...), c.id),
+					logp:    b.logp + c.lp,
+					state:   s,
+					stopped: c.id == EOS,
+				}
+				next = append(next, nb)
+			}
+		}
+		if done {
+			break
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].logp > next[j].logp })
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams = next
+	}
+
+	sort.SliceStable(beams, func(i, j int) bool { return beams[i].logp > beams[j].logp })
+	if len(beams) > k {
+		beams = beams[:k]
+	}
+	out := make([]Prediction, 0, len(beams))
+	for _, b := range beams {
+		out = append(out, Prediction{Tokens: m.Tgt.Decode(b.seq), LogProb: b.logp})
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+// Package seq2seq implements the paper's type-prediction model (Section
+// 4.2): a 2-layer bidirectional-LSTM encoder over WebAssembly instruction
+// tokens, a 1-layer LSTM decoder with Luong global attention over type
+// tokens, trained with teacher forcing and Adam, and queried with beam
+// search to produce top-k type predictions.
+package seq2seq
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/nn"
+)
+
+// Special token ids shared by both vocabularies.
+const (
+	PAD = 0
+	BOS = 1
+	EOS = 2
+	UNK = 3
+)
+
+var specials = []string{"<pad>", "<s>", "</s>", "<unk>"}
+
+// Vocab maps tokens to dense ids.
+type Vocab struct {
+	toks []string
+	ids  map[string]int
+}
+
+// BuildVocab creates a vocabulary from sequences, keeping the maxSize most
+// frequent tokens (0 = unlimited) after the special tokens.
+func BuildVocab(seqs [][]string, maxSize int) *Vocab {
+	freq := map[string]int{}
+	for _, s := range seqs {
+		for _, tok := range s {
+			freq[tok]++
+		}
+	}
+	type tf struct {
+		tok string
+		n   int
+	}
+	all := make([]tf, 0, len(freq))
+	for tok, n := range freq {
+		all = append(all, tf{tok, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].tok < all[j].tok
+	})
+	if maxSize > 0 && len(all) > maxSize {
+		all = all[:maxSize]
+	}
+	v := &Vocab{ids: map[string]int{}}
+	for _, s := range specials {
+		v.ids[s] = len(v.toks)
+		v.toks = append(v.toks, s)
+	}
+	for _, e := range all {
+		if _, ok := v.ids[e.tok]; ok {
+			continue
+		}
+		v.ids[e.tok] = len(v.toks)
+		v.toks = append(v.toks, e.tok)
+	}
+	return v
+}
+
+// Size returns the vocabulary size including specials.
+func (v *Vocab) Size() int { return len(v.toks) }
+
+// ID returns the id of a token, or UNK.
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	return UNK
+}
+
+// Token returns the token for an id.
+func (v *Vocab) Token(id int) string {
+	if id < 0 || id >= len(v.toks) {
+		return "<unk>"
+	}
+	return v.toks[id]
+}
+
+// Encode maps tokens to ids.
+func (v *Vocab) Encode(toks []string) []int {
+	out := make([]int, len(toks))
+	for i, t := range toks {
+		out[i] = v.ID(t)
+	}
+	return out
+}
+
+// Decode maps ids back to tokens, stopping at EOS and skipping specials.
+func (v *Vocab) Decode(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		if id == EOS {
+			break
+		}
+		if id == PAD || id == BOS {
+			continue
+		}
+		out = append(out, v.Token(id))
+	}
+	return out
+}
+
+// Config holds the model hyperparameters; the defaults downscale the
+// paper's configuration (h=512, e=100, 2+1 layers) to CPU-trainable size
+// while keeping the architecture identical.
+type Config struct {
+	Hidden    int     // decoder hidden size; each encoder direction uses Hidden/2
+	Embed     int     // embedding dimension
+	EncLayers int     // encoder depth (paper: 2)
+	Dropout   float64 // dropout rate (paper: 0.2)
+	LR        float64 // Adam learning rate (paper: 0.001)
+	BatchSize int
+	Epochs    int
+	MaxSrcLen int // source truncation (paper: 500)
+	MaxTgtLen int // target truncation
+	SrcVocab  int // source vocabulary cap (paper: 500 subwords)
+	TgtVocab  int
+	Seed      int64
+	// Encoder selects the encoder architecture: EncoderBiLSTM (default,
+	// the paper's model) or EncoderTransformer (the alternative the paper
+	// explored without accuracy gains).
+	Encoder string
+}
+
+// DefaultConfig returns a configuration that trains in minutes on a CPU.
+func DefaultConfig() Config {
+	return Config{
+		Hidden: 64, Embed: 48, EncLayers: 2,
+		Dropout: 0.2, LR: 0.002, BatchSize: 32, Epochs: 4,
+		MaxSrcLen: 120, MaxTgtLen: 12,
+		SrcVocab: 800, TgtVocab: 400,
+		Seed: 1,
+	}
+}
+
+// Model is the trained sequence-to-sequence type predictor.
+type Model struct {
+	Cfg Config
+	Src *Vocab
+	Tgt *Vocab
+
+	params  nn.Params
+	embSrc  *nn.Embedding
+	embTgt  *nn.Embedding
+	encFwd  []*nn.LSTM
+	encBwd  []*nn.LSTM
+	bridgeH *nn.Linear
+	bridgeC *nn.Linear
+	dec     *nn.LSTM
+	combine *nn.Linear
+	out     *nn.Linear
+
+	// Transformer-encoder parameters (only when Cfg.Encoder selects it).
+	tfProj   *nn.Linear
+	tfLayers []*tfLayer
+
+	rng *rand.Rand
+}
+
+// NewModel builds an untrained model over the given vocabularies.
+func NewModel(cfg Config, src, tgt *Vocab) *Model {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, Src: src, Tgt: tgt, rng: r}
+	half := cfg.Hidden / 2
+	m.embSrc = nn.NewEmbedding(&m.params, "emb.src", r, src.Size(), cfg.Embed)
+	m.embTgt = nn.NewEmbedding(&m.params, "emb.tgt", r, tgt.Size(), cfg.Embed)
+	if cfg.Encoder == EncoderTransformer {
+		m.tfProj = nn.NewLinear(&m.params, "tf.proj", r, cfg.Embed, cfg.Hidden)
+		for l := 0; l < cfg.EncLayers; l++ {
+			m.tfLayers = append(m.tfLayers, newTFLayer(&m.params, name("tf.layer", l), r, cfg.Hidden))
+		}
+	} else {
+		in := cfg.Embed
+		for l := 0; l < cfg.EncLayers; l++ {
+			m.encFwd = append(m.encFwd, nn.NewLSTM(&m.params, name("enc.fwd", l), r, in, half))
+			m.encBwd = append(m.encBwd, nn.NewLSTM(&m.params, name("enc.bwd", l), r, in, half))
+			in = cfg.Hidden // next layer consumes concatenated directions
+		}
+	}
+	m.bridgeH = nn.NewLinear(&m.params, "bridge.h", r, cfg.Hidden, cfg.Hidden)
+	m.bridgeC = nn.NewLinear(&m.params, "bridge.c", r, cfg.Hidden, cfg.Hidden)
+	m.dec = nn.NewLSTM(&m.params, "dec", r, cfg.Embed, cfg.Hidden)
+	m.combine = nn.NewLinear(&m.params, "combine", r, 2*cfg.Hidden, cfg.Hidden)
+	m.out = nn.NewLinear(&m.params, "out", r, cfg.Hidden, tgt.Size())
+	return m
+}
+
+func name(prefix string, l int) string {
+	return prefix + string(rune('0'+l))
+}
+
+// NumParams returns the number of scalar parameters.
+func (m *Model) NumParams() int { return m.params.Count() }
+
+// encoded is the encoder's output for one batch.
+type encoded struct {
+	// states is [B*T, H], example-major, for attention.
+	states *ad.V
+	// mask is [B*T] with 1 for real tokens.
+	mask []float64
+	// initial decoder state derived from the final encoder states.
+	init nn.State
+	T    int
+}
+
+// encode runs the configured encoder over a padded batch.
+// srcIDs is [B][T] (padded with PAD); train enables dropout.
+func (m *Model) encode(t *ad.Tape, srcIDs [][]int, train bool) encoded {
+	if m.Cfg.Encoder == EncoderTransformer {
+		return m.encodeTransformer(t, srcIDs, train)
+	}
+	return m.encodeBiLSTM(t, srcIDs, train)
+}
+
+// encodeBiLSTM is the paper's 2-layer bidirectional LSTM encoder.
+func (m *Model) encodeBiLSTM(t *ad.Tape, srcIDs [][]int, train bool) encoded {
+	B := len(srcIDs)
+	T := len(srcIDs[0])
+	// Per-timestep masks.
+	masks := make([][]float64, T)
+	flat := make([]float64, B*T)
+	for tt := 0; tt < T; tt++ {
+		masks[tt] = make([]float64, B)
+		for b := 0; b < B; b++ {
+			if srcIDs[b][tt] != PAD {
+				masks[tt][b] = 1
+				flat[b*T+tt] = 1
+			}
+		}
+	}
+	// Layer-0 inputs: embeddings per timestep.
+	inputs := make([]*ad.V, T)
+	for tt := 0; tt < T; tt++ {
+		ids := make([]int, B)
+		for b := 0; b < B; b++ {
+			ids[b] = srcIDs[b][tt]
+		}
+		inputs[tt] = m.embSrc.Lookup(t, ids)
+	}
+
+	var finalFwd, finalBwd nn.State
+	for l := 0; l < m.Cfg.EncLayers; l++ {
+		fwdOut := make([]*ad.V, T)
+		bwdOut := make([]*ad.V, T)
+		sf := m.encFwd[l].ZeroState(B)
+		for tt := 0; tt < T; tt++ {
+			sf = m.encFwd[l].StepMasked(t, inputs[tt], sf, masks[tt])
+			fwdOut[tt] = sf.H
+		}
+		sb := m.encBwd[l].ZeroState(B)
+		for tt := T - 1; tt >= 0; tt-- {
+			sb = m.encBwd[l].StepMasked(t, inputs[tt], sb, masks[tt])
+			bwdOut[tt] = sb.H
+		}
+		next := make([]*ad.V, T)
+		for tt := 0; tt < T; tt++ {
+			h := t.ConcatCols(fwdOut[tt], bwdOut[tt])
+			if train && m.Cfg.Dropout > 0 {
+				h = t.Dropout(h, m.Cfg.Dropout, m.rng.Float64)
+			}
+			next[tt] = h
+		}
+		inputs = next
+		finalFwd, finalBwd = sf, sb
+	}
+	stack := t.StackRows(inputs) // [B*T, H]
+
+	// Bridge the final states into the decoder's initial state.
+	hCat := t.ConcatCols(finalFwd.H, finalBwd.H)
+	cCat := t.ConcatCols(finalFwd.C, finalBwd.C)
+	init := nn.State{
+		H: t.Tanh(m.bridgeH.Apply(t, hCat)),
+		C: t.Tanh(m.bridgeC.Apply(t, cCat)),
+	}
+	return encoded{states: stack, mask: flat, init: init, T: T}
+}
+
+// decodeStep advances the decoder one step: prev token ids -> logits.
+func (m *Model) decodeStep(t *ad.Tape, enc encoded, s nn.State, prev []int, train bool) (nn.State, *ad.V) {
+	x := m.embTgt.Lookup(t, prev)
+	s = m.dec.Step(t, x, s)
+	scores := t.AttnScores(s.H, enc.states, enc.T)
+	alpha := t.SoftmaxRowsMasked(scores, enc.mask)
+	ctx := t.WeightedSum(alpha, enc.states, m.Cfg.Hidden)
+	hTilde := t.Tanh(m.combine.Apply(t, t.ConcatCols(ctx, s.H)))
+	if train && m.Cfg.Dropout > 0 {
+		hTilde = t.Dropout(hTilde, m.Cfg.Dropout, m.rng.Float64)
+	}
+	logits := m.out.Apply(t, hTilde)
+	return s, logits
+}

@@ -1,0 +1,239 @@
+package seq2seq
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestVocab(t *testing.T) {
+	v := BuildVocab([][]string{{"a", "b", "a"}, {"c", "a"}}, 0)
+	if v.Size() != 4+3 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.ID("a") != 4 { // most frequent token right after specials
+		t.Errorf("ID(a) = %d", v.ID("a"))
+	}
+	if v.ID("zzz") != UNK {
+		t.Errorf("unknown token id = %d", v.ID("zzz"))
+	}
+	if got := v.Decode([]int{BOS, v.ID("b"), v.ID("a"), EOS, v.ID("c")}); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Errorf("Decode = %v", got)
+	}
+	capped := BuildVocab([][]string{{"a", "b", "c", "d", "e"}}, 2)
+	if capped.Size() != 4+2 {
+		t.Errorf("capped size = %d", capped.Size())
+	}
+}
+
+// makeToyData builds a tiny "translation" task with the structure of type
+// prediction: the source contains a distinguishing token surrounded by
+// noise, and the target is a multi-token sequence determined by it.
+func makeToyData(r *rand.Rand, n int) []Pair {
+	classes := map[string][]string{
+		"f64.load":     {"pointer", "primitive", "float", "64"},
+		"i32.load8_s":  {"pointer", "primitive", "cchar"},
+		"i32.add":      {"primitive", "int", "32"},
+		"f32.mul":      {"primitive", "float", "32"},
+		"i64.shl":      {"primitive", "int", "64"},
+		"call_special": {"pointer", "name", `"FILE"`, "struct"},
+	}
+	keys := make([]string, 0, len(classes))
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	noise := []string{"local.get", "0", ";", "i32.const", "1", "block", "end", "br_if"}
+	var out []Pair
+	for i := 0; i < n; i++ {
+		key := keys[r.Intn(len(keys))]
+		var src []string
+		for j := 0; j < 4+r.Intn(4); j++ {
+			src = append(src, noise[r.Intn(len(noise))])
+		}
+		src = append(src, key)
+		for j := 0; j < 2+r.Intn(4); j++ {
+			src = append(src, noise[r.Intn(len(noise))])
+		}
+		out = append(out, Pair{Src: src, Tgt: classes[key]})
+	}
+	return out
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Hidden = 32
+	cfg.Embed = 16
+	cfg.Epochs = 20
+	cfg.LR = 0.003
+	cfg.BatchSize = 16
+	cfg.MaxSrcLen = 20
+	cfg.Dropout = 0.1
+	return cfg
+}
+
+func TestTrainLearnsToyTranslation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	train := makeToyData(r, 600)
+	valid := makeToyData(r, 60)
+	test := makeToyData(r, 100)
+
+	var logs []string
+	m := Train(testConfig(), train, valid, func(s string) { logs = append(logs, s) })
+	if len(logs) == 0 {
+		t.Error("no progress reported")
+	}
+	if m.NumParams() == 0 {
+		t.Fatal("model has no parameters")
+	}
+
+	top1, top5 := 0, 0
+	for _, p := range test {
+		preds := m.Predict(p.Src, 5)
+		if len(preds) == 0 {
+			t.Fatal("no predictions")
+		}
+		if reflect.DeepEqual(preds[0].Tokens, p.Tgt) {
+			top1++
+		}
+		for _, pr := range preds {
+			if reflect.DeepEqual(pr.Tokens, p.Tgt) {
+				top5++
+				break
+			}
+		}
+	}
+	// The task is fully separable; a working implementation gets nearly
+	// everything right.
+	if top1 < 80 {
+		t.Errorf("top-1 = %d/100 on separable toy task; logs:\n%s", top1, strings.Join(logs, "\n"))
+	}
+	if top5 < top1 {
+		t.Errorf("top5 (%d) < top1 (%d)", top5, top1)
+	}
+}
+
+func TestBeamOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	train := makeToyData(r, 200)
+	cfg := testConfig()
+	cfg.Epochs = 2
+	m := Train(cfg, train, nil, nil)
+	preds := m.Predict(train[0].Src, 5)
+	if len(preds) == 0 {
+		t.Fatal("no predictions")
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i].LogProb > preds[i-1].LogProb {
+			t.Errorf("beam results not sorted: %v", preds)
+		}
+	}
+	// k=1 returns exactly one.
+	if got := m.Predict(train[0].Src, 1); len(got) != 1 {
+		t.Errorf("Predict(k=1) returned %d", len(got))
+	}
+	// Empty input does not crash.
+	if got := m.Predict(nil, 3); len(got) == 0 {
+		t.Error("Predict(empty) returned nothing")
+	}
+}
+
+func TestEarlyStoppingRestoresBest(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	train := makeToyData(r, 100)
+	valid := makeToyData(r, 30)
+	cfg := testConfig()
+	cfg.Epochs = 4
+	m := Train(cfg, train, valid, nil)
+	// After training, validation loss equals the best seen (restored).
+	vl := m.ValidLoss(valid)
+	m2 := Train(cfg, train, valid, nil)
+	if vl2 := m2.ValidLoss(valid); vl != vl2 {
+		t.Errorf("training not deterministic: %g vs %g", vl, vl2)
+	}
+}
+
+func TestEmptyTrainingSet(t *testing.T) {
+	cfg := testConfig()
+	m := Train(cfg, nil, nil, nil)
+	if m == nil {
+		t.Fatal("Train(nil) returned nil")
+	}
+	// An untrained model still predicts something (garbage, but shaped).
+	preds := m.Predict([]string{"x"}, 2)
+	if len(preds) == 0 {
+		t.Error("untrained model made no predictions")
+	}
+}
+
+func TestTransformerEncoderLearns(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	train := makeToyData(r, 400)
+	test := makeToyData(r, 60)
+	cfg := testConfig()
+	cfg.Encoder = EncoderTransformer
+	cfg.Epochs = 15
+	m := Train(cfg, train, nil, nil)
+	top1 := 0
+	for _, p := range test {
+		preds := m.Predict(p.Src, 1)
+		if len(preds) > 0 && reflect.DeepEqual(preds[0].Tokens, p.Tgt) {
+			top1++
+		}
+	}
+	// The transformer variant must also learn the separable toy task.
+	if top1 < 40 {
+		t.Errorf("transformer top-1 = %d/60", top1)
+	}
+}
+
+func TestTransformerSaveLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	train := makeToyData(r, 100)
+	cfg := testConfig()
+	cfg.Encoder = EncoderTransformer
+	cfg.Epochs = 2
+	m := Train(cfg, train, nil, nil)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := train[0].Src
+	if !reflect.DeepEqual(m.Predict(src, 3), got.Predict(src, 3)) {
+		t.Error("transformer predictions differ after save/load")
+	}
+}
+
+func TestBiLSTMSaveLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	train := makeToyData(r, 100)
+	cfg := testConfig()
+	cfg.Epochs = 2
+	m := Train(cfg, train, nil, nil)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := train[0].Src
+	if !reflect.DeepEqual(m.Predict(src, 3), got.Predict(src, 3)) {
+		t.Error("predictions differ after save/load")
+	}
+	if got.NumParams() != m.NumParams() {
+		t.Errorf("param counts differ: %d vs %d", got.NumParams(), m.NumParams())
+	}
+}

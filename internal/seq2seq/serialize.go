@@ -1,0 +1,58 @@
+package seq2seq
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelState is the serialized form of a trained model. Weights are
+// stored in parameter-registration order, which is deterministic given
+// the config and vocabulary sizes.
+type modelState struct {
+	Cfg     Config
+	SrcToks []string
+	TgtToks []string
+	Weights [][]float64
+}
+
+// Save writes the model (config, vocabularies, weights) to w.
+func (m *Model) Save(w io.Writer) error {
+	st := modelState{Cfg: m.Cfg, SrcToks: m.Src.toks, TgtToks: m.Tgt.toks}
+	for _, v := range m.params.All() {
+		st.Weights = append(st.Weights, v.W)
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// Load reads a model previously written with Save.
+func Load(r io.Reader) (*Model, error) {
+	var st modelState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("seq2seq: load: %w", err)
+	}
+	src := vocabFromTokens(st.SrcToks)
+	tgt := vocabFromTokens(st.TgtToks)
+	m := NewModel(st.Cfg, src, tgt)
+	params := m.params.All()
+	if len(params) != len(st.Weights) {
+		return nil, fmt.Errorf("seq2seq: load: %d weight tensors, model has %d", len(st.Weights), len(params))
+	}
+	for i, v := range params {
+		if len(v.W) != len(st.Weights[i]) {
+			return nil, fmt.Errorf("seq2seq: load: tensor %d has %d weights, model wants %d", i, len(st.Weights[i]), len(v.W))
+		}
+		copy(v.W, st.Weights[i])
+	}
+	return m, nil
+}
+
+// vocabFromTokens rebuilds a vocabulary from its serialized token list
+// (which already includes the specials at the front).
+func vocabFromTokens(toks []string) *Vocab {
+	v := &Vocab{toks: toks, ids: make(map[string]int, len(toks))}
+	for i, t := range toks {
+		v.ids[t] = i
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+package seq2seq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ad"
+	"repro/internal/nn"
+)
+
+// Pair is one training example: instruction tokens in, type tokens out.
+type Pair struct {
+	Src []string
+	Tgt []string
+}
+
+// Train builds vocabularies from the training pairs and trains a model,
+// early-stopping on validation token loss (Section 6.1: "we check the
+// accuracy on the validation set and stop early if it regresses"). The
+// progress callback (may be nil) receives one line per epoch.
+func Train(cfg Config, train, valid []Pair, progress func(string)) *Model {
+	srcSeqs := make([][]string, len(train))
+	tgtSeqs := make([][]string, len(train))
+	for i, p := range train {
+		srcSeqs[i] = p.Src
+		tgtSeqs[i] = p.Tgt
+	}
+	src := BuildVocab(srcSeqs, cfg.SrcVocab)
+	tgt := BuildVocab(tgtSeqs, cfg.TgtVocab)
+	m := NewModel(cfg, src, tgt)
+	m.Fit(train, valid, progress)
+	return m
+}
+
+// batch is a padded minibatch.
+type batch struct {
+	src [][]int // [B][Tsrc]
+	tgt [][]int // [B][Ttgt] including BOS/EOS
+}
+
+// makeBatches length-sorts the pairs (less padding), slices them into
+// minibatches, and shuffles batch order.
+func (m *Model) makeBatches(pairs []Pair, r *rand.Rand) []batch {
+	idx := make([]int, len(pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return len(pairs[idx[a]].Src) < len(pairs[idx[b]].Src)
+	})
+	var batches []batch
+	for lo := 0; lo < len(idx); lo += m.Cfg.BatchSize {
+		hi := lo + m.Cfg.BatchSize
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		var b batch
+		maxS, maxT := 1, 2
+		for _, i := range idx[lo:hi] {
+			s := m.Src.Encode(truncate(pairs[i].Src, m.Cfg.MaxSrcLen))
+			tg := m.Tgt.Encode(truncate(pairs[i].Tgt, m.Cfg.MaxTgtLen))
+			tg = append(append([]int{BOS}, tg...), EOS)
+			b.src = append(b.src, s)
+			b.tgt = append(b.tgt, tg)
+			if len(s) > maxS {
+				maxS = len(s)
+			}
+			if len(tg) > maxT {
+				maxT = len(tg)
+			}
+		}
+		for i := range b.src {
+			b.src[i] = pad(b.src[i], maxS)
+			b.tgt[i] = pad(b.tgt[i], maxT)
+		}
+		batches = append(batches, b)
+	}
+	r.Shuffle(len(batches), func(i, j int) { batches[i], batches[j] = batches[j], batches[i] })
+	return batches
+}
+
+func truncate(s []string, n int) []string {
+	if n > 0 && len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func pad(s []int, n int) []int {
+	for len(s) < n {
+		s = append(s, PAD)
+	}
+	return s
+}
+
+// batchLoss runs the teacher-forced forward pass and returns the loss node.
+func (m *Model) batchLoss(t *ad.Tape, b batch, train bool) *ad.V {
+	enc := m.encode(t, b.src, train)
+	B := len(b.tgt)
+	Ttgt := len(b.tgt[0])
+	s := enc.init
+	var losses []*ad.V
+	for step := 0; step+1 < Ttgt; step++ {
+		prev := make([]int, B)
+		targets := make([]int, B)
+		weights := make([]float64, B)
+		for i := 0; i < B; i++ {
+			prev[i] = b.tgt[i][step]
+			targets[i] = b.tgt[i][step+1]
+			if targets[i] != PAD {
+				weights[i] = 1
+			}
+		}
+		var logits *ad.V
+		s, logits = m.decodeStep(t, enc, s, prev, train)
+		losses = append(losses, t.SoftmaxCrossEntropy(logits, targets, weights))
+	}
+	total := losses[0]
+	for _, l := range losses[1:] {
+		total = t.Add(total, l)
+	}
+	return t.Scale(total, 1/float64(len(losses)))
+}
+
+// Fit trains the model in place.
+func (m *Model) Fit(train, valid []Pair, progress func(string)) {
+	if len(train) == 0 {
+		return
+	}
+	r := rand.New(rand.NewSource(m.Cfg.Seed + 100))
+	opt := nn.NewAdam(&m.params, m.Cfg.LR)
+	bestValid := -1.0
+	var bestSnapshot [][]float64
+	bad := 0
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		batches := m.makeBatches(train, r)
+		totalLoss, n := 0.0, 0
+		for _, b := range batches {
+			tape := ad.NewTape()
+			loss := m.batchLoss(tape, b, true)
+			m.params.ZeroGrad()
+			loss.G[0] = 1
+			tape.Backward()
+			opt.Step()
+			totalLoss += loss.W[0]
+			n++
+		}
+		vl := m.ValidLoss(valid)
+		if progress != nil {
+			progress(fmt.Sprintf("epoch %d: train loss %.4f, valid loss %.4f", epoch+1, totalLoss/float64(n), vl))
+		}
+		if len(valid) == 0 {
+			continue // no validation set: train the full epoch budget
+		}
+		// Early stopping with patience 1: small validation sets are
+		// noisy, so one regression is tolerated before stopping at the
+		// best snapshot.
+		if bestValid < 0 || vl < bestValid {
+			bestValid = vl
+			bestSnapshot = m.snapshot()
+			bad = 0
+			continue
+		}
+		bad++
+		if bad >= 2 {
+			m.restore(bestSnapshot)
+			if progress != nil {
+				progress(fmt.Sprintf("epoch %d: validation regressed twice, stopping early", epoch+1))
+			}
+			return
+		}
+	}
+	if bestSnapshot != nil {
+		m.restore(bestSnapshot)
+	}
+}
+
+// ValidLoss computes the mean batch loss on a held-out set without
+// updating parameters; returns 0 for an empty set.
+func (m *Model) ValidLoss(valid []Pair) float64 {
+	if len(valid) == 0 {
+		return 0
+	}
+	r := rand.New(rand.NewSource(7))
+	total, n := 0.0, 0
+	for _, b := range m.makeBatches(valid, r) {
+		tape := ad.NewTape()
+		loss := m.batchLoss(tape, b, false)
+		total += loss.W[0]
+		n++
+	}
+	return total / float64(n)
+}
+
+func (m *Model) snapshot() [][]float64 {
+	out := make([][]float64, 0, len(m.params.All()))
+	for _, v := range m.params.All() {
+		out = append(out, append([]float64(nil), v.W...))
+	}
+	return out
+}
+
+func (m *Model) restore(snap [][]float64) {
+	if snap == nil {
+		return
+	}
+	for i, v := range m.params.All() {
+		copy(v.W, snap[i])
+	}
+}

@@ -1,0 +1,127 @@
+// Package split assigns corpus packages to train/validation/test portions
+// and applies the per-package sample cap, as in Section 5 of the paper:
+// the dataset is split by original source package (never by function or
+// binary, to prevent leakage between portions), with 96% of packages for
+// training and 2% each for validation and testing.
+package split
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Part identifies a dataset portion.
+type Part int
+
+// The three dataset portions.
+const (
+	Train Part = iota
+	Valid
+	Test
+)
+
+// String returns "train", "valid", or "test".
+func (p Part) String() string {
+	switch p {
+	case Train:
+		return "train"
+	case Valid:
+		return "valid"
+	case Test:
+		return "test"
+	}
+	return fmt.Sprintf("part(%d)", int(p))
+}
+
+// Fractions holds the split proportions; they must sum to at most 1, with
+// the remainder going to Train.
+type Fractions struct {
+	Valid float64
+	Test  float64
+}
+
+// PaperFractions returns the paper's 96/2/2 split.
+func PaperFractions() Fractions { return Fractions{Valid: 0.02, Test: 0.02} }
+
+// ByPackage deterministically assigns each package to a portion based on a
+// keyed hash of its name: stable across runs, independent of package
+// order, and guaranteed to put all binaries of a package in one portion.
+// It guarantees at least one package each in Valid and Test when there are
+// at least three packages.
+func ByPackage(pkgs []string, seed uint64, f Fractions) map[string]Part {
+	out := make(map[string]Part, len(pkgs))
+	// Order packages by keyed hash, then cut the ordered list: this makes
+	// the *fractions* exact instead of merely expected.
+	type ranked struct {
+		name string
+		key  uint64
+	}
+	rs := make([]ranked, 0, len(pkgs))
+	for _, p := range pkgs {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d:%s", seed, p)
+		rs = append(rs, ranked{name: p, key: h.Sum64()})
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].key != rs[j].key {
+			return rs[i].key < rs[j].key
+		}
+		return rs[i].name < rs[j].name
+	})
+	nValid := int(float64(len(rs)) * f.Valid)
+	nTest := int(float64(len(rs)) * f.Test)
+	if len(rs) >= 3 {
+		if nValid == 0 {
+			nValid = 1
+		}
+		if nTest == 0 {
+			nTest = 1
+		}
+	}
+	for i, r := range rs {
+		switch {
+		case i < nValid:
+			out[r.name] = Valid
+		case i < nValid+nTest:
+			out[r.name] = Test
+		default:
+			out[r.name] = Train
+		}
+	}
+	return out
+}
+
+// CapPerPackage limits the number of samples per package to the size of
+// the second-largest package, so no single package dominates the dataset
+// (Section 5). keyOf extracts the package of a sample; the returned slice
+// preserves input order.
+func CapPerPackage[S any](samples []S, keyOf func(S) string) []S {
+	counts := map[string]int{}
+	for _, s := range samples {
+		counts[keyOf(s)]++
+	}
+	if len(counts) < 2 {
+		return samples
+	}
+	first, second := 0, 0
+	for _, c := range counts {
+		if c > first {
+			first, second = c, first
+		} else if c > second {
+			second = c
+		}
+	}
+	cap := second
+	taken := map[string]int{}
+	out := samples[:0:0]
+	for _, s := range samples {
+		k := keyOf(s)
+		if taken[k] >= cap {
+			continue
+		}
+		taken[k]++
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package split
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("pkg-%d", i)
+	}
+	return out
+}
+
+func TestByPackageFractions(t *testing.T) {
+	pkgs := names(200)
+	parts := ByPackage(pkgs, 7, PaperFractions())
+	counts := map[Part]int{}
+	for _, p := range parts {
+		counts[p]++
+	}
+	if counts[Valid] != 4 || counts[Test] != 4 {
+		t.Errorf("valid=%d test=%d, want 4/4 of 200", counts[Valid], counts[Test])
+	}
+	if counts[Train] != 192 {
+		t.Errorf("train=%d, want 192", counts[Train])
+	}
+}
+
+func TestByPackageDeterministicAndOrderIndependent(t *testing.T) {
+	pkgs := names(50)
+	a := ByPackage(pkgs, 1, PaperFractions())
+	// Reversed order must give the same assignment.
+	rev := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		rev[len(pkgs)-1-i] = p
+	}
+	b := ByPackage(rev, 1, PaperFractions())
+	for _, p := range pkgs {
+		if a[p] != b[p] {
+			t.Fatalf("assignment of %s depends on input order", p)
+		}
+	}
+	// Different seed gives a different assignment (almost surely).
+	c := ByPackage(pkgs, 2, PaperFractions())
+	same := true
+	for _, p := range pkgs {
+		if a[p] != c[p] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical splits")
+	}
+}
+
+func TestSmallCorpusGetsAllParts(t *testing.T) {
+	parts := ByPackage(names(5), 3, PaperFractions())
+	counts := map[Part]int{}
+	for _, p := range parts {
+		counts[p]++
+	}
+	if counts[Valid] == 0 || counts[Test] == 0 || counts[Train] == 0 {
+		t.Errorf("small corpus missing a part: %v", counts)
+	}
+}
+
+func TestPartString(t *testing.T) {
+	if Train.String() != "train" || Valid.String() != "valid" || Test.String() != "test" {
+		t.Error("Part names wrong")
+	}
+}
+
+func TestCapPerPackage(t *testing.T) {
+	type s struct{ pkg string }
+	var samples []s
+	for i := 0; i < 100; i++ {
+		samples = append(samples, s{"big"})
+	}
+	for i := 0; i < 10; i++ {
+		samples = append(samples, s{"mid"})
+	}
+	for i := 0; i < 3; i++ {
+		samples = append(samples, s{"small"})
+	}
+	capped := CapPerPackage(samples, func(x s) string { return x.pkg })
+	counts := map[string]int{}
+	for _, x := range capped {
+		counts[x.pkg]++
+	}
+	// Cap = size of second-largest package = 10.
+	if counts["big"] != 10 || counts["mid"] != 10 || counts["small"] != 3 {
+		t.Errorf("counts after cap = %v", counts)
+	}
+}
+
+func TestCapSinglePackageUnchanged(t *testing.T) {
+	type s struct{ pkg string }
+	samples := []s{{"only"}, {"only"}, {"only"}}
+	if got := CapPerPackage(samples, func(x s) string { return x.pkg }); len(got) != 3 {
+		t.Errorf("single package capped: %d", len(got))
+	}
+}
+
+func TestQuickEveryPackageAssigned(t *testing.T) {
+	f := func(n uint8, seed uint64) bool {
+		pkgs := names(int(n%100) + 3)
+		parts := ByPackage(pkgs, seed, PaperFractions())
+		if len(parts) != len(pkgs) {
+			return false
+		}
+		for _, p := range pkgs {
+			if _, ok := parts[p]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

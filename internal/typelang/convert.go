@@ -1,0 +1,270 @@
+package typelang
+
+import (
+	"strings"
+
+	"repro/internal/dwarf"
+)
+
+// ConvertOptions controls the DWARF → L_SW conversion, realizing the
+// language variants of Section 3.7.
+type ConvertOptions struct {
+	// KeepNames enables the name constructor. If NameFilter is non-nil,
+	// only names it accepts are kept ("common names", Section 3.6); a nil
+	// filter keeps all names (the "All Names" variant).
+	KeepNames  bool
+	NameFilter func(string) bool
+	// KeepConst enables the const constructor; when false, const
+	// qualifiers are flattened away (Simplified variant).
+	KeepConst bool
+	// ClassDistinct keeps class distinct from struct; when false, classes
+	// are represented as structs (Simplified variant).
+	ClassDistinct bool
+	// MaxDepth bounds the emitted nesting depth as a safety net on top of
+	// cycle breaking. Zero means the default of 8.
+	MaxDepth int
+}
+
+// LSW returns the options of the default language L_SNOWWHITE with the
+// given common-name filter.
+func LSW(nameFilter func(string) bool) ConvertOptions {
+	return ConvertOptions{KeepNames: true, NameFilter: nameFilter, KeepConst: true, ClassDistinct: true}
+}
+
+// AllNames returns the options of the L_SW "All Names" variant.
+func AllNames() ConvertOptions {
+	return ConvertOptions{KeepNames: true, KeepConst: true, ClassDistinct: true}
+}
+
+// Simplified returns the options of the simplified L_SW variant: no names,
+// no const, classes merged into structs.
+func Simplified() ConvertOptions {
+	return ConvertOptions{}
+}
+
+// FromDWARF converts a DWARF type DIE (the target of a DW_AT_type
+// attribute) into a type of the high-level language. A nil DIE represents
+// C's void and converts to unknown, so `void*` becomes `pointer unknown`
+// (Section 3.5). The conversion breaks reference cycles, drops
+// volatile/restrict qualifiers, maps C++ references to pointers, and
+// applies the outermost-name rule (Section 3.6).
+func FromDWARF(die *dwarf.DIE, opts ConvertOptions) *Type {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 8
+	}
+	c := converter{opts: opts, visited: make(map[*dwarf.DIE]bool)}
+	t := c.convert(die, 0)
+	t = filterNames(t, opts)
+	t = dropInnerNames(t, false)
+	return t
+}
+
+type converter struct {
+	opts    ConvertOptions
+	visited map[*dwarf.DIE]bool
+}
+
+func (c *converter) convert(die *dwarf.DIE, depth int) *Type {
+	if die == nil {
+		return Unknown()
+	}
+	if depth > c.opts.MaxDepth {
+		return Unknown()
+	}
+	if c.visited[die] {
+		// A back edge in the DWARF type graph: break the cycle so the
+		// emitted token sequence is finite (Section 3.1).
+		return Unknown()
+	}
+	c.visited[die] = true
+	defer delete(c.visited, die)
+
+	switch die.Tag {
+	case dwarf.TagBaseType:
+		return convertBase(die)
+
+	case dwarf.TagPointerType, dwarf.TagReferenceType, dwarf.TagRvalueRefType:
+		// C++ references convey little extra intuition, so they map to a
+		// single pointer constructor (Section 3.4).
+		return Pointer(c.convert(die.TypeRef(), depth+1))
+
+	case dwarf.TagArrayType:
+		return Array(c.convert(die.TypeRef(), depth+1))
+
+	case dwarf.TagConstType:
+		inner := c.convert(die.TypeRef(), depth+1)
+		if !c.opts.KeepConst {
+			return inner
+		}
+		return Const(inner)
+
+	case dwarf.TagVolatileType, dwarf.TagRestrictType:
+		// Optimization hints, unlikely to be recoverable: dropped
+		// (Section 3.4).
+		return c.convert(die.TypeRef(), depth+1)
+
+	case dwarf.TagTypedef:
+		inner := c.convert(die.TypeRef(), depth+1)
+		if name := die.Name(); name != "" {
+			return Named(name, inner)
+		}
+		return inner
+
+	case dwarf.TagStructType:
+		if die.Flag(dwarf.AttrDeclaration) {
+			// Forward declaration: the layout is unknown (Section 3.5).
+			return Unknown()
+		}
+		return c.aggregate(die, Struct())
+
+	case dwarf.TagClassType:
+		if die.Flag(dwarf.AttrDeclaration) {
+			return Unknown()
+		}
+		if !c.opts.ClassDistinct {
+			return c.aggregate(die, Struct())
+		}
+		return c.aggregate(die, Class())
+
+	case dwarf.TagUnionType:
+		if die.Flag(dwarf.AttrDeclaration) {
+			return Unknown()
+		}
+		return c.aggregate(die, Union())
+
+	case dwarf.TagEnumerationType:
+		return c.aggregate(die, Enum())
+
+	case dwarf.TagSubroutineType:
+		return Function()
+
+	case dwarf.TagUnspecifiedType:
+		// decltype(nullptr) and friends (Section 3.5).
+		return Unknown()
+	}
+	return Unknown()
+}
+
+// aggregate wraps a named aggregate in a name constructor; datatype names
+// and typedef names map to the same constructor (Section 3.6).
+func (c *converter) aggregate(die *dwarf.DIE, t *Type) *Type {
+	if name := die.Name(); name != "" {
+		return Named(name, t)
+	}
+	return t
+}
+
+// convertBase maps a DW_TAG_base_type to one of the 16 normalized
+// primitive types (Section 3.2).
+func convertBase(die *dwarf.DIE) *Type {
+	enc, _ := die.Uint(dwarf.AttrEncoding)
+	size, _ := die.Uint(dwarf.AttrByteSize)
+	bits := int(size) * 8
+	name := die.Name()
+	switch dwarf.Encoding(enc) {
+	case dwarf.EncBoolean:
+		return Bool()
+	case dwarf.EncFloat:
+		if strings.Contains(name, "complex") {
+			return Complex()
+		}
+		return Float(clampBits(bits, 32, 64, 128))
+	case dwarf.EncComplexFloat:
+		return Complex()
+	case dwarf.EncSigned:
+		return Int(clampBits(bits, 8, 16, 32, 64))
+	case dwarf.EncUnsigned:
+		return Uint(clampBits(bits, 8, 16, 32, 64))
+	case dwarf.EncSignedChar:
+		// Plain `char` is used for character data and is distinct from
+		// the 8-bit integers (Section 3.2); explicitly signed chars are
+		// just int 8.
+		if name == "char" {
+			return CChar()
+		}
+		return Int(8)
+	case dwarf.EncUnsignedChar:
+		if name == "char" {
+			return CChar()
+		}
+		return Uint(8)
+	case dwarf.EncUTF:
+		return WChar(clampBits(bits, 16, 32))
+	}
+	return Unknown()
+}
+
+// clampBits returns bits if it is one of the allowed widths, otherwise the
+// nearest allowed width (DWARF byte sizes from odd ABIs get normalized).
+func clampBits(bits int, allowed ...int) int {
+	best := allowed[0]
+	bestDiff := diff(bits, best)
+	for _, a := range allowed[1:] {
+		if d := diff(bits, a); d < bestDiff {
+			best, bestDiff = a, d
+		}
+	}
+	return best
+}
+
+func diff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// filterNames removes name constructors rejected by the options: all of
+// them when names are disabled, or those failing the common-name filter.
+func filterNames(t *Type, opts ConvertOptions) *Type {
+	if t == nil {
+		return nil
+	}
+	if t.Ctor == CtorName {
+		keep := opts.KeepNames
+		if keep && opts.NameFilter != nil {
+			keep = opts.NameFilter(t.Name)
+		}
+		if !keep {
+			return filterNames(t.Elem, opts)
+		}
+	}
+	if !t.IsLeaf() {
+		t = &Type{Ctor: t.Ctor, Prim: t.Prim, Name: t.Name, Elem: filterNames(t.Elem, opts)}
+	}
+	return t
+}
+
+// dropInnerNames keeps only the outermost name constructor in the
+// sequence, which is most likely the user-visible name (Section 3.6).
+func dropInnerNames(t *Type, sawName bool) *Type {
+	if t == nil {
+		return nil
+	}
+	if t.Ctor == CtorName {
+		if sawName {
+			return dropInnerNames(t.Elem, true)
+		}
+		return &Type{Ctor: CtorName, Name: t.Name, Elem: dropInnerNames(t.Elem, true)}
+	}
+	if !t.IsLeaf() {
+		return &Type{Ctor: t.Ctor, Prim: t.Prim, Name: t.Name, Elem: dropInnerNames(t.Elem, sawName)}
+	}
+	return t
+}
+
+// PrimitiveEquivalentName reports whether a type name duplicates what the
+// primitive representation already captures (e.g. uint32_t, int8_t); such
+// names are filtered out of the common-name vocabulary (Section 3.6).
+func PrimitiveEquivalentName(name string) bool {
+	switch name {
+	case "int8_t", "int16_t", "int32_t", "int64_t",
+		"uint8_t", "uint16_t", "uint32_t", "uint64_t",
+		"__int8_t", "__int16_t", "__int32_t", "__int64_t",
+		"__uint8_t", "__uint16_t", "__uint32_t", "__uint64_t",
+		"char8_t", "char16_t", "char32_t", "wchar_t", "wchar16_t",
+		"float_t", "double_t", "_Bool", "bool":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package typelang
+
+import (
+	"sort"
+	"strings"
+)
+
+// NameStats accumulates, per type name, how many packages use it and how
+// many samples carry it, for building the common-name vocabulary
+// (Section 3.6) and Table 3.
+type NameStats struct {
+	packages map[string]map[string]bool // name -> set of package ids
+	samples  map[string]int             // name -> sample count
+	pkgSeen  map[string]bool
+}
+
+// NewNameStats returns an empty accumulator.
+func NewNameStats() *NameStats {
+	return &NameStats{
+		packages: make(map[string]map[string]bool),
+		samples:  make(map[string]int),
+		pkgSeen:  make(map[string]bool),
+	}
+}
+
+// Add records every name constructor in t as occurring in pkg.
+func (s *NameStats) Add(pkg string, t *Type) {
+	s.pkgSeen[pkg] = true
+	for ; t != nil; t = t.Elem {
+		if t.Ctor == CtorName {
+			set := s.packages[t.Name]
+			if set == nil {
+				set = make(map[string]bool)
+				s.packages[t.Name] = set
+			}
+			set[pkg] = true
+			s.samples[t.Name]++
+		}
+		if t.IsLeaf() {
+			break
+		}
+	}
+}
+
+// NumPackages returns the number of distinct packages seen.
+func (s *NameStats) NumPackages() int { return len(s.pkgSeen) }
+
+// NameCount is one row of the name-frequency table (Table 3).
+type NameCount struct {
+	Name         string
+	SampleCount  int
+	PackageShare float64 // fraction of packages the name appears in
+}
+
+// Common returns the common-name vocabulary: names appearing in at least
+// minPackageShare of all packages (the paper uses 1%), excluding names
+// starting with an underscore (likely internal) and names that duplicate
+// the primitive representation (Section 3.6). Rows are sorted by package
+// share, descending.
+func (s *NameStats) Common(minPackageShare float64) []NameCount {
+	total := float64(len(s.pkgSeen))
+	if total == 0 {
+		return nil
+	}
+	var out []NameCount
+	for name, pkgs := range s.packages {
+		if strings.HasPrefix(name, "_") || PrimitiveEquivalentName(name) {
+			continue
+		}
+		// A "common" name must be shared: at least the given fraction of
+		// packages and never just a single package (which matters when
+		// the corpus is much smaller than the paper's 4,081 packages).
+		if len(pkgs) < 2 {
+			continue
+		}
+		share := float64(len(pkgs)) / total
+		if share < minPackageShare {
+			continue
+		}
+		out = append(out, NameCount{Name: name, SampleCount: s.samples[name], PackageShare: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PackageShare != out[j].PackageShare {
+			return out[i].PackageShare > out[j].PackageShare
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FilterFunc returns a membership predicate over the given vocabulary,
+// suitable for ConvertOptions.NameFilter.
+func FilterFunc(vocab []NameCount) func(string) bool {
+	set := make(map[string]bool, len(vocab))
+	for _, n := range vocab {
+		set[n.Name] = true
+	}
+	return func(name string) bool { return set[name] }
+}

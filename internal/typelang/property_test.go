@@ -1,0 +1,121 @@
+package typelang
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dwarf"
+)
+
+// randDIE builds a random DWARF type graph, possibly cyclic, from a pool
+// of nodes, exercising every constructor the converter handles.
+func randDIE(r *rand.Rand, pool []*dwarf.DIE, depth int) *dwarf.DIE {
+	if depth <= 0 || (len(pool) > 0 && r.Intn(5) == 0) {
+		// Leaf: base type, enum, fwd decl, or a back-edge into the pool
+		// (potential cycle).
+		switch r.Intn(6) {
+		case 0:
+			return dwarf.NewBaseType("int", dwarf.EncSigned, 4)
+		case 1:
+			return dwarf.NewBaseType("double", dwarf.EncFloat, 8)
+		case 2:
+			return dwarf.NewBaseType("char", dwarf.EncSignedChar, 1)
+		case 3:
+			e := &dwarf.DIE{Tag: dwarf.TagEnumerationType}
+			if r.Intn(2) == 0 {
+				e.AddAttr(dwarf.AttrName, "color")
+			}
+			return e
+		case 4:
+			s := &dwarf.DIE{Tag: dwarf.TagStructType}
+			s.AddAttr(dwarf.AttrName, "fwd")
+			s.AddAttr(dwarf.AttrDeclaration, true)
+			return s
+		default:
+			if len(pool) > 0 {
+				return pool[r.Intn(len(pool))]
+			}
+			return nil // void
+		}
+	}
+	tags := []dwarf.Tag{
+		dwarf.TagPointerType, dwarf.TagArrayType, dwarf.TagConstType,
+		dwarf.TagVolatileType, dwarf.TagRestrictType, dwarf.TagTypedef,
+		dwarf.TagReferenceType, dwarf.TagStructType, dwarf.TagClassType,
+		dwarf.TagUnionType, dwarf.TagSubroutineType, dwarf.TagUnspecifiedType,
+	}
+	tag := tags[r.Intn(len(tags))]
+	d := &dwarf.DIE{Tag: tag}
+	switch tag {
+	case dwarf.TagTypedef:
+		d.AddAttr(dwarf.AttrName, "td"+string(rune('a'+r.Intn(26))))
+		d.AddAttr(dwarf.AttrType, randDIE(r, append(pool, d), depth-1))
+	case dwarf.TagStructType, dwarf.TagClassType, dwarf.TagUnionType:
+		if r.Intn(2) == 0 {
+			d.AddAttr(dwarf.AttrName, "rec"+string(rune('a'+r.Intn(26))))
+		}
+		d.AddAttr(dwarf.AttrByteSize, uint64(8))
+	case dwarf.TagSubroutineType, dwarf.TagUnspecifiedType:
+		// no inner type
+	default:
+		if inner := randDIE(r, append(pool, d), depth-1); inner != nil {
+			d.AddAttr(dwarf.AttrType, inner)
+		}
+	}
+	return d
+}
+
+// TestQuickFromDWARFAlwaysValid: for arbitrary (even cyclic) DWARF type
+// graphs and every language variant, conversion must terminate and
+// produce a type whose token sequence is valid and parses back to an
+// equal type.
+func TestQuickFromDWARFAlwaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	common := func(n string) bool { return len(n) > 0 && n[0] == 't' }
+	for i := 0; i < 2000; i++ {
+		die := randDIE(r, nil, 4)
+		for _, v := range Variants() {
+			if v == VariantEklavya {
+				continue // collapsed to a single label, checked below
+			}
+			typ := FromDWARF(die, v.Options(common))
+			if err := typ.Validate(); err != nil {
+				t.Fatalf("iter %d, variant %s: invalid type %v: %v", i, v, typ, err)
+			}
+			parsed, err := Parse(typ.Tokens())
+			if err != nil {
+				t.Fatalf("iter %d, variant %s: tokens %v do not parse: %v", i, v, typ.Tokens(), err)
+			}
+			if !parsed.Equal(typ) {
+				t.Fatalf("iter %d: round trip changed type: %v vs %v", i, parsed, typ)
+			}
+		}
+		// Eklavya labels stay within the fixed vocabulary.
+		master := FromDWARF(die, AllNames())
+		label := ToEklavya(master)
+		ok := false
+		for _, l := range EklavyaLabels {
+			if l == label {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("iter %d: Eklavya label %q outside vocabulary", i, label)
+		}
+	}
+}
+
+// TestQuickVariantApplyValid: Variant.Apply output always parses for the
+// sequence languages.
+func TestQuickVariantApplyValid(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 1000; i++ {
+		master := randType(r, 5)
+		for _, v := range []Variant{VariantAllNames, VariantLSW, VariantSimplified} {
+			toks := v.Apply(master, func(string) bool { return r.Intn(2) == 0 })
+			if _, err := Parse(toks); err != nil {
+				t.Fatalf("variant %s tokens %v do not parse: %v", v, toks, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package typelang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tokens renders the type as the linear token sequence the model predicts,
+// e.g. `pointer const primitive cchar` or `name "size_t" primitive uint 32`.
+// Name tokens are quoted so they can never collide with keywords.
+func (t *Type) Tokens() []string {
+	var out []string
+	t.appendTokens(&out)
+	return out
+}
+
+func (t *Type) appendTokens(out *[]string) {
+	if t == nil {
+		*out = append(*out, "unknown")
+		return
+	}
+	switch t.Ctor {
+	case CtorPrimitive:
+		*out = append(*out, "primitive", t.Prim.Kind.String())
+		if t.Prim.Kind.hasBits() {
+			*out = append(*out, strconv.Itoa(t.Prim.Bits))
+		}
+	case CtorPointer, CtorArray, CtorConst:
+		*out = append(*out, t.Ctor.String())
+		t.Elem.appendTokens(out)
+	case CtorName:
+		*out = append(*out, "name", strconv.Quote(t.Name))
+		t.Elem.appendTokens(out)
+	default:
+		*out = append(*out, t.Ctor.String())
+	}
+}
+
+// String renders the token sequence separated by spaces.
+func (t *Type) String() string {
+	return strings.Join(t.Tokens(), " ")
+}
+
+// Key returns a canonical string identity for the type, usable as a map key
+// when counting type distributions.
+func (t *Type) Key() string { return t.String() }
+
+// Parse parses a token sequence back into a type. It is the inverse of
+// Tokens and rejects malformed sequences, including trailing tokens.
+func Parse(tokens []string) (*Type, error) {
+	t, rest, err := parseType(tokens)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("typelang: %d trailing tokens after type: %v", len(rest), rest)
+	}
+	return t, nil
+}
+
+// ParsePrefix parses the longest valid type that is a prefix of tokens,
+// returning the remaining tokens. Model outputs may be truncated or have
+// junk suffixes; ParsePrefix recovers the leading well-formed part.
+func ParsePrefix(tokens []string) (*Type, []string, error) {
+	return parseType(tokens)
+}
+
+func parseType(tokens []string) (*Type, []string, error) {
+	if len(tokens) == 0 {
+		return nil, nil, fmt.Errorf("typelang: empty token sequence")
+	}
+	head, rest := tokens[0], tokens[1:]
+	switch head {
+	case "primitive":
+		return parsePrimitive(rest)
+	case "pointer", "array", "const":
+		elem, rest, err := parseType(rest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("typelang: after %q: %w", head, err)
+		}
+		ctor := map[string]Ctor{"pointer": CtorPointer, "array": CtorArray, "const": CtorConst}[head]
+		return &Type{Ctor: ctor, Elem: elem}, rest, nil
+	case "name":
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("typelang: name constructor missing name token")
+		}
+		name, err := strconv.Unquote(rest[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("typelang: invalid name token %q: %w", rest[0], err)
+		}
+		elem, rest2, err := parseType(rest[1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("typelang: after name %q: %w", name, err)
+		}
+		return Named(name, elem), rest2, nil
+	case "struct":
+		return Struct(), rest, nil
+	case "class":
+		return Class(), rest, nil
+	case "union":
+		return Union(), rest, nil
+	case "enum":
+		return Enum(), rest, nil
+	case "function":
+		return Function(), rest, nil
+	case "unknown":
+		return Unknown(), rest, nil
+	}
+	return nil, nil, fmt.Errorf("typelang: unexpected token %q", head)
+}
+
+func parsePrimitive(tokens []string) (*Type, []string, error) {
+	if len(tokens) == 0 {
+		return nil, nil, fmt.Errorf("typelang: primitive constructor missing kind")
+	}
+	kindTok, rest := tokens[0], tokens[1:]
+	var kind PrimKind
+	found := false
+	for k, name := range primNames {
+		if name == kindTok {
+			kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("typelang: unknown primitive kind %q", kindTok)
+	}
+	bits := 0
+	if kind.hasBits() {
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("typelang: primitive %s missing bit width", kindTok)
+		}
+		var err error
+		bits, err = strconv.Atoi(rest[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("typelang: invalid bit width %q: %w", rest[0], err)
+		}
+		rest = rest[1:]
+	}
+	if !kind.validBits(bits) {
+		return nil, nil, fmt.Errorf("typelang: invalid bit width %d for %s", bits, kind)
+	}
+	return Prim(kind, bits), rest, nil
+}
+
+// ParseString parses a space-separated token string, e.g.
+// `pointer primitive float 64`.
+func ParseString(s string) (*Type, error) {
+	return Parse(strings.Fields(s))
+}
+
+// CommonPrefixLen returns the number of leading tokens shared by two token
+// sequences: the Type Prefix Score of a prediction against the ground
+// truth (Section 6.3).
+func CommonPrefixLen(a, b []string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+// Package typelang implements the high-level type language L_SW from
+// Section 3 of the paper, its variants, and the conversion from DWARF type
+// graphs to type-token sequences.
+//
+// Types are linear sequences of type tokens produced by the grammar of
+// Figure 3:
+//
+//	type      ::= primitive primitive
+//	            | pointer type | array type
+//	            | const type
+//	            | name name type
+//	            | struct | class | union | enum
+//	            | function
+//	            | unknown
+//	primitive ::= bool | int bits | uint bits | float bits | complex
+//	            | cchar | wchar bits
+//
+// The set of describable types is infinite; each type is both a small AST
+// (*Type) and a token sequence (Type.Tokens), which is what the
+// sequence-to-sequence model predicts.
+package typelang
+
+import "fmt"
+
+// Ctor is a type constructor of the grammar in Figure 3.
+type Ctor int
+
+// Type constructors.
+const (
+	CtorPrimitive Ctor = iota
+	CtorPointer
+	CtorArray
+	CtorConst
+	CtorName
+	CtorStruct
+	CtorClass
+	CtorUnion
+	CtorEnum
+	CtorFunction
+	CtorUnknown
+)
+
+var ctorNames = map[Ctor]string{
+	CtorPrimitive: "primitive",
+	CtorPointer:   "pointer",
+	CtorArray:     "array",
+	CtorConst:     "const",
+	CtorName:      "name",
+	CtorStruct:    "struct",
+	CtorClass:     "class",
+	CtorUnion:     "union",
+	CtorEnum:      "enum",
+	CtorFunction:  "function",
+	CtorUnknown:   "unknown",
+}
+
+// String returns the constructor's token.
+func (c Ctor) String() string {
+	if n, ok := ctorNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("ctor(%d)", int(c))
+}
+
+// PrimKind classifies primitive types.
+type PrimKind int
+
+// Primitive kinds. Integers carry signedness explicitly (Section 3.2);
+// plain C char is its own kind (cchar) distinct from int8/uint8.
+const (
+	PrimBool PrimKind = iota
+	PrimInt
+	PrimUint
+	PrimFloat
+	PrimComplex
+	PrimCChar
+	PrimWChar
+)
+
+var primNames = map[PrimKind]string{
+	PrimBool:    "bool",
+	PrimInt:     "int",
+	PrimUint:    "uint",
+	PrimFloat:   "float",
+	PrimComplex: "complex",
+	PrimCChar:   "cchar",
+	PrimWChar:   "wchar",
+}
+
+// String returns the primitive kind's token.
+func (k PrimKind) String() string {
+	if n, ok := primNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("prim(%d)", int(k))
+}
+
+// hasBits reports whether the kind carries a bit width in the grammar.
+func (k PrimKind) hasBits() bool {
+	switch k {
+	case PrimInt, PrimUint, PrimFloat, PrimWChar:
+		return true
+	}
+	return false
+}
+
+// validBits reports whether bits is legal for the kind, per Figure 3:
+// bits_int ∈ {8,16,32,64}, bits_float ∈ {32,64,128}, bits_wchar ∈ {16,32}.
+func (k PrimKind) validBits(bits int) bool {
+	switch k {
+	case PrimInt, PrimUint:
+		return bits == 8 || bits == 16 || bits == 32 || bits == 64
+	case PrimFloat:
+		return bits == 32 || bits == 64 || bits == 128
+	case PrimWChar:
+		return bits == 16 || bits == 32
+	}
+	return bits == 0
+}
+
+// Primitive is a fully resolved primitive type: an unambiguous,
+// language-independent representation based on kind and bit width,
+// normalizing the 16 underlying machine primitives (Section 3.2).
+type Primitive struct {
+	Kind PrimKind
+	Bits int
+}
+
+// Type is a node of a type in the high-level type language. The linear
+// token sequence is obtained with Tokens.
+type Type struct {
+	Ctor Ctor
+	// Prim is set when Ctor == CtorPrimitive.
+	Prim Primitive
+	// Name is set when Ctor == CtorName (without quotes).
+	Name string
+	// Elem is the nested type for pointer, array, const, and name.
+	Elem *Type
+}
+
+// Convenience constructors.
+
+// Prim returns a primitive type.
+func Prim(kind PrimKind, bits int) *Type {
+	return &Type{Ctor: CtorPrimitive, Prim: Primitive{Kind: kind, Bits: bits}}
+}
+
+// Bool returns the boolean primitive type.
+func Bool() *Type { return Prim(PrimBool, 0) }
+
+// Int returns a signed integer primitive of the given width.
+func Int(bits int) *Type { return Prim(PrimInt, bits) }
+
+// Uint returns an unsigned integer primitive of the given width.
+func Uint(bits int) *Type { return Prim(PrimUint, bits) }
+
+// Float returns a floating-point primitive of the given width.
+func Float(bits int) *Type { return Prim(PrimFloat, bits) }
+
+// CChar returns the plain C character type.
+func CChar() *Type { return Prim(PrimCChar, 0) }
+
+// WChar returns a wide character type of the given width.
+func WChar(bits int) *Type { return Prim(PrimWChar, bits) }
+
+// Complex returns the C complex floating-point type.
+func Complex() *Type { return Prim(PrimComplex, 0) }
+
+// Pointer returns a pointer to elem.
+func Pointer(elem *Type) *Type { return &Type{Ctor: CtorPointer, Elem: elem} }
+
+// Array returns an array of elem.
+func Array(elem *Type) *Type { return &Type{Ctor: CtorArray, Elem: elem} }
+
+// Const returns a const-qualified elem.
+func Const(elem *Type) *Type { return &Type{Ctor: CtorConst, Elem: elem} }
+
+// Named returns elem annotated with a source-level name (typedef or
+// aggregate name).
+func Named(name string, elem *Type) *Type {
+	return &Type{Ctor: CtorName, Name: name, Elem: elem}
+}
+
+// Struct returns the struct aggregate type.
+func Struct() *Type { return &Type{Ctor: CtorStruct} }
+
+// Class returns the class aggregate type.
+func Class() *Type { return &Type{Ctor: CtorClass} }
+
+// Union returns the union aggregate type.
+func Union() *Type { return &Type{Ctor: CtorUnion} }
+
+// Enum returns the enum aggregate type.
+func Enum() *Type { return &Type{Ctor: CtorEnum} }
+
+// Function returns the function type (for function pointers).
+func Function() *Type { return &Type{Ctor: CtorFunction} }
+
+// Unknown returns the uninformative top type.
+func Unknown() *Type { return &Type{Ctor: CtorUnknown} }
+
+// IsLeaf reports whether the constructor has no nested type.
+func (t *Type) IsLeaf() bool {
+	switch t.Ctor {
+	case CtorPrimitive, CtorStruct, CtorClass, CtorUnion, CtorEnum, CtorFunction, CtorUnknown:
+		return true
+	}
+	return false
+}
+
+// Depth returns the type's nesting depth: the number of nested type
+// constructors below the outermost one. Primitive and other leaf types
+// have depth 0; `pointer primitive float 64` has depth 1 (Figure 4).
+func (t *Type) Depth() int {
+	d := 0
+	for !t.IsLeaf() && t.Elem != nil {
+		d++
+		t = t.Elem
+	}
+	return d
+}
+
+// Equal reports structural equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Ctor != o.Ctor || t.Prim != o.Prim || t.Name != o.Name {
+		return false
+	}
+	if (t.Elem == nil) != (o.Elem == nil) {
+		return false
+	}
+	if t.Elem == nil {
+		return true
+	}
+	return t.Elem.Equal(o.Elem)
+}
+
+// Clone returns a deep copy.
+func (t *Type) Clone() *Type {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Elem = t.Elem.Clone()
+	return &c
+}
+
+// Validate checks that the type is well-formed per the grammar: leaf
+// constructors carry no Elem, nested ones do, and primitive bit widths are
+// legal.
+func (t *Type) Validate() error {
+	if t == nil {
+		return fmt.Errorf("typelang: nil type")
+	}
+	if t.IsLeaf() {
+		if t.Elem != nil {
+			return fmt.Errorf("typelang: leaf constructor %s has nested type", t.Ctor)
+		}
+		if t.Ctor == CtorPrimitive && !t.Prim.Kind.validBits(t.Prim.Bits) {
+			return fmt.Errorf("typelang: invalid bit width %d for %s", t.Prim.Bits, t.Prim.Kind)
+		}
+		return nil
+	}
+	if t.Elem == nil {
+		return fmt.Errorf("typelang: constructor %s missing nested type", t.Ctor)
+	}
+	if t.Ctor == CtorName && t.Name == "" {
+		return fmt.Errorf("typelang: name constructor with empty name")
+	}
+	return t.Elem.Validate()
+}

@@ -1,0 +1,482 @@
+package typelang
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dwarf"
+)
+
+func TestTokensPaperExamples(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want string
+	}{
+		// Figure 1d: double[] parameter.
+		{Pointer(Float(64)), "pointer primitive float 64"},
+		// Table 2 rows.
+		{Pointer(Class()), "pointer class"},
+		{Pointer(Struct()), "pointer struct"},
+		{Int(32), "primitive int 32"},
+		{Pointer(Const(Class())), "pointer const class"},
+		{Pointer(Const(CChar())), "pointer const primitive cchar"},
+		{Named("size_t", Uint(32)), `name "size_t" primitive uint 32`},
+		{Pointer(Unknown()), "pointer unknown"},
+		{Pointer(Int(32)), "pointer primitive int 32"},
+		// Section 3.3: *char[] is array pointer char.
+		{Array(Pointer(CChar())), "array pointer primitive cchar"},
+		{Bool(), "primitive bool"},
+		{Complex(), "primitive complex"},
+		{WChar(16), "primitive wchar 16"},
+		{Function(), "function"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+		parsed, err := ParseString(c.want)
+		if err != nil {
+			t.Errorf("ParseString(%q): %v", c.want, err)
+			continue
+		}
+		if !parsed.Equal(c.typ) {
+			t.Errorf("ParseString(%q) = %v, want %v", c.want, parsed, c.typ)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"pointer",
+		"primitive",
+		"primitive int",
+		"primitive int 33",
+		"primitive float 8",
+		"name struct",
+		`name "x"`,
+		"frobnicate",
+		"pointer struct struct", // trailing tokens
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) should fail", s)
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	typ, rest, err := ParsePrefix([]string{"pointer", "struct", "junk", "junk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.String() != "pointer struct" || len(rest) != 2 {
+		t.Errorf("ParsePrefix = %v, rest %v", typ, rest)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want int
+	}{
+		{Int(32), 0},
+		{Struct(), 0},
+		{Pointer(Float(64)), 1},
+		{Pointer(Const(CChar())), 2},
+		{Named("size_t", Uint(32)), 1},
+		{Array(Pointer(Const(Named("T", Struct())))), 4},
+	}
+	for _, c := range cases {
+		if got := c.typ.Depth(); got != c.want {
+			t.Errorf("Depth(%s) = %d, want %d", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []*Type{Int(32), Pointer(Struct()), Named("x", Class()), Float(128)}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", g, err)
+		}
+	}
+	bad := []*Type{
+		{Ctor: CtorPointer},               // missing elem
+		{Ctor: CtorStruct, Elem: Int(32)}, // leaf with elem
+		{Ctor: CtorName, Elem: Int(32)},   // empty name
+		Prim(PrimInt, 33),                 // bad bits
+		Pointer(&Type{Ctor: CtorConst}),   // nested missing elem
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", b)
+		}
+	}
+	var nilType *Type
+	if err := nilType.Validate(); err == nil {
+		t.Error("Validate(nil) should fail")
+	}
+}
+
+// randType produces a random valid type for property tests.
+func randType(r *rand.Rand, depth int) *Type {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(8) {
+		case 0:
+			return Int([]int{8, 16, 32, 64}[r.Intn(4)])
+		case 1:
+			return Uint([]int{8, 16, 32, 64}[r.Intn(4)])
+		case 2:
+			return Float([]int{32, 64, 128}[r.Intn(3)])
+		case 3:
+			return Bool()
+		case 4:
+			return CChar()
+		case 5:
+			return Struct()
+		case 6:
+			return Class()
+		default:
+			return Unknown()
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Pointer(randType(r, depth-1))
+	case 1:
+		return Array(randType(r, depth-1))
+	case 2:
+		return Const(randType(r, depth-1))
+	default:
+		return Named("n"+string(rune('a'+r.Intn(26))), randType(r, depth-1))
+	}
+}
+
+func TestQuickTokenRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		typ := randType(r, 5)
+		parsed, err := Parse(typ.Tokens())
+		return err == nil && parsed.Equal(typ)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(uint8) bool { return f() }, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		typ := randType(r, 4)
+		c := typ.Clone()
+		if !typ.Equal(c) {
+			t.Fatalf("clone not equal: %s vs %s", typ, c)
+		}
+		if !typ.IsLeaf() && c.Elem == typ.Elem {
+			t.Fatal("clone shares element pointer")
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	// Section 6.3 examples:
+	// TPS(pointer struct, pointer class) = 1
+	// TPS(pointer struct, primitive int 32) = 0
+	a := []string{"pointer", "struct"}
+	if got := CommonPrefixLen(a, []string{"pointer", "class"}); got != 1 {
+		t.Errorf("TPS = %d, want 1", got)
+	}
+	if got := CommonPrefixLen(a, []string{"primitive", "int", "32"}); got != 0 {
+		t.Errorf("TPS = %d, want 0", got)
+	}
+	if got := CommonPrefixLen(a, a); got != 2 {
+		t.Errorf("TPS(self) = %d, want 2", got)
+	}
+}
+
+// --- DWARF conversion ---
+
+func dieBase(name string, enc dwarf.Encoding, size uint64) *dwarf.DIE {
+	return dwarf.NewBaseType(name, enc, size)
+}
+
+func TestFromDWARFPrimitives(t *testing.T) {
+	cases := []struct {
+		die  *dwarf.DIE
+		want string
+	}{
+		{dieBase("double", dwarf.EncFloat, 8), "primitive float 64"},
+		{dieBase("float", dwarf.EncFloat, 4), "primitive float 32"},
+		{dieBase("long double", dwarf.EncFloat, 16), "primitive float 128"},
+		{dieBase("int", dwarf.EncSigned, 4), "primitive int 32"},
+		{dieBase("long long", dwarf.EncSigned, 8), "primitive int 64"},
+		{dieBase("short", dwarf.EncSigned, 2), "primitive int 16"},
+		{dieBase("unsigned int", dwarf.EncUnsigned, 4), "primitive uint 32"},
+		{dieBase("bool", dwarf.EncBoolean, 1), "primitive bool"},
+		{dieBase("char", dwarf.EncSignedChar, 1), "primitive cchar"},
+		{dieBase("signed char", dwarf.EncSignedChar, 1), "primitive int 8"},
+		{dieBase("unsigned char", dwarf.EncUnsignedChar, 1), "primitive uint 8"},
+		{dieBase("char16_t", dwarf.EncUTF, 2), "primitive wchar 16"},
+		{dieBase("char32_t", dwarf.EncUTF, 4), "primitive wchar 32"},
+		{dieBase("complex", dwarf.EncComplexFloat, 16), "primitive complex"},
+	}
+	for _, c := range cases {
+		got := FromDWARF(c.die, AllNames())
+		if got.String() != c.want {
+			t.Errorf("FromDWARF(%s) = %q, want %q", c.die.Name(), got, c.want)
+		}
+	}
+}
+
+func TestFromDWARFStructure(t *testing.T) {
+	f64 := dieBase("double", dwarf.EncFloat, 8)
+	ptr := dwarf.NewModifier(dwarf.TagPointerType, f64)
+	if got := FromDWARF(ptr, AllNames()).String(); got != "pointer primitive float 64" {
+		t.Errorf("pointer double = %q", got)
+	}
+
+	// void* → pointer unknown.
+	voidPtr := dwarf.NewModifier(dwarf.TagPointerType, nil)
+	if got := FromDWARF(voidPtr, AllNames()).String(); got != "pointer unknown" {
+		t.Errorf("void* = %q", got)
+	}
+
+	// Forward-declared struct behind pointer → pointer unknown.
+	fwd := &dwarf.DIE{Tag: dwarf.TagStructType}
+	fwd.AddAttr(dwarf.AttrName, "opaque")
+	fwd.AddAttr(dwarf.AttrDeclaration, true)
+	fwdPtr := dwarf.NewModifier(dwarf.TagPointerType, fwd)
+	if got := FromDWARF(fwdPtr, AllNames()).String(); got != "pointer unknown" {
+		t.Errorf("fwd-decl pointer = %q", got)
+	}
+
+	// C++ reference → pointer.
+	ref := dwarf.NewModifier(dwarf.TagReferenceType, f64)
+	if got := FromDWARF(ref, AllNames()).String(); got != "pointer primitive float 64" {
+		t.Errorf("reference = %q", got)
+	}
+
+	// volatile dropped.
+	vol := dwarf.NewModifier(dwarf.TagVolatileType, f64)
+	if got := FromDWARF(vol, AllNames()).String(); got != "primitive float 64" {
+		t.Errorf("volatile = %q", got)
+	}
+
+	// const kept (in L_SW) or dropped (Simplified).
+	cst := dwarf.NewModifier(dwarf.TagConstType, f64)
+	if got := FromDWARF(cst, AllNames()).String(); got != "const primitive float 64" {
+		t.Errorf("const = %q", got)
+	}
+	if got := FromDWARF(cst, Simplified()).String(); got != "primitive float 64" {
+		t.Errorf("const simplified = %q", got)
+	}
+
+	// Function pointer.
+	fn := &dwarf.DIE{Tag: dwarf.TagSubroutineType}
+	fnPtr := dwarf.NewModifier(dwarf.TagPointerType, fn)
+	if got := FromDWARF(fnPtr, AllNames()).String(); got != "pointer function" {
+		t.Errorf("function pointer = %q", got)
+	}
+
+	// nullptr_t.
+	null := &dwarf.DIE{Tag: dwarf.TagUnspecifiedType}
+	nullPtr := dwarf.NewModifier(dwarf.TagPointerType, null)
+	if got := FromDWARF(nullPtr, AllNames()).String(); got != "pointer unknown" {
+		t.Errorf("nullptr = %q", got)
+	}
+}
+
+func TestFromDWARFNames(t *testing.T) {
+	// typedef struct sname {...} tname; used as `tname` → name "tname" struct
+	// (outermost name wins, Section 3.6).
+	sname := &dwarf.DIE{Tag: dwarf.TagStructType}
+	sname.AddAttr(dwarf.AttrName, "sname")
+	sname.AddAttr(dwarf.AttrByteSize, uint64(8))
+	tname := dwarf.NewTypedef("tname", sname)
+
+	if got := FromDWARF(tname, AllNames()).String(); got != `name "tname" struct` {
+		t.Errorf("typedef struct = %q", got)
+	}
+	// With a filter that rejects tname but accepts sname, the inner name
+	// surfaces.
+	onlySname := LSW(func(n string) bool { return n == "sname" })
+	if got := FromDWARF(tname, onlySname).String(); got != `name "sname" struct` {
+		t.Errorf("filtered typedef struct = %q", got)
+	}
+	// Simplified drops names entirely.
+	if got := FromDWARF(tname, Simplified()).String(); got != "struct" {
+		t.Errorf("simplified typedef struct = %q", got)
+	}
+	// size_t as typedef of unsigned long (ILP32: 4 bytes).
+	ulong := dieBase("unsigned long", dwarf.EncUnsigned, 4)
+	sizeT := dwarf.NewTypedef("size_t", ulong)
+	if got := FromDWARF(sizeT, AllNames()).String(); got != `name "size_t" primitive uint 32` {
+		t.Errorf("size_t = %q", got)
+	}
+}
+
+func TestFromDWARFCycle(t *testing.T) {
+	// struct list { struct list *next; }
+	list := &dwarf.DIE{Tag: dwarf.TagStructType}
+	list.AddAttr(dwarf.AttrName, "list")
+	ptr := dwarf.NewModifier(dwarf.TagPointerType, list)
+	member := &dwarf.DIE{Tag: dwarf.TagMember}
+	member.AddAttr(dwarf.AttrType, ptr)
+	list.AddChild(member)
+
+	// Converting the pointer type terminates (fields are not captured,
+	// so the cycle is only reachable via the member's type attribute,
+	// which conversion does not follow — but a typedef cycle does).
+	got := FromDWARF(ptr, AllNames())
+	if got.String() != `pointer name "list" struct` {
+		t.Errorf("recursive struct pointer = %q", got)
+	}
+
+	// A genuinely cyclic modifier chain must terminate via cycle breaking.
+	a := &dwarf.DIE{Tag: dwarf.TagPointerType}
+	b := &dwarf.DIE{Tag: dwarf.TagPointerType}
+	a.AddAttr(dwarf.AttrType, b)
+	b.AddAttr(dwarf.AttrType, a)
+	cyc := FromDWARF(a, AllNames())
+	if err := cyc.Validate(); err != nil {
+		t.Errorf("cyclic conversion produced invalid type: %v", err)
+	}
+	if !strings.Contains(cyc.String(), "unknown") {
+		t.Errorf("cycle not broken: %q", cyc)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	// A deep non-cyclic chain gets truncated at MaxDepth.
+	inner := dieBase("int", dwarf.EncSigned, 4)
+	cur := inner
+	for i := 0; i < 20; i++ {
+		cur = dwarf.NewModifier(dwarf.TagPointerType, cur)
+	}
+	got := FromDWARF(cur, ConvertOptions{MaxDepth: 3})
+	if got.Depth() > 4 {
+		t.Errorf("depth = %d, want <= 4; %s", got.Depth(), got)
+	}
+}
+
+func TestToEklavya(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want string
+	}{
+		{Int(32), "int"},
+		{Uint(64), "int"},
+		{Bool(), "int"},
+		{Float(64), "float"},
+		{Complex(), "float"},
+		{CChar(), "char"},
+		{Pointer(Struct()), "pointer"},
+		{Array(Int(8)), "pointer"},
+		{Named("size_t", Uint(32)), "int"},
+		{Const(Enum()), "enum"},
+		{Union(), "union"},
+		{Class(), "struct"},
+		{Function(), "pointer"},
+		{Unknown(), "int"},
+	}
+	for _, c := range cases {
+		if got := ToEklavya(c.typ); got != c.want {
+			t.Errorf("ToEklavya(%s) = %q, want %q", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestVariantApply(t *testing.T) {
+	master := Named("mytype", Pointer(Const(Named("inner", Class()))))
+	common := func(n string) bool { return n == "mytype" }
+
+	if got := strings.Join(VariantAllNames.Apply(master, nil), " "); got != `name "mytype" pointer const name "inner" class` {
+		// dropInnerNames was already applied during conversion in the real
+		// pipeline; Apply on a raw master keeps it as-is for AllNames.
+		t.Errorf("AllNames = %q", got)
+	}
+	if got := strings.Join(VariantLSW.Apply(master, common), " "); got != `name "mytype" pointer const class` {
+		t.Errorf("LSW = %q", got)
+	}
+	if got := strings.Join(VariantSimplified.Apply(master, nil), " "); got != "pointer struct" {
+		t.Errorf("Simplified = %q", got)
+	}
+	if got := strings.Join(VariantEklavya.Apply(master, nil), " "); got != "pointer" {
+		t.Errorf("Eklavya = %q", got)
+	}
+}
+
+func TestNameStats(t *testing.T) {
+	s := NewNameStats()
+	// size_t in 3 of 4 packages; FILE in 1; _internal in all; uint32_t in all.
+	for i, pkg := range []string{"p1", "p2", "p3", "p4"} {
+		if i < 3 {
+			s.Add(pkg, Named("size_t", Uint(32)))
+		}
+		s.Add(pkg, Named("_internal", Struct()))
+		s.Add(pkg, Named("uint32_t", Uint(32)))
+	}
+	s.Add("p1", Pointer(Named("FILE", Struct())))
+	if s.NumPackages() != 4 {
+		t.Fatalf("NumPackages = %d", s.NumPackages())
+	}
+	common := s.Common(0.5)
+	if len(common) != 1 || common[0].Name != "size_t" {
+		t.Fatalf("Common(0.5) = %v", common)
+	}
+	if common[0].SampleCount != 3 || common[0].PackageShare != 0.75 {
+		t.Errorf("size_t row = %+v", common[0])
+	}
+	all := s.Common(0.0)
+	for _, n := range all {
+		if n.Name == "_internal" || n.Name == "uint32_t" {
+			t.Errorf("filtered name %q leaked into vocabulary", n.Name)
+		}
+	}
+	f := FilterFunc(common)
+	if !f("size_t") || f("FILE") {
+		t.Error("FilterFunc membership wrong")
+	}
+}
+
+func TestFeatureMatrix(t *testing.T) {
+	rows := FeatureMatrix()
+	if len(rows) != 6 {
+		t.Fatalf("FeatureMatrix has %d rows, want 6", len(rows))
+	}
+	if rows[4].Approach != "SnowWhite" || rows[4].PointeeType != "recursive" || !rows[4].Const {
+		t.Errorf("SnowWhite row wrong: %+v", rows[4])
+	}
+	if rows[0].Approach != "Eklavya" || rows[0].NumTypes != "7" {
+		t.Errorf("Eklavya row wrong: %+v", rows[0])
+	}
+}
+
+func TestVariantsList(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 4 {
+		t.Fatalf("Variants() = %v", vs)
+	}
+	want := []string{"Lsw, All Names", "Lsw", "Lsw, Simplified", "Leklavya"}
+	for i, v := range vs {
+		if v.String() != want[i] {
+			t.Errorf("variant %d = %q, want %q", i, v, want[i])
+		}
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	a := Pointer(Const(CChar()))
+	b := Pointer(Const(CChar()))
+	if a.Key() != b.Key() {
+		t.Error("equal types have different keys")
+	}
+	if reflect.DeepEqual(a.Key(), Pointer(CChar()).Key()) {
+		t.Error("different types share a key")
+	}
+}

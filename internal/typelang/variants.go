@@ -1,0 +1,165 @@
+package typelang
+
+// Variant identifies one of the evaluated type languages (Section 3.7 and
+// Table 5).
+type Variant int
+
+// The four evaluated type languages.
+const (
+	// VariantLSW is the default language L_SNOWWHITE: names restricted to
+	// the common-name vocabulary, const, class/struct distinction.
+	VariantLSW Variant = iota
+	// VariantAllNames is L_SW without restricting the name vocabulary.
+	VariantAllNames
+	// VariantSimplified removes const, class, and name from the grammar.
+	VariantSimplified
+	// VariantEklavya is the 7-label fixed set of Eklavya (Chua et al.,
+	// USENIX Security 2017), used as the least-expressive comparison.
+	VariantEklavya
+)
+
+var variantNames = map[Variant]string{
+	VariantLSW:        "Lsw",
+	VariantAllNames:   "Lsw, All Names",
+	VariantSimplified: "Lsw, Simplified",
+	VariantEklavya:    "Leklavya",
+}
+
+// String returns the variant's display name as used in the paper's tables.
+func (v Variant) String() string { return variantNames[v] }
+
+// Variants lists all evaluated language variants in Table 4/5 order.
+func Variants() []Variant {
+	return []Variant{VariantAllNames, VariantLSW, VariantSimplified, VariantEklavya}
+}
+
+// Options returns the conversion options realizing the variant.
+// commonNames is only consulted for VariantLSW; it may be nil during
+// vocabulary extraction.
+func (v Variant) Options(commonNames func(string) bool) ConvertOptions {
+	switch v {
+	case VariantLSW:
+		return LSW(commonNames)
+	case VariantAllNames:
+		return AllNames()
+	case VariantSimplified:
+		return Simplified()
+	case VariantEklavya:
+		// Conversion runs with the simplified options; ToEklavya collapses
+		// the result to the fixed label set afterwards.
+		return Simplified()
+	}
+	return Simplified()
+}
+
+// EklavyaLabels is the fixed 7-type vocabulary of Eklavya: no pointee
+// types, no signedness or width on integers, booleans mapped to int,
+// arrays mapped to pointers.
+var EklavyaLabels = []string{"int", "char", "float", "pointer", "enum", "union", "struct"}
+
+// ToEklavya collapses a type of our language onto the Eklavya label set.
+func ToEklavya(t *Type) string {
+	for t != nil && !t.IsLeaf() {
+		switch t.Ctor {
+		case CtorPointer, CtorArray:
+			// Arrays map to pointers; pointee types are not tracked.
+			return "pointer"
+		}
+		t = t.Elem
+	}
+	if t == nil {
+		return "int"
+	}
+	switch t.Ctor {
+	case CtorPrimitive:
+		switch t.Prim.Kind {
+		case PrimFloat, PrimComplex:
+			return "float"
+		case PrimCChar, PrimWChar:
+			return "char"
+		default:
+			// bool and both integer signs collapse to int.
+			return "int"
+		}
+	case CtorEnum:
+		return "enum"
+	case CtorUnion:
+		return "union"
+	case CtorStruct, CtorClass:
+		return "struct"
+	case CtorFunction:
+		return "pointer"
+	}
+	return "int"
+}
+
+// Apply converts a DWARF-derived L_SW "All Names" master type into the
+// variant's representation, returning its token sequence. Conversion is
+// defined on the richest variant so a dataset can be re-expressed in every
+// language without re-reading DWARF (Section 6.2, "we re-extract samples
+// ... with different configuration settings").
+func (v Variant) Apply(master *Type, commonNames func(string) bool) []string {
+	switch v {
+	case VariantAllNames:
+		return master.Tokens()
+	case VariantLSW:
+		t := filterNames(master, ConvertOptions{KeepNames: true, NameFilter: commonNames})
+		return dropInnerNames(t, false).Tokens()
+	case VariantSimplified:
+		return simplify(master).Tokens()
+	case VariantEklavya:
+		return []string{ToEklavya(master)}
+	}
+	return master.Tokens()
+}
+
+// simplify strips names and const and merges class into struct.
+func simplify(t *Type) *Type {
+	if t == nil {
+		return nil
+	}
+	switch t.Ctor {
+	case CtorName, CtorConst:
+		return simplify(t.Elem)
+	case CtorClass:
+		return Struct()
+	}
+	if t.IsLeaf() {
+		return t
+	}
+	return &Type{Ctor: t.Ctor, Elem: simplify(t.Elem)}
+}
+
+// FeatureRow is one row of Table 1: which type-language features a binary
+// type prediction approach supports.
+type FeatureRow struct {
+	Approach     string
+	NumTypes     string // reported |L|
+	Structure    string
+	IntChar      bool
+	Bool         bool
+	IntSign      bool
+	PrimSize     string // "yes", "no", or "C names"
+	Float        bool
+	Complex      bool
+	Array        bool
+	Pointer      bool
+	Struct       bool
+	Const        bool
+	PointeeType  string
+	Names        string
+	LangSpecific string
+}
+
+// FeatureMatrix reproduces Table 1 of the paper: a comparison of the type
+// languages of learning-based binary type prediction approaches.
+func FeatureMatrix() []FeatureRow {
+	return []FeatureRow{
+		{"Eklavya", "7", "Fixed set", true, false, false, "no", true, false, false, true, false, false, "none", "none", "none"},
+		{"Debin", "17", "Fixed set", true, true, false, "C names", false, false, true, true, true, false, "none", "none", "none"},
+		{"TypeMiner", "11", "Fixed set", true, true, true, "C names", false, false, false, true, true, false, "struct,char,func", "none", "none"},
+		{"StateFormer", "35", "Fixed set", true, false, true, "yes", true, false, true, true, true, false, "single level", "none", "none"},
+		{"SnowWhite", "inf", "Sequence", true, true, true, "yes", true, true, true, true, true, true, "recursive", "top-k", "class"},
+		{"Full DWARF", "inf", "Full graph", true, true, true, "yes", true, true, true, true, true, true, "recursive", "all", "all"},
+	}
+}

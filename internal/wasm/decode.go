@@ -1,0 +1,648 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/leb128"
+)
+
+// Magic and version of the WebAssembly binary format.
+var (
+	magic   = []byte{0x00, 0x61, 0x73, 0x6d}
+	version = []byte{0x01, 0x00, 0x00, 0x00}
+)
+
+// ErrNotWasm is returned when the input does not start with the wasm magic.
+var ErrNotWasm = errors.New("wasm: not a WebAssembly binary")
+
+// reader is a cursor over the binary with absolute-offset tracking, so
+// function code offsets can be reported for DWARF matching.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("wasm: truncated at offset %d (need %d bytes)", r.pos, n)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	v, n, err := leb128.Uint(r.buf[r.pos:], 32)
+	if err != nil {
+		return 0, fmt.Errorf("wasm: at offset %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return uint32(v), nil
+}
+
+func (r *reader) s32() (int32, error) {
+	v, n, err := leb128.Int(r.buf[r.pos:], 32)
+	if err != nil {
+		return 0, fmt.Errorf("wasm: at offset %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return int32(v), nil
+}
+
+func (r *reader) s64() (int64, error) {
+	v, n, err := leb128.Int(r.buf[r.pos:], 64)
+	if err != nil {
+		return 0, fmt.Errorf("wasm: at offset %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) s33() (int64, error) {
+	v, n, err := leb128.Int(r.buf[r.pos:], 33)
+	if err != nil {
+		return 0, fmt.Errorf("wasm: at offset %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) name() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) valType() (ValType, error) {
+	b, err := r.byte()
+	if err != nil {
+		return 0, err
+	}
+	vt := ValType(b)
+	if !vt.Valid() {
+		return 0, fmt.Errorf("wasm: invalid value type 0x%02x at offset %d", b, r.pos-1)
+	}
+	return vt, nil
+}
+
+func (r *reader) limits() (Limits, error) {
+	flag, err := r.byte()
+	if err != nil {
+		return Limits{}, err
+	}
+	min, err := r.u32()
+	if err != nil {
+		return Limits{}, err
+	}
+	l := Limits{Min: min}
+	switch flag {
+	case 0:
+	case 1:
+		l.HasMax = true
+		if l.Max, err = r.u32(); err != nil {
+			return Limits{}, err
+		}
+	default:
+		return Limits{}, fmt.Errorf("wasm: invalid limits flag 0x%02x", flag)
+	}
+	return l, nil
+}
+
+// Decoded is a decoded module along with layout information (per-function
+// code offsets) needed to match functions to DWARF low_pc values.
+type Decoded struct {
+	Module *Module
+	// CodeOffsets[i] is the file offset of the i-th module-defined
+	// function's code entry (the offset of its size field), matching
+	// what the encoder reports and what the DWARF emitter records
+	// as DW_AT_low_pc.
+	CodeOffsets []uint32
+}
+
+// Decode parses a complete WebAssembly binary.
+func Decode(data []byte) (*Decoded, error) {
+	r := &reader{buf: data}
+	hdr, err := r.bytes(8)
+	if err != nil {
+		return nil, ErrNotWasm
+	}
+	for i := 0; i < 4; i++ {
+		if hdr[i] != magic[i] {
+			return nil, ErrNotWasm
+		}
+		if hdr[4+i] != version[i] {
+			return nil, fmt.Errorf("wasm: unsupported version %x", hdr[4:8])
+		}
+	}
+
+	m := &Module{}
+	d := &Decoded{Module: m}
+	lastSec := -1
+	for r.remaining() > 0 {
+		id, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.bytes(int(size))
+		if err != nil {
+			return nil, err
+		}
+		// Non-custom sections must appear at most once, in order.
+		if id != secCustom {
+			if int(id) <= lastSec {
+				return nil, fmt.Errorf("wasm: section %d out of order", id)
+			}
+			lastSec = int(id)
+		}
+		// Section-relative offsets must be translated to file offsets.
+		base := r.pos - int(size)
+		sr := &reader{buf: body}
+		switch id {
+		case secCustom:
+			name, err := sr.name()
+			if err != nil {
+				return nil, err
+			}
+			m.Customs = append(m.Customs, Custom{Name: name, Bytes: append([]byte(nil), body[sr.pos:]...)})
+		case secType:
+			err = decodeTypeSection(sr, m)
+		case secImport:
+			err = decodeImportSection(sr, m)
+		case secFunction:
+			err = decodeFunctionSection(sr, m)
+		case secTable:
+			err = decodeTableSection(sr, m)
+		case secMemory:
+			err = decodeMemorySection(sr, m)
+		case secGlobal:
+			err = decodeGlobalSection(sr, m)
+		case secExport:
+			err = decodeExportSection(sr, m)
+		case secStart:
+			idx, e := sr.u32()
+			if e != nil {
+				return nil, e
+			}
+			m.Start = &idx
+		case secElem:
+			err = decodeElemSection(sr, m)
+		case secCode:
+			err = decodeCodeSection(sr, m, d, base)
+		case secData:
+			err = decodeDataSection(sr, m)
+		default:
+			return nil, fmt.Errorf("wasm: unknown section id %d", id)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(d.CodeOffsets) != len(m.Funcs) {
+		if len(m.Funcs) != 0 {
+			return nil, fmt.Errorf("wasm: function section has %d entries but code section has %d", len(m.Funcs), len(d.CodeOffsets))
+		}
+	}
+	return d, nil
+}
+
+func decodeTypeSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		b, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if b != 0x60 {
+			return fmt.Errorf("wasm: expected functype 0x60, got 0x%02x", b)
+		}
+		var ft FuncType
+		np, err := r.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < np; j++ {
+			vt, err := r.valType()
+			if err != nil {
+				return err
+			}
+			ft.Params = append(ft.Params, vt)
+		}
+		nr, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if nr > 1 {
+			return fmt.Errorf("wasm: multi-value results not supported (%d results)", nr)
+		}
+		for j := uint32(0); j < nr; j++ {
+			vt, err := r.valType()
+			if err != nil {
+				return err
+			}
+			ft.Results = append(ft.Results, vt)
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func decodeImportSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		var imp Import
+		if imp.Module, err = r.name(); err != nil {
+			return err
+		}
+		if imp.Name, err = r.name(); err != nil {
+			return err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		imp.Kind = ExternKind(kind)
+		switch imp.Kind {
+		case KindFunc:
+			if imp.TypeIdx, err = r.u32(); err != nil {
+				return err
+			}
+		case KindTable:
+			et, err := r.byte()
+			if err != nil {
+				return err
+			}
+			if et != 0x70 {
+				return fmt.Errorf("wasm: unsupported table element type 0x%02x", et)
+			}
+			if imp.Table.Limits, err = r.limits(); err != nil {
+				return err
+			}
+		case KindMemory:
+			if imp.Mem, err = r.limits(); err != nil {
+				return err
+			}
+		case KindGlobal:
+			vt, err := r.valType()
+			if err != nil {
+				return err
+			}
+			mut, err := r.byte()
+			if err != nil {
+				return err
+			}
+			imp.Global = GlobalType{Type: vt, Mutable: mut == 1}
+		default:
+			return fmt.Errorf("wasm: invalid import kind %d", kind)
+		}
+		m.Imports = append(m.Imports, imp)
+	}
+	return nil
+}
+
+func decodeFunctionSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		ti, err := r.u32()
+		if err != nil {
+			return err
+		}
+		m.Funcs = append(m.Funcs, Function{TypeIdx: ti})
+	}
+	return nil
+}
+
+func decodeTableSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		et, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if et != 0x70 {
+			return fmt.Errorf("wasm: unsupported table element type 0x%02x", et)
+		}
+		lim, err := r.limits()
+		if err != nil {
+			return err
+		}
+		m.Tables = append(m.Tables, Table{Limits: lim})
+	}
+	return nil
+}
+
+func decodeMemorySection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		lim, err := r.limits()
+		if err != nil {
+			return err
+		}
+		m.Memories = append(m.Memories, lim)
+	}
+	return nil
+}
+
+func decodeGlobalSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		vt, err := r.valType()
+		if err != nil {
+			return err
+		}
+		mut, err := r.byte()
+		if err != nil {
+			return err
+		}
+		init, err := decodeExpr(r)
+		if err != nil {
+			return err
+		}
+		m.Globals = append(m.Globals, Global{Type: GlobalType{Type: vt, Mutable: mut == 1}, Init: init})
+	}
+	return nil
+}
+
+func decodeExportSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		var ex Export
+		if ex.Name, err = r.name(); err != nil {
+			return err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		ex.Kind = ExternKind(kind)
+		if ex.Index, err = r.u32(); err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, ex)
+	}
+	return nil
+}
+
+func decodeElemSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		flag, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if flag != 0 {
+			return fmt.Errorf("wasm: unsupported element segment flag %d", flag)
+		}
+		off, err := decodeExpr(r)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		fns := make([]uint32, cnt)
+		for j := range fns {
+			if fns[j], err = r.u32(); err != nil {
+				return err
+			}
+		}
+		m.Elems = append(m.Elems, Elem{Offset: off, Funcs: fns})
+	}
+	return nil
+}
+
+func decodeCodeSection(r *reader, m *Module, d *Decoded, base int) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(m.Funcs) {
+		return fmt.Errorf("wasm: code section has %d entries, function section %d", n, len(m.Funcs))
+	}
+	for i := uint32(0); i < n; i++ {
+		// The code offset of a function is the file offset of its size
+		// field; this matches the encoder and the DWARF low_pc values.
+		d.CodeOffsets = append(d.CodeOffsets, uint32(base+r.pos))
+		size, err := r.u32()
+		if err != nil {
+			return err
+		}
+		end := r.pos + int(size)
+		if end > len(r.buf) {
+			return fmt.Errorf("wasm: code entry %d overflows section", i)
+		}
+		nl, err := r.u32()
+		if err != nil {
+			return err
+		}
+		f := &m.Funcs[i]
+		for j := uint32(0); j < nl; j++ {
+			cnt, err := r.u32()
+			if err != nil {
+				return err
+			}
+			vt, err := r.valType()
+			if err != nil {
+				return err
+			}
+			f.Locals = append(f.Locals, LocalDecl{Count: cnt, Type: vt})
+		}
+		body, err := decodeExpr(r)
+		if err != nil {
+			return fmt.Errorf("wasm: function %d: %w", i, err)
+		}
+		f.Body = body
+		if r.pos != end {
+			return fmt.Errorf("wasm: code entry %d: %d trailing bytes", i, end-r.pos)
+		}
+	}
+	return nil
+}
+
+func decodeDataSection(r *reader, m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		flag, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if flag != 0 {
+			return fmt.Errorf("wasm: unsupported data segment flag %d", flag)
+		}
+		off, err := decodeExpr(r)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		b, err := r.bytes(int(cnt))
+		if err != nil {
+			return err
+		}
+		m.Datas = append(m.Datas, Data{Offset: off, Bytes: append([]byte(nil), b...)})
+	}
+	return nil
+}
+
+// decodeExpr reads instructions until the matching top-level `end`, which
+// is consumed but not included in the result.
+func decodeExpr(r *reader) ([]Instr, error) {
+	var out []Instr
+	depth := 0
+	for {
+		in, err := decodeInstr(r)
+		if err != nil {
+			return nil, err
+		}
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf:
+			depth++
+		case OpEnd:
+			if depth == 0 {
+				return out, nil
+			}
+			depth--
+		}
+		out = append(out, in)
+	}
+}
+
+func decodeInstr(r *reader) (Instr, error) {
+	b, err := r.byte()
+	if err != nil {
+		return Instr{}, err
+	}
+	op := Opcode(b)
+	if !op.Known() {
+		return Instr{}, fmt.Errorf("wasm: unknown opcode 0x%02x at offset %d", b, r.pos-1)
+	}
+	in := Instr{Op: op}
+	switch op.Imm() {
+	case ImmNone:
+	case ImmBlockType:
+		if in.Imm, err = r.s33(); err != nil {
+			return Instr{}, err
+		}
+	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
+		v, err := r.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = int64(v)
+	case ImmBrTable:
+		n, err := r.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Table = make([]uint32, n)
+		for i := range in.Table {
+			if in.Table[i], err = r.u32(); err != nil {
+				return Instr{}, err
+			}
+		}
+		def, err := r.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = int64(def)
+	case ImmCallInd:
+		ti, err := r.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		tbl, err := r.byte()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm, in.Imm2 = int64(ti), int64(tbl)
+	case ImmMem:
+		align, err := r.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		off, err := r.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm, in.Imm2 = int64(align), int64(off)
+	case ImmMemSize:
+		if _, err := r.byte(); err != nil {
+			return Instr{}, err
+		}
+	case ImmI32:
+		v, err := r.s32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = int64(v)
+	case ImmI64:
+		if in.Imm, err = r.s64(); err != nil {
+			return Instr{}, err
+		}
+	case ImmF32:
+		b, err := r.bytes(4)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.F32 = math.Float32frombits(binary.LittleEndian.Uint32(b))
+	case ImmF64:
+		b, err := r.bytes(8)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.F64 = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	return in, nil
+}

@@ -1,0 +1,301 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/leb128"
+)
+
+// Layout reports where the encoder placed each module-defined function's
+// code entry in the final binary. These offsets are what the DWARF emitter
+// records as DW_AT_low_pc, which in turn is how the extraction pipeline
+// matches DWARF subprograms to WebAssembly functions (paper, Section 5).
+type Layout struct {
+	// CodeOffsets[i] is the file offset of the size field of the i-th
+	// module-defined function's code entry.
+	CodeOffsets []uint32
+}
+
+type sectionWriter struct {
+	buf []byte
+}
+
+func (w *sectionWriter) u32(v uint32)      { w.buf = leb128.AppendUint(w.buf, uint64(v)) }
+func (w *sectionWriter) s32(v int32)       { w.buf = leb128.AppendInt(w.buf, int64(v)) }
+func (w *sectionWriter) s64(v int64)       { w.buf = leb128.AppendInt(w.buf, v) }
+func (w *sectionWriter) s33(v int64)       { w.buf = leb128.AppendInt(w.buf, v) }
+func (w *sectionWriter) byte(b byte)       { w.buf = append(w.buf, b) }
+func (w *sectionWriter) raw(b []byte)      { w.buf = append(w.buf, b...) }
+func (w *sectionWriter) name(s string)     { w.u32(uint32(len(s))); w.raw([]byte(s)) }
+func (w *sectionWriter) valType(v ValType) { w.byte(byte(v)) }
+
+func (w *sectionWriter) limits(l Limits) {
+	if l.HasMax {
+		w.byte(1)
+		w.u32(l.Min)
+		w.u32(l.Max)
+	} else {
+		w.byte(0)
+		w.u32(l.Min)
+	}
+}
+
+func (w *sectionWriter) funcType(ft FuncType) {
+	w.byte(0x60)
+	w.u32(uint32(len(ft.Params)))
+	for _, p := range ft.Params {
+		w.valType(p)
+	}
+	w.u32(uint32(len(ft.Results)))
+	for _, r := range ft.Results {
+		w.valType(r)
+	}
+}
+
+func (w *sectionWriter) instr(in Instr) error {
+	w.byte(byte(in.Op))
+	switch in.Op.Imm() {
+	case ImmNone:
+	case ImmBlockType:
+		w.s33(in.Imm)
+	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
+		if in.Imm < 0 || in.Imm > math.MaxUint32 {
+			return fmt.Errorf("wasm: index immediate %d out of range for %s", in.Imm, in.Op.Name())
+		}
+		w.u32(uint32(in.Imm))
+	case ImmBrTable:
+		w.u32(uint32(len(in.Table)))
+		for _, l := range in.Table {
+			w.u32(l)
+		}
+		w.u32(uint32(in.Imm))
+	case ImmCallInd:
+		w.u32(uint32(in.Imm))
+		w.byte(byte(in.Imm2))
+	case ImmMem:
+		w.u32(uint32(in.Imm))
+		w.u32(uint32(in.Imm2))
+	case ImmMemSize:
+		w.byte(0)
+	case ImmI32:
+		if in.Imm < math.MinInt32 || in.Imm > math.MaxInt32 {
+			return fmt.Errorf("wasm: i32.const immediate %d out of range", in.Imm)
+		}
+		w.s32(int32(in.Imm))
+	case ImmI64:
+		w.s64(in.Imm)
+	case ImmF32:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(in.F32))
+		w.raw(b[:])
+	case ImmF64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(in.F64))
+		w.raw(b[:])
+	}
+	return nil
+}
+
+func (w *sectionWriter) expr(body []Instr) error {
+	for _, in := range body {
+		if err := w.instr(in); err != nil {
+			return err
+		}
+	}
+	w.byte(byte(OpEnd))
+	return nil
+}
+
+// appendSection appends a section with the given id and body to out.
+func appendSection(out []byte, id byte, body []byte) []byte {
+	out = append(out, id)
+	out = leb128.AppendUint(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+// Encode serializes the module to the binary format and reports the layout
+// of the code section. Custom sections are emitted after the data section
+// in the order they appear in m.Customs.
+func Encode(m *Module) ([]byte, *Layout, error) {
+	out := append([]byte(nil), magic...)
+	out = append(out, version...)
+	layout := &Layout{}
+
+	if len(m.Types) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Types)))
+		for _, ft := range m.Types {
+			w.funcType(ft)
+		}
+		out = appendSection(out, secType, w.buf)
+	}
+
+	if len(m.Imports) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Imports)))
+		for _, imp := range m.Imports {
+			w.name(imp.Module)
+			w.name(imp.Name)
+			w.byte(byte(imp.Kind))
+			switch imp.Kind {
+			case KindFunc:
+				w.u32(imp.TypeIdx)
+			case KindTable:
+				w.byte(0x70)
+				w.limits(imp.Table.Limits)
+			case KindMemory:
+				w.limits(imp.Mem)
+			case KindGlobal:
+				w.valType(imp.Global.Type)
+				if imp.Global.Mutable {
+					w.byte(1)
+				} else {
+					w.byte(0)
+				}
+			default:
+				return nil, nil, fmt.Errorf("wasm: invalid import kind %d", imp.Kind)
+			}
+		}
+		out = appendSection(out, secImport, w.buf)
+	}
+
+	if len(m.Funcs) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			w.u32(f.TypeIdx)
+		}
+		out = appendSection(out, secFunction, w.buf)
+	}
+
+	if len(m.Tables) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Tables)))
+		for _, t := range m.Tables {
+			w.byte(0x70)
+			w.limits(t.Limits)
+		}
+		out = appendSection(out, secTable, w.buf)
+	}
+
+	if len(m.Memories) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Memories)))
+		for _, l := range m.Memories {
+			w.limits(l)
+		}
+		out = appendSection(out, secMemory, w.buf)
+	}
+
+	if len(m.Globals) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Globals)))
+		for _, g := range m.Globals {
+			w.valType(g.Type.Type)
+			if g.Type.Mutable {
+				w.byte(1)
+			} else {
+				w.byte(0)
+			}
+			if err := w.expr(g.Init); err != nil {
+				return nil, nil, err
+			}
+		}
+		out = appendSection(out, secGlobal, w.buf)
+	}
+
+	if len(m.Exports) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Exports)))
+		for _, e := range m.Exports {
+			w.name(e.Name)
+			w.byte(byte(e.Kind))
+			w.u32(e.Index)
+		}
+		out = appendSection(out, secExport, w.buf)
+	}
+
+	if m.Start != nil {
+		w := &sectionWriter{}
+		w.u32(*m.Start)
+		out = appendSection(out, secStart, w.buf)
+	}
+
+	if len(m.Elems) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Elems)))
+		for _, e := range m.Elems {
+			w.u32(0)
+			if err := w.expr(e.Offset); err != nil {
+				return nil, nil, err
+			}
+			w.u32(uint32(len(e.Funcs)))
+			for _, f := range e.Funcs {
+				w.u32(f)
+			}
+		}
+		out = appendSection(out, secElem, w.buf)
+	}
+
+	if len(m.Funcs) > 0 {
+		// Encode each code entry separately so we can record its offset
+		// in the final binary once the section header size is known.
+		entries := make([][]byte, len(m.Funcs))
+		total := 0
+		for i := range m.Funcs {
+			f := &m.Funcs[i]
+			body := &sectionWriter{}
+			body.u32(uint32(len(f.Locals)))
+			for _, d := range f.Locals {
+				body.u32(d.Count)
+				body.valType(d.Type)
+			}
+			if err := body.expr(f.Body); err != nil {
+				return nil, nil, fmt.Errorf("wasm: function %d: %w", i, err)
+			}
+			entry := leb128.AppendUint(nil, uint64(len(body.buf)))
+			entry = append(entry, body.buf...)
+			entries[i] = entry
+			total += len(entry)
+		}
+		countLen := leb128.UintLen(uint64(len(m.Funcs)))
+		secBodyLen := countLen + total
+		// File offset where the section body begins:
+		// current length + 1 (section id) + size-field length.
+		bodyStart := len(out) + 1 + leb128.UintLen(uint64(secBodyLen))
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Funcs)))
+		off := bodyStart + countLen
+		for _, e := range entries {
+			layout.CodeOffsets = append(layout.CodeOffsets, uint32(off))
+			w.raw(e)
+			off += len(e)
+		}
+		out = appendSection(out, secCode, w.buf)
+	}
+
+	if len(m.Datas) > 0 {
+		w := &sectionWriter{}
+		w.u32(uint32(len(m.Datas)))
+		for _, d := range m.Datas {
+			w.u32(0)
+			if err := w.expr(d.Offset); err != nil {
+				return nil, nil, err
+			}
+			w.u32(uint32(len(d.Bytes)))
+			w.raw(d.Bytes)
+		}
+		out = appendSection(out, secData, w.buf)
+	}
+
+	for _, c := range m.Customs {
+		w := &sectionWriter{}
+		w.name(c.Name)
+		w.raw(c.Bytes)
+		out = appendSection(out, secCustom, w.buf)
+	}
+
+	return out, layout, nil
+}

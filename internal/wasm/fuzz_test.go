@@ -1,0 +1,74 @@
+package wasm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds random byte mutations of valid binaries into
+// the decoder: every input must produce a module or an error, never a
+// panic. Reverse-engineering tools see malformed binaries all the time.
+func TestDecodeNeverPanics(t *testing.T) {
+	m := testModule()
+	valid, _, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		buf := append([]byte(nil), valid...)
+		// Mutate up to 4 random bytes.
+		for j := 0; j < 1+r.Intn(4); j++ {
+			buf[r.Intn(len(buf))] = byte(r.Intn(256))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Decode panicked on mutation %d: %v\ninput: %x", i, p, buf)
+				}
+			}()
+			d, err := Decode(buf)
+			if err == nil {
+				// If it still decodes, it must also re-encode and the
+				// validator must not panic either.
+				_, _, _ = Encode(d.Module)
+				_ = Validate(d.Module)
+			}
+		}()
+	}
+	// Pure random garbage too.
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(200)
+		buf := make([]byte, n)
+		r.Read(buf)
+		if n >= 8 {
+			copy(buf, magic)
+			copy(buf[4:], version)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Decode panicked on garbage: %v\ninput: %x", p, buf)
+				}
+			}()
+			_, _ = Decode(buf)
+		}()
+	}
+}
+
+// TestNameSectionNeverPanics fuzzes the name-section parser.
+func TestNameSectionNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, r.Intn(64))
+		r.Read(buf)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("DecodeNameSection panicked: %v on %x", p, buf)
+				}
+			}()
+			_, _ = DecodeNameSection(buf)
+		}()
+	}
+}

@@ -1,0 +1,148 @@
+package wasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BlockTypeEmpty is the s33 block type for blocks with no result value.
+const BlockTypeEmpty int64 = -64 // 0x40 as a signed 7-bit value
+
+// Instr is one decoded WebAssembly instruction. The meaning of the
+// immediate fields depends on Op.Imm():
+//
+//	ImmBlockType: Imm = s33 block type (BlockTypeEmpty or a ValType byte)
+//	ImmLabel:     Imm = label index
+//	ImmBrTable:   Table = target labels, Imm = default label
+//	ImmFunc:      Imm = function index
+//	ImmCallInd:   Imm = type index, Imm2 = table index
+//	ImmLocal:     Imm = local index
+//	ImmGlobal:    Imm = global index
+//	ImmMem:       Imm = alignment exponent, Imm2 = offset
+//	ImmI32/I64:   Imm = constant value
+//	ImmF32:       F32 = constant value
+//	ImmF64:       F64 = constant value
+type Instr struct {
+	Op    Opcode
+	Imm   int64
+	Imm2  int64
+	F32   float32
+	F64   float64
+	Table []uint32
+}
+
+// I returns an instruction without immediates.
+func I(op Opcode) Instr { return Instr{Op: op} }
+
+// I1 returns an instruction with a single integer immediate.
+func I1(op Opcode, imm int64) Instr { return Instr{Op: op, Imm: imm} }
+
+// Mem returns a load/store instruction with the given alignment exponent
+// and byte offset.
+func Mem(op Opcode, align, offset int64) Instr {
+	return Instr{Op: op, Imm: align, Imm2: offset}
+}
+
+// ConstI32 returns an i32.const instruction.
+func ConstI32(v int32) Instr { return Instr{Op: OpI32Const, Imm: int64(v)} }
+
+// ConstI64 returns an i64.const instruction.
+func ConstI64(v int64) Instr { return Instr{Op: OpI64Const, Imm: v} }
+
+// ConstF32 returns an f32.const instruction.
+func ConstF32(v float32) Instr { return Instr{Op: OpF32Const, F32: v} }
+
+// ConstF64 returns an f64.const instruction.
+func ConstF64(v float64) Instr { return Instr{Op: OpF64Const, F64: v} }
+
+// blockTypeString renders an s33 block type for the text format.
+func blockTypeString(bt int64) string {
+	if bt == BlockTypeEmpty {
+		return ""
+	}
+	vt := ValType(byte(bt & 0x7f))
+	if vt.Valid() {
+		return " (result " + vt.String() + ")"
+	}
+	return fmt.Sprintf(" (type %d)", bt)
+}
+
+// String renders the instruction in the WebAssembly text format, including
+// all immediates, e.g. "f64.load offset=8 align=3" or "i32.const 42".
+func (in Instr) String() string {
+	name := in.Op.Name()
+	switch in.Op.Imm() {
+	case ImmNone, ImmMemSize:
+		return name
+	case ImmBlockType:
+		return name + blockTypeString(in.Imm)
+	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
+		return name + " " + strconv.FormatInt(in.Imm, 10)
+	case ImmBrTable:
+		var sb strings.Builder
+		sb.WriteString(name)
+		for _, l := range in.Table {
+			fmt.Fprintf(&sb, " %d", l)
+		}
+		fmt.Fprintf(&sb, " %d", in.Imm)
+		return sb.String()
+	case ImmCallInd:
+		return fmt.Sprintf("%s (type %d)", name, in.Imm)
+	case ImmMem:
+		s := name
+		if in.Imm2 != 0 {
+			s += " offset=" + strconv.FormatInt(in.Imm2, 10)
+		}
+		if in.Imm != 0 {
+			s += " align=" + strconv.FormatInt(in.Imm, 10)
+		}
+		return s
+	case ImmI32, ImmI64:
+		return name + " " + strconv.FormatInt(in.Imm, 10)
+	case ImmF32:
+		return name + " " + strconv.FormatFloat(float64(in.F32), 'g', -1, 32)
+	case ImmF64:
+		return name + " " + strconv.FormatFloat(in.F64, 'g', -1, 64)
+	}
+	return name
+}
+
+// Tokens renders the instruction as whitespace-free tokens for the
+// learning pipeline, following Section 4.1 of the paper: alignment hints
+// and callee indices are omitted, memory offsets are kept.
+func (in Instr) Tokens() []string {
+	name := in.Op.Name()
+	switch in.Op.Imm() {
+	case ImmNone, ImmMemSize, ImmBlockType, ImmCallInd:
+		// Block types and call_indirect type indices carry little signal
+		// and would blow up the vocabulary; keep only the mnemonic.
+		return []string{name}
+	case ImmFunc:
+		// The callee index is omitted (paper, Section 4.1).
+		return []string{name}
+	case ImmLabel:
+		return []string{name, strconv.FormatInt(in.Imm, 10)}
+	case ImmBrTable:
+		return []string{name}
+	case ImmLocal, ImmGlobal:
+		return []string{name, strconv.FormatInt(in.Imm, 10)}
+	case ImmMem:
+		// Alignment hints are omitted; the offset is kept.
+		return []string{name, "offset=" + strconv.FormatInt(in.Imm2, 10)}
+	case ImmI32, ImmI64:
+		return []string{name, strconv.FormatInt(in.Imm, 10)}
+	case ImmF32:
+		return []string{name, strconv.FormatFloat(float64(in.F32), 'g', -1, 32)}
+	case ImmF64:
+		return []string{name, strconv.FormatFloat(in.F64, 'g', -1, 64)}
+	}
+	return []string{name}
+}
+
+// Abstract returns the instruction with all immediate arguments removed,
+// used for the approximate dedup signature (paper, Section 5): e.g.
+// "local.get $0" maps to "local.get" and "i32.load offset=8" to "i32.load".
+func (in Instr) Abstract() string {
+	return in.Op.Name()
+}

@@ -1,0 +1,88 @@
+package wasm
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNameSectionRoundTrip(t *testing.T) {
+	ns := &NameSection{
+		Module: "libexample",
+		Funcs:  map[uint32]string{0: "printf", 1: "amd_control", 5: "helper"},
+	}
+	data := EncodeNameSection(ns)
+	got, err := DecodeNameSection(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Module != ns.Module || !reflect.DeepEqual(got.Funcs, ns.Funcs) {
+		t.Errorf("round trip = %+v, want %+v", got, ns)
+	}
+}
+
+func TestNameSectionEmpty(t *testing.T) {
+	got, err := DecodeNameSection(nil)
+	if err != nil || got.Module != "" || len(got.Funcs) != 0 {
+		t.Errorf("empty decode = %+v, %v", got, err)
+	}
+	if data := EncodeNameSection(&NameSection{}); len(data) != 0 {
+		t.Errorf("empty encode = %x", data)
+	}
+}
+
+func TestNameSectionUnknownSubsectionSkipped(t *testing.T) {
+	// Subsection id 7 (locals-ish), then a valid module name.
+	data := []byte{7, 2, 0xaa, 0xbb}
+	data = append(data, EncodeNameSection(&NameSection{Module: "m"})...)
+	got, err := DecodeNameSection(data)
+	if err != nil || got.Module != "m" {
+		t.Errorf("skip unknown: %+v, %v", got, err)
+	}
+}
+
+func TestNameSectionTruncated(t *testing.T) {
+	ns := &NameSection{Funcs: map[uint32]string{0: "very_long_function_name"}}
+	data := EncodeNameSection(ns)
+	if _, err := DecodeNameSection(data[:len(data)-4]); err == nil {
+		t.Error("truncated section accepted")
+	}
+}
+
+func TestAttachApplyNames(t *testing.T) {
+	m := testModule()
+	m.Funcs[0].Name = "first"
+	m.Funcs[1].Name = "second"
+	AttachNames(m, "mod")
+	if m.Custom("name") == nil {
+		t.Fatal("no name section attached")
+	}
+	// Re-attach replaces rather than duplicates.
+	AttachNames(m, "mod")
+	count := 0
+	for _, c := range m.Customs {
+		if c.Name == "name" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d name sections", count)
+	}
+	// Round trip through the binary and recover names.
+	bin, _, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Module.Funcs[0].Name != "" {
+		t.Fatal("decoder should not apply names implicitly")
+	}
+	if err := ApplyNames(d.Module); err != nil {
+		t.Fatal(err)
+	}
+	if d.Module.Funcs[0].Name != "first" || d.Module.Funcs[1].Name != "second" {
+		t.Errorf("names = %q, %q", d.Module.Funcs[0].Name, d.Module.Funcs[1].Name)
+	}
+}

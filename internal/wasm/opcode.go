@@ -1,0 +1,440 @@
+package wasm
+
+import "fmt"
+
+// Opcode is a single-byte WebAssembly MVP opcode.
+type Opcode byte
+
+// ImmKind describes the immediate operands an opcode carries in the binary.
+type ImmKind int
+
+// Immediate operand layouts.
+const (
+	ImmNone      ImmKind = iota
+	ImmBlockType         // block, loop, if: s33 block type
+	ImmLabel             // br, br_if: label index (u32)
+	ImmBrTable           // br_table: vector of labels + default
+	ImmFunc              // call: function index (u32)
+	ImmCallInd           // call_indirect: type index + table byte
+	ImmLocal             // local.get/set/tee: local index (u32)
+	ImmGlobal            // global.get/set: global index (u32)
+	ImmMem               // loads/stores: align (u32) + offset (u32)
+	ImmMemSize           // memory.size/grow: reserved zero byte
+	ImmI32               // i32.const: s32
+	ImmI64               // i64.const: s64
+	ImmF32               // f32.const: 4 bytes
+	ImmF64               // f64.const: 8 bytes
+)
+
+// Control and parametric opcodes.
+const (
+	OpUnreachable  Opcode = 0x00
+	OpNop          Opcode = 0x01
+	OpBlock        Opcode = 0x02
+	OpLoop         Opcode = 0x03
+	OpIf           Opcode = 0x04
+	OpElse         Opcode = 0x05
+	OpEnd          Opcode = 0x0b
+	OpBr           Opcode = 0x0c
+	OpBrIf         Opcode = 0x0d
+	OpBrTable      Opcode = 0x0e
+	OpReturn       Opcode = 0x0f
+	OpCall         Opcode = 0x10
+	OpCallIndirect Opcode = 0x11
+	OpDrop         Opcode = 0x1a
+	OpSelect       Opcode = 0x1b
+)
+
+// Variable access opcodes.
+const (
+	OpLocalGet  Opcode = 0x20
+	OpLocalSet  Opcode = 0x21
+	OpLocalTee  Opcode = 0x22
+	OpGlobalGet Opcode = 0x23
+	OpGlobalSet Opcode = 0x24
+)
+
+// Memory opcodes.
+const (
+	OpI32Load    Opcode = 0x28
+	OpI64Load    Opcode = 0x29
+	OpF32Load    Opcode = 0x2a
+	OpF64Load    Opcode = 0x2b
+	OpI32Load8S  Opcode = 0x2c
+	OpI32Load8U  Opcode = 0x2d
+	OpI32Load16S Opcode = 0x2e
+	OpI32Load16U Opcode = 0x2f
+	OpI64Load8S  Opcode = 0x30
+	OpI64Load8U  Opcode = 0x31
+	OpI64Load16S Opcode = 0x32
+	OpI64Load16U Opcode = 0x33
+	OpI64Load32S Opcode = 0x34
+	OpI64Load32U Opcode = 0x35
+	OpI32Store   Opcode = 0x36
+	OpI64Store   Opcode = 0x37
+	OpF32Store   Opcode = 0x38
+	OpF64Store   Opcode = 0x39
+	OpI32Store8  Opcode = 0x3a
+	OpI32Store16 Opcode = 0x3b
+	OpI64Store8  Opcode = 0x3c
+	OpI64Store16 Opcode = 0x3d
+	OpI64Store32 Opcode = 0x3e
+	OpMemorySize Opcode = 0x3f
+	OpMemoryGrow Opcode = 0x40
+)
+
+// Constant opcodes.
+const (
+	OpI32Const Opcode = 0x41
+	OpI64Const Opcode = 0x42
+	OpF32Const Opcode = 0x43
+	OpF64Const Opcode = 0x44
+)
+
+// Numeric opcodes (comparisons, arithmetic, conversions).
+const (
+	OpI32Eqz  Opcode = 0x45
+	OpI32Eq   Opcode = 0x46
+	OpI32Ne   Opcode = 0x47
+	OpI32LtS  Opcode = 0x48
+	OpI32LtU  Opcode = 0x49
+	OpI32GtS  Opcode = 0x4a
+	OpI32GtU  Opcode = 0x4b
+	OpI32LeS  Opcode = 0x4c
+	OpI32LeU  Opcode = 0x4d
+	OpI32GeS  Opcode = 0x4e
+	OpI32GeU  Opcode = 0x4f
+	OpI64Eqz  Opcode = 0x50
+	OpI64Eq   Opcode = 0x51
+	OpI64Ne   Opcode = 0x52
+	OpI64LtS  Opcode = 0x53
+	OpI64LtU  Opcode = 0x54
+	OpI64GtS  Opcode = 0x55
+	OpI64GtU  Opcode = 0x56
+	OpI64LeS  Opcode = 0x57
+	OpI64LeU  Opcode = 0x58
+	OpI64GeS  Opcode = 0x59
+	OpI64GeU  Opcode = 0x5a
+	OpF32Eq   Opcode = 0x5b
+	OpF32Ne   Opcode = 0x5c
+	OpF32Lt   Opcode = 0x5d
+	OpF32Gt   Opcode = 0x5e
+	OpF32Le   Opcode = 0x5f
+	OpF32Ge   Opcode = 0x60
+	OpF64Eq   Opcode = 0x61
+	OpF64Ne   Opcode = 0x62
+	OpF64Lt   Opcode = 0x63
+	OpF64Gt   Opcode = 0x64
+	OpF64Le   Opcode = 0x65
+	OpF64Ge   Opcode = 0x66
+	OpI32Clz  Opcode = 0x67
+	OpI32Ctz  Opcode = 0x68
+	OpI32Pop  Opcode = 0x69
+	OpI32Add  Opcode = 0x6a
+	OpI32Sub  Opcode = 0x6b
+	OpI32Mul  Opcode = 0x6c
+	OpI32DivS Opcode = 0x6d
+	OpI32DivU Opcode = 0x6e
+	OpI32RemS Opcode = 0x6f
+	OpI32RemU Opcode = 0x70
+	OpI32And  Opcode = 0x71
+	OpI32Or   Opcode = 0x72
+	OpI32Xor  Opcode = 0x73
+	OpI32Shl  Opcode = 0x74
+	OpI32ShrS Opcode = 0x75
+	OpI32ShrU Opcode = 0x76
+	OpI32Rotl Opcode = 0x77
+	OpI32Rotr Opcode = 0x78
+	OpI64Clz  Opcode = 0x79
+	OpI64Ctz  Opcode = 0x7a
+	OpI64Pop  Opcode = 0x7b
+	OpI64Add  Opcode = 0x7c
+	OpI64Sub  Opcode = 0x7d
+	OpI64Mul  Opcode = 0x7e
+	OpI64DivS Opcode = 0x7f
+	OpI64DivU Opcode = 0x80
+	OpI64RemS Opcode = 0x81
+	OpI64RemU Opcode = 0x82
+	OpI64And  Opcode = 0x83
+	OpI64Or   Opcode = 0x84
+	OpI64Xor  Opcode = 0x85
+	OpI64Shl  Opcode = 0x86
+	OpI64ShrS Opcode = 0x87
+	OpI64ShrU Opcode = 0x88
+	OpI64Rotl Opcode = 0x89
+	OpI64Rotr Opcode = 0x8a
+
+	OpF32Abs      Opcode = 0x8b
+	OpF32Neg      Opcode = 0x8c
+	OpF32Ceil     Opcode = 0x8d
+	OpF32Floor    Opcode = 0x8e
+	OpF32Trunc    Opcode = 0x8f
+	OpF32Nearest  Opcode = 0x90
+	OpF32Sqrt     Opcode = 0x91
+	OpF32Add      Opcode = 0x92
+	OpF32Sub      Opcode = 0x93
+	OpF32Mul      Opcode = 0x94
+	OpF32Div      Opcode = 0x95
+	OpF32Min      Opcode = 0x96
+	OpF32Max      Opcode = 0x97
+	OpF32Copysign Opcode = 0x98
+	OpF64Abs      Opcode = 0x99
+	OpF64Neg      Opcode = 0x9a
+	OpF64Ceil     Opcode = 0x9b
+	OpF64Floor    Opcode = 0x9c
+	OpF64Trunc    Opcode = 0x9d
+	OpF64Nearest  Opcode = 0x9e
+	OpF64Sqrt     Opcode = 0x9f
+	OpF64Add      Opcode = 0xa0
+	OpF64Sub      Opcode = 0xa1
+	OpF64Mul      Opcode = 0xa2
+	OpF64Div      Opcode = 0xa3
+	OpF64Min      Opcode = 0xa4
+	OpF64Max      Opcode = 0xa5
+	OpF64Copysign Opcode = 0xa6
+
+	OpI32WrapI64        Opcode = 0xa7
+	OpI32TruncF32S      Opcode = 0xa8
+	OpI32TruncF32U      Opcode = 0xa9
+	OpI32TruncF64S      Opcode = 0xaa
+	OpI32TruncF64U      Opcode = 0xab
+	OpI64ExtendI32S     Opcode = 0xac
+	OpI64ExtendI32U     Opcode = 0xad
+	OpI64TruncF32S      Opcode = 0xae
+	OpI64TruncF32U      Opcode = 0xaf
+	OpI64TruncF64S      Opcode = 0xb0
+	OpI64TruncF64U      Opcode = 0xb1
+	OpF32ConvertI32S    Opcode = 0xb2
+	OpF32ConvertI32U    Opcode = 0xb3
+	OpF32ConvertI64S    Opcode = 0xb4
+	OpF32ConvertI64U    Opcode = 0xb5
+	OpF32DemoteF64      Opcode = 0xb6
+	OpF64ConvertI32S    Opcode = 0xb7
+	OpF64ConvertI32U    Opcode = 0xb8
+	OpF64ConvertI64S    Opcode = 0xb9
+	OpF64ConvertI64U    Opcode = 0xba
+	OpF64PromoteF32     Opcode = 0xbb
+	OpI32ReinterpretF32 Opcode = 0xbc
+	OpI64ReinterpretF64 Opcode = 0xbd
+	OpF32ReinterpretI32 Opcode = 0xbe
+	OpF64ReinterpretI64 Opcode = 0xbf
+
+	OpI32Extend8S  Opcode = 0xc0
+	OpI32Extend16S Opcode = 0xc1
+	OpI64Extend8S  Opcode = 0xc2
+	OpI64Extend16S Opcode = 0xc3
+	OpI64Extend32S Opcode = 0xc4
+)
+
+// opInfo describes one opcode's name and immediate layout.
+type opInfo struct {
+	name string
+	imm  ImmKind
+}
+
+var opTable = map[Opcode]opInfo{
+	OpUnreachable:  {"unreachable", ImmNone},
+	OpNop:          {"nop", ImmNone},
+	OpBlock:        {"block", ImmBlockType},
+	OpLoop:         {"loop", ImmBlockType},
+	OpIf:           {"if", ImmBlockType},
+	OpElse:         {"else", ImmNone},
+	OpEnd:          {"end", ImmNone},
+	OpBr:           {"br", ImmLabel},
+	OpBrIf:         {"br_if", ImmLabel},
+	OpBrTable:      {"br_table", ImmBrTable},
+	OpReturn:       {"return", ImmNone},
+	OpCall:         {"call", ImmFunc},
+	OpCallIndirect: {"call_indirect", ImmCallInd},
+	OpDrop:         {"drop", ImmNone},
+	OpSelect:       {"select", ImmNone},
+
+	OpLocalGet:  {"local.get", ImmLocal},
+	OpLocalSet:  {"local.set", ImmLocal},
+	OpLocalTee:  {"local.tee", ImmLocal},
+	OpGlobalGet: {"global.get", ImmGlobal},
+	OpGlobalSet: {"global.set", ImmGlobal},
+
+	OpI32Load:    {"i32.load", ImmMem},
+	OpI64Load:    {"i64.load", ImmMem},
+	OpF32Load:    {"f32.load", ImmMem},
+	OpF64Load:    {"f64.load", ImmMem},
+	OpI32Load8S:  {"i32.load8_s", ImmMem},
+	OpI32Load8U:  {"i32.load8_u", ImmMem},
+	OpI32Load16S: {"i32.load16_s", ImmMem},
+	OpI32Load16U: {"i32.load16_u", ImmMem},
+	OpI64Load8S:  {"i64.load8_s", ImmMem},
+	OpI64Load8U:  {"i64.load8_u", ImmMem},
+	OpI64Load16S: {"i64.load16_s", ImmMem},
+	OpI64Load16U: {"i64.load16_u", ImmMem},
+	OpI64Load32S: {"i64.load32_s", ImmMem},
+	OpI64Load32U: {"i64.load32_u", ImmMem},
+	OpI32Store:   {"i32.store", ImmMem},
+	OpI64Store:   {"i64.store", ImmMem},
+	OpF32Store:   {"f32.store", ImmMem},
+	OpF64Store:   {"f64.store", ImmMem},
+	OpI32Store8:  {"i32.store8", ImmMem},
+	OpI32Store16: {"i32.store16", ImmMem},
+	OpI64Store8:  {"i64.store8", ImmMem},
+	OpI64Store16: {"i64.store16", ImmMem},
+	OpI64Store32: {"i64.store32", ImmMem},
+	OpMemorySize: {"memory.size", ImmMemSize},
+	OpMemoryGrow: {"memory.grow", ImmMemSize},
+
+	OpI32Const: {"i32.const", ImmI32},
+	OpI64Const: {"i64.const", ImmI64},
+	OpF32Const: {"f32.const", ImmF32},
+	OpF64Const: {"f64.const", ImmF64},
+
+	OpI32Eqz: {"i32.eqz", ImmNone},
+	OpI32Eq:  {"i32.eq", ImmNone},
+	OpI32Ne:  {"i32.ne", ImmNone},
+	OpI32LtS: {"i32.lt_s", ImmNone},
+	OpI32LtU: {"i32.lt_u", ImmNone},
+	OpI32GtS: {"i32.gt_s", ImmNone},
+	OpI32GtU: {"i32.gt_u", ImmNone},
+	OpI32LeS: {"i32.le_s", ImmNone},
+	OpI32LeU: {"i32.le_u", ImmNone},
+	OpI32GeS: {"i32.ge_s", ImmNone},
+	OpI32GeU: {"i32.ge_u", ImmNone},
+	OpI64Eqz: {"i64.eqz", ImmNone},
+	OpI64Eq:  {"i64.eq", ImmNone},
+	OpI64Ne:  {"i64.ne", ImmNone},
+	OpI64LtS: {"i64.lt_s", ImmNone},
+	OpI64LtU: {"i64.lt_u", ImmNone},
+	OpI64GtS: {"i64.gt_s", ImmNone},
+	OpI64GtU: {"i64.gt_u", ImmNone},
+	OpI64LeS: {"i64.le_s", ImmNone},
+	OpI64LeU: {"i64.le_u", ImmNone},
+	OpI64GeS: {"i64.ge_s", ImmNone},
+	OpI64GeU: {"i64.ge_u", ImmNone},
+	OpF32Eq:  {"f32.eq", ImmNone},
+	OpF32Ne:  {"f32.ne", ImmNone},
+	OpF32Lt:  {"f32.lt", ImmNone},
+	OpF32Gt:  {"f32.gt", ImmNone},
+	OpF32Le:  {"f32.le", ImmNone},
+	OpF32Ge:  {"f32.ge", ImmNone},
+	OpF64Eq:  {"f64.eq", ImmNone},
+	OpF64Ne:  {"f64.ne", ImmNone},
+	OpF64Lt:  {"f64.lt", ImmNone},
+	OpF64Gt:  {"f64.gt", ImmNone},
+	OpF64Le:  {"f64.le", ImmNone},
+	OpF64Ge:  {"f64.ge", ImmNone},
+
+	OpI32Clz:  {"i32.clz", ImmNone},
+	OpI32Ctz:  {"i32.ctz", ImmNone},
+	OpI32Pop:  {"i32.popcnt", ImmNone},
+	OpI32Add:  {"i32.add", ImmNone},
+	OpI32Sub:  {"i32.sub", ImmNone},
+	OpI32Mul:  {"i32.mul", ImmNone},
+	OpI32DivS: {"i32.div_s", ImmNone},
+	OpI32DivU: {"i32.div_u", ImmNone},
+	OpI32RemS: {"i32.rem_s", ImmNone},
+	OpI32RemU: {"i32.rem_u", ImmNone},
+	OpI32And:  {"i32.and", ImmNone},
+	OpI32Or:   {"i32.or", ImmNone},
+	OpI32Xor:  {"i32.xor", ImmNone},
+	OpI32Shl:  {"i32.shl", ImmNone},
+	OpI32ShrS: {"i32.shr_s", ImmNone},
+	OpI32ShrU: {"i32.shr_u", ImmNone},
+	OpI32Rotl: {"i32.rotl", ImmNone},
+	OpI32Rotr: {"i32.rotr", ImmNone},
+	OpI64Clz:  {"i64.clz", ImmNone},
+	OpI64Ctz:  {"i64.ctz", ImmNone},
+	OpI64Pop:  {"i64.popcnt", ImmNone},
+	OpI64Add:  {"i64.add", ImmNone},
+	OpI64Sub:  {"i64.sub", ImmNone},
+	OpI64Mul:  {"i64.mul", ImmNone},
+	OpI64DivS: {"i64.div_s", ImmNone},
+	OpI64DivU: {"i64.div_u", ImmNone},
+	OpI64RemS: {"i64.rem_s", ImmNone},
+	OpI64RemU: {"i64.rem_u", ImmNone},
+	OpI64And:  {"i64.and", ImmNone},
+	OpI64Or:   {"i64.or", ImmNone},
+	OpI64Xor:  {"i64.xor", ImmNone},
+	OpI64Shl:  {"i64.shl", ImmNone},
+	OpI64ShrS: {"i64.shr_s", ImmNone},
+	OpI64ShrU: {"i64.shr_u", ImmNone},
+	OpI64Rotl: {"i64.rotl", ImmNone},
+	OpI64Rotr: {"i64.rotr", ImmNone},
+
+	OpF32Abs:      {"f32.abs", ImmNone},
+	OpF32Neg:      {"f32.neg", ImmNone},
+	OpF32Ceil:     {"f32.ceil", ImmNone},
+	OpF32Floor:    {"f32.floor", ImmNone},
+	OpF32Trunc:    {"f32.trunc", ImmNone},
+	OpF32Nearest:  {"f32.nearest", ImmNone},
+	OpF32Sqrt:     {"f32.sqrt", ImmNone},
+	OpF32Add:      {"f32.add", ImmNone},
+	OpF32Sub:      {"f32.sub", ImmNone},
+	OpF32Mul:      {"f32.mul", ImmNone},
+	OpF32Div:      {"f32.div", ImmNone},
+	OpF32Min:      {"f32.min", ImmNone},
+	OpF32Max:      {"f32.max", ImmNone},
+	OpF32Copysign: {"f32.copysign", ImmNone},
+	OpF64Abs:      {"f64.abs", ImmNone},
+	OpF64Neg:      {"f64.neg", ImmNone},
+	OpF64Ceil:     {"f64.ceil", ImmNone},
+	OpF64Floor:    {"f64.floor", ImmNone},
+	OpF64Trunc:    {"f64.trunc", ImmNone},
+	OpF64Nearest:  {"f64.nearest", ImmNone},
+	OpF64Sqrt:     {"f64.sqrt", ImmNone},
+	OpF64Add:      {"f64.add", ImmNone},
+	OpF64Sub:      {"f64.sub", ImmNone},
+	OpF64Mul:      {"f64.mul", ImmNone},
+	OpF64Div:      {"f64.div", ImmNone},
+	OpF64Min:      {"f64.min", ImmNone},
+	OpF64Max:      {"f64.max", ImmNone},
+	OpF64Copysign: {"f64.copysign", ImmNone},
+
+	OpI32WrapI64:        {"i32.wrap_i64", ImmNone},
+	OpI32TruncF32S:      {"i32.trunc_f32_s", ImmNone},
+	OpI32TruncF32U:      {"i32.trunc_f32_u", ImmNone},
+	OpI32TruncF64S:      {"i32.trunc_f64_s", ImmNone},
+	OpI32TruncF64U:      {"i32.trunc_f64_u", ImmNone},
+	OpI64ExtendI32S:     {"i64.extend_i32_s", ImmNone},
+	OpI64ExtendI32U:     {"i64.extend_i32_u", ImmNone},
+	OpI64TruncF32S:      {"i64.trunc_f32_s", ImmNone},
+	OpI64TruncF32U:      {"i64.trunc_f32_u", ImmNone},
+	OpI64TruncF64S:      {"i64.trunc_f64_s", ImmNone},
+	OpI64TruncF64U:      {"i64.trunc_f64_u", ImmNone},
+	OpF32ConvertI32S:    {"f32.convert_i32_s", ImmNone},
+	OpF32ConvertI32U:    {"f32.convert_i32_u", ImmNone},
+	OpF32ConvertI64S:    {"f32.convert_i64_s", ImmNone},
+	OpF32ConvertI64U:    {"f32.convert_i64_u", ImmNone},
+	OpF32DemoteF64:      {"f32.demote_f64", ImmNone},
+	OpF64ConvertI32S:    {"f64.convert_i32_s", ImmNone},
+	OpF64ConvertI32U:    {"f64.convert_i32_u", ImmNone},
+	OpF64ConvertI64S:    {"f64.convert_i64_s", ImmNone},
+	OpF64ConvertI64U:    {"f64.convert_i64_u", ImmNone},
+	OpF64PromoteF32:     {"f64.promote_f32", ImmNone},
+	OpI32ReinterpretF32: {"i32.reinterpret_f32", ImmNone},
+	OpI64ReinterpretF64: {"i64.reinterpret_f64", ImmNone},
+	OpF32ReinterpretI32: {"f32.reinterpret_i32", ImmNone},
+	OpF64ReinterpretI64: {"f64.reinterpret_i64", ImmNone},
+
+	OpI32Extend8S:  {"i32.extend8_s", ImmNone},
+	OpI32Extend16S: {"i32.extend16_s", ImmNone},
+	OpI64Extend8S:  {"i64.extend8_s", ImmNone},
+	OpI64Extend16S: {"i64.extend16_s", ImmNone},
+	OpI64Extend32S: {"i64.extend32_s", ImmNone},
+}
+
+// Name returns the text-format mnemonic of the opcode.
+func (op Opcode) Name() string {
+	if info, ok := opTable[op]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("op(0x%02x)", byte(op))
+}
+
+// Imm returns the immediate layout of the opcode.
+func (op Opcode) Imm() ImmKind {
+	return opTable[op].imm
+}
+
+// Known reports whether op is part of the supported instruction set.
+func (op Opcode) Known() bool {
+	_, ok := opTable[op]
+	return ok
+}

@@ -1,0 +1,106 @@
+package wasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisassembleFunction renders a function body in a flat, line-per-instruction
+// wat-like form with nesting indentation, similar to the listing in Figure 1
+// of the paper.
+func DisassembleFunction(m *Module, funcIdx int) (string, error) {
+	if funcIdx < 0 || funcIdx >= len(m.Funcs) {
+		return "", fmt.Errorf("wasm: function index %d out of range", funcIdx)
+	}
+	f := &m.Funcs[funcIdx]
+	var sb strings.Builder
+	ft := FuncType{}
+	if int(f.TypeIdx) < len(m.Types) {
+		ft = m.Types[f.TypeIdx]
+	}
+	abs := funcIdx + m.NumImportedFuncs()
+	fmt.Fprintf(&sb, "func $%d: ;; %s\n", abs, nameOf(m, uint32(abs)))
+	fmt.Fprintf(&sb, "  type %s\n", ft)
+	for _, d := range f.Locals {
+		fmt.Fprintf(&sb, "  (local %d %s)\n", d.Count, d.Type)
+	}
+	depth := 1
+	for _, in := range f.Body {
+		switch in.Op {
+		case OpEnd, OpElse:
+			if depth > 1 {
+				depth--
+			}
+		}
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf, OpElse:
+			depth++
+		}
+	}
+	sb.WriteString("end\n")
+	return sb.String(), nil
+}
+
+// nameOf returns the export name of the function with the given absolute
+// index, or a placeholder.
+func nameOf(m *Module, idx uint32) string {
+	for _, e := range m.Exports {
+		if e.Kind == KindFunc && e.Index == idx {
+			return e.Name
+		}
+	}
+	nimp := m.NumImportedFuncs()
+	if int(idx) >= nimp {
+		if n := m.Funcs[int(idx)-nimp].Name; n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("func[%d]", idx)
+}
+
+// Disassemble renders the whole module: signatures, imports, exports, and
+// per-function listings.
+func Disassemble(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(module ;; %d types, %d imports, %d functions\n", len(m.Types), len(m.Imports), len(m.Funcs))
+	for i, ft := range m.Types {
+		fmt.Fprintf(&sb, "  (type %d %s)\n", i, ft)
+	}
+	for _, imp := range m.Imports {
+		fmt.Fprintf(&sb, "  (import %q %q (%s))\n", imp.Module, imp.Name, imp.Kind)
+	}
+	for _, e := range m.Exports {
+		fmt.Fprintf(&sb, "  (export %q (%s %d))\n", e.Name, e.Kind, e.Index)
+	}
+	for _, c := range m.Customs {
+		fmt.Fprintf(&sb, "  (custom %q (%d bytes))\n", c.Name, len(c.Bytes))
+	}
+	for i := range m.Funcs {
+		text, err := DisassembleFunction(m, i)
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			sb.WriteString("  " + line + "\n")
+		}
+	}
+	sb.WriteString(")\n")
+	return sb.String()
+}
+
+// BodyTokens flattens a function body into the token sequence used by the
+// learning pipeline: each instruction's tokens, with instructions delimited
+// by ";" as in Section 4.1 of the paper.
+func BodyTokens(body []Instr) []string {
+	var out []string
+	for i, in := range body {
+		if i > 0 {
+			out = append(out, ";")
+		}
+		out = append(out, in.Tokens()...)
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+// Package wasm implements a decoder, encoder, and text renderer for the
+// WebAssembly MVP binary format (plus sign-extension operators), sufficient
+// to build, inspect, and disassemble the object files used by the
+// SnowWhite type-prediction pipeline.
+package wasm
+
+import "fmt"
+
+// ValType is a WebAssembly value type.
+type ValType byte
+
+// The four WebAssembly MVP value types.
+const (
+	I32 ValType = 0x7f
+	I64 ValType = 0x7e
+	F32 ValType = 0x7d
+	F64 ValType = 0x7c
+)
+
+// String returns the text-format name of the value type ("i32", ...).
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return fmt.Sprintf("valtype(0x%02x)", byte(t))
+}
+
+// Valid reports whether t is one of the four MVP value types.
+func (t ValType) Valid() bool {
+	return t == I32 || t == I64 || t == F32 || t == F64
+}
+
+// FuncType is a function signature: parameter and result types.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports whether two function types are identical.
+func (ft FuncType) Equal(other FuncType) bool {
+	if len(ft.Params) != len(other.Params) || len(ft.Results) != len(other.Results) {
+		return false
+	}
+	for i, p := range ft.Params {
+		if p != other.Params[i] {
+			return false
+		}
+	}
+	for i, r := range ft.Results {
+		if r != other.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the signature in text format, e.g. "(param i32 f64) (result i32)".
+func (ft FuncType) String() string {
+	s := "(param"
+	for _, p := range ft.Params {
+		s += " " + p.String()
+	}
+	s += ") (result"
+	for _, r := range ft.Results {
+		s += " " + r.String()
+	}
+	return s + ")"
+}
+
+// Limits bounds a memory or table.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// ExternKind identifies the namespace of an import or export.
+type ExternKind byte
+
+// Import/export kinds.
+const (
+	KindFunc   ExternKind = 0
+	KindTable  ExternKind = 1
+	KindMemory ExternKind = 2
+	KindGlobal ExternKind = 3
+)
+
+// String returns the text-format kind name.
+func (k ExternKind) String() string {
+	switch k {
+	case KindFunc:
+		return "func"
+	case KindTable:
+		return "table"
+	case KindMemory:
+		return "memory"
+	case KindGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Import declares an imported function, table, memory, or global.
+type Import struct {
+	Module string
+	Name   string
+	Kind   ExternKind
+	// TypeIdx is set for function imports.
+	TypeIdx uint32
+	// Table is set for table imports.
+	Table Table
+	// Mem is set for memory imports.
+	Mem Limits
+	// Global is set for global imports.
+	Global GlobalType
+}
+
+// Export exposes a module-internal entity under a name.
+type Export struct {
+	Name  string
+	Kind  ExternKind
+	Index uint32
+}
+
+// Table is a funcref table.
+type Table struct {
+	Limits Limits
+}
+
+// GlobalType describes a global's value type and mutability.
+type GlobalType struct {
+	Type    ValType
+	Mutable bool
+}
+
+// Global is a module-defined global with a constant initializer.
+type Global struct {
+	Type GlobalType
+	Init []Instr // constant expression, without the trailing `end`
+}
+
+// LocalDecl declares Count consecutive locals of the same type, as in the
+// binary format's compressed local vector.
+type LocalDecl struct {
+	Count uint32
+	Type  ValType
+}
+
+// Function is a module-defined (non-imported) function.
+type Function struct {
+	TypeIdx uint32
+	Locals  []LocalDecl
+	Body    []Instr // without the trailing `end`
+	// Name is an optional debug name (from the name section or the
+	// producer); it is not part of the code section encoding.
+	Name string
+}
+
+// NumLocals returns the total number of declared locals (excluding params).
+func (f *Function) NumLocals() int {
+	n := 0
+	for _, d := range f.Locals {
+		n += int(d.Count)
+	}
+	return n
+}
+
+// Elem is an element segment initializing the table with function indices.
+type Elem struct {
+	Offset []Instr // constant expression
+	Funcs  []uint32
+}
+
+// Data is a data segment initializing linear memory.
+type Data struct {
+	Offset []Instr // constant expression
+	Bytes  []byte
+}
+
+// Custom is a custom section, e.g. ".debug_info" carrying DWARF.
+type Custom struct {
+	Name  string
+	Bytes []byte
+}
+
+// Module is a decoded (or to-be-encoded) WebAssembly module.
+type Module struct {
+	Types    []FuncType
+	Imports  []Import
+	Funcs    []Function
+	Tables   []Table
+	Memories []Limits
+	Globals  []Global
+	Exports  []Export
+	Start    *uint32
+	Elems    []Elem
+	Datas    []Data
+	Customs  []Custom
+}
+
+// NumImportedFuncs returns the number of imported functions; module-defined
+// functions are indexed after them.
+func (m *Module) NumImportedFuncs() int {
+	n := 0
+	for _, imp := range m.Imports {
+		if imp.Kind == KindFunc {
+			n++
+		}
+	}
+	return n
+}
+
+// FuncTypeAt returns the signature of the function with the given index in
+// the module's function index space (imports first).
+func (m *Module) FuncTypeAt(idx uint32) (FuncType, error) {
+	i := int(idx)
+	for _, imp := range m.Imports {
+		if imp.Kind != KindFunc {
+			continue
+		}
+		if i == 0 {
+			if int(imp.TypeIdx) >= len(m.Types) {
+				return FuncType{}, fmt.Errorf("wasm: import type index %d out of range", imp.TypeIdx)
+			}
+			return m.Types[imp.TypeIdx], nil
+		}
+		i--
+	}
+	if i >= len(m.Funcs) {
+		return FuncType{}, fmt.Errorf("wasm: function index %d out of range", idx)
+	}
+	ti := m.Funcs[i].TypeIdx
+	if int(ti) >= len(m.Types) {
+		return FuncType{}, fmt.Errorf("wasm: type index %d out of range", ti)
+	}
+	return m.Types[ti], nil
+}
+
+// AddType interns ft in the type section and returns its index.
+func (m *Module) AddType(ft FuncType) uint32 {
+	for i, t := range m.Types {
+		if t.Equal(ft) {
+			return uint32(i)
+		}
+	}
+	m.Types = append(m.Types, ft)
+	return uint32(len(m.Types) - 1)
+}
+
+// Custom returns the first custom section with the given name, or nil.
+func (m *Module) Custom(name string) *Custom {
+	for i := range m.Customs {
+		if m.Customs[i].Name == name {
+			return &m.Customs[i]
+		}
+	}
+	return nil
+}
+
+// Section IDs of the binary format.
+const (
+	secCustom   = 0
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secTable    = 4
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secStart    = 8
+	secElem     = 9
+	secCode     = 10
+	secData     = 11
+)

@@ -1,0 +1,547 @@
+package wasm
+
+import (
+	"fmt"
+)
+
+// Validate type-checks every function body in the module against the
+// WebAssembly validation algorithm (stack typing with structured control
+// frames). It catches the classic codegen bugs — stack underflow, type
+// mismatches, wrong branch arities — that a round-trip decode cannot.
+func Validate(m *Module) error {
+	for i := range m.Funcs {
+		if err := ValidateFunction(m, i); err != nil {
+			return fmt.Errorf("wasm: function %d (%s): %w", i, m.Funcs[i].Name, err)
+		}
+	}
+	for gi, g := range m.Globals {
+		if err := validateConstExpr(g.Init, g.Type.Type); err != nil {
+			return fmt.Errorf("wasm: global %d: %w", gi, err)
+		}
+	}
+	for di, d := range m.Datas {
+		if err := validateConstExpr(d.Offset, I32); err != nil {
+			return fmt.Errorf("wasm: data segment %d: %w", di, err)
+		}
+	}
+	return nil
+}
+
+func validateConstExpr(expr []Instr, want ValType) error {
+	if len(expr) != 1 {
+		return fmt.Errorf("constant expression must be a single instruction")
+	}
+	var got ValType
+	switch expr[0].Op {
+	case OpI32Const:
+		got = I32
+	case OpI64Const:
+		got = I64
+	case OpF32Const:
+		got = F32
+	case OpF64Const:
+		got = F64
+	case OpGlobalGet:
+		return nil // imported-global initializers are not resolved here
+	default:
+		return fmt.Errorf("non-constant instruction %s", expr[0].Op.Name())
+	}
+	if got != want {
+		return fmt.Errorf("constant expression has type %s, want %s", got, want)
+	}
+	return nil
+}
+
+// vUnknown marks a polymorphic stack slot that appears after unreachable
+// code; it unifies with any value type.
+const vUnknown ValType = 0
+
+// ctrlFrame is one entry of the control stack.
+type ctrlFrame struct {
+	op          Opcode // block, loop, if, or 0 for the function frame
+	startTypes  []ValType
+	endTypes    []ValType
+	height      int
+	unreachable bool
+}
+
+// labelTypes returns the types a branch to this frame must provide: the
+// start types for loops (branch to the top), end types otherwise.
+func (f *ctrlFrame) labelTypes() []ValType {
+	if f.op == OpLoop {
+		return f.startTypes
+	}
+	return f.endTypes
+}
+
+type validator struct {
+	mod    *Module
+	locals []ValType
+	vals   []ValType
+	ctrls  []ctrlFrame
+	pos    int
+}
+
+// ValidateFunction type-checks one module-defined function body.
+func ValidateFunction(m *Module, funcIdx int) error {
+	fn := &m.Funcs[funcIdx]
+	if int(fn.TypeIdx) >= len(m.Types) {
+		return fmt.Errorf("type index %d out of range", fn.TypeIdx)
+	}
+	sig := m.Types[fn.TypeIdx]
+	v := &validator{mod: m}
+	v.locals = append(v.locals, sig.Params...)
+	for _, d := range fn.Locals {
+		for i := uint32(0); i < d.Count; i++ {
+			v.locals = append(v.locals, d.Type)
+		}
+	}
+	v.pushCtrl(0, nil, sig.Results)
+	for i, in := range fn.Body {
+		v.pos = i
+		if err := v.instr(in); err != nil {
+			return fmt.Errorf("instr %d (%s): %w", i, in.String(), err)
+		}
+	}
+	// The implicit end of the function frame.
+	v.pos = len(fn.Body)
+	if err := v.end(); err != nil {
+		return fmt.Errorf("at function end: %w", err)
+	}
+	if len(v.vals) != len(sig.Results) {
+		return fmt.Errorf("function leaves %d values, signature has %d results", len(v.vals), len(sig.Results))
+	}
+	return nil
+}
+
+func (v *validator) pushVal(t ValType) { v.vals = append(v.vals, t) }
+
+func (v *validator) popVal(want ValType) (ValType, error) {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	if len(v.vals) == frame.height {
+		if frame.unreachable {
+			return want, nil
+		}
+		return 0, fmt.Errorf("stack underflow")
+	}
+	got := v.vals[len(v.vals)-1]
+	v.vals = v.vals[:len(v.vals)-1]
+	if want != vUnknown && got != vUnknown && got != want {
+		return 0, fmt.Errorf("expected %s on stack, found %s", want, got)
+	}
+	return got, nil
+}
+
+func (v *validator) popVals(types []ValType) error {
+	for i := len(types) - 1; i >= 0; i-- {
+		if _, err := v.popVal(types[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) pushCtrl(op Opcode, start, end []ValType) {
+	v.ctrls = append(v.ctrls, ctrlFrame{
+		op: op, startTypes: start, endTypes: end, height: len(v.vals),
+	})
+	for _, t := range start {
+		v.pushVal(t)
+	}
+}
+
+func (v *validator) popCtrl() (ctrlFrame, error) {
+	if len(v.ctrls) == 0 {
+		return ctrlFrame{}, fmt.Errorf("control stack underflow")
+	}
+	frame := v.ctrls[len(v.ctrls)-1]
+	if err := v.popVals(frame.endTypes); err != nil {
+		return frame, err
+	}
+	if len(v.vals) != frame.height {
+		return frame, fmt.Errorf("%d leftover values at end of block", len(v.vals)-frame.height)
+	}
+	v.ctrls = v.ctrls[:len(v.ctrls)-1]
+	return frame, nil
+}
+
+func (v *validator) unreachable() {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	v.vals = v.vals[:frame.height]
+	frame.unreachable = true
+}
+
+func (v *validator) frameAt(label int64) (*ctrlFrame, error) {
+	if label < 0 || int(label) >= len(v.ctrls) {
+		return nil, fmt.Errorf("branch label %d out of range (depth %d)", label, len(v.ctrls))
+	}
+	return &v.ctrls[len(v.ctrls)-1-int(label)], nil
+}
+
+func blockTypeResults(bt int64) ([]ValType, error) {
+	if bt == BlockTypeEmpty {
+		return nil, nil
+	}
+	vt := ValType(byte(bt & 0x7f))
+	if !vt.Valid() {
+		return nil, fmt.Errorf("unsupported block type %d", bt)
+	}
+	return []ValType{vt}, nil
+}
+
+func (v *validator) end() error {
+	frame, err := v.popCtrl()
+	if err != nil {
+		return err
+	}
+	for _, t := range frame.endTypes {
+		v.pushVal(t)
+	}
+	return nil
+}
+
+func (v *validator) instr(in Instr) error {
+	switch in.Op {
+	case OpUnreachable:
+		v.unreachable()
+		return nil
+	case OpNop:
+		return nil
+
+	case OpBlock, OpLoop:
+		res, err := blockTypeResults(in.Imm)
+		if err != nil {
+			return err
+		}
+		v.pushCtrl(in.Op, nil, res)
+		return nil
+
+	case OpIf:
+		if _, err := v.popVal(I32); err != nil {
+			return err
+		}
+		res, err := blockTypeResults(in.Imm)
+		if err != nil {
+			return err
+		}
+		v.pushCtrl(OpIf, nil, res)
+		return nil
+
+	case OpElse:
+		if len(v.ctrls) == 0 || v.ctrls[len(v.ctrls)-1].op != OpIf {
+			return fmt.Errorf("else outside if")
+		}
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		v.pushCtrl(OpElse, frame.startTypes, frame.endTypes)
+		return nil
+
+	case OpEnd:
+		return v.end()
+
+	case OpBr:
+		frame, err := v.frameAt(in.Imm)
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(frame.labelTypes()); err != nil {
+			return err
+		}
+		v.unreachable()
+		return nil
+
+	case OpBrIf:
+		if _, err := v.popVal(I32); err != nil {
+			return err
+		}
+		frame, err := v.frameAt(in.Imm)
+		if err != nil {
+			return err
+		}
+		lt := frame.labelTypes()
+		if err := v.popVals(lt); err != nil {
+			return err
+		}
+		for _, t := range lt {
+			v.pushVal(t)
+		}
+		return nil
+
+	case OpBrTable:
+		if _, err := v.popVal(I32); err != nil {
+			return err
+		}
+		def, err := v.frameAt(in.Imm)
+		if err != nil {
+			return err
+		}
+		want := def.labelTypes()
+		for _, l := range in.Table {
+			f, err := v.frameAt(int64(l))
+			if err != nil {
+				return err
+			}
+			if len(f.labelTypes()) != len(want) {
+				return fmt.Errorf("br_table arity mismatch")
+			}
+		}
+		if err := v.popVals(want); err != nil {
+			return err
+		}
+		v.unreachable()
+		return nil
+
+	case OpReturn:
+		if err := v.popVals(v.ctrls[0].endTypes); err != nil {
+			return err
+		}
+		v.unreachable()
+		return nil
+
+	case OpCall:
+		sig, err := v.mod.FuncTypeAt(uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		if err := v.popVals(sig.Params); err != nil {
+			return err
+		}
+		for _, t := range sig.Results {
+			v.pushVal(t)
+		}
+		return nil
+
+	case OpCallIndirect:
+		if int(in.Imm) >= len(v.mod.Types) {
+			return fmt.Errorf("call_indirect type %d out of range", in.Imm)
+		}
+		if _, err := v.popVal(I32); err != nil {
+			return err
+		}
+		sig := v.mod.Types[in.Imm]
+		if err := v.popVals(sig.Params); err != nil {
+			return err
+		}
+		for _, t := range sig.Results {
+			v.pushVal(t)
+		}
+		return nil
+
+	case OpDrop:
+		_, err := v.popVal(vUnknown)
+		return err
+
+	case OpSelect:
+		if _, err := v.popVal(I32); err != nil {
+			return err
+		}
+		a, err := v.popVal(vUnknown)
+		if err != nil {
+			return err
+		}
+		b, err := v.popVal(a)
+		if err != nil {
+			return err
+		}
+		if a == vUnknown {
+			a = b
+		}
+		v.pushVal(a)
+		return nil
+
+	case OpLocalGet, OpLocalSet, OpLocalTee:
+		if in.Imm < 0 || int(in.Imm) >= len(v.locals) {
+			return fmt.Errorf("local %d out of range (%d locals)", in.Imm, len(v.locals))
+		}
+		t := v.locals[in.Imm]
+		switch in.Op {
+		case OpLocalGet:
+			v.pushVal(t)
+		case OpLocalSet:
+			if _, err := v.popVal(t); err != nil {
+				return err
+			}
+		case OpLocalTee:
+			if _, err := v.popVal(t); err != nil {
+				return err
+			}
+			v.pushVal(t)
+		}
+		return nil
+
+	case OpGlobalGet, OpGlobalSet:
+		gt, err := v.globalType(in.Imm)
+		if err != nil {
+			return err
+		}
+		if in.Op == OpGlobalGet {
+			v.pushVal(gt.Type)
+			return nil
+		}
+		if !gt.Mutable {
+			return fmt.Errorf("global.set of immutable global %d", in.Imm)
+		}
+		_, err = v.popVal(gt.Type)
+		return err
+
+	case OpMemorySize:
+		v.pushVal(I32)
+		return nil
+	case OpMemoryGrow:
+		if _, err := v.popVal(I32); err != nil {
+			return err
+		}
+		v.pushVal(I32)
+		return nil
+
+	case OpI32Const:
+		v.pushVal(I32)
+		return nil
+	case OpI64Const:
+		v.pushVal(I64)
+		return nil
+	case OpF32Const:
+		v.pushVal(F32)
+		return nil
+	case OpF64Const:
+		v.pushVal(F64)
+		return nil
+	}
+
+	// Memory access and numeric instructions follow fixed signatures.
+	if sig, ok := instrSignature(in.Op); ok {
+		if err := v.popVals(sig.params); err != nil {
+			return err
+		}
+		for _, t := range sig.results {
+			v.pushVal(t)
+		}
+		return nil
+	}
+	return fmt.Errorf("no validation rule for %s", in.Op.Name())
+}
+
+func (v *validator) globalType(idx int64) (GlobalType, error) {
+	i := int(idx)
+	for _, imp := range v.mod.Imports {
+		if imp.Kind != KindGlobal {
+			continue
+		}
+		if i == 0 {
+			return imp.Global, nil
+		}
+		i--
+	}
+	if i >= len(v.mod.Globals) {
+		return GlobalType{}, fmt.Errorf("global %d out of range", idx)
+	}
+	return v.mod.Globals[i].Type, nil
+}
+
+type instrSig struct {
+	params  []ValType
+	results []ValType
+}
+
+// instrSignature returns the value signature of memory and numeric
+// opcodes.
+func instrSignature(op Opcode) (instrSig, bool) {
+	u := func(p []ValType, r ...ValType) (instrSig, bool) {
+		return instrSig{params: p, results: r}, true
+	}
+	switch {
+	case op >= OpI32Load && op <= OpI64Load32U: // loads: [i32] -> [t]
+		return u([]ValType{I32}, loadResult(op))
+	case op >= OpI32Store && op <= OpI64Store32: // stores: [i32 t] -> []
+		return u([]ValType{I32, storeOperand(op)})
+	}
+	switch op {
+	case OpI32Eqz:
+		return u([]ValType{I32}, I32)
+	case OpI64Eqz:
+		return u([]ValType{I64}, I32)
+	}
+	switch {
+	case op >= OpI32Eq && op <= OpI32GeU:
+		return u([]ValType{I32, I32}, I32)
+	case op >= OpI64Eq && op <= OpI64GeU:
+		return u([]ValType{I64, I64}, I32)
+	case op >= OpF32Eq && op <= OpF32Ge:
+		return u([]ValType{F32, F32}, I32)
+	case op >= OpF64Eq && op <= OpF64Ge:
+		return u([]ValType{F64, F64}, I32)
+	case op >= OpI32Clz && op <= OpI32Pop:
+		return u([]ValType{I32}, I32)
+	case op >= OpI32Add && op <= OpI32Rotr:
+		return u([]ValType{I32, I32}, I32)
+	case op >= OpI64Clz && op <= OpI64Pop:
+		return u([]ValType{I64}, I64)
+	case op >= OpI64Add && op <= OpI64Rotr:
+		return u([]ValType{I64, I64}, I64)
+	case op >= OpF32Abs && op <= OpF32Sqrt:
+		return u([]ValType{F32}, F32)
+	case op >= OpF32Add && op <= OpF32Copysign:
+		return u([]ValType{F32, F32}, F32)
+	case op >= OpF64Abs && op <= OpF64Sqrt:
+		return u([]ValType{F64}, F64)
+	case op >= OpF64Add && op <= OpF64Copysign:
+		return u([]ValType{F64, F64}, F64)
+	}
+	switch op {
+	case OpI32WrapI64:
+		return u([]ValType{I64}, I32)
+	case OpI32TruncF32S, OpI32TruncF32U, OpI32ReinterpretF32:
+		return u([]ValType{F32}, I32)
+	case OpI32TruncF64S, OpI32TruncF64U:
+		return u([]ValType{F64}, I32)
+	case OpI64ExtendI32S, OpI64ExtendI32U:
+		return u([]ValType{I32}, I64)
+	case OpI64TruncF32S, OpI64TruncF32U:
+		return u([]ValType{F32}, I64)
+	case OpI64TruncF64S, OpI64TruncF64U, OpI64ReinterpretF64:
+		return u([]ValType{F64}, I64)
+	case OpF32ConvertI32S, OpF32ConvertI32U, OpF32ReinterpretI32:
+		return u([]ValType{I32}, F32)
+	case OpF32ConvertI64S, OpF32ConvertI64U:
+		return u([]ValType{I64}, F32)
+	case OpF32DemoteF64:
+		return u([]ValType{F64}, F32)
+	case OpF64ConvertI32S, OpF64ConvertI32U:
+		return u([]ValType{I32}, F64)
+	case OpF64ConvertI64S, OpF64ConvertI64U:
+		return u([]ValType{I64}, F64)
+	case OpF64PromoteF32:
+		return u([]ValType{F32}, F64)
+	case OpI32Extend8S, OpI32Extend16S:
+		return u([]ValType{I32}, I32)
+	case OpI64Extend8S, OpI64Extend16S, OpI64Extend32S:
+		return u([]ValType{I64}, I64)
+	}
+	return instrSig{}, false
+}
+
+func loadResult(op Opcode) ValType {
+	switch op {
+	case OpI64Load, OpI64Load8S, OpI64Load8U, OpI64Load16S, OpI64Load16U, OpI64Load32S, OpI64Load32U:
+		return I64
+	case OpF32Load:
+		return F32
+	case OpF64Load:
+		return F64
+	}
+	return I32
+}
+
+func storeOperand(op Opcode) ValType {
+	switch op {
+	case OpI64Store, OpI64Store8, OpI64Store16, OpI64Store32:
+		return I64
+	case OpF32Store:
+		return F32
+	case OpF64Store:
+		return F64
+	}
+	return I32
+}

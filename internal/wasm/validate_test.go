@@ -1,0 +1,124 @@
+package wasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// vmod builds a single-function module for validation tests.
+func vmod(sig FuncType, locals []LocalDecl, body []Instr) *Module {
+	m := &Module{}
+	ti := m.AddType(sig)
+	m.Funcs = append(m.Funcs, Function{TypeIdx: ti, Locals: locals, Body: body})
+	m.Memories = append(m.Memories, Limits{Min: 1})
+	return m
+}
+
+func TestValidateGood(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  *Module
+	}{
+		{"empty void", vmod(FuncType{}, nil, nil)},
+		{"const return", vmod(FuncType{Results: []ValType{I32}}, nil, []Instr{ConstI32(1)})},
+		{"add params", vmod(FuncType{Params: []ValType{I32, I32}, Results: []ValType{I32}}, nil, []Instr{
+			I1(OpLocalGet, 0), I1(OpLocalGet, 1), I(OpI32Add),
+		})},
+		{"block with result", vmod(FuncType{Results: []ValType{F64}}, nil, []Instr{
+			I1(OpBlock, int64(F64)), ConstF64(1.5), I(OpEnd),
+		})},
+		{"if else", vmod(FuncType{Params: []ValType{I32}, Results: []ValType{I32}}, nil, []Instr{
+			I1(OpLocalGet, 0),
+			I1(OpIf, int64(I32)), ConstI32(1), I(OpElse), ConstI32(2), I(OpEnd),
+		})},
+		{"loop with branch", vmod(FuncType{Params: []ValType{I32}}, []LocalDecl{{Count: 1, Type: I32}}, []Instr{
+			I1(OpBlock, BlockTypeEmpty),
+			I1(OpLoop, BlockTypeEmpty),
+			I1(OpLocalGet, 0), I(OpI32Eqz), I1(OpBrIf, 1),
+			I1(OpLocalGet, 0), ConstI32(1), I(OpI32Sub), I1(OpLocalSet, 0),
+			I1(OpBr, 0),
+			I(OpEnd), I(OpEnd),
+		})},
+		{"early return", vmod(FuncType{Results: []ValType{I32}}, nil, []Instr{
+			ConstI32(1), I(OpReturn), ConstI32(2),
+		})},
+		{"memory ops", vmod(FuncType{Params: []ValType{I32}, Results: []ValType{F64}}, nil, []Instr{
+			I1(OpLocalGet, 0), Mem(OpF64Load, 3, 8),
+		})},
+		{"unreachable then anything", vmod(FuncType{Results: []ValType{I32}}, nil, []Instr{
+			I(OpUnreachable), I(OpI32Add),
+		})},
+	}
+	for _, c := range cases {
+		if err := Validate(c.mod); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestValidateBad(t *testing.T) {
+	cases := []struct {
+		name    string
+		mod     *Module
+		wantErr string
+	}{
+		{"stack underflow", vmod(FuncType{}, nil, []Instr{I(OpI32Add)}), "underflow"},
+		{"type mismatch", vmod(FuncType{}, nil, []Instr{ConstF32(1), ConstI32(1), I(OpI32Add), I(OpDrop)}), "expected i32"},
+		{"missing result", vmod(FuncType{Results: []ValType{I32}}, nil, nil), "underflow"},
+		{"wrong result type", vmod(FuncType{Results: []ValType{I32}}, nil, []Instr{ConstF64(1)}), "expected i32"},
+		{"leftover values", vmod(FuncType{}, nil, []Instr{ConstI32(1)}), "leftover"},
+		{"bad local", vmod(FuncType{}, nil, []Instr{I1(OpLocalGet, 3), I(OpDrop)}), "out of range"},
+		{"branch out of range", vmod(FuncType{}, nil, []Instr{I1(OpBr, 5)}), "out of range"},
+		{"else without if", vmod(FuncType{}, nil, []Instr{I(OpElse)}), "else outside if"},
+		{"if without condition", vmod(FuncType{}, nil, []Instr{I1(OpIf, BlockTypeEmpty), I(OpEnd)}), "underflow"},
+		{"store missing operand", vmod(FuncType{}, nil, []Instr{ConstI32(0), Mem(OpF64Store, 3, 0)}), "expected f64"},
+		{"call bad index", vmod(FuncType{}, nil, []Instr{I1(OpCall, 9)}), "out of range"},
+	}
+	for _, c := range cases {
+		err := Validate(c.mod)
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", c.name, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateGlobalsAndData(t *testing.T) {
+	m := vmod(FuncType{}, nil, nil)
+	m.Globals = append(m.Globals, Global{Type: GlobalType{Type: I32}, Init: []Instr{ConstI32(5)}})
+	m.Datas = append(m.Datas, Data{Offset: []Instr{ConstI32(8)}, Bytes: []byte("x")})
+	if err := Validate(m); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+	m.Globals[0].Init = []Instr{ConstF64(1)}
+	if err := Validate(m); err == nil {
+		t.Error("global init type mismatch accepted")
+	}
+	m.Globals[0].Init = []Instr{ConstI32(1)}
+	m.Datas[0].Offset = []Instr{I(OpNop)}
+	if err := Validate(m); err == nil {
+		t.Error("non-constant data offset accepted")
+	}
+}
+
+func TestValidateGlobalSetImmutable(t *testing.T) {
+	m := vmod(FuncType{}, nil, []Instr{ConstI32(1), I1(OpGlobalSet, 0)})
+	m.Globals = append(m.Globals, Global{Type: GlobalType{Type: I32, Mutable: false}, Init: []Instr{ConstI32(0)}})
+	if err := Validate(m); err == nil || !strings.Contains(err.Error(), "immutable") {
+		t.Errorf("set of immutable global: %v", err)
+	}
+	m.Globals[0].Type.Mutable = true
+	if err := Validate(m); err != nil {
+		t.Errorf("set of mutable global rejected: %v", err)
+	}
+}
+
+func TestValidateTestModule(t *testing.T) {
+	// The round-trip test module from wasm_test.go must validate.
+	if err := Validate(testModule()); err != nil {
+		t.Errorf("testModule invalid: %v", err)
+	}
+}

@@ -1,0 +1,288 @@
+package wasm
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testModule builds a module exercising all sections.
+func testModule() *Module {
+	m := &Module{}
+	ti := m.AddType(FuncType{Params: []ValType{I32, F64}, Results: []ValType{I32}})
+	tv := m.AddType(FuncType{})
+	m.Imports = append(m.Imports,
+		Import{Module: "env", Name: "ext", Kind: KindFunc, TypeIdx: ti},
+		Import{Module: "env", Name: "mem", Kind: KindMemory, Mem: Limits{Min: 1, Max: 4, HasMax: true}},
+		Import{Module: "env", Name: "g", Kind: KindGlobal, Global: GlobalType{Type: I32, Mutable: true}},
+	)
+	m.Funcs = append(m.Funcs, Function{
+		TypeIdx: ti,
+		Locals:  []LocalDecl{{Count: 2, Type: I32}, {Count: 1, Type: F64}},
+		Body: []Instr{
+			I1(OpBlock, BlockTypeEmpty),
+			I1(OpLocalGet, 0),
+			I1(OpBrIf, 0),
+			ConstI32(42),
+			I1(OpLocalSet, 2),
+			I(OpEnd),
+			I1(OpLocalGet, 0),
+			Mem(OpF64Load, 3, 8),
+			I(OpDrop),
+			ConstF64(2.5),
+			I(OpDrop),
+			ConstF32(1.5),
+			I(OpDrop),
+			ConstI64(-7),
+			I(OpDrop),
+			ConstI32(42),
+			I1(OpLocalSet, 2),
+			I1(OpLocalGet, 0), // the function result a branch must carry
+			ConstI32(0),       // br_table index
+			Instr{Op: OpBrTable, Table: []uint32{0, 0}, Imm: 0},
+			I1(OpLocalGet, 0),
+			I(OpReturn),
+		},
+	})
+	m.Funcs = append(m.Funcs, Function{TypeIdx: tv, Body: []Instr{I(OpNop)}})
+	m.Tables = append(m.Tables, Table{Limits: Limits{Min: 2}})
+	m.Globals = append(m.Globals, Global{Type: GlobalType{Type: I32, Mutable: false}, Init: []Instr{ConstI32(1024)}})
+	m.Exports = append(m.Exports, Export{Name: "f", Kind: KindFunc, Index: 1})
+	start := uint32(2)
+	m.Start = &start
+	m.Elems = append(m.Elems, Elem{Offset: []Instr{ConstI32(0)}, Funcs: []uint32{1, 2}})
+	m.Datas = append(m.Datas, Data{Offset: []Instr{ConstI32(16)}, Bytes: []byte("hello")})
+	m.Customs = append(m.Customs, Custom{Name: ".debug_info", Bytes: []byte{1, 2, 3}})
+	return m
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := testModule()
+	bin, layout, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(layout.CodeOffsets) != 2 {
+		t.Fatalf("layout has %d code offsets, want 2", len(layout.CodeOffsets))
+	}
+	d, err := Decode(bin)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got := d.Module
+	if !reflect.DeepEqual(got.Types, m.Types) {
+		t.Errorf("Types = %v, want %v", got.Types, m.Types)
+	}
+	if !reflect.DeepEqual(got.Imports, m.Imports) {
+		t.Errorf("Imports mismatch:\n got %+v\nwant %+v", got.Imports, m.Imports)
+	}
+	if !reflect.DeepEqual(got.Funcs, m.Funcs) {
+		t.Errorf("Funcs mismatch:\n got %+v\nwant %+v", got.Funcs, m.Funcs)
+	}
+	if !reflect.DeepEqual(got.Globals, m.Globals) || !reflect.DeepEqual(got.Exports, m.Exports) {
+		t.Errorf("Globals/Exports mismatch")
+	}
+	if got.Start == nil || *got.Start != 2 {
+		t.Errorf("Start = %v, want 2", got.Start)
+	}
+	if !reflect.DeepEqual(got.Elems, m.Elems) || !reflect.DeepEqual(got.Datas, m.Datas) {
+		t.Errorf("Elems/Datas mismatch")
+	}
+	if !reflect.DeepEqual(got.Customs, m.Customs) {
+		t.Errorf("Customs mismatch: %+v", got.Customs)
+	}
+	if !reflect.DeepEqual(d.CodeOffsets, layout.CodeOffsets) {
+		t.Errorf("decoder code offsets %v != encoder layout %v", d.CodeOffsets, layout.CodeOffsets)
+	}
+	// The code offset must point at the function's size field.
+	for i, off := range layout.CodeOffsets {
+		if int(off) >= len(bin) {
+			t.Fatalf("offset %d out of file", off)
+		}
+		_ = i
+	}
+}
+
+func TestCodeOffsetsPointAtEntries(t *testing.T) {
+	m := testModule()
+	bin, layout, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encoding with more custom sections must not move code offsets.
+	m.Customs = append(m.Customs, Custom{Name: "extra", Bytes: bytes.Repeat([]byte{9}, 100)})
+	bin2, layout2, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(layout.CodeOffsets, layout2.CodeOffsets) {
+		t.Errorf("custom sections moved code offsets: %v vs %v", layout.CodeOffsets, layout2.CodeOffsets)
+	}
+	_ = bin
+	_ = bin2
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("not wasm")); err != ErrNotWasm {
+		t.Errorf("Decode(garbage) = %v, want ErrNotWasm", err)
+	}
+	if _, err := Decode(nil); err != ErrNotWasm {
+		t.Errorf("Decode(nil) = %v, want ErrNotWasm", err)
+	}
+	bad := []byte{0, 0x61, 0x73, 0x6d, 2, 0, 0, 0}
+	if _, err := Decode(bad); err == nil || strings.Contains(err.Error(), "not a") {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated section.
+	m := testModule()
+	bin, _, _ := Encode(m)
+	if _, err := Decode(bin[:len(bin)-2]); err == nil {
+		t.Error("truncated binary decoded without error")
+	}
+}
+
+func TestFuncTypeAt(t *testing.T) {
+	m := testModule()
+	ft, err := m.FuncTypeAt(0) // the import
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Params) != 2 {
+		t.Errorf("import signature params = %d, want 2", len(ft.Params))
+	}
+	ft, err = m.FuncTypeAt(2) // second module function
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Params) != 0 || len(ft.Results) != 0 {
+		t.Errorf("func 2 signature = %v", ft)
+	}
+	if _, err := m.FuncTypeAt(99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{ConstI32(42), "i32.const 42"},
+		{Mem(OpF64Load, 3, 8), "f64.load offset=8 align=3"},
+		{Mem(OpI32Load, 0, 0), "i32.load"},
+		{I1(OpLocalGet, 0), "local.get 0"},
+		{I(OpI32Eqz), "i32.eqz"},
+		{I1(OpBlock, BlockTypeEmpty), "block"},
+		{I1(OpIf, int64(I32)), "if (result i32)"},
+		{ConstF64(2.5), "f64.const 2.5"},
+		{Instr{Op: OpBrTable, Table: []uint32{1, 2}, Imm: 0}, "br_table 1 2 0"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestInstrTokens(t *testing.T) {
+	// Per Section 4.1: call omits the callee, loads omit alignment.
+	if got := I1(OpCall, 17).Tokens(); !reflect.DeepEqual(got, []string{"call"}) {
+		t.Errorf("call tokens = %v", got)
+	}
+	if got := Mem(OpF64Load, 3, 8).Tokens(); !reflect.DeepEqual(got, []string{"f64.load", "offset=8"}) {
+		t.Errorf("f64.load tokens = %v", got)
+	}
+	if got := ConstI32(42).Tokens(); !reflect.DeepEqual(got, []string{"i32.const", "42"}) {
+		t.Errorf("i32.const tokens = %v", got)
+	}
+}
+
+func TestBodyTokens(t *testing.T) {
+	body := []Instr{ConstI32(1), I1(OpLocalSet, 0), I(OpReturn)}
+	got := BodyTokens(body)
+	want := []string{"i32.const", "1", ";", "local.set", "0", ";", "return"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("BodyTokens = %v, want %v", got, want)
+	}
+}
+
+func TestAbstract(t *testing.T) {
+	if got := I1(OpLocalGet, 5).Abstract(); got != "local.get" {
+		t.Errorf("Abstract = %q", got)
+	}
+	if got := Mem(OpI32Load, 2, 8).Abstract(); got != "i32.load" {
+		t.Errorf("Abstract = %q", got)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	m := testModule()
+	text := Disassemble(m)
+	for _, want := range []string{"(module", "f64.load offset=8", "(export \"f\"", ".debug_info"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Disassemble output missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := DisassembleFunction(m, 99); err == nil {
+		t.Error("DisassembleFunction(99) should fail")
+	}
+}
+
+func TestOpcodeTableConsistency(t *testing.T) {
+	for op, info := range opTable {
+		if info.name == "" {
+			t.Errorf("opcode 0x%02x has no name", byte(op))
+		}
+		if !op.Known() {
+			t.Errorf("opcode %s not Known", info.name)
+		}
+	}
+	if Opcode(0xff).Known() {
+		t.Error("0xff should be unknown")
+	}
+	if got := Opcode(0xff).Name(); !strings.Contains(got, "0xff") {
+		t.Errorf("unknown opcode name = %q", got)
+	}
+}
+
+func TestQuickConstRoundTrip(t *testing.T) {
+	f := func(v int32, u int64, f32 float32, f64v float64) bool {
+		if math.IsNaN(float64(f32)) || math.IsNaN(f64v) {
+			return true
+		}
+		m := &Module{}
+		ti := m.AddType(FuncType{})
+		m.Funcs = append(m.Funcs, Function{TypeIdx: ti, Body: []Instr{
+			ConstI32(v), I(OpDrop),
+			ConstI64(u), I(OpDrop),
+			ConstF32(f32), I(OpDrop),
+			ConstF64(f64v), I(OpDrop),
+		}})
+		bin, _, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		d, err := Decode(bin)
+		if err != nil {
+			return false
+		}
+		b := d.Module.Funcs[0].Body
+		return b[0].Imm == int64(v) && b[2].Imm == u && b[4].F32 == f32 && b[6].F64 == f64v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddTypeDedups(t *testing.T) {
+	m := &Module{}
+	a := m.AddType(FuncType{Params: []ValType{I32}})
+	b := m.AddType(FuncType{Params: []ValType{I32}})
+	c := m.AddType(FuncType{Params: []ValType{I64}})
+	if a != b || a == c {
+		t.Errorf("AddType dedup broken: %d %d %d", a, b, c)
+	}
+}
