@@ -7,7 +7,10 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"sync"
@@ -19,7 +22,9 @@ import (
 	"repro/internal/dedup"
 	"repro/internal/extract"
 	"repro/internal/seq2seq"
+	"repro/internal/server"
 	"repro/internal/typelang"
+	"repro/internal/wasm"
 )
 
 // benchConfig returns the benchmark-scale pipeline configuration.
@@ -184,6 +189,59 @@ func BenchmarkPredictionLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tr.Predict(src, 5)
 	}
+}
+
+// BenchmarkServerPredict measures the serving subsystem's end-to-end
+// request latency over HTTP — beam-search inference on a cold cache vs the
+// LRU fast path on repeated identical functions (the case the paper's
+// dedup analysis shows dominates real object-file corpora).
+func BenchmarkServerPredict(b *testing.B) {
+	_, param := benchTask(b, core.Task{Variant: typelang.VariantLSW})
+	_, ret := benchTask(b, core.Task{Variant: typelang.VariantLSW, Return: true})
+	pred := &core.Predictor{Param: param, Return: ret, Opts: benchConfig().Extract}
+
+	obj, err := cc.Compile(`
+double first(double *xs, int n) {
+	if (xs != NULL && n > 0) { return xs[0]; }
+	return 0.0;
+}
+`, cc.Options{Debug: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, _, err := wasm.Encode(obj.Module)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, cacheSize int, prime bool) {
+		s, err := server.New(pred, server.Config{CacheSize: cacheSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		do := func() {
+			resp, err := http.Post(ts.URL+"/v1/predict?func=first", "application/wasm", bytes.NewReader(bin))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		if prime {
+			do()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do()
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, -1, false) })
+	b.Run("cached", func(b *testing.B) { run(b, 4096, true) })
 }
 
 // BenchmarkAblationWindowSize compares extraction with different window

@@ -1,6 +1,7 @@
 // Command snowwhite runs the SnowWhite type-prediction pipeline end to
 // end: dataset construction and statistics, per-task training and
-// evaluation (Table 5), and interactive prediction on compiled binaries.
+// evaluation (Table 5), interactive prediction on compiled binaries, and a
+// long-lived prediction service.
 //
 // Usage:
 //
@@ -8,19 +9,26 @@
 //	snowwhite eval    [-packages N] [-epochs N] [-task T] Table 5 / Figure 4
 //	snowwhite train   [-packages N] -out model.bin        train & save models
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
+//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642]
 //	snowwhite table1                                      Table 1
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/core"
-	"repro/internal/dwarf"
+	"repro/internal/server"
 	"repro/internal/typelang"
 	"repro/internal/wasm"
 )
@@ -41,6 +49,8 @@ func main() {
 		err = runTrain(args)
 	case "predict":
 		err = runPredict(args)
+	case "serve":
+		err = runServe(args)
 	case "table1":
 		fmt.Print(core.Table1())
 	default:
@@ -54,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|table1} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|serve|table1} [flags]")
 }
 
 type commonOpts struct {
@@ -157,21 +167,29 @@ func runTrain(args []string) error {
 	opts := commonFlags(fs)
 	out := fs.String("out", "snowwhite-model.bin", "output model file")
 	fs.Parse(args)
-	cfg := opts.config()
-	d, err := core.BuildDataset(cfg, logLine)
+	p, err := core.TrainPredictor(opts.config(), logLine)
 	if err != nil {
 		return err
 	}
-	logLine("training parameter model")
-	_, paramModel := d.RunTask(core.Task{Variant: typelang.VariantLSW}, logLine)
-	logLine("training return model")
-	_, retModel := d.RunTask(core.Task{Variant: typelang.VariantLSW, Return: true}, logLine)
-	p := &core.Predictor{Param: paramModel, Return: retModel, Opts: cfg.Extract}
 	if err := core.SavePredictor(p, *out); err != nil {
 		return err
 	}
 	logLine("saved predictor to " + *out)
 	return nil
+}
+
+// loadOrTrain returns a saved predictor when modelPath is set, otherwise
+// trains one from a fresh synthetic dataset.
+func loadOrTrain(modelPath string, opts commonOpts) (*core.Predictor, error) {
+	if modelPath != "" {
+		p, err := core.LoadPredictor(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		logLine("loaded predictor from " + modelPath)
+		return p, nil
+	}
+	return core.TrainPredictor(opts.config(), logLine)
 }
 
 func runPredict(args []string) error {
@@ -200,39 +218,24 @@ func runPredict(args []string) error {
 		bin = obj.Binary
 	}
 
-	var p *core.Predictor
-	if *modelPath != "" {
-		var err error
-		if p, err = core.LoadPredictor(*modelPath); err != nil {
-			return err
-		}
-		logLine("loaded predictor from " + *modelPath)
-	} else {
-		cfg := opts.config()
-		d, err := core.BuildDataset(cfg, logLine)
-		if err != nil {
-			return err
-		}
-		logLine("training parameter model")
-		_, paramModel := d.RunTask(core.Task{Variant: typelang.VariantLSW}, logLine)
-		logLine("training return model")
-		_, retModel := d.RunTask(core.Task{Variant: typelang.VariantLSW, Return: true}, logLine)
-		p = &core.Predictor{Param: paramModel, Return: retModel, Opts: cfg.Extract}
-	}
-
-	dec, err := wasm.Decode(bin)
+	p, err := loadOrTrain(*modelPath, opts)
 	if err != nil {
 		return err
 	}
-	dwarf.Strip(dec.Module) // predict as a reverse engineer would: no DWARF
-	m := dec.Module
+
+	// Decode once and strip the DWARF: prediction must run on the module a
+	// reverse engineer sees, not on a re-decode of the original bytes.
+	m, err := core.DecodeStripped(bin)
+	if err != nil {
+		return err
+	}
 	for fi := range m.Funcs {
 		name := exportName(m, fi)
 		if *funcName != "" && name != *funcName {
 			continue
 		}
 		fmt.Printf("\nfunction %s:\n", name)
-		preds, err := p.PredictBinary(bin, fi, *topK)
+		preds, err := p.PredictModule(m, fi, *topK)
 		if err != nil {
 			return err
 		}
@@ -249,6 +252,60 @@ func runPredict(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runServe starts the long-lived prediction service: it loads (or trains)
+// a predictor, serves POST /v1/predict, GET /healthz, and GET /metrics,
+// and drains in-flight work on SIGTERM/SIGINT.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	opts := commonFlags(fs)
+	modelPath := fs.String("model", "", "load a saved predictor instead of training one")
+	addr := fs.String("addr", ":8642", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 4096, "prediction cache entries (negative disables)")
+	maxBody := fs.Int64("max-body", 8<<20, "maximum upload size in bytes")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request prediction timeout")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	fs.Parse(args)
+
+	p, err := loadOrTrain(*modelPath, opts)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(p, server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logLine("serving on " + *addr + " (POST /v1/predict, GET /healthz, GET /metrics)")
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logLine(fmt.Sprintf("received %s, draining (up to %s)", sig, *drain))
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		logLine("drained, bye")
+		return nil
+	case err := <-errc:
+		return err
+	}
 }
 
 func exportName(m *wasm.Module, funcIdx int) string {

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/wasm"
+)
+
+// trainTinyPredictor trains the smallest useful predictor for concurrency
+// tests, exercising the shared TrainPredictor helper.
+func trainTinyPredictor(t *testing.T) *Predictor {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Corpus.Packages = 16
+	cfg.Model.Epochs = 1
+	p, err := TrainPredictor(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Param == nil || p.Return == nil {
+		t.Fatal("TrainPredictor returned incomplete predictor")
+	}
+	return p
+}
+
+// TestPredictorConcurrent hammers one Predictor from many goroutines over
+// a shared decoded module. The predict path must be read-only over model
+// state (run with -race), and beam search must stay deterministic: every
+// goroutine gets the result serial execution produces.
+func TestPredictorConcurrent(t *testing.T) {
+	p := trainTinyPredictor(t)
+	obj, err := cc.Compile(`
+double first(double *xs, int n) {
+	if (xs != NULL && n > 0) { return xs[0]; }
+	return 0.0;
+}
+int length(char *s) {
+	int n = 0;
+	while (s[n] != 0) { n = n + 1; }
+	return n;
+}
+`, cc.Options{Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, _, err := wasm.Encode(obj.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeStripped(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Custom(".debug_info"); got != nil {
+		t.Fatal("DecodeStripped left DWARF in the module")
+	}
+
+	// Serial ground truth per function.
+	want := make([]map[string][]TypePrediction, len(m.Funcs))
+	for fi := range m.Funcs {
+		w, err := p.PredictModule(m, fi, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[fi] = w
+	}
+
+	const goroutines = 32
+	const iters = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fi := (g + i) % len(m.Funcs)
+				got, err := p.PredictModule(m, fi, 3)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want[fi]) {
+					t.Errorf("goroutine %d: non-deterministic prediction for func %d", g, fi)
+					return
+				}
+				// Also exercise the decode-from-bytes entry point.
+				if i == 0 {
+					if _, err := p.PredictBinary(bin, fi, 3); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -3,16 +3,17 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/dwarf"
 	"repro/internal/extract"
 	"repro/internal/wasm"
 )
 
 // TypePrediction is one ranked prediction for a signature element.
 type TypePrediction struct {
-	Tokens []string
+	Tokens []string `json:"tokens"`
 	// Text is the space-joined token sequence, e.g.
 	// "pointer primitive float 64".
-	Text string
+	Text string `json:"text"`
 }
 
 // PredictParam predicts the high-level type of one parameter of a
@@ -57,15 +58,36 @@ func (p *Predictor) PredictReturn(m *wasm.Module, funcIdx, k int) ([]TypePredict
 	return wrap(p.Return.Predict(input, k)), nil
 }
 
-// PredictBinary decodes a binary and predicts all parameter and return
-// types of one function, returning them keyed by element name
-// ("param0".."paramN", "return").
-func (p *Predictor) PredictBinary(bin []byte, funcIdx, k int) (map[string][]TypePrediction, error) {
+// DecodeStripped decodes a wasm binary and strips its DWARF custom
+// sections, yielding the module exactly as a reverse engineer (or the
+// prediction server) sees it: code only, no ground truth. All prediction
+// entry points that start from raw bytes share this helper.
+func DecodeStripped(bin []byte) (*wasm.Module, error) {
 	d, err := wasm.Decode(bin)
 	if err != nil {
 		return nil, err
 	}
-	m := d.Module
+	dwarf.Strip(d.Module)
+	return d.Module, nil
+}
+
+// PredictBinary decodes a binary, strips its debug info, and predicts all
+// parameter and return types of one function, returning them keyed by
+// element name ("param0".."paramN", "return").
+func (p *Predictor) PredictBinary(bin []byte, funcIdx, k int) (map[string][]TypePrediction, error) {
+	m, err := DecodeStripped(bin)
+	if err != nil {
+		return nil, err
+	}
+	return p.PredictModule(m, funcIdx, k)
+}
+
+// PredictModule predicts all parameter and return types of one
+// module-defined function of an already-decoded (and typically stripped)
+// module. Callers that decode once and query many functions — the predict
+// CLI, the serving layer — use this to avoid re-decoding per query and to
+// guarantee predictions run on the module they inspected.
+func (p *Predictor) PredictModule(m *wasm.Module, funcIdx, k int) (map[string][]TypePrediction, error) {
 	if funcIdx < 0 || funcIdx >= len(m.Funcs) {
 		return nil, fmt.Errorf("core: function index %d out of range", funcIdx)
 	}

@@ -1,0 +1,24 @@
+package core
+
+import "repro/internal/typelang"
+
+// TrainPredictor builds the dataset for cfg and trains the two L_SW
+// production models — parameter and return prediction — returning the
+// Predictor artifact that `snowwhite train`, `snowwhite predict`, and the
+// serving layer all share. progress (may be nil) receives build and
+// training logs.
+func TrainPredictor(cfg Config, progress func(string)) (*Predictor, error) {
+	log := progress
+	if log == nil {
+		log = func(string) {}
+	}
+	d, err := BuildDataset(cfg, progress)
+	if err != nil {
+		return nil, err
+	}
+	log("training parameter model")
+	_, paramModel := d.RunTask(Task{Variant: typelang.VariantLSW}, progress)
+	log("training return model")
+	_, retModel := d.RunTask(Task{Variant: typelang.VariantLSW, Return: true}, progress)
+	return &Predictor{Param: paramModel, Return: retModel, Opts: cfg.Extract}, nil
+}

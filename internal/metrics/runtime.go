@@ -1,0 +1,244 @@
+// Runtime metrics: thread-safe counters, gauges, and latency histograms
+// with a plain-text exposition format, used by long-lived processes (the
+// prediction server) to report operational health. These complement the
+// paper-evaluation measures in this package (Accuracy, Distribution),
+// which score model quality offline.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc increments the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set assigns the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into cumulative buckets, plus a sum
+// and a count, in the style of a Prometheus histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []int64   // one per bound, non-cumulative
+	inf    int64     // observations above the last bound
+	sum    float64
+	n      int64
+}
+
+// DefBuckets are latency buckets in seconds, spanning sub-millisecond
+// cache hits through multi-second model inference.
+var DefBuckets = []float64{.001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// NewHistogram builds a histogram over the given ascending upper bounds;
+// nil uses DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.n++
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns an estimate of the q-quantile (0..1) assuming
+// observations sit at their bucket's upper bound; useful for coarse p50/p99
+// reporting without storing samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// metricKind tags a registered metric for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type registered struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in a Prometheus-compatible
+// plain-text format. Registration order is preserved in the output.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []registered
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(m registered) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic("metrics: duplicate metric " + m.name)
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(registered{name: name, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(registered{name: name, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram over the given upper
+// bounds (nil = DefBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(registered{name: name, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// WriteTo renders every registered metric in exposition format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	ms := append([]registered(nil), r.metrics...)
+	r.mu.Unlock()
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, m := range ms {
+		if m.help != "" {
+			if err := emit("# HELP %s %s\n", m.name, m.help); err != nil {
+				return total, err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			if err := emit("# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value()); err != nil {
+				return total, err
+			}
+		case kindGauge:
+			if err := emit("# TYPE %s gauge\n%s %d\n", m.name, m.name, m.g.Value()); err != nil {
+				return total, err
+			}
+		case kindHistogram:
+			if err := emit("# TYPE %s histogram\n", m.name); err != nil {
+				return total, err
+			}
+			m.h.mu.Lock()
+			bounds := append([]float64(nil), m.h.bounds...)
+			counts := append([]int64(nil), m.h.counts...)
+			inf, sum, n := m.h.inf, m.h.sum, m.h.n
+			m.h.mu.Unlock()
+			var cum int64
+			for i, ub := range bounds {
+				cum += counts[i]
+				if err := emit("%s_bucket{le=%q} %d\n", m.name, formatBound(ub), cum); err != nil {
+					return total, err
+				}
+			}
+			cum += inf
+			if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+				m.name, cum, m.name, sum, m.name, n); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Errorf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-2.605) > 1e-9 {
+		t.Errorf("sum = %g, want 2.605", got)
+	}
+	if q := h.Quantile(0.5); q != 0.1 {
+		t.Errorf("p50 = %g, want 0.1", q)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Errorf("p99 = %g, want +Inf", q)
+	}
+	if q := h.Quantile(0.2); q != 0.01 {
+		t.Errorf("p20 = %g, want 0.01", q)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Total requests.")
+	g := r.NewGauge("in_flight", "")
+	h := r.NewHistogram("latency_seconds", "Request latency.", []float64{0.1, 1})
+	c.Add(3)
+	g.Set(2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		"requests_total 3",
+		"# TYPE in_flight gauge",
+		"in_flight 2",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Gauge registered without help text must not emit a HELP line.
+	if strings.Contains(out, "# HELP in_flight") {
+		t.Errorf("unexpected HELP line for help-less metric:\n%s", out)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("x", "")
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(j) / 1000)
+			}
+			var sb strings.Builder
+			r.WriteTo(&sb)
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("counter = %d, want 16000", c.Value())
+	}
+	if h.Count() != 16000 {
+		t.Errorf("histogram count = %d, want 16000", h.Count())
+	}
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wasm"
+)
+
+// predictEnvelope is the JSON request body accepted by POST /v1/predict as
+// an alternative to a raw wasm body with query parameters.
+type predictEnvelope struct {
+	// WasmBase64 is the wasm binary, standard base64.
+	WasmBase64 string `json:"wasm_base64"`
+	// Func selects one function by export/debug name or decimal index
+	// (module-defined index space); empty predicts all defined functions.
+	Func string `json:"func,omitempty"`
+	// K is the number of ranked predictions per element (default
+	// Config.DefaultK, capped at Config.MaxK).
+	K int `json:"k,omitempty"`
+}
+
+// FunctionResult is the predictions for one function.
+type FunctionResult struct {
+	// Index is the function's index among module-defined functions.
+	Index int `json:"index"`
+	// Name is the export or debug name, when known.
+	Name string `json:"name,omitempty"`
+	// Elements maps "param0".."paramN" and "return" to ranked predictions.
+	Elements map[string][]core.TypePrediction `json:"elements"`
+}
+
+// PredictResponse is the body of a successful POST /v1/predict.
+type PredictResponse struct {
+	Functions []FunctionResult `json:"functions"`
+	// CacheHits counts elements of this response answered from the cache.
+	CacheHits int `json:"cache_hits"`
+}
+
+// errorResponse is the body of every non-2xx API answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.errors.Inc()
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.registry.WriteTo(w)
+}
+
+// readRequest extracts (binary, func selector, k) from either encoding of
+// the request.
+func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte, funcSel string, k int, ok bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, "", 0, false
+	}
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(ct) {
+	case "application/json":
+		var env predictEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return nil, "", 0, false
+		}
+		bin, err = base64.StdEncoding.DecodeString(env.WasmBase64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid wasm_base64: %v", err)
+			return nil, "", 0, false
+		}
+		funcSel, k = env.Func, env.K
+	default:
+		// Raw binary body (application/wasm, application/octet-stream, or
+		// unlabeled); selection comes from query parameters.
+		bin = body
+		funcSel = r.URL.Query().Get("func")
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			k, err = strconv.Atoi(ks)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "invalid k %q", ks)
+				return nil, "", 0, false
+			}
+		}
+	}
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	if len(bin) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty wasm binary")
+		return nil, "", 0, false
+	}
+	return bin, funcSel, k, true
+}
+
+// resolveFuncs maps the func selector to module-defined function indices.
+func resolveFuncs(m *wasm.Module, sel string) ([]int, error) {
+	if sel == "" {
+		all := make([]int, len(m.Funcs))
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	if idx, err := strconv.Atoi(sel); err == nil {
+		if idx < 0 || idx >= len(m.Funcs) {
+			return nil, fmt.Errorf("function index %d out of range (%d defined functions)", idx, len(m.Funcs))
+		}
+		return []int{idx}, nil
+	}
+	for fi := range m.Funcs {
+		abs := uint32(fi + m.NumImportedFuncs())
+		for _, e := range m.Exports {
+			if e.Kind == wasm.KindFunc && e.Index == abs && e.Name == sel {
+				return []int{fi}, nil
+			}
+		}
+		if m.Funcs[fi].Name == sel {
+			return []int{fi}, nil
+		}
+	}
+	return nil, fmt.Errorf("no function named %q", sel)
+}
+
+// funcName returns the export or debug name of a module-defined function.
+func funcName(m *wasm.Module, funcIdx int) string {
+	abs := uint32(funcIdx + m.NumImportedFuncs())
+	for _, e := range m.Exports {
+		if e.Kind == wasm.KindFunc && e.Index == abs {
+			return e.Name
+		}
+	}
+	return m.Funcs[funcIdx].Name
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+	s.met.inFlight.Inc()
+	defer s.met.inFlight.Dec()
+	start := time.Now()
+	defer func() { s.met.latency.Observe(time.Since(start).Seconds()) }()
+
+	bin, funcSel, k, ok := s.readRequest(w, r)
+	if !ok {
+		return
+	}
+	m, err := core.DecodeStripped(bin)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid wasm binary: %v", err)
+		return
+	}
+	funcs, err := resolveFuncs(m, funcSel)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	resp := PredictResponse{Functions: make([]FunctionResult, 0, len(funcs))}
+	var predictErr error
+	err = s.submit(ctx, func() {
+		for _, fi := range funcs {
+			elems, hits, err := s.predictFunc(ctx, m, fi, k)
+			resp.CacheHits += hits
+			if err != nil {
+				predictErr = err
+				return
+			}
+			resp.Functions = append(resp.Functions, FunctionResult{
+				Index:    fi,
+				Name:     funcName(m, fi),
+				Elements: elems,
+			})
+		}
+	})
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.met.rejected.Inc()
+		s.writeError(w, http.StatusServiceUnavailable, "server overloaded, retry later")
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Inc()
+		s.writeError(w, http.StatusGatewayTimeout, "prediction timed out after %s", s.cfg.RequestTimeout)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if predictErr != nil {
+		if errors.Is(predictErr, context.DeadlineExceeded) {
+			s.met.timeouts.Inc()
+			s.writeError(w, http.StatusGatewayTimeout, "prediction timed out after %s", s.cfg.RequestTimeout)
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, "prediction failed: %v", predictErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,306 @@
+// Package server turns a trained core.Predictor into a long-lived,
+// concurrent type-prediction service: an HTTP/JSON API over a bounded
+// worker pool, with an LRU prediction cache keyed by function content and
+// a plain-text metrics endpoint. This is the process boundary the paper's
+// downstream users (reverse-engineering pipelines, decompilers) integrate
+// against.
+//
+// Endpoints:
+//
+//	POST /v1/predict   wasm binary (raw body, or base64 in a JSON envelope)
+//	                   → ranked type predictions per parameter/return
+//	GET  /healthz      liveness + readiness
+//	GET  /metrics      request counts, latency histogram, cache hits
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wasm"
+)
+
+// Config tunes the service. The zero value of any field selects the
+// default noted on it.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8642").
+	Addr string
+	// Workers bounds concurrent model inference (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds prediction jobs waiting for a worker; beyond it
+	// requests are rejected with 503 (default 4×Workers).
+	QueueDepth int
+	// MaxBodyBytes rejects larger uploads with 413 (default 8 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's wait+inference time; on expiry
+	// the request gets 504 (default 60s).
+	RequestTimeout time.Duration
+	// CacheSize is the LRU capacity in cached elements; < 0 disables
+	// caching (default 4096).
+	CacheSize int
+	// MaxK caps the per-element beam width a client may request
+	// (default 10).
+	MaxK int
+	// DefaultK is the beam width when the client does not pass k
+	// (default 5).
+	DefaultK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8642"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 10
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = 5
+	}
+	return c
+}
+
+// serverMetrics is the service's operational instrumentation, exposed at
+// /metrics.
+type serverMetrics struct {
+	registry    *metrics.Registry
+	requests    *metrics.Counter
+	errors      *metrics.Counter
+	rejected    *metrics.Counter
+	timeouts    *metrics.Counter
+	predictions *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	inFlight    *metrics.Gauge
+	cacheSize   *metrics.Gauge
+	latency     *metrics.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		registry:    r,
+		requests:    r.NewCounter("snowwhite_requests_total", "Predict requests received."),
+		errors:      r.NewCounter("snowwhite_request_errors_total", "Predict requests answered with a 4xx/5xx status."),
+		rejected:    r.NewCounter("snowwhite_requests_rejected_total", "Predict requests rejected because the worker queue was full."),
+		timeouts:    r.NewCounter("snowwhite_request_timeouts_total", "Predict requests that exceeded the request timeout."),
+		predictions: r.NewCounter("snowwhite_predictions_total", "Signature elements predicted (model inference runs)."),
+		cacheHits:   r.NewCounter("snowwhite_cache_hits_total", "Prediction cache hits."),
+		cacheMisses: r.NewCounter("snowwhite_cache_misses_total", "Prediction cache misses."),
+		inFlight:    r.NewGauge("snowwhite_in_flight_requests", "Predict requests currently being handled."),
+		cacheSize:   r.NewGauge("snowwhite_cache_entries", "Prediction cache occupancy."),
+		latency:     r.NewHistogram("snowwhite_request_seconds", "Predict request latency in seconds.", nil),
+	}
+}
+
+// Server serves type predictions from one loaded predictor.
+type Server struct {
+	cfg   Config
+	pred  *core.Predictor
+	cache *lruCache
+	met   *serverMetrics
+	mux   *http.ServeMux
+
+	jobs     chan func()
+	workerWG sync.WaitGroup
+	stopPool sync.Once
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a Server around a loaded predictor and starts its worker
+// pool. Callers must eventually call Shutdown (or Close) to stop the
+// workers.
+func New(pred *core.Predictor, cfg Config) (*Server, error) {
+	if pred == nil || (pred.Param == nil && pred.Return == nil) {
+		return nil, errors.New("server: predictor has no models")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pred:  pred,
+		cache: newLRUCache(cfg.CacheSize),
+		met:   newServerMetrics(),
+		jobs:  make(chan func(), cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for embedding or tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for job := range s.jobs {
+		job()
+	}
+}
+
+// errQueueFull reports a full worker queue (mapped to 503).
+var errQueueFull = errors.New("server: worker queue full")
+
+// submit enqueues fn on the worker pool and waits for it to finish or for
+// ctx to expire. A job whose context has already expired when a worker
+// picks it up is skipped, so abandoned requests never burn inference time.
+func (s *Server) submit(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		if ctx.Err() != nil {
+			return
+		}
+		fn()
+	}
+	select {
+	case s.jobs <- job:
+	default:
+		return errQueueFull
+	}
+	select {
+	case <-done:
+		if err := ctx.Err(); err != nil {
+			// The worker skipped the job because we timed out first.
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// predictElement answers one (function, element, k) query, consulting the
+// cache before running beam search.
+func (s *Server) predictElement(m *wasm.Module, fnHash [32]byte, funcIdx int, elem string, paramIdx, k int) ([]core.TypePrediction, bool, error) {
+	key := cacheKey{fn: fnHash, elem: elem, k: k}
+	if preds, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
+		return preds, true, nil
+	}
+	s.met.cacheMisses.Inc()
+	var preds []core.TypePrediction
+	var err error
+	if elem == "return" {
+		preds, err = s.pred.PredictReturn(m, funcIdx, k)
+	} else {
+		preds, err = s.pred.PredictParam(m, funcIdx, paramIdx, k)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	s.met.predictions.Inc()
+	s.cache.put(key, preds)
+	s.met.cacheSize.Set(int64(s.cache.len()))
+	return preds, false, nil
+}
+
+// predictFunc predicts every signature element of one module-defined
+// function, mirroring core.PredictModule but with per-element caching and
+// cancellation between elements.
+func (s *Server) predictFunc(ctx context.Context, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
+	sig, err := m.FuncTypeAt(uint32(funcIdx + m.NumImportedFuncs()))
+	if err != nil {
+		return nil, 0, err
+	}
+	fnHash := funcHash(m, funcIdx)
+	out := make(map[string][]core.TypePrediction, len(sig.Params)+1)
+	hits := 0
+	for pi := range sig.Params {
+		if err := ctx.Err(); err != nil {
+			return nil, hits, err
+		}
+		if s.pred.Param == nil {
+			break
+		}
+		preds, hit, err := s.predictElement(m, fnHash, funcIdx, fmt.Sprintf("param%d", pi), pi, k)
+		if err != nil {
+			return nil, hits, err
+		}
+		if hit {
+			hits++
+		}
+		out[fmt.Sprintf("param%d", pi)] = preds
+	}
+	if len(sig.Results) > 0 && s.pred.Return != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, hits, err
+		}
+		preds, hit, err := s.predictElement(m, fnHash, funcIdx, "return", 0, k)
+		if err != nil {
+			return nil, hits, err
+		}
+		if hit {
+			hits++
+		}
+		out["return"] = preds
+	}
+	return out, hits, nil
+}
+
+// ListenAndServe runs the HTTP service on cfg.Addr until Shutdown. It
+// returns http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) ListenAndServe() error {
+	srv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.ListenAndServe()
+}
+
+// Shutdown gracefully stops the service: it stops accepting connections,
+// waits (up to ctx) for in-flight requests to finish, then drains and
+// stops the worker pool.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	s.stopPool.Do(func() {
+		close(s.jobs)
+	})
+	s.workerWG.Wait()
+	return err
+}
+
+// Close is Shutdown with a short drain deadline, for tests and defers.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

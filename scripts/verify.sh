@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repo verification: static checks, build, and the full test suite under
+# the race detector (the serving subsystem and predictor are exercised
+# concurrently). Usage: scripts/verify.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+echo "verify: OK"
