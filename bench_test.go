@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -242,6 +243,38 @@ double first(double *xs, int n) {
 	}
 	b.Run("uncached", func(b *testing.B) { run(b, -1, false) })
 	b.Run("cached", func(b *testing.B) { run(b, 4096, true) })
+}
+
+// BenchmarkBuildDataset measures the parallel dataset pipeline
+// (generate → compile → dedup → extract) at 1, 2, and NumCPU workers.
+// EXPERIMENTS.md records the measured speedup; the outputs are
+// byte-identical at every width (TestPipelineDeterminism), so this
+// benchmark is purely about wall clock. Scale the corpus with
+// SNOWWHITE_BENCH_PIPELINE_PACKAGES.
+func BenchmarkBuildDataset(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Corpus.Packages = envInt("SNOWWHITE_BENCH_PIPELINE_PACKAGES", 60)
+	widths := []int{1, 2, runtime.NumCPU(), 4}
+	seen := map[int]bool{}
+	for _, j := range widths {
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			c := cfg
+			c.Parallelism = j
+			var d *core.Dataset
+			for i := 0; i < b.N; i++ {
+				var err error
+				d, err = core.BuildDataset(c, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(d.Samples)), "samples")
+		})
+	}
 }
 
 // BenchmarkAblationWindowSize compares extraction with different window

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	snowwhite stats   [-packages N]                      dataset stats + Tables 2-4
+//	snowwhite stats   [-packages N] [-j N]               dataset stats + Tables 2-4
 //	snowwhite eval    [-packages N] [-epochs N] [-task T] Table 5 / Figure 4
-//	snowwhite train   [-packages N] -out model.bin        train & save models
+//	snowwhite train   [-packages N] [-j N] -out model.bin train & save models
+//
+// The -j flag bounds the dataset pipeline's worker pool (0 = NumCPU);
+// any worker count produces a byte-identical dataset.
+//
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
 //	snowwhite serve   {-model model.bin | -packages N} [-addr :8642]
 //	snowwhite table1                                      Table 1
@@ -72,6 +76,7 @@ type commonOpts struct {
 	epochs   *int
 	seed     *int64
 	testFrac *float64
+	jobs     *int
 }
 
 func commonFlags(fs *flag.FlagSet) commonOpts {
@@ -80,6 +85,7 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		epochs:   fs.Int("epochs", 3, "training epochs"),
 		seed:     fs.Int64("seed", 1, "corpus seed"),
 		testFrac: fs.Float64("testfrac", 0.02, "validation/test package fraction (paper: 0.02)"),
+		jobs:     fs.Int("j", 0, "dataset pipeline workers (0 = NumCPU); any value builds a byte-identical dataset"),
 	}
 }
 
@@ -90,6 +96,7 @@ func (o commonOpts) config() core.Config {
 	cfg.Model.Epochs = *o.epochs
 	cfg.Split.Valid = *o.testFrac
 	cfg.Split.Test = *o.testFrac
+	cfg.Parallelism = *o.jobs
 	return cfg
 }
 

@@ -1,0 +1,91 @@
+package bpe
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomToken draws a wasm-instruction-shaped token (the vocabulary the
+// pipeline's BPE model actually sees: mnemonics, immediates, offsets).
+func randomToken(r *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz"
+	const punct = ".=_0123456789"
+	n := 1 + r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		if r.Intn(3) == 0 {
+			b[i] = punct[r.Intn(len(punct))]
+		} else {
+			b[i] = alpha[r.Intn(len(alpha))]
+		}
+	}
+	return string(b)
+}
+
+// TestSerializeRoundTripProperty: for randomized vocabularies,
+// Save→Load→Save must be a byte-level identity, the loaded model must
+// encode exactly like the original, and Decode must invert Encode. The
+// parallel pipeline's determinism gate compares vocabularies across
+// runs, so serialization itself has to be canonical.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		freq := map[string]int{}
+		for i := 0; i < 5+r.Intn(60); i++ {
+			freq[randomToken(r)] += 1 + r.Intn(50)
+		}
+		m := Learn(freq, 20+r.Intn(300))
+
+		var b1 bytes.Buffer
+		if err := m.Save(&b1); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b2 bytes.Buffer
+		if err := loaded.Save(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("trial %d: encode→decode→encode not identity (%d vs %d bytes)", trial, b1.Len(), b2.Len())
+		}
+		if loaded.VocabSize() != m.VocabSize() || loaded.NumMerges() != m.NumMerges() {
+			t.Fatalf("trial %d: loaded model shape differs", trial)
+		}
+
+		// The loaded model must tokenize identically, and decoding must
+		// restore the original token sequence — both on in-vocabulary
+		// tokens and on never-seen ones.
+		var tokens []string
+		for w := range freq {
+			tokens = append(tokens, w)
+			if len(tokens) == 8 {
+				break
+			}
+		}
+		for i := 0; i < 4; i++ {
+			tokens = append(tokens, randomToken(r))
+		}
+		e1, e2 := m.Encode(tokens), loaded.Encode(tokens)
+		if !reflect.DeepEqual(e1, e2) {
+			t.Fatalf("trial %d: loaded model encodes differently:\n%v\n%v", trial, e1, e2)
+		}
+		if got := Decode(e1); !reflect.DeepEqual(got, tokens) {
+			t.Fatalf("trial %d: Decode(Encode(x)) != x:\n%v\n%v", trial, got, tokens)
+		}
+	}
+}
+
+// TestLoadRejectsGarbage: corrupt streams must error, not panic.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("Load accepted an empty stream")
+	}
+}

@@ -7,9 +7,6 @@
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/cc"
 	"repro/internal/corpus"
 	"repro/internal/dedup"
 	"repro/internal/extract"
@@ -31,6 +28,11 @@ type Config struct {
 	BPESrcVocab int
 	// SplitSeed keys the deterministic package split.
 	SplitSeed uint64
+	// Parallelism bounds the dataset pipeline's worker pool (the -j
+	// flag); 0 means runtime.NumCPU(). Any value produces byte-identical
+	// datasets: per-package seeding and order-resolved dedup make the
+	// build independent of worker count and scheduling.
+	Parallelism int
 	// Split holds the validation/test fractions (paper: 2%/2%). Small
 	// reproduction runs may raise them for statistically stabler test
 	// sets.
@@ -71,76 +73,10 @@ type Dataset struct {
 }
 
 // BuildDataset runs generation, compilation, dedup, extraction, capping,
-// naming, and splitting. progress (may be nil) receives coarse stage
-// updates.
+// naming, and splitting on the parallel pipeline (see pipeline.go).
+// progress (may be nil) receives coarse stage updates.
 func BuildDataset(cfg Config, progress func(string)) (*Dataset, error) {
-	say := func(format string, args ...any) {
-		if progress != nil {
-			progress(fmt.Sprintf(format, args...))
-		}
-	}
-	pkgs := corpus.Generate(cfg.Corpus)
-	say("generated %d packages", len(pkgs))
-
-	var bins []dedup.Binary
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			obj, err := cc.Compile(f.Source, cc.Options{FileName: f.Name, Debug: true})
-			if err != nil {
-				return nil, fmt.Errorf("core: compile %s: %w", f.Name, err)
-			}
-			bins = append(bins, dedup.Binary{Pkg: pkg.Name, Name: f.Name, Data: obj.Binary})
-		}
-	}
-	say("compiled %d object files", len(bins))
-
-	kept, stats, err := dedup.Dedup(bins, dedup.LevelBinary)
-	if err != nil {
-		return nil, err
-	}
-	say("%s", stats)
-
-	var samples []extract.Sample
-	for _, b := range kept {
-		s, err := extract.FromBinary(b.Pkg, b.Name, b.Data, cfg.Extract)
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, s...)
-	}
-	before := len(samples)
-	samples = split.CapPerPackage(samples, func(s extract.Sample) string { return s.Pkg })
-	say("extracted %d samples (%d after per-package cap)", before, len(samples))
-
-	// Common-name vocabulary over the whole dataset (Section 3.6).
-	names := typelang.NewNameStats()
-	for _, s := range samples {
-		names.Add(s.Pkg, s.Master)
-	}
-	common := names.Common(cfg.NameThreshold)
-	say("extracted %d common type names from %d packages", len(common), names.NumPackages())
-
-	pkgNames := make([]string, 0, len(pkgs))
-	for _, p := range pkgs {
-		pkgNames = append(pkgNames, p.Name)
-	}
-	fr := cfg.Split
-	if fr.Valid == 0 && fr.Test == 0 {
-		fr = split.PaperFractions()
-	}
-	parts := split.ByPackage(pkgNames, cfg.SplitSeed, fr)
-
-	return &Dataset{
-		Cfg:              cfg,
-		Samples:          samples,
-		Parts:            parts,
-		NameStats:        names,
-		CommonNames:      common,
-		CommonFilter:     typelang.FilterFunc(common),
-		DedupStats:       stats,
-		Packages:         len(pkgs),
-		SamplesBeforeCap: before,
-	}, nil
+	return BuildDatasetInstrumented(cfg, progress, nil)
 }
 
 // Part returns the split portion a sample belongs to.

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/corpus"
+	"repro/internal/dedup"
+	"repro/internal/extract"
+	"repro/internal/metrics"
+	"repro/internal/split"
+	"repro/internal/typelang"
+)
+
+// The parallel dataset pipeline. The paper's corpus (4,081 packages,
+// 300,905 object files) makes corpus construction, not modeling, the
+// throughput bottleneck; every per-package stage here is embarrassingly
+// parallel, so packages fan out over a bounded worker pool in two stages:
+//
+//	stage 1 (parallel): generate package → compile each file → dedup key
+//	barrier: all dedup keys observed
+//	stage 2 (parallel): resolve dedup verdicts → extract kept binaries
+//	merge in canonical package order → cap → names → split
+//
+// Determinism: every package's random stream is seeded from
+// (Corpus.Seed, pkgIdx) alone (corpus.GeneratePackage), dedup keeps the
+// canonical-order-minimal member of each equivalence class regardless of
+// observation order (dedup.Index), and results are merged by package
+// index — so worker count and goroutine scheduling never change a byte
+// of the output. TestPipelineDeterminism enforces -j 1 ≡ -j N.
+
+// PipelineMetrics instruments the dataset build with the same
+// counter/histogram primitives the prediction server exports; register
+// them on the server's Registry to surface build progress on /metrics.
+// A nil *PipelineMetrics disables instrumentation.
+type PipelineMetrics struct {
+	PackagesGenerated *metrics.Counter
+	BinariesCompiled  *metrics.Counter
+	BinariesKept      *metrics.Counter
+	DuplicatesDropped *metrics.Counter
+	SamplesExtracted  *metrics.Counter
+	GenerateSeconds   *metrics.Histogram
+	CompileSeconds    *metrics.Histogram
+	ExtractSeconds    *metrics.Histogram
+}
+
+// NewPipelineMetrics registers the pipeline's per-stage counters and
+// latency histograms on r.
+func NewPipelineMetrics(r *metrics.Registry) *PipelineMetrics {
+	return &PipelineMetrics{
+		PackagesGenerated: r.NewCounter("pipeline_packages_generated_total", "Synthetic packages generated."),
+		BinariesCompiled:  r.NewCounter("pipeline_binaries_compiled_total", "Object files compiled."),
+		BinariesKept:      r.NewCounter("pipeline_binaries_kept_total", "Binaries surviving deduplication."),
+		DuplicatesDropped: r.NewCounter("pipeline_duplicates_dropped_total", "Exact and near duplicates removed."),
+		SamplesExtracted:  r.NewCounter("pipeline_samples_extracted_total", "Samples extracted before per-package capping."),
+		GenerateSeconds:   r.NewHistogram("pipeline_generate_seconds", "Per-package source generation latency.", nil),
+		CompileSeconds:    r.NewHistogram("pipeline_compile_seconds", "Per-file compilation latency.", nil),
+		ExtractSeconds:    r.NewHistogram("pipeline_extract_seconds", "Per-binary sample extraction latency.", nil),
+	}
+}
+
+// discardPipelineMetrics returns an instance whose metrics are not
+// registered anywhere, so uninstrumented builds skip the nil checks.
+func discardPipelineMetrics() *PipelineMetrics {
+	return &PipelineMetrics{
+		PackagesGenerated: &metrics.Counter{},
+		BinariesCompiled:  &metrics.Counter{},
+		BinariesKept:      &metrics.Counter{},
+		DuplicatesDropped: &metrics.Counter{},
+		SamplesExtracted:  &metrics.Counter{},
+		GenerateSeconds:   metrics.NewHistogram(nil),
+		CompileSeconds:    metrics.NewHistogram(nil),
+		ExtractSeconds:    metrics.NewHistogram(nil),
+	}
+}
+
+// runWorkers fans indices 0..n-1 out over at most par workers and waits
+// for all of them.
+func runWorkers(par, n int, f func(int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// binUnit is one compiled object file awaiting its dedup verdict.
+type binUnit struct {
+	bin   dedup.Binary
+	key   dedup.Key
+	order uint64
+}
+
+// pkgUnit carries one package through the pipeline stages.
+type pkgUnit struct {
+	pkg     corpus.Package
+	bins    []binUnit
+	samples []extract.Sample
+	stats   dedup.Stats
+	err     error
+}
+
+// orderOf embeds the canonical corpus order (package-major, file-minor)
+// into a single comparable integer for the dedup index.
+func orderOf(pkgIdx, fileIdx int) uint64 { return uint64(pkgIdx)<<20 | uint64(fileIdx) }
+
+// BuildDatasetInstrumented is BuildDataset with per-stage metrics (pm may
+// be nil). cfg.Parallelism bounds the worker pool; 0 means
+// runtime.NumCPU().
+func BuildDatasetInstrumented(cfg Config, progress func(string), pm *PipelineMetrics) (*Dataset, error) {
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if pm == nil {
+		pm = discardPipelineMetrics()
+	}
+
+	n := cfg.Corpus.Packages
+	lib := corpus.NewLibrary(cfg.Corpus.Seed)
+	units := make([]pkgUnit, n)
+	index := dedup.NewIndex()
+
+	// Stage 1: generate + compile + dedup-key, fanned out over packages.
+	runWorkers(par, n, func(idx int) {
+		u := &units[idx]
+		start := time.Now()
+		u.pkg = corpus.GeneratePackage(cfg.Corpus, lib, idx)
+		pm.GenerateSeconds.ObserveSince(start)
+		pm.PackagesGenerated.Inc()
+		for fi, f := range u.pkg.Files {
+			cstart := time.Now()
+			obj, err := cc.Compile(f.Source, cc.Options{FileName: f.Name, Debug: true})
+			if err != nil {
+				u.err = fmt.Errorf("core: compile %s: %w", f.Name, err)
+				return
+			}
+			key, err := dedup.KeyOf(obj.Binary)
+			if err != nil {
+				u.err = fmt.Errorf("core: dedup key %s: %w", f.Name, err)
+				return
+			}
+			pm.CompileSeconds.ObserveSince(cstart)
+			pm.BinariesCompiled.Inc()
+			order := orderOf(idx, fi)
+			index.Observe(key, order)
+			u.bins = append(u.bins, binUnit{
+				bin:   dedup.Binary{Pkg: u.pkg.Name, Name: f.Name, Data: obj.Binary},
+				key:   key,
+				order: order,
+			})
+		}
+	})
+	// Lowest package index wins the error report, deterministically.
+	nbins := 0
+	for i := range units {
+		if units[i].err != nil {
+			return nil, units[i].err
+		}
+		nbins += len(units[i].bins)
+	}
+	say("generated %d packages", n)
+	say("compiled %d object files", nbins)
+
+	// Stage 2: every dedup key is observed, so verdicts are final;
+	// extract samples from kept binaries, fanned out over packages.
+	runWorkers(par, n, func(idx int) {
+		u := &units[idx]
+		for _, b := range u.bins {
+			v := index.Resolve(b.key, b.order, dedup.LevelBinary)
+			u.stats.Count(b.key, v)
+			if v != dedup.Keep {
+				pm.DuplicatesDropped.Inc()
+				continue
+			}
+			pm.BinariesKept.Inc()
+			estart := time.Now()
+			s, err := extract.FromBinary(b.bin.Pkg, b.bin.Name, b.bin.Data, cfg.Extract)
+			if err != nil {
+				u.err = err
+				return
+			}
+			pm.ExtractSeconds.ObserveSince(estart)
+			pm.SamplesExtracted.Add(int64(len(s)))
+			u.samples = append(u.samples, s...)
+		}
+	})
+
+	// Merge in canonical package order: the sample sequence and stats are
+	// exactly what the sequential pass over the flattened corpus produced.
+	var stats dedup.Stats
+	var samples []extract.Sample
+	pkgNames := make([]string, 0, n)
+	for i := range units {
+		if units[i].err != nil {
+			return nil, units[i].err
+		}
+		stats.Merge(units[i].stats)
+		samples = append(samples, units[i].samples...)
+		pkgNames = append(pkgNames, units[i].pkg.Name)
+	}
+	say("%s", stats)
+
+	before := len(samples)
+	samples = split.CapPerPackage(samples, func(s extract.Sample) string { return s.Pkg })
+	say("extracted %d samples (%d after per-package cap)", before, len(samples))
+
+	// Common-name vocabulary over the whole dataset (Section 3.6).
+	names := typelang.NewNameStats()
+	for _, s := range samples {
+		names.Add(s.Pkg, s.Master)
+	}
+	common := names.Common(cfg.NameThreshold)
+	say("extracted %d common type names from %d packages", len(common), names.NumPackages())
+
+	fr := cfg.Split
+	if fr.Valid == 0 && fr.Test == 0 {
+		fr = split.PaperFractions()
+	}
+	parts := split.ByPackage(pkgNames, cfg.SplitSeed, fr)
+
+	return &Dataset{
+		Cfg:              cfg,
+		Samples:          samples,
+		Parts:            parts,
+		NameStats:        names,
+		CommonNames:      common,
+		CommonFilter:     typelang.FilterFunc(common),
+		DedupStats:       stats,
+		Packages:         n,
+		SamplesBeforeCap: before,
+	}, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bpe"
+	"repro/internal/metrics"
+	"repro/internal/split"
+)
+
+// pipelineTestConfig is small enough that three full builds stay in the
+// seconds range, but large enough to exercise dedup (library duplication
+// and exact dups) and a three-way split.
+func pipelineTestConfig() Config {
+	cfg := testConfig()
+	cfg.Corpus.Packages = 14
+	return cfg
+}
+
+// fingerprint serializes everything the downstream training stages
+// consume: every sample with its split assignment (JSONL bytes), and the
+// BPE vocabulary learned from the train portion the way RunTask learns
+// it.
+func fingerprint(t *testing.T, d *Dataset) (jsonl []byte, vocab string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.ExportJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	freq := map[string]int{}
+	for _, s := range d.Samples {
+		if d.Part(s) != split.Train {
+			continue
+		}
+		for _, tok := range s.Input {
+			freq[tok]++
+		}
+	}
+	return buf.Bytes(), strings.Join(bpe.Learn(freq, d.Cfg.BPESrcVocab).Vocab(), " ")
+}
+
+// TestPipelineDeterminism is the regression gate for the parallel
+// pipeline: -j 1, -j 4, and -j 8 must produce byte-identical serialized
+// samples, identical split assignments, and an identical BPE vocabulary.
+func TestPipelineDeterminism(t *testing.T) {
+	build := func(j int) *Dataset {
+		cfg := pipelineTestConfig()
+		cfg.Parallelism = j
+		d, err := BuildDataset(cfg, nil)
+		if err != nil {
+			t.Fatalf("-j %d: %v", j, err)
+		}
+		return d
+	}
+	ref := build(1)
+	refJSONL, refVocab := fingerprint(t, ref)
+	if len(ref.Samples) == 0 || len(refVocab) == 0 {
+		t.Fatal("reference dataset is empty")
+	}
+	for _, j := range []int{4, 8} {
+		d := build(j)
+		jsonl, vocab := fingerprint(t, d)
+		if !bytes.Equal(jsonl, refJSONL) {
+			t.Errorf("-j %d: serialized samples differ from -j 1 (%d vs %d bytes)", j, len(jsonl), len(refJSONL))
+		}
+		if !reflect.DeepEqual(d.Parts, ref.Parts) {
+			t.Errorf("-j %d: split assignment differs from -j 1", j)
+		}
+		if vocab != refVocab {
+			t.Errorf("-j %d: BPE vocabulary differs from -j 1", j)
+		}
+		if d.DedupStats != ref.DedupStats {
+			t.Errorf("-j %d: dedup stats differ: %+v vs %+v", j, d.DedupStats, ref.DedupStats)
+		}
+		if d.SamplesBeforeCap != ref.SamplesBeforeCap || d.Packages != ref.Packages {
+			t.Errorf("-j %d: counts differ", j)
+		}
+	}
+}
+
+// TestPipelineRaceStress hammers the pipeline with far more workers than
+// packages — and two whole builds racing each other — to let the race
+// detector see every cross-goroutine interaction (cc.Compile, the
+// sharded dedup index, extraction). Mirrors the server concurrency tests;
+// wired into scripts/verify.sh.
+func TestPipelineRaceStress(t *testing.T) {
+	cfg := pipelineTestConfig()
+	cfg.Corpus.Packages = 8
+	cfg.Parallelism = 16
+
+	var wg sync.WaitGroup
+	out := make([]*Dataset, 2)
+	errs := make([]error, 2)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = BuildDataset(cfg, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("build %d: %v", i, err)
+		}
+	}
+	a, _ := fingerprint(t, out[0])
+	b, _ := fingerprint(t, out[1])
+	if !bytes.Equal(a, b) {
+		t.Error("two concurrent builds of the same config diverged")
+	}
+}
+
+// TestPipelineMetrics checks that an instrumented build records per-stage
+// counters consistent with the dataset it returns, and that the metrics
+// render through the server's exposition format.
+func TestPipelineMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pm := NewPipelineMetrics(reg)
+	cfg := pipelineTestConfig()
+	cfg.Parallelism = 4
+	d, err := BuildDatasetInstrumented(cfg, nil, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pm.PackagesGenerated.Value(); got != int64(d.Packages) {
+		t.Errorf("PackagesGenerated = %d, want %d", got, d.Packages)
+	}
+	if got := pm.BinariesCompiled.Value(); got != int64(d.DedupStats.BinariesBefore) {
+		t.Errorf("BinariesCompiled = %d, want %d", got, d.DedupStats.BinariesBefore)
+	}
+	if got := pm.BinariesKept.Value(); got != int64(d.DedupStats.BinariesAfter) {
+		t.Errorf("BinariesKept = %d, want %d", got, d.DedupStats.BinariesAfter)
+	}
+	wantDropped := int64(d.DedupStats.ExactDuplicates + d.DedupStats.NearDuplicates)
+	if got := pm.DuplicatesDropped.Value(); got != wantDropped {
+		t.Errorf("DuplicatesDropped = %d, want %d", got, wantDropped)
+	}
+	if got := pm.SamplesExtracted.Value(); got != int64(d.SamplesBeforeCap) {
+		t.Errorf("SamplesExtracted = %d, want %d", got, d.SamplesBeforeCap)
+	}
+	if pm.CompileSeconds.Count() != pm.BinariesCompiled.Value() {
+		t.Errorf("compile latency count %d != compiled %d", pm.CompileSeconds.Count(), pm.BinariesCompiled.Value())
+	}
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"pipeline_packages_generated_total", "pipeline_compile_seconds_bucket"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}

@@ -68,15 +68,37 @@ type Package struct {
 	Files []SourceFile
 }
 
-// Generate produces the synthetic corpus.
+// Generate produces the synthetic corpus. Each package is generated from
+// its own seed derived from (opts.Seed, index), so Generate(opts)[i] is
+// identical to GeneratePackage(opts, lib, i) and the corpus does not
+// depend on generation order — the property the parallel dataset
+// pipeline's determinism guarantee rests on.
 func Generate(opts Options) []Package {
-	r := rand.New(rand.NewSource(opts.Seed))
-	lib := buildLibrary(r)
+	lib := NewLibrary(opts.Seed)
 	pkgs := make([]Package, 0, opts.Packages)
 	for i := 0; i < opts.Packages; i++ {
-		pkgs = append(pkgs, genPackage(r, i, opts, lib))
+		pkgs = append(pkgs, GeneratePackage(opts, lib, i))
 	}
 	return pkgs
+}
+
+// GeneratePackage generates the idx-th package of the corpus described by
+// opts, independently of every other package: the package's random stream
+// is seeded from (opts.Seed, idx) alone. lib must come from
+// NewLibrary(opts.Seed). Safe for concurrent use across goroutines.
+func GeneratePackage(opts Options, lib *Library, idx int) Package {
+	r := rand.New(rand.NewSource(pkgSeed(opts.Seed, idx)))
+	return genPackage(r, idx, opts, lib)
+}
+
+// pkgSeed mixes the corpus seed and a package index into a per-package
+// seed (splitmix64 finalizer), so neighbouring indices get uncorrelated
+// random streams.
+func pkgSeed(seed int64, idx int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // pkgCtx accumulates the declarations one file needs.
@@ -115,7 +137,7 @@ var pkgPrefixes = []string{
 	"expat", "jpeg", "uv", "ev", "pcre", "icu", "xml", "ssl",
 }
 
-func genPackage(r *rand.Rand, idx int, opts Options, lib *library) Package {
+func genPackage(r *rand.Rand, idx int, opts Options, lib *Library) Package {
 	pkgName := fmt.Sprintf("%s-%d", pkgPrefixes[r.Intn(len(pkgPrefixes))], idx)
 	// ~55% of packages are "C++" (define classes): makes pointer-to-class
 	// the most common parameter type, as in Table 2.

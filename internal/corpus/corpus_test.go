@@ -3,6 +3,7 @@ package corpus
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/cc"
@@ -38,6 +39,46 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds produced identical corpora")
+	}
+}
+
+// TestGeneratePackageIndependent: generating package i alone, in reverse
+// order, or concurrently must reproduce Generate(opts)[i] exactly — the
+// property that lets the parallel pipeline fan packages out over workers
+// without changing the corpus.
+func TestGeneratePackageIndependent(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Packages = 8
+	all := Generate(opts)
+	lib := NewLibrary(opts.Seed)
+
+	for i := opts.Packages - 1; i >= 0; i-- {
+		p := GeneratePackage(opts, lib, i)
+		if p.Name != all[i].Name || len(p.Files) != len(all[i].Files) {
+			t.Fatalf("package %d differs when generated in isolation", i)
+		}
+		for j := range p.Files {
+			if p.Files[j].Source != all[i].Files[j].Source {
+				t.Fatalf("package %d file %d differs when generated in isolation", i, j)
+			}
+		}
+	}
+
+	// Concurrent generation over a shared library (run with -race).
+	got := make([]Package, opts.Packages)
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = GeneratePackage(opts, lib, i)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i].Files[0].Source != all[i].Files[0].Source {
+			t.Fatalf("package %d differs when generated concurrently", i)
+		}
 	}
 }
 

@@ -14,15 +14,23 @@ type libFunc struct {
 	needsFILE  bool
 }
 
-// library holds the shared function pool.
-type library struct {
+// Library holds the shared function pool. It is immutable once built, so
+// concurrent package generators may share one instance.
+type Library struct {
 	funcs []libFunc
+}
+
+// NewLibrary builds the library pool for a corpus seed. The shuffle
+// consumes the first draws of a dedicated rand stream, matching what
+// sequential generation historically produced for the same seed.
+func NewLibrary(seed int64) *Library {
+	return buildLibrary(rand.New(rand.NewSource(seed)))
 }
 
 // buildLibrary constructs a deterministic pool of library functions. The
 // rand source only shuffles the order they get sampled in.
-func buildLibrary(r *rand.Rand) *library {
-	lib := &library{}
+func buildLibrary(r *rand.Rand) *Library {
+	lib := &Library{}
 	add := func(f libFunc) { lib.funcs = append(lib.funcs, f) }
 
 	add(libFunc{

@@ -6,7 +6,6 @@
 package dedup
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -52,42 +51,30 @@ func (s Stats) String() string {
 }
 
 // Dedup retains one binary per equivalence class. The first occurrence
-// wins, so results are deterministic in input order.
+// wins, so results are deterministic in input order. It is a thin serial
+// driver over the order-resolving Index the parallel pipeline shares.
 func Dedup(bins []Binary, level Level) ([]Binary, Stats, error) {
 	var stats Stats
 	stats.BinariesBefore = len(bins)
 
-	seenExact := make(map[[32]byte]bool)
-	seenApprox := make(map[uint64]bool)
-	var kept []Binary
-	for _, b := range bins {
-		d, err := wasm.Decode(b.Data)
+	ix := NewIndex()
+	keys := make([]Key, len(bins))
+	for i, b := range bins {
+		k, err := KeyOf(b.Data)
 		if err != nil {
 			return nil, stats, fmt.Errorf("dedup: %s: %w", b.Name, err)
 		}
-		nf, ni := counts(d.Module)
-		stats.FunctionsBefore += nf
-		stats.InstructionsBefore += ni
-
-		exact := sha256.Sum256(b.Data)
-		if seenExact[exact] {
-			stats.ExactDuplicates++
-			continue
+		keys[i] = k
+		ix.Observe(k, uint64(i))
+	}
+	stats = Stats{}
+	var kept []Binary
+	for i, b := range bins {
+		v := ix.Resolve(keys[i], uint64(i), level)
+		stats.Count(keys[i], v)
+		if v == Keep {
+			kept = append(kept, b)
 		}
-		seenExact[exact] = true
-
-		if level == LevelBinary {
-			sig := Signature(d.Module)
-			if seenApprox[sig] {
-				stats.NearDuplicates++
-				continue
-			}
-			seenApprox[sig] = true
-		}
-		kept = append(kept, b)
-		stats.BinariesAfter++
-		stats.FunctionsAfter += nf
-		stats.InstructionsAfter += ni
 	}
 	return kept, stats, nil
 }

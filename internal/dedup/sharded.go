@@ -1,0 +1,161 @@
+package dedup
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/wasm"
+)
+
+// Key is the precomputed dedup identity of one binary: the exact content
+// hash, the abstracted-instruction signature, and the function and
+// instruction counts Stats aggregate. Computing keys is the expensive part
+// of deduplication (it decodes the binary); keys are designed to be
+// computed concurrently by pipeline workers, leaving only cheap map
+// lookups on the serial path.
+type Key struct {
+	Exact  [32]byte
+	Approx uint64
+	Funcs  int
+	Instrs int
+}
+
+// KeyOf decodes one binary and computes its dedup key.
+func KeyOf(data []byte) (Key, error) {
+	d, err := wasm.Decode(data)
+	if err != nil {
+		return Key{}, err
+	}
+	k := Key{Exact: sha256.Sum256(data), Approx: Signature(d.Module)}
+	k.Funcs, k.Instrs = counts(d.Module)
+	return k, nil
+}
+
+// nShards is the shard count of Index; a power of two so shard selection
+// is a mask.
+const nShards = 64
+
+// Index is a sharded concurrent first-occurrence index over dedup keys.
+// Workers Observe (key, order) pairs in any order and from any number of
+// goroutines; once all observations are in, Resolve classifies each
+// binary exactly as the sequential first-occurrence-wins scan would —
+// "first" meaning minimal order, not arrival time — so the result is
+// independent of worker count and scheduling.
+//
+// Orders must be unique across binaries and must embed the canonical
+// corpus order (the pipeline uses pkgIdx<<20 | fileIdx).
+type Index struct {
+	exact  [nShards]exactShard
+	approx [nShards]approxShard
+}
+
+type exactShard struct {
+	mu sync.Mutex
+	m  map[[32]byte]uint64
+}
+
+type approxShard struct {
+	mu sync.Mutex
+	m  map[uint64]uint64
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	ix := &Index{}
+	for i := range ix.exact {
+		ix.exact[i].m = make(map[[32]byte]uint64)
+		ix.approx[i].m = make(map[uint64]uint64)
+	}
+	return ix
+}
+
+// Observe records the binary at the given canonical order under its key,
+// keeping the minimum order per exact hash and per signature.
+func (ix *Index) Observe(k Key, order uint64) {
+	es := &ix.exact[k.Exact[0]&(nShards-1)]
+	es.mu.Lock()
+	if o, ok := es.m[k.Exact]; !ok || order < o {
+		es.m[k.Exact] = order
+	}
+	es.mu.Unlock()
+
+	as := &ix.approx[k.Approx&(nShards-1)]
+	as.mu.Lock()
+	if o, ok := as.m[k.Approx]; !ok || order < o {
+		as.m[k.Approx] = order
+	}
+	as.mu.Unlock()
+}
+
+// Verdict classifies one binary after all observations are in.
+type Verdict int
+
+// Verdicts, mirroring the sequential scan: a binary that is not the first
+// of its exact class is an exact duplicate; a first-of-exact-class binary
+// that is not the first of its signature class is a near duplicate.
+const (
+	Keep Verdict = iota
+	ExactDuplicate
+	NearDuplicate
+)
+
+// Resolve returns the verdict for the binary observed at order. It must
+// only be called after every Observe has completed (the pipeline
+// interposes a barrier); concurrent Resolve calls are safe.
+//
+// Equivalence with the sequential scan: the sequential algorithm only
+// registers a signature after a binary passes the exact filter, but the
+// globally order-minimal binary of a signature class is necessarily also
+// the order-minimal binary of its own exact class (any earlier
+// exact-equal binary would share the signature and precede it), so
+// taking minima over all observations yields the same keeper.
+func (ix *Index) Resolve(k Key, order uint64, level Level) Verdict {
+	es := &ix.exact[k.Exact[0]&(nShards-1)]
+	es.mu.Lock()
+	exactMin := es.m[k.Exact]
+	es.mu.Unlock()
+	if exactMin != order {
+		return ExactDuplicate
+	}
+	if level == LevelBinary {
+		as := &ix.approx[k.Approx&(nShards-1)]
+		as.mu.Lock()
+		approxMin := as.m[k.Approx]
+		as.mu.Unlock()
+		if approxMin != order {
+			return NearDuplicate
+		}
+	}
+	return Keep
+}
+
+// Count folds one classified binary into the stats.
+func (s *Stats) Count(k Key, v Verdict) {
+	s.BinariesBefore++
+	s.FunctionsBefore += k.Funcs
+	s.InstructionsBefore += k.Instrs
+	switch v {
+	case ExactDuplicate:
+		s.ExactDuplicates++
+	case NearDuplicate:
+		s.NearDuplicates++
+	default:
+		s.BinariesAfter++
+		s.FunctionsAfter += k.Funcs
+		s.InstructionsAfter += k.Instrs
+	}
+}
+
+// Merge adds o's counts into s. Addition is commutative, so merging
+// per-worker partial stats in any order gives the sequential totals; the
+// pipeline still merges in canonical package order for clarity.
+func (s *Stats) Merge(o Stats) {
+	s.BinariesBefore += o.BinariesBefore
+	s.BinariesAfter += o.BinariesAfter
+	s.FunctionsBefore += o.FunctionsBefore
+	s.FunctionsAfter += o.FunctionsAfter
+	s.InstructionsBefore += o.InstructionsBefore
+	s.InstructionsAfter += o.InstructionsAfter
+	s.ExactDuplicates += o.ExactDuplicates
+	s.NearDuplicates += o.NearDuplicates
+}

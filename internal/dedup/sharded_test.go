@@ -1,0 +1,159 @@
+package dedup
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/wasm"
+)
+
+// dupCorpus compiles a corpus with known exact and near duplicates:
+// identical sources (exact), sources differing only in immediates (near),
+// and genuinely distinct functions.
+func dupCorpus(t testing.TB) []Binary {
+	t.Helper()
+	srcs := []struct{ name, src string }{
+		{"a0.c", `int add7(int x) { return x + 7; }`},
+		{"a1.c", `int add7(int x) { return x + 7; }`}, // exact duplicate of a0
+		{"b0.c", `int add7(int x) { return x + 9; }`}, // near duplicate: immediates differ
+		{"c0.c", `double sq(double v) { return v * v; }`},
+		{"d0.c", `int len(char *s) { int n = 0; while (s[n] != 0) { n = n + 1; } return n; }`},
+	}
+	var bins []Binary
+	for i, s := range srcs {
+		// A fixed FileName makes byte-identical sources byte-identical
+		// binaries (the name is embedded in DWARF).
+		obj, err := cc.Compile(s.src, cc.Options{FileName: "unit.c", Debug: true})
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		bins = append(bins, Binary{Pkg: fmt.Sprintf("pkg%d", i), Name: s.name, Data: obj.Binary})
+	}
+	return bins
+}
+
+// sequentialDedup is the original first-occurrence-wins scan, kept as the
+// oracle the Index-based implementation must match.
+func sequentialDedup(t *testing.T, bins []Binary, level Level) ([]Binary, Stats) {
+	t.Helper()
+	var stats Stats
+	stats.BinariesBefore = len(bins)
+	seenExact := make(map[[32]byte]bool)
+	seenApprox := make(map[uint64]bool)
+	var kept []Binary
+	for _, b := range bins {
+		d, err := wasm.Decode(b.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf, ni := counts(d.Module)
+		stats.FunctionsBefore += nf
+		stats.InstructionsBefore += ni
+		exact := sha256.Sum256(b.Data)
+		if seenExact[exact] {
+			stats.ExactDuplicates++
+			continue
+		}
+		seenExact[exact] = true
+		if level == LevelBinary {
+			sig := Signature(d.Module)
+			if seenApprox[sig] {
+				stats.NearDuplicates++
+				continue
+			}
+			seenApprox[sig] = true
+		}
+		kept = append(kept, b)
+		stats.BinariesAfter++
+		stats.FunctionsAfter += nf
+		stats.InstructionsAfter += ni
+	}
+	return kept, stats
+}
+
+func names(bins []Binary) []string {
+	out := make([]string, len(bins))
+	for i, b := range bins {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// TestDedupMatchesSequentialOracle: the Index-backed Dedup must classify
+// a corpus with exact dups, near dups, and unique binaries exactly like
+// the original sequential scan, at both levels.
+func TestDedupMatchesSequentialOracle(t *testing.T) {
+	bins := dupCorpus(t)
+	for _, level := range []Level{LevelBinary, LevelExact} {
+		wantKept, wantStats := sequentialDedup(t, bins, level)
+		gotKept, gotStats, err := Dedup(bins, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(names(gotKept), names(wantKept)) {
+			t.Errorf("level %d: kept %v, want %v", level, names(gotKept), names(wantKept))
+		}
+		if gotStats != wantStats {
+			t.Errorf("level %d: stats %+v, want %+v", level, gotStats, wantStats)
+		}
+	}
+	// Sanity: the corpus actually exercises both duplicate kinds.
+	_, stats, err := Dedup(bins, LevelBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ExactDuplicates == 0 || stats.NearDuplicates == 0 {
+		t.Fatalf("corpus exercises no duplicates: %+v", stats)
+	}
+}
+
+// TestIndexOrderIndependent observes keys in many random permutations,
+// concurrently, and checks the resolution never changes: the kept set is
+// a function of the canonical orders alone, not of arrival order.
+func TestIndexOrderIndependent(t *testing.T) {
+	bins := dupCorpus(t)
+	keys := make([]Key, len(bins))
+	for i, b := range bins {
+		k, err := KeyOf(b.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	wantKept, wantStats := sequentialDedup(t, bins, LevelBinary)
+
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		perm := r.Perm(len(bins))
+		ix := NewIndex()
+		var wg sync.WaitGroup
+		for _, i := range perm {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ix.Observe(keys[i], uint64(i))
+			}(i)
+		}
+		wg.Wait()
+		var stats Stats
+		var kept []Binary
+		for i := range bins {
+			v := ix.Resolve(keys[i], uint64(i), LevelBinary)
+			stats.Count(keys[i], v)
+			if v == Keep {
+				kept = append(kept, bins[i])
+			}
+		}
+		if !reflect.DeepEqual(names(kept), names(wantKept)) {
+			t.Fatalf("trial %d: kept %v, want %v", trial, names(kept), names(wantKept))
+		}
+		if stats != wantStats {
+			t.Fatalf("trial %d: stats %+v, want %+v", trial, stats, wantStats)
+		}
+	}
+}

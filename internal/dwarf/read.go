@@ -21,6 +21,9 @@ func Read(s Sections) (*DIE, error) {
 	if int(unitLen)+4 > len(s.Info) {
 		return nil, fmt.Errorf("dwarf: unit length %d exceeds section size %d", unitLen, len(s.Info))
 	}
+	if int(unitLen)+4 < cuHeaderSize {
+		return nil, fmt.Errorf("dwarf: unit length %d does not cover the CU header", unitLen)
+	}
 	ver := binary.LittleEndian.Uint16(s.Info[4:])
 	if ver != 4 {
 		return nil, fmt.Errorf("dwarf: unsupported version %d", ver)
@@ -125,12 +128,18 @@ type infoParser struct {
 }
 
 func (p *infoParser) uleb() (uint64, error) {
+	if p.pos > len(p.buf) {
+		return 0, fmt.Errorf("dwarf: truncated .debug_info at 0x%x", p.pos)
+	}
 	v, n, err := leb128.Uint(p.buf[p.pos:], 64)
 	p.pos += n
 	return v, err
 }
 
 func (p *infoParser) sleb() (int64, error) {
+	if p.pos > len(p.buf) {
+		return 0, fmt.Errorf("dwarf: truncated .debug_info at 0x%x", p.pos)
+	}
 	v, n, err := leb128.Int(p.buf[p.pos:], 64)
 	p.pos += n
 	return v, err

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric.
@@ -70,6 +71,13 @@ func NewHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
 	return &Histogram{bounds: b, counts: make([]int64, len(b))}
+}
+
+// ObserveSince records the seconds elapsed since start — the common
+// latency-timing idiom shared by the server handlers and the dataset
+// pipeline stages.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
 }
 
 // Observe records one observation.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGauge(t *testing.T) {
@@ -46,6 +47,18 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	}
 	if q := h.Quantile(0.2); q != 0.01 {
 		t.Errorf("p20 = %g, want 0.01", q)
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveSince(time.Now().Add(-50 * time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	// ~50ms elapsed: the sum must be positive and well under a second.
+	if s := h.Sum(); s <= 0 || s >= 1 {
+		t.Errorf("sum = %g, want ~0.05", s)
 	}
 }
 

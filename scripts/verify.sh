@@ -1,7 +1,7 @@
 #!/bin/sh
 # Repo verification: static checks, build, and the full test suite under
-# the race detector (the serving subsystem and predictor are exercised
-# concurrently). Usage: scripts/verify.sh
+# the race detector (the serving subsystem, predictor, and dataset
+# pipeline are exercised concurrently). Usage: scripts/verify.sh
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,5 +10,10 @@ go vet ./...
 echo "== go build =="
 go build ./...
 echo "== go test -race =="
-go test -race ./...
+# The race detector slows model training ~10x; on a single-core host the
+# core suite alone exceeds go test's default 10m budget, so be explicit.
+go test -race -timeout 30m ./...
+echo "== pipeline determinism/race stress (-count=2 to vary scheduling) =="
+go test -race -count=2 -run 'TestPipeline(Determinism|RaceStress)|TestGeneratePackageIndependent|TestIndexOrderIndependent' \
+	./internal/core ./internal/corpus ./internal/dedup
 echo "verify: OK"
