@@ -397,3 +397,26 @@ func BenchmarkAblationEncoder(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEvalThroughput measures whole-task test-set evaluation at
+// increasing worker counts (the -j convention shared with the dataset
+// pipeline). The output is byte-identical at any width — TestEvalParallelismGolden
+// pins that — so only the wall time changes.
+func BenchmarkEvalThroughput(b *testing.B) {
+	task := core.Task{Variant: typelang.VariantLSW}
+	_, tr := benchTask(b, task)
+	d := benchDataset(b)
+	defer func() { d.Cfg.Parallelism = 0 }()
+	for _, par := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("j=%d", par), func(b *testing.B) {
+			d.Cfg.Parallelism = par
+			b.ResetTimer()
+			var res *core.TaskResult
+			for i := 0; i < b.N; i++ {
+				res = d.EvalTask(task, tr, nil)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.TestN)*float64(b.N)/b.Elapsed().Seconds(), "examples/s")
+		})
+	}
+}

@@ -7,10 +7,14 @@
 //
 //	snowwhite stats   [-packages N] [-j N]               dataset stats + Tables 2-4
 //	snowwhite eval    [-packages N] [-epochs N] [-task T] Table 5 / Figure 4
-//	snowwhite train   [-packages N] [-j N] -out model.bin train & save models
+//	snowwhite train   [-packages N] [-j N] [-checkpoint F] -out model.bin
 //
-// The -j flag bounds the dataset pipeline's worker pool (0 = NumCPU);
-// any worker count produces a byte-identical dataset.
+// The -j flag bounds the worker pools of the dataset pipeline, validation
+// scoring, and test-set evaluation (0 = NumCPU); any worker count produces
+// byte-identical datasets, losses, and predictions. `snowwhite train`
+// writes a checkpoint after every epoch (default <out>.ckpt) and, when
+// re-launched with the same flags, resumes from it instead of starting
+// over; the file is removed once the model is saved.
 //
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
 //	snowwhite serve   {-model model.bin | -packages N} [-addr :8642]
@@ -85,7 +89,7 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		epochs:   fs.Int("epochs", 3, "training epochs"),
 		seed:     fs.Int64("seed", 1, "corpus seed"),
 		testFrac: fs.Float64("testfrac", 0.02, "validation/test package fraction (paper: 0.02)"),
-		jobs:     fs.Int("j", 0, "dataset pipeline workers (0 = NumCPU); any value builds a byte-identical dataset"),
+		jobs:     fs.Int("j", 0, "worker pool size for the dataset pipeline and evaluation (0 = NumCPU); any value produces byte-identical output"),
 	}
 }
 
@@ -169,12 +173,23 @@ func runEval(args []string) error {
 }
 
 // runTrain trains parameter and return models and saves them to a file.
+// Training checkpoints after every epoch; a killed run re-launched with
+// the same flags resumes from the last checkpoint and converges to the
+// same model as an uninterrupted run.
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	opts := commonFlags(fs)
 	out := fs.String("out", "snowwhite-model.bin", "output model file")
+	ckpt := fs.String("checkpoint", "", "training checkpoint file (default <out>.ckpt; \"none\" disables)")
 	fs.Parse(args)
-	p, err := core.TrainPredictor(opts.config(), logLine)
+	ckptPath := *ckpt
+	switch ckptPath {
+	case "":
+		ckptPath = *out + ".ckpt"
+	case "none":
+		ckptPath = ""
+	}
+	p, err := core.TrainPredictorCheckpointed(opts.config(), ckptPath, logLine)
 	if err != nil {
 		return err
 	}
@@ -182,6 +197,11 @@ func runTrain(args []string) error {
 		return err
 	}
 	logLine("saved predictor to " + *out)
+	if ckptPath != "" {
+		if err := os.Remove(ckptPath); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -46,13 +46,83 @@ func (v *V) ZeroGrad() {
 	}
 }
 
-// Tape records the backward pass.
+// Tape records the backward pass. A recording tape (NewTape) retains a
+// backward closure — and therefore every intermediate value — for each
+// op, which is what training needs and exactly what inference must not
+// do: a beam search that appends maxLen × width decode steps to one
+// recording tape holds the whole search in memory. A forward tape
+// (NewForward) records nothing and can recycle intermediate storage
+// between decode steps through a Pool.
 type Tape struct {
 	backward []func()
+	// grad marks a recording tape; forward tapes skip all backward
+	// bookkeeping.
+	grad bool
+	// pool recycles value storage on forward tapes (may be nil).
+	pool *Pool
+	// live tracks pool-eligible values allocated since the last Keep or
+	// ReleaseExcept.
+	live []*V
 }
 
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
+// NewTape returns an empty recording tape for training.
+func NewTape() *Tape { return &Tape{grad: true} }
+
+// NewForward returns a forward-only tape: no backward closures are
+// recorded, so intermediates become garbage as soon as they are
+// unreferenced. pool (may be nil) additionally allows explicit storage
+// reuse via ReleaseExcept.
+func NewForward(pool *Pool) *Tape { return &Tape{pool: pool} }
+
+// Recording reports whether the tape retains a backward pass.
+func (t *Tape) Recording() bool { return t.grad }
+
+// new allocates an op output: fresh with gradient storage on recording
+// tapes, pool-recycled and gradient-free on forward tapes.
+func (t *Tape) new(r, c int) *V {
+	if t.grad {
+		return New(r, c)
+	}
+	var v *V
+	if t.pool != nil {
+		v = t.pool.get(r, c)
+	} else {
+		v = &V{R: r, C: c, W: make([]float64, r*c)}
+	}
+	t.live = append(t.live, v)
+	return v
+}
+
+// Keep marks every value allocated on the tape so far as permanent:
+// later ReleaseExcept calls will not recycle them. Beam search calls it
+// once after encoding, so the encoder outputs survive all decode steps.
+func (t *Tape) Keep() { t.live = t.live[:0] }
+
+// ReleaseExcept returns the values allocated since the last Keep or
+// ReleaseExcept to the tape's pool, except those listed in keep, which
+// stay tracked and are recycled by a later call once dropped from the
+// keep set. No-op on recording tapes (the backward pass needs every
+// value) and on pool-less forward tapes (the garbage collector already
+// reclaims unreferenced values).
+func (t *Tape) ReleaseExcept(keep ...*V) {
+	if t.grad || t.pool == nil {
+		t.live = t.live[:0]
+		return
+	}
+	keepSet := make(map[*V]bool, len(keep))
+	for _, v := range keep {
+		keepSet[v] = true
+	}
+	kept := t.live[:0]
+	for _, v := range t.live {
+		if keepSet[v] {
+			kept = append(kept, v)
+		} else {
+			t.pool.put(v)
+		}
+	}
+	t.live = kept
+}
 
 func (t *Tape) record(f func()) {
 	t.backward = append(t.backward, f)
@@ -74,13 +144,15 @@ func (t *Tape) MatMul(a, b *V) *V {
 	if a.C != b.R {
 		panic(fmt.Sprintf("ad: MatMul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := New(a.R, b.C)
+	out := t.new(a.R, b.C)
 	matmul(out.W, a.W, b.W, a.R, a.C, b.C)
-	t.record(func() {
-		// dA += dOut @ B^T ; dB += A^T @ dOut
-		matmulNT(a.G, out.G, b.W, a.R, b.C, a.C)
-		matmulTN(b.G, a.W, out.G, a.C, a.R, b.C)
-	})
+	if t.grad {
+		t.record(func() {
+			// dA += dOut @ B^T ; dB += A^T @ dOut
+			matmulNT(a.G, out.G, b.W, a.R, b.C, a.C)
+			matmulTN(b.G, a.W, out.G, a.C, a.R, b.C)
+		})
+	}
 	return out
 }
 
@@ -140,7 +212,7 @@ func matmulTN(out, a, b []float64, r, k, c int) {
 // Add returns a + b. b may be a [1,C] row vector, broadcast over a's rows.
 func (t *Tape) Add(a, b *V) *V {
 	if b.R == 1 && a.C == b.C && a.R != 1 {
-		out := New(a.R, a.C)
+		out := t.new(a.R, a.C)
 		for i := 0; i < a.R; i++ {
 			for j := 0; j < a.C; j++ {
 				out.W[i*a.C+j] = a.W[i*a.C+j] + b.W[j]
@@ -158,92 +230,104 @@ func (t *Tape) Add(a, b *V) *V {
 		return out
 	}
 	sameShape("Add", a, b)
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] + b.W[i]
 	}
-	t.record(func() {
-		for i := range out.G {
-			a.G[i] += out.G[i]
-			b.G[i] += out.G[i]
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				a.G[i] += out.G[i]
+				b.G[i] += out.G[i]
+			}
+		})
+	}
 	return out
 }
 
 // Sub returns a - b (same shape).
 func (t *Tape) Sub(a, b *V) *V {
 	sameShape("Sub", a, b)
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] - b.W[i]
 	}
-	t.record(func() {
-		for i := range out.G {
-			a.G[i] += out.G[i]
-			b.G[i] -= out.G[i]
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				a.G[i] += out.G[i]
+				b.G[i] -= out.G[i]
+			}
+		})
+	}
 	return out
 }
 
 // Mul returns the elementwise product a * b.
 func (t *Tape) Mul(a, b *V) *V {
 	sameShape("Mul", a, b)
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * b.W[i]
 	}
-	t.record(func() {
-		for i := range out.G {
-			a.G[i] += out.G[i] * b.W[i]
-			b.G[i] += out.G[i] * a.W[i]
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				a.G[i] += out.G[i] * b.W[i]
+				b.G[i] += out.G[i] * a.W[i]
+			}
+		})
+	}
 	return out
 }
 
 // Scale returns a * s for a scalar constant s.
 func (t *Tape) Scale(a *V, s float64) *V {
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * s
 	}
-	t.record(func() {
-		for i := range out.G {
-			a.G[i] += out.G[i] * s
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				a.G[i] += out.G[i] * s
+			}
+		})
+	}
 	return out
 }
 
 // Sigmoid returns the elementwise logistic function.
 func (t *Tape) Sigmoid(a *V) *V {
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
 	}
-	t.record(func() {
-		for i := range out.G {
-			y := out.W[i]
-			a.G[i] += out.G[i] * y * (1 - y)
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				y := out.W[i]
+				a.G[i] += out.G[i] * y * (1 - y)
+			}
+		})
+	}
 	return out
 }
 
 // Tanh returns the elementwise hyperbolic tangent.
 func (t *Tape) Tanh(a *V) *V {
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = math.Tanh(a.W[i])
 	}
-	t.record(func() {
-		for i := range out.G {
-			y := out.W[i]
-			a.G[i] += out.G[i] * (1 - y*y)
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				y := out.W[i]
+				a.G[i] += out.G[i] * (1 - y*y)
+			}
+		})
+	}
 	return out
 }
 
@@ -257,7 +341,7 @@ func (t *Tape) ConcatCols(vs ...*V) *V {
 		}
 		c += v.C
 	}
-	out := New(r, c)
+	out := t.new(r, c)
 	off := 0
 	for _, v := range vs {
 		for i := 0; i < r; i++ {
@@ -265,17 +349,19 @@ func (t *Tape) ConcatCols(vs ...*V) *V {
 		}
 		off += v.C
 	}
-	t.record(func() {
-		off := 0
-		for _, v := range vs {
-			for i := 0; i < r; i++ {
-				for j := 0; j < v.C; j++ {
-					v.G[i*v.C+j] += out.G[i*c+off+j]
+	if t.grad {
+		t.record(func() {
+			off := 0
+			for _, v := range vs {
+				for i := 0; i < r; i++ {
+					for j := 0; j < v.C; j++ {
+						v.G[i*v.C+j] += out.G[i*c+off+j]
+					}
 				}
+				off += v.C
 			}
-			off += v.C
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -284,38 +370,42 @@ func (t *Tape) SliceCols(a *V, lo, hi int) *V {
 	if lo < 0 || hi > a.C || lo >= hi {
 		panic(fmt.Sprintf("ad: SliceCols [%d,%d) of %d cols", lo, hi, a.C))
 	}
-	out := New(a.R, hi-lo)
+	out := t.new(a.R, hi-lo)
 	for i := 0; i < a.R; i++ {
 		copy(out.W[i*out.C:(i+1)*out.C], a.W[i*a.C+lo:i*a.C+hi])
 	}
-	t.record(func() {
-		for i := 0; i < a.R; i++ {
-			for j := 0; j < out.C; j++ {
-				a.G[i*a.C+lo+j] += out.G[i*out.C+j]
+	if t.grad {
+		t.record(func() {
+			for i := 0; i < a.R; i++ {
+				for j := 0; j < out.C; j++ {
+					a.G[i*a.C+lo+j] += out.G[i*out.C+j]
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
 // Rows gathers the given rows of a into a new matrix (used for embedding
 // lookup); backward scatter-adds.
 func (t *Tape) Rows(a *V, idx []int) *V {
-	out := New(len(idx), a.C)
+	out := t.new(len(idx), a.C)
 	for i, id := range idx {
 		if id < 0 || id >= a.R {
 			panic(fmt.Sprintf("ad: Rows index %d out of %d", id, a.R))
 		}
 		copy(out.W[i*a.C:(i+1)*a.C], a.W[id*a.C:(id+1)*a.C])
 	}
-	ids := append([]int(nil), idx...)
-	t.record(func() {
-		for i, id := range ids {
-			for j := 0; j < a.C; j++ {
-				a.G[id*a.C+j] += out.G[i*a.C+j]
+	if t.grad {
+		ids := append([]int(nil), idx...)
+		t.record(func() {
+			for i, id := range ids {
+				for j := 0; j < a.C; j++ {
+					a.G[id*a.C+j] += out.G[i*a.C+j]
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -326,7 +416,7 @@ func (t *Tape) Dropout(a *V, p float64, rng func() float64) *V {
 	if p <= 0 {
 		return a
 	}
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	mask := make([]float64, len(a.W))
 	scale := 1 / (1 - p)
 	for i := range a.W {
@@ -335,11 +425,13 @@ func (t *Tape) Dropout(a *V, p float64, rng func() float64) *V {
 			out.W[i] = a.W[i] * scale
 		}
 	}
-	t.record(func() {
-		for i := range out.G {
-			a.G[i] += out.G[i] * mask[i]
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				a.G[i] += out.G[i] * mask[i]
+			}
+		})
+	}
 	return out
 }
 

@@ -48,25 +48,27 @@ func (t *Tape) SoftmaxCrossEntropy(logits *V, targets []int, weights []float64) 
 			loss -= weights[i] * math.Log(p)
 		}
 	}
-	out := New(1, 1)
+	out := t.new(1, 1)
 	out.W[0] = loss / norm
-	tg := append([]int(nil), targets...)
-	wt := append([]float64(nil), weights...)
-	t.record(func() {
-		g := out.G[0] / norm
-		for i := 0; i < B; i++ {
-			if wt[i] == 0 {
-				continue
-			}
-			for j := 0; j < Vc; j++ {
-				d := probs[i*Vc+j]
-				if j == tg[i] {
-					d -= 1
+	if t.grad {
+		tg := append([]int(nil), targets...)
+		wt := append([]float64(nil), weights...)
+		t.record(func() {
+			g := out.G[0] / norm
+			for i := 0; i < B; i++ {
+				if wt[i] == 0 {
+					continue
 				}
-				logits.G[i*Vc+j] += g * wt[i] * d
+				for j := 0; j < Vc; j++ {
+					d := probs[i*Vc+j]
+					if j == tg[i] {
+						d -= 1
+					}
+					logits.G[i*Vc+j] += g * wt[i] * d
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -99,7 +101,7 @@ func (t *Tape) AttnScores(dec, enc *V, T int) *V {
 	if enc.R != B*T || enc.C != H {
 		panic(fmt.Sprintf("ad: AttnScores enc %dx%d for B=%d T=%d H=%d", enc.R, enc.C, B, T, H))
 	}
-	out := New(B, T)
+	out := t.new(B, T)
 	for b := 0; b < B; b++ {
 		db := dec.W[b*H : (b+1)*H]
 		for tt := 0; tt < T; tt++ {
@@ -111,24 +113,26 @@ func (t *Tape) AttnScores(dec, enc *V, T int) *V {
 			out.W[b*T+tt] = s
 		}
 	}
-	t.record(func() {
-		for b := 0; b < B; b++ {
-			db := dec.W[b*H : (b+1)*H]
-			dg := dec.G[b*H : (b+1)*H]
-			for tt := 0; tt < T; tt++ {
-				g := out.G[b*T+tt]
-				if g == 0 {
-					continue
-				}
-				eb := enc.W[(b*T+tt)*H : (b*T+tt+1)*H]
-				eg := enc.G[(b*T+tt)*H : (b*T+tt+1)*H]
-				for j := 0; j < H; j++ {
-					dg[j] += g * eb[j]
-					eg[j] += g * db[j]
+	if t.grad {
+		t.record(func() {
+			for b := 0; b < B; b++ {
+				db := dec.W[b*H : (b+1)*H]
+				dg := dec.G[b*H : (b+1)*H]
+				for tt := 0; tt < T; tt++ {
+					g := out.G[b*T+tt]
+					if g == 0 {
+						continue
+					}
+					eb := enc.W[(b*T+tt)*H : (b*T+tt+1)*H]
+					eg := enc.G[(b*T+tt)*H : (b*T+tt+1)*H]
+					for j := 0; j < H; j++ {
+						dg[j] += g * eb[j]
+						eg[j] += g * db[j]
+					}
 				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -139,7 +143,7 @@ func (t *Tape) SoftmaxRowsMasked(a *V, mask []float64) *V {
 	if len(mask) != B*T {
 		panic("ad: SoftmaxRowsMasked mask length mismatch")
 	}
-	out := New(B, T)
+	out := t.new(B, T)
 	for b := 0; b < B; b++ {
 		max := math.Inf(-1)
 		for tt := 0; tt < T; tt++ {
@@ -162,18 +166,20 @@ func (t *Tape) SoftmaxRowsMasked(a *V, mask []float64) *V {
 			out.W[b*T+tt] /= sum
 		}
 	}
-	t.record(func() {
-		for b := 0; b < B; b++ {
-			// dL/dx_i = y_i * (g_i - sum_j g_j y_j)
-			dot := 0.0
-			for tt := 0; tt < T; tt++ {
-				dot += out.G[b*T+tt] * out.W[b*T+tt]
+	if t.grad {
+		t.record(func() {
+			for b := 0; b < B; b++ {
+				// dL/dx_i = y_i * (g_i - sum_j g_j y_j)
+				dot := 0.0
+				for tt := 0; tt < T; tt++ {
+					dot += out.G[b*T+tt] * out.W[b*T+tt]
+				}
+				for tt := 0; tt < T; tt++ {
+					a.G[b*T+tt] += out.W[b*T+tt] * (out.G[b*T+tt] - dot)
+				}
 			}
-			for tt := 0; tt < T; tt++ {
-				a.G[b*T+tt] += out.W[b*T+tt] * (out.G[b*T+tt] - dot)
-			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -185,7 +191,7 @@ func (t *Tape) WeightedSum(alpha, enc *V, H int) *V {
 	if enc.R != B*T || enc.C != H {
 		panic("ad: WeightedSum shape mismatch")
 	}
-	out := New(B, H)
+	out := t.new(B, H)
 	for b := 0; b < B; b++ {
 		ob := out.W[b*H : (b+1)*H]
 		for tt := 0; tt < T; tt++ {
@@ -199,22 +205,24 @@ func (t *Tape) WeightedSum(alpha, enc *V, H int) *V {
 			}
 		}
 	}
-	t.record(func() {
-		for b := 0; b < B; b++ {
-			og := out.G[b*H : (b+1)*H]
-			for tt := 0; tt < T; tt++ {
-				eb := enc.W[(b*T+tt)*H : (b*T+tt+1)*H]
-				eg := enc.G[(b*T+tt)*H : (b*T+tt+1)*H]
-				w := alpha.W[b*T+tt]
-				s := 0.0
-				for j := 0; j < H; j++ {
-					s += og[j] * eb[j]
-					eg[j] += og[j] * w
+	if t.grad {
+		t.record(func() {
+			for b := 0; b < B; b++ {
+				og := out.G[b*H : (b+1)*H]
+				for tt := 0; tt < T; tt++ {
+					eb := enc.W[(b*T+tt)*H : (b*T+tt+1)*H]
+					eg := enc.G[(b*T+tt)*H : (b*T+tt+1)*H]
+					w := alpha.W[b*T+tt]
+					s := 0.0
+					for j := 0; j < H; j++ {
+						s += og[j] * eb[j]
+						eg[j] += og[j] * w
+					}
+					alpha.G[b*T+tt] += s
 				}
-				alpha.G[b*T+tt] += s
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -224,7 +232,7 @@ func (t *Tape) WeightedSum(alpha, enc *V, H int) *V {
 func (t *Tape) StackRows(vs []*V) *V {
 	T := len(vs)
 	B, C := vs[0].R, vs[0].C
-	out := New(B*T, C)
+	out := t.new(B*T, C)
 	for tt, v := range vs {
 		if v.R != B || v.C != C {
 			panic("ad: StackRows shape mismatch")
@@ -233,15 +241,17 @@ func (t *Tape) StackRows(vs []*V) *V {
 			copy(out.W[(b*T+tt)*C:(b*T+tt+1)*C], v.W[b*C:(b+1)*C])
 		}
 	}
-	t.record(func() {
-		for tt, v := range vs {
-			for b := 0; b < B; b++ {
-				for j := 0; j < C; j++ {
-					v.G[b*C+j] += out.G[(b*T+tt)*C+j]
+	if t.grad {
+		t.record(func() {
+			for tt, v := range vs {
+				for b := 0; b < B; b++ {
+					for j := 0; j < C; j++ {
+						v.G[b*C+j] += out.G[(b*T+tt)*C+j]
+					}
 				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -251,21 +261,23 @@ func (t *Tape) MaskRows(a *V, mask []float64) *V {
 	if len(mask) != a.R {
 		panic("ad: MaskRows mask length mismatch")
 	}
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := 0; i < a.R; i++ {
 		if mask[i] != 0 {
 			copy(out.W[i*a.C:(i+1)*a.C], a.W[i*a.C:(i+1)*a.C])
 		}
 	}
-	t.record(func() {
-		for i := 0; i < a.R; i++ {
-			if mask[i] != 0 {
-				for j := 0; j < a.C; j++ {
-					a.G[i*a.C+j] += out.G[i*a.C+j]
+	if t.grad {
+		t.record(func() {
+			for i := 0; i < a.R; i++ {
+				if mask[i] != 0 {
+					for j := 0; j < a.C; j++ {
+						a.G[i*a.C+j] += out.G[i*a.C+j]
+					}
 				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -277,7 +289,7 @@ func (t *Tape) Blend(a, b *V, mask []float64) *V {
 	if len(mask) != a.R {
 		panic("ad: Blend mask length mismatch")
 	}
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := 0; i < a.R; i++ {
 		src := b
 		if mask[i] != 0 {
@@ -285,16 +297,18 @@ func (t *Tape) Blend(a, b *V, mask []float64) *V {
 		}
 		copy(out.W[i*a.C:(i+1)*a.C], src.W[i*a.C:(i+1)*a.C])
 	}
-	t.record(func() {
-		for i := 0; i < a.R; i++ {
-			dst := b
-			if mask[i] != 0 {
-				dst = a
+	if t.grad {
+		t.record(func() {
+			for i := 0; i < a.R; i++ {
+				dst := b
+				if mask[i] != 0 {
+					dst = a
+				}
+				for j := 0; j < a.C; j++ {
+					dst.G[i*a.C+j] += out.G[i*a.C+j]
+				}
 			}
-			for j := 0; j < a.C; j++ {
-				dst.G[i*a.C+j] += out.G[i*a.C+j]
-			}
-		}
-	})
+		})
+	}
 	return out
 }

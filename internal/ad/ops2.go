@@ -4,19 +4,21 @@ import "math"
 
 // ReLU returns the elementwise rectifier max(0, x).
 func (t *Tape) ReLU(a *V) *V {
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range a.W {
 		if a.W[i] > 0 {
 			out.W[i] = a.W[i]
 		}
 	}
-	t.record(func() {
-		for i := range out.G {
-			if a.W[i] > 0 {
-				a.G[i] += out.G[i]
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				if a.W[i] > 0 {
+					a.G[i] += out.G[i]
+				}
 			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -28,7 +30,7 @@ func (t *Tape) LayerNorm(a, gain, bias *V) *V {
 	if gain.C != C || bias.C != C || gain.R != 1 || bias.R != 1 {
 		panic("ad: LayerNorm parameter shape mismatch")
 	}
-	out := New(R, C)
+	out := t.new(R, C)
 	means := make([]float64, R)
 	invStd := make([]float64, R)
 	norm := make([]float64, R*C) // cached normalized values for backward
@@ -53,26 +55,28 @@ func (t *Tape) LayerNorm(a, gain, bias *V) *V {
 			out.W[i*C+j] = nx*gain.W[j] + bias.W[j]
 		}
 	}
-	t.record(func() {
-		for i := 0; i < R; i++ {
-			// dL/dnorm_j = g_j * gain_j; then the standard layernorm
-			// backward through mean and variance.
-			var sumDn, sumDnN float64
-			dn := make([]float64, C)
-			for j := 0; j < C; j++ {
-				g := out.G[i*C+j]
-				gain.G[j] += g * norm[i*C+j]
-				bias.G[j] += g
-				dn[j] = g * gain.W[j]
-				sumDn += dn[j]
-				sumDnN += dn[j] * norm[i*C+j]
+	if t.grad {
+		t.record(func() {
+			for i := 0; i < R; i++ {
+				// dL/dnorm_j = g_j * gain_j; then the standard layernorm
+				// backward through mean and variance.
+				var sumDn, sumDnN float64
+				dn := make([]float64, C)
+				for j := 0; j < C; j++ {
+					g := out.G[i*C+j]
+					gain.G[j] += g * norm[i*C+j]
+					bias.G[j] += g
+					dn[j] = g * gain.W[j]
+					sumDn += dn[j]
+					sumDnN += dn[j] * norm[i*C+j]
+				}
+				is := invStd[i]
+				for j := 0; j < C; j++ {
+					a.G[i*C+j] += is * (dn[j] - sumDn/float64(C) - norm[i*C+j]*sumDnN/float64(C))
+				}
 			}
-			is := invStd[i]
-			for j := 0; j < C; j++ {
-				a.G[i*C+j] += is * (dn[j] - sumDn/float64(C) - norm[i*C+j]*sumDnN/float64(C))
-			}
-		}
-	})
+		})
+	}
 	return out
 }
 
@@ -82,14 +86,16 @@ func (t *Tape) AddRowsConst(a *V, c []float64) *V {
 	if len(c) != len(a.W) {
 		panic("ad: AddRowsConst length mismatch")
 	}
-	out := New(a.R, a.C)
+	out := t.new(a.R, a.C)
 	for i := range a.W {
 		out.W[i] = a.W[i] + c[i]
 	}
-	t.record(func() {
-		for i := range out.G {
-			a.G[i] += out.G[i]
-		}
-	})
+	if t.grad {
+		t.record(func() {
+			for i := range out.G {
+				a.G[i] += out.G[i]
+			}
+		})
+	}
 	return out
 }

@@ -1,0 +1,42 @@
+package ad
+
+// Pool recycles the storage of forward-only values, keyed by element
+// count. Beam search allocates the same tensor shapes at every decode
+// step; drawing them from a Pool and releasing them between steps keeps
+// a Predict call's allocation footprint bounded by one step's working
+// set instead of the whole search (maxLen × width steps).
+//
+// A Pool is not safe for concurrent use: give each goroutine its own
+// (Model.Predict and the parallel evaluators do this internally).
+type Pool struct {
+	free map[int][]*V
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{free: map[int][]*V{}} }
+
+// get returns a zeroed [r,c] value, reusing released storage of the same
+// element count when available. Pooled values carry no gradient storage;
+// they only ever live on forward tapes, which never run Backward.
+func (p *Pool) get(r, c int) *V {
+	n := r * c
+	if vs := p.free[n]; len(vs) > 0 {
+		v := vs[len(vs)-1]
+		p.free[n] = vs[:len(vs)-1]
+		v.R, v.C = r, c
+		for i := range v.W {
+			v.W[i] = 0
+		}
+		return v
+	}
+	return &V{R: r, C: c, W: make([]float64, n)}
+}
+
+// put returns a value's storage to the pool. The caller must not use v
+// after releasing it.
+func (p *Pool) put(v *V) {
+	if len(v.W) == 0 {
+		return
+	}
+	p.free[len(v.W)] = append(p.free[len(v.W)], v)
+}

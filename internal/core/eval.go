@@ -1,0 +1,41 @@
+package core
+
+import "repro/internal/metrics"
+
+// EvalMetrics instruments task evaluation with the same
+// counter/histogram primitives as the dataset pipeline and the
+// prediction server; register them on the server's Registry to surface
+// evaluation progress on /metrics. A nil *EvalMetrics disables
+// instrumentation.
+type EvalMetrics struct {
+	ModelExamples    *metrics.Counter
+	BaselineExamples *metrics.Counter
+	PredictSeconds   *metrics.Histogram // per-example beam-search latency
+	BaselineSeconds  *metrics.Histogram // per-example baseline lookup latency
+	EvalSeconds      *metrics.Histogram // whole-task evaluation wall time
+}
+
+// NewEvalMetrics registers the evaluation counters and latency
+// histograms on r.
+func NewEvalMetrics(r *metrics.Registry) *EvalMetrics {
+	return &EvalMetrics{
+		ModelExamples:    r.NewCounter("eval_model_examples_total", "Test examples scored by the seq2seq model."),
+		BaselineExamples: r.NewCounter("eval_baseline_examples_total", "Test examples scored by the t_low baseline."),
+		PredictSeconds:   r.NewHistogram("eval_predict_seconds", "Per-example beam-search latency.", nil),
+		BaselineSeconds:  r.NewHistogram("eval_baseline_seconds", "Per-example baseline prediction latency.", nil),
+		EvalSeconds:      r.NewHistogram("eval_task_seconds", "Whole-task evaluation wall time.", nil),
+	}
+}
+
+// discardEvalMetrics returns an instance whose metrics are not
+// registered anywhere, so uninstrumented evaluations skip the nil
+// checks.
+func discardEvalMetrics() *EvalMetrics {
+	return &EvalMetrics{
+		ModelExamples:    &metrics.Counter{},
+		BaselineExamples: &metrics.Counter{},
+		PredictSeconds:   metrics.NewHistogram(nil),
+		BaselineSeconds:  metrics.NewHistogram(nil),
+		EvalSeconds:      metrics.NewHistogram(nil),
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/seq2seq"
+	"repro/internal/split"
+	"repro/internal/typelang"
+)
+
+// TestEvalParallelismGolden pins the acceptance criterion that evaluation
+// output — per-example predictions and the aggregated TaskResult — is
+// byte-identical at -j 1, -j 4, and -j 8.
+func TestEvalParallelismGolden(t *testing.T) {
+	d := buildTestDataset(t)
+	task := Task{Variant: typelang.VariantLSW}
+	tr, err := d.TrainTask(task, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	test := d.realize(task, split.Test)
+	srcs := make([][]string, len(test))
+	for i, s := range test {
+		srcs[i] = tr.encodeSrc(s.src)
+	}
+
+	d.Cfg.Parallelism = 1
+	goldenPreds := seq2seq.EvalParallel(tr.Model, srcs, 5, 1, nil)
+	goldenRes := d.EvalTask(task, tr, nil)
+
+	for _, par := range []int{4, 8} {
+		d.Cfg.Parallelism = par
+		if preds := seq2seq.EvalParallel(tr.Model, srcs, 5, par, nil); !reflect.DeepEqual(preds, goldenPreds) {
+			t.Errorf("-j %d: per-example predictions differ from -j 1", par)
+		}
+		if res := d.EvalTask(task, tr, nil); !reflect.DeepEqual(res, goldenRes) {
+			t.Errorf("-j %d: TaskResult differs from -j 1:\n%+v\nvs\n%+v", par, res, goldenRes)
+		}
+	}
+}
+
+func TestEvalMetricsInstrumentation(t *testing.T) {
+	d := buildTestDataset(t)
+	task := Task{Variant: typelang.VariantLSW}
+	reg := metrics.NewRegistry()
+	em := NewEvalMetrics(reg)
+	res, _, err := d.RunTaskInstrumented(task, em, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := em.ModelExamples.Value(); got != int64(res.TestN) {
+		t.Errorf("ModelExamples = %d, want %d", got, res.TestN)
+	}
+	if got := em.BaselineExamples.Value(); got != int64(res.TestN) {
+		t.Errorf("BaselineExamples = %d, want %d", got, res.TestN)
+	}
+	if em.PredictSeconds.Count() != int64(res.TestN) {
+		t.Errorf("PredictSeconds observed %d examples", em.PredictSeconds.Count())
+	}
+	if em.EvalSeconds.Count() != 1 {
+		t.Errorf("EvalSeconds observed %d tasks", em.EvalSeconds.Count())
+	}
+	var rendered bytes.Buffer
+	if _, err := reg.WriteTo(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered.String(), "eval_model_examples_total") {
+		t.Error("eval metrics missing from registry render")
+	}
+}
+
+// TestTrainPredictorCheckpointResume kills a checkpointed training run
+// mid-way through the second stage (after the param model finished and
+// one return-model epoch checkpointed), then reruns against the same
+// checkpoint path and demands the same saved models as an uninterrupted
+// run — the acceptance criterion for `snowwhite train` kill-tolerance.
+func TestTrainPredictorCheckpointResume(t *testing.T) {
+	cfg := testConfig()
+	cfg.Corpus.Packages = 16
+	cfg.Model.Epochs = 1 // scaled up by the small-task schedule
+
+	full, err := TrainPredictor(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	killed := errors.New("killed")
+	checkpointInterrupt = func(stage string, _ []byte) error {
+		if stage == "return" {
+			return killed
+		}
+		return nil
+	}
+	_, err = TrainPredictorCheckpointed(cfg, ckpt, nil)
+	checkpointInterrupt = nil
+	if !errors.Is(err, killed) {
+		t.Fatalf("interrupted run returned %v, want injected kill", err)
+	}
+
+	st, err := loadTrainCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Done["param"]; !ok {
+		t.Fatal("param stage not recorded as done at kill time")
+	}
+	if st.Pending != "return" || len(st.PendingCkpt) == 0 {
+		t.Fatalf("pending stage = %q (ckpt %d bytes), want mid-return", st.Pending, len(st.PendingCkpt))
+	}
+
+	var logs []string
+	resumed, err := TrainPredictorCheckpointed(cfg, ckpt, func(s string) { logs = append(logs, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(logs, "\n"), "resuming from checkpoint") {
+		t.Errorf("resume not reported in logs:\n%s", strings.Join(logs, "\n"))
+	}
+
+	for _, m := range []struct {
+		name      string
+		got, want *Trained
+	}{
+		{"param", resumed.Param, full.Param},
+		{"return", resumed.Return, full.Return},
+	} {
+		var got, want bytes.Buffer
+		if err := m.got.Model.Save(&got); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.want.Model.Save(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("%s model: resumed run saved different weights than uninterrupted run", m.name)
+		}
+	}
+}
+
+// TestLoadTrainCheckpointMissingAndCorrupt covers the fresh-run and
+// damaged-file paths.
+func TestLoadTrainCheckpointMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if st, err := loadTrainCheckpoint(filepath.Join(dir, "nope.ckpt")); err != nil || st != nil {
+		t.Fatalf("missing file: st=%v err=%v", st, err)
+	}
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrainCheckpoint(bad); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bpe"
@@ -114,45 +116,17 @@ func (tr *Trained) Predict(src []string, k int) [][]string {
 	return out
 }
 
-// RunTask trains the model and baseline for one task and evaluates them on
-// the held-out test packages. progress (may be nil) receives training
-// logs.
-func (d *Dataset) RunTask(task Task, progress func(string)) (*TaskResult, *Trained) {
-	train := d.realize(task, split.Train)
-	valid := d.realize(task, split.Valid)
-	test := d.realize(task, split.Test)
-
-	// Subword model learned on training sources only (no leakage).
-	var sub *bpe.Model
-	if d.Cfg.BPESrcVocab > 0 {
-		freq := map[string]int{}
-		for _, s := range train {
-			for _, tok := range s.src {
-				freq[tok]++
-			}
-		}
-		sub = bpe.Learn(freq, d.Cfg.BPESrcVocab)
-	}
-	enc := func(src []string) []string {
-		if sub == nil {
-			return src
-		}
-		return sub.Encode(src)
-	}
-	toPairs := func(ss []taskSample) []seq2seq.Pair {
-		out := make([]seq2seq.Pair, 0, len(ss))
-		for _, s := range ss {
-			out = append(out, seq2seq.Pair{Src: enc(s.src), Tgt: s.tgt})
-		}
-		return out
-	}
-
-	// Small tasks (return prediction has ~7x fewer samples, Section 5)
-	// get proportionally more epochs so every task sees a comparable
-	// number of gradient steps; early stopping guards against overfit.
+// modelConfig returns the task's model hyperparameters: the dataset's
+// base config with the worker-pool setting threaded through and the
+// epoch budget scaled for small tasks. Small tasks (return prediction
+// has ~7x fewer samples, Section 5) get proportionally more epochs so
+// every task sees a comparable number of gradient steps; early stopping
+// guards against overfit.
+func (d *Dataset) modelConfig(trainN int) seq2seq.Config {
 	mcfg := d.Cfg.Model
-	if n := len(train); n > 0 && n < 4000 {
-		scale := 4000 / n
+	mcfg.Parallelism = d.Cfg.Parallelism
+	if trainN > 0 && trainN < 4000 {
+		scale := 4000 / trainN
 		if scale > 4 {
 			scale = 4
 		}
@@ -160,7 +134,108 @@ func (d *Dataset) RunTask(task Task, progress func(string)) (*TaskResult, *Train
 			mcfg.Epochs *= scale
 		}
 	}
-	model := seq2seq.Train(mcfg, toPairs(train), toPairs(valid), progress)
+	return mcfg
+}
+
+// learnBPE learns the subword model on training sources only (no
+// leakage); nil when subword tokenization is disabled.
+func (d *Dataset) learnBPE(train []taskSample) *bpe.Model {
+	if d.Cfg.BPESrcVocab <= 0 {
+		return nil
+	}
+	freq := map[string]int{}
+	for _, s := range train {
+		for _, tok := range s.src {
+			freq[tok]++
+		}
+	}
+	return bpe.Learn(freq, d.Cfg.BPESrcVocab)
+}
+
+func toPairs(enc func([]string) []string, ss []taskSample) []seq2seq.Pair {
+	out := make([]seq2seq.Pair, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, seq2seq.Pair{Src: enc(s.src), Tgt: s.tgt})
+	}
+	return out
+}
+
+// TrainTaskOptions controls checkpointing of one task's training run.
+type TrainTaskOptions struct {
+	// Checkpoint (may be nil) receives the serialized training checkpoint
+	// after every completed epoch; returning an error aborts training.
+	Checkpoint func(ckpt []byte) error
+	// Resume (may be nil) is a checkpoint previously handed to
+	// Checkpoint; training continues from the epoch it recorded instead
+	// of starting over.
+	Resume []byte
+}
+
+// TrainTask trains the seq2seq model for one task (without evaluating
+// it), optionally checkpointing each epoch and resuming from a prior
+// checkpoint. The dataset realization, subword model, and epoch schedule
+// are all deterministic given the config, so a resumed run trains on
+// exactly the data the interrupted run saw.
+func (d *Dataset) TrainTask(task Task, opts *TrainTaskOptions, progress func(string)) (*Trained, error) {
+	train := d.realize(task, split.Train)
+	valid := d.realize(task, split.Valid)
+	sub := d.learnBPE(train)
+	enc := func(src []string) []string {
+		if sub == nil {
+			return src
+		}
+		return sub.Encode(src)
+	}
+	trainPairs := toPairs(enc, train)
+	validPairs := toPairs(enc, valid)
+	mcfg := d.modelConfig(len(train))
+
+	var model *seq2seq.Model
+	var st *seq2seq.TrainState
+	if opts != nil && len(opts.Resume) > 0 {
+		var err error
+		model, st, err = seq2seq.LoadCheckpoint(bytes.NewReader(opts.Resume))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		srcSeqs := make([][]string, len(trainPairs))
+		tgtSeqs := make([][]string, len(trainPairs))
+		for i, p := range trainPairs {
+			srcSeqs[i] = p.Src
+			tgtSeqs[i] = p.Tgt
+		}
+		model = seq2seq.NewModel(mcfg,
+			seq2seq.BuildVocab(srcSeqs, mcfg.SrcVocab),
+			seq2seq.BuildVocab(tgtSeqs, mcfg.TgtVocab))
+	}
+	var ck func(*seq2seq.TrainState) error
+	if opts != nil && opts.Checkpoint != nil {
+		ck = func(ts *seq2seq.TrainState) error {
+			var buf bytes.Buffer
+			if err := model.SaveCheckpoint(&buf, ts); err != nil {
+				return err
+			}
+			return opts.Checkpoint(buf.Bytes())
+		}
+	}
+	if err := model.FitResume(trainPairs, validPairs, st, ck, progress); err != nil {
+		return nil, err
+	}
+	return &Trained{Task: task, Model: model, BPE: sub}, nil
+}
+
+// EvalTask evaluates a trained task model (and the conditional t_low
+// baseline) on the held-out test packages. Per-example beam searches fan
+// out over d.Cfg.Parallelism workers (the -j convention; 0 = NumCPU) and
+// merge in sample order, so the result is byte-identical at any worker
+// count. em (may be nil) receives per-example counters and latencies.
+func (d *Dataset) EvalTask(task Task, tr *Trained, em *EvalMetrics) *TaskResult {
+	train := d.realize(task, split.Train)
+	test := d.realize(task, split.Test)
+	if em == nil {
+		em = discardEvalMetrics()
+	}
 
 	base := baseline.New()
 	for _, s := range train {
@@ -174,9 +249,19 @@ func (d *Dataset) RunTask(task Task, progress func(string)) (*TaskResult, *Train
 		TrainN:      len(train),
 		TestN:       len(test),
 	}
-	for _, s := range test {
+	srcs := make([][]string, len(test))
+	for i, s := range test {
+		srcs[i] = tr.encodeSrc(s.src)
+	}
+	start := time.Now()
+	predictions := seq2seq.EvalParallel(tr.Model, srcs, 5, d.Cfg.Parallelism, func(i int, seconds float64) {
+		em.ModelExamples.Inc()
+		em.PredictSeconds.Observe(seconds)
+	})
+	em.EvalSeconds.ObserveSince(start)
+	for i, s := range test {
 		var preds [][]string
-		for _, p := range model.Predict(enc(s.src), 5) {
+		for _, p := range predictions[i] {
 			preds = append(preds, p.Tokens)
 		}
 		res.Model.Add(preds, s.tgt)
@@ -187,10 +272,35 @@ func (d *Dataset) RunTask(task Task, progress func(string)) (*TaskResult, *Train
 		}
 		acc.Add(preds, s.tgt)
 		if res.HasBaseline {
+			bstart := time.Now()
 			res.Baseline.Add(base.Predict(s.low, 5), s.tgt)
+			em.BaselineExamples.Inc()
+			em.BaselineSeconds.ObserveSince(bstart)
 		}
 	}
-	return res, &Trained{Task: task, Model: model, BPE: sub}
+	return res
+}
+
+// RunTask trains the model and baseline for one task and evaluates them on
+// the held-out test packages. progress (may be nil) receives training
+// logs.
+func (d *Dataset) RunTask(task Task, progress func(string)) (*TaskResult, *Trained) {
+	res, tr, err := d.RunTaskInstrumented(task, nil, progress)
+	if err != nil {
+		// Unreachable: without checkpoint options TrainTask cannot fail.
+		panic(err)
+	}
+	return res, tr
+}
+
+// RunTaskInstrumented is RunTask with per-stage evaluation metrics (em
+// may be nil).
+func (d *Dataset) RunTaskInstrumented(task Task, em *EvalMetrics, progress func(string)) (*TaskResult, *Trained, error) {
+	tr, err := d.TrainTask(task, nil, progress)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.EvalTask(task, tr, em), tr, nil
 }
 
 // LabelString joins a label's tokens (for display).

@@ -1,6 +1,14 @@
 package core
 
-import "repro/internal/typelang"
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/typelang"
+)
 
 // TrainPredictor builds the dataset for cfg and trains the two L_SW
 // production models — parameter and return prediction — returning the
@@ -8,17 +16,154 @@ import "repro/internal/typelang"
 // serving layer all share. progress (may be nil) receives build and
 // training logs.
 func TrainPredictor(cfg Config, progress func(string)) (*Predictor, error) {
+	return TrainPredictorCheckpointed(cfg, "", progress)
+}
+
+// trainCheckpointState is the on-disk representation of an interrupted
+// (or finished) TrainPredictorCheckpointed run: the serialized Trained
+// artifacts of every completed stage, plus the per-epoch seq2seq
+// checkpoint of the stage that was training when the process died.
+type trainCheckpointState struct {
+	Done        map[string][]byte // stage name → Trained bytes
+	Pending     string            // stage currently training, "" if none
+	PendingCkpt []byte            // its last completed epoch's checkpoint
+}
+
+// predictorStages are the training stages in execution order.
+var predictorStages = []struct {
+	name string
+	task Task
+}{
+	{"param", Task{Variant: typelang.VariantLSW}},
+	{"return", Task{Variant: typelang.VariantLSW, Return: true}},
+}
+
+// checkpointInterrupt is a test hook: when non-nil it runs after every
+// checkpoint write, and a returned error aborts training exactly as a
+// kill at that moment would.
+var checkpointInterrupt func(stage string, ckpt []byte) error
+
+// TrainPredictorCheckpointed is TrainPredictor with kill-tolerance: when
+// ckptPath is non-empty, a training-state file is atomically rewritten
+// after every epoch, and a rerun pointed at the same path resumes from
+// the last completed epoch instead of starting over. Dataset
+// construction, epoch scheduling, and per-epoch randomness are all
+// deterministic given cfg, so the resumed run converges to the same
+// model an uninterrupted run produces. The caller should delete the file
+// once the returned predictor has been persisted.
+func TrainPredictorCheckpointed(cfg Config, ckptPath string, progress func(string)) (*Predictor, error) {
 	log := progress
 	if log == nil {
 		log = func(string) {}
 	}
+	state := &trainCheckpointState{Done: map[string][]byte{}}
+	if ckptPath != "" {
+		if prev, err := loadTrainCheckpoint(ckptPath); err != nil {
+			return nil, err
+		} else if prev != nil {
+			state = prev
+			log(fmt.Sprintf("resuming from checkpoint %s (%d stages done)", ckptPath, len(state.Done)))
+		}
+	}
+
 	d, err := BuildDataset(cfg, progress)
 	if err != nil {
 		return nil, err
 	}
-	log("training parameter model")
-	_, paramModel := d.RunTask(Task{Variant: typelang.VariantLSW}, progress)
-	log("training return model")
-	_, retModel := d.RunTask(Task{Variant: typelang.VariantLSW, Return: true}, progress)
-	return &Predictor{Param: paramModel, Return: retModel, Opts: cfg.Extract}, nil
+
+	trained := map[string]*Trained{}
+	for _, stage := range predictorStages {
+		if b, ok := state.Done[stage.name]; ok {
+			tr, err := LoadTrained(bytes.NewReader(b))
+			if err != nil {
+				return nil, fmt.Errorf("core: checkpoint stage %s: %w", stage.name, err)
+			}
+			log(fmt.Sprintf("%s model restored from checkpoint", stage.name))
+			trained[stage.name] = tr
+			continue
+		}
+		log(fmt.Sprintf("training %s model", stage.name))
+		var opts *TrainTaskOptions
+		if ckptPath != "" {
+			opts = &TrainTaskOptions{
+				Checkpoint: func(ckpt []byte) error {
+					state.Pending = stage.name
+					state.PendingCkpt = ckpt
+					if err := saveTrainCheckpoint(ckptPath, state); err != nil {
+						return err
+					}
+					if checkpointInterrupt != nil {
+						return checkpointInterrupt(stage.name, ckpt)
+					}
+					return nil
+				},
+			}
+			if state.Pending == stage.name && len(state.PendingCkpt) > 0 {
+				opts.Resume = state.PendingCkpt
+			}
+		}
+		tr, err := d.TrainTask(stage.task, opts, progress)
+		if err != nil {
+			return nil, err
+		}
+		trained[stage.name] = tr
+		if ckptPath != "" {
+			var buf bytes.Buffer
+			if err := tr.Save(&buf); err != nil {
+				return nil, err
+			}
+			state.Done[stage.name] = buf.Bytes()
+			state.Pending = ""
+			state.PendingCkpt = nil
+			if err := saveTrainCheckpoint(ckptPath, state); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Predictor{Param: trained["param"], Return: trained["return"], Opts: cfg.Extract}, nil
+}
+
+// loadTrainCheckpoint reads a training-state file; a missing file is not
+// an error (fresh run), a corrupt one is.
+func loadTrainCheckpoint(path string) (*trainCheckpointState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var st trainCheckpointState
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: load train checkpoint %s: %w", path, err)
+	}
+	if st.Done == nil {
+		st.Done = map[string][]byte{}
+	}
+	return &st, nil
+}
+
+// saveTrainCheckpoint writes the state file atomically (temp file +
+// rename) so a kill mid-write leaves the previous checkpoint intact.
+func saveTrainCheckpoint(path string, st *trainCheckpointState) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(tmp).Encode(st); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -183,6 +183,44 @@ func (a *Adam) GradNorm() float64 {
 	return math.Sqrt(s)
 }
 
+// AdamState is the optimizer's serializable state — the step count and
+// first/second moment estimates in parameter-registration order — which,
+// together with the weights, makes training resumable at an epoch
+// boundary: a restored optimizer continues the exact update sequence an
+// uninterrupted run would have produced.
+type AdamState struct {
+	Step int
+	M, V [][]float64
+}
+
+// Export deep-copies the optimizer state for checkpointing.
+func (a *Adam) Export() AdamState {
+	st := AdamState{Step: a.step}
+	for i := range a.targets {
+		st.M = append(st.M, append([]float64(nil), a.m[i]...))
+		st.V = append(st.V, append([]float64(nil), a.v[i]...))
+	}
+	return st
+}
+
+// Restore overwrites the optimizer state with a previously Exported one.
+// The optimizer must have been built over an identically shaped parameter
+// set.
+func (a *Adam) Restore(st AdamState) error {
+	if len(st.M) != len(a.targets) || len(st.V) != len(a.targets) {
+		return fmt.Errorf("nn: restore: %d/%d moment tensors, optimizer has %d", len(st.M), len(st.V), len(a.targets))
+	}
+	for i, v := range a.targets {
+		if len(st.M[i]) != len(v.W) || len(st.V[i]) != len(v.W) {
+			return fmt.Errorf("nn: restore: tensor %d has %d moments, parameter has %d weights", i, len(st.M[i]), len(v.W))
+		}
+		copy(a.m[i], st.M[i])
+		copy(a.v[i], st.V[i])
+	}
+	a.step = st.Step
+	return nil
+}
+
 // Step applies one optimization step and returns the (pre-clip) gradient
 // norm.
 func (a *Adam) Step() float64 {

@@ -14,11 +14,71 @@ type Prediction struct {
 	LogProb float64
 }
 
+// beamNode is one decoded token in a hypothesis, linked back to its
+// parent. Sharing prefixes through parent pointers means extending a
+// beam costs one small node instead of copying the whole sequence —
+// per-step work stays constant as the search deepens.
+type beamNode struct {
+	id   int
+	prev *beamNode
+}
+
+// tokens materializes the hypothesis token ids, root first.
+func (n *beamNode) tokens() []int {
+	depth := 0
+	for p := n; p != nil; p = p.prev {
+		depth++
+	}
+	out := make([]int, depth)
+	for p := n; p != nil; p = p.prev {
+		depth--
+		out[depth] = p.id
+	}
+	return out
+}
+
+// beam is one live hypothesis of the search.
+type beam struct {
+	node    *beamNode
+	logp    float64
+	state   nn.State
+	stopped bool
+}
+
 // Predict returns the k most likely target sequences for the source token
 // sequence, using beam search with beam width max(k, 5) as in the paper's
 // top-5 evaluation. Duplicate hypotheses are kept, as the paper notes the
 // raw model is not constrained to produce unique predictions.
+//
+// Inference runs on a forward-only tape whose buffers recycle between
+// decode steps (see ad.NewForward), so a call's memory footprint is
+// bounded by one step's working set rather than the whole maxLen × width
+// search. Predict is safe for concurrent use; each call draws its own
+// buffer pool.
 func (m *Model) Predict(src []string, k int) []Prediction {
+	pool := m.getPool()
+	defer m.putPool(pool)
+	return m.predictOn(ad.NewForward(pool), src, k)
+}
+
+// PredictBatch predicts each source sequence in turn on one shared
+// buffer pool, amortizing warm-up across the batch. For concurrent
+// evaluation over many examples, use EvalParallel.
+func (m *Model) PredictBatch(srcs [][]string, k int) [][]Prediction {
+	pool := m.getPool()
+	defer m.putPool(pool)
+	out := make([][]Prediction, len(srcs))
+	for i, src := range srcs {
+		out[i] = m.predictOn(ad.NewForward(pool), src, k)
+	}
+	return out
+}
+
+// predictOn runs the beam search on the given tape. The algorithm is
+// byte-for-byte equivalent on recording and forward tapes
+// (TestPredictPooledMatchesReference); Predict always passes a pooled
+// forward tape.
+func (m *Model) predictOn(tape *ad.Tape, src []string, k int) []Prediction {
 	if k <= 0 {
 		k = 1
 	}
@@ -26,60 +86,68 @@ func (m *Model) Predict(src []string, k int) []Prediction {
 	if width < 5 {
 		width = 5
 	}
-	tape := ad.NewTape() // inference-only; Backward is never called
 	ids := m.Src.Encode(truncate(src, m.Cfg.MaxSrcLen))
 	if len(ids) == 0 {
 		ids = []int{UNK}
 	}
 	enc := m.encode(tape, [][]int{ids}, false)
+	// The encoder outputs feed attention at every step: exempt them from
+	// the per-step release cycle.
+	tape.Keep()
 
-	type beam struct {
-		seq     []int
-		logp    float64
-		state   nn.State
-		stopped bool
-	}
-	beams := []beam{{seq: []int{BOS}, state: enc.init}}
+	beams := []beam{{node: &beamNode{id: BOS}, state: enc.init}}
 	maxLen := m.Cfg.MaxTgtLen
 	if maxLen <= 0 {
 		maxLen = 16
 	}
 
+	// cand is a scored continuation (or a carried-over stopped beam).
+	// Sequences are materialized only for the width survivors of each
+	// step, not for every scored candidate.
+	type cand struct {
+		parent  *beamNode
+		id      int
+		logp    float64
+		state   nn.State
+		stopped bool
+		carried bool
+	}
+
 	for step := 0; step < maxLen; step++ {
-		var next []beam
+		var next []cand
 		done := true
 		for _, b := range beams {
 			if b.stopped {
-				next = append(next, b)
+				next = append(next, cand{parent: b.node, logp: b.logp, state: b.state, stopped: true, carried: true})
 				continue
 			}
 			done = false
-			s, logits := m.decodeStep(tape, enc, b.state, []int{b.seq[len(b.seq)-1]}, false)
+			s, logits := m.decodeStep(tape, enc, b.state, []int{b.node.id}, false)
 			logProbs := ad.LogSoftmaxRow(logits.W)
 			// Expand with the top `width` continuations.
-			type cand struct {
+			type scored struct {
 				id int
 				lp float64
 			}
-			cands := make([]cand, 0, len(logProbs))
+			cands := make([]scored, 0, len(logProbs))
 			for id, lp := range logProbs {
 				if id == PAD || id == BOS {
 					continue
 				}
-				cands = append(cands, cand{id, lp})
+				cands = append(cands, scored{id, lp})
 			}
 			sort.Slice(cands, func(i, j int) bool { return cands[i].lp > cands[j].lp })
 			if len(cands) > width {
 				cands = cands[:width]
 			}
 			for _, c := range cands {
-				nb := beam{
-					seq:     append(append([]int(nil), b.seq...), c.id),
+				next = append(next, cand{
+					parent:  b.node,
+					id:      c.id,
 					logp:    b.logp + c.lp,
 					state:   s,
 					stopped: c.id == EOS,
-				}
-				next = append(next, nb)
+				})
 			}
 		}
 		if done {
@@ -89,7 +157,20 @@ func (m *Model) Predict(src []string, k int) []Prediction {
 		if len(next) > width {
 			next = next[:width]
 		}
-		beams = next
+		beams = beams[:0]
+		keep := make([]*ad.V, 0, 2*len(next))
+		for _, c := range next {
+			node := c.parent
+			if !c.carried {
+				node = &beamNode{id: c.id, prev: c.parent}
+			}
+			beams = append(beams, beam{node: node, logp: c.logp, state: c.state, stopped: c.stopped})
+			keep = append(keep, c.state.H, c.state.C)
+		}
+		// Recycle everything this step allocated except the surviving
+		// decoder states; states kept for a stopped or pruned beam are
+		// reclaimed by a later release once dereferenced.
+		tape.ReleaseExcept(keep...)
 	}
 
 	sort.SliceStable(beams, func(i, j int) bool { return beams[i].logp > beams[j].logp })
@@ -98,7 +179,7 @@ func (m *Model) Predict(src []string, k int) []Prediction {
 	}
 	out := make([]Prediction, 0, len(beams))
 	for _, b := range beams {
-		out = append(out, Prediction{Tokens: m.Tgt.Decode(b.seq), LogProb: b.logp})
+		out = append(out, Prediction{Tokens: m.Tgt.Decode(b.node.tokens()), LogProb: b.logp})
 	}
 	return out
 }

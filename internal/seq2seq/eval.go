@@ -1,0 +1,94 @@
+package seq2seq
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ad"
+)
+
+// fanOut runs f(0..n-1) over at most par workers (0 = NumCPU) and waits
+// for all of them — the same bounded-pool shape as the dataset pipeline.
+func fanOut(par, n int, f func(int)) {
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// parallel returns the model's configured worker count.
+func (m *Model) parallel() int {
+	if m.Cfg.Parallelism > 0 {
+		return m.Cfg.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// EvalParallel fans per-example beam searches over a worker pool of par
+// workers (0 = NumCPU) and merges results by input index, so the output
+// is byte-identical at any worker count: each prediction is a pure
+// function of (model, source), and slot i always holds Predict(srcs[i], k).
+// Each worker owns a private buffer pool, reused across its examples.
+//
+// observe (may be nil) receives every completed example's index and
+// wall-clock inference seconds; it is called from worker goroutines and
+// must be safe for concurrent use (the metrics types are).
+func EvalParallel(m *Model, srcs [][]string, k, par int, observe func(i int, seconds float64)) [][]Prediction {
+	out := make([][]Prediction, len(srcs))
+	if len(srcs) == 0 {
+		return out
+	}
+	fanOut(par, len(srcs), func(i int) {
+		start := time.Now()
+		// fanOut reuses a goroutine per worker; Predict draws a pool per
+		// call from the model's internal cache, which amortizes the same
+		// way.
+		out[i] = m.Predict(srcs[i], k)
+		if observe != nil {
+			observe(i, time.Since(start).Seconds())
+		}
+	})
+	return out
+}
+
+// validBatchScore is one batch's contribution to the validation loss.
+type validBatchScore struct {
+	sum    float64 // summed token cross-entropy
+	tokens float64 // number of scored (non-PAD) target tokens
+}
+
+// scoreBatches computes every batch's token-loss sum on forward-only
+// tapes, fanned over par workers; results land in batch-index order.
+func (m *Model) scoreBatches(batches []batch, par int) []validBatchScore {
+	scores := make([]validBatchScore, len(batches))
+	fanOut(par, len(batches), func(i int) {
+		tape := ad.NewForward(nil)
+		scores[i].sum, scores[i].tokens = m.batchLossSum(tape, batches[i])
+	})
+	return scores
+}

@@ -8,6 +8,7 @@ package seq2seq
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/ad"
 	"repro/internal/nn"
@@ -133,6 +134,10 @@ type Config struct {
 	// the paper's model) or EncoderTransformer (the alternative the paper
 	// explored without accuracy gains).
 	Encoder string
+	// Parallelism bounds the worker pool used for validation scoring and
+	// EvalParallel — the same -j convention as the dataset pipeline; 0
+	// means runtime.NumCPU(). Any value produces identical results.
+	Parallelism int
 }
 
 // DefaultConfig returns a configuration that trains in minutes on a CPU.
@@ -168,7 +173,22 @@ type Model struct {
 	tfLayers []*tfLayer
 
 	rng *rand.Rand
+
+	// pools hands each concurrent Predict call its own inference buffer
+	// pool, so beam-search tensors recycle across calls without sharing.
+	pools sync.Pool
 }
+
+// getPool draws an inference buffer pool; pools are per-call, never
+// shared between goroutines.
+func (m *Model) getPool() *ad.Pool {
+	if p, ok := m.pools.Get().(*ad.Pool); ok {
+		return p
+	}
+	return ad.NewPool()
+}
+
+func (m *Model) putPool(p *ad.Pool) { m.pools.Put(p) }
 
 // NewModel builds an untrained model over the given vocabularies.
 func NewModel(cfg Config, src, tgt *Vocab) *Model {

@@ -1,0 +1,262 @@
+package seq2seq
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ad"
+	"repro/internal/nn"
+)
+
+// referencePredict is the pre-pooling beam search, kept verbatim as an
+// oracle: it records a full gradient tape and copies every hypothesis
+// sequence on extension. The production Predict must produce bitwise
+// identical output on its forward-only, buffer-recycling tape.
+func referencePredict(m *Model, src []string, k int) []Prediction {
+	if k <= 0 {
+		k = 1
+	}
+	width := k
+	if width < 5 {
+		width = 5
+	}
+	tape := ad.NewTape() // inference-only; Backward is never called
+	ids := m.Src.Encode(truncate(src, m.Cfg.MaxSrcLen))
+	if len(ids) == 0 {
+		ids = []int{UNK}
+	}
+	enc := m.encode(tape, [][]int{ids}, false)
+
+	type beam struct {
+		seq     []int
+		logp    float64
+		state   nn.State
+		stopped bool
+	}
+	beams := []beam{{seq: []int{BOS}, state: enc.init}}
+	maxLen := m.Cfg.MaxTgtLen
+	if maxLen <= 0 {
+		maxLen = 16
+	}
+
+	for step := 0; step < maxLen; step++ {
+		var next []beam
+		done := true
+		for _, b := range beams {
+			if b.stopped {
+				next = append(next, b)
+				continue
+			}
+			done = false
+			s, logits := m.decodeStep(tape, enc, b.state, []int{b.seq[len(b.seq)-1]}, false)
+			logProbs := ad.LogSoftmaxRow(logits.W)
+			type cand struct {
+				id int
+				lp float64
+			}
+			cands := make([]cand, 0, len(logProbs))
+			for id, lp := range logProbs {
+				if id == PAD || id == BOS {
+					continue
+				}
+				cands = append(cands, cand{id, lp})
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].lp > cands[j].lp })
+			if len(cands) > width {
+				cands = cands[:width]
+			}
+			for _, c := range cands {
+				next = append(next, beam{
+					seq:     append(append([]int(nil), b.seq...), c.id),
+					logp:    b.logp + c.lp,
+					state:   s,
+					stopped: c.id == EOS,
+				})
+			}
+		}
+		if done {
+			break
+		}
+		sort.SliceStable(next, func(i, j int) bool { return next[i].logp > next[j].logp })
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams = next
+	}
+
+	sort.SliceStable(beams, func(i, j int) bool { return beams[i].logp > beams[j].logp })
+	if len(beams) > k {
+		beams = beams[:k]
+	}
+	out := make([]Prediction, 0, len(beams))
+	for _, b := range beams {
+		out = append(out, Prediction{Tokens: m.Tgt.Decode(b.seq), LogProb: b.logp})
+	}
+	return out
+}
+
+// predictTestModel trains a small model and returns test sources.
+func predictTestModel(t testing.TB, epochs int) (*Model, [][]string) {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	train := makeToyData(r, 150)
+	test := makeToyData(r, 25)
+	cfg := testConfig()
+	cfg.Epochs = epochs
+	m := Train(cfg, train, nil, nil)
+	srcs := make([][]string, len(test))
+	for i, p := range test {
+		srcs[i] = p.Src
+	}
+	return m, srcs
+}
+
+func TestPredictPooledMatchesReference(t *testing.T) {
+	m, srcs := predictTestModel(t, 3)
+	for _, k := range []int{1, 5, 8} {
+		for i, src := range srcs {
+			want := referencePredict(m, src, k)
+			got := m.Predict(src, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("k=%d src %d: pooled prediction diverged from reference\ngot  %v\nwant %v", k, i, got, want)
+			}
+			// A second call reuses recycled buffers; it must not be
+			// contaminated by the first.
+			if again := m.Predict(src, k); !reflect.DeepEqual(again, want) {
+				t.Fatalf("k=%d src %d: repeat prediction diverged", k, i)
+			}
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	m, srcs := predictTestModel(t, 2)
+	batch := m.PredictBatch(srcs, 5)
+	if len(batch) != len(srcs) {
+		t.Fatalf("PredictBatch returned %d results for %d inputs", len(batch), len(srcs))
+	}
+	for i, src := range srcs {
+		if want := m.Predict(src, 5); !reflect.DeepEqual(batch[i], want) {
+			t.Fatalf("src %d: PredictBatch diverged from Predict", i)
+		}
+	}
+	if got := m.PredictBatch(nil, 5); len(got) != 0 {
+		t.Errorf("PredictBatch(nil) = %v", got)
+	}
+}
+
+func TestEvalParallelDeterministic(t *testing.T) {
+	m, srcs := predictTestModel(t, 2)
+	want := EvalParallel(m, srcs, 5, 1, nil)
+	for _, par := range []int{0, 2, 4, 8} {
+		var observed int64
+		got := EvalParallel(m, srcs, 5, par, func(i int, seconds float64) {
+			if i < 0 || i >= len(srcs) || seconds < 0 {
+				t.Errorf("observe(%d, %g)", i, seconds)
+			}
+			atomic.AddInt64(&observed, 1)
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("par=%d: results differ from serial evaluation", par)
+		}
+		if observed != int64(len(srcs)) {
+			t.Errorf("par=%d: observe called %d times, want %d", par, observed, len(srcs))
+		}
+	}
+	if got := EvalParallel(m, nil, 5, 4, nil); len(got) != 0 {
+		t.Errorf("EvalParallel(no inputs) = %v", got)
+	}
+}
+
+// TestPredictConcurrent hammers Predict from many goroutines; run under
+// -race (scripts/verify.sh does) to verify per-call buffer pools never
+// share tensors across calls.
+func TestPredictConcurrent(t *testing.T) {
+	m, srcs := predictTestModel(t, 2)
+	want := make([][]Prediction, len(srcs))
+	for i, src := range srcs {
+		want[i] = m.Predict(src, 5)
+	}
+	done := make(chan int, 4*len(srcs))
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i, src := range srcs {
+				if !reflect.DeepEqual(m.Predict(src, 5), want[i]) {
+					done <- i
+					return
+				}
+			}
+			done <- -1
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if i := <-done; i >= 0 {
+			t.Fatalf("concurrent Predict diverged on src %d", i)
+		}
+	}
+}
+
+// TestPredictAllocsBounded checks the point of the tape rework: pooled
+// inference allocates a small fraction of what the recording tape did,
+// because per-step tensors recycle instead of accumulating over
+// maxLen × width decode steps.
+func TestPredictAllocsBounded(t *testing.T) {
+	m, srcs := predictTestModel(t, 1)
+	src := srcs[0]
+	m.Predict(src, 5) // warm the buffer pool
+	pooled := testing.AllocsPerRun(20, func() { m.Predict(src, 5) })
+	reference := testing.AllocsPerRun(20, func() { referencePredict(m, src, 5) })
+	if pooled > reference/2 {
+		t.Errorf("pooled Predict allocates %.0f objects/run, reference %.0f — pooling is not engaging", pooled, reference)
+	}
+}
+
+func benchmarkModel(maxTgtLen int) (*Model, []string) {
+	r := rand.New(rand.NewSource(3))
+	data := makeToyData(r, 200)
+	cfg := testConfig()
+	cfg.MaxTgtLen = maxTgtLen
+	var srcSeqs, tgtSeqs [][]string
+	for _, p := range data {
+		srcSeqs = append(srcSeqs, p.Src)
+		tgtSeqs = append(tgtSeqs, p.Tgt)
+	}
+	m := NewModel(cfg, BuildVocab(srcSeqs, cfg.SrcVocab), BuildVocab(tgtSeqs, cfg.TgtVocab))
+	return m, data[0].Src
+}
+
+// BenchmarkPredict measures pooled beam search at increasing decode
+// lengths; with recycling, bytes/op should grow far slower than
+// maxLen × width.
+func BenchmarkPredict(b *testing.B) {
+	for _, maxLen := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("maxLen=%d", maxLen), func(b *testing.B) {
+			m, src := benchmarkModel(maxLen)
+			m.Predict(src, 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Predict(src, 5)
+			}
+		})
+	}
+}
+
+// BenchmarkPredictReference measures the old recording-tape beam search
+// for comparison.
+func BenchmarkPredictReference(b *testing.B) {
+	for _, maxLen := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("maxLen=%d", maxLen), func(b *testing.B) {
+			m, src := benchmarkModel(maxLen)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				referencePredict(m, src, 5)
+			}
+		})
+	}
+}

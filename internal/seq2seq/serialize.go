@@ -31,16 +31,25 @@ func Load(r io.Reader) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("seq2seq: load: %w", err)
 	}
+	m, err := modelFromState(st)
+	if err != nil {
+		return nil, fmt.Errorf("seq2seq: load: %w", err)
+	}
+	return m, nil
+}
+
+// modelFromState rebuilds a model from its serialized form.
+func modelFromState(st modelState) (*Model, error) {
 	src := vocabFromTokens(st.SrcToks)
 	tgt := vocabFromTokens(st.TgtToks)
 	m := NewModel(st.Cfg, src, tgt)
 	params := m.params.All()
 	if len(params) != len(st.Weights) {
-		return nil, fmt.Errorf("seq2seq: load: %d weight tensors, model has %d", len(st.Weights), len(params))
+		return nil, fmt.Errorf("%d weight tensors, model has %d", len(st.Weights), len(params))
 	}
 	for i, v := range params {
 		if len(v.W) != len(st.Weights[i]) {
-			return nil, fmt.Errorf("seq2seq: load: tensor %d has %d weights, model wants %d", i, len(st.Weights[i]), len(v.W))
+			return nil, fmt.Errorf("tensor %d has %d weights, model wants %d", i, len(st.Weights[i]), len(v.W))
 		}
 		copy(v.W, st.Weights[i])
 	}
@@ -55,4 +64,41 @@ func vocabFromTokens(toks []string) *Vocab {
 		v.ids[t] = i
 	}
 	return v
+}
+
+// checkpointState is the serialized form of a training checkpoint: the
+// current model (weights as of the last completed epoch) plus the
+// TrainState needed to continue from there.
+type checkpointState struct {
+	Model modelState
+	State TrainState
+}
+
+// SaveCheckpoint writes the model and its mid-training state to w.
+// Feeding the result of LoadCheckpoint back into FitResume continues the
+// run as if it had never been interrupted.
+func (m *Model) SaveCheckpoint(w io.Writer, st *TrainState) error {
+	ck := checkpointState{
+		Model: modelState{Cfg: m.Cfg, SrcToks: m.Src.toks, TgtToks: m.Tgt.toks},
+		State: *st,
+	}
+	for _, v := range m.params.All() {
+		ck.Model.Weights = append(ck.Model.Weights, v.W)
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// LoadCheckpoint reads a checkpoint previously written with
+// SaveCheckpoint, returning the reconstructed model and the training
+// state to pass to FitResume.
+func LoadCheckpoint(r io.Reader) (*Model, *TrainState, error) {
+	var ck checkpointState
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, nil, fmt.Errorf("seq2seq: load checkpoint: %w", err)
+	}
+	m, err := modelFromState(ck.Model)
+	if err != nil {
+		return nil, nil, fmt.Errorf("seq2seq: load checkpoint: %w", err)
+	}
+	return m, &ck.State, nil
 }

@@ -94,7 +94,9 @@ func pad(s []int, n int) []int {
 	return s
 }
 
-// batchLoss runs the teacher-forced forward pass and returns the loss node.
+// batchLoss runs the teacher-forced forward pass and returns the loss
+// node: the mean over decode steps of each step's token-mean
+// cross-entropy (the training objective).
 func (m *Model) batchLoss(t *ad.Tape, b batch, train bool) *ad.V {
 	enc := m.encode(t, b.src, train)
 	B := len(b.tgt)
@@ -123,17 +125,124 @@ func (m *Model) batchLoss(t *ad.Tape, b batch, train bool) *ad.V {
 	return t.Scale(total, 1/float64(len(losses)))
 }
 
+// batchLossSum runs the teacher-forced forward pass without dropout and
+// returns the summed token cross-entropy plus the number of scored
+// (non-PAD) target tokens — the pieces of a token-weighted validation
+// mean, which batchLoss's mean-of-step-means is not.
+func (m *Model) batchLossSum(t *ad.Tape, b batch) (sum, tokens float64) {
+	enc := m.encode(t, b.src, false)
+	B := len(b.tgt)
+	Ttgt := len(b.tgt[0])
+	s := enc.init
+	for step := 0; step+1 < Ttgt; step++ {
+		prev := make([]int, B)
+		targets := make([]int, B)
+		weights := make([]float64, B)
+		n := 0.0
+		for i := 0; i < B; i++ {
+			prev[i] = b.tgt[i][step]
+			targets[i] = b.tgt[i][step+1]
+			if targets[i] != PAD {
+				weights[i] = 1
+				n++
+			}
+		}
+		var logits *ad.V
+		s, logits = m.decodeStep(t, enc, s, prev, false)
+		if n > 0 {
+			ce := t.SoftmaxCrossEntropy(logits, targets, weights)
+			sum += ce.W[0] * n
+			tokens += n
+		}
+	}
+	return sum, tokens
+}
+
+// earlyStop tracks patience-based early stopping on validation loss.
+// A loss equal to the best so far counts as a new best: a flat plateau
+// is not a regression, and treating it as one (strict <) stops training
+// two epochs into any plateau and discards the later — equally good —
+// snapshots.
+type earlyStop struct {
+	best     float64
+	seen     bool
+	bad      int
+	patience int
+}
+
+// observe scores one epoch's validation loss. newBest asks the caller to
+// snapshot; stop means patience is exhausted and training should halt at
+// the best snapshot.
+func (e *earlyStop) observe(vl float64) (newBest, stop bool) {
+	if !e.seen || vl <= e.best {
+		e.best = vl
+		e.seen = true
+		e.bad = 0
+		return true, false
+	}
+	e.bad++
+	return false, e.bad >= e.patience
+}
+
+// TrainState is everything Fit needs to resume training at an epoch
+// boundary: completed-epoch count, early-stopping bookkeeping, the best
+// snapshot so far, and the optimizer moments. Together with the model
+// weights it makes a resumed run bitwise-identical to an uninterrupted
+// one (per-epoch seeding keeps the shuffle and dropout streams aligned).
+type TrainState struct {
+	Epoch     int // completed epochs
+	BestValid float64
+	Bad       int
+	Best      [][]float64 // nil when no validation epoch has completed
+	Opt       nn.AdamState
+}
+
 // Fit trains the model in place.
 func (m *Model) Fit(train, valid []Pair, progress func(string)) {
+	m.FitResume(train, valid, nil, nil, progress)
+}
+
+// FitResume trains like Fit, but optionally resumes from a TrainState
+// and persists one after every epoch. st (may be nil) continues a run
+// checkpointed earlier; checkpoint (may be nil) receives the full
+// training state after each completed epoch — returning an error aborts
+// training. Epoch randomness (batch shuffle, dropout) is derived from
+// (Seed, epoch) alone, so a killed run resumed from its last checkpoint
+// replays the exact stream an uninterrupted run would have used and
+// converges to the same weights.
+func (m *Model) FitResume(train, valid []Pair, st *TrainState, checkpoint func(*TrainState) error, progress func(string)) error {
 	if len(train) == 0 {
-		return
+		return nil
 	}
-	r := rand.New(rand.NewSource(m.Cfg.Seed + 100))
 	opt := nn.NewAdam(&m.params, m.Cfg.LR)
-	bestValid := -1.0
+	es := earlyStop{patience: 2}
 	var bestSnapshot [][]float64
-	bad := 0
-	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+	start := 0
+	if st != nil {
+		start = st.Epoch
+		if err := opt.Restore(st.Opt); err != nil {
+			return err
+		}
+		if st.Best != nil {
+			es = earlyStop{best: st.BestValid, seen: true, bad: st.Bad, patience: 2}
+			bestSnapshot = st.Best
+		}
+	}
+	emit := func(epoch int) *TrainState {
+		return &TrainState{
+			Epoch:     epoch,
+			BestValid: es.best,
+			Bad:       es.bad,
+			Best:      bestSnapshot,
+			Opt:       opt.Export(),
+		}
+	}
+	for epoch := start; epoch < m.Cfg.Epochs; epoch++ {
+		// Per-epoch seeding: the shuffle and dropout streams depend only
+		// on (Seed, epoch), never on how many epochs this process has
+		// already run — the property checkpoint resumption relies on.
+		r := rand.New(rand.NewSource(m.Cfg.Seed + 100 + 1009*int64(epoch)))
+		m.rng = rand.New(rand.NewSource(m.Cfg.Seed + 791 + 6151*int64(epoch)))
 		batches := m.makeBatches(train, r)
 		totalLoss, n := 0.0, 0
 		for _, b := range batches {
@@ -151,46 +260,59 @@ func (m *Model) Fit(train, valid []Pair, progress func(string)) {
 			progress(fmt.Sprintf("epoch %d: train loss %.4f, valid loss %.4f", epoch+1, totalLoss/float64(n), vl))
 		}
 		if len(valid) == 0 {
-			continue // no validation set: train the full epoch budget
-		}
-		// Early stopping with patience 1: small validation sets are
-		// noisy, so one regression is tolerated before stopping at the
-		// best snapshot.
-		if bestValid < 0 || vl < bestValid {
-			bestValid = vl
-			bestSnapshot = m.snapshot()
-			bad = 0
+			// No validation set: train the full epoch budget.
+			if checkpoint != nil {
+				if err := checkpoint(emit(epoch + 1)); err != nil {
+					return err
+				}
+			}
 			continue
 		}
-		bad++
-		if bad >= 2 {
+		newBest, stop := es.observe(vl)
+		if newBest {
+			bestSnapshot = m.snapshot()
+		}
+		if checkpoint != nil {
+			if err := checkpoint(emit(epoch + 1)); err != nil {
+				return err
+			}
+		}
+		if stop {
 			m.restore(bestSnapshot)
 			if progress != nil {
 				progress(fmt.Sprintf("epoch %d: validation regressed twice, stopping early", epoch+1))
 			}
-			return
+			return nil
 		}
 	}
 	if bestSnapshot != nil {
 		m.restore(bestSnapshot)
 	}
+	return nil
 }
 
-// ValidLoss computes the mean batch loss on a held-out set without
-// updating parameters; returns 0 for an empty set.
+// ValidLoss computes the token-weighted mean cross-entropy over a
+// held-out set without updating parameters; returns 0 for an empty set.
+// Every scored token carries equal weight regardless of which batch it
+// landed in — a per-batch mean of means would overweight the final short
+// batch and skew early stopping. Batches are scored concurrently
+// (Cfg.Parallelism workers) on forward-only tapes and reduced in batch
+// order, so the result is independent of worker count and scheduling.
 func (m *Model) ValidLoss(valid []Pair) float64 {
 	if len(valid) == 0 {
 		return 0
 	}
-	r := rand.New(rand.NewSource(7))
-	total, n := 0.0, 0
-	for _, b := range m.makeBatches(valid, r) {
-		tape := ad.NewTape()
-		loss := m.batchLoss(tape, b, false)
-		total += loss.W[0]
-		n++
+	batches := m.makeBatches(valid, rand.New(rand.NewSource(7)))
+	scores := m.scoreBatches(batches, m.parallel())
+	sum, tokens := 0.0, 0.0
+	for _, s := range scores {
+		sum += s.sum
+		tokens += s.tokens
 	}
-	return total / float64(n)
+	if tokens == 0 {
+		return 0
+	}
+	return sum / tokens
 }
 
 func (m *Model) snapshot() [][]float64 {

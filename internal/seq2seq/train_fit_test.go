@@ -1,0 +1,268 @@
+package seq2seq
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestEarlyStopObserve(t *testing.T) {
+	t.Run("tie is a new best, not a regression", func(t *testing.T) {
+		es := earlyStop{patience: 2}
+		if nb, stop := es.observe(1.0); !nb || stop {
+			t.Fatalf("first observation: newBest=%v stop=%v", nb, stop)
+		}
+		if nb, stop := es.observe(1.0); !nb || stop {
+			t.Fatalf("tie: newBest=%v stop=%v — a plateau must not count against patience", nb, stop)
+		}
+		if es.bad != 0 {
+			t.Errorf("bad = %d after tie", es.bad)
+		}
+	})
+	t.Run("improvement resets patience", func(t *testing.T) {
+		es := earlyStop{patience: 2}
+		es.observe(1.0)
+		es.observe(1.5) // regression 1
+		if nb, _ := es.observe(0.9); !nb {
+			t.Fatal("improvement not recognized")
+		}
+		if es.bad != 0 {
+			t.Errorf("bad = %d after improvement", es.bad)
+		}
+	})
+	t.Run("patience 2 stops on second regression", func(t *testing.T) {
+		es := earlyStop{patience: 2}
+		es.observe(1.0)
+		if _, stop := es.observe(1.1); stop {
+			t.Fatal("stopped after one regression with patience 2")
+		}
+		if _, stop := es.observe(1.2); !stop {
+			t.Fatal("did not stop after two regressions")
+		}
+	})
+	t.Run("patience 1 stops immediately", func(t *testing.T) {
+		es := earlyStop{patience: 1}
+		es.observe(1.0)
+		if _, stop := es.observe(1.0 + 1e-12); !stop {
+			t.Fatal("patience 1 did not stop on first regression")
+		}
+	})
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data := makeToyData(r, 40)
+	cfg := testConfig()
+	cfg.Epochs = 1
+	m := Train(cfg, data, nil, nil)
+	snap := m.snapshot()
+	for _, v := range m.params.All() {
+		for i := range v.W {
+			v.W[i] += 1
+		}
+	}
+	m.restore(snap)
+	for pi, v := range m.params.All() {
+		for i := range v.W {
+			if v.W[i] != snap[pi][i] {
+				t.Fatalf("param %d[%d] = %g after restore, want %g", pi, i, v.W[i], snap[pi][i])
+			}
+		}
+	}
+	m.restore(nil) // must be a no-op, not a panic
+}
+
+// TestValidLossBatchInvariant: a token-weighted mean cannot depend on how
+// the validation set is sliced into batches. The old per-batch mean of
+// means overweighted the final short batch; two models differing only in
+// BatchSize would disagree on the same data.
+func TestValidLossBatchInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	data := makeToyData(r, 50) // 50 % 16 != 0: guarantees a short final batch
+	var srcSeqs, tgtSeqs [][]string
+	for _, p := range data {
+		srcSeqs = append(srcSeqs, p.Src)
+		tgtSeqs = append(tgtSeqs, p.Tgt)
+	}
+	cfg := testConfig()
+	src := BuildVocab(srcSeqs, cfg.SrcVocab)
+	tgt := BuildVocab(tgtSeqs, cfg.TgtVocab)
+
+	losses := make([]float64, 0, 3)
+	for _, bs := range []int{7, 16, len(data)} {
+		c := cfg
+		c.BatchSize = bs
+		losses = append(losses, NewModel(c, src, tgt).ValidLoss(data))
+	}
+	for i := 1; i < len(losses); i++ {
+		if diff := math.Abs(losses[i] - losses[0]); diff > 1e-9*math.Abs(losses[0]) {
+			t.Errorf("ValidLoss depends on batch size: %.15g vs %.15g", losses[i], losses[0])
+		}
+	}
+}
+
+// TestValidLossParallelInvariant: batches reduce in index order, so the
+// result is bitwise identical at any worker count.
+func TestValidLossParallelInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	data := makeToyData(r, 60)
+	cfg := testConfig()
+	cfg.BatchSize = 8
+	var srcSeqs, tgtSeqs [][]string
+	for _, p := range data {
+		srcSeqs = append(srcSeqs, p.Src)
+		tgtSeqs = append(tgtSeqs, p.Tgt)
+	}
+	src := BuildVocab(srcSeqs, cfg.SrcVocab)
+	tgt := BuildVocab(tgtSeqs, cfg.TgtVocab)
+
+	cfg.Parallelism = 1
+	want := NewModel(cfg, src, tgt).ValidLoss(data)
+	for _, par := range []int{0, 2, 4, 8} {
+		c := cfg
+		c.Parallelism = par
+		if got := NewModel(c, src, tgt).ValidLoss(data); got != want {
+			t.Errorf("ValidLoss at -j %d = %.17g, serial %.17g", par, got, want)
+		}
+	}
+}
+
+func TestFitEmptyValidTrainsFullBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	data := makeToyData(r, 40)
+	cfg := testConfig()
+	cfg.Epochs = 3
+	m := NewModel(cfg, BuildVocab(nil, 0), BuildVocab(nil, 0))
+	epochs := 0
+	if err := m.FitResume(data, nil, nil, func(st *TrainState) error {
+		epochs++
+		if st.Best != nil {
+			t.Error("checkpoint has a best snapshot without a validation set")
+		}
+		return nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if epochs != cfg.Epochs {
+		t.Errorf("trained %d epochs with empty validation set, want %d", epochs, cfg.Epochs)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	train := makeToyData(r, 60)
+	valid := makeToyData(r, 20)
+	cfg := testConfig()
+	cfg.Epochs = 2
+	m := Train(cfg, train, valid, nil)
+	st := &TrainState{Epoch: 2, BestValid: 0.25, Bad: 1, Best: m.snapshot()}
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	m2, st2, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Epoch != st.Epoch || st2.BestValid != st.BestValid || st2.Bad != st.Bad {
+		t.Errorf("state round-trip: got %+v", st2)
+	}
+	a, b := m.snapshot(), m2.snapshot()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("weights differ after checkpoint round-trip at tensor %d[%d]", i, j)
+			}
+		}
+	}
+	if len(st2.Best) != len(st.Best) {
+		t.Errorf("best snapshot lost: %d tensors, want %d", len(st2.Best), len(st.Best))
+	}
+	if _, _, err := LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Error("LoadCheckpoint accepted garbage")
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted kills a training run after
+// two epochs (by erroring out of the checkpoint callback, exactly what a
+// SIGKILL between epochs leaves behind: the last written checkpoint),
+// reloads the checkpoint into a fresh process's model, resumes, and
+// demands bitwise-identical final weights to a never-interrupted run.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	train := makeToyData(r, 120)
+	valid := makeToyData(r, 30)
+	cfg := testConfig()
+	cfg.Epochs = 5
+
+	var srcSeqs, tgtSeqs [][]string
+	for _, p := range train {
+		srcSeqs = append(srcSeqs, p.Src)
+		tgtSeqs = append(tgtSeqs, p.Tgt)
+	}
+	src := BuildVocab(srcSeqs, cfg.SrcVocab)
+	tgt := BuildVocab(tgtSeqs, cfg.TgtVocab)
+
+	full := NewModel(cfg, src, tgt)
+	if err := full.FitResume(train, valid, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	killed := errors.New("killed")
+	var ckpt bytes.Buffer
+	m1 := NewModel(cfg, src, tgt)
+	err := m1.FitResume(train, valid, nil, func(st *TrainState) error {
+		ckpt.Reset()
+		if err := m1.SaveCheckpoint(&ckpt, st); err != nil {
+			return err
+		}
+		if st.Epoch == 2 {
+			return killed
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, killed) {
+		t.Fatalf("FitResume returned %v, want the injected kill", err)
+	}
+
+	m2, st, err := LoadCheckpoint(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 2 {
+		t.Fatalf("checkpoint at epoch %d, want 2", st.Epoch)
+	}
+	if err := m2.FitResume(train, valid, st, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := full.snapshot(), m2.snapshot()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("resumed run diverged from uninterrupted run at tensor %d[%d]: %g vs %g", i, j, b[i][j], a[i][j])
+			}
+		}
+	}
+	if vf, vr := full.ValidLoss(valid), m2.ValidLoss(valid); vf != vr {
+		t.Errorf("final validation loss differs: %g vs %g", vr, vf)
+	}
+}
+
+// TestFitResumeRejectsShapeMismatch: resuming with an optimizer state
+// from a differently shaped model must fail loudly, not corrupt training.
+func TestFitResumeRejectsShapeMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	data := makeToyData(r, 30)
+	cfg := testConfig()
+	cfg.Epochs = 1
+	m := NewModel(cfg, BuildVocab(nil, 0), BuildVocab(nil, 0))
+	bad := &TrainState{Epoch: 1, Opt: nn.AdamState{Step: 1, M: [][]float64{{1}}, V: [][]float64{{1}}}}
+	if err := m.FitResume(data, nil, bad, nil, nil); err == nil {
+		t.Fatal("FitResume accepted mismatched optimizer state")
+	}
+}

@@ -95,6 +95,7 @@ type serverMetrics struct {
 	inFlight    *metrics.Gauge
 	cacheSize   *metrics.Gauge
 	latency     *metrics.Histogram
+	inference   *metrics.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -111,6 +112,7 @@ func newServerMetrics() *serverMetrics {
 		inFlight:    r.NewGauge("snowwhite_in_flight_requests", "Predict requests currently being handled."),
 		cacheSize:   r.NewGauge("snowwhite_cache_entries", "Prediction cache occupancy."),
 		latency:     r.NewHistogram("snowwhite_request_seconds", "Predict request latency in seconds.", nil),
+		inference:   r.NewHistogram("snowwhite_inference_seconds", "Per-element beam-search latency in seconds (cache misses only).", nil),
 	}
 }
 
@@ -209,6 +211,7 @@ func (s *Server) predictElement(m *wasm.Module, fnHash [32]byte, funcIdx int, el
 	s.met.cacheMisses.Inc()
 	var preds []core.TypePrediction
 	var err error
+	start := time.Now()
 	if elem == "return" {
 		preds, err = s.pred.PredictReturn(m, funcIdx, k)
 	} else {
@@ -217,6 +220,7 @@ func (s *Server) predictElement(m *wasm.Module, fnHash [32]byte, funcIdx int, el
 	if err != nil {
 		return nil, false, err
 	}
+	s.met.inference.ObserveSince(start)
 	s.met.predictions.Inc()
 	s.cache.put(key, preds)
 	s.met.cacheSize.Set(int64(s.cache.len()))

@@ -293,6 +293,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"snowwhite_requests_total 2",
 		"snowwhite_cache_hits_total",
 		"snowwhite_request_seconds_bucket",
+		"snowwhite_inference_seconds_bucket",
 		"snowwhite_in_flight_requests 0",
 	} {
 		if !strings.Contains(out, want) {

@@ -16,4 +16,9 @@ go test -race -timeout 30m ./...
 echo "== pipeline determinism/race stress (-count=2 to vary scheduling) =="
 go test -race -count=2 -run 'TestPipeline(Determinism|RaceStress)|TestGeneratePackageIndependent|TestIndexOrderIndependent' \
 	./internal/core ./internal/corpus ./internal/dedup
+echo "== eval determinism/race stress (-count=2 to vary scheduling) =="
+go test -race -count=2 -run 'TestEvalParallelDeterministic|TestPredictConcurrent|TestValidLossParallelInvariant|TestPredictPooledMatchesReference' \
+	./internal/seq2seq
+echo "== fuzz seed corpora (no mutation; smoke-checks the native targets) =="
+go test -run 'FuzzRead|FuzzDecode' ./internal/dwarf ./internal/wasm
 echo "verify: OK"
