@@ -9,9 +9,10 @@
 //	snowwhite eval    [-packages N] [-epochs N] [-task T] Table 5 / Figure 4
 //	snowwhite train   [-packages N] [-j N] [-checkpoint F] -out model.bin
 //
-// The -j flag bounds the worker pools of the dataset pipeline, validation
-// scoring, and test-set evaluation (0 = NumCPU); any worker count produces
-// byte-identical datasets, losses, and predictions. `snowwhite train`
+// The -j flag bounds the worker pools of the dataset pipeline, training
+// shards, validation scoring, and test-set evaluation (0 = NumCPU); any
+// worker count produces byte-identical datasets, trained weights, losses,
+// and predictions. `snowwhite train`
 // writes a checkpoint after every epoch (default <out>.ckpt) and, when
 // re-launched with the same flags, resumes from it instead of starting
 // over; the file is removed once the model is saved.
@@ -89,7 +90,7 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		epochs:   fs.Int("epochs", 3, "training epochs"),
 		seed:     fs.Int64("seed", 1, "corpus seed"),
 		testFrac: fs.Float64("testfrac", 0.02, "validation/test package fraction (paper: 0.02)"),
-		jobs:     fs.Int("j", 0, "worker pool size for the dataset pipeline and evaluation (0 = NumCPU); any value produces byte-identical output"),
+		jobs:     fs.Int("j", 0, "worker pool size for the dataset pipeline, training, and evaluation (0 = NumCPU); any value produces byte-identical output"),
 	}
 }
 

@@ -68,6 +68,13 @@ type Tape struct {
 // NewTape returns an empty recording tape for training.
 func NewTape() *Tape { return &Tape{grad: true} }
 
+// NewTraining returns a recording tape that draws intermediate values
+// (with gradient storage) from pool and returns them on Reset. A
+// training loop that runs one forward+backward per shard on such a tape
+// allocates a steady state once and then recycles it every step. pool
+// may be nil, which degrades to NewTape behavior.
+func NewTraining(pool *Pool) *Tape { return &Tape{grad: true, pool: pool} }
+
 // NewForward returns a forward-only tape: no backward closures are
 // recorded, so intermediates become garbage as soon as they are
 // unreferenced. pool (may be nil) additionally allows explicit storage
@@ -77,11 +84,16 @@ func NewForward(pool *Pool) *Tape { return &Tape{pool: pool} }
 // Recording reports whether the tape retains a backward pass.
 func (t *Tape) Recording() bool { return t.grad }
 
-// new allocates an op output: fresh with gradient storage on recording
-// tapes, pool-recycled and gradient-free on forward tapes.
+// new allocates an op output: with gradient storage on recording tapes,
+// gradient-free on forward tapes; pool-recycled on pooled tapes.
 func (t *Tape) new(r, c int) *V {
 	if t.grad {
-		return New(r, c)
+		if t.pool == nil {
+			return New(r, c)
+		}
+		v := t.pool.getGrad(r, c)
+		t.live = append(t.live, v)
+		return v
 	}
 	var v *V
 	if t.pool != nil {
@@ -91,6 +103,19 @@ func (t *Tape) new(r, c int) *V {
 	}
 	t.live = append(t.live, v)
 	return v
+}
+
+// scratch allocates an n-element float buffer with the same lifetime as
+// the tape's op outputs: pool-recycled where the tape is pooled. Ops use
+// it for internal state (softmax probabilities, dropout masks) that the
+// backward closure needs but that is not itself a differentiable value.
+func (t *Tape) scratch(n int) []float64 {
+	if t.pool == nil {
+		return make([]float64, n)
+	}
+	v := t.pool.get(n, 1)
+	t.live = append(t.live, v)
+	return v.W
 }
 
 // Keep marks every value allocated on the tape so far as permanent:
@@ -124,6 +149,24 @@ func (t *Tape) ReleaseExcept(keep ...*V) {
 	t.live = kept
 }
 
+// Reset returns every value the tape allocated to its pool and clears
+// the recorded backward pass, retaining slice capacity. Externally
+// created values (parameters) are untouched. Training shard workers call
+// it between shards so each step reuses the previous step's storage; do
+// not mix with Keep, which hides values from Reset.
+func (t *Tape) Reset() {
+	if t.pool != nil {
+		for _, v := range t.live {
+			t.pool.put(v)
+		}
+	}
+	t.live = t.live[:0]
+	for i := range t.backward {
+		t.backward[i] = nil
+	}
+	t.backward = t.backward[:0]
+}
+
 func (t *Tape) record(f func()) {
 	t.backward = append(t.backward, f)
 }
@@ -154,59 +197,6 @@ func (t *Tape) MatMul(a, b *V) *V {
 		})
 	}
 	return out
-}
-
-// matmul computes out += a@b with out [r,c], a [r,k], b [k,c]; out is
-// assumed zeroed (fresh) by callers that need assignment semantics.
-func matmul(out, a, b []float64, r, k, c int) {
-	for i := 0; i < r; i++ {
-		ai := a[i*k : (i+1)*k]
-		oi := out[i*c : (i+1)*c]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*c : (p+1)*c]
-			for j := 0; j < c; j++ {
-				oi[j] += av * bp[j]
-			}
-		}
-	}
-}
-
-// matmulNT computes out += a @ b^T with a [r,k], b [c,k], out [r,c].
-func matmulNT(out, a, b []float64, r, k, c int) {
-	for i := 0; i < r; i++ {
-		ai := a[i*k : (i+1)*k]
-		oi := out[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			bj := b[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += ai[p] * bj[p]
-			}
-			oi[j] += s
-		}
-	}
-}
-
-// matmulTN computes out += a^T @ b with a [k,r], b [k,c], out [r,c].
-func matmulTN(out, a, b []float64, r, k, c int) {
-	for p := 0; p < k; p++ {
-		ap := a[p*r : (p+1)*r]
-		bp := b[p*c : (p+1)*c]
-		for i := 0; i < r; i++ {
-			av := ap[i]
-			if av == 0 {
-				continue
-			}
-			oi := out[i*c : (i+1)*c]
-			for j := 0; j < c; j++ {
-				oi[j] += av * bp[j]
-			}
-		}
-	}
 }
 
 // Add returns a + b. b may be a [1,C] row vector, broadcast over a's rows.
@@ -417,7 +407,7 @@ func (t *Tape) Dropout(a *V, p float64, rng func() float64) *V {
 		return a
 	}
 	out := t.new(a.R, a.C)
-	mask := make([]float64, len(a.W))
+	mask := t.scratch(len(a.W))
 	scale := 1 / (1 - p)
 	for i := range a.W {
 		if rng() >= p {

@@ -10,11 +10,6 @@ import (
 // contribution; zero weight masks padding. The result is a [1,1] scalar;
 // the fused backward is the standard (softmax - onehot) * weight / norm.
 func (t *Tape) SoftmaxCrossEntropy(logits *V, targets []int, weights []float64) *V {
-	if len(targets) != logits.R || len(weights) != logits.R {
-		panic(fmt.Sprintf("ad: SoftmaxCrossEntropy %d logit rows, %d targets, %d weights", logits.R, len(targets), len(weights)))
-	}
-	B, Vc := logits.R, logits.C
-	probs := make([]float64, B*Vc)
 	norm := 0.0
 	for _, w := range weights {
 		norm += w
@@ -22,6 +17,24 @@ func (t *Tape) SoftmaxCrossEntropy(logits *V, targets []int, weights []float64) 
 	if norm == 0 {
 		norm = 1
 	}
+	return t.softmaxCE(logits, targets, weights, norm)
+}
+
+// SoftmaxCrossEntropySum is SoftmaxCrossEntropy without the weight
+// normalization: the result is the summed weighted cross-entropy. Shard
+// workers use it so per-shard losses compose exactly — the batch loss is
+// the ordered sum of shard sums times one global 1/totalWeight, which is
+// the same arithmetic at any shard count.
+func (t *Tape) SoftmaxCrossEntropySum(logits *V, targets []int, weights []float64) *V {
+	return t.softmaxCE(logits, targets, weights, 1)
+}
+
+func (t *Tape) softmaxCE(logits *V, targets []int, weights []float64, norm float64) *V {
+	if len(targets) != logits.R || len(weights) != logits.R {
+		panic(fmt.Sprintf("ad: SoftmaxCrossEntropy %d logit rows, %d targets, %d weights", logits.R, len(targets), len(weights)))
+	}
+	B, Vc := logits.R, logits.C
+	probs := t.scratch(B * Vc)
 	loss := 0.0
 	for i := 0; i < B; i++ {
 		row := logits.W[i*Vc : (i+1)*Vc]
@@ -75,6 +88,18 @@ func (t *Tape) SoftmaxCrossEntropy(logits *V, targets []int, weights []float64) 
 // LogSoftmaxRow computes the log-softmax of a single row vector without
 // recording gradients; used during inference (beam search).
 func LogSoftmaxRow(row []float64) []float64 {
+	return logSoftmaxRow(make([]float64, len(row)), row)
+}
+
+// LogSoftmaxRow on a tape draws the output buffer from the tape's pool:
+// it lives until the tape's next ReleaseExcept or Reset, so callers in a
+// recycled loop (beam search decode steps) get an allocation-free
+// log-softmax. No gradients are recorded either way.
+func (t *Tape) LogSoftmaxRow(row []float64) []float64 {
+	return logSoftmaxRow(t.scratch(len(row)), row)
+}
+
+func logSoftmaxRow(out, row []float64) []float64 {
 	max := row[0]
 	for _, x := range row {
 		if x > max {
@@ -86,7 +111,6 @@ func LogSoftmaxRow(row []float64) []float64 {
 		sum += math.Exp(x - max)
 	}
 	lse := max + math.Log(sum)
-	out := make([]float64, len(row))
 	for i, x := range row {
 		out[i] = x - lse
 	}

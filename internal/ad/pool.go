@@ -16,20 +16,50 @@ type Pool struct {
 func NewPool() *Pool { return &Pool{free: map[int][]*V{}} }
 
 // get returns a zeroed [r,c] value, reusing released storage of the same
-// element count when available. Pooled values carry no gradient storage;
-// they only ever live on forward tapes, which never run Backward.
+// element count when available. Values from get carry no gradient
+// storage; forward tapes, which never run Backward, use them directly.
 func (p *Pool) get(r, c int) *V {
 	n := r * c
-	if vs := p.free[n]; len(vs) > 0 {
-		v := vs[len(vs)-1]
-		p.free[n] = vs[:len(vs)-1]
+	if v := p.take(n); v != nil {
 		v.R, v.C = r, c
-		for i := range v.W {
-			v.W[i] = 0
-		}
 		return v
 	}
 	return &V{R: r, C: c, W: make([]float64, n)}
+}
+
+// getGrad returns a zeroed [r,c] value with zeroed gradient storage, for
+// pooled training tapes. A recycled value that last served a forward
+// tape gains its gradient slice here; the pool is shared either way.
+func (p *Pool) getGrad(r, c int) *V {
+	n := r * c
+	v := p.take(n)
+	if v == nil {
+		return New(r, c)
+	}
+	v.R, v.C = r, c
+	if cap(v.G) < n {
+		v.G = make([]float64, n)
+		return v
+	}
+	v.G = v.G[:n]
+	for i := range v.G {
+		v.G[i] = 0
+	}
+	return v
+}
+
+// take pops a free value of element count n with W zeroed, or nil.
+func (p *Pool) take(n int) *V {
+	vs := p.free[n]
+	if len(vs) == 0 {
+		return nil
+	}
+	v := vs[len(vs)-1]
+	p.free[n] = vs[:len(vs)-1]
+	for i := range v.W {
+		v.W[i] = 0
+	}
+	return v
 }
 
 // put returns a value's storage to the pool. The caller must not use v

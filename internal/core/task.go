@@ -169,6 +169,9 @@ type TrainTaskOptions struct {
 	// Checkpoint; training continues from the epoch it recorded instead
 	// of starting over.
 	Resume []byte
+	// Metrics (may be nil) receives per-step and per-epoch training
+	// counters and latency histograms, on fresh and resumed runs alike.
+	Metrics *TrainMetrics
 }
 
 // TrainTask trains the seq2seq model for one task (without evaluating
@@ -208,6 +211,9 @@ func (d *Dataset) TrainTask(task Task, opts *TrainTaskOptions, progress func(str
 		model = seq2seq.NewModel(mcfg,
 			seq2seq.BuildVocab(srcSeqs, mcfg.SrcVocab),
 			seq2seq.BuildVocab(tgtSeqs, mcfg.TgtVocab))
+	}
+	if opts != nil && opts.Metrics != nil {
+		model.SetTrainObserver(opts.Metrics.observer())
 	}
 	var ck func(*seq2seq.TrainState) error
 	if opts != nil && opts.Checkpoint != nil {

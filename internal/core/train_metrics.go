@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/seq2seq"
+)
+
+// TrainMetrics instruments sharded model training with the same
+// counter/histogram primitives as the dataset pipeline and evaluation;
+// register them on the server's Registry to surface training progress
+// on /metrics. A nil *TrainMetrics disables instrumentation.
+type TrainMetrics struct {
+	Batches *metrics.Counter // optimizer steps (one per minibatch)
+	Shards  *metrics.Counter // forward+backward shard passes
+	Tokens  *metrics.Counter // scored (non-PAD) target tokens
+	Epochs  *metrics.Counter // completed epochs across all stages
+	// ShardSeconds is the parallel forward+backward phase of each step;
+	// MergeSeconds is its serial tail (ordered gradient reduction plus
+	// the optimizer update) — the Amdahl split of the training loop.
+	ShardSeconds *metrics.Histogram
+	MergeSeconds *metrics.Histogram
+	EpochSeconds *metrics.Histogram
+}
+
+// NewTrainMetrics registers the training counters and latency
+// histograms on r.
+func NewTrainMetrics(r *metrics.Registry) *TrainMetrics {
+	return &TrainMetrics{
+		Batches:      r.NewCounter("train_batches_total", "Optimizer steps completed."),
+		Shards:       r.NewCounter("train_shards_total", "Forward+backward shard passes."),
+		Tokens:       r.NewCounter("train_tokens_total", "Scored target tokens."),
+		Epochs:       r.NewCounter("train_epochs_total", "Completed training epochs."),
+		ShardSeconds: r.NewHistogram("train_shard_seconds", "Per-step parallel forward+backward wall time.", nil),
+		MergeSeconds: r.NewHistogram("train_merge_seconds", "Per-step gradient reduction plus optimizer wall time.", nil),
+		EpochSeconds: r.NewHistogram("train_epoch_seconds", "Per-epoch wall time including validation.", nil),
+	}
+}
+
+// observer adapts the metrics to the seq2seq training callbacks.
+// Callbacks arrive on the training goroutine between steps, and the
+// primitives are atomic anyway, so the adapter is concurrency-safe.
+func (tm *TrainMetrics) observer() seq2seq.TrainObserver {
+	return seq2seq.TrainObserver{
+		Step: func(e seq2seq.TrainEvent) {
+			tm.Batches.Inc()
+			tm.Shards.Add(int64(e.Shards))
+			tm.Tokens.Add(int64(e.Tokens))
+			tm.ShardSeconds.Observe(e.ShardSeconds)
+			tm.MergeSeconds.Observe(e.MergeSeconds)
+		},
+		Epoch: func(e seq2seq.TrainEpochEvent) {
+			tm.Epochs.Inc()
+			tm.EpochSeconds.Observe(e.Seconds)
+		},
+	}
+}

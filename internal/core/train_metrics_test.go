@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/typelang"
+)
+
+func TestTrainMetricsInstrumentation(t *testing.T) {
+	d := buildTestDataset(t)
+	reg := metrics.NewRegistry()
+	tm := NewTrainMetrics(reg)
+	tr, err := d.TrainTask(Task{Variant: typelang.VariantLSW}, &TrainTaskOptions{Metrics: tm}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model == nil {
+		t.Fatal("no model trained")
+	}
+
+	batches := tm.Batches.Value()
+	if batches == 0 {
+		t.Fatal("no optimizer steps counted")
+	}
+	if shards := tm.Shards.Value(); shards < batches {
+		t.Errorf("%d shards for %d batches; every batch has at least one shard", shards, batches)
+	}
+	if tm.Tokens.Value() == 0 {
+		t.Error("no target tokens counted")
+	}
+	epochs := tm.Epochs.Value()
+	if epochs == 0 {
+		t.Error("no epochs counted")
+	}
+	if got := tm.ShardSeconds.Count(); got != batches {
+		t.Errorf("ShardSeconds observed %d steps, counters saw %d", got, batches)
+	}
+	if got := tm.MergeSeconds.Count(); got != batches {
+		t.Errorf("MergeSeconds observed %d steps, counters saw %d", got, batches)
+	}
+	if got := tm.EpochSeconds.Count(); got != epochs {
+		t.Errorf("EpochSeconds observed %d epochs, counters saw %d", got, epochs)
+	}
+
+	var rendered bytes.Buffer
+	if _, err := reg.WriteTo(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"train_batches_total", "train_shard_seconds", "train_epoch_seconds"} {
+		if !strings.Contains(rendered.String(), name) {
+			t.Errorf("%s missing from registry render", name)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Native fuzz target for the LEB128 codec, the innermost primitive of
+// both the WebAssembly and DWARF decoders. Run with:
+//
+//	go test -fuzz=FuzzRoundTrip ./internal/leb128
+package leb128
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzSeedValues cover the encoding's boundary shapes: one-byte values,
+// continuation-bit edges (7-bit multiples), sign-bit edges for the
+// signed form, and the width extremes.
+var fuzzSeedValues = []uint64{
+	0, 1, 63, 64, 127, 128, 16383, 16384,
+	1 << 31, 1<<32 - 1, 1 << 32, 1<<63 - 1, 1 << 63, math.MaxUint64,
+}
+
+// FuzzRoundTrip checks the codec's two invariants on arbitrary inputs:
+//
+//  1. Round trip: any value encodes to bytes that decode back to the
+//     same value, consuming exactly the encoded length, for both the
+//     unsigned and signed forms at both supported widths.
+//  2. Canonical length: decoding rejects over-long encodings — a varint
+//     padded past maxBytes = (maxBits+6)/7 must return ErrOverflow, not
+//     a value (redundant 0x80 continuations are how smuggled bytes hide
+//     in malformed binaries).
+func FuzzRoundTrip(f *testing.F) {
+	for _, v := range fuzzSeedValues {
+		f.Add(v, byte(0))
+	}
+	f.Fuzz(func(t *testing.T, v uint64, pad byte) {
+		// Unsigned round trip at 64 bits, with trailing garbage ignored.
+		enc := AppendUint(nil, v)
+		got, n, err := Uint(append(enc, pad), 64)
+		if err != nil || got != v || n != len(enc) {
+			t.Fatalf("Uint(AppendUint(%d)) = (%d, %d, %v), want (%d, %d, nil)", v, got, n, err, v, len(enc))
+		}
+		if n != UintLen(v) {
+			t.Fatalf("UintLen(%d) = %d, encoder emitted %d bytes", v, UintLen(v), n)
+		}
+
+		// Signed round trip of the same bit pattern at 64 bits.
+		sv := int64(v)
+		senc := AppendInt(nil, sv)
+		sgot, sn, err := Int(append(senc, pad), 64)
+		if err != nil || sgot != sv || sn != len(senc) {
+			t.Fatalf("Int(AppendInt(%d)) = (%d, %d, %v), want (%d, %d, nil)", sv, sgot, sn, err, sv, len(senc))
+		}
+
+		// 32-bit round trip when the value fits the narrower width.
+		if v <= math.MaxUint32 {
+			if got, n, err := Uint(enc, 32); err != nil || got != v || n != len(enc) {
+				t.Fatalf("Uint(%d, 32) = (%d, %d, %v)", v, got, n, err)
+			}
+		}
+		if sv >= math.MinInt32 && sv <= math.MaxInt32 {
+			if got, n, err := Int(senc, 32); err != nil || got != sv || n != len(senc) {
+				t.Fatalf("Int(%d, 32) = (%d, %d, %v)", sv, got, n, err)
+			}
+		}
+
+		// Over-long encodings must be rejected: keep the continuation bit
+		// going with zero-payload bytes past the width's maxBytes.
+		overlong := bytes.TrimSuffix(enc, enc[len(enc)-1:])
+		overlong = append(overlong, enc[len(enc)-1]|0x80)
+		for len(overlong) < 11 {
+			overlong = append(overlong, 0x80)
+		}
+		overlong = append(overlong, 0)
+		if _, _, err := Uint(overlong, 64); !errors.Is(err, ErrOverflow) {
+			t.Fatalf("Uint accepted %d-byte over-long encoding of %d: %v", len(overlong), v, err)
+		}
+		if _, _, err := Int(overlong, 64); !errors.Is(err, ErrOverflow) {
+			t.Fatalf("Int accepted %d-byte over-long encoding of %d: %v", len(overlong), v, err)
+		}
+
+		// A lone continuation byte stream is truncated input.
+		if _, _, err := Uint(enc[:len(enc)-1], 64); len(enc) > 1 && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("Uint on truncated input: %v, want ErrTruncated", err)
+		}
+	})
+}

@@ -50,6 +50,42 @@ func (p *Params) ZeroGrad() {
 	}
 }
 
+// ReduceGrads overwrites p's gradients with the scaled ordered sum of
+// the shard parameter sets' gradients: for every parameter element,
+// G = (shard0.G + shard1.G + ... + shardN.G) * scale, summed in
+// ascending shard order. Because the bracketing is fixed by shard index
+// — never by which worker finished first — the reduction is bitwise
+// deterministic at any worker count; scale is typically 1/totalTokens,
+// turning per-shard summed losses into the batch-mean gradient. Shard
+// gradients are drained (zeroed) as they are read, leaving the shard
+// sets ready for the next step. Shards must mirror p's registration
+// order and shapes (shadow models built from the same config do).
+func (p *Params) ReduceGrads(shards []*Params, scale float64) {
+	for si, s := range shards {
+		if len(s.vals) != len(p.vals) {
+			panic(fmt.Sprintf("nn: ReduceGrads shard %d has %d parameters, want %d", si, len(s.vals), len(p.vals)))
+		}
+	}
+	for pi, v := range p.vals {
+		for si, s := range shards {
+			sv := s.vals[pi]
+			if len(sv.G) != len(v.G) {
+				panic(fmt.Sprintf("nn: ReduceGrads shard %d parameter %q has %d gradient elements, want %d",
+					si, p.names[pi], len(sv.G), len(v.G)))
+			}
+		}
+		for i := range v.G {
+			sum := 0.0
+			for _, s := range shards {
+				g := &s.vals[pi].G[i]
+				sum += *g
+				*g = 0
+			}
+			v.G[i] = sum * scale
+		}
+	}
+}
+
 // xavier initializes a matrix with Glorot-uniform values.
 func xavier(r *rand.Rand, rows, cols int) *ad.V {
 	v := ad.New(rows, cols)

@@ -242,3 +242,73 @@ func TestAdamExportRestore(t *testing.T) {
 		t.Error("mismatched restore accepted")
 	}
 }
+
+// TestReduceGrads: the reduction must sum shard gradients in ascending
+// shard order (fixed bracketing — the basis of -j invariance), scale the
+// sum, overwrite the destination gradient, and drain the shards.
+func TestReduceGrads(t *testing.T) {
+	build := func(seed int64) *Params {
+		var p Params
+		r := rand.New(rand.NewSource(seed))
+		NewLinear(&p, "l", r, 3, 2)
+		NewEmbedding(&p, "e", r, 5, 3)
+		return &p
+	}
+	master := build(1)
+	shards := []*Params{build(2), build(3), build(4)}
+	for si, s := range shards {
+		for pi, v := range s.All() {
+			for i := range v.G {
+				v.G[i] = float64(si+1) * float64(pi*100+i+1) * 1e-3
+			}
+		}
+	}
+	// Expected: ordered sum with explicit left-to-right bracketing.
+	var want [][]float64
+	for pi, v := range master.All() {
+		w := make([]float64, len(v.G))
+		for i := range w {
+			sum := 0.0
+			for _, s := range shards {
+				sum += s.All()[pi].G[i]
+			}
+			w[i] = sum * 0.25
+		}
+		want = append(want, w)
+		for i := range v.G {
+			v.G[i] = 999 // must be overwritten, not accumulated into
+		}
+	}
+	master.ReduceGrads(shards, 0.25)
+	for pi, v := range master.All() {
+		for i := range v.G {
+			if math.Float64bits(v.G[i]) != math.Float64bits(want[pi][i]) {
+				t.Fatalf("param %d elem %d: got %v want %v", pi, i, v.G[i], want[pi][i])
+			}
+		}
+	}
+	for si, s := range shards {
+		for pi, v := range s.All() {
+			for i := range v.G {
+				if v.G[i] != 0 {
+					t.Fatalf("shard %d param %d grad not drained", si, pi)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceGradsShapeMismatch: mismatched shard parameter sets must
+// panic rather than silently corrupt the update.
+func TestReduceGradsShapeMismatch(t *testing.T) {
+	var a, b Params
+	r := rand.New(rand.NewSource(9))
+	NewLinear(&a, "l", r, 3, 2)
+	NewLinear(&b, "l", r, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch should panic")
+		}
+	}()
+	a.ReduceGrads([]*Params{&b}, 1)
+}

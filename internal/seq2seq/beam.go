@@ -123,7 +123,7 @@ func (m *Model) predictOn(tape *ad.Tape, src []string, k int) []Prediction {
 			}
 			done = false
 			s, logits := m.decodeStep(tape, enc, b.state, []int{b.node.id}, false)
-			logProbs := ad.LogSoftmaxRow(logits.W)
+			logProbs := tape.LogSoftmaxRow(logits.W)
 			// Expand with the top `width` continuations.
 			type scored struct {
 				id int

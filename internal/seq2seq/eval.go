@@ -82,13 +82,18 @@ type validBatchScore struct {
 	tokens float64 // number of scored (non-PAD) target tokens
 }
 
-// scoreBatches computes every batch's token-loss sum on forward-only
-// tapes, fanned over par workers; results land in batch-index order.
+// scoreBatches computes every batch's token-loss sum on pooled
+// forward-only tapes, fanned over par workers; results land in
+// batch-index order. Buffer pools are drawn from the model's cache, so
+// repeated validation passes recycle their tensors.
 func (m *Model) scoreBatches(batches []batch, par int) []validBatchScore {
 	scores := make([]validBatchScore, len(batches))
 	fanOut(par, len(batches), func(i int) {
-		tape := ad.NewForward(nil)
+		pool := m.getPool()
+		tape := ad.NewForward(pool)
 		scores[i].sum, scores[i].tokens = m.batchLossSum(tape, batches[i])
+		tape.Reset()
+		m.putPool(pool)
 	})
 	return scores
 }

@@ -134,9 +134,10 @@ type Config struct {
 	// the paper's model) or EncoderTransformer (the alternative the paper
 	// explored without accuracy gains).
 	Encoder string
-	// Parallelism bounds the worker pool used for validation scoring and
-	// EvalParallel — the same -j convention as the dataset pipeline; 0
-	// means runtime.NumCPU(). Any value produces identical results.
+	// Parallelism bounds the worker pools used for training shards,
+	// validation scoring, and EvalParallel — the same -j convention as
+	// the dataset pipeline; 0 means runtime.NumCPU(). Any value produces
+	// bitwise-identical results (weights, losses, predictions).
 	Parallelism int
 }
 
@@ -173,6 +174,10 @@ type Model struct {
 	tfLayers []*tfLayer
 
 	rng *rand.Rand
+
+	// trainObs receives per-step and per-epoch training callbacks
+	// (metrics); zero value means no observer.
+	trainObs TrainObserver
 
 	// pools hands each concurrent Predict call its own inference buffer
 	// pool, so beam-search tensors recycle across calls without sharing.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/ad"
 	"repro/internal/nn"
@@ -94,41 +95,12 @@ func pad(s []int, n int) []int {
 	return s
 }
 
-// batchLoss runs the teacher-forced forward pass and returns the loss
-// node: the mean over decode steps of each step's token-mean
-// cross-entropy (the training objective).
-func (m *Model) batchLoss(t *ad.Tape, b batch, train bool) *ad.V {
-	enc := m.encode(t, b.src, train)
-	B := len(b.tgt)
-	Ttgt := len(b.tgt[0])
-	s := enc.init
-	var losses []*ad.V
-	for step := 0; step+1 < Ttgt; step++ {
-		prev := make([]int, B)
-		targets := make([]int, B)
-		weights := make([]float64, B)
-		for i := 0; i < B; i++ {
-			prev[i] = b.tgt[i][step]
-			targets[i] = b.tgt[i][step+1]
-			if targets[i] != PAD {
-				weights[i] = 1
-			}
-		}
-		var logits *ad.V
-		s, logits = m.decodeStep(t, enc, s, prev, train)
-		losses = append(losses, t.SoftmaxCrossEntropy(logits, targets, weights))
-	}
-	total := losses[0]
-	for _, l := range losses[1:] {
-		total = t.Add(total, l)
-	}
-	return t.Scale(total, 1/float64(len(losses)))
-}
-
 // batchLossSum runs the teacher-forced forward pass without dropout and
 // returns the summed token cross-entropy plus the number of scored
 // (non-PAD) target tokens — the pieces of a token-weighted validation
-// mean, which batchLoss's mean-of-step-means is not.
+// mean. The sum accumulates per-step summed cross-entropies directly
+// (never a mean scaled back up), matching the training objective's
+// arithmetic exactly.
 func (m *Model) batchLossSum(t *ad.Tape, b batch) (sum, tokens float64) {
 	enc := m.encode(t, b.src, false)
 	B := len(b.tgt)
@@ -150,8 +122,8 @@ func (m *Model) batchLossSum(t *ad.Tape, b batch) (sum, tokens float64) {
 		var logits *ad.V
 		s, logits = m.decodeStep(t, enc, s, prev, false)
 		if n > 0 {
-			ce := t.SoftmaxCrossEntropy(logits, targets, weights)
-			sum += ce.W[0] * n
+			ce := t.SoftmaxCrossEntropySum(logits, targets, weights)
+			sum += ce.W[0]
 			tokens += n
 		}
 	}
@@ -206,9 +178,10 @@ func (m *Model) Fit(train, valid []Pair, progress func(string)) {
 // and persists one after every epoch. st (may be nil) continues a run
 // checkpointed earlier; checkpoint (may be nil) receives the full
 // training state after each completed epoch — returning an error aborts
-// training. Epoch randomness (batch shuffle, dropout) is derived from
-// (Seed, epoch) alone, so a killed run resumed from its last checkpoint
-// replays the exact stream an uninterrupted run would have used and
+// training. The batch shuffle is derived from (Seed, epoch) alone and
+// each shard's dropout stream from (Seed, epoch, batch, shard), so a
+// killed run resumed from its last checkpoint — at any worker count —
+// replays the exact streams an uninterrupted run would have used and
 // converges to the same weights.
 func (m *Model) FitResume(train, valid []Pair, st *TrainState, checkpoint func(*TrainState) error, progress func(string)) error {
 	if len(train) == 0 {
@@ -237,27 +210,33 @@ func (m *Model) FitResume(train, valid []Pair, st *TrainState, checkpoint func(*
 			Opt:       opt.Export(),
 		}
 	}
+	ts := m.newTrainShards(m.parallel())
 	for epoch := start; epoch < m.Cfg.Epochs; epoch++ {
-		// Per-epoch seeding: the shuffle and dropout streams depend only
-		// on (Seed, epoch), never on how many epochs this process has
-		// already run — the property checkpoint resumption relies on.
+		epochStart := time.Now()
+		// Per-epoch seeding: the batch shuffle depends only on (Seed,
+		// epoch), never on how many epochs this process has already run —
+		// the property checkpoint resumption relies on. Dropout streams
+		// are seeded per (Seed, epoch, batch, shard) inside the sharded
+		// step for the same reason (and for -j invariance).
 		r := rand.New(rand.NewSource(m.Cfg.Seed + 100 + 1009*int64(epoch)))
-		m.rng = rand.New(rand.NewSource(m.Cfg.Seed + 791 + 6151*int64(epoch)))
 		batches := m.makeBatches(train, r)
-		totalLoss, n := 0.0, 0
-		for _, b := range batches {
-			tape := ad.NewTape()
-			loss := m.batchLoss(tape, b, true)
-			m.params.ZeroGrad()
-			loss.G[0] = 1
-			tape.Backward()
-			opt.Step()
-			totalLoss += loss.W[0]
-			n++
+		epochSum, epochTokens := 0.0, 0.0
+		for bi, b := range batches {
+			sum, tokens := m.trainStep(ts, opt, epoch, bi, b)
+			epochSum += sum
+			epochTokens += tokens
 		}
+		trainLoss := epochSum / epochTokens
 		vl := m.ValidLoss(valid)
+		if m.trainObs.Epoch != nil {
+			m.trainObs.Epoch(TrainEpochEvent{
+				Epoch: epoch, Batches: len(batches),
+				Seconds:   time.Since(epochStart).Seconds(),
+				TrainLoss: trainLoss, ValidLoss: vl,
+			})
+		}
 		if progress != nil {
-			progress(fmt.Sprintf("epoch %d: train loss %.4f, valid loss %.4f", epoch+1, totalLoss/float64(n), vl))
+			progress(fmt.Sprintf("epoch %d: train loss %.4f, valid loss %.4f", epoch+1, trainLoss, vl))
 		}
 		if len(valid) == 0 {
 			// No validation set: train the full epoch budget.

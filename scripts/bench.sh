@@ -1,0 +1,55 @@
+#!/bin/sh
+# Performance benchmarks for the training and prediction hot paths.
+# Runs the kernel, train-step, beam-search, and evaluation benchmarks
+# and records the parsed results as JSON at the repo root:
+#
+#   BENCH_train.json    BenchmarkMatmulKernels, BenchmarkTrainStep
+#   BENCH_predict.json  BenchmarkPredict, BenchmarkEvalThroughput
+#
+# Usage: scripts/bench.sh
+#
+# BenchmarkEvalThroughput trains a model first; SNOWWHITE_BENCH_PACKAGES
+# and SNOWWHITE_BENCH_EPOCHS (exported below unless already set) keep
+# that under a few minutes on one CPU — raise them for stabler numbers.
+set -eu
+cd "$(dirname "$0")/.."
+
+: "${SNOWWHITE_BENCH_PACKAGES:=60}"
+: "${SNOWWHITE_BENCH_EPOCHS:=3}"
+export SNOWWHITE_BENCH_PACKAGES SNOWWHITE_BENCH_EPOCHS
+
+# to_json turns `go test -bench` output into a JSON document: one entry
+# per benchmark line, with ns/op and every custom metric keyed by unit.
+to_json() {
+	awk '
+	BEGIN { print "{"; print "  \"benchmarks\": [" ; n = 0 }
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^Benchmark/ {
+		if (n++) printf ",\n"
+		printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
+		for (i = 3; i + 1 <= NF; i += 2)
+			printf ", \"%s\": %s", $(i + 1), $i
+		printf "}"
+	}
+	END {
+		if (n) printf "\n"
+		print "  ],"
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"benchmarks_run\": %d\n", n
+		print "}"
+	}'
+}
+
+echo "== kernel + train-step benchmarks (BENCH_train.json) =="
+{
+	go test -run '^$' -bench 'BenchmarkMatmulKernels' -benchmem ./internal/ad
+	go test -run '^$' -bench 'BenchmarkTrainStep' ./internal/seq2seq
+} | tee /dev/stderr | to_json >BENCH_train.json
+
+echo "== predict + eval benchmarks (BENCH_predict.json) =="
+{
+	go test -run '^$' -bench 'BenchmarkPredict$' -benchmem ./internal/seq2seq
+	go test -run '^$' -bench 'BenchmarkEvalThroughput' -timeout 30m .
+} | tee /dev/stderr | to_json >BENCH_predict.json
+
+echo "bench: wrote BENCH_train.json BENCH_predict.json"

@@ -19,6 +19,9 @@ go test -race -count=2 -run 'TestPipeline(Determinism|RaceStress)|TestGeneratePa
 echo "== eval determinism/race stress (-count=2 to vary scheduling) =="
 go test -race -count=2 -run 'TestEvalParallelDeterministic|TestPredictConcurrent|TestValidLossParallelInvariant|TestPredictPooledMatchesReference' \
 	./internal/seq2seq
+echo "== train determinism/race stress (-count=2 to vary scheduling) =="
+go test -race -count=2 -run 'TestFitParallelGolden|TestFitParallelResumeMatchesUninterrupted|TestFitShardedRaceStress' \
+	./internal/seq2seq
 echo "== fuzz seed corpora (no mutation; smoke-checks the native targets) =="
-go test -run 'FuzzRead|FuzzDecode' ./internal/dwarf ./internal/wasm
+go test -run 'FuzzRead|FuzzDecode|FuzzRoundTrip' ./internal/dwarf ./internal/wasm ./internal/leb128
 echo "verify: OK"
