@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"net/http"
@@ -14,8 +15,10 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/core"
@@ -245,6 +248,102 @@ double first(double *xs, int n) {
 	b.Run("cached", func(b *testing.B) { run(b, 4096, true) })
 }
 
+// BenchmarkServerPredictConcurrent measures the serving subsystem under
+// concurrent load with request batching on and the cache off, so every
+// request decodes: the dynamic batcher coalesces overlapping queries
+// into shared beam decodes. The reported batch-mean metric is the mean
+// coalesced batch size read back from /metrics — above 1 means
+// concurrent requests actually shared decoder GEMMs.
+func BenchmarkServerPredictConcurrent(b *testing.B) {
+	_, param := benchTask(b, core.Task{Variant: typelang.VariantLSW})
+	_, ret := benchTask(b, core.Task{Variant: typelang.VariantLSW, Return: true})
+	pred := &core.Predictor{Param: param, Return: ret, Opts: benchConfig().Extract}
+
+	obj, err := cc.Compile(`
+double first(double *xs, int n) {
+	if (xs != NULL && n > 0) { return xs[0]; }
+	return 0.0;
+}
+`, cc.Options{Debug: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, _, err := wasm.Encode(obj.Module)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, cfg := range []struct {
+		name  string
+		batch int
+		wait  time.Duration
+	}{
+		{"batch=1", 1, 0}, // coalescing off: each query decodes alone
+		{"batch=8,wait=2ms", 8, 2 * time.Millisecond},
+		{"batch=8,wait=10ms", 8, 10 * time.Millisecond},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, err := server.New(pred, server.Config{
+				Workers:   16,
+				CacheSize: -1,
+				BatchSize: cfg.batch,
+				BatchWait: cfg.wait,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := http.Post(ts.URL+"/v1/predict", "application/wasm", bytes.NewReader(bin))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if sum, count := scrapeMetric(b, ts.URL, "snowwhite_batch_size_sum"), scrapeMetric(b, ts.URL, "snowwhite_batch_size_count"); count > 0 {
+				b.ReportMetric(sum/count, "batch-mean")
+			}
+		})
+	}
+}
+
+// scrapeMetric reads one un-labeled metric value off the /metrics
+// endpoint.
+func scrapeMetric(b *testing.B, baseURL, name string) float64 {
+	b.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				b.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	b.Fatalf("metric %s not found", name)
+	return 0
+}
+
 // BenchmarkBuildDataset measures the parallel dataset pipeline
 // (generate → compile → dedup → extract) at 1, 2, and NumCPU workers.
 // EXPERIMENTS.md records the measured speedup; the outputs are
@@ -407,7 +506,12 @@ func BenchmarkEvalThroughput(b *testing.B) {
 	_, tr := benchTask(b, task)
 	d := benchDataset(b)
 	defer func() { d.Cfg.Parallelism = 0 }()
+	seen := map[int]bool{}
 	for _, par := range []int{1, 2, runtime.NumCPU()} {
+		if seen[par] {
+			continue // NumCPU may collide with 1 or 2 on small machines
+		}
+		seen[par] = true
 		b.Run(fmt.Sprintf("j=%d", par), func(b *testing.B) {
 			d.Cfg.Parallelism = par
 			b.ResetTimer()

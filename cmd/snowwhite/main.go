@@ -18,8 +18,13 @@
 // over; the file is removed once the model is saved.
 //
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
-//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642]
+//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D]
 //	snowwhite table1                                      Table 1
+//
+// `snowwhite serve` coalesces concurrent prediction queries into batched
+// beam decodes: up to -batch queries (default 8) share one decoder GEMM
+// per step, and a non-full batch waits at most -batch-wait (default 2ms)
+// for stragglers; a lone request never waits. -batch 1 disables batching.
 package main
 
 import (
@@ -295,6 +300,8 @@ func runServe(args []string) error {
 	maxBody := fs.Int64("max-body", 8<<20, "maximum upload size in bytes")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request prediction timeout")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	batch := fs.Int("batch", 8, "max queries coalesced per batched beam decode (<=1 disables)")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "max time a non-full batch waits for stragglers")
 	fs.Parse(args)
 
 	p, err := loadOrTrain(*modelPath, opts)
@@ -307,6 +314,8 @@ func runServe(args []string) error {
 		CacheSize:      *cacheSize,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
+		BatchSize:      *batch,
+		BatchWait:      *batchWait,
 	})
 	if err != nil {
 		return err

@@ -134,17 +134,18 @@ func (t *Tape) ReleaseExcept(keep ...*V) {
 		t.live = t.live[:0]
 		return
 	}
-	keepSet := make(map[*V]bool, len(keep))
-	for _, v := range keep {
-		keepSet[v] = true
-	}
 	kept := t.live[:0]
+scan:
 	for _, v := range t.live {
-		if keepSet[v] {
-			kept = append(kept, v)
-		} else {
-			t.pool.put(v)
+		// Keep lists are a handful of surviving states; a linear scan
+		// beats allocating a set every decode step.
+		for _, k := range keep {
+			if v == k {
+				kept = append(kept, v)
+				continue scan
+			}
 		}
+		t.pool.put(v)
 	}
 	t.live = kept
 }
@@ -208,15 +209,17 @@ func (t *Tape) Add(a, b *V) *V {
 				out.W[i*a.C+j] = a.W[i*a.C+j] + b.W[j]
 			}
 		}
-		t.record(func() {
-			for i := 0; i < a.R; i++ {
-				for j := 0; j < a.C; j++ {
-					g := out.G[i*a.C+j]
-					a.G[i*a.C+j] += g
-					b.G[j] += g
+		if t.grad {
+			t.record(func() {
+				for i := 0; i < a.R; i++ {
+					for j := 0; j < a.C; j++ {
+						g := out.G[i*a.C+j]
+						a.G[i*a.C+j] += g
+						b.G[j] += g
+					}
 				}
-			}
-		})
+			})
+		}
 		return out
 	}
 	sameShape("Add", a, b)

@@ -24,6 +24,15 @@ import "sync"
 // through to the scalar kernels, which double as the oracle reference
 // in kernels_test.go.
 //
+// On amd64 hosts with AVX2 the all-nonzero band fast path and axpy
+// dispatch to vector micro-kernels (kernels_amd64.s). Those use
+// separate VMULPD/VADDPD — never FMA, whose single rounding would
+// diverge from the scalar kernels — so each SIMD lane executes exactly
+// the scalar op sequence and the bitwise contract below is preserved.
+// Only multi-row (r >= blockDim) calls reach the band kernel: this is
+// what batching beam hypotheses into one GEMM buys, since batch-size-1
+// matvecs never form a band and stay on the scalar path.
+//
 // Bitwise contract: every kernel reproduces the scalar kernels' result
 // exactly — for each out[i,j], partial products accumulate in ascending-p
 // order along a single dependency chain, and the scalar kernels'
@@ -48,6 +57,10 @@ var packBuf = sync.Pool{New: func() any { return new([]float64) }}
 // axpy computes o[j] += s * bv[j] over len(bv) elements; s is nonzero.
 func axpy(o, bv []float64, s float64) {
 	o = o[:len(bv)]
+	if useAVX2 && len(bv) >= avxMinC {
+		axpyAVX2(&o[0], &bv[0], s, len(bv))
+		return
+	}
 	for j, v := range bv {
 		o[j] += s * v
 	}
@@ -74,6 +87,11 @@ func matmul(out, a, b []float64, r, k, c int) {
 			bq := b[(p+1)*c : (p+1)*c+c : (p+1)*c+c]
 			if av00 != 0 && av01 != 0 && av02 != 0 && av03 != 0 &&
 				av10 != 0 && av11 != 0 && av12 != 0 && av13 != 0 {
+				if useAVX2 && c >= avxMinC {
+					av := [8]float64{av00, av01, av02, av03, av10, av11, av12, av13}
+					band2pAVX2(&o0[0], &o1[0], &o2[0], &o3[0], &bp[0], &bq[0], &av, c)
+					continue
+				}
 				for j, bv0 := range bp {
 					bv1 := bq[j]
 					t0 := o0[j] + av00*bv0
@@ -281,6 +299,11 @@ func matmulTN(out, a, b []float64, r, k, c int) {
 			bq := b[(p+1)*c : (p+1)*c+c : (p+1)*c+c]
 			if av00 != 0 && av01 != 0 && av02 != 0 && av03 != 0 &&
 				av10 != 0 && av11 != 0 && av12 != 0 && av13 != 0 {
+				if useAVX2 && c >= avxMinC {
+					av := [8]float64{av00, av01, av02, av03, av10, av11, av12, av13}
+					band2pAVX2(&o0[0], &o1[0], &o2[0], &o3[0], &bp[0], &bq[0], &av, c)
+					continue
+				}
 				for j, bv0 := range bp {
 					bv1 := bq[j]
 					t0 := o0[j] + av00*bv0

@@ -1,0 +1,31 @@
+//go:build amd64
+
+package ad
+
+// The assembly micro-kernels below vectorize the hot inner loops of the
+// band-fused matmul kernels with AVX2. They use separate VMULPD/VADDPD
+// (never FMA): a fused multiply-add rounds once where scalar Go code
+// rounds twice, so FMA would break the kernels' bitwise contract. With
+// separate ops every SIMD lane performs exactly the scalar sequence
+// out = (out + a0*b0) + a1*b1 on the same IEEE-754 doubles, so the
+// vector path is bitwise-identical to the Go path by construction;
+// TestBandKernelAVX2Bitwise and the kernel oracle enforce it.
+
+// avxMinC is the minimum row width before band2pAVX2 pays for its call
+// overhead; every model GEMM (gate, projection, vocabulary widths) is
+// far above it.
+const avxMinC = 8
+
+// band2pAVX2 applies two fused axpy steps to a four-row band:
+//
+//	o_r[j] = (o_r[j] + av[r]*bp[j]) + av[4+r]*bq[j]   r=0..3, j=0..n-1
+//
+// matching the all-nonzero fast path of matmul/matmulTN bitwise.
+//
+//go:noescape
+func band2pAVX2(o0, o1, o2, o3, bp, bq *float64, av *[8]float64, n int)
+
+// axpyAVX2 computes o[j] += s*b[j] for j=0..n-1; s is nonzero.
+//
+//go:noescape
+func axpyAVX2(o, b *float64, s float64, n int)

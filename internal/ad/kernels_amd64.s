@@ -1,0 +1,175 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func band2pAVX2(o0, o1, o2, o3, bp, bq *float64, av *[8]float64, n int)
+//
+// For each j: o_r[j] = (o_r[j] + av[r]*bp[j]) + av[4+r]*bq[j], r=0..3.
+// VMULPD/VADDPD only — FMA would fuse the two roundings the scalar code
+// performs and break bitwise equality with the Go kernels.
+TEXT ·band2pAVX2(SB), NOSPLIT, $0-64
+	MOVQ o0+0(FP), R8
+	MOVQ o1+8(FP), R9
+	MOVQ o2+16(FP), R10
+	MOVQ o3+24(FP), R11
+	MOVQ bp+32(FP), R12
+	MOVQ bq+40(FP), R13
+	MOVQ av+48(FP), AX
+	MOVQ n+56(FP), CX
+
+	// Broadcast the eight band coefficients once.
+	VBROADCASTSD 0(AX), Y0  // av00 (row 0, column p)
+	VBROADCASTSD 8(AX), Y1  // av01 (row 1, column p)
+	VBROADCASTSD 16(AX), Y2 // av02 (row 2, column p)
+	VBROADCASTSD 24(AX), Y3 // av03 (row 3, column p)
+	VBROADCASTSD 32(AX), Y4 // av10 (row 0, column p+1)
+	VBROADCASTSD 40(AX), Y5 // av11 (row 1, column p+1)
+	VBROADCASTSD 48(AX), Y6 // av12 (row 2, column p+1)
+	VBROADCASTSD 56(AX), Y7 // av13 (row 3, column p+1)
+
+	XORQ DX, DX             // j
+	MOVQ CX, BX
+	ANDQ $-4, BX            // vector loop end (n & ^3)
+
+loop4:
+	CMPQ DX, BX
+	JGE  tail
+	VMOVUPD (R12)(DX*8), Y8 // bp[j:j+4]
+	VMOVUPD (R13)(DX*8), Y9 // bq[j:j+4]
+
+	// row 0: o = (o + av00*bp) + av10*bq
+	VMOVUPD (R8)(DX*8), Y10
+	VMULPD  Y8, Y0, Y11
+	VADDPD  Y11, Y10, Y10
+	VMULPD  Y9, Y4, Y11
+	VADDPD  Y11, Y10, Y10
+	VMOVUPD Y10, (R8)(DX*8)
+
+	// row 1
+	VMOVUPD (R9)(DX*8), Y10
+	VMULPD  Y8, Y1, Y11
+	VADDPD  Y11, Y10, Y10
+	VMULPD  Y9, Y5, Y11
+	VADDPD  Y11, Y10, Y10
+	VMOVUPD Y10, (R9)(DX*8)
+
+	// row 2
+	VMOVUPD (R10)(DX*8), Y10
+	VMULPD  Y8, Y2, Y11
+	VADDPD  Y11, Y10, Y10
+	VMULPD  Y9, Y6, Y11
+	VADDPD  Y11, Y10, Y10
+	VMOVUPD Y10, (R10)(DX*8)
+
+	// row 3
+	VMOVUPD (R11)(DX*8), Y10
+	VMULPD  Y8, Y3, Y11
+	VADDPD  Y11, Y10, Y10
+	VMULPD  Y9, Y7, Y11
+	VADDPD  Y11, Y10, Y10
+	VMOVUPD Y10, (R11)(DX*8)
+
+	ADDQ $4, DX
+	JMP  loop4
+
+tail:
+	CMPQ DX, CX
+	JGE  done
+	VMOVSD (R12)(DX*8), X8
+	VMOVSD (R13)(DX*8), X9
+
+	// row 0
+	VMOVSD (R8)(DX*8), X10
+	VMULSD X8, X0, X11
+	VADDSD X11, X10, X10
+	VMULSD X9, X4, X11
+	VADDSD X11, X10, X10
+	VMOVSD X10, (R8)(DX*8)
+
+	// row 1
+	VMOVSD (R9)(DX*8), X10
+	VMULSD X8, X1, X11
+	VADDSD X11, X10, X10
+	VMULSD X9, X5, X11
+	VADDSD X11, X10, X10
+	VMOVSD X10, (R9)(DX*8)
+
+	// row 2
+	VMOVSD (R10)(DX*8), X10
+	VMULSD X8, X2, X11
+	VADDSD X11, X10, X10
+	VMULSD X9, X6, X11
+	VADDSD X11, X10, X10
+	VMOVSD X10, (R10)(DX*8)
+
+	// row 3
+	VMOVSD (R11)(DX*8), X10
+	VMULSD X8, X3, X11
+	VADDSD X11, X10, X10
+	VMULSD X9, X7, X11
+	VADDSD X11, X10, X10
+	VMOVSD X10, (R11)(DX*8)
+
+	INCQ DX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpyAVX2(o, b *float64, s float64, n int)
+//
+// o[j] += s*b[j]; one multiply then one add per element, matching the
+// scalar axpy's rounding exactly.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	MOVQ o+0(FP), R8
+	MOVQ b+8(FP), R9
+	MOVQ n+24(FP), CX
+	VBROADCASTSD s+16(FP), Y0
+
+	XORQ DX, DX
+	MOVQ CX, BX
+	ANDQ $-8, BX            // 2x-unrolled vector loop end (n & ^7)
+
+loop8:
+	CMPQ DX, BX
+	JGE  loop4
+	VMOVUPD (R9)(DX*8), Y1
+	VMULPD  Y1, Y0, Y1
+	VMOVUPD (R8)(DX*8), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (R8)(DX*8)
+	VMOVUPD 32(R9)(DX*8), Y3
+	VMULPD  Y3, Y0, Y3
+	VMOVUPD 32(R8)(DX*8), Y4
+	VADDPD  Y3, Y4, Y4
+	VMOVUPD Y4, 32(R8)(DX*8)
+	ADDQ    $8, DX
+	JMP     loop8
+
+loop4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	CMPQ DX, BX
+	JGE  tail
+	VMOVUPD (R9)(DX*8), Y1
+	VMULPD  Y1, Y0, Y1
+	VMOVUPD (R8)(DX*8), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (R8)(DX*8)
+	ADDQ    $4, DX
+
+tail:
+	CMPQ DX, CX
+	JGE  done
+	VMOVSD (R9)(DX*8), X1
+	VMULSD X1, X0, X1
+	VMOVSD (R8)(DX*8), X2
+	VADDSD X1, X2, X2
+	VMOVSD X2, (R8)(DX*8)
+	INCQ   DX
+	JMP    tail
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package ad
+
+// Non-amd64 builds run the pure-Go kernels only.
+
+const avxMinC = 8
+
+var useAVX2 = false
+
+func band2pAVX2(o0, o1, o2, o3, bp, bq *float64, av *[8]float64, n int) {
+	panic("ad: band2pAVX2 called without AVX2 support")
+}
+
+func axpyAVX2(o, b *float64, s float64, n int) {
+	panic("ad: axpyAVX2 called without AVX2 support")
+}

@@ -10,6 +10,7 @@ package bpe
 import (
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // endOfWord marks word-final symbols so decoding can restore token
@@ -91,11 +92,15 @@ func Learn(wordFreq map[string]int, vocabSize int) *Model {
 }
 
 // split breaks a word into initial symbols (runes, last one marked).
+// Symbols are sliced from the word rather than re-encoded so that bytes
+// that are not valid UTF-8 survive a round trip instead of collapsing
+// to U+FFFD.
 func split(w string) []string {
-	runes := []rune(w)
-	syms := make([]string, len(runes))
-	for i, r := range runes {
-		syms[i] = string(r)
+	var syms []string
+	for i := 0; i < len(w); {
+		_, size := utf8.DecodeRuneInString(w[i:])
+		syms = append(syms, w[i:i+size])
+		i += size
 	}
 	syms[len(syms)-1] += endOfWord
 	return syms

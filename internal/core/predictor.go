@@ -16,12 +16,12 @@ type TypePrediction struct {
 	Text string `json:"text"`
 }
 
-// PredictParam predicts the high-level type of one parameter of a
-// module-defined function in a (possibly stripped) binary.
-func (p *Predictor) PredictParam(m *wasm.Module, funcIdx, paramIdx, k int) ([]TypePrediction, error) {
-	if p.Param == nil {
-		return nil, fmt.Errorf("core: predictor has no parameter model")
-	}
+// ParamInput extracts the model input sequence for one parameter of a
+// module-defined function — the data-flow slice plus low-level type that
+// PredictParam feeds the parameter model. Callers that batch queries
+// (the serving layer's dynamic batcher) extract inputs first, coalesce
+// them, and decode through Trained.PredictTyped.
+func (p *Predictor) ParamInput(m *wasm.Module, funcIdx, paramIdx int) ([]string, error) {
 	if funcIdx < 0 || funcIdx >= len(m.Funcs) {
 		return nil, fmt.Errorf("core: function index %d out of range", funcIdx)
 	}
@@ -33,16 +33,13 @@ func (p *Predictor) PredictParam(m *wasm.Module, funcIdx, paramIdx, k int) ([]Ty
 	if paramIdx < 0 || paramIdx >= len(sig.Params) {
 		return nil, fmt.Errorf("core: parameter index %d out of range (%d params)", paramIdx, len(sig.Params))
 	}
-	input := extract.InputForParam(fn, paramIdx, sig.Params[paramIdx], p.Opts)
-	return wrap(p.Param.Predict(input, k)), nil
+	return extract.InputForParam(fn, paramIdx, sig.Params[paramIdx], p.Opts), nil
 }
 
-// PredictReturn predicts the high-level return type of a module-defined
-// function.
-func (p *Predictor) PredictReturn(m *wasm.Module, funcIdx, k int) ([]TypePrediction, error) {
-	if p.Return == nil {
-		return nil, fmt.Errorf("core: predictor has no return model")
-	}
+// ReturnInput extracts the model input sequence for a module-defined
+// function's return value (the batched counterpart of PredictReturn's
+// extraction step).
+func (p *Predictor) ReturnInput(m *wasm.Module, funcIdx int) ([]string, error) {
 	if funcIdx < 0 || funcIdx >= len(m.Funcs) {
 		return nil, fmt.Errorf("core: function index %d out of range", funcIdx)
 	}
@@ -54,7 +51,32 @@ func (p *Predictor) PredictReturn(m *wasm.Module, funcIdx, k int) ([]TypePredict
 	if len(sig.Results) == 0 {
 		return nil, fmt.Errorf("core: function %d returns no value", funcIdx)
 	}
-	input := extract.InputForReturn(fn, sig.Results[0], p.Opts)
+	return extract.InputForReturn(fn, sig.Results[0], p.Opts), nil
+}
+
+// PredictParam predicts the high-level type of one parameter of a
+// module-defined function in a (possibly stripped) binary.
+func (p *Predictor) PredictParam(m *wasm.Module, funcIdx, paramIdx, k int) ([]TypePrediction, error) {
+	if p.Param == nil {
+		return nil, fmt.Errorf("core: predictor has no parameter model")
+	}
+	input, err := p.ParamInput(m, funcIdx, paramIdx)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(p.Param.Predict(input, k)), nil
+}
+
+// PredictReturn predicts the high-level return type of a module-defined
+// function.
+func (p *Predictor) PredictReturn(m *wasm.Module, funcIdx, k int) ([]TypePrediction, error) {
+	if p.Return == nil {
+		return nil, fmt.Errorf("core: predictor has no return model")
+	}
+	input, err := p.ReturnInput(m, funcIdx)
+	if err != nil {
+		return nil, err
+	}
 	return wrap(p.Return.Predict(input, k)), nil
 }
 

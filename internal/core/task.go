@@ -103,6 +103,33 @@ func (tr *Trained) encodeSrc(src []string) []string {
 // dropped; if nothing remains, the uninformative type is returned.
 func (tr *Trained) Predict(src []string, k int) [][]string {
 	preds := tr.Model.Predict(tr.encodeSrc(src), k)
+	return filterBeams(preds)
+}
+
+// PredictTyped predicts many prepared input sequences in one call, with a
+// per-query beam count, decoding all of them through the model's batched
+// multi-search beam decoder (one GEMM advances every live hypothesis of a
+// group per step). Slot i holds exactly the wrapped form of what
+// Predict(srcs[i], ks[i]) would return — same subword encoding,
+// empty-beam filtering, and fallback — so callers batch purely for
+// throughput. The serving layer's dynamic batcher coalesces concurrent
+// requests into this entry point.
+func (tr *Trained) PredictTyped(srcs [][]string, ks []int) [][]TypePrediction {
+	enc := make([][]string, len(srcs))
+	for i, src := range srcs {
+		enc[i] = tr.encodeSrc(src)
+	}
+	multi := tr.Model.PredictMulti(enc, ks)
+	out := make([][]TypePrediction, len(srcs))
+	for i, preds := range multi {
+		out[i] = wrap(filterBeams(preds))
+	}
+	return out
+}
+
+// filterBeams drops beams that decoded to an empty sequence (immediate
+// </s>) and substitutes the uninformative type when nothing remains.
+func filterBeams(preds []seq2seq.Prediction) [][]string {
 	out := make([][]string, 0, len(preds))
 	for _, p := range preds {
 		if len(p.Tokens) == 0 {

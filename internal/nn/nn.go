@@ -162,6 +162,14 @@ func (l *LSTM) ZeroState(batch int) State {
 	return State{H: ad.New(batch, l.Hidden), C: ad.New(batch, l.Hidden)}
 }
 
+// GatherState selects rows of a batched recurrent state: row r of the
+// result is row idx[r] of s. Batched beam search uses it to hand each
+// surviving hypothesis its parent's decoder state for the next step;
+// indices may repeat when several survivors share a parent.
+func GatherState(t *ad.Tape, s State, idx []int) State {
+	return State{H: t.GatherRows(s.H, idx), C: t.GatherRows(s.C, idx)}
+}
+
 // Step advances the LSTM one timestep with input x [B, in].
 func (l *LSTM) Step(t *ad.Tape, x *ad.V, s State) State {
 	z := t.Add(t.Add(t.MatMul(x, l.Wx), t.MatMul(s.H, l.Wh)), l.B)

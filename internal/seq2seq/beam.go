@@ -1,6 +1,8 @@
 package seq2seq
 
 import (
+	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/ad"
@@ -37,12 +39,87 @@ func (n *beamNode) tokens() []int {
 	return out
 }
 
-// beam is one live hypothesis of the search.
-type beam struct {
-	node    *beamNode
+// predictGroup bounds how many searches one batched decode advances in
+// lockstep. With width-5 beams a full group packs up to 40 hypothesis
+// rows per decoder GEMM — deep enough to engage the band-fused kernels —
+// while one group's padded encoder tile stays within a pooled buffer's
+// working set.
+const predictGroup = 8
+
+// scoredTok is one scored continuation token of a single hypothesis.
+type scoredTok struct {
+	id int
+	lp float64
+}
+
+// topContinuations selects the width best continuations of one
+// hypothesis from its token log-probs, excluding PAD and BOS. Equal
+// scores break toward the smaller token id, making the selection a total
+// order independent of sort internals — the property that keeps the
+// batched and sequential decoders bitwise comparable
+// (TestTopContinuationsTieBreak).
+//
+// The selection keeps a descending-ordered window of the best width
+// tokens seen so far instead of sorting the whole vocabulary row: ids
+// arrive ascending, a tied newcomer never displaces an incumbent, and
+// insertion keeps ties in arrival order, which realizes exactly the
+// (score desc, id asc) total order.
+func topContinuations(logProbs []float64, width int, buf []scoredTok) []scoredTok {
+	cands := buf[:0]
+	if width <= 0 {
+		return cands
+	}
+	for id, lp := range logProbs {
+		if id == PAD || id == BOS {
+			continue
+		}
+		if len(cands) == width {
+			if lp <= cands[width-1].lp {
+				continue
+			}
+			cands = cands[:width-1]
+		}
+		j := len(cands)
+		cands = append(cands, scoredTok{})
+		for j > 0 && cands[j-1].lp < lp {
+			cands[j] = cands[j-1]
+			j--
+		}
+		cands[j] = scoredTok{id, lp}
+	}
+	return cands
+}
+
+// cand is a scored continuation (or a carried-over stopped beam) of one
+// search. Sequences are materialized only for the width survivors of
+// each step, not for every scored candidate.
+type cand struct {
+	parent  *beamNode
+	beamIdx int // index of the parent beam within its search
+	id      int // continuation token id; -1 for a carried stopped beam
 	logp    float64
-	state   nn.State
+	row     int      // parent's row in the step's batched decoder output
+	state   nn.State // parent's post-step state (sequential decoder only)
 	stopped bool
+	carried bool
+}
+
+// candCmp orders a step's candidates for pruning: total log-prob
+// descending, then parent beam index, then token id. The two tie keys
+// turn equal-probability candidates into a deterministic total order, so
+// pruning does not depend on candidate arrival order or sort internals
+// (TestCandTieBreak).
+func candCmp(a, b cand) int {
+	switch {
+	case a.logp > b.logp:
+		return -1
+	case a.logp < b.logp:
+		return 1
+	}
+	if a.beamIdx != b.beamIdx {
+		return a.beamIdx - b.beamIdx
+	}
+	return a.id - b.id
 }
 
 // Predict returns the k most likely target sequences for the source token
@@ -50,35 +127,269 @@ type beam struct {
 // top-5 evaluation. Duplicate hypotheses are kept, as the paper notes the
 // raw model is not constrained to produce unique predictions.
 //
-// Inference runs on a forward-only tape whose buffers recycle between
-// decode steps (see ad.NewForward), so a call's memory footprint is
-// bounded by one step's working set rather than the whole maxLen × width
-// search. Predict is safe for concurrent use; each call draws its own
-// buffer pool.
+// All live hypotheses advance in one batched decode step per token
+// (predictMultiOn), so each step runs the band-fused GEMM kernels once
+// for the whole beam instead of a matvec per hypothesis; the output is
+// bitwise identical to decoding each hypothesis alone
+// (TestPredictBatchedMatchesSequential). Inference runs on a
+// forward-only tape whose buffers recycle between decode steps (see
+// ad.NewForward), so a call's memory footprint is bounded by one step's
+// working set rather than the whole maxLen × width search. Predict is
+// safe for concurrent use; each call draws its own buffer pool.
 func (m *Model) Predict(src []string, k int) []Prediction {
 	pool := m.getPool()
 	defer m.putPool(pool)
-	return m.predictOn(ad.NewForward(pool), src, k)
+	return m.predictMultiOn(ad.NewForward(pool), [][]string{src}, []int{k})[0]
 }
 
-// PredictBatch predicts each source sequence in turn on one shared
-// buffer pool, amortizing warm-up across the batch. For concurrent
-// evaluation over many examples, use EvalParallel.
+// PredictBatch predicts every source sequence with one beam cutoff k,
+// decoding up to predictGroup searches together per batched step. For
+// concurrent evaluation over many examples, use EvalParallel.
 func (m *Model) PredictBatch(srcs [][]string, k int) [][]Prediction {
+	ks := make([]int, len(srcs))
+	for i := range ks {
+		ks[i] = k
+	}
+	return m.PredictMulti(srcs, ks)
+}
+
+// PredictMulti predicts every source sequence with its own beam cutoff
+// ks[i], decoding up to predictGroup searches — all their live
+// hypotheses — in one batched decoder step per token. Output slot i is
+// exactly Predict(srcs[i], ks[i]); grouping only changes how many GEMM
+// calls the decoding costs, not any result bit.
+func (m *Model) PredictMulti(srcs [][]string, ks []int) [][]Prediction {
+	if len(ks) != len(srcs) {
+		panic(fmt.Sprintf("seq2seq: PredictMulti %d sources, %d cutoffs", len(srcs), len(ks)))
+	}
 	pool := m.getPool()
 	defer m.putPool(pool)
-	out := make([][]Prediction, len(srcs))
-	for i, src := range srcs {
-		out[i] = m.predictOn(ad.NewForward(pool), src, k)
+	out := make([][]Prediction, 0, len(srcs))
+	for lo := 0; lo < len(srcs); lo += predictGroup {
+		hi := min(lo+predictGroup, len(srcs))
+		out = append(out, m.predictMultiOn(ad.NewForward(pool), srcs[lo:hi], ks[lo:hi])...)
 	}
 	return out
 }
 
-// predictOn runs the beam search on the given tape. The algorithm is
-// byte-for-byte equivalent on recording and forward tapes
-// (TestPredictPooledMatchesReference); Predict always passes a pooled
-// forward tape.
-func (m *Model) predictOn(tape *ad.Tape, src []string, k int) []Prediction {
+// msearch is one beam search of a batched group.
+type msearch struct {
+	k, width int
+	beams    []mbeam
+}
+
+// mbeam is one live hypothesis of a batched search.
+type mbeam struct {
+	node    *beamNode
+	logp    float64
+	row     int // this beam's state row in the current batched state
+	liveRow int // per-step scratch: row in the step's decode batch
+	stopped bool
+}
+
+// predictMultiOn runs len(srcs) independent beam searches in lockstep on
+// one tape, advancing every live hypothesis of every search in a single
+// batched decode step per token.
+//
+// Layout: each search encodes alone (batch size 1, the sequential
+// decoder's exact arithmetic); the per-search encoder outputs are packed
+// into one [S*Tmax, H] block matrix, zero-padded past each search's real
+// length with the padding masked out of attention. Each step gathers the
+// live hypotheses' decoder states into a [L, H] batch (nn.GatherState),
+// tiles each row's search-encoder block alongside it (GatherRowBlocks,
+// cached while the row→search mapping is stable), decodes once, and
+// scores all rows with one LogSoftmaxRows. Every op involved is row-wise
+// independent with fixed ascending-index accumulation, so each
+// hypothesis's numbers are bit-identical to decoding it alone — batching
+// changes the GEMM shape, not the results (TestPredictBatchedMatchesSequential).
+func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int) [][]Prediction {
+	S := len(srcs)
+	if S == 0 {
+		return nil
+	}
+	maxLen := m.Cfg.MaxTgtLen
+	if maxLen <= 0 {
+		maxLen = 16
+	}
+
+	// Encode the whole group as one PAD-padded batch. Every encoder op is
+	// row-wise independent and StepMasked holds each row's state across
+	// its padding steps, so row si of the batch is bit-identical to
+	// encoding srcs[si] alone — batching only changes the GEMM shapes.
+	padded := make([][]int, S)
+	Tmax := 1
+	for si, src := range srcs {
+		ids := m.Src.Encode(truncate(src, m.Cfg.MaxSrcLen))
+		if len(ids) == 0 {
+			ids = []int{UNK}
+		}
+		padded[si] = ids
+		if len(ids) > Tmax {
+			Tmax = len(ids)
+		}
+	}
+	for si, ids := range padded {
+		padded[si] = pad(ids, Tmax)
+	}
+	enc := m.encode(tape, padded, false)
+	encAll := enc.states // [S*Tmax, H], search-major
+	maskAll := enc.mask
+	stateH, stateC := enc.init.H, enc.init.C // [S, H]
+	// The packed encoder matrix feeds attention tiles at every step:
+	// exempt it (and everything before it) from the per-step release
+	// cycle.
+	tape.Keep()
+
+	searches := make([]msearch, S)
+	for si := range searches {
+		k := ks[si]
+		if k <= 0 {
+			k = 1
+		}
+		width := k
+		if width < 5 {
+			width = 5
+		}
+		searches[si] = msearch{
+			k: k, width: width,
+			beams: []mbeam{{node: &beamNode{id: BOS}, row: si}},
+		}
+	}
+
+	var (
+		prev      []int
+		gatherIdx []int
+		rowSearch []int // owning search of each live row
+		tileFor   []int // rowSearch the cached encoder tile was built for
+		encTile   *ad.V
+		tileMask  []float64
+		cbuf      []cand
+		sbuf      []scoredTok
+	)
+	for step := 0; step < maxLen; step++ {
+		prev, gatherIdx, rowSearch = prev[:0], gatherIdx[:0], rowSearch[:0]
+		for si := range searches {
+			for bi := range searches[si].beams {
+				b := &searches[si].beams[bi]
+				if b.stopped {
+					continue
+				}
+				b.liveRow = len(prev)
+				prev = append(prev, b.node.id)
+				gatherIdx = append(gatherIdx, b.row)
+				rowSearch = append(rowSearch, si)
+			}
+		}
+		if len(prev) == 0 {
+			break
+		}
+		st := nn.GatherState(tape, nn.State{H: stateH, C: stateC}, gatherIdx)
+		if encTile == nil || !equalInts(tileFor, rowSearch) {
+			// The tile broadcasts each search's encoder block to its live
+			// rows; it only changes when beams stop, so most steps reuse it.
+			tileFor = append(tileFor[:0], rowSearch...)
+			encTile = tape.GatherRowBlocks(encAll, rowSearch, Tmax)
+			tileMask = tileMask[:0]
+			for _, si := range rowSearch {
+				tileMask = append(tileMask, maskAll[si*Tmax:(si+1)*Tmax]...)
+			}
+		}
+		newState, logits := m.decodeStepOn(tape, encTile, tileMask, Tmax, st, prev, false)
+		lps := tape.LogSoftmaxRows(logits)
+
+		for si := range searches {
+			sr := &searches[si]
+			cands := cbuf[:0]
+			anyLive := false
+			for bi := range sr.beams {
+				b := &sr.beams[bi]
+				if b.stopped {
+					cands = append(cands, cand{parent: b.node, beamIdx: bi, id: -1, logp: b.logp, stopped: true, carried: true})
+					continue
+				}
+				anyLive = true
+				top := topContinuations(lps.W[b.liveRow*lps.C:(b.liveRow+1)*lps.C], sr.width, sbuf)
+				sbuf = top[:0]
+				for _, c := range top {
+					cands = append(cands, cand{
+						parent:  b.node,
+						beamIdx: bi,
+						id:      c.id,
+						logp:    b.logp + c.lp,
+						row:     b.liveRow,
+						stopped: c.id == EOS,
+					})
+				}
+			}
+			cbuf = cands[:0]
+			if !anyLive {
+				continue // search finished on an earlier step
+			}
+			slices.SortFunc(cands, candCmp)
+			if len(cands) > sr.width {
+				cands = cands[:sr.width]
+			}
+			sr.beams = sr.beams[:0]
+			for _, c := range cands {
+				node := c.parent
+				if !c.carried {
+					node = &beamNode{id: c.id, prev: c.parent}
+				}
+				sr.beams = append(sr.beams, mbeam{node: node, logp: c.logp, row: c.row, stopped: c.stopped})
+			}
+		}
+		stateH, stateC = newState.H, newState.C
+		// Recycle everything this step allocated except the surviving
+		// state batch and the cached encoder tile.
+		tape.ReleaseExcept(stateH, stateC, encTile)
+	}
+
+	out := make([][]Prediction, S)
+	for si := range searches {
+		sr := &searches[si]
+		sort.SliceStable(sr.beams, func(i, j int) bool { return sr.beams[i].logp > sr.beams[j].logp })
+		beams := sr.beams
+		if len(beams) > sr.k {
+			beams = beams[:sr.k]
+		}
+		preds := make([]Prediction, 0, len(beams))
+		for _, b := range beams {
+			preds = append(preds, Prediction{Tokens: m.Tgt.Decode(b.node.tokens()), LogProb: b.logp})
+		}
+		out[si] = preds
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// predictSequential is the pre-batching decoder, retained as the
+// arithmetic reference: it advances every live hypothesis with its own
+// batch-size-1 decode step. The batched decoder must reproduce it
+// bitwise (TestPredictBatchedMatchesSequential pins tokens and
+// log-probs); BenchmarkPredictSequential measures what batching buys.
+func (m *Model) predictSequential(src []string, k int) []Prediction {
+	pool := m.getPool()
+	defer m.putPool(pool)
+	return m.predictSequentialOn(ad.NewForward(pool), src, k)
+}
+
+// predictSequentialOn runs the sequential beam search on the given tape.
+// The algorithm is byte-for-byte equivalent on recording and forward
+// tapes (TestPredictPooledMatchesReference). Candidate selection shares
+// topContinuations/candLess with the batched decoder, so equal-score
+// orderings agree between the two by construction.
+func (m *Model) predictSequentialOn(tape *ad.Tape, src []string, k int) []Prediction {
 	if k <= 0 {
 		k = 1
 	}
@@ -95,54 +406,33 @@ func (m *Model) predictOn(tape *ad.Tape, src []string, k int) []Prediction {
 	// the per-step release cycle.
 	tape.Keep()
 
+	type beam struct {
+		node    *beamNode
+		logp    float64
+		state   nn.State
+		stopped bool
+	}
 	beams := []beam{{node: &beamNode{id: BOS}, state: enc.init}}
 	maxLen := m.Cfg.MaxTgtLen
 	if maxLen <= 0 {
 		maxLen = 16
 	}
 
-	// cand is a scored continuation (or a carried-over stopped beam).
-	// Sequences are materialized only for the width survivors of each
-	// step, not for every scored candidate.
-	type cand struct {
-		parent  *beamNode
-		id      int
-		logp    float64
-		state   nn.State
-		stopped bool
-		carried bool
-	}
-
 	for step := 0; step < maxLen; step++ {
 		var next []cand
 		done := true
-		for _, b := range beams {
+		for bi, b := range beams {
 			if b.stopped {
-				next = append(next, cand{parent: b.node, logp: b.logp, state: b.state, stopped: true, carried: true})
+				next = append(next, cand{parent: b.node, beamIdx: bi, id: -1, logp: b.logp, state: b.state, stopped: true, carried: true})
 				continue
 			}
 			done = false
 			s, logits := m.decodeStep(tape, enc, b.state, []int{b.node.id}, false)
 			logProbs := tape.LogSoftmaxRow(logits.W)
-			// Expand with the top `width` continuations.
-			type scored struct {
-				id int
-				lp float64
-			}
-			cands := make([]scored, 0, len(logProbs))
-			for id, lp := range logProbs {
-				if id == PAD || id == BOS {
-					continue
-				}
-				cands = append(cands, scored{id, lp})
-			}
-			sort.Slice(cands, func(i, j int) bool { return cands[i].lp > cands[j].lp })
-			if len(cands) > width {
-				cands = cands[:width]
-			}
-			for _, c := range cands {
+			for _, c := range topContinuations(logProbs, width, nil) {
 				next = append(next, cand{
 					parent:  b.node,
+					beamIdx: bi,
 					id:      c.id,
 					logp:    b.logp + c.lp,
 					state:   s,
@@ -153,7 +443,7 @@ func (m *Model) predictOn(tape *ad.Tape, src []string, k int) []Prediction {
 		if done {
 			break
 		}
-		sort.SliceStable(next, func(i, j int) bool { return next[i].logp > next[j].logp })
+		slices.SortFunc(next, candCmp)
 		if len(next) > width {
 			next = next[:width]
 		}

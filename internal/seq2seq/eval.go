@@ -49,28 +49,36 @@ func (m *Model) parallel() int {
 	return runtime.NumCPU()
 }
 
-// EvalParallel fans per-example beam searches over a worker pool of par
-// workers (0 = NumCPU) and merges results by input index, so the output
-// is byte-identical at any worker count: each prediction is a pure
-// function of (model, source), and slot i always holds Predict(srcs[i], k).
-// Each worker owns a private buffer pool, reused across its examples.
+// EvalParallel fans beam searches over a worker pool of par workers
+// (0 = NumCPU) in fixed groups of predictGroup examples, so each worker
+// decodes a whole group's live hypotheses — j × group × width rows —
+// per batched decoder step. Results merge by input index and the
+// grouping is position-determined, so the output is byte-identical at
+// any worker count: each prediction is a pure function of (model,
+// source), and slot i always holds Predict(srcs[i], k). Each worker
+// draws buffer pools from the model's cache, reused across its groups.
 //
-// observe (may be nil) receives every completed example's index and
-// wall-clock inference seconds; it is called from worker goroutines and
+// observe (may be nil) receives every completed example's index and its
+// amortized share of the group's wall-clock decode seconds (searches in
+// a group finish together); it is called from worker goroutines and
 // must be safe for concurrent use (the metrics types are).
 func EvalParallel(m *Model, srcs [][]string, k, par int, observe func(i int, seconds float64)) [][]Prediction {
 	out := make([][]Prediction, len(srcs))
 	if len(srcs) == 0 {
 		return out
 	}
-	fanOut(par, len(srcs), func(i int) {
+	groups := (len(srcs) + predictGroup - 1) / predictGroup
+	fanOut(par, groups, func(g int) {
+		lo := g * predictGroup
+		hi := min(lo+predictGroup, len(srcs))
 		start := time.Now()
-		// fanOut reuses a goroutine per worker; Predict draws a pool per
-		// call from the model's internal cache, which amortizes the same
-		// way.
-		out[i] = m.Predict(srcs[i], k)
-		if observe != nil {
-			observe(i, time.Since(start).Seconds())
+		preds := m.PredictBatch(srcs[lo:hi], k)
+		seconds := time.Since(start).Seconds() / float64(hi-lo)
+		for i := lo; i < hi; i++ {
+			out[i] = preds[i-lo]
+			if observe != nil {
+				observe(i, seconds)
+			}
 		}
 	})
 	return out

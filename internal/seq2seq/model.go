@@ -315,11 +315,24 @@ func (m *Model) encodeBiLSTM(t *ad.Tape, srcIDs [][]int, train bool) encoded {
 
 // decodeStep advances the decoder one step: prev token ids -> logits.
 func (m *Model) decodeStep(t *ad.Tape, enc encoded, s nn.State, prev []int, train bool) (nn.State, *ad.V) {
+	return m.decodeStepOn(t, enc.states, enc.mask, enc.T, s, prev, train)
+}
+
+// decodeStepOn is decodeStep against an explicit encoder layout:
+// encStates is [B*T, H] row-major by batch row then time, mask is [B*T]
+// with 1 for real source positions. Training passes one example per
+// batch row; batched beam search passes one live hypothesis per row,
+// with each hypothesis's row block holding (a tiled copy of) its
+// search's encoder states. Every op in the chain is row-wise
+// independent with a fixed ascending-index accumulation order, so a
+// row's outputs do not depend on what other rows share the batch — the
+// property the batched/sequential decoder equivalence rests on.
+func (m *Model) decodeStepOn(t *ad.Tape, encStates *ad.V, mask []float64, T int, s nn.State, prev []int, train bool) (nn.State, *ad.V) {
 	x := m.embTgt.Lookup(t, prev)
 	s = m.dec.Step(t, x, s)
-	scores := t.AttnScores(s.H, enc.states, enc.T)
-	alpha := t.SoftmaxRowsMasked(scores, enc.mask)
-	ctx := t.WeightedSum(alpha, enc.states, m.Cfg.Hidden)
+	scores := t.AttnScores(s.H, encStates, T)
+	alpha := t.SoftmaxRowsMasked(scores, mask)
+	ctx := t.WeightedSum(alpha, encStates, m.Cfg.Hidden)
 	hTilde := t.Tanh(m.combine.Apply(t, t.ConcatCols(ctx, s.H)))
 	if train && m.Cfg.Dropout > 0 {
 		hTilde = t.Dropout(hTilde, m.Cfg.Dropout, m.rng.Float64)

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// batcher coalesces concurrent per-element prediction queries against
+// one trained model into batched decodes. Queries from any number of
+// requests land on a bounded queue; a single dispatcher goroutine
+// collects up to maxBatch of them — waiting at most maxWait once at
+// least one is in hand — and decodes the whole batch through
+// core.Trained.PredictTyped, where the model advances every live beam
+// hypothesis of every query in one GEMM per decoder step.
+//
+// A lone query never waits: producers count themselves in pending
+// before enqueueing, so when the dispatcher holds the only outstanding
+// query (pending == 0) it dispatches immediately instead of arming the
+// maxWait timer. Queries whose context has expired by flush time are
+// skipped, so abandoned requests never burn decode time.
+type batcher struct {
+	tr       *core.Trained
+	queue    chan *batchItem
+	maxBatch int
+	maxWait  time.Duration
+	// pending counts queries accepted by predictMany but not yet taken
+	// off the queue by the dispatcher.
+	pending  atomic.Int64
+	sizeHist *metrics.Histogram
+	waitHist *metrics.Histogram
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// batchItem is one (source, k) decode in flight through the batcher.
+type batchItem struct {
+	ctx   context.Context
+	src   []string
+	k     int
+	enq   time.Time
+	done  chan struct{}
+	preds []core.TypePrediction
+	err   error
+}
+
+// newBatcher starts the dispatcher for one trained model. queueDepth
+// bounds queries waiting to be batched (producers block, honoring their
+// context, when it is full).
+func newBatcher(tr *core.Trained, maxBatch int, maxWait time.Duration, queueDepth int, sizeHist, waitHist *metrics.Histogram) *batcher {
+	b := &batcher{
+		tr:       tr,
+		queue:    make(chan *batchItem, queueDepth),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		sizeHist: sizeHist,
+		waitHist: waitHist,
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// close stops the dispatcher after draining every enqueued query. Only
+// call once no producer can enqueue anymore (the server closes batchers
+// after its worker pool has drained).
+func (b *batcher) close() {
+	b.closeOnce.Do(func() { close(b.queue) })
+	b.wg.Wait()
+}
+
+// run is the dispatcher loop: collect a batch, flush it, repeat.
+func (b *batcher) run() {
+	defer b.wg.Done()
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		b.pending.Add(-1)
+		batch := append(make([]*batchItem, 0, b.maxBatch), first)
+		closed := b.collect(&batch)
+		b.flush(batch)
+		if closed {
+			return
+		}
+	}
+}
+
+// collect fills batch up to maxBatch, arming the maxWait timer only
+// when more queries are known to be on the way; it reports whether the
+// queue was closed.
+func (b *batcher) collect(batch *[]*batchItem) bool {
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for len(*batch) < b.maxBatch {
+		if b.pending.Load() == 0 {
+			// Nothing accepted and not yet collected: dispatch now, so a
+			// lone request sees zero batching latency.
+			return false
+		}
+		if timeout == nil {
+			timer = time.NewTimer(b.maxWait)
+			timeout = timer.C
+		}
+		select {
+		case it, ok := <-b.queue:
+			if !ok {
+				return true
+			}
+			b.pending.Add(-1)
+			*batch = append(*batch, it)
+		case <-timeout:
+			return false
+		}
+	}
+	return false
+}
+
+// flush decodes one batch. Expired queries are failed without decoding;
+// the rest run through one batched multi-search beam decode.
+func (b *batcher) flush(batch []*batchItem) {
+	live := batch[:0]
+	for _, it := range batch {
+		if err := it.ctx.Err(); err != nil {
+			it.err = err
+			close(it.done)
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	now := time.Now()
+	b.sizeHist.Observe(float64(len(live)))
+	srcs := make([][]string, len(live))
+	ks := make([]int, len(live))
+	for i, it := range live {
+		b.waitHist.Observe(now.Sub(it.enq).Seconds())
+		srcs[i] = it.src
+		ks[i] = it.k
+	}
+	preds := b.tr.PredictTyped(srcs, ks)
+	for i, it := range live {
+		it.preds = preds[i]
+		close(it.done)
+	}
+}
+
+// predictMany enqueues one request's cache-miss queries and waits for
+// their batched results. Slot i of the result corresponds to srcs[i];
+// the error is the first per-query error (a context expiry). When the
+// queue is full, enqueueing blocks until space frees or ctx expires —
+// the bounded queue is the service's decode backpressure.
+func (b *batcher) predictMany(ctx context.Context, srcs [][]string, ks []int) ([][]core.TypePrediction, error) {
+	items := make([]*batchItem, len(srcs))
+	now := time.Now()
+	for i := range srcs {
+		items[i] = &batchItem{ctx: ctx, src: srcs[i], k: ks[i], enq: now, done: make(chan struct{})}
+	}
+	// Count the whole request before enqueueing so the dispatcher keeps
+	// collecting until it has seen every query of this request.
+	b.pending.Add(int64(len(items)))
+	sent := 0
+enqueue:
+	for _, it := range items {
+		select {
+		case b.queue <- it:
+			sent++
+		case <-ctx.Done():
+			break enqueue
+		}
+	}
+	for _, it := range items[sent:] {
+		it.err = ctx.Err()
+	}
+	b.pending.Add(int64(sent - len(items)))
+	out := make([][]core.TypePrediction, len(items))
+	var firstErr error
+	for i, it := range items {
+		if i < sent {
+			<-it.done
+		}
+		if it.err != nil && firstErr == nil {
+			firstErr = it.err
+		}
+		out[i] = it.preds
+	}
+	return out, firstErr
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// testBatcher builds a batcher over the shared test predictor's
+// parameter model with its own histograms.
+func testBatcher(t testing.TB, maxBatch int, maxWait time.Duration) (*batcher, *metrics.Histogram, *metrics.Histogram) {
+	t.Helper()
+	pred, _ := testPredictor(t)
+	r := metrics.NewRegistry()
+	size := r.NewHistogram("batch_size", "", []float64{1, 2, 4, 8, 16, 32})
+	wait := r.NewHistogram("batch_wait", "", nil)
+	b := newBatcher(pred.Param, maxBatch, maxWait, 64, size, wait)
+	t.Cleanup(b.close)
+	return b, size, wait
+}
+
+func batchSrcs(n int) ([][]string, []int) {
+	srcs := make([][]string, n)
+	ks := make([]int, n)
+	for i := range srcs {
+		srcs[i] = []string{"<begin>", "i32", fmt.Sprintf("local.get_%d", i%4), "i32.load", "i32.add"}
+		ks[i] = 3
+	}
+	return srcs, ks
+}
+
+// TestBatcherCoalesces submits one multi-query request and checks that
+// every query decodes in a single batch, with per-slot results equal to
+// the direct (unbatched) decode.
+func TestBatcherCoalesces(t *testing.T) {
+	pred, _ := testPredictor(t)
+	b, size, wait := testBatcher(t, 8, 50*time.Millisecond)
+	srcs, ks := batchSrcs(4)
+	got, err := b.predictMany(context.Background(), srcs, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size.Count() != 1 {
+		t.Fatalf("expected one flush, size histogram has %d observations", size.Count())
+	}
+	if size.Sum() != 4 {
+		t.Fatalf("expected one batch of 4, size sum = %v", size.Sum())
+	}
+	if wait.Count() != 4 {
+		t.Errorf("expected 4 queue-wait observations, got %d", wait.Count())
+	}
+	want := pred.Param.PredictTyped(srcs, ks)
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("query %d: batched %d predictions, direct %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j].Text != want[i][j].Text {
+				t.Errorf("query %d beam %d: batched %q, direct %q", i, j, got[i][j].Text, want[i][j].Text)
+			}
+		}
+	}
+}
+
+// TestBatcherSingleRequestNoWait pins the lone-query fast path: with a
+// max wait far beyond the test deadline, a single query must dispatch
+// immediately instead of holding the batch open.
+func TestBatcherSingleRequestNoWait(t *testing.T) {
+	b, size, _ := testBatcher(t, 8, time.Hour)
+	srcs, ks := batchSrcs(1)
+	start := time.Now()
+	if _, err := b.predictMany(context.Background(), srcs, ks); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("lone query waited %v; fast path broken", elapsed)
+	}
+	if size.Count() != 1 || size.Sum() != 1 {
+		t.Errorf("size histogram count=%d sum=%v, want one batch of 1", size.Count(), size.Sum())
+	}
+}
+
+// TestBatcherDeadline submits queries with an already-expired context:
+// they must fail with the context error without burning a decode.
+func TestBatcherDeadline(t *testing.T) {
+	b, size, _ := testBatcher(t, 8, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srcs, ks := batchSrcs(3)
+	preds, err := b.predictMany(ctx, srcs, ks)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, p := range preds {
+		if p != nil {
+			t.Errorf("query %d decoded despite expired context", i)
+		}
+	}
+	if size.Count() != 0 {
+		t.Errorf("expired queries were flushed as a live batch (count %d)", size.Count())
+	}
+}
+
+// TestBatcherMixedDeadlines coalesces live and expired queries in one
+// window: live ones decode, expired ones fail, slots stay aligned.
+func TestBatcherMixedDeadlines(t *testing.T) {
+	b, _, _ := testBatcher(t, 16, 100*time.Millisecond)
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%2 == 1 {
+				ctx = expired
+			}
+			srcs, ks := batchSrcs(1)
+			preds, err := b.predictMany(ctx, srcs, ks)
+			errs[i] = err
+			if err == nil && len(preds[0]) == 0 {
+				errs[i] = fmt.Errorf("no predictions")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i%2 == 0 && err != nil {
+			t.Errorf("live query %d failed: %v", i, err)
+		}
+		if i%2 == 1 && err != context.Canceled {
+			t.Errorf("expired query %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestServerBatcherStress hammers a batching server with concurrent
+// clients under mixed client-side timeouts, then shuts down while
+// clients are still sending; run under -race this exercises the full
+// enqueue/flush/drain paths.
+func TestServerBatcherStress(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:    8,
+		QueueDepth: 64,
+		CacheSize:  -1, // every request decodes
+		BatchSize:  8,
+		BatchWait:  2 * time.Millisecond,
+	})
+	_, bin := testPredictor(t)
+
+	var wg sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			timeout := 30 * time.Second
+			if c%4 == 3 {
+				timeout = time.Millisecond // hopeless deadline; must not wedge anything
+			}
+			client := &http.Client{Timeout: timeout}
+			for i := 0; i < 6; i++ {
+				resp, err := client.Post(ts.URL+"/v1/predict?k=2", "application/wasm", bytes.NewReader(bin))
+				if err != nil {
+					continue // client timeout or server mid-shutdown
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable &&
+					resp.StatusCode != http.StatusGatewayTimeout {
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	// Shut down while clients are still in flight: the HTTP layer drains
+	// first, then the worker pool, then the batching dispatchers — every
+	// accepted request completes and later sends fail at the client.
+	time.Sleep(50 * time.Millisecond)
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("stress clients wedged")
+	}
+	if got := s.met.batchSize.Count(); got == 0 {
+		t.Error("no batches recorded under concurrent load")
+	}
+}

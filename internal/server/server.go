@@ -51,6 +51,15 @@ type Config struct {
 	// DefaultK is the beam width when the client does not pass k
 	// (default 5).
 	DefaultK int
+	// BatchSize caps how many concurrent per-element queries the dynamic
+	// batcher coalesces into one batched beam decode (default 8). A value
+	// of 1 or below disables batching; queries then decode individually
+	// on the worker pool.
+	BatchSize int
+	// BatchWait bounds how long the batcher holds a non-full batch open
+	// for stragglers once at least one query is in hand (default 2ms). A
+	// lone in-flight query never waits: it dispatches immediately.
+	BatchWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +87,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultK <= 0 {
 		c.DefaultK = 5
 	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -96,6 +111,8 @@ type serverMetrics struct {
 	cacheSize   *metrics.Gauge
 	latency     *metrics.Histogram
 	inference   *metrics.Histogram
+	batchSize   *metrics.Histogram
+	batchWait   *metrics.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -113,6 +130,8 @@ func newServerMetrics() *serverMetrics {
 		cacheSize:   r.NewGauge("snowwhite_cache_entries", "Prediction cache occupancy."),
 		latency:     r.NewHistogram("snowwhite_request_seconds", "Predict request latency in seconds.", nil),
 		inference:   r.NewHistogram("snowwhite_inference_seconds", "Per-element beam-search latency in seconds (cache misses only).", nil),
+		batchSize:   r.NewHistogram("snowwhite_batch_size", "Queries coalesced per batched beam decode.", []float64{1, 2, 4, 8, 16, 32}),
+		batchWait:   r.NewHistogram("snowwhite_batch_queue_seconds", "Time a query waited on the batching queue before its decode started.", nil),
 	}
 }
 
@@ -127,6 +146,11 @@ type Server struct {
 	jobs     chan func()
 	workerWG sync.WaitGroup
 	stopPool sync.Once
+
+	// paramBatch/returnBatch coalesce concurrent queries per model; nil
+	// when batching is disabled or the model is absent.
+	paramBatch  *batcher
+	returnBatch *batcher
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -151,6 +175,14 @@ func New(pred *core.Predictor, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.BatchSize > 1 {
+		if pred.Param != nil {
+			s.paramBatch = newBatcher(pred.Param, cfg.BatchSize, cfg.BatchWait, cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
+		}
+		if pred.Return != nil {
+			s.returnBatch = newBatcher(pred.Return, cfg.BatchSize, cfg.BatchWait, cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
+		}
+	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -200,36 +232,59 @@ func (s *Server) submit(ctx context.Context, fn func()) error {
 	}
 }
 
-// predictElement answers one (function, element, k) query, consulting the
-// cache before running beam search.
-func (s *Server) predictElement(m *wasm.Module, fnHash [32]byte, funcIdx int, elem string, paramIdx, k int) ([]core.TypePrediction, bool, error) {
-	key := cacheKey{fn: fnHash, elem: elem, k: k}
-	if preds, ok := s.cache.get(key); ok {
-		s.met.cacheHits.Inc()
-		return preds, true, nil
+// elemQuery is one cache-missed signature element awaiting a decode.
+type elemQuery struct {
+	key  cacheKey
+	name string // "param0".."paramN" or "return"
+	src  []string
+	k    int
+}
+
+// runQueries decodes a function's cache-missed queries against one
+// model. With batching enabled the queries join the model's dynamic
+// batcher, coalescing with concurrent requests into one batched beam
+// decode; otherwise they decode directly (still batched with each
+// other). Results land in out and the cache.
+func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, qs []elemQuery, out map[string][]core.TypePrediction) error {
+	if len(qs) == 0 {
+		return nil
 	}
-	s.met.cacheMisses.Inc()
-	var preds []core.TypePrediction
-	var err error
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	srcs := make([][]string, len(qs))
+	ks := make([]int, len(qs))
+	for i, q := range qs {
+		srcs[i] = q.src
+		ks[i] = q.k
+	}
 	start := time.Now()
-	if elem == "return" {
-		preds, err = s.pred.PredictReturn(m, funcIdx, k)
+	var preds [][]core.TypePrediction
+	var err error
+	if b != nil {
+		preds, err = b.predictMany(ctx, srcs, ks)
 	} else {
-		preds, err = s.pred.PredictParam(m, funcIdx, paramIdx, k)
+		preds = tr.PredictTyped(srcs, ks)
 	}
 	if err != nil {
-		return nil, false, err
+		return err
 	}
-	s.met.inference.ObserveSince(start)
-	s.met.predictions.Inc()
-	s.cache.put(key, preds)
+	perElem := time.Since(start).Seconds() / float64(len(qs))
+	for i, q := range qs {
+		s.met.inference.Observe(perElem)
+		s.met.predictions.Inc()
+		s.cache.put(q.key, preds[i])
+		out[q.name] = preds[i]
+	}
 	s.met.cacheSize.Set(int64(s.cache.len()))
-	return preds, false, nil
+	return nil
 }
 
 // predictFunc predicts every signature element of one module-defined
-// function, mirroring core.PredictModule but with per-element caching and
-// cancellation between elements.
+// function, mirroring core.PredictModule but in two phases: consult the
+// cache and extract inputs for every element first, then decode all
+// misses together (through the dynamic batcher when enabled, where they
+// coalesce with other requests' queries into one batched beam decode).
 func (s *Server) predictFunc(ctx context.Context, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
 	sig, err := m.FuncTypeAt(uint32(funcIdx + m.NumImportedFuncs()))
 	if err != nil {
@@ -238,34 +293,45 @@ func (s *Server) predictFunc(ctx context.Context, m *wasm.Module, funcIdx, k int
 	fnHash := funcHash(m, funcIdx)
 	out := make(map[string][]core.TypePrediction, len(sig.Params)+1)
 	hits := 0
-	for pi := range sig.Params {
-		if err := ctx.Err(); err != nil {
-			return nil, hits, err
+	var paramQs, returnQs []elemQuery
+	if s.pred.Param != nil {
+		for pi := range sig.Params {
+			name := fmt.Sprintf("param%d", pi)
+			key := cacheKey{fn: fnHash, elem: name, k: k}
+			if preds, ok := s.cache.get(key); ok {
+				s.met.cacheHits.Inc()
+				out[name] = preds
+				hits++
+				continue
+			}
+			s.met.cacheMisses.Inc()
+			src, err := s.pred.ParamInput(m, funcIdx, pi)
+			if err != nil {
+				return nil, hits, err
+			}
+			paramQs = append(paramQs, elemQuery{key: key, name: name, src: src, k: k})
 		}
-		if s.pred.Param == nil {
-			break
-		}
-		preds, hit, err := s.predictElement(m, fnHash, funcIdx, fmt.Sprintf("param%d", pi), pi, k)
-		if err != nil {
-			return nil, hits, err
-		}
-		if hit {
-			hits++
-		}
-		out[fmt.Sprintf("param%d", pi)] = preds
 	}
 	if len(sig.Results) > 0 && s.pred.Return != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, hits, err
-		}
-		preds, hit, err := s.predictElement(m, fnHash, funcIdx, "return", 0, k)
-		if err != nil {
-			return nil, hits, err
-		}
-		if hit {
+		key := cacheKey{fn: fnHash, elem: "return", k: k}
+		if preds, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Inc()
+			out["return"] = preds
 			hits++
+		} else {
+			s.met.cacheMisses.Inc()
+			src, err := s.pred.ReturnInput(m, funcIdx)
+			if err != nil {
+				return nil, hits, err
+			}
+			returnQs = append(returnQs, elemQuery{key: key, name: "return", src: src, k: k})
 		}
-		out["return"] = preds
+	}
+	if err := s.runQueries(ctx, s.pred.Param, s.paramBatch, paramQs, out); err != nil {
+		return nil, hits, err
+	}
+	if err := s.runQueries(ctx, s.pred.Return, s.returnBatch, returnQs, out); err != nil {
+		return nil, hits, err
 	}
 	return out, hits, nil
 }
@@ -285,8 +351,10 @@ func (s *Server) ListenAndServe() error {
 }
 
 // Shutdown gracefully stops the service: it stops accepting connections,
-// waits (up to ctx) for in-flight requests to finish, then drains and
-// stops the worker pool.
+// waits (up to ctx) for in-flight requests to finish, drains and stops
+// the worker pool, and only then stops the batching dispatchers — the
+// workers are the batchers' only producers, so every coalesced query
+// still in flight completes before its dispatcher exits.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.httpMu.Lock()
@@ -299,6 +367,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.jobs)
 	})
 	s.workerWG.Wait()
+	if s.paramBatch != nil {
+		s.paramBatch.close()
+	}
+	if s.returnBatch != nil {
+		s.returnBatch.close()
+	}
 	return err
 }
 

@@ -294,6 +294,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"snowwhite_cache_hits_total",
 		"snowwhite_request_seconds_bucket",
 		"snowwhite_inference_seconds_bucket",
+		"snowwhite_batch_size_bucket",
+		"snowwhite_batch_queue_seconds_bucket",
 		"snowwhite_in_flight_requests 0",
 	} {
 		if !strings.Contains(out, want) {

@@ -1,10 +1,13 @@
 #!/bin/sh
 # Performance benchmarks for the training and prediction hot paths.
-# Runs the kernel, train-step, beam-search, and evaluation benchmarks
-# and records the parsed results as JSON at the repo root:
+# Runs the kernel, train-step, beam-search, evaluation, and serving
+# benchmarks and records the parsed results as JSON at the repo root:
 #
-#   BENCH_train.json    BenchmarkMatmulKernels, BenchmarkTrainStep
-#   BENCH_predict.json  BenchmarkPredict, BenchmarkEvalThroughput
+#   BENCH_train.json    BenchmarkMatmulKernels, BenchmarkBandKernel,
+#                       BenchmarkTrainStep
+#   BENCH_predict.json  BenchmarkPredict{,Sequential,Batched},
+#                       BenchmarkEvalThroughput,
+#                       BenchmarkServerPredictConcurrent
 #
 # Usage: scripts/bench.sh
 #
@@ -20,11 +23,16 @@ export SNOWWHITE_BENCH_PACKAGES SNOWWHITE_BENCH_EPOCHS
 
 # to_json turns `go test -bench` output into a JSON document: one entry
 # per benchmark line, with ns/op and every custom metric keyed by unit.
+# Repeated names (the testing package suffixes them #01, #02, ...) are
+# dropped: a sub-benchmark registered twice measures the same thing, and
+# a duplicate key would poison downstream comparisons.
 to_json() {
 	awk '
 	BEGIN { print "{"; print "  \"benchmarks\": [" ; n = 0 }
 	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 	/^Benchmark/ {
+		base = $1; sub(/#[0-9]+$/, "", base)
+		if (seen[base]++) next
 		if (n++) printf ",\n"
 		printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
 		for (i = 3; i + 1 <= NF; i += 2)
@@ -42,14 +50,15 @@ to_json() {
 
 echo "== kernel + train-step benchmarks (BENCH_train.json) =="
 {
-	go test -run '^$' -bench 'BenchmarkMatmulKernels' -benchmem ./internal/ad
+	go test -run '^$' -bench 'BenchmarkMatmulKernels|BenchmarkBandKernel' -benchmem ./internal/ad
 	go test -run '^$' -bench 'BenchmarkTrainStep' ./internal/seq2seq
 } | tee /dev/stderr | to_json >BENCH_train.json
 
-echo "== predict + eval benchmarks (BENCH_predict.json) =="
+echo "== predict + eval + serving benchmarks (BENCH_predict.json) =="
 {
-	go test -run '^$' -bench 'BenchmarkPredict$' -benchmem ./internal/seq2seq
-	go test -run '^$' -bench 'BenchmarkEvalThroughput' -timeout 30m .
+	go test -run '^$' -bench 'BenchmarkPredict$|BenchmarkPredictSequential$|BenchmarkPredictBatched$' \
+		-timeout 30m ./internal/seq2seq
+	go test -run '^$' -bench 'BenchmarkEvalThroughput|BenchmarkServerPredictConcurrent' -timeout 30m .
 } | tee /dev/stderr | to_json >BENCH_predict.json
 
 echo "bench: wrote BENCH_train.json BENCH_predict.json"
