@@ -18,8 +18,20 @@
 // over; the file is removed once the model is saved.
 //
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
+//	snowwhite ingest  {-model model.bin | -packages N} {-file bin.wasm | -dir DIR} [-eval] [-k N] [-j N] [-out report.json]
 //	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D]
 //	snowwhite table1                                      Table 1
+//
+// `snowwhite ingest` accepts arbitrary MVP wasm binaries — unknown and
+// custom sections are skipped with per-section diagnostics, malformed
+// tails degrade gracefully — and emits a JSON report: per-function
+// parameter/return type predictions with normalized beam confidences and
+// name provenance (dwarf > names section > export > synthesized). With
+// -eval, embedded DWARF becomes ground truth: the binary is stripped,
+// predictions are scored against the DWARF-derived labels, and the report
+// gains per-element truth ranks plus an accuracy summary. -dir walks a
+// directory through a bounded worker pool; output is byte-identical at
+// any -j.
 //
 // `snowwhite serve` coalesces concurrent prediction queries into batched
 // beam decodes: up to -batch queries (default 8) share one decoder GEMM
@@ -29,12 +41,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -42,6 +56,8 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/typelang"
 	"repro/internal/wasm"
@@ -63,6 +79,8 @@ func main() {
 		err = runTrain(args)
 	case "predict":
 		err = runPredict(args)
+	case "ingest":
+		err = runIngest(args)
 	case "serve":
 		err = runServe(args)
 	case "table1":
@@ -78,7 +96,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|serve|table1} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|ingest|serve|table1} [flags]")
 }
 
 type commonOpts struct {
@@ -283,6 +301,64 @@ func runPredict(args []string) error {
 				fmt.Printf("    %d. %s\n", i+1, tp.Text)
 			}
 		}
+	}
+	return nil
+}
+
+// runIngest produces structured prediction reports for real-world wasm
+// binaries (one file or a directory tree), optionally scoring against
+// embedded DWARF.
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	opts := commonFlags(fs)
+	file := fs.String("file", "", "one .wasm binary to ingest")
+	dir := fs.String("dir", "", "ingest every .wasm under this directory")
+	topK := fs.Int("k", 5, "number of ranked predictions per element")
+	eval := fs.Bool("eval", false, "score predictions against embedded DWARF (external eval)")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	modelPath := fs.String("model", "", "load a saved predictor instead of training one")
+	printMetrics := fs.Bool("print-metrics", false, "dump ingest metrics in exposition format to stderr")
+	fs.Parse(args)
+	if (*file == "") == (*dir == "") {
+		return fmt.Errorf("ingest requires exactly one of -file or -dir")
+	}
+
+	p, err := loadOrTrain(*modelPath, opts)
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	ing := &ingest.Ingester{Pred: p, K: *topK, Eval: *eval, Metrics: ingest.NewMetrics(reg)}
+
+	var report any
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		report = ing.Binary(filepath.Base(*file), data)
+	} else {
+		report, err = ing.Dir(*dir, *opts.jobs)
+		if err != nil {
+			return err
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+		logLine("wrote report to " + *out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+	if *printMetrics {
+		reg.WriteTo(os.Stderr)
 	}
 	return nil
 }

@@ -60,8 +60,23 @@ func TestPredictTypedMatchesPredict(t *testing.T) {
 	}
 	for i := range srcs {
 		want := wrap(tr.Predict(srcs[i], ks[i]))
-		if !reflect.DeepEqual(got[i], want) {
-			t.Errorf("query %d (k=%d): batched %v, sequential %v", i, ks[i], got[i], want)
+		if len(got[i]) != len(want) {
+			t.Errorf("query %d (k=%d): batched %d beams, sequential %d", i, ks[i], len(got[i]), len(want))
+			continue
+		}
+		sum := 0.0
+		for j := range want {
+			if !reflect.DeepEqual(got[i][j].Tokens, want[j].Tokens) || got[i][j].Text != want[j].Text {
+				t.Errorf("query %d beam %d: batched %v, sequential %v", i, j, got[i][j], want[j])
+			}
+			if j > 0 && got[i][j].Confidence > got[i][j-1].Confidence+1e-12 {
+				t.Errorf("query %d: confidence not non-increasing at beam %d", i, j)
+			}
+			sum += got[i][j].Confidence
+		}
+		fallback := len(got[i]) == 1 && got[i][0].Text == "unknown"
+		if !fallback && (sum < 1-1e-9 || sum > 1+1e-9) {
+			t.Errorf("query %d: confidences sum to %v, want 1", i, sum)
 		}
 	}
 }

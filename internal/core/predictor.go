@@ -14,6 +14,11 @@ type TypePrediction struct {
 	// Text is the space-joined token sequence, e.g.
 	// "pointer primitive float 64".
 	Text string `json:"text"`
+	// Confidence is the beam's normalized score: softmax over the
+	// surviving beams' sequence log-probabilities, so the k predictions
+	// for one element sum to 1. Zero (omitted in JSON) for the
+	// uninformative fallback, whose score is not comparable.
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // ParamInput extracts the model input sequence for one parameter of a
@@ -64,7 +69,7 @@ func (p *Predictor) PredictParam(m *wasm.Module, funcIdx, paramIdx, k int) ([]Ty
 	if err != nil {
 		return nil, err
 	}
-	return wrap(p.Param.Predict(input, k)), nil
+	return p.Param.PredictTyped([][]string{input}, []int{k})[0], nil
 }
 
 // PredictReturn predicts the high-level return type of a module-defined
@@ -77,7 +82,7 @@ func (p *Predictor) PredictReturn(m *wasm.Module, funcIdx, k int) ([]TypePredict
 	if err != nil {
 		return nil, err
 	}
-	return wrap(p.Return.Predict(input, k)), nil
+	return p.Return.PredictTyped([][]string{input}, []int{k})[0], nil
 }
 
 // DecodeStripped decodes a wasm binary and strips its DWARF custom

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"time"
 
@@ -122,7 +123,43 @@ func (tr *Trained) PredictTyped(srcs [][]string, ks []int) [][]TypePrediction {
 	multi := tr.Model.PredictMulti(enc, ks)
 	out := make([][]TypePrediction, len(srcs))
 	for i, preds := range multi {
-		out[i] = wrap(filterBeams(preds))
+		out[i] = wrapScored(preds)
+	}
+	return out
+}
+
+// wrapScored converts one query's beams into ranked TypePredictions with
+// normalized confidences. Empty beams (immediate </s>) are dropped like
+// filterBeams does; the survivors' sequence log-probabilities go through
+// a softmax, so confidences are comparable across functions and sum to 1
+// within an element. The uninformative fallback keeps confidence 0: it
+// carries no beam score.
+func wrapScored(preds []seq2seq.Prediction) []TypePrediction {
+	kept := make([]seq2seq.Prediction, 0, len(preds))
+	for _, p := range preds {
+		if len(p.Tokens) == 0 {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) == 0 {
+		return []TypePrediction{{Tokens: []string{"unknown"}, Text: "unknown"}}
+	}
+	max := kept[0].LogProb
+	for _, p := range kept[1:] {
+		if p.LogProb > max {
+			max = p.LogProb
+		}
+	}
+	var sum float64
+	exps := make([]float64, len(kept))
+	for i, p := range kept {
+		exps[i] = math.Exp(p.LogProb - max)
+		sum += exps[i]
+	}
+	out := make([]TypePrediction, len(kept))
+	for i, p := range kept {
+		out[i] = TypePrediction{Tokens: p.Tokens, Text: LabelString(p.Tokens), Confidence: exps[i] / sum}
 	}
 	return out
 }

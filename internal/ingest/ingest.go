@@ -1,0 +1,313 @@
+// Package ingest is the front door for real-world WebAssembly binaries:
+// modules the corpus generator never emitted, carrying producer metadata,
+// custom sections, partial name information, and occasionally embedded
+// DWARF. It layers a tolerant loading policy over internal/wasm, resolves
+// the best available function names with explicit provenance, predicts
+// parameter and return types for every module-defined function through
+// the trained models' batched decoder, and — when DWARF is present — runs
+// an external evaluation: DWARF becomes ground truth, the binary is
+// stripped, and the predictions are scored against labels the training
+// corpus never saw.
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dwarf"
+	"repro/internal/extract"
+	"repro/internal/metrics"
+	"repro/internal/seq2seq"
+	"repro/internal/typelang"
+	"repro/internal/wasm"
+)
+
+// Schema identifies the report format; bump on breaking changes.
+const Schema = "snowwhite.ingest/v1"
+
+// Loaded is a tolerantly decoded binary plus everything ingestion derives
+// from it before prediction: section diagnostics, the DWARF tree when one
+// is readable, the subprogram match per function, and resolved names.
+type Loaded struct {
+	Decoded *wasm.Decoded
+	Diags   []wasm.SectionDiag
+	// CU is the DWARF compile unit, nil when the binary embeds no
+	// (readable) debug info.
+	CU *dwarf.DIE
+	// DwarfErr explains a nil CU when DWARF sections were present but
+	// unreadable; nil when DWARF is simply absent.
+	DwarfErr error
+	// Subs maps defined-function index (into Module.Funcs) to its
+	// DW_TAG_subprogram DIE, matched by DW_AT_low_pc == code offset.
+	Subs map[int]*dwarf.DIE
+	// Names holds one resolved name per defined function, provenance
+	// included.
+	Names []ResolvedName
+}
+
+// Load tolerantly decodes a binary and resolves DWARF matches and
+// function names. Only an unusable header fails; everything else degrades
+// into diagnostics.
+func Load(data []byte) (*Loaded, error) {
+	tol, err := wasm.DecodeTolerant(data)
+	if err != nil {
+		return nil, err
+	}
+	ld := &Loaded{
+		Decoded: tol.Decoded,
+		Diags:   tol.Diags,
+		Subs:    map[int]*dwarf.DIE{},
+	}
+	m := tol.Decoded.Module
+	if m.Custom(dwarf.SectionInfo) != nil {
+		secs, err := dwarf.Extract(m)
+		if err == nil {
+			ld.CU, err = dwarf.Read(secs)
+		}
+		if err != nil {
+			ld.DwarfErr = err
+		}
+	}
+	if ld.CU != nil {
+		funcByOffset := make(map[uint32]int, len(tol.Decoded.CodeOffsets))
+		for i, off := range tol.Decoded.CodeOffsets {
+			funcByOffset[off] = i
+		}
+		for _, sub := range ld.CU.FindAll(dwarf.TagSubprogram) {
+			if pc, ok := sub.Uint(dwarf.AttrLowPC); ok {
+				if fi, ok := funcByOffset[uint32(pc)]; ok {
+					ld.Subs[fi] = sub
+				}
+			}
+		}
+	}
+	ld.Names = resolveNames(m, ld.Subs)
+	return ld, nil
+}
+
+// Ingester turns binaries into reports. The zero value (nil predictor)
+// produces load-only reports: sections, names, signatures, no
+// predictions — the mode the fuzz target drives.
+type Ingester struct {
+	// Pred supplies the parameter and return models; nil skips
+	// prediction.
+	Pred *core.Predictor
+	// K is the number of ranked predictions per signature element
+	// (default 5).
+	K int
+	// Eval enables the external evaluation harness on DWARF-bearing
+	// binaries: ground-truth labels from DWARF, predictions on the
+	// stripped module, per-element ranks and a per-binary accuracy
+	// summary.
+	Eval bool
+	// Metrics (may be nil) receives operational counters and latencies.
+	Metrics *Metrics
+}
+
+func (ing *Ingester) k() int {
+	if ing.K > 0 {
+		return ing.K
+	}
+	return 5
+}
+
+// Binary ingests one binary. It never fails: an unusable binary yields a
+// report whose Error field is set and whose other fields are empty.
+func (ing *Ingester) Binary(name string, data []byte) *Report {
+	rep, _ := ing.binaryScored(name, data)
+	return rep
+}
+
+// elemQuery is one signature element queued for batched prediction.
+type elemQuery struct {
+	fn   int // index into Report.Funcs
+	elem int // index into that function's Elements
+	src  []string
+}
+
+// binaryScored ingests one binary and additionally returns the raw
+// accuracy accumulator when evaluation ran (for cross-binary merging).
+func (ing *Ingester) binaryScored(name string, data []byte) (*Report, *metrics.Accuracy) {
+	start := time.Now()
+	rep := &Report{Schema: Schema, Binary: name, SizeBytes: len(data)}
+	ld, err := Load(data)
+	if err != nil {
+		rep.Error = err.Error()
+		ing.Metrics.observe(rep, start)
+		return rep, nil
+	}
+	for _, dg := range ld.Diags {
+		sr := SectionReport{
+			ID: dg.ID, Name: dg.Name, Offset: dg.Offset, Size: dg.Size,
+			Status: string(dg.Status),
+		}
+		if dg.Err != nil {
+			sr.Error = dg.Err.Error()
+		}
+		rep.Sections = append(rep.Sections, sr)
+	}
+	if ld.DwarfErr != nil {
+		rep.DwarfError = ld.DwarfErr.Error()
+	}
+
+	m := ld.Decoded.Module
+	truth := map[[2]int][]string{} // (func, element) -> label tokens
+	if ing.Eval && ing.Pred != nil && ld.CU != nil {
+		ing.label(ld, truth)
+	}
+	// Predictions run on the stripped module: DWARF (and every other
+	// custom section) plays no part in extraction, so the report reflects
+	// exactly what a reverse engineer gets from the code alone.
+	dwarf.Strip(m)
+
+	nimp := m.NumImportedFuncs()
+	var paramQ, returnQ []elemQuery
+	for i := range m.Funcs {
+		fn := &m.Funcs[i]
+		fr := FunctionReport{
+			Index:      nimp + i,
+			Name:       ld.Names[i].Name,
+			NameSource: string(ld.Names[i].Source),
+		}
+		if int(fn.TypeIdx) >= len(m.Types) {
+			// A tolerantly loaded module can frame a function whose type
+			// the (malformed) type section never delivered.
+			fr.Signature = "?"
+			rep.Funcs = append(rep.Funcs, fr)
+			continue
+		}
+		sig := m.Types[fn.TypeIdx]
+		fr.Signature = sig.String()
+		for pi, low := range sig.Params {
+			el := ElementReport{Element: fmt.Sprintf("param%d", pi), LowType: low.String()}
+			if ing.Pred != nil && ing.Pred.Param != nil {
+				paramQ = append(paramQ, elemQuery{
+					fn: len(rep.Funcs), elem: len(fr.Elements),
+					src: extract.InputForParam(fn, pi, low, ing.Pred.Opts),
+				})
+			}
+			fr.Elements = append(fr.Elements, el)
+		}
+		if len(sig.Results) == 1 {
+			el := ElementReport{Element: "return", LowType: sig.Results[0].String()}
+			if ing.Pred != nil && ing.Pred.Return != nil {
+				returnQ = append(returnQ, elemQuery{
+					fn: len(rep.Funcs), elem: len(fr.Elements),
+					src: extract.InputForReturn(fn, sig.Results[0], ing.Pred.Opts),
+				})
+			}
+			fr.Elements = append(fr.Elements, el)
+		}
+		rep.Funcs = append(rep.Funcs, fr)
+	}
+
+	if ing.Pred != nil {
+		ing.decode(rep, ing.Pred.Param, paramQ)
+		ing.decode(rep, ing.Pred.Return, returnQ)
+	}
+
+	var acc *metrics.Accuracy
+	if len(truth) > 0 {
+		acc = ing.score(rep, truth)
+	}
+	ing.Metrics.observe(rep, start)
+	return rep, acc
+}
+
+// decode runs one model's queued queries through the batched decoder and
+// installs the ranked predictions into the report.
+func (ing *Ingester) decode(rep *Report, tr *core.Trained, qs []elemQuery) {
+	if tr == nil || len(qs) == 0 {
+		return
+	}
+	srcs := make([][]string, len(qs))
+	ks := make([]int, len(qs))
+	for i, q := range qs {
+		srcs[i] = q.src
+		ks[i] = ing.k()
+	}
+	preds := tr.PredictTyped(srcs, ks)
+	for i, q := range qs {
+		rep.Funcs[q.fn].Elements[q.elem].Predictions = preds[i]
+	}
+}
+
+// label converts DWARF subprogram signatures into ground-truth label
+// tokens, keyed by (defined-function index, element index). Element
+// indices match the report's layout: params first (only when the DWARF
+// and wasm parameter counts agree, as in corpus extraction), then the
+// return element when both sides have one.
+func (ing *Ingester) label(ld *Loaded, truth map[[2]int][]string) {
+	m := ld.Decoded.Module
+	for i := range m.Funcs {
+		sub, ok := ld.Subs[i]
+		if !ok || int(m.Funcs[i].TypeIdx) >= len(m.Types) {
+			continue
+		}
+		sig := m.Types[m.Funcs[i].TypeIdx]
+		params := sub.FindAll(dwarf.TagFormalParameter)
+		if len(params) == len(sig.Params) {
+			for pi, pdie := range params {
+				master := typelang.FromDWARF(pdie.TypeRef(), typelang.AllNames())
+				truth[[2]int{i, pi}] = ing.Pred.Param.Task.Variant.Apply(master, vocabNames(ing.Pred.Param))
+			}
+		}
+		if ret := sub.TypeRef(); ret != nil && len(sig.Results) == 1 && ing.Pred.Return != nil {
+			master := typelang.FromDWARF(ret, typelang.AllNames())
+			truth[[2]int{i, len(sig.Params)}] = ing.Pred.Return.Task.Variant.Apply(master, vocabNames(ing.Pred.Return))
+		}
+	}
+}
+
+// vocabNames approximates the training-time common-name filter with
+// target-vocabulary membership: a struct/typedef name the model could
+// never emit (it is not in the vocabulary) is dropped from the label the
+// same way rare names were dropped from training labels. Name tokens are
+// stored quoted (see typelang tokens), so membership is checked on the
+// quoted form.
+func vocabNames(tr *core.Trained) func(string) bool {
+	return func(name string) bool {
+		return tr.Model.Tgt.ID(strconv.Quote(name)) != seq2seq.UNK
+	}
+}
+
+// score annotates labeled elements with their ground truth and the rank
+// at which the predictions hit it, and summarizes per-binary accuracy.
+func (ing *Ingester) score(rep *Report, truth map[[2]int][]string) *metrics.Accuracy {
+	// Element keys are per defined function; report functions are in
+	// definition order, so defined-function index == report index.
+	acc := &metrics.Accuracy{}
+	for key, tgt := range truth {
+		fi, ei := key[0], key[1]
+		if fi >= len(rep.Funcs) || ei >= len(rep.Funcs[fi].Elements) {
+			continue
+		}
+		el := &rep.Funcs[fi].Elements[ei]
+		el.Truth = core.LabelString(tgt)
+		var preds [][]string
+		for _, p := range el.Predictions {
+			preds = append(preds, p.Tokens)
+		}
+		acc.Add(preds, tgt)
+		for rank, p := range preds {
+			if core.LabelString(p) == el.Truth {
+				el.TruthRank = rank + 1
+				break
+			}
+		}
+	}
+	rep.Eval = evalReport(acc)
+	return acc
+}
+
+// evalReport summarizes an accuracy accumulator for the report.
+func evalReport(acc *metrics.Accuracy) *EvalReport {
+	return &EvalReport{
+		Labeled: acc.N(),
+		Top1:    acc.Top1(),
+		Top5:    acc.Top5(),
+		TPS:     acc.TPS(),
+	}
+}

@@ -52,6 +52,17 @@ func equalTokens(a, b []string) bool {
 	return true
 }
 
+// Merge folds another accumulator into this one, as if every sample b
+// recorded had been Added here. Per-binary evaluations (the ingest
+// harness) score each binary independently and merge into a corpus-wide
+// summary.
+func (a *Accuracy) Merge(b *Accuracy) {
+	a.n += b.n
+	a.top1 += b.top1
+	a.top5 += b.top5
+	a.tpsSum += b.tpsSum
+}
+
 // N returns the number of samples recorded.
 func (a *Accuracy) N() int { return a.n }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/leb128"
 )
@@ -17,6 +18,28 @@ var (
 
 // ErrNotWasm is returned when the input does not start with the wasm magic.
 var ErrNotWasm = errors.New("wasm: not a WebAssembly binary")
+
+// ErrMalformedSection reports a decoding failure localized to one section:
+// which section rejected its payload (by id) and where its header sits in
+// the file. Decode wraps every section-level failure in it, so callers
+// that triage real-world binaries (the ingest layer) can classify
+// failures with errors.As instead of matching message strings.
+type ErrMalformedSection struct {
+	// ID is the section id (0 for a custom section).
+	ID byte
+	// Offset is the file offset of the section's id byte.
+	Offset int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ErrMalformedSection) Error() string {
+	msg := e.Err.Error()
+	msg = strings.TrimPrefix(msg, "wasm: ")
+	return fmt.Sprintf("wasm: malformed section %d at offset %d: %s", e.ID, e.Offset, msg)
+}
+
+func (e *ErrMalformedSection) Unwrap() error { return e.Err }
 
 // reader is a cursor over the binary with absolute-offset tracking, so
 // function code offsets can be reported for DWARF matching.
@@ -158,66 +181,39 @@ func Decode(data []byte) (*Decoded, error) {
 	d := &Decoded{Module: m}
 	lastSec := -1
 	for r.remaining() > 0 {
+		secOff := r.pos
 		id, err := r.byte()
 		if err != nil {
 			return nil, err
 		}
 		size, err := r.u32()
 		if err != nil {
-			return nil, err
+			return nil, &ErrMalformedSection{ID: id, Offset: secOff, Err: err}
 		}
 		body, err := r.bytes(int(size))
 		if err != nil {
-			return nil, err
+			return nil, &ErrMalformedSection{ID: id, Offset: secOff, Err: err}
 		}
 		// Non-custom sections must appear at most once, in order.
 		if id != secCustom {
 			if int(id) <= lastSec {
-				return nil, fmt.Errorf("wasm: section %d out of order", id)
+				return nil, &ErrMalformedSection{ID: id, Offset: secOff, Err: fmt.Errorf("wasm: section %d out of order", id)}
 			}
 			lastSec = int(id)
 		}
 		// Section-relative offsets must be translated to file offsets.
 		base := r.pos - int(size)
 		sr := &reader{buf: body}
-		switch id {
-		case secCustom:
+		if id == secCustom {
 			name, err := sr.name()
 			if err != nil {
-				return nil, err
+				return nil, &ErrMalformedSection{ID: id, Offset: secOff, Err: err}
 			}
 			m.Customs = append(m.Customs, Custom{Name: name, Bytes: append([]byte(nil), body[sr.pos:]...)})
-		case secType:
-			err = decodeTypeSection(sr, m)
-		case secImport:
-			err = decodeImportSection(sr, m)
-		case secFunction:
-			err = decodeFunctionSection(sr, m)
-		case secTable:
-			err = decodeTableSection(sr, m)
-		case secMemory:
-			err = decodeMemorySection(sr, m)
-		case secGlobal:
-			err = decodeGlobalSection(sr, m)
-		case secExport:
-			err = decodeExportSection(sr, m)
-		case secStart:
-			idx, e := sr.u32()
-			if e != nil {
-				return nil, e
-			}
-			m.Start = &idx
-		case secElem:
-			err = decodeElemSection(sr, m)
-		case secCode:
-			err = decodeCodeSection(sr, m, d, base)
-		case secData:
-			err = decodeDataSection(sr, m)
-		default:
-			return nil, fmt.Errorf("wasm: unknown section id %d", id)
+			continue
 		}
-		if err != nil {
-			return nil, err
+		if err := decodeKnownSection(id, sr, m, d, base); err != nil {
+			return nil, &ErrMalformedSection{ID: id, Offset: secOff, Err: err}
 		}
 	}
 	if len(d.CodeOffsets) != len(m.Funcs) {
@@ -226,6 +222,43 @@ func Decode(data []byte) (*Decoded, error) {
 		}
 	}
 	return d, nil
+}
+
+// decodeKnownSection dispatches a non-custom section payload to its
+// decoder; base is the file offset of the payload, which the code section
+// needs to record per-function code offsets. Both the strict Decode and
+// the tolerant loader route through it.
+func decodeKnownSection(id byte, sr *reader, m *Module, d *Decoded, base int) error {
+	switch id {
+	case secType:
+		return decodeTypeSection(sr, m)
+	case secImport:
+		return decodeImportSection(sr, m)
+	case secFunction:
+		return decodeFunctionSection(sr, m)
+	case secTable:
+		return decodeTableSection(sr, m)
+	case secMemory:
+		return decodeMemorySection(sr, m)
+	case secGlobal:
+		return decodeGlobalSection(sr, m)
+	case secExport:
+		return decodeExportSection(sr, m)
+	case secStart:
+		idx, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		m.Start = &idx
+		return nil
+	case secElem:
+		return decodeElemSection(sr, m)
+	case secCode:
+		return decodeCodeSection(sr, m, d, base)
+	case secData:
+		return decodeDataSection(sr, m)
+	}
+	return fmt.Errorf("wasm: unknown section id %d", id)
 }
 
 func decodeTypeSection(r *reader, m *Module) error {
@@ -447,6 +480,11 @@ func decodeElemSection(r *reader, m *Module) error {
 		if err != nil {
 			return err
 		}
+		// Each function index takes at least one byte; a count beyond the
+		// remaining input is corrupt and must not drive the allocation.
+		if int64(cnt) > int64(r.remaining()) {
+			return fmt.Errorf("wasm: element segment declares %d functions with %d bytes left", cnt, r.remaining())
+		}
 		fns := make([]uint32, cnt)
 		for j := range fns {
 			if fns[j], err = r.u32(); err != nil {
@@ -585,6 +623,11 @@ func decodeInstr(r *reader) (Instr, error) {
 		n, err := r.u32()
 		if err != nil {
 			return Instr{}, err
+		}
+		// Each label takes at least one byte; cap the allocation by the
+		// remaining input so a corrupt count cannot exhaust memory.
+		if int64(n) > int64(r.remaining()) {
+			return Instr{}, fmt.Errorf("wasm: br_table declares %d targets with %d bytes left", n, r.remaining())
 		}
 		in.Table = make([]uint32, n)
 		for i := range in.Table {

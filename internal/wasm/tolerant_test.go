@@ -1,0 +1,239 @@
+package wasm_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/leb128"
+	"repro/internal/wasm"
+)
+
+// appendSection appends a raw section (id, size-prefixed payload) to a
+// binary, the way toolchains append custom metadata after the code.
+func appendSection(bin []byte, id byte, payload []byte) []byte {
+	out := append([]byte(nil), bin...)
+	out = append(out, id)
+	out = leb128.AppendUint(out, uint64(len(payload)))
+	return append(out, payload...)
+}
+
+// customPayload frames a custom-section payload: name then contents.
+func customPayload(name string, contents []byte) []byte {
+	var p []byte
+	p = leb128.AppendUint(p, uint64(len(name)))
+	p = append(p, name...)
+	return append(p, contents...)
+}
+
+func compileTolerantSeed(t *testing.T, debug bool) []byte {
+	t.Helper()
+	obj, err := cc.Compile(`
+int add(int a, int b) { return a + b; }
+double half(double x) { return x / 2.0; }
+`, cc.Options{FileName: "seed.c", Debug: debug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.Binary
+}
+
+// TestDecodeTolerantCleanBinary pins tolerant decoding of a healthy
+// binary to the strict decoder: same module, same code offsets, all
+// sections diagnosed ok.
+func TestDecodeTolerantCleanBinary(t *testing.T) {
+	bin := compileTolerantSeed(t, true)
+	strict, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := wasm.DecodeTolerant(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tol.Decoded.Module, strict.Module) {
+		t.Error("tolerant module differs from strict decode on a clean binary")
+	}
+	if !reflect.DeepEqual(tol.Decoded.CodeOffsets, strict.CodeOffsets) {
+		t.Errorf("code offsets differ: tolerant %v strict %v", tol.Decoded.CodeOffsets, strict.CodeOffsets)
+	}
+	for _, dg := range tol.Diags {
+		if dg.Status != wasm.SectionOK {
+			t.Errorf("section id %d at %d: status %q (%v)", dg.ID, dg.Offset, dg.Status, dg.Err)
+		}
+	}
+}
+
+// TestDecodeTolerantUnknownSection: strict decoding rejects a section id
+// outside the MVP set with a typed error; tolerant decoding skips it and
+// recovers the full module.
+func TestDecodeTolerantUnknownSection(t *testing.T) {
+	bin := compileTolerantSeed(t, false)
+	bad := appendSection(bin, 63, []byte{0xde, 0xad, 0xbe, 0xef})
+
+	_, err := wasm.Decode(bad)
+	var mal *wasm.ErrMalformedSection
+	if !errors.As(err, &mal) {
+		t.Fatalf("strict Decode: want ErrMalformedSection, got %v", err)
+	}
+	if mal.ID != 63 || mal.Offset != len(bin) {
+		t.Errorf("ErrMalformedSection{ID: %d, Offset: %d}, want {63, %d}", mal.ID, mal.Offset, len(bin))
+	}
+
+	strict, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := wasm.DecodeTolerant(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tol.Decoded.Module, strict.Module) {
+		t.Error("unknown section changed the decoded module")
+	}
+	last := tol.Diags[len(tol.Diags)-1]
+	if last.Status != wasm.SectionUnknown || last.ID != 63 {
+		t.Errorf("last diag = %+v, want unknown id 63", last)
+	}
+}
+
+// TestDecodeTolerantMalformedCustom: a custom section whose name length
+// overruns the payload is dropped with a diagnostic, and later sections
+// still parse.
+func TestDecodeTolerantMalformedCustom(t *testing.T) {
+	bin := compileTolerantSeed(t, false)
+	bad := appendSection(bin, 0, []byte{0xff}) // name length 255, no name bytes
+	bad = appendSection(bad, 0, customPayload("trailing.meta", []byte("v1")))
+
+	tol, err := wasm.DecodeTolerant(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed, ok int
+	for _, dg := range tol.Diags {
+		if dg.ID != 0 {
+			continue
+		}
+		switch dg.Status {
+		case wasm.SectionMalformed:
+			malformed++
+		case wasm.SectionOK:
+			ok++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("malformed custom diags = %d, want 1", malformed)
+	}
+	if c := tol.Decoded.Module.Custom("trailing.meta"); c == nil || string(c.Bytes) != "v1" {
+		t.Error("custom section after the malformed one was not recovered")
+	}
+}
+
+// TestDecodeTolerantTruncatedTail: chopping the binary mid-section yields
+// the sections before the cut plus a truncated diagnostic, not an error.
+func TestDecodeTolerantTruncatedTail(t *testing.T) {
+	bin := compileTolerantSeed(t, true)
+	cut := bin[:len(bin)-7]
+	tol, err := wasm.DecodeTolerant(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tol.Diags[len(tol.Diags)-1]
+	if last.Status != wasm.SectionTruncated {
+		t.Errorf("last diag status = %q, want truncated", last.Status)
+	}
+	if len(tol.Decoded.Module.Funcs) == 0 {
+		t.Error("sections before the cut were not preserved")
+	}
+}
+
+// TestDecodeTolerantCodeEntryRecovery: corrupting one function's body (an
+// unknown opcode inside an intact entry frame) loses only that function;
+// its neighbors and its code offset survive.
+func TestDecodeTolerantCodeEntryRecovery(t *testing.T) {
+	bin := compileTolerantSeed(t, false)
+	strict, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.CodeOffsets) < 2 {
+		t.Fatalf("need at least 2 functions, got %d", len(strict.CodeOffsets))
+	}
+	bad := append([]byte(nil), bin...)
+	// The entry's first body byte sits after its size and local-count
+	// fields; 0xC5 is not an MVP opcode. Clobbering one byte inside the
+	// body keeps the entry frame (its size field) intact.
+	bad[strict.CodeOffsets[0]+2] = 0xc5
+
+	tol, err := wasm.DecodeTolerant(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tol.Decoded.Module
+	if len(m.Funcs) != len(strict.Module.Funcs) {
+		t.Fatalf("func count %d, want %d", len(m.Funcs), len(strict.Module.Funcs))
+	}
+	if len(m.Funcs[0].Body) != 0 {
+		t.Error("corrupt function body should have been dropped")
+	}
+	if !reflect.DeepEqual(m.Funcs[1].Body, strict.Module.Funcs[1].Body) {
+		t.Error("healthy neighbor function was damaged by recovery")
+	}
+	if !reflect.DeepEqual(tol.Decoded.CodeOffsets, strict.CodeOffsets) {
+		t.Errorf("code offsets %v, want %v", tol.Decoded.CodeOffsets, strict.CodeOffsets)
+	}
+	found := false
+	for _, dg := range tol.Diags {
+		if dg.Status == wasm.SectionMalformed && dg.Offset == int(strict.CodeOffsets[0]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no malformed diag at the corrupt entry's offset; diags: %+v", tol.Diags)
+	}
+}
+
+// TestDecodeTolerantOutOfOrder: a duplicated non-custom section is
+// diagnosed but still parsed (last occurrence wins).
+func TestDecodeTolerantOutOfOrder(t *testing.T) {
+	bin := compileTolerantSeed(t, false)
+	// Append a second type section declaring one ()->() functype.
+	bad := appendSection(bin, 1, []byte{0x01, 0x60, 0x00, 0x00})
+	tol, err := wasm.DecodeTolerant(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tol.Diags[len(tol.Diags)-1]
+	if last.Status != wasm.SectionOutOfOrder {
+		t.Errorf("last diag status = %q, want out_of_order", last.Status)
+	}
+	if got := len(tol.Decoded.Module.Types); got != 1 {
+		t.Errorf("duplicate type section should win: %d types, want 1", got)
+	}
+}
+
+// TestErrMalformedSectionTyped: mid-payload failures in strict decoding
+// carry the section id and offset of the failing section.
+func TestErrMalformedSectionTyped(t *testing.T) {
+	bin := compileTolerantSeed(t, false)
+	d, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first code entry body as above: strict decode must fail
+	// with a typed error naming the code section.
+	bad := append([]byte(nil), bin...)
+	bad[d.CodeOffsets[0]+2] = 0xc5
+	_, err = wasm.Decode(bad)
+	var mal *wasm.ErrMalformedSection
+	if !errors.As(err, &mal) {
+		t.Fatalf("want ErrMalformedSection, got %v", err)
+	}
+	if mal.ID != 10 {
+		t.Errorf("section id = %d, want 10 (code)", mal.ID)
+	}
+	if mal.Err == nil {
+		t.Error("underlying error missing")
+	}
+}

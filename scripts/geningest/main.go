@@ -1,0 +1,97 @@
+// Command geningest regenerates the checked-in ingest test binaries under
+// internal/ingest/testdata: two DWARF-bearing binaries for the external
+// eval harness, one stripped binary, and one binary carrying an
+// unknown-id section plus a nonstandard custom section. The compiler is
+// deterministic, so re-running this produces byte-identical files.
+//
+// Usage: go run ./scripts/geningest
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cc"
+	"repro/internal/leb128"
+)
+
+const mathSrc = `
+int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; }
+double mean(double *xs, int n) {
+	double s = 0.0;
+	for (int i = 0; i < n; i = i + 1) { s = s + xs[i]; }
+	if (n > 0) { return s / n; }
+	return 0.0;
+}
+long scale(long x, int k) { return x * k; }
+`
+
+const stringsSrc = `
+int length(char *s) { int n = 0; while (s[n] != 0) { n = n + 1; } return n; }
+char *advance(char *s, int n) { return s + n; }
+unsigned int hash(char *s) {
+	unsigned int h = 2166136261u;
+	int i = 0;
+	while (s[i] != 0) { h = (h ^ s[i]) * 16777619u; i = i + 1; }
+	return h;
+}
+`
+
+const geomSrc = `
+float area(float w, float h) { return w * h; }
+float *midpoint(float *a, float *b, float *out) {
+	out[0] = (a[0] + b[0]) / 2.0f;
+	out[1] = (a[1] + b[1]) / 2.0f;
+	return out;
+}
+`
+
+func main() {
+	dir := filepath.Join("internal", "ingest", "testdata")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, data []byte) {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+	compile := func(name, src string, debug bool) []byte {
+		obj, err := cc.Compile(src, cc.Options{FileName: name, Debug: debug})
+		if err != nil {
+			fatal(err)
+		}
+		return obj.Binary
+	}
+
+	write("math_debug.wasm", compile("math.c", mathSrc, true))
+	write("strings_debug.wasm", compile("strings.c", stringsSrc, true))
+	write("geom_stripped.wasm", compile("geom.c", geomSrc, false))
+
+	// A stripped binary with the section zoo real toolchains leave behind:
+	// an unknown section id after the code and a producer-style custom
+	// section.
+	mixed := compile("geom.c", geomSrc, false)
+	mixed = appendSection(mixed, 63, []byte{0xca, 0xfe, 0xba, 0xbe})
+	var meta []byte
+	meta = leb128.AppendUint(meta, uint64(len("snowwhite.meta")))
+	meta = append(meta, "snowwhite.meta"...)
+	meta = append(meta, `{"generator":"geningest"}`...)
+	mixed = appendSection(mixed, 0, meta)
+	write("mixed_custom.wasm", mixed)
+}
+
+func appendSection(bin []byte, id byte, payload []byte) []byte {
+	out := append([]byte(nil), bin...)
+	out = append(out, id)
+	out = leb128.AppendUint(out, uint64(len(payload)))
+	return append(out, payload...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "geningest:", err)
+	os.Exit(1)
+}

@@ -27,6 +27,26 @@ go test -race -count=2 -run 'TestPredictBatchedMatchesSequential|TestPredictMult
 	./internal/seq2seq ./internal/ad
 go test -race -count=2 -run 'TestBatcher|TestServerBatcherStress' ./internal/server
 echo "== fuzz seed corpora (no mutation; smoke-checks the native targets) =="
-go test -run 'FuzzRead|FuzzDecode|FuzzRoundTrip|FuzzEncodeDecode' \
-	./internal/dwarf ./internal/wasm ./internal/leb128 ./internal/bpe
+go test -run 'FuzzRead|FuzzDecode|FuzzRoundTrip|FuzzEncodeDecode|FuzzIngest' \
+	./internal/dwarf ./internal/wasm ./internal/leb128 ./internal/bpe ./internal/ingest
+echo "== ingest external eval (train tiny model, j1 == j4 == golden) =="
+# End-to-end: train a small deterministic predictor, ingest the checked-in
+# real-binary set with embedded-DWARF scoring, and require byte-identical
+# reports at different worker counts AND against the golden file (training
+# and batched decoding are bitwise deterministic). Regenerate the golden
+# with the same train flags after intentional model/report changes:
+#   snowwhite train -packages 6 -epochs 1 -seed 1 -j 2 -checkpoint none -out M
+#   snowwhite ingest -model M -dir internal/ingest/testdata -eval -k 5 -j 1 \
+#     -out internal/ingest/testdata/golden_eval.json
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/snowwhite" ./cmd/snowwhite
+"$tmp/snowwhite" train -packages 6 -epochs 1 -seed 1 -j 2 -checkpoint none \
+	-out "$tmp/model.bin" 2>/dev/null
+"$tmp/snowwhite" ingest -model "$tmp/model.bin" -dir internal/ingest/testdata \
+	-eval -k 5 -j 1 -out "$tmp/ingest_j1.json" 2>/dev/null
+"$tmp/snowwhite" ingest -model "$tmp/model.bin" -dir internal/ingest/testdata \
+	-eval -k 5 -j 4 -out "$tmp/ingest_j4.json" 2>/dev/null
+cmp "$tmp/ingest_j1.json" "$tmp/ingest_j4.json"
+cmp "$tmp/ingest_j1.json" internal/ingest/testdata/golden_eval.json
 echo "verify: OK"
