@@ -19,7 +19,9 @@
 //
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
 //	snowwhite ingest  {-model model.bin | -packages N} {-file bin.wasm | -dir DIR} [-eval] [-k N] [-j N] [-out report.json]
-//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D]
+//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D] [-fast-math] [-fast-model model.qbin]
+//	snowwhite export  -model model.bin -out model.qbin [-quantize int8|f32]
+//	snowwhite acctest {-model model.bin | -packages N} -dir DIR [-quantize int8|f32] [-fast-model model.qbin] [-k N] [-budget 0.99]
 //	snowwhite table1                                      Table 1
 //
 // `snowwhite ingest` accepts arbitrary MVP wasm binaries — unknown and
@@ -37,6 +39,23 @@
 // beam decodes: up to -batch queries (default 8) share one decoder GEMM
 // per step, and a non-full batch waits at most -batch-wait (default 2ms)
 // for stragglers; a lone request never waits. -batch 1 disables batching.
+// With -fast-math the server additionally loads a fast-math engine
+// (quantized weights + fused-rounding inference kernels) that answers
+// requests opting in with fast=true; the engine comes from -fast-model
+// when given, otherwise from an in-memory int8 quantization of the
+// primary model.
+//
+// `snowwhite export` converts a trained full-precision predictor into
+// the quantized on-disk format (int8 affine per matrix, or float32).
+// Quantized files load anywhere a model file is accepted — the magic
+// prefix routes them to the fast-math loader automatically.
+//
+// `snowwhite acctest` is the accuracy-budget gate: it extracts every
+// predictable signature element from the .wasm binaries under -dir,
+// decodes them with both the full-precision reference and the
+// quantized/fast-math candidate, and fails (exit 1) unless the
+// candidate's top-1 prediction falls within the reference's top-k on at
+// least -budget of the queries.
 package main
 
 import (
@@ -54,10 +73,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/accbudget"
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
+	"repro/internal/quant"
 	"repro/internal/server"
 	"repro/internal/typelang"
 	"repro/internal/wasm"
@@ -83,6 +104,10 @@ func main() {
 		err = runIngest(args)
 	case "serve":
 		err = runServe(args)
+	case "export":
+		err = runExport(args)
+	case "acctest":
+		err = runAcctest(args)
 	case "table1":
 		fmt.Print(core.Table1())
 	default:
@@ -96,7 +121,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|ingest|serve|table1} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|ingest|serve|export|acctest|table1} [flags]")
 }
 
 type commonOpts struct {
@@ -230,10 +255,11 @@ func runTrain(args []string) error {
 }
 
 // loadOrTrain returns a saved predictor when modelPath is set, otherwise
-// trains one from a fresh synthetic dataset.
+// trains one from a fresh synthetic dataset. Both on-disk formats load:
+// quantized exports come back with fast-math inference enabled.
 func loadOrTrain(modelPath string, opts commonOpts) (*core.Predictor, error) {
 	if modelPath != "" {
-		p, err := core.LoadPredictor(modelPath)
+		p, err := core.LoadPredictorAuto(modelPath)
 		if err != nil {
 			return nil, err
 		}
@@ -378,11 +404,30 @@ func runServe(args []string) error {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	batch := fs.Int("batch", 8, "max queries coalesced per batched beam decode (<=1 disables)")
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "max time a non-full batch waits for stragglers")
+	fastMath := fs.Bool("fast-math", false, "also serve a fast-math engine for requests with fast=true")
+	fastModel := fs.String("fast-model", "", "quantized model file for the fast-math engine (default: in-memory int8 quantization of the primary model; implies -fast-math)")
+	quantize := fs.String("quantize", "int8", "quantization mode for the in-memory fast-math engine (int8 or f32)")
 	fs.Parse(args)
 
 	p, err := loadOrTrain(*modelPath, opts)
 	if err != nil {
 		return err
+	}
+	var fastPred *core.Predictor
+	if *fastModel != "" {
+		if fastPred, err = core.LoadQuantizedPredictor(*fastModel); err != nil {
+			return err
+		}
+		logLine("loaded fast-math predictor from " + *fastModel)
+	} else if *fastMath {
+		mode, err := quant.ParseMode(*quantize)
+		if err != nil {
+			return err
+		}
+		if fastPred, err = core.QuantizePredictor(p, mode); err != nil {
+			return err
+		}
+		logLine(fmt.Sprintf("fast-math engine ready (in-memory %s quantization)", mode))
 	}
 	srv, err := server.New(p, server.Config{
 		Addr:           *addr,
@@ -392,6 +437,7 @@ func runServe(args []string) error {
 		RequestTimeout: *timeout,
 		BatchSize:      *batch,
 		BatchWait:      *batchWait,
+		FastPred:       fastPred,
 	})
 	if err != nil {
 		return err
@@ -419,6 +465,112 @@ func runServe(args []string) error {
 	case err := <-errc:
 		return err
 	}
+}
+
+// runExport converts a saved full-precision predictor into the
+// quantized on-disk format.
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	modelPath := fs.String("model", "", "saved full-precision predictor to convert")
+	out := fs.String("out", "", "output quantized model file")
+	quantize := fs.String("quantize", "int8", "quantization mode (int8 or f32)")
+	fs.Parse(args)
+	if *modelPath == "" || *out == "" {
+		return fmt.Errorf("export requires -model and -out")
+	}
+	mode, err := quant.ParseMode(*quantize)
+	if err != nil {
+		return err
+	}
+	p, err := core.LoadPredictor(*modelPath)
+	if err != nil {
+		return err
+	}
+	if err := core.ExportQuantized(p, *out, mode); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	logLine(fmt.Sprintf("exported %s predictor to %s (%d bytes)", mode, *out, fi.Size()))
+	return nil
+}
+
+// runAcctest runs the accuracy-budget gate: the quantized/fast-math
+// candidate against the full-precision reference over every predictable
+// signature element under -dir. Exit status 1 when the candidate's
+// top-k agreement falls below -budget.
+func runAcctest(args []string) error {
+	fs := flag.NewFlagSet("acctest", flag.ExitOnError)
+	opts := commonFlags(fs)
+	modelPath := fs.String("model", "", "load a saved full-precision predictor instead of training one")
+	dir := fs.String("dir", "", "directory of .wasm evaluation binaries")
+	quantize := fs.String("quantize", "int8", "quantization mode for the in-memory candidate (int8 or f32)")
+	fastModel := fs.String("fast-model", "", "use this quantized model file as the candidate instead of quantizing in memory")
+	topK := fs.Int("k", 3, "reference beam width the candidate's top-1 must fall within")
+	budget := fs.Float64("budget", 0.99, "minimum fraction of queries whose candidate top-1 is in the reference top-k")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("acctest requires -dir")
+	}
+
+	ref, err := loadOrTrain(*modelPath, opts)
+	if err != nil {
+		return err
+	}
+	var cand *core.Predictor
+	if *fastModel != "" {
+		if cand, err = core.LoadQuantizedPredictor(*fastModel); err != nil {
+			return err
+		}
+		logLine("candidate: quantized predictor " + *fastModel)
+	} else {
+		mode, err := quant.ParseMode(*quantize)
+		if err != nil {
+			return err
+		}
+		if cand, err = core.QuantizePredictor(ref, mode); err != nil {
+			return err
+		}
+		logLine(fmt.Sprintf("candidate: in-memory %s quantization + fast-math kernels", mode))
+	}
+
+	queries, skipped, err := accbudget.QueriesFromDir(ref, *dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range skipped {
+		logLine("skipped undecodable binary " + name)
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("acctest: no queries extracted from %s", *dir)
+	}
+	logLine(fmt.Sprintf("comparing %d queries at k=%d", len(queries), *topK))
+	rep := accbudget.Compare(ref, cand, queries, *topK)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+		logLine("wrote report to " + *out)
+	} else {
+		os.Stdout.Write(buf)
+	}
+	logLine(fmt.Sprintf("top-1 agreement %.4f, top-%d agreement %.4f (%d/%d)",
+		rep.Top1Agreement(), *topK, rep.TopKAgreement(), rep.TopKMatches, rep.Total))
+	if !rep.Pass(*budget) {
+		return fmt.Errorf("accuracy budget failed: top-%d agreement %.4f < %.4f over %d queries",
+			*topK, rep.TopKAgreement(), *budget, rep.Total)
+	}
+	logLine(fmt.Sprintf("accuracy budget passed (>= %.4f)", *budget))
+	return nil
 }
 
 func exportName(m *wasm.Module, funcIdx int) string {

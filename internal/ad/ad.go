@@ -63,6 +63,12 @@ type Tape struct {
 	// live tracks pool-eligible values allocated since the last Keep or
 	// ReleaseExcept.
 	live []*V
+	// fast marks an inference-only fast-math tape (NewForwardFast):
+	// matmuls dispatch to the fused-rounding kernels in kernels_fast.go.
+	// Only the forward-only constructor can set it, and MatMul
+	// additionally requires !grad, so a recording tape can never reach
+	// the fast kernels.
+	fast bool
 }
 
 // NewTape returns an empty recording tape for training.
@@ -81,8 +87,21 @@ func NewTraining(pool *Pool) *Tape { return &Tape{grad: true, pool: pool} }
 // reuse via ReleaseExcept.
 func NewForward(pool *Pool) *Tape { return &Tape{pool: pool} }
 
+// NewForwardFast returns a forward-only tape whose matmuls use the
+// fast-math inference kernels: fused multiply-add rounding and no
+// skip-zero tests (kernels_fast.go). Results are deterministic but not
+// bitwise-equal to NewForward; accuracy against the full-precision path
+// is governed by the accbudget harness, not the bitwise oracle. There
+// is deliberately no recording variant: training requires the bitwise
+// kernels.
+func NewForwardFast(pool *Pool) *Tape { return &Tape{pool: pool, fast: true} }
+
 // Recording reports whether the tape retains a backward pass.
 func (t *Tape) Recording() bool { return t.grad }
+
+// FastMath reports whether the tape dispatches matmuls to the fast-math
+// inference kernels.
+func (t *Tape) FastMath() bool { return t.fast && !t.grad }
 
 // new allocates an op output: with gradient storage on recording tapes,
 // gradient-free on forward tapes; pool-recycled on pooled tapes.
@@ -189,7 +208,11 @@ func (t *Tape) MatMul(a, b *V) *V {
 		panic(fmt.Sprintf("ad: MatMul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
 	}
 	out := t.new(a.R, b.C)
-	matmul(out.W, a.W, b.W, a.R, a.C, b.C)
+	if t.fast && !t.grad {
+		matmulFast(out.W, a.W, b.W, a.R, a.C, b.C)
+	} else {
+		matmul(out.W, a.W, b.W, a.R, a.C, b.C)
+	}
 	if t.grad {
 		t.record(func() {
 			// dA += dOut @ B^T ; dB += A^T @ dOut

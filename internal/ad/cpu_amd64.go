@@ -13,6 +13,21 @@ func xgetbv() (eax, edx uint32)
 // pure-Go path on AVX2 hosts and compare the two bitwise.
 var useAVX2 = detectAVX2()
 
+// useFMA gates the fused-multiply-add inference kernels in
+// kernels_amd64.s (band2pFMA, axpyFMA, ntPanelFMA). FMA uses the same
+// YMM state as AVX2, so it is only probed once detectAVX2 passed. Also
+// a variable so the fast-kernel tests can force the pure-Go math.FMA
+// mirror and compare it to the assembly bitwise.
+var useFMA = useAVX2 && detectFMA()
+
+// detectFMA reports whether the host supports FMA3 (CPUID leaf 1 ECX
+// bit 12).
+func detectFMA() bool {
+	_, _, ecx1, _ := cpuid(1, 0)
+	const fma = 1 << 12
+	return ecx1&fma != 0
+}
+
 // detectAVX2 reports whether the host supports AVX2 and the OS has
 // enabled YMM state saving (OSXSAVE + XCR0 bits 1 and 2).
 func detectAVX2() bool {

@@ -157,11 +157,14 @@ func matmul(out, a, b []float64, r, k, c int) {
 // For tall a, four rows of b are packed into an interleaved [k x 4]
 // panel so the micro-kernel streams one contiguous buffer instead of
 // four strided rows; the panel is reused across all row blocks of a.
+// On AVX2 hosts the packed panel additionally feeds ntPanelAVX2, whose
+// lanes replay the Go panel loop's accumulator chains exactly; packing
+// is then worth it for any blocked shape, not just tall a.
 func matmulNT(out, a, b []float64, r, k, c int) {
 	ib, jb := r-r%blockDim, c-c%blockDim
 	var panel []float64
 	var panelPtr *[]float64
-	if ib > 0 && jb > 0 && r >= packMinRows {
+	if ib > 0 && jb > 0 && (useAVX2 || r >= packMinRows) {
 		panelPtr = packBuf.Get().(*[]float64)
 		if cap(*panelPtr) < blockDim*k {
 			*panelPtr = make([]float64, blockDim*k)
@@ -190,7 +193,14 @@ func matmulNT(out, a, b []float64, r, k, c int) {
 			var s10, s11, s12, s13 float64
 			var s20, s21, s22, s23 float64
 			var s30, s31, s32, s33 float64
-			if panel != nil {
+			if panel != nil && useAVX2 && k > 0 {
+				var s [16]float64
+				ntPanelAVX2(&s, &a0[0], &a1[0], &a2[0], &a3[0], &panel[0], k)
+				s00, s01, s02, s03 = s[0], s[1], s[2], s[3]
+				s10, s11, s12, s13 = s[4], s[5], s[6], s[7]
+				s20, s21, s22, s23 = s[8], s[9], s[10], s[11]
+				s30, s31, s32, s33 = s[12], s[13], s[14], s[15]
+			} else if panel != nil {
 				for p := 0; p < k; p++ {
 					v0, v1, v2, v3 := panel[4*p], panel[4*p+1], panel[4*p+2], panel[4*p+3]
 					av := a0[p]

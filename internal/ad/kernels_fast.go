@@ -1,0 +1,309 @@
+package ad
+
+import "math"
+
+// Fast-math inference kernels: the opt-in siblings of the bitwise
+// kernels in kernels.go, reachable only through fast-math forward tapes
+// (NewForwardFast) — recording tapes dispatch to the bitwise kernels
+// unconditionally, so training can never observe these semantics.
+//
+// Relaxations relative to the bitwise contract, in full:
+//
+//  1. Every multiply-add rounds ONCE (math.FMA in Go, VFMADD231 in the
+//     amd64 assembly) where the training kernels round twice. The
+//     summation ORDER is unchanged: each output element still
+//     accumulates its partial products in ascending-p order along a
+//     single dependency chain, so the drift against the scalar
+//     references is only the per-step rounding difference — bounded by
+//     the standard fused-vs-unfused analysis (|fast-exact| grows like
+//     k·eps·sum|a_p·b_p|; TestFastKernelsErrorBound enforces it).
+//  2. No skip-zero tests on A. IEEE-754 applies: 0*Inf and 0*NaN
+//     contribute NaN where the training kernels' skip would have
+//     contributed nothing. Inference on finite weights never hits this.
+//  3. The attention ops (dotFast for AttnScores, weightedSumFast)
+//     additionally stripe their dot-product accumulation across eight
+//     lanes — the one place fast-math reorders a summation. The stripe
+//     pattern is fixed (see dotFMA), so determinism still holds; the
+//     drift bound gains the usual log-shaped pairwise-summation term.
+//
+// The kernels are still deterministic: for a given input the result is
+// identical across runs, worker counts, and — because the pure-Go
+// math.FMA paths mirror the assembly operation-for-operation — across
+// the asm and fallback paths (TestFastKernelsFMABitwise pins this).
+
+// fmaAxpy computes o[j] = fma(s, bv[j], o[j]) over len(bv) elements; no
+// skip-zero contract (s may be zero, and 0*Inf = NaN propagates).
+func fmaAxpy(o, bv []float64, s float64) {
+	o = o[:len(bv)]
+	if useFMA && len(bv) >= avxMinC {
+		axpyFMA(&o[0], &bv[0], s, len(bv))
+		return
+	}
+	for j, v := range bv {
+		o[j] = math.FMA(s, v, o[j])
+	}
+}
+
+// matmulFast computes out += a@b with out [r,c], a [r,k], b [k,c]: the
+// fast-math sibling of matmul, same band-fused blocking.
+func matmulFast(out, a, b []float64, r, k, c int) {
+	ib := r - r%blockDim
+	for i := 0; i < ib; i += blockDim {
+		a0 := a[i*k : i*k+k : i*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k : (i+1)*k+k]
+		a2 := a[(i+2)*k : (i+2)*k+k : (i+2)*k+k]
+		a3 := a[(i+3)*k : (i+3)*k+k : (i+3)*k+k]
+		o0 := out[i*c : i*c+c : i*c+c]
+		o1 := out[(i+1)*c : (i+1)*c+c : (i+1)*c+c]
+		o2 := out[(i+2)*c : (i+2)*c+c : (i+2)*c+c]
+		o3 := out[(i+3)*c : (i+3)*c+c : (i+3)*c+c]
+		p := 0
+		for ; p+1 < k; p += 2 {
+			av00, av01, av02, av03 := a0[p], a1[p], a2[p], a3[p]
+			av10, av11, av12, av13 := a0[p+1], a1[p+1], a2[p+1], a3[p+1]
+			bp := b[p*c : p*c+c : p*c+c]
+			bq := b[(p+1)*c : (p+1)*c+c : (p+1)*c+c]
+			if useFMA && c >= avxMinC {
+				av := [8]float64{av00, av01, av02, av03, av10, av11, av12, av13}
+				band2pFMA(&o0[0], &o1[0], &o2[0], &o3[0], &bp[0], &bq[0], &av, c)
+				continue
+			}
+			for j, bv0 := range bp {
+				bv1 := bq[j]
+				o0[j] = math.FMA(av10, bv1, math.FMA(av00, bv0, o0[j]))
+				o1[j] = math.FMA(av11, bv1, math.FMA(av01, bv0, o1[j]))
+				o2[j] = math.FMA(av12, bv1, math.FMA(av02, bv0, o2[j]))
+				o3[j] = math.FMA(av13, bv1, math.FMA(av03, bv0, o3[j]))
+			}
+		}
+		if p < k { // odd k tail
+			bp := b[p*c : p*c+c : p*c+c]
+			fmaAxpy(o0, bp, a0[p])
+			fmaAxpy(o1, bp, a1[p])
+			fmaAxpy(o2, bp, a2[p])
+			fmaAxpy(o3, bp, a3[p])
+		}
+	}
+	if ib < r {
+		matmulFastTail(out[ib*c:], a[ib*k:], b, r-ib, k, c)
+	}
+}
+
+// matmulFastTail handles remainder rows: per-row ascending-p fused axpy.
+func matmulFastTail(out, a, b []float64, r, k, c int) {
+	for i := 0; i < r; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*c : (i+1)*c]
+		for p := 0; p < k; p++ {
+			fmaAxpy(oi, b[p*c:(p+1)*c], ai[p])
+		}
+	}
+}
+
+// matmulNTFast computes out += a @ b^T with a [r,k], b [c,k], out [r,c]:
+// the fast-math sibling of matmulNT. Blocked shapes always pack (the
+// panel feeds ntPanelFMA); remainders use single-chain fused dots.
+func matmulNTFast(out, a, b []float64, r, k, c int) {
+	ib, jb := r-r%blockDim, c-c%blockDim
+	var panel []float64
+	var panelPtr *[]float64
+	if ib > 0 && jb > 0 {
+		panelPtr = packBuf.Get().(*[]float64)
+		if cap(*panelPtr) < blockDim*k {
+			*panelPtr = make([]float64, blockDim*k)
+		}
+		panel = (*panelPtr)[:blockDim*k]
+	}
+	for j := 0; j < jb; j += blockDim {
+		b0 := b[j*k : j*k+k : j*k+k]
+		b1 := b[(j+1)*k : (j+1)*k+k : (j+1)*k+k]
+		b2 := b[(j+2)*k : (j+2)*k+k : (j+2)*k+k]
+		b3 := b[(j+3)*k : (j+3)*k+k : (j+3)*k+k]
+		if panel != nil {
+			for p := 0; p < k; p++ {
+				panel[4*p] = b0[p]
+				panel[4*p+1] = b1[p]
+				panel[4*p+2] = b2[p]
+				panel[4*p+3] = b3[p]
+			}
+		}
+		for i := 0; i < ib; i += blockDim {
+			a0 := a[i*k : i*k+k : i*k+k]
+			a1 := a[(i+1)*k : (i+1)*k+k : (i+1)*k+k]
+			a2 := a[(i+2)*k : (i+2)*k+k : (i+2)*k+k]
+			a3 := a[(i+3)*k : (i+3)*k+k : (i+3)*k+k]
+			var s [16]float64
+			if useFMA && k > 0 {
+				ntPanelFMA(&s, &a0[0], &a1[0], &a2[0], &a3[0], &panel[0], k)
+			} else {
+				for p := 0; p < k; p++ {
+					v0, v1, v2, v3 := panel[4*p], panel[4*p+1], panel[4*p+2], panel[4*p+3]
+					av := a0[p]
+					s[0] = math.FMA(av, v0, s[0])
+					s[1] = math.FMA(av, v1, s[1])
+					s[2] = math.FMA(av, v2, s[2])
+					s[3] = math.FMA(av, v3, s[3])
+					av = a1[p]
+					s[4] = math.FMA(av, v0, s[4])
+					s[5] = math.FMA(av, v1, s[5])
+					s[6] = math.FMA(av, v2, s[6])
+					s[7] = math.FMA(av, v3, s[7])
+					av = a2[p]
+					s[8] = math.FMA(av, v0, s[8])
+					s[9] = math.FMA(av, v1, s[9])
+					s[10] = math.FMA(av, v2, s[10])
+					s[11] = math.FMA(av, v3, s[11])
+					av = a3[p]
+					s[12] = math.FMA(av, v0, s[12])
+					s[13] = math.FMA(av, v1, s[13])
+					s[14] = math.FMA(av, v2, s[14])
+					s[15] = math.FMA(av, v3, s[15])
+				}
+			}
+			for r4 := 0; r4 < blockDim; r4++ {
+				orow := out[(i+r4)*c+j : (i+r4)*c+j+blockDim : (i+r4)*c+j+blockDim]
+				orow[0] += s[4*r4]
+				orow[1] += s[4*r4+1]
+				orow[2] += s[4*r4+2]
+				orow[3] += s[4*r4+3]
+			}
+		}
+	}
+	if panelPtr != nil {
+		packBuf.Put(panelPtr)
+	}
+	// Remainder columns across the blocked rows.
+	if jb < c && ib > 0 {
+		for i := 0; i < ib; i++ {
+			ai := a[i*k : i*k+k : i*k+k]
+			oi := out[i*c : i*c+c : i*c+c]
+			for j := jb; j < c; j++ {
+				bj := b[j*k : j*k+k : j*k+k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s = math.FMA(ai[p], bj[p], s)
+				}
+				oi[j] += s
+			}
+		}
+	}
+	// Remainder rows.
+	if ib < r {
+		for i := ib; i < r; i++ {
+			ai := a[i*k : (i+1)*k]
+			oi := out[i*c : (i+1)*c]
+			for j := 0; j < c; j++ {
+				bj := b[j*k : (j+1)*k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s = math.FMA(ai[p], bj[p], s)
+				}
+				oi[j] += s
+			}
+		}
+	}
+}
+
+// matmulTNFast computes out += a^T @ b with a [k,r], b [k,c], out [r,c]:
+// the fast-math sibling of matmulTN.
+func matmulTNFast(out, a, b []float64, r, k, c int) {
+	ib := r - r%blockDim
+	for i := 0; i < ib; i += blockDim {
+		o0 := out[i*c : i*c+c : i*c+c]
+		o1 := out[(i+1)*c : (i+1)*c+c : (i+1)*c+c]
+		o2 := out[(i+2)*c : (i+2)*c+c : (i+2)*c+c]
+		o3 := out[(i+3)*c : (i+3)*c+c : (i+3)*c+c]
+		p := 0
+		for ; p+1 < k; p += 2 {
+			av00, av01, av02, av03 := a[p*r+i], a[p*r+i+1], a[p*r+i+2], a[p*r+i+3]
+			av10, av11, av12, av13 := a[(p+1)*r+i], a[(p+1)*r+i+1], a[(p+1)*r+i+2], a[(p+1)*r+i+3]
+			bp := b[p*c : p*c+c : p*c+c]
+			bq := b[(p+1)*c : (p+1)*c+c : (p+1)*c+c]
+			if useFMA && c >= avxMinC {
+				av := [8]float64{av00, av01, av02, av03, av10, av11, av12, av13}
+				band2pFMA(&o0[0], &o1[0], &o2[0], &o3[0], &bp[0], &bq[0], &av, c)
+				continue
+			}
+			for j, bv0 := range bp {
+				bv1 := bq[j]
+				o0[j] = math.FMA(av10, bv1, math.FMA(av00, bv0, o0[j]))
+				o1[j] = math.FMA(av11, bv1, math.FMA(av01, bv0, o1[j]))
+				o2[j] = math.FMA(av12, bv1, math.FMA(av02, bv0, o2[j]))
+				o3[j] = math.FMA(av13, bv1, math.FMA(av03, bv0, o3[j]))
+			}
+		}
+		if p < k { // odd k tail
+			bp := b[p*c : p*c+c : p*c+c]
+			fmaAxpy(o0, bp, a[p*r+i])
+			fmaAxpy(o1, bp, a[p*r+i+1])
+			fmaAxpy(o2, bp, a[p*r+i+2])
+			fmaAxpy(o3, bp, a[p*r+i+3])
+		}
+	}
+	// Remainder rows: p-outer fused axpy over the tail rows of out.
+	if ib < r {
+		for p := 0; p < k; p++ {
+			ap := a[p*r : p*r+r : p*r+r]
+			bp := b[p*c : p*c+c : p*c+c]
+			for i := ib; i < r; i++ {
+				fmaAxpy(out[i*c:i*c+c:i*c+c], bp, ap[i])
+			}
+		}
+	}
+}
+
+// dotFast returns the fused striped dot product of a and b, mirroring
+// dotFMA's accumulation order exactly on hosts without FMA.
+func dotFast(a, b []float64) float64 {
+	n := len(a)
+	if useFMA && n >= avxMinC {
+		return dotFMA(&a[0], &b[0], n)
+	}
+	var acc [8]float64
+	p := 0
+	for ; p+8 <= n; p += 8 {
+		acc[0] = math.FMA(a[p], b[p], acc[0])
+		acc[1] = math.FMA(a[p+1], b[p+1], acc[1])
+		acc[2] = math.FMA(a[p+2], b[p+2], acc[2])
+		acc[3] = math.FMA(a[p+3], b[p+3], acc[3])
+		acc[4] = math.FMA(a[p+4], b[p+4], acc[4])
+		acc[5] = math.FMA(a[p+5], b[p+5], acc[5])
+		acc[6] = math.FMA(a[p+6], b[p+6], acc[6])
+		acc[7] = math.FMA(a[p+7], b[p+7], acc[7])
+	}
+	tail := 0.0
+	for ; p < n; p++ {
+		tail = math.FMA(a[p], b[p], tail)
+	}
+	a0 := acc[0] + acc[4]
+	a1 := acc[1] + acc[5]
+	a2 := acc[2] + acc[6]
+	a3 := acc[3] + acc[7]
+	return (a0 + a2) + (a1 + a3) + tail
+}
+
+// attnScoresFast fills out [B,T] with scores[b,t] = dec[b] · enc[b,t]
+// using the striped fused dot: the fast-math sibling of the scalar loop
+// in Tape.AttnScores.
+func attnScoresFast(out, dec, enc []float64, B, T, H int) {
+	for b := 0; b < B; b++ {
+		db := dec[b*H : (b+1)*H]
+		ob := out[b*T : (b+1)*T]
+		eb := enc[b*T*H : (b+1)*T*H]
+		for tt := 0; tt < T; tt++ {
+			ob[tt] = dotFast(db, eb[tt*H:(tt+1)*H])
+		}
+	}
+}
+
+// weightedSumFast fills out [B,H] with ctx[b] = sum_t alpha[b,t] *
+// enc[b,t]: the fast-math sibling of the scalar loop in
+// Tape.WeightedSum — fused axpy per timestep, no skip-zero test.
+func weightedSumFast(out, alpha, enc []float64, B, T, H int) {
+	for b := 0; b < B; b++ {
+		ob := out[b*H : (b+1)*H : (b+1)*H]
+		for tt := 0; tt < T; tt++ {
+			fmaAxpy(ob, enc[(b*T+tt)*H:(b*T+tt+1)*H], alpha[b*T+tt])
+		}
+	}
+}

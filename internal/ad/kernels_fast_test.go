@@ -1,0 +1,456 @@
+package ad
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fastKernelCase pairs a fast-math kernel with the exact scalar
+// reference it drifts from and element accessors for the two operands,
+// so tests can recompute any single output element's condition number
+// independently of the kernel loops.
+type fastKernelCase struct {
+	name        string
+	fast, exact func(out, a, b []float64, r, k, c int)
+	aLen, bLen  func(r, k, c int) int
+	aAt         func(a []float64, r, k, c, i, p int) float64
+	bAt         func(b []float64, r, k, c, p, j int) float64
+}
+
+var fastKernelCases = []fastKernelCase{
+	{
+		name: "NN", fast: matmulFast, exact: matmulScalar,
+		aLen: func(r, k, c int) int { return r * k },
+		bLen: func(r, k, c int) int { return k * c },
+		aAt:  func(a []float64, r, k, c, i, p int) float64 { return a[i*k+p] },
+		bAt:  func(b []float64, r, k, c, p, j int) float64 { return b[p*c+j] },
+	},
+	{
+		name: "NT", fast: matmulNTFast, exact: matmulNTScalar,
+		aLen: func(r, k, c int) int { return r * k },
+		bLen: func(r, k, c int) int { return c * k },
+		aAt:  func(a []float64, r, k, c, i, p int) float64 { return a[i*k+p] },
+		bAt:  func(b []float64, r, k, c, p, j int) float64 { return b[j*k+p] },
+	},
+	{
+		name: "TN", fast: matmulTNFast, exact: matmulTNScalar,
+		aLen: func(r, k, c int) int { return k * r },
+		bLen: func(r, k, c int) int { return k * c },
+		aAt:  func(a []float64, r, k, c, i, p int) float64 { return a[p*r+i] },
+		bAt:  func(b []float64, r, k, c, p, j int) float64 { return b[p*c+j] },
+	},
+}
+
+// withFMA runs f twice — FMA assembly dispatch on (where the host has
+// it) and forced off, which routes the same kernels through their
+// pure-Go math.FMA mirrors — and returns both results. Serial only: it
+// flips the package-level dispatch flag.
+func withFMA(f func() []float64) (asm, golang []float64) {
+	saved := useFMA
+	defer func() { useFMA = saved }()
+	asm = f()
+	useFMA = false
+	golang = f()
+	return asm, golang
+}
+
+// TestFastKernelsFMABitwise pins the FMA assembly to the pure-Go
+// math.FMA mirrors bitwise: both fuse each multiply-add into a single
+// rounding over the same ascending-p chains, so they must agree on
+// every input, including Inf/NaN/±0 — the fast kernels have no
+// skip-zero semantics, so specials are planted in BOTH operands (a
+// zero times Inf must produce NaN on both paths).
+func TestFastKernelsFMABitwise(t *testing.T) {
+	if !useFMA {
+		t.Skip("host has no FMA; assembly path unreachable")
+	}
+	r := rand.New(rand.NewSource(23))
+	specials := []float64{math.Inf(1), math.Inf(-1), math.NaN(), 0, math.Copysign(0, -1)}
+	for _, kc := range fastKernelCases {
+		t.Run(kc.name, func(t *testing.T) {
+			for trial := 0; trial < 200; trial++ {
+				R, K, C := 1+r.Intn(16), 1+r.Intn(17), 1+r.Intn(37)
+				a := make([]float64, kc.aLen(R, K, C))
+				b := make([]float64, kc.bLen(R, K, C))
+				for i := range a {
+					a[i] = r.NormFloat64()
+				}
+				for i := range b {
+					b[i] = r.NormFloat64()
+				}
+				if trial%3 != 0 {
+					a[r.Intn(len(a))] = specials[r.Intn(len(specials))]
+					b[r.Intn(len(b))] = specials[r.Intn(len(specials))]
+				}
+				init := make([]float64, R*C)
+				fillRand(r, init, 0.3) // += semantics: accumulate into nonzero out
+				asm, golang := withFMA(func() []float64 {
+					out := append([]float64(nil), init...)
+					kc.fast(out, a, b, R, K, C)
+					return out
+				})
+				for i := range asm {
+					if !sameBits(asm[i], golang[i]) {
+						t.Fatalf("%s r=%d k=%d c=%d: out[%d] asm %x (%g), go %x (%g)",
+							kc.name, R, K, C, i,
+							math.Float64bits(asm[i]), asm[i],
+							math.Float64bits(golang[i]), golang[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFmaAxpyBitwise covers every tail length through the unrolled,
+// single-vector, and scalar segments of axpyFMA against the math.FMA
+// loop, including s = 0 with Inf in b (no skip: the NaN must appear on
+// both paths).
+func TestFmaAxpyBitwise(t *testing.T) {
+	if !useFMA {
+		t.Skip("host has no FMA; assembly path unreachable")
+	}
+	r := rand.New(rand.NewSource(29))
+	for n := avxMinC; n < avxMinC+40; n++ {
+		o := make([]float64, n)
+		b := make([]float64, n)
+		for i := range o {
+			o[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		b[n/2] = math.Inf(-1)
+		for _, s := range []float64{r.NormFloat64(), 0} {
+			asm, golang := withFMA(func() []float64 {
+				out := append([]float64(nil), o...)
+				fmaAxpy(out, b, s)
+				return out
+			})
+			for i := range asm {
+				if !sameBits(asm[i], golang[i]) {
+					t.Fatalf("fmaAxpy n=%d s=%g: out[%d] asm %x, go %x",
+						n, s, i, math.Float64bits(asm[i]), math.Float64bits(golang[i]))
+				}
+			}
+		}
+	}
+}
+
+// ulpDiff returns the distance between two finite same-sign floats in
+// units in the last place (the number of representable doubles between
+// them).
+func ulpDiff(x, y float64) uint64 {
+	xb, yb := int64(math.Float64bits(x)), int64(math.Float64bits(y))
+	if xb < 0 {
+		xb = math.MinInt64 - xb // order negatives below positives
+	}
+	if yb < 0 {
+		yb = math.MinInt64 - yb
+	}
+	if xb < yb {
+		return uint64(yb - xb)
+	}
+	return uint64(xb - yb)
+}
+
+// TestFastKernelsULPBound: on well-conditioned inputs (all operands in
+// [0.5, 2), so every partial sum is positive and increasing, and no
+// cancellation occurs) the fast kernels must stay within 4k+8 ULPs of
+// the exact scalar references. Derivation: the exact chain performs 2k
+// roundings and the fused chain k, each bounded by eps relative, so the
+// paths diverge by at most ~3k·eps relative ≈ 3k ULPs; 4k+8 adds slack
+// for the accumulate-into-out step and eps-vs-ULP slop. This is the
+// documented per-kernel accuracy contract replacing bitwise equality.
+func TestFastKernelsULPBound(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, kc := range fastKernelCases {
+		t.Run(kc.name, func(t *testing.T) {
+			for trial := 0; trial < 100; trial++ {
+				R, K, C := 1+r.Intn(16), 1+r.Intn(65), 1+r.Intn(37)
+				a := make([]float64, kc.aLen(R, K, C))
+				b := make([]float64, kc.bLen(R, K, C))
+				for i := range a {
+					a[i] = 0.5 + 1.5*r.Float64()
+				}
+				for i := range b {
+					b[i] = 0.5 + 1.5*r.Float64()
+				}
+				want := make([]float64, R*C)
+				got := make([]float64, R*C)
+				kc.exact(want, a, b, R, K, C)
+				kc.fast(got, a, b, R, K, C)
+				maxULP := uint64(4*K + 8)
+				for i := range want {
+					if d := ulpDiff(got[i], want[i]); d > maxULP {
+						t.Fatalf("%s r=%d k=%d c=%d: out[%d] fast %g vs exact %g: %d ulps > %d",
+							kc.name, R, K, C, i, got[i], want[i], d, maxULP)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastKernelsErrorBound: on general inputs with mixed signs, wide
+// dynamic range, and exact zeros, the fast-vs-exact drift of each
+// output element is bounded by the condition-aware estimate
+//
+//	|fast - exact| <= 4(k+2)·eps·( |out0| + sum_p |a_p·b_p| )
+//
+// — the standard forward-error analysis for a length-k+1 summation
+// evaluated at both rounding counts. Cancellation can make the RELATIVE
+// error large; the absolute drift stays bounded by the magnitude the
+// chain actually passed through.
+func TestFastKernelsErrorBound(t *testing.T) {
+	const eps = 0x1p-52
+	r := rand.New(rand.NewSource(37))
+	for _, kc := range fastKernelCases {
+		t.Run(kc.name, func(t *testing.T) {
+			for trial := 0; trial < 100; trial++ {
+				R, K, C := 1+r.Intn(16), 1+r.Intn(65), 1+r.Intn(37)
+				a := make([]float64, kc.aLen(R, K, C))
+				b := make([]float64, kc.bLen(R, K, C))
+				fillRand(r, a, 0.2)
+				fillRand(r, b, 0.1)
+				init := make([]float64, R*C)
+				fillRand(r, init, 0.3)
+				want := append([]float64(nil), init...)
+				got := append([]float64(nil), init...)
+				kc.exact(want, a, b, R, K, C)
+				kc.fast(got, a, b, R, K, C)
+				for i := 0; i < R; i++ {
+					for j := 0; j < C; j++ {
+						cond := math.Abs(init[i*C+j])
+						for p := 0; p < K; p++ {
+							cond += math.Abs(kc.aAt(a, R, K, C, i, p) * kc.bAt(b, R, K, C, p, j))
+						}
+						bound := 4*float64(K+2)*eps*cond + 1e-300
+						if d := math.Abs(got[i*C+j] - want[i*C+j]); d > bound {
+							t.Fatalf("%s r=%d k=%d c=%d: out[%d,%d] fast %g vs exact %g: |Δ|=%g > %g",
+								kc.name, R, K, C, i, j, got[i*C+j], want[i*C+j], d, bound)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTrainingDispatchBitwise is the regression gate for the
+// InferenceMode switch: recording tapes (NewTape, NewTraining) must
+// dispatch MatMul to the bitwise kernels even now that fused siblings
+// exist — their output must equal the exact kernel bit for bit on
+// inputs where the fast kernel demonstrably differs — and only
+// NewForwardFast may produce the fast-math result. The skip-zero
+// semantics are pinned too: a zero in A times an Inf in B must stay
+// skipped on every training tape.
+func TestTrainingDispatchBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	const R, K, C = 8, 64, 48
+	a := New(R, K)
+	b := New(K, C)
+	fillRand(r, a.W, 0)
+	fillRand(r, b.W, 0)
+
+	exact := make([]float64, R*C)
+	fast := make([]float64, R*C)
+	matmul(exact, a.W, b.W, R, K, C)
+	matmulFast(fast, a.W, b.W, R, K, C)
+	if bitsEqual(exact, fast) {
+		t.Fatalf("fast and exact kernels agree on all %d elements; inputs cannot witness the dispatch", R*C)
+	}
+
+	tapes := map[string]*Tape{
+		"NewTape":     NewTape(),
+		"NewTraining": NewTraining(NewPool()),
+		"NewForward":  NewForward(nil),
+	}
+	for name, tape := range tapes {
+		if tape.FastMath() {
+			t.Fatalf("%s reports FastMath", name)
+		}
+		out := tape.MatMul(a, b)
+		if !bitsEqual(out.W, exact) {
+			t.Fatalf("%s MatMul diverged from the bitwise kernel", name)
+		}
+	}
+	ft := NewForwardFast(nil)
+	if !ft.FastMath() {
+		t.Fatal("NewForwardFast does not report FastMath")
+	}
+	if out := ft.MatMul(a, b); !bitsEqual(out.W, fast) {
+		t.Fatal("NewForwardFast MatMul diverged from the fast kernel")
+	}
+
+	// Skip-zero pin: row 0 of A zeroed against an Inf in B.
+	for p := 0; p < K; p++ {
+		a.W[p] = 0
+	}
+	b.W[0] = math.Inf(1)
+	out := NewTape().MatMul(a, b)
+	for j := 0; j < C; j++ {
+		if math.IsNaN(out.W[j]) {
+			t.Fatalf("training MatMul materialized NaN at [0,%d]: skip-zero semantics lost", j)
+		}
+	}
+	fout := NewForwardFast(nil).MatMul(a, b)
+	if !math.IsNaN(fout.W[0]) {
+		t.Fatal("fast MatMul skipped 0×Inf; expected IEEE NaN (no skip-zero contract)")
+	}
+}
+
+// BenchmarkFastKernels compares the fast-math kernels against the
+// bitwise blocked kernels on the model's hot shapes; scripts/bench.sh
+// records the results in BENCH_infer.json.
+func BenchmarkFastKernels(b *testing.B) {
+	impls := []struct {
+		name string
+		fns  map[string]func(out, a, b []float64, r, k, c int)
+	}{
+		{"exact", map[string]func(out, a, b []float64, r, k, c int){
+			"NN": matmul, "NT": matmulNT, "TN": matmulTN,
+		}},
+		{"fast", map[string]func(out, a, b []float64, r, k, c int){
+			"NN": matmulFast, "NT": matmulNTFast, "TN": matmulTNFast,
+		}},
+	}
+	shapes := []struct {
+		name    string
+		r, k, c int
+	}{
+		{"shard-lstm", 4, 64, 256},
+		{"batch-lstm", 32, 64, 256},
+		{"logits", 4, 64, 400},
+		{"square", 64, 64, 64},
+	}
+	for _, kc := range fastKernelCases {
+		for _, sh := range shapes {
+			r, k, c := sh.r, sh.k, sh.c
+			if kc.name == "TN" {
+				r, k = k, r
+			}
+			a := make([]float64, kc.aLen(r, k, c))
+			bm := make([]float64, kc.bLen(r, k, c))
+			out := make([]float64, r*c)
+			rng := rand.New(rand.NewSource(3))
+			fillRand(rng, a, 0)
+			fillRand(rng, bm, 0)
+			flops := float64(2 * r * k * c)
+			for _, impl := range impls {
+				fn := impl.fns[kc.name]
+				b.Run(fmt.Sprintf("%s/%s/%s", kc.name, sh.name, impl.name), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						fn(out, a, bm, r, k, c)
+					}
+					b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+				})
+			}
+		}
+	}
+}
+
+// TestAttnFastBitwise pins the attention fast ops' assembly dispatch
+// (dotFMA striping, axpyFMA) to their pure-Go mirrors bitwise,
+// specials included — like the matmul kernels, the fast attention ops
+// have no skip-zero test, so a zero weight times an Inf state must
+// produce NaN on both paths.
+func TestAttnFastBitwise(t *testing.T) {
+	if !useFMA {
+		t.Skip("host has no FMA; assembly path unreachable")
+	}
+	r := rand.New(rand.NewSource(43))
+	specials := []float64{math.Inf(1), math.Inf(-1), math.NaN(), 0, math.Copysign(0, -1)}
+	for trial := 0; trial < 200; trial++ {
+		B, T, H := 1+r.Intn(8), 1+r.Intn(12), 1+r.Intn(80)
+		dec := make([]float64, B*H)
+		enc := make([]float64, B*T*H)
+		alpha := make([]float64, B*T)
+		for i := range dec {
+			dec[i] = r.NormFloat64()
+		}
+		for i := range enc {
+			enc[i] = r.NormFloat64()
+		}
+		for i := range alpha {
+			alpha[i] = r.Float64()
+		}
+		if trial%3 != 0 {
+			enc[r.Intn(len(enc))] = specials[r.Intn(len(specials))]
+			alpha[r.Intn(len(alpha))] = specials[r.Intn(len(specials))]
+		}
+		sAsm, sGo := withFMA(func() []float64 {
+			out := make([]float64, B*T)
+			attnScoresFast(out, dec, enc, B, T, H)
+			return out
+		})
+		wAsm, wGo := withFMA(func() []float64 {
+			out := make([]float64, B*H)
+			weightedSumFast(out, alpha, enc, B, T, H)
+			return out
+		})
+		for i := range sAsm {
+			if !sameBits(sAsm[i], sGo[i]) {
+				t.Fatalf("attnScoresFast B=%d T=%d H=%d: out[%d] asm %g, go %g", B, T, H, i, sAsm[i], sGo[i])
+			}
+		}
+		for i := range wAsm {
+			if !sameBits(wAsm[i], wGo[i]) {
+				t.Fatalf("weightedSumFast B=%d T=%d H=%d: out[%d] asm %g, go %g", B, T, H, i, wAsm[i], wGo[i])
+			}
+		}
+	}
+}
+
+// TestAttnFastAccuracy bounds the attention fast ops' drift from the
+// scalar tape references. The striped dot reorders the summation, so
+// the bound is the pairwise form: |fast-exact| ≤ 2(H+8)·eps·Σ|terms|.
+func TestAttnFastAccuracy(t *testing.T) {
+	const eps = 0x1p-52
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		B, T, H := 1+r.Intn(8), 1+r.Intn(12), 1+r.Intn(80)
+		dec := make([]float64, B*H)
+		enc := make([]float64, B*T*H)
+		alpha := make([]float64, B*T)
+		fillRand(r, dec, 0)
+		fillRand(r, enc, 0)
+		for i := range alpha {
+			alpha[i] = r.Float64()
+		}
+
+		scores := make([]float64, B*T)
+		attnScoresFast(scores, dec, enc, B, T, H)
+		for b := 0; b < B; b++ {
+			for tt := 0; tt < T; tt++ {
+				exact, cond := 0.0, 0.0
+				for j := 0; j < H; j++ {
+					p := dec[b*H+j] * enc[(b*T+tt)*H+j]
+					exact += p
+					cond += math.Abs(p)
+				}
+				bound := 2*float64(H+8)*eps*cond + 1e-300
+				if d := math.Abs(scores[b*T+tt] - exact); d > bound {
+					t.Fatalf("attnScoresFast B=%d T=%d H=%d: [%d,%d] |Δ|=%g > %g", B, T, H, b, tt, d, bound)
+				}
+			}
+		}
+
+		ctx := make([]float64, B*H)
+		weightedSumFast(ctx, alpha, enc, B, T, H)
+		for b := 0; b < B; b++ {
+			for j := 0; j < H; j++ {
+				exact, cond := 0.0, 0.0
+				for tt := 0; tt < T; tt++ {
+					p := alpha[b*T+tt] * enc[(b*T+tt)*H+j]
+					exact += p
+					cond += math.Abs(p)
+				}
+				bound := 2*float64(T+8)*eps*cond + 1e-300
+				if d := math.Abs(ctx[b*H+j] - exact); d > bound {
+					t.Fatalf("weightedSumFast B=%d T=%d H=%d: [%d,%d] |Δ|=%g > %g", B, T, H, b, j, d, bound)
+				}
+			}
+		}
+	}
+}

@@ -126,6 +126,10 @@ func (t *Tape) AttnScores(dec, enc *V, T int) *V {
 		panic(fmt.Sprintf("ad: AttnScores enc %dx%d for B=%d T=%d H=%d", enc.R, enc.C, B, T, H))
 	}
 	out := t.new(B, T)
+	if t.FastMath() {
+		attnScoresFast(out.W, dec.W, enc.W, B, T, H)
+		return out
+	}
 	for b := 0; b < B; b++ {
 		db := dec.W[b*H : (b+1)*H]
 		for tt := 0; tt < T; tt++ {
@@ -216,6 +220,10 @@ func (t *Tape) WeightedSum(alpha, enc *V, H int) *V {
 		panic("ad: WeightedSum shape mismatch")
 	}
 	out := t.new(B, H)
+	if t.FastMath() {
+		weightedSumFast(out.W, alpha.W, enc.W, B, T, H)
+		return out
+	}
 	for b := 0; b < B; b++ {
 		ob := out.W[b*H : (b+1)*H]
 		for tt := 0; tt < T; tt++ {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/typelang"
+)
+
+// TestQuantizedExportLoadRoundTrip: exporting a predictor in each
+// quantization mode and loading it back yields a working fast-math
+// predictor, and the on-disk round trip agrees exactly with the
+// in-memory QuantizePredictor (both decode the same dequantized
+// weights, and fast-math inference is deterministic).
+func TestQuantizedExportLoadRoundTrip(t *testing.T) {
+	d := buildTestDataset(t)
+	_, param := d.RunTask(Task{Variant: typelang.VariantLSW}, nil)
+	_, ret := d.RunTask(Task{Variant: typelang.VariantLSW, Return: true}, nil)
+	p := &Predictor{Param: param, Return: ret, Opts: d.Cfg.Extract}
+	src := []string{"i32", "<begin>", "local.get", "<param>", ";", "f64.load", "offset=8"}
+
+	for _, mode := range []quant.Mode{quant.F32, quant.Int8} {
+		path := filepath.Join(t.TempDir(), "model.qbin")
+		if err := ExportQuantized(p, path, mode); err != nil {
+			t.Fatalf("ExportQuantized(%s): %v", mode, err)
+		}
+		got, err := LoadQuantizedPredictor(path)
+		if err != nil {
+			t.Fatalf("LoadQuantizedPredictor(%s): %v", mode, err)
+		}
+		if got.Param == nil || got.Return == nil {
+			t.Fatal("loaded quantized predictor missing models")
+		}
+		if !got.Param.Model.FastMath() || !got.Return.Model.FastMath() {
+			t.Errorf("%s: quantized load did not enable fast-math", mode)
+		}
+		if got.Param.Task != p.Param.Task || got.Return.Task != p.Return.Task {
+			t.Errorf("%s: task metadata lost in round trip", mode)
+		}
+		if (got.Param.BPE == nil) != (p.Param.BPE == nil) {
+			t.Errorf("%s: BPE presence differs after round trip", mode)
+		}
+
+		mem, err := QuantizePredictor(p, mode)
+		if err != nil {
+			t.Fatalf("QuantizePredictor(%s): %v", mode, err)
+		}
+		a := got.Param.Predict(src, 5)
+		b := mem.Param.Predict(src, 5)
+		if len(a) == 0 {
+			t.Fatalf("%s: quantized predictor returned no predictions", mode)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: disk and in-memory quantization disagree:\n%v\n%v", mode, a, b)
+		}
+	}
+}
+
+// TestLoadPredictorAuto routes both on-disk formats to the right loader.
+func TestLoadPredictorAuto(t *testing.T) {
+	d := buildTestDataset(t)
+	_, param := d.RunTask(Task{Variant: typelang.VariantLSW}, nil)
+	p := &Predictor{Param: param, Opts: d.Cfg.Extract}
+	dir := t.TempDir()
+
+	full := filepath.Join(dir, "full.bin")
+	if err := SavePredictor(p, full); err != nil {
+		t.Fatal(err)
+	}
+	quantized := filepath.Join(dir, "quant.bin")
+	if err := ExportQuantized(p, quantized, quant.Int8); err != nil {
+		t.Fatal(err)
+	}
+
+	gotFull, err := LoadPredictorAuto(full)
+	if err != nil {
+		t.Fatalf("auto-load full-precision: %v", err)
+	}
+	if gotFull.Param.Model.FastMath() {
+		t.Error("full-precision auto-load enabled fast-math")
+	}
+	gotQuant, err := LoadPredictorAuto(quantized)
+	if err != nil {
+		t.Fatalf("auto-load quantized: %v", err)
+	}
+	if !gotQuant.Param.Model.FastMath() {
+		t.Error("quantized auto-load did not enable fast-math")
+	}
+
+	// The quantized loader must refuse the full-precision format.
+	if _, err := LoadQuantizedPredictor(full); err == nil {
+		t.Error("LoadQuantizedPredictor accepted a full-precision file")
+	}
+	if _, err := LoadQuantizedPredictor(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("LoadQuantizedPredictor accepted a missing file")
+	}
+}

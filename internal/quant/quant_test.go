@@ -1,0 +1,172 @@
+package quant
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantizeRoundTripError: Dequantize(QuantizeMatrix(w)) must stay
+// within the documented per-mode error bound of w, across magnitudes
+// spanning the range a trained checkpoint actually contains.
+func TestQuantizeRoundTripError(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := 1+r.Intn(24), 1+r.Intn(24)
+		w := make([]float64, rows*cols)
+		mag := math.Exp(float64(r.Intn(12) - 6))
+		for i := range w {
+			w[i] = (r.Float64()*2 - 1) * mag
+		}
+		for _, mode := range []Mode{F32, Int8} {
+			m, err := QuantizeMatrix(rows, cols, w, mode)
+			if err != nil {
+				t.Fatalf("QuantizeMatrix(%s): %v", mode, err)
+			}
+			got := m.Dequantize(nil)
+			for i := range w {
+				var bound float64
+				if mode == Int8 {
+					bound = m.MaxError()
+				} else {
+					bound = m.MaxError() * math.Abs(w[i])
+				}
+				if d := math.Abs(got[i] - w[i]); d > bound {
+					t.Fatalf("%s %dx%d: w[%d]=%g round-tripped to %g (|Δ|=%g > %g)",
+						mode, rows, cols, i, w[i], got[i], d, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeDegenerate covers constant and all-zero matrices, where
+// the int8 range collapses.
+func TestQuantizeDegenerate(t *testing.T) {
+	for _, w := range [][]float64{
+		{0, 0, 0, 0},
+		{3.25, 3.25, 3.25, 3.25},
+		{-1e-8, -1e-8, -1e-8, -1e-8},
+	} {
+		m, err := QuantizeMatrix(2, 2, w, Int8)
+		if err != nil {
+			t.Fatalf("QuantizeMatrix(%v): %v", w, err)
+		}
+		got := m.Dequantize(nil)
+		for i := range w {
+			if d := math.Abs(got[i] - w[i]); d > m.MaxError() {
+				t.Fatalf("constant %g round-tripped to %g (bound %g)", w[i], got[i], m.MaxError())
+			}
+		}
+	}
+}
+
+// TestQuantizeRejectsNonFinite: Inf/NaN weights indicate a corrupt
+// checkpoint and must be refused in both modes.
+func TestQuantizeRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		for _, mode := range []Mode{F32, Int8} {
+			if _, err := QuantizeMatrix(1, 2, []float64{1, bad}, mode); err == nil {
+				t.Fatalf("QuantizeMatrix(%s) accepted %g", mode, bad)
+			}
+		}
+	}
+}
+
+// TestEncodeDecodeMatrices: serialization is the identity in both
+// directions on a mixed-mode checkpoint.
+func TestEncodeDecodeMatrices(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var ms []Matrix
+	for i := 0; i < 7; i++ {
+		rows, cols := 1+r.Intn(9), 1+r.Intn(9)
+		w := make([]float64, rows*cols)
+		for j := range w {
+			w[j] = r.NormFloat64()
+		}
+		mode := F32
+		if i%2 == 0 {
+			mode = Int8
+		}
+		m, err := QuantizeMatrix(rows, cols, w, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	enc := EncodeMatrices(ms)
+	dec, err := DecodeMatrices(enc)
+	if err != nil {
+		t.Fatalf("DecodeMatrices: %v", err)
+	}
+	if len(dec) != len(ms) {
+		t.Fatalf("decoded %d matrices, want %d", len(dec), len(ms))
+	}
+	for i := range ms {
+		a, b := ms[i], dec[i]
+		if a.Rows != b.Rows || a.Cols != b.Cols || a.Mode != b.Mode ||
+			math.Float64bits(a.Scale) != math.Float64bits(b.Scale) ||
+			math.Float64bits(a.Zero) != math.Float64bits(b.Zero) ||
+			!bytes.Equal(i8Bytes(a.I8), i8Bytes(b.I8)) || !f32Equal(a.F32, b.F32) {
+			t.Fatalf("matrix %d did not round-trip: %+v vs %+v", i, a, b)
+		}
+	}
+	if reenc := EncodeMatrices(dec); !bytes.Equal(reenc, enc) {
+		t.Fatal("re-encoding decoded matrices changed the bytes")
+	}
+}
+
+// TestDecodeRejectsMalformed: truncations, bad magic, hostile counts and
+// dims, invalid scale, and trailing garbage all error without panicking
+// or over-allocating.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	m, err := QuantizeMatrix(2, 3, []float64{1, 2, 3, 4, 5, 6}, Int8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := EncodeMatrices([]Matrix{m})
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": good[:3],
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"huge count":  append(append([]byte{}, good[:4]...), 0xff, 0xff, 0xff, 0xff),
+		"truncated":   good[:len(good)-2],
+		"trailing":    append(append([]byte{}, good...), 0),
+		"bad mode":    overwrite(good, 8, 7),
+		"huge dims":   overwrite(good, 9, 0xff, 0xff, 0xff, 0x7f),
+		"zero scale":  overwrite(good, 17, 0, 0, 0, 0, 0, 0, 0, 0),
+		"nan scale":   overwrite(good, 17, 1, 0, 0, 0, 0, 0, 0xf0, 0x7f),
+	}
+	for name, data := range cases {
+		if _, err := DecodeMatrices(data); err == nil {
+			t.Errorf("%s: decode succeeded on malformed input", name)
+		}
+	}
+}
+
+func overwrite(src []byte, off int, b ...byte) []byte {
+	out := append([]byte{}, src...)
+	copy(out[off:], b)
+	return out
+}
+
+func i8Bytes(q []int8) []byte {
+	out := make([]byte, len(q))
+	for i, v := range q {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func f32Equal(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

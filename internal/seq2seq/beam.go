@@ -139,7 +139,7 @@ func candCmp(a, b cand) int {
 func (m *Model) Predict(src []string, k int) []Prediction {
 	pool := m.getPool()
 	defer m.putPool(pool)
-	return m.predictMultiOn(ad.NewForward(pool), [][]string{src}, []int{k})[0]
+	return m.predictMultiOn(m.inferTape(pool), [][]string{src}, []int{k})[0]
 }
 
 // PredictBatch predicts every source sequence with one beam cutoff k,
@@ -167,7 +167,7 @@ func (m *Model) PredictMulti(srcs [][]string, ks []int) [][]Prediction {
 	out := make([][]Prediction, 0, len(srcs))
 	for lo := 0; lo < len(srcs); lo += predictGroup {
 		hi := min(lo+predictGroup, len(srcs))
-		out = append(out, m.predictMultiOn(ad.NewForward(pool), srcs[lo:hi], ks[lo:hi])...)
+		out = append(out, m.predictMultiOn(m.inferTape(pool), srcs[lo:hi], ks[lo:hi])...)
 	}
 	return out
 }

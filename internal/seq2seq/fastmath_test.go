@@ -1,0 +1,76 @@
+package seq2seq
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestPredictFastMathDeterministic: fast-math inference is a different
+// numeric contract, not a nondeterministic one. Repeated decodes of the
+// same sources must agree exactly, the fast/full switch must be
+// observable, and turning fast-math off must restore the full-precision
+// predictions bit-for-bit.
+func TestPredictFastMathDeterministic(t *testing.T) {
+	m, srcs := benchGroup(8)
+	ks := make([]int, len(srcs))
+	for i := range ks {
+		ks[i] = 3
+	}
+	full := m.PredictMulti(srcs, ks)
+
+	if m.FastMath() {
+		t.Fatal("model born with fast-math on")
+	}
+	m.SetFastMath(true)
+	if !m.FastMath() {
+		t.Fatal("SetFastMath(true) not observable")
+	}
+	a := m.PredictMulti(srcs, ks)
+	bPreds := m.PredictMulti(srcs, ks)
+	if !reflect.DeepEqual(a, bPreds) {
+		t.Error("fast-math predictions differ between identical calls")
+	}
+	for i, preds := range a {
+		if len(preds) == 0 {
+			t.Fatalf("fast-math search %d returned no beams", i)
+		}
+	}
+
+	m.SetFastMath(false)
+	again := m.PredictMulti(srcs, ks)
+	if !reflect.DeepEqual(full, again) {
+		t.Error("full-precision predictions changed after a fast-math episode")
+	}
+}
+
+// BenchmarkPredictFastMath measures the inference-only fast-math engine
+// against the full-precision decoder on identical batched beam
+// searches. The delta is what the fused-rounding FMA kernels buy on the
+// end-to-end predict path (encoder, attention, decoder, out-projection).
+func BenchmarkPredictFastMath(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"full", false}, {"fast", true}} {
+		for _, maxLen := range []int{8, 16} {
+			b.Run(fmt.Sprintf("%s/maxLen=%d", mode.name, maxLen), func(b *testing.B) {
+				m, srcs := benchGroup(maxLen)
+				m.SetFastMath(mode.fast)
+				ks := make([]int, len(srcs))
+				for i := range ks {
+					ks[i] = 5
+				}
+				m.PredictMulti(srcs, ks)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.PredictMulti(srcs, ks)
+				}
+				b.StopTimer()
+				perSearch := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(srcs))
+				b.ReportMetric(perSearch, "ns/search")
+			})
+		}
+	}
+}

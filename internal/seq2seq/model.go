@@ -182,6 +182,30 @@ type Model struct {
 	// pools hands each concurrent Predict call its own inference buffer
 	// pool, so beam-search tensors recycle across calls without sharing.
 	pools sync.Pool
+
+	// fastMath routes the Predict family onto fast-math forward tapes
+	// (ad.NewForwardFast): fused-rounding matmul kernels whose results
+	// are deterministic but not bitwise-equal to the full-precision
+	// path. Set once at load time (quantized exports); never set on
+	// models that train.
+	fastMath bool
+}
+
+// SetFastMath selects fast-math inference for this model's Predict
+// family. Call once after loading, before any concurrent use; training
+// entry points ignore it by construction (recording tapes cannot reach
+// the fast kernels).
+func (m *Model) SetFastMath(on bool) { m.fastMath = on }
+
+// FastMath reports whether Predict runs on fast-math tapes.
+func (m *Model) FastMath() bool { return m.fastMath }
+
+// inferTape returns the forward tape the Predict family decodes on.
+func (m *Model) inferTape(pool *ad.Pool) *ad.Tape {
+	if m.fastMath {
+		return ad.NewForwardFast(pool)
+	}
+	return ad.NewForward(pool)
 }
 
 // getPool draws an inference buffer pool; pools are per-call, never

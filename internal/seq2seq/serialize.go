@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"repro/internal/ad"
 )
 
 // modelState is the serialized form of a trained model. Weights are
@@ -52,6 +54,28 @@ func modelFromState(st modelState) (*Model, error) {
 			return nil, fmt.Errorf("tensor %d has %d weights, model wants %d", i, len(st.Weights[i]), len(v.W))
 		}
 		copy(v.W, st.Weights[i])
+	}
+	return m, nil
+}
+
+// Params returns the model's parameter tensors in registration order —
+// the same order Save serializes and NewModelFromWeights consumes.
+// Read-only use (quantized export); mutating them mid-inference races
+// with Predict.
+func (m *Model) Params() []*ad.V { return m.params.All() }
+
+// VocabTokens returns the source and target vocabulary token lists in
+// serialization order (specials included).
+func (m *Model) VocabTokens() (src, tgt []string) { return m.Src.toks, m.Tgt.toks }
+
+// NewModelFromWeights rebuilds a model from its config, vocabulary
+// token lists, and weight slices in registration order — the layout
+// Save/Load use, exposed so quantized checkpoints (internal/quant) can
+// reconstruct a model without going through gob.
+func NewModelFromWeights(cfg Config, srcToks, tgtToks []string, weights [][]float64) (*Model, error) {
+	m, err := modelFromState(modelState{Cfg: cfg, SrcToks: srcToks, TgtToks: tgtToks, Weights: weights})
+	if err != nil {
+		return nil, fmt.Errorf("seq2seq: from weights: %w", err)
 	}
 	return m, nil
 }

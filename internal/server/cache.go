@@ -21,6 +21,11 @@ type cacheKey struct {
 	fn   [32]byte
 	elem string
 	k    int
+	// fast separates the fast-math engine's entries: quantized weights
+	// and fused-rounding kernels may rank types differently, so a fast
+	// request must never be answered from a full-precision entry (or
+	// vice versa).
+	fast bool
 }
 
 // funcHash fingerprints a module-defined function's prediction-relevant

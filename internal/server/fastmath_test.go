@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/quant"
+)
+
+// fastState caches the quantized counterpart of the shared test
+// predictor.
+var fastState struct {
+	once sync.Once
+	pred *core.Predictor
+	err  error
+}
+
+func testFastPredictor(t testing.TB) *core.Predictor {
+	t.Helper()
+	pred, _ := testPredictor(t)
+	fastState.once.Do(func() {
+		fastState.pred, fastState.err = core.QuantizePredictor(pred, quant.Int8)
+	})
+	if fastState.err != nil {
+		t.Fatal(fastState.err)
+	}
+	return fastState.pred
+}
+
+func newFastTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.FastPred = testFastPredictor(t)
+	return newTestServer(t, cfg)
+}
+
+// TestFastMathRouting covers the fast=true opt-in across both request
+// encodings, the echo of the flag in the response, and rejection when
+// no fast-math model is loaded.
+func TestFastMathRouting(t *testing.T) {
+	_, ts := newFastTestServer(t, Config{})
+	_, bin := testPredictor(t)
+
+	resp, body := postWasm(t, ts.URL, bin, "func=first&k=3&fast=true")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	pr := decodeResponse(t, body)
+	if !pr.Fast {
+		t.Error("response does not echo fast=true")
+	}
+	if len(pr.Functions) != 1 || len(pr.Functions[0].Elements) == 0 {
+		t.Fatalf("fast request returned no predictions: %s", body)
+	}
+	for elem, preds := range pr.Functions[0].Elements {
+		if len(preds) == 0 || preds[0].Text == "" {
+			t.Errorf("%s: empty fast-math prediction", elem)
+		}
+	}
+
+	// Same opt-in through the JSON envelope.
+	env, _ := json.Marshal(predictEnvelope{
+		WasmBase64: base64.StdEncoding.EncodeToString(bin),
+		Func:       "first",
+		K:          2,
+		Fast:       true,
+	})
+	hresp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("envelope status = %d, body %s", hresp.StatusCode, ebody)
+	}
+	if epr := decodeResponse(t, ebody); !epr.Fast {
+		t.Error("envelope response does not echo fast=true")
+	}
+
+	// A full-precision request on the same server stays full-precision.
+	resp, body = postWasm(t, ts.URL, bin, "func=first&k=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full-precision status = %d, body %s", resp.StatusCode, body)
+	}
+	if pr := decodeResponse(t, body); pr.Fast {
+		t.Error("full-precision response claims fast=true")
+	}
+
+	// Malformed flag.
+	resp, body = postWasm(t, ts.URL, bin, "fast=maybe")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fast=maybe: status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestFastMathUnavailable: fast=true against a server without a
+// fast-math model is a client error, not a silent fallback.
+func TestFastMathUnavailable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, bin := testPredictor(t)
+	resp, body := postWasm(t, ts.URL, bin, "fast=true")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestHealthzReportsFastMath: readiness tells clients whether fast=true
+// will be accepted.
+func TestHealthzReportsFastMath(t *testing.T) {
+	check := func(url string, want bool) {
+		t.Helper()
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := h["fast_math"].(bool); got != want {
+			t.Errorf("fast_math = %v, want %v", got, want)
+		}
+	}
+	_, full := newTestServer(t, Config{})
+	check(full.URL, false)
+	_, fast := newFastTestServer(t, Config{})
+	check(fast.URL, true)
+}
+
+// TestFastMathCacheIsolation: the two engines must never answer each
+// other's requests from the cache, even for the same function and k.
+func TestFastMathCacheIsolation(t *testing.T) {
+	_, ts := newFastTestServer(t, Config{})
+	_, bin := testPredictor(t)
+
+	_, body := postWasm(t, ts.URL, bin, "func=first&k=3")
+	full := decodeResponse(t, body)
+	if full.CacheHits != 0 {
+		t.Fatalf("first full request: cache_hits = %d, want 0", full.CacheHits)
+	}
+	// The fast request for the identical (function, k) must miss.
+	_, body = postWasm(t, ts.URL, bin, "func=first&k=3&fast=true")
+	fast := decodeResponse(t, body)
+	if fast.CacheHits != 0 {
+		t.Errorf("fast request answered from full-precision cache (%d hits)", fast.CacheHits)
+	}
+	// And each engine's repeat hits its own entries.
+	_, body = postWasm(t, ts.URL, bin, "func=first&k=3&fast=true")
+	if again := decodeResponse(t, body); again.CacheHits != len(again.Functions[0].Elements) {
+		t.Errorf("repeated fast request: cache_hits = %d, want %d",
+			again.CacheHits, len(again.Functions[0].Elements))
+	}
+}
+
+// TestFastMathMixedStressShutdown is the fast-math engine's -race
+// stress test: many concurrent requests alternating between the full
+// and quantized engines, pushed through the dynamic batcher (small
+// batches, both encodings), with the server shut down while the last
+// wave is still in flight. Every completed response must be correct for
+// the engine that served it, and identical queries to one engine must
+// agree (batching and quantization stay deterministic under load).
+func TestFastMathMixedStressShutdown(t *testing.T) {
+	pred, bin := testPredictor(t)
+	cfg := Config{
+		Workers:        4,
+		QueueDepth:     256,
+		BatchSize:      4,
+		BatchWait:      time.Millisecond,
+		RequestTimeout: 2 * time.Minute,
+		FastPred:       testFastPredictor(t),
+	}
+	s, err := New(pred, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	const n = 64
+	var wg sync.WaitGroup
+	type result struct {
+		key  string
+		body string
+		code int
+		err  error
+	}
+	results := make(chan result, n)
+	var finished atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer finished.Add(1)
+			fn := []string{"first", "length"}[i%2]
+			k := 1 + i%2
+			fast := i%4 < 2
+			key := fmt.Sprintf("%s/%d/%v", fn, k, fast)
+			var resp *http.Response
+			var err error
+			if i%8 == 0 {
+				// Exercise the JSON envelope under load too.
+				env, _ := json.Marshal(predictEnvelope{
+					WasmBase64: base64.StdEncoding.EncodeToString(bin),
+					Func:       fn, K: k, Fast: fast,
+				})
+				resp, err = http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(env))
+			} else {
+				url := fmt.Sprintf("%s/v1/predict?func=%s&k=%d&fast=%v", ts.URL, fn, k, fast)
+				resp, err = http.Post(url, "application/wasm", bytes.NewReader(bin))
+			}
+			if err != nil {
+				// Connection torn down by shutdown: acceptable.
+				results <- result{key: key, err: err}
+				return
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				results <- result{key: key, err: rerr}
+				return
+			}
+			results <- result{key: key, body: string(body), code: resp.StatusCode}
+		}(i)
+	}
+
+	// Shut down mid-flight: wait until at least half the wave is done (so
+	// the batcher has seen real mixed load and some requests are still in
+	// the air), then stop the HTTP front first (it drains handlers), then
+	// the pool and batchers — the server's documented order.
+	for finished.Load() < n/2 {
+		time.Sleep(time.Millisecond)
+	}
+	ts.Close()
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(results)
+
+	canonical := map[string]string{}
+	completed := 0
+	for r := range results {
+		if r.err != nil {
+			continue
+		}
+		switch r.code {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			// Load shedding under stress is allowed.
+			continue
+		default:
+			t.Fatalf("%s: unexpected status %d: %s", r.key, r.code, r.body)
+		}
+		completed++
+		var pr PredictResponse
+		if err := json.Unmarshal([]byte(r.body), &pr); err != nil {
+			t.Fatalf("%s: bad response body: %v", r.key, err)
+		}
+		if len(pr.Functions) != 1 || len(pr.Functions[0].Elements) == 0 {
+			t.Fatalf("%s: empty predictions", r.key)
+		}
+		// Compare predictions only: cache_hits legitimately varies between
+		// identical requests.
+		preds := fmt.Sprint(pr.Functions)
+		if prev, ok := canonical[r.key]; ok {
+			if prev != preds {
+				t.Errorf("%s: non-deterministic predictions under load:\n%s\n%s", r.key, prev, preds)
+			}
+		} else {
+			canonical[r.key] = preds
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no request completed before shutdown")
+	}
+	// A second shutdown stays a no-op.
+	if err := s.Close(); err != nil {
+		t.Fatalf("double shutdown: %v", err)
+	}
+}

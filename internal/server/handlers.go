@@ -27,6 +27,10 @@ type predictEnvelope struct {
 	// K is the number of ranked predictions per element (default
 	// Config.DefaultK, capped at Config.MaxK).
 	K int `json:"k,omitempty"`
+	// Fast routes the request to the fast-math engine (quantized
+	// weights, fused-rounding kernels). Rejected with 400 when the
+	// server was started without one.
+	Fast bool `json:"fast,omitempty"`
 }
 
 // FunctionResult is the predictions for one function.
@@ -44,6 +48,9 @@ type PredictResponse struct {
 	Functions []FunctionResult `json:"functions"`
 	// CacheHits counts elements of this response answered from the cache.
 	CacheHits int `json:"cache_hits"`
+	// Fast reports which engine answered: true when the fast-math model
+	// produced these predictions.
+	Fast bool `json:"fast,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx API answer.
@@ -63,7 +70,10 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"fast_math": s.fast != nil,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -71,9 +81,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.registry.WriteTo(w)
 }
 
-// readRequest extracts (binary, func selector, k) from either encoding of
-// the request.
-func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte, funcSel string, k int, ok bool) {
+// readRequest extracts (binary, func selector, k, fast flag) from either
+// encoding of the request.
+func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte, funcSel string, k int, fast, ok bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -82,7 +92,7 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte
 		} else {
 			s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		}
-		return nil, "", 0, false
+		return nil, "", 0, false, false
 	}
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
@@ -93,14 +103,14 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte
 		var env predictEnvelope
 		if err := json.Unmarshal(body, &env); err != nil {
 			s.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-			return nil, "", 0, false
+			return nil, "", 0, false, false
 		}
 		bin, err = base64.StdEncoding.DecodeString(env.WasmBase64)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, "invalid wasm_base64: %v", err)
-			return nil, "", 0, false
+			return nil, "", 0, false, false
 		}
-		funcSel, k = env.Func, env.K
+		funcSel, k, fast = env.Func, env.K, env.Fast
 	default:
 		// Raw binary body (application/wasm, application/octet-stream, or
 		// unlabeled); selection comes from query parameters.
@@ -110,7 +120,14 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte
 			k, err = strconv.Atoi(ks)
 			if err != nil {
 				s.writeError(w, http.StatusBadRequest, "invalid k %q", ks)
-				return nil, "", 0, false
+				return nil, "", 0, false, false
+			}
+		}
+		if fs := r.URL.Query().Get("fast"); fs != "" {
+			fast, err = strconv.ParseBool(fs)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "invalid fast %q", fs)
+				return nil, "", 0, false, false
 			}
 		}
 	}
@@ -122,9 +139,9 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte
 	}
 	if len(bin) == 0 {
 		s.writeError(w, http.StatusBadRequest, "empty wasm binary")
-		return nil, "", 0, false
+		return nil, "", 0, false, false
 	}
-	return bin, funcSel, k, true
+	return bin, funcSel, k, fast, true
 }
 
 // resolveFuncs maps the func selector to module-defined function indices.
@@ -174,9 +191,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.met.latency.Observe(time.Since(start).Seconds()) }()
 
-	bin, funcSel, k, ok := s.readRequest(w, r)
+	bin, funcSel, k, fast, ok := s.readRequest(w, r)
 	if !ok {
 		return
+	}
+	eng := &s.full
+	if fast {
+		if s.fast == nil {
+			s.writeError(w, http.StatusBadRequest, "fast=true but no fast-math model is loaded (start the server with one)")
+			return
+		}
+		eng = s.fast
 	}
 	m, err := core.DecodeStripped(bin)
 	if err != nil {
@@ -192,11 +217,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	resp := PredictResponse{Functions: make([]FunctionResult, 0, len(funcs))}
+	resp := PredictResponse{Functions: make([]FunctionResult, 0, len(funcs)), Fast: fast}
 	var predictErr error
 	err = s.submit(ctx, func() {
 		for _, fi := range funcs {
-			elems, hits, err := s.predictFunc(ctx, m, fi, k)
+			elems, hits, err := s.predictFunc(ctx, eng, fast, m, fi, k)
 			resp.CacheHits += hits
 			if err != nil {
 				predictErr = err

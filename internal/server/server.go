@@ -60,6 +60,12 @@ type Config struct {
 	// for stragglers once at least one query is in hand (default 2ms). A
 	// lone in-flight query never waits: it dispatches immediately.
 	BatchWait time.Duration
+	// FastPred is an optional second predictor — typically a quantized
+	// fast-math model (core.LoadQuantizedPredictor) — serving requests
+	// that opt in with fast=true. It gets its own dynamic batchers and
+	// cache entries (the two models' predictions may differ). Nil means
+	// fast requests are rejected.
+	FastPred *core.Predictor
 }
 
 func (c Config) withDefaults() Config {
@@ -135,10 +141,20 @@ func newServerMetrics() *serverMetrics {
 	}
 }
 
+// engine is one predictor with its dynamic batchers: the server runs a
+// full-precision engine always, plus an optional fast-math engine for
+// requests that opt in.
+type engine struct {
+	pred *core.Predictor
+	// paramBatch/returnBatch coalesce concurrent queries per model; nil
+	// when batching is disabled or the model is absent.
+	paramBatch  *batcher
+	returnBatch *batcher
+}
+
 // Server serves type predictions from one loaded predictor.
 type Server struct {
 	cfg   Config
-	pred  *core.Predictor
 	cache *lruCache
 	met   *serverMetrics
 	mux   *http.ServeMux
@@ -147,13 +163,27 @@ type Server struct {
 	workerWG sync.WaitGroup
 	stopPool sync.Once
 
-	// paramBatch/returnBatch coalesce concurrent queries per model; nil
-	// when batching is disabled or the model is absent.
-	paramBatch  *batcher
-	returnBatch *batcher
+	// full answers every request; fast answers fast=true requests and is
+	// nil when no fast-math predictor was configured.
+	full engine
+	fast *engine
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
+}
+
+// newEngine wires one predictor with its batchers.
+func (s *Server) newEngine(pred *core.Predictor) engine {
+	e := engine{pred: pred}
+	if s.cfg.BatchSize > 1 {
+		if pred.Param != nil {
+			e.paramBatch = newBatcher(pred.Param, s.cfg.BatchSize, s.cfg.BatchWait, s.cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
+		}
+		if pred.Return != nil {
+			e.returnBatch = newBatcher(pred.Return, s.cfg.BatchSize, s.cfg.BatchWait, s.cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
+		}
+	}
+	return e
 }
 
 // New builds a Server around a loaded predictor and starts its worker
@@ -166,7 +196,6 @@ func New(pred *core.Predictor, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		pred:  pred,
 		cache: newLRUCache(cfg.CacheSize),
 		met:   newServerMetrics(),
 		jobs:  make(chan func(), cfg.QueueDepth),
@@ -175,13 +204,13 @@ func New(pred *core.Predictor, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	if cfg.BatchSize > 1 {
-		if pred.Param != nil {
-			s.paramBatch = newBatcher(pred.Param, cfg.BatchSize, cfg.BatchWait, cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
+	s.full = s.newEngine(pred)
+	if fp := cfg.FastPred; fp != nil {
+		if fp.Param == nil && fp.Return == nil {
+			return nil, errors.New("server: fast-math predictor has no models")
 		}
-		if pred.Return != nil {
-			s.returnBatch = newBatcher(pred.Return, cfg.BatchSize, cfg.BatchWait, cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
-		}
+		e := s.newEngine(fp)
+		s.fast = &e
 	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -281,11 +310,14 @@ func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, q
 }
 
 // predictFunc predicts every signature element of one module-defined
-// function, mirroring core.PredictModule but in two phases: consult the
-// cache and extract inputs for every element first, then decode all
-// misses together (through the dynamic batcher when enabled, where they
-// coalesce with other requests' queries into one batched beam decode).
-func (s *Server) predictFunc(ctx context.Context, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
+// function on the given engine, mirroring core.PredictModule but in two
+// phases: consult the cache and extract inputs for every element first,
+// then decode all misses together (through the engine's dynamic batcher
+// when enabled, where they coalesce with other requests' queries into
+// one batched beam decode). fast marks the cache entries: the full and
+// fast-math models may rank types differently, so their predictions
+// never share a key.
+func (s *Server) predictFunc(ctx context.Context, e *engine, fast bool, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
 	sig, err := m.FuncTypeAt(uint32(funcIdx + m.NumImportedFuncs()))
 	if err != nil {
 		return nil, 0, err
@@ -294,10 +326,10 @@ func (s *Server) predictFunc(ctx context.Context, m *wasm.Module, funcIdx, k int
 	out := make(map[string][]core.TypePrediction, len(sig.Params)+1)
 	hits := 0
 	var paramQs, returnQs []elemQuery
-	if s.pred.Param != nil {
+	if e.pred.Param != nil {
 		for pi := range sig.Params {
 			name := fmt.Sprintf("param%d", pi)
-			key := cacheKey{fn: fnHash, elem: name, k: k}
+			key := cacheKey{fn: fnHash, elem: name, k: k, fast: fast}
 			if preds, ok := s.cache.get(key); ok {
 				s.met.cacheHits.Inc()
 				out[name] = preds
@@ -305,32 +337,32 @@ func (s *Server) predictFunc(ctx context.Context, m *wasm.Module, funcIdx, k int
 				continue
 			}
 			s.met.cacheMisses.Inc()
-			src, err := s.pred.ParamInput(m, funcIdx, pi)
+			src, err := e.pred.ParamInput(m, funcIdx, pi)
 			if err != nil {
 				return nil, hits, err
 			}
 			paramQs = append(paramQs, elemQuery{key: key, name: name, src: src, k: k})
 		}
 	}
-	if len(sig.Results) > 0 && s.pred.Return != nil {
-		key := cacheKey{fn: fnHash, elem: "return", k: k}
+	if len(sig.Results) > 0 && e.pred.Return != nil {
+		key := cacheKey{fn: fnHash, elem: "return", k: k, fast: fast}
 		if preds, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Inc()
 			out["return"] = preds
 			hits++
 		} else {
 			s.met.cacheMisses.Inc()
-			src, err := s.pred.ReturnInput(m, funcIdx)
+			src, err := e.pred.ReturnInput(m, funcIdx)
 			if err != nil {
 				return nil, hits, err
 			}
 			returnQs = append(returnQs, elemQuery{key: key, name: "return", src: src, k: k})
 		}
 	}
-	if err := s.runQueries(ctx, s.pred.Param, s.paramBatch, paramQs, out); err != nil {
+	if err := s.runQueries(ctx, e.pred.Param, e.paramBatch, paramQs, out); err != nil {
 		return nil, hits, err
 	}
-	if err := s.runQueries(ctx, s.pred.Return, s.returnBatch, returnQs, out); err != nil {
+	if err := s.runQueries(ctx, e.pred.Return, e.returnBatch, returnQs, out); err != nil {
 		return nil, hits, err
 	}
 	return out, hits, nil
@@ -367,11 +399,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.jobs)
 	})
 	s.workerWG.Wait()
-	if s.paramBatch != nil {
-		s.paramBatch.close()
+	engines := []*engine{&s.full}
+	if s.fast != nil {
+		engines = append(engines, s.fast)
 	}
-	if s.returnBatch != nil {
-		s.returnBatch.close()
+	for _, e := range engines {
+		if e.paramBatch != nil {
+			e.paramBatch.close()
+		}
+		if e.returnBatch != nil {
+			e.returnBatch.close()
+		}
 	}
 	return err
 }

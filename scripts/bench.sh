@@ -8,6 +8,9 @@
 #   BENCH_predict.json  BenchmarkPredict{,Sequential,Batched},
 #                       BenchmarkEvalThroughput,
 #                       BenchmarkServerPredictConcurrent
+#   BENCH_infer.json    BenchmarkFastKernels (exact vs fast-math
+#                       NN/NT/TN), BenchmarkPredictFastMath (end-to-end
+#                       full vs fast-math beam decode)
 #
 # Usage: scripts/bench.sh
 #
@@ -61,4 +64,10 @@ echo "== predict + eval + serving benchmarks (BENCH_predict.json) =="
 	go test -run '^$' -bench 'BenchmarkEvalThroughput|BenchmarkServerPredictConcurrent' -timeout 30m .
 } | tee /dev/stderr | to_json >BENCH_predict.json
 
-echo "bench: wrote BENCH_train.json BENCH_predict.json"
+echo "== inference fast-math benchmarks (BENCH_infer.json) =="
+{
+	go test -run '^$' -bench 'BenchmarkFastKernels' ./internal/ad
+	go test -run '^$' -bench 'BenchmarkPredictFastMath' -timeout 30m ./internal/seq2seq
+} | tee /dev/stderr | to_json >BENCH_infer.json
+
+echo "bench: wrote BENCH_train.json BENCH_predict.json BENCH_infer.json"

@@ -1,0 +1,90 @@
+// Command genquantfixture regenerates the checked-in fuzz corpus for
+// FuzzQuantRoundTrip under internal/quant/testdata/fuzz: seeds whose
+// byte layout comes from a real trained checkpoint, so mutation starts
+// from production-shaped inputs instead of synthetic toys. It trains
+// the same tiny deterministic predictor the test suites use (or loads
+// one with -model), quantizes its smallest parameter matrices in both
+// modes, and writes them in the `go test fuzz v1` corpus format.
+//
+// Training is deterministic, so re-running this produces byte-identical
+// corpus files.
+//
+// Usage: go run ./scripts/genquantfixture [-model model.bin]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/quant"
+)
+
+// maxSeedElems bounds how many weights one corpus seed carries: fuzzing
+// mutates whole inputs, so multi-megabyte seeds would slow every
+// iteration without covering more of the format.
+const maxSeedElems = 4096
+
+func main() {
+	modelPath := ""
+	if len(os.Args) == 3 && os.Args[1] == "-model" {
+		modelPath = os.Args[2]
+	} else if len(os.Args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: genquantfixture [-model model.bin]")
+		os.Exit(2)
+	}
+
+	var p *core.Predictor
+	var err error
+	if modelPath != "" {
+		p, err = core.LoadPredictor(modelPath)
+	} else {
+		cfg := core.DefaultConfig()
+		cfg.Corpus.Packages = 6
+		cfg.Model.Epochs = 1
+		cfg.Parallelism = 2
+		p, err = core.TrainPredictor(cfg, func(s string) { fmt.Fprintln(os.Stderr, "[genquantfixture]", s) })
+	}
+	check(err)
+
+	// Smallest matrices first: real layouts (biases, gate blocks, the
+	// combine projection) at fuzz-friendly sizes.
+	params := p.Param.Model.Params()
+	sort.SliceStable(params, func(i, j int) bool { return len(params[i].W) < len(params[j].W) })
+	var small, medium []quant.Matrix
+	for _, v := range params {
+		m8, err := quant.QuantizeMatrix(v.R, v.C, v.W, quant.Int8)
+		check(err)
+		m32, err := quant.QuantizeMatrix(v.R, v.C, v.W, quant.F32)
+		check(err)
+		if len(small) < 4 && len(v.W) <= 256 {
+			small = append(small, m8, m32)
+		} else if len(medium) < 2 && len(v.W) > 256 && len(v.W) <= maxSeedElems {
+			medium = append(medium, m8, m32)
+		}
+	}
+	if len(small) == 0 || len(medium) == 0 {
+		check(fmt.Errorf("checkpoint yielded no fixture-sized matrices (%d params)", len(params)))
+	}
+
+	dir := filepath.Join("internal", "quant", "testdata", "fuzz", "FuzzQuantRoundTrip")
+	check(os.MkdirAll(dir, 0o755))
+	write := func(name string, ms []quant.Matrix) {
+		data := quant.EncodeMatrices(ms)
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		check(os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644))
+		fmt.Printf("genquantfixture: wrote %s (%d matrices, %d bytes)\n", filepath.Join(dir, name), len(ms), len(data))
+	}
+	write("trained_small", small)
+	write("trained_medium", medium)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genquantfixture:", err)
+		os.Exit(1)
+	}
+}

@@ -49,4 +49,15 @@ go build -o "$tmp/snowwhite" ./cmd/snowwhite
 	-eval -k 5 -j 4 -out "$tmp/ingest_j4.json" 2>/dev/null
 cmp "$tmp/ingest_j1.json" "$tmp/ingest_j4.json"
 cmp "$tmp/ingest_j1.json" internal/ingest/testdata/golden_eval.json
+echo "== accuracy budget (quantized fast-math vs full precision, top-3 >= 99%) =="
+# Reuses the tiny model trained above. The int8+fast-math candidate's
+# top-1 prediction must fall within the full-precision top-3 on at least
+# 99% of the signature elements in the checked-in eval binaries; acctest
+# exits nonzero otherwise. Both the int8 export round trip and the
+# in-memory quantization path are exercised.
+"$tmp/snowwhite" export -model "$tmp/model.bin" -out "$tmp/model.qbin" -quantize int8 2>/dev/null
+"$tmp/snowwhite" acctest -model "$tmp/model.bin" -fast-model "$tmp/model.qbin" \
+	-dir internal/ingest/testdata -k 3 -budget 0.99 >"$tmp/acctest.json" 2>/dev/null
+"$tmp/snowwhite" acctest -model "$tmp/model.bin" -quantize f32 \
+	-dir internal/ingest/testdata -k 3 -budget 0.99 >/dev/null 2>&1
 echo "verify: OK"
