@@ -19,7 +19,8 @@
 //
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
 //	snowwhite ingest  {-model model.bin | -packages N} {-file bin.wasm | -dir DIR} [-eval] [-k N] [-j N] [-out report.json]
-//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D] [-fast-math] [-fast-model model.qbin]
+//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D] [-fast-math] [-fast-model model.qbin] [-cache-file cache.jsonl] [-add-model name=path...]
+//	snowwhite bench-serve -addr host:port -file bin.wasm [-qps N] [-duration D] [-sweep "10,50,100"] [-out BENCH_predict.json]
 //	snowwhite export  -model model.bin -out model.qbin [-quantize int8|f32]
 //	snowwhite acctest {-model model.bin | -packages N} -dir DIR [-quantize int8|f32] [-fast-model model.qbin] [-k N] [-budget 0.99]
 //	snowwhite table1                                      Table 1
@@ -44,6 +45,19 @@
 // requests opting in with fast=true; the engine comes from -fast-model
 // when given, otherwise from an in-memory int8 quantization of the
 // primary model.
+//
+// The server is a multi-model registry: -add-model registers further
+// models (POST /v1/models/{name}/predict routes to them; /v1/predict
+// serves the primary), the /v1/models admin API loads, swaps, and removes
+// models at runtime, and SIGHUP hot-swaps every disk-backed model with
+// zero downtime — in-flight decodes on the old weights drain to
+// completion while new requests already run on the new ones. With
+// -cache-file the shared prediction cache persists across restarts: the
+// log replays at startup (warm start) and compacts to a snapshot on
+// graceful shutdown. `snowwhite bench-serve` drives a running server with
+// an open-loop load generator (Poisson-less fixed-rate arrivals at -qps)
+// and reports p50/p95/p99 latency, throughput, and cache hit rates, with
+// -sweep for saturation curves; results merge into BENCH_predict.json.
 //
 // `snowwhite export` converts a trained full-precision predictor into
 // the quantized on-disk format (int8 affine per matrix, or float32).
@@ -104,6 +118,8 @@ func main() {
 		err = runIngest(args)
 	case "serve":
 		err = runServe(args)
+	case "bench-serve":
+		err = runBenchServe(args)
 	case "export":
 		err = runExport(args)
 	case "acctest":
@@ -121,7 +137,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|ingest|serve|export|acctest|table1} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: snowwhite {stats|eval|train|predict|ingest|serve|bench-serve|export|acctest|table1} [flags]")
 }
 
 type commonOpts struct {
@@ -389,16 +405,51 @@ func runIngest(args []string) error {
 	return nil
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// parseModelSpec parses one -add-model value:
+// name=path[,fast=quantized.qbin][,quantize=int8|f32].
+func parseModelSpec(spec string) (name string, src server.ModelSource, err error) {
+	eq := strings.IndexByte(spec, '=')
+	if eq <= 0 {
+		return "", src, fmt.Errorf("invalid -add-model %q (want name=path[,fast=F][,quantize=M])", spec)
+	}
+	name = spec[:eq]
+	parts := strings.Split(spec[eq+1:], ",")
+	src.Path = parts[0]
+	for _, p := range parts[1:] {
+		switch {
+		case strings.HasPrefix(p, "fast="):
+			src.FastPath = strings.TrimPrefix(p, "fast=")
+		case strings.HasPrefix(p, "quantize="):
+			src.Quantize = strings.TrimPrefix(p, "quantize=")
+		default:
+			return "", src, fmt.Errorf("invalid -add-model option %q in %q", p, spec)
+		}
+	}
+	if src.Path == "" {
+		return "", src, fmt.Errorf("invalid -add-model %q: empty path", spec)
+	}
+	return name, src, nil
+}
+
 // runServe starts the long-lived prediction service: it loads (or trains)
-// a predictor, serves POST /v1/predict, GET /healthz, and GET /metrics,
-// and drains in-flight work on SIGTERM/SIGINT.
+// a default predictor plus any -add-model entries into the multi-model
+// registry, serves the /v1 API, hot-swaps every disk-backed model on
+// SIGHUP, and drains in-flight work on SIGTERM/SIGINT.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	opts := commonFlags(fs)
 	modelPath := fs.String("model", "", "load a saved predictor instead of training one")
+	modelName := fs.String("model-name", "default", "registry name for the primary model (the /v1/predict default)")
 	addr := fs.String("addr", ":8642", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 4096, "prediction cache entries (negative disables)")
+	cacheFile := fs.String("cache-file", "", "persist the prediction cache to this file (replayed at startup, compacted on shutdown)")
 	maxBody := fs.Int64("max-body", 8<<20, "maximum upload size in bytes")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request prediction timeout")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
@@ -407,17 +458,21 @@ func runServe(args []string) error {
 	fastMath := fs.Bool("fast-math", false, "also serve a fast-math engine for requests with fast=true")
 	fastModel := fs.String("fast-model", "", "quantized model file for the fast-math engine (default: in-memory int8 quantization of the primary model; implies -fast-math)")
 	quantize := fs.String("quantize", "int8", "quantization mode for the in-memory fast-math engine (int8 or f32)")
+	var addModels multiFlag
+	fs.Var(&addModels, "add-model", "register an extra model: name=path[,fast=F][,quantize=M] (repeatable)")
 	fs.Parse(args)
 
 	p, err := loadOrTrain(*modelPath, opts)
 	if err != nil {
 		return err
 	}
+	defSrc := server.ModelSource{Path: *modelPath}
 	var fastPred *core.Predictor
 	if *fastModel != "" {
 		if fastPred, err = core.LoadQuantizedPredictor(*fastModel); err != nil {
 			return err
 		}
+		defSrc.FastPath = *fastModel
 		logLine("loaded fast-math predictor from " + *fastModel)
 	} else if *fastMath {
 		mode, err := quant.ParseMode(*quantize)
@@ -427,43 +482,69 @@ func runServe(args []string) error {
 		if fastPred, err = core.QuantizePredictor(p, mode); err != nil {
 			return err
 		}
+		defSrc.Quantize = string(mode)
 		logLine(fmt.Sprintf("fast-math engine ready (in-memory %s quantization)", mode))
 	}
-	srv, err := server.New(p, server.Config{
+	srv, err := server.NewWithSource(p, server.Config{
 		Addr:           *addr,
 		Workers:        *workers,
 		CacheSize:      *cacheSize,
+		CachePath:      *cacheFile,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		BatchSize:      *batch,
 		BatchWait:      *batchWait,
+		DefaultModel:   *modelName,
 		FastPred:       fastPred,
-	})
+	}, defSrc)
 	if err != nil {
 		return err
 	}
-
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logLine("serving on " + *addr + " (POST /v1/predict, GET /healthz, GET /metrics)")
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		logLine(fmt.Sprintf("received %s, draining (up to %s)", sig, *drain))
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
-		}
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+	for _, spec := range addModels {
+		name, src, err := parseModelSpec(spec)
+		if err != nil {
 			return err
 		}
-		logLine("drained, bye")
-		return nil
-	case err := <-errc:
-		return err
+		if err := srv.LoadModel(name, src); err != nil {
+			return err
+		}
+		logLine(fmt.Sprintf("registered model %q from %s", name, src.Path))
+	}
+
+	// Signals are trapped before the listener starts, so a SIGTERM that
+	// lands as soon as the port answers still drains gracefully.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logLine("serving on " + *addr + " (POST /v1/predict, POST /v1/models/{m}/predict, GET /v1/models, GET /healthz, GET /metrics)")
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Zero-downtime reload: every disk-backed model hot-swaps
+				// to freshly loaded weights while requests keep flowing.
+				reloaded, err := srv.Reload()
+				if err != nil {
+					logLine(fmt.Sprintf("reload failed (old versions keep serving): %v", err))
+				}
+				logLine(fmt.Sprintf("SIGHUP: hot-swapped %d model(s) %v", len(reloaded), reloaded))
+				continue
+			}
+			logLine(fmt.Sprintf("received %s, draining (up to %s)", sig, *drain))
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				return fmt.Errorf("shutdown: %w", err)
+			}
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			logLine("drained, bye")
+			return nil
+		case err := <-errc:
+			return err
+		}
 	}
 }
 

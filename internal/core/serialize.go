@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -54,6 +55,31 @@ func LoadTrained(r io.Reader) (*Trained, error) {
 		}
 	}
 	return tr, nil
+}
+
+// FingerprintPredictor returns a content hash of a predictor: the SHA-256
+// of its serialized models (weights, vocabularies, tokenizers). Two
+// predictors with the same fingerprint produce the same predictions, so
+// the hash is a safe namespace for caches shared across model versions,
+// replicas, and restarts — the serving layer keys its persistent
+// prediction cache by it. Serialization is deterministic (gob over fixed
+// struct shapes in registration order), so the fingerprint is stable
+// across processes.
+func FingerprintPredictor(p *Predictor) ([32]byte, error) {
+	h := sha256.New()
+	for _, tr := range []*Trained{p.Param, p.Return} {
+		if tr == nil {
+			h.Write([]byte{0})
+			continue
+		}
+		h.Write([]byte{1})
+		if err := tr.Save(h); err != nil {
+			return [32]byte{}, fmt.Errorf("core: fingerprint predictor: %w", err)
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out, nil
 }
 
 // predictorState pairs the two task models of a predictor.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"time"
@@ -126,6 +127,27 @@ func (tr *Trained) PredictTyped(srcs [][]string, ks []int) [][]TypePrediction {
 		out[i] = wrapScored(preds)
 	}
 	return out
+}
+
+// PredictTypedCtx is PredictTyped with cooperative cancellation: the
+// batched decode polls ctx at every decoder step and between groups, so
+// an abandoned request stops consuming inference time mid-decode instead
+// of running every query to completion. A nil-error return is bitwise
+// identical to PredictTyped.
+func (tr *Trained) PredictTypedCtx(ctx context.Context, srcs [][]string, ks []int) ([][]TypePrediction, error) {
+	enc := make([][]string, len(srcs))
+	for i, src := range srcs {
+		enc[i] = tr.encodeSrc(src)
+	}
+	multi, err := tr.Model.PredictMultiCtx(ctx, enc, ks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]TypePrediction, len(srcs))
+	for i, preds := range multi {
+		out[i] = wrapScored(preds)
+	}
+	return out, nil
 }
 
 // wrapScored converts one query's beams into ranked TypePredictions with

@@ -142,12 +142,44 @@ const (
 )
 
 type registered struct {
-	name string
-	help string
-	kind metricKind
-	c    *Counter
-	g    *Gauge
-	h    *Histogram
+	name   string
+	help   string
+	labels string // pre-rendered {k="v",...}; empty for unlabeled series
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Labels attaches dimensions to a metric series: the same metric name
+// may be registered once per distinct label set (the registry's
+// per-model serving series use {model="..."}). Rendered sorted by key so
+// a label set has one canonical form.
+type Labels map[string]string
+
+// render returns the exposition form `{k="v",...}`, keys sorted; empty
+// for no labels.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, k...)
+		b = append(b, '=')
+		b = strconv.AppendQuote(b, l[k])
+	}
+	b = append(b, '}')
+	return string(b)
 }
 
 // Registry holds named metrics and renders them in a Prometheus-compatible
@@ -166,32 +198,51 @@ func NewRegistry() *Registry {
 func (r *Registry) register(m registered) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.names[m.name] {
-		panic("metrics: duplicate metric " + m.name)
+	series := m.name + m.labels
+	if r.names[series] {
+		panic("metrics: duplicate metric " + series)
 	}
-	r.names[m.name] = true
+	r.names[series] = true
 	r.metrics = append(r.metrics, m)
 }
 
 // NewCounter registers and returns a counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.NewCounterLabeled(name, help, nil)
+}
+
+// NewCounterLabeled registers and returns a counter carrying a label set.
+// The same name may be registered once per distinct label set; re-using
+// a (name, labels) pair panics like any duplicate registration.
+func (r *Registry) NewCounterLabeled(name, help string, labels Labels) *Counter {
 	c := &Counter{}
-	r.register(registered{name: name, help: help, kind: kindCounter, c: c})
+	r.register(registered{name: name, help: help, labels: labels.render(), kind: kindCounter, c: c})
 	return c
 }
 
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.NewGaugeLabeled(name, help, nil)
+}
+
+// NewGaugeLabeled registers and returns a gauge carrying a label set.
+func (r *Registry) NewGaugeLabeled(name, help string, labels Labels) *Gauge {
 	g := &Gauge{}
-	r.register(registered{name: name, help: help, kind: kindGauge, g: g})
+	r.register(registered{name: name, help: help, labels: labels.render(), kind: kindGauge, g: g})
 	return g
 }
 
 // NewHistogram registers and returns a histogram over the given upper
 // bounds (nil = DefBuckets).
 func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	return r.NewHistogramLabeled(name, help, bounds, nil)
+}
+
+// NewHistogramLabeled registers and returns a histogram carrying a label
+// set.
+func (r *Registry) NewHistogramLabeled(name, help string, bounds []float64, labels Labels) *Histogram {
 	h := NewHistogram(bounds)
-	r.register(registered{name: name, help: help, kind: kindHistogram, h: h})
+	r.register(registered{name: name, help: help, labels: labels.render(), kind: kindHistogram, h: h})
 	return h
 }
 
@@ -206,25 +257,31 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		total += int64(n)
 		return err
 	}
+	headered := map[string]bool{}
 	for _, m := range ms {
-		if m.help != "" {
-			if err := emit("# HELP %s %s\n", m.name, m.help); err != nil {
+		// HELP/TYPE describe the metric name once, however many label
+		// sets it was registered under.
+		if !headered[m.name] {
+			headered[m.name] = true
+			if m.help != "" {
+				if err := emit("# HELP %s %s\n", m.name, m.help); err != nil {
+					return total, err
+				}
+			}
+			if err := emit("# TYPE %s %s\n", m.name, m.kind.String()); err != nil {
 				return total, err
 			}
 		}
 		switch m.kind {
 		case kindCounter:
-			if err := emit("# TYPE %s counter\n%s %d\n", m.name, m.name, m.c.Value()); err != nil {
+			if err := emit("%s%s %d\n", m.name, m.labels, m.c.Value()); err != nil {
 				return total, err
 			}
 		case kindGauge:
-			if err := emit("# TYPE %s gauge\n%s %d\n", m.name, m.name, m.g.Value()); err != nil {
+			if err := emit("%s%s %d\n", m.name, m.labels, m.g.Value()); err != nil {
 				return total, err
 			}
 		case kindHistogram:
-			if err := emit("# TYPE %s histogram\n", m.name); err != nil {
-				return total, err
-			}
 			m.h.mu.Lock()
 			bounds := append([]float64(nil), m.h.bounds...)
 			counts := append([]int64(nil), m.h.counts...)
@@ -233,18 +290,38 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			var cum int64
 			for i, ub := range bounds {
 				cum += counts[i]
-				if err := emit("%s_bucket{le=%q} %d\n", m.name, formatBound(ub), cum); err != nil {
+				if err := emit("%s_bucket%s %d\n", m.name, withLE(m.labels, formatBound(ub)), cum); err != nil {
 					return total, err
 				}
 			}
 			cum += inf
-			if err := emit("%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
-				m.name, cum, m.name, sum, m.name, n); err != nil {
+			if err := emit("%s_bucket%s %d\n%s_sum%s %g\n%s_count%s %d\n",
+				m.name, withLE(m.labels, "+Inf"), cum, m.name, m.labels, sum, m.name, m.labels, n); err != nil {
 				return total, err
 			}
 		}
 	}
 	return total, nil
+}
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// withLE merges the le bucket label into a pre-rendered label set.
+func withLE(labels, bound string) string {
+	le := `le="` + bound + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
 }
 
 func formatBound(b float64) string {

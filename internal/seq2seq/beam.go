@@ -1,6 +1,7 @@
 package seq2seq
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -139,7 +140,8 @@ func candCmp(a, b cand) int {
 func (m *Model) Predict(src []string, k int) []Prediction {
 	pool := m.getPool()
 	defer m.putPool(pool)
-	return m.predictMultiOn(m.inferTape(pool), [][]string{src}, []int{k})[0]
+	out, _ := m.predictMultiOn(m.inferTape(pool), [][]string{src}, []int{k}, nil)
+	return out[0]
 }
 
 // PredictBatch predicts every source sequence with one beam cutoff k,
@@ -159,6 +161,26 @@ func (m *Model) PredictBatch(srcs [][]string, k int) [][]Prediction {
 // exactly Predict(srcs[i], ks[i]); grouping only changes how many GEMM
 // calls the decoding costs, not any result bit.
 func (m *Model) PredictMulti(srcs [][]string, ks []int) [][]Prediction {
+	out, err := m.predictMulti(srcs, ks, nil)
+	if err != nil {
+		// Unreachable: without a stop hook predictMulti cannot fail.
+		panic(err)
+	}
+	return out
+}
+
+// PredictMultiCtx is PredictMulti with cooperative cancellation: the
+// decode checks ctx between groups and between decoder steps, so an
+// abandoned caller (an expired server request) stops burning decode time
+// within one step's latency instead of running every search to
+// completion. On cancellation the partial results are discarded and
+// ctx's error is returned. A nil-error return is bitwise identical to
+// PredictMulti.
+func (m *Model) PredictMultiCtx(ctx context.Context, srcs [][]string, ks []int) ([][]Prediction, error) {
+	return m.predictMulti(srcs, ks, ctx.Err)
+}
+
+func (m *Model) predictMulti(srcs [][]string, ks []int, stop func() error) ([][]Prediction, error) {
 	if len(ks) != len(srcs) {
 		panic(fmt.Sprintf("seq2seq: PredictMulti %d sources, %d cutoffs", len(srcs), len(ks)))
 	}
@@ -167,9 +189,13 @@ func (m *Model) PredictMulti(srcs [][]string, ks []int) [][]Prediction {
 	out := make([][]Prediction, 0, len(srcs))
 	for lo := 0; lo < len(srcs); lo += predictGroup {
 		hi := min(lo+predictGroup, len(srcs))
-		out = append(out, m.predictMultiOn(m.inferTape(pool), srcs[lo:hi], ks[lo:hi])...)
+		group, err := m.predictMultiOn(m.inferTape(pool), srcs[lo:hi], ks[lo:hi], stop)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, group...)
 	}
-	return out
+	return out, nil
 }
 
 // msearch is one beam search of a batched group.
@@ -202,10 +228,15 @@ type mbeam struct {
 // independent with fixed ascending-index accumulation, so each
 // hypothesis's numbers are bit-identical to decoding it alone — batching
 // changes the GEMM shape, not the results (TestPredictBatchedMatchesSequential).
-func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int) [][]Prediction {
+//
+// stop (may be nil) is polled at every decoder step; a non-nil return
+// aborts the decode and propagates that error, discarding the partial
+// beams. The poll sits outside every accumulation, so a decode that runs
+// to completion is bitwise independent of whether stop was supplied.
+func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int, stop func() error) ([][]Prediction, error) {
 	S := len(srcs)
 	if S == 0 {
-		return nil
+		return nil, nil
 	}
 	maxLen := m.Cfg.MaxTgtLen
 	if maxLen <= 0 {
@@ -267,6 +298,11 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int) [][]Pre
 		sbuf      []scoredTok
 	)
 	for step := 0; step < maxLen; step++ {
+		if stop != nil {
+			if err := stop(); err != nil {
+				return nil, err
+			}
+		}
 		prev, gatherIdx, rowSearch = prev[:0], gatherIdx[:0], rowSearch[:0]
 		for si := range searches {
 			for bi := range searches[si].beams {
@@ -358,7 +394,7 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int) [][]Pre
 		}
 		out[si] = preds
 	}
-	return out
+	return out, nil
 }
 
 func equalInts(a, b []int) bool {

@@ -11,18 +11,25 @@ import (
 	"repro/internal/wasm"
 )
 
-// cacheKey identifies one prediction: the content hash of a function plus
-// the element ("param3", "return") and beam width. Keying by function
-// *content* rather than (binary, index) means identical functions shared
-// across object files — common per the paper's dedup analysis, where
-// statically linked library code repeats across packages — hit the same
-// entry regardless of which upload they arrive in.
+// cacheKey identifies one prediction: the content hash of the model that
+// produced it, the content hash of a function, the element ("param3",
+// "return"), and the beam width. Keying by function *content* rather than
+// (binary, index) means identical functions shared across object files —
+// common per the paper's dedup analysis, where statically linked library
+// code repeats across packages — hit the same entry regardless of which
+// upload they arrive in. The model fingerprint namespaces the shared
+// cache across the registry's models and across hot swaps: entries from
+// an old model version simply stop being hit and age out, and a restarted
+// (or replica) process loading the persisted cache only answers from
+// entries its exact model wrote.
 type cacheKey struct {
-	fn   [32]byte
-	elem string
-	k    int
-	// fast separates the fast-math engine's entries: quantized weights
-	// and fused-rounding kernels may rank types differently, so a fast
+	model [32]byte
+	fn    [32]byte
+	elem  string
+	k     int
+	// fast separates the fast-math engine's entries even when its weights
+	// fingerprint identically (an f32 in-memory quantization): the
+	// fused-rounding kernels may rank types differently, so a fast
 	// request must never be answered from a full-precision entry (or
 	// vice versa).
 	fast bool
@@ -38,7 +45,14 @@ func funcHash(m *wasm.Module, funcIdx int) [32]byte {
 		h.Write(buf[:])
 	}
 	fn := &m.Funcs[funcIdx]
+	// Always hash the type index itself plus a validity marker: two
+	// tolerant-decoded functions with different out-of-range type indices
+	// but identical bodies must not share an entry, and an out-of-range
+	// function must not collide with an in-range one whose signature
+	// happens to hash to nothing.
+	put(uint64(fn.TypeIdx))
 	if int(fn.TypeIdx) < len(m.Types) {
+		put(1)
 		sig := m.Types[fn.TypeIdx]
 		put(uint64(len(sig.Params)))
 		for _, p := range sig.Params {
@@ -48,6 +62,8 @@ func funcHash(m *wasm.Module, funcIdx int) [32]byte {
 		for _, r := range sig.Results {
 			put(uint64(r))
 		}
+	} else {
+		put(0)
 	}
 	put(uint64(len(fn.Locals)))
 	for _, d := range fn.Locals {
@@ -135,4 +151,21 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.items)
+}
+
+// entries returns a copy of the cache contents, least recently used
+// first — the order a snapshot must replay puts in so the restored cache
+// reproduces this one's eviction order exactly.
+func (c *lruCache) entries() []lruEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruEntry, 0, len(c.items))
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry)
+		out = append(out, lruEntry{key: e.key, val: e.val})
+	}
+	return out
 }

@@ -95,6 +95,71 @@ func TestLRUConcurrent(t *testing.T) {
 	}
 }
 
+// TestLRUEntriesOrder checks the snapshot enumeration is exactly LRU →
+// MRU, tracking both inserts and get-touches: replaying it through put
+// must rebuild an identical cache.
+func TestLRUEntriesOrder(t *testing.T) {
+	c := newLRUCache(4)
+	c.put(key(1, "param0", 5), preds("a"))
+	c.put(key(2, "param0", 5), preds("b"))
+	c.put(key(3, "param0", 5), preds("c"))
+	c.get(key(1, "param0", 5)) // 1 becomes MRU: order is now 2, 3, 1
+	got := c.entries()
+	wantOrder := []byte{2, 3, 1}
+	if len(got) != len(wantOrder) {
+		t.Fatalf("entries = %d, want %d", len(got), len(wantOrder))
+	}
+	for i, want := range wantOrder {
+		if got[i].key.fn != [32]byte{want} {
+			t.Errorf("entries[%d] = fn[%d], want fn[%d]", i, got[i].key.fn[0], want)
+		}
+	}
+	// Replaying entries through put must preserve eviction order: one more
+	// put evicts 2 (the replayed LRU), not 1.
+	c2 := newLRUCache(4)
+	for _, e := range got {
+		c2.put(e.key, e.val)
+	}
+	c2.put(key(4, "param0", 5), preds("d"))
+	c2.put(key(5, "param0", 5), preds("e"))
+	if _, ok := c2.get(key(2, "param0", 5)); ok {
+		t.Error("replayed LRU entry survived eviction")
+	}
+	if _, ok := c2.get(key(1, "param0", 5)); !ok {
+		t.Error("replayed MRU entry was evicted")
+	}
+	var nc *lruCache
+	if nc.entries() != nil {
+		t.Error("nil cache entries() must be nil")
+	}
+}
+
+// TestFuncHashOutOfRangeTypeIdx covers the tolerant-decode edge: two
+// functions with identical bodies but different out-of-range type
+// indices must not collide (the signature hash used to be skipped
+// entirely for them), and an out-of-range function must differ from an
+// in-range one with the same body.
+func TestFuncHashOutOfRangeTypeIdx(t *testing.T) {
+	m := &wasm.Module{
+		Types: []wasm.FuncType{{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}}},
+		Funcs: []wasm.Function{
+			{TypeIdx: 7}, // out of range (1 type defined)
+			{TypeIdx: 9}, // out of range, different index, same (empty) body
+			{TypeIdx: 0}, // in range, same body
+			{TypeIdx: 7}, // identical to func 0: must hash equal
+		},
+	}
+	if funcHash(m, 0) == funcHash(m, 1) {
+		t.Error("different out-of-range type indices with identical bodies collide")
+	}
+	if funcHash(m, 0) == funcHash(m, 2) {
+		t.Error("out-of-range function collides with in-range function")
+	}
+	if funcHash(m, 0) != funcHash(m, 3) {
+		t.Error("identical out-of-range functions hash differently")
+	}
+}
+
 // TestFuncHashContent checks the hash tracks function content, not
 // position: identical bodies hash equal, different bodies differ.
 func TestFuncHashContent(t *testing.T) {

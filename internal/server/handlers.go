@@ -27,10 +27,13 @@ type predictEnvelope struct {
 	// K is the number of ranked predictions per element (default
 	// Config.DefaultK, capped at Config.MaxK).
 	K int `json:"k,omitempty"`
-	// Fast routes the request to the fast-math engine (quantized
-	// weights, fused-rounding kernels). Rejected with 400 when the
-	// server was started without one.
+	// Fast routes the request to the model's fast-math engine (quantized
+	// weights, fused-rounding kernels). Rejected with 400 when the model
+	// has no fast sibling.
 	Fast bool `json:"fast,omitempty"`
+	// Model names the registry model to serve the request; empty means
+	// the server's default. A {model} path segment takes precedence.
+	Model string `json:"model,omitempty"`
 }
 
 // FunctionResult is the predictions for one function.
@@ -51,6 +54,10 @@ type PredictResponse struct {
 	// Fast reports which engine answered: true when the fast-math model
 	// produced these predictions.
 	Fast bool `json:"fast,omitempty"`
+	// Model and Version identify the registry model (and hot-swap
+	// ordinal) that served the request.
+	Model   string `json:"model,omitempty"`
+	Version uint64 `json:"version,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx API answer.
@@ -70,9 +77,16 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fastMath := false
+	if es, err := s.acquireModel(""); err == nil {
+		fastMath = es.fast != nil
+		es.release()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"fast_math": s.fast != nil,
+		"fast_math": fastMath,
+		"default":   s.DefaultModel(),
+		"models":    len(s.reg.names()),
 	})
 }
 
@@ -81,9 +95,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.registry.WriteTo(w)
 }
 
-// readRequest extracts (binary, func selector, k, fast flag) from either
-// encoding of the request.
-func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte, funcSel string, k int, fast, ok bool) {
+// handleModels serves GET /v1/models: the registry listing.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default": s.DefaultModel(),
+		"models":  s.Models(),
+	})
+}
+
+// handleModelPut serves PUT /v1/models/{model}: load (or hot-swap) a
+// model from disk. The body is a JSON ModelSource.
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var src ModelSource
+	if err := json.Unmarshal(body, &src); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := s.LoadModel(name, src); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for _, st := range s.Models() {
+		if st.Name == name {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name})
+}
+
+// handleModelDelete serves DELETE /v1/models/{model}.
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	switch err := s.RemoveModel(name); {
+	case errors.Is(err, errModelNotFound):
+		s.writeError(w, http.StatusNotFound, "%v", err)
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+	}
+}
+
+// readRequest extracts (binary, func selector, k, fast flag, model name)
+// from either encoding of the request.
+func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte, funcSel string, k int, fast bool, model string, ok bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -92,7 +154,7 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte
 		} else {
 			s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		}
-		return nil, "", 0, false, false
+		return nil, "", 0, false, "", false
 	}
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
@@ -103,31 +165,32 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte
 		var env predictEnvelope
 		if err := json.Unmarshal(body, &env); err != nil {
 			s.writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-			return nil, "", 0, false, false
+			return nil, "", 0, false, "", false
 		}
 		bin, err = base64.StdEncoding.DecodeString(env.WasmBase64)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, "invalid wasm_base64: %v", err)
-			return nil, "", 0, false, false
+			return nil, "", 0, false, "", false
 		}
-		funcSel, k, fast = env.Func, env.K, env.Fast
+		funcSel, k, fast, model = env.Func, env.K, env.Fast, env.Model
 	default:
 		// Raw binary body (application/wasm, application/octet-stream, or
 		// unlabeled); selection comes from query parameters.
 		bin = body
 		funcSel = r.URL.Query().Get("func")
+		model = r.URL.Query().Get("model")
 		if ks := r.URL.Query().Get("k"); ks != "" {
 			k, err = strconv.Atoi(ks)
 			if err != nil {
 				s.writeError(w, http.StatusBadRequest, "invalid k %q", ks)
-				return nil, "", 0, false, false
+				return nil, "", 0, false, "", false
 			}
 		}
 		if fs := r.URL.Query().Get("fast"); fs != "" {
 			fast, err = strconv.ParseBool(fs)
 			if err != nil {
 				s.writeError(w, http.StatusBadRequest, "invalid fast %q", fs)
-				return nil, "", 0, false, false
+				return nil, "", 0, false, "", false
 			}
 		}
 	}
@@ -139,12 +202,17 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request) (bin []byte
 	}
 	if len(bin) == 0 {
 		s.writeError(w, http.StatusBadRequest, "empty wasm binary")
-		return nil, "", 0, false, false
+		return nil, "", 0, false, "", false
 	}
-	return bin, funcSel, k, fast, true
+	return bin, funcSel, k, fast, model, true
 }
 
 // resolveFuncs maps the func selector to module-defined function indices.
+// Exact export/debug names resolve first and numeric index parsing is the
+// fallback, so an export literally named "3" selects that export rather
+// than function index 3. Name resolution is one pass over the exports and
+// one over the functions (not O(funcs×exports)); as before, the lowest
+// function index wins when a name is ambiguous.
 func resolveFuncs(m *wasm.Module, sel string) ([]int, error) {
 	if sel == "" {
 		all := make([]int, len(m.Funcs))
@@ -153,24 +221,46 @@ func resolveFuncs(m *wasm.Module, sel string) ([]int, error) {
 		}
 		return all, nil
 	}
+	if fi, ok := funcByName(m)[sel]; ok {
+		return []int{fi}, nil
+	}
 	if idx, err := strconv.Atoi(sel); err == nil {
 		if idx < 0 || idx >= len(m.Funcs) {
 			return nil, fmt.Errorf("function index %d out of range (%d defined functions)", idx, len(m.Funcs))
 		}
 		return []int{idx}, nil
 	}
-	for fi := range m.Funcs {
-		abs := uint32(fi + m.NumImportedFuncs())
-		for _, e := range m.Exports {
-			if e.Kind == wasm.KindFunc && e.Index == abs && e.Name == sel {
-				return []int{fi}, nil
-			}
-		}
-		if m.Funcs[fi].Name == sel {
-			return []int{fi}, nil
+	return nil, fmt.Errorf("no function named %q", sel)
+}
+
+// funcByName builds the name → module-defined-index map resolveFuncs
+// consults: every export and debug name of every defined function, lowest
+// function index winning on duplicates (the order the old per-function
+// scan realized).
+func funcByName(m *wasm.Module) map[string]int {
+	imported := m.NumImportedFuncs()
+	expNames := make(map[uint32][]string)
+	for _, e := range m.Exports {
+		if e.Kind == wasm.KindFunc {
+			expNames[e.Index] = append(expNames[e.Index], e.Name)
 		}
 	}
-	return nil, fmt.Errorf("no function named %q", sel)
+	byName := make(map[string]int, len(m.Funcs))
+	claim := func(name string, fi int) {
+		if name == "" {
+			return
+		}
+		if _, ok := byName[name]; !ok {
+			byName[name] = fi
+		}
+	}
+	for fi := range m.Funcs {
+		for _, n := range expNames[uint32(fi+imported)] {
+			claim(n, fi)
+		}
+		claim(m.Funcs[fi].Name, fi)
+	}
+	return byName
 }
 
 // funcName returns the export or debug name of a module-defined function.
@@ -191,17 +281,35 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.met.latency.Observe(time.Since(start).Seconds()) }()
 
-	bin, funcSel, k, fast, ok := s.readRequest(w, r)
+	bin, funcSel, k, fast, model, ok := s.readRequest(w, r)
 	if !ok {
 		return
 	}
-	eng := &s.full
+	// The {model} path segment wins over the envelope/query field; both
+	// empty routes to the default model.
+	if pm := r.PathValue("model"); pm != "" {
+		model = pm
+	}
+	es, err := s.acquireModel(model)
+	if err != nil {
+		if errors.Is(err, errModelNotFound) {
+			s.writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	// Held for the whole request: a hot swap of this model drains only
+	// after every element below has decoded.
+	defer es.release()
+	es.pm.requests.Inc()
+	eng := &es.full
 	if fast {
-		if s.fast == nil {
-			s.writeError(w, http.StatusBadRequest, "fast=true but no fast-math model is loaded (start the server with one)")
+		if es.fast == nil {
+			s.writeError(w, http.StatusBadRequest, "fast=true but model %q has no fast-math sibling", es.name)
 			return
 		}
-		eng = s.fast
+		eng = es.fast
 	}
 	m, err := core.DecodeStripped(bin)
 	if err != nil {
@@ -217,11 +325,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	resp := PredictResponse{Functions: make([]FunctionResult, 0, len(funcs)), Fast: fast}
+	resp := PredictResponse{
+		Functions: make([]FunctionResult, 0, len(funcs)),
+		Fast:      fast,
+		Model:     es.name,
+		Version:   es.version,
+	}
 	var predictErr error
 	err = s.submit(ctx, func() {
 		for _, fi := range funcs {
-			elems, hits, err := s.predictFunc(ctx, eng, fast, m, fi, k)
+			// Between functions is the cheapest cancellation point a
+			// multi-function request has: without it an expired request
+			// would keep decoding every remaining function.
+			if err := ctx.Err(); err != nil {
+				predictErr = err
+				return
+			}
+			elems, hits, err := s.predictFunc(ctx, es.pm, eng, fast, m, fi, k)
 			resp.CacheHits += hits
 			if err != nil {
 				predictErr = err

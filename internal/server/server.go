@@ -1,16 +1,23 @@
-// Package server turns a trained core.Predictor into a long-lived,
+// Package server turns trained core.Predictors into a long-lived,
 // concurrent type-prediction service: an HTTP/JSON API over a bounded
-// worker pool, with an LRU prediction cache keyed by function content and
-// a plain-text metrics endpoint. This is the process boundary the paper's
-// downstream users (reverse-engineering pipelines, decompilers) integrate
-// against.
+// worker pool, a multi-model registry with zero-downtime hot swap, a
+// disk-backed LRU prediction cache keyed by (model, function) content
+// hashes, and a plain-text metrics endpoint. This is the process boundary
+// the paper's downstream users (reverse-engineering pipelines,
+// decompilers) integrate against.
 //
 // Endpoints:
 //
-//	POST /v1/predict   wasm binary (raw body, or base64 in a JSON envelope)
-//	                   → ranked type predictions per parameter/return
-//	GET  /healthz      liveness + readiness
-//	GET  /metrics      request counts, latency histogram, cache hits
+//	POST /v1/predict                  wasm binary (raw body, or base64 in a
+//	                                  JSON envelope) → ranked type
+//	                                  predictions, served by the default model
+//	POST /v1/models/{model}/predict   same, served by a named model
+//	GET  /v1/models                   registry listing (versions, fingerprints)
+//	PUT  /v1/models/{model}           load or hot-swap a model from disk
+//	DELETE /v1/models/{model}         unregister a model
+//	GET  /healthz                     liveness + readiness
+//	GET  /metrics                     request counts, latency histograms,
+//	                                  cache hits, per-model series
 package server
 
 import (
@@ -45,6 +52,11 @@ type Config struct {
 	// CacheSize is the LRU capacity in cached elements; < 0 disables
 	// caching (default 4096).
 	CacheSize int
+	// CachePath enables disk persistence for the prediction cache: the
+	// log at this path is replayed at startup (a warm start) and every
+	// cached decode is appended to it; graceful shutdown compacts it to a
+	// snapshot of the live entries. Empty disables persistence.
+	CachePath string
 	// MaxK caps the per-element beam width a client may request
 	// (default 10).
 	MaxK int
@@ -60,11 +72,15 @@ type Config struct {
 	// for stragglers once at least one query is in hand (default 2ms). A
 	// lone in-flight query never waits: it dispatches immediately.
 	BatchWait time.Duration
+	// DefaultModel is the registry name given to the predictor passed to
+	// New, and the model /v1/predict routes to (default "default").
+	DefaultModel string
 	// FastPred is an optional second predictor — typically a quantized
 	// fast-math model (core.LoadQuantizedPredictor) — serving requests
-	// that opt in with fast=true. It gets its own dynamic batchers and
-	// cache entries (the two models' predictions may differ). Nil means
-	// fast requests are rejected.
+	// that opt in with fast=true. It becomes the default model's fast
+	// sibling, with its own dynamic batchers and cache entries (the two
+	// models' predictions may differ). Nil means fast requests to the
+	// default model are rejected.
 	FastPred *core.Predictor
 }
 
@@ -99,63 +115,118 @@ func (c Config) withDefaults() Config {
 	if c.BatchWait <= 0 {
 		c.BatchWait = 2 * time.Millisecond
 	}
+	if c.DefaultModel == "" {
+		c.DefaultModel = "default"
+	}
 	return c
+}
+
+// modelMetrics is one model name's labeled series (label model="name").
+// The set survives hot swaps, so a name's counters are continuous across
+// versions; version and swaps make the swap history visible.
+type modelMetrics struct {
+	requests    *metrics.Counter
+	predictions *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	inference   *metrics.Histogram
+	swaps       *metrics.Counter
+	version     *metrics.Gauge
 }
 
 // serverMetrics is the service's operational instrumentation, exposed at
 // /metrics.
 type serverMetrics struct {
-	registry    *metrics.Registry
-	requests    *metrics.Counter
-	errors      *metrics.Counter
-	rejected    *metrics.Counter
-	timeouts    *metrics.Counter
-	predictions *metrics.Counter
-	cacheHits   *metrics.Counter
-	cacheMisses *metrics.Counter
-	inFlight    *metrics.Gauge
-	cacheSize   *metrics.Gauge
-	latency     *metrics.Histogram
-	inference   *metrics.Histogram
-	batchSize   *metrics.Histogram
-	batchWait   *metrics.Histogram
+	registry      *metrics.Registry
+	requests      *metrics.Counter
+	errors        *metrics.Counter
+	rejected      *metrics.Counter
+	timeouts      *metrics.Counter
+	predictions   *metrics.Counter
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	swaps         *metrics.Counter
+	persistErrors *metrics.Counter
+	inFlight      *metrics.Gauge
+	cacheSize     *metrics.Gauge
+	cacheLoaded   *metrics.Gauge
+	latency       *metrics.Histogram
+	inference     *metrics.Histogram
+	batchSize     *metrics.Histogram
+	batchWait     *metrics.Histogram
+
+	mu       sync.Mutex
+	perModel map[string]*modelMetrics
 }
 
 func newServerMetrics() *serverMetrics {
 	r := metrics.NewRegistry()
 	return &serverMetrics{
-		registry:    r,
-		requests:    r.NewCounter("snowwhite_requests_total", "Predict requests received."),
-		errors:      r.NewCounter("snowwhite_request_errors_total", "Predict requests answered with a 4xx/5xx status."),
-		rejected:    r.NewCounter("snowwhite_requests_rejected_total", "Predict requests rejected because the worker queue was full."),
-		timeouts:    r.NewCounter("snowwhite_request_timeouts_total", "Predict requests that exceeded the request timeout."),
-		predictions: r.NewCounter("snowwhite_predictions_total", "Signature elements predicted (model inference runs)."),
-		cacheHits:   r.NewCounter("snowwhite_cache_hits_total", "Prediction cache hits."),
-		cacheMisses: r.NewCounter("snowwhite_cache_misses_total", "Prediction cache misses."),
-		inFlight:    r.NewGauge("snowwhite_in_flight_requests", "Predict requests currently being handled."),
-		cacheSize:   r.NewGauge("snowwhite_cache_entries", "Prediction cache occupancy."),
-		latency:     r.NewHistogram("snowwhite_request_seconds", "Predict request latency in seconds.", nil),
-		inference:   r.NewHistogram("snowwhite_inference_seconds", "Per-element beam-search latency in seconds (cache misses only).", nil),
-		batchSize:   r.NewHistogram("snowwhite_batch_size", "Queries coalesced per batched beam decode.", []float64{1, 2, 4, 8, 16, 32}),
-		batchWait:   r.NewHistogram("snowwhite_batch_queue_seconds", "Time a query waited on the batching queue before its decode started.", nil),
+		registry:      r,
+		requests:      r.NewCounter("snowwhite_requests_total", "Predict requests received."),
+		errors:        r.NewCounter("snowwhite_request_errors_total", "Predict requests answered with a 4xx/5xx status."),
+		rejected:      r.NewCounter("snowwhite_requests_rejected_total", "Predict requests rejected because the worker queue was full."),
+		timeouts:      r.NewCounter("snowwhite_request_timeouts_total", "Predict requests that exceeded the request timeout."),
+		predictions:   r.NewCounter("snowwhite_predictions_total", "Signature elements predicted (model inference runs)."),
+		cacheHits:     r.NewCounter("snowwhite_cache_hits_total", "Prediction cache hits."),
+		cacheMisses:   r.NewCounter("snowwhite_cache_misses_total", "Prediction cache misses."),
+		swaps:         r.NewCounter("snowwhite_model_hot_swaps_total", "Zero-downtime model hot swaps performed."),
+		persistErrors: r.NewCounter("snowwhite_cache_persist_errors_total", "Cache log appends that failed (cache degrades to in-memory)."),
+		inFlight:      r.NewGauge("snowwhite_in_flight_requests", "Predict requests currently being handled."),
+		cacheSize:     r.NewGauge("snowwhite_cache_entries", "Prediction cache occupancy."),
+		cacheLoaded:   r.NewGauge("snowwhite_cache_loaded_entries", "Cache entries replayed from the persistence log at startup."),
+		latency:       r.NewHistogram("snowwhite_request_seconds", "Predict request latency in seconds.", nil),
+		inference:     r.NewHistogram("snowwhite_inference_seconds", "Per-element beam-search latency in seconds (cache misses only).", nil),
+		batchSize:     r.NewHistogram("snowwhite_batch_size", "Queries coalesced per batched beam decode.", []float64{1, 2, 4, 8, 16, 32}),
+		batchWait:     r.NewHistogram("snowwhite_batch_queue_seconds", "Time a query waited on the batching queue before its decode started.", nil),
+		perModel:      map[string]*modelMetrics{},
 	}
 }
 
-// engine is one predictor with its dynamic batchers: the server runs a
-// full-precision engine always, plus an optional fast-math engine for
-// requests that opt in.
+// forModel returns (creating on first use) the labeled series for one
+// model name. Idempotent: a name re-registered after removal, or
+// hot-swapped, keeps its series.
+func (sm *serverMetrics) forModel(name string) *modelMetrics {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if pm, ok := sm.perModel[name]; ok {
+		return pm
+	}
+	l := metrics.Labels{"model": name}
+	pm := &modelMetrics{
+		requests:    sm.registry.NewCounterLabeled("snowwhite_model_requests_total", "Predict requests routed to a model.", l),
+		predictions: sm.registry.NewCounterLabeled("snowwhite_model_predictions_total", "Signature elements predicted by a model.", l),
+		cacheHits:   sm.registry.NewCounterLabeled("snowwhite_model_cache_hits_total", "Prediction cache hits for a model's entries.", l),
+		cacheMisses: sm.registry.NewCounterLabeled("snowwhite_model_cache_misses_total", "Prediction cache misses for a model's entries.", l),
+		inference:   sm.registry.NewHistogramLabeled("snowwhite_model_inference_seconds", "Per-element beam-search latency per model.", nil, l),
+		swaps:       sm.registry.NewCounterLabeled("snowwhite_model_swaps_total", "Hot swaps of a model name.", l),
+		version:     sm.registry.NewGaugeLabeled("snowwhite_model_version", "Currently served version ordinal of a model name.", l),
+	}
+	sm.perModel[name] = pm
+	return pm
+}
+
+// engine is one predictor with its dynamic batchers and content
+// fingerprint — the unit the cache namespaces entries by. Each registered
+// model runs a full-precision engine always, plus an optional fast-math
+// engine for requests that opt in.
 type engine struct {
 	pred *core.Predictor
+	// fp is the content hash of the predictor (core.FingerprintPredictor):
+	// the cache namespace its predictions live under, stable across
+	// restarts of the same weights.
+	fp [32]byte
 	// paramBatch/returnBatch coalesce concurrent queries per model; nil
 	// when batching is disabled or the model is absent.
 	paramBatch  *batcher
 	returnBatch *batcher
 }
 
-// Server serves type predictions from one loaded predictor.
+// Server serves type predictions from a registry of loaded predictors.
 type Server struct {
 	cfg   Config
 	cache *lruCache
+	clog  *cacheLog
 	met   *serverMetrics
 	mux   *http.ServeMux
 
@@ -163,18 +234,20 @@ type Server struct {
 	workerWG sync.WaitGroup
 	stopPool sync.Once
 
-	// full answers every request; fast answers fast=true requests and is
-	// nil when no fast-math predictor was configured.
-	full engine
-	fast *engine
+	reg         registry
+	persistOnce sync.Once // guards the shutdown snapshot+log close
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 }
 
-// newEngine wires one predictor with its batchers.
-func (s *Server) newEngine(pred *core.Predictor) engine {
-	e := engine{pred: pred}
+// newEngine wires one predictor with its fingerprint and batchers.
+func (s *Server) newEngine(pred *core.Predictor) (engine, error) {
+	fp, err := core.FingerprintPredictor(pred)
+	if err != nil {
+		return engine{}, fmt.Errorf("fingerprint: %w", err)
+	}
+	e := engine{pred: pred, fp: fp}
 	if s.cfg.BatchSize > 1 {
 		if pred.Param != nil {
 			e.paramBatch = newBatcher(pred.Param, s.cfg.BatchSize, s.cfg.BatchWait, s.cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
@@ -183,16 +256,21 @@ func (s *Server) newEngine(pred *core.Predictor) engine {
 			e.returnBatch = newBatcher(pred.Return, s.cfg.BatchSize, s.cfg.BatchWait, s.cfg.QueueDepth, s.met.batchSize, s.met.batchWait)
 		}
 	}
-	return e
+	return e, nil
 }
 
-// New builds a Server around a loaded predictor and starts its worker
-// pool. Callers must eventually call Shutdown (or Close) to stop the
-// workers.
+// New builds a Server around a loaded predictor — registered under
+// cfg.DefaultModel, with cfg.FastPred as its fast-math sibling — and
+// starts the worker pool. Further models can be added with RegisterModel
+// or LoadModel. Callers must eventually call Shutdown (or Close) to stop
+// the workers.
 func New(pred *core.Predictor, cfg Config) (*Server, error) {
-	if pred == nil || (pred.Param == nil && pred.Return == nil) {
-		return nil, errors.New("server: predictor has no models")
-	}
+	return NewWithSource(pred, cfg, ModelSource{})
+}
+
+// NewWithSource is New recording where the default model was loaded from,
+// so SIGHUP/admin reloads can re-read it from disk.
+func NewWithSource(pred *core.Predictor, cfg Config, src ModelSource) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -200,17 +278,30 @@ func New(pred *core.Predictor, cfg Config) (*Server, error) {
 		met:   newServerMetrics(),
 		jobs:  make(chan func(), cfg.QueueDepth),
 	}
+	s.reg.entries = map[string]*modelEntry{}
+	s.reg.defName = cfg.DefaultModel
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/models/{model}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("PUT /v1/models/{model}", s.handleModelPut)
+	s.mux.HandleFunc("DELETE /v1/models/{model}", s.handleModelDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.full = s.newEngine(pred)
-	if fp := cfg.FastPred; fp != nil {
-		if fp.Param == nil && fp.Return == nil {
-			return nil, errors.New("server: fast-math predictor has no models")
+	if cfg.CachePath != "" && s.cache != nil {
+		loaded, _, err := loadCacheFile(cfg.CachePath, s.cache)
+		if err != nil {
+			return nil, err
 		}
-		e := s.newEngine(fp)
-		s.fast = &e
+		s.met.cacheLoaded.Set(int64(loaded))
+		s.met.cacheSize.Set(int64(s.cache.len()))
+		if s.clog, err = openCacheLog(cfg.CachePath); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.RegisterModel(cfg.DefaultModel, pred, cfg.FastPred, src); err != nil {
+		s.clog.close()
+		return nil, err
 	}
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -261,6 +352,16 @@ func (s *Server) submit(ctx context.Context, fn func()) error {
 	}
 }
 
+// cachePut stores a decoded prediction and appends it to the persistence
+// log. Log I/O failures degrade to in-memory-only caching (counted, never
+// surfaced to the request).
+func (s *Server) cachePut(key cacheKey, preds []core.TypePrediction) {
+	s.cache.put(key, preds)
+	if err := s.clog.append(key, preds); err != nil {
+		s.met.persistErrors.Inc()
+	}
+}
+
 // elemQuery is one cache-missed signature element awaiting a decode.
 type elemQuery struct {
 	key  cacheKey
@@ -272,9 +373,10 @@ type elemQuery struct {
 // runQueries decodes a function's cache-missed queries against one
 // model. With batching enabled the queries join the model's dynamic
 // batcher, coalescing with concurrent requests into one batched beam
-// decode; otherwise they decode directly (still batched with each
-// other). Results land in out and the cache.
-func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, qs []elemQuery, out map[string][]core.TypePrediction) error {
+// decode; otherwise they decode directly (still batched with each other,
+// and checking ctx between decoder steps so an expired request stops
+// burning inference time mid-decode). Results land in out and the cache.
+func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, qs []elemQuery, out map[string][]core.TypePrediction, pm *modelMetrics) error {
 	if len(qs) == 0 {
 		return nil
 	}
@@ -293,7 +395,7 @@ func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, q
 	if b != nil {
 		preds, err = b.predictMany(ctx, srcs, ks)
 	} else {
-		preds = tr.PredictTyped(srcs, ks)
+		preds, err = tr.PredictTypedCtx(ctx, srcs, ks)
 	}
 	if err != nil {
 		return err
@@ -302,7 +404,9 @@ func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, q
 	for i, q := range qs {
 		s.met.inference.Observe(perElem)
 		s.met.predictions.Inc()
-		s.cache.put(q.key, preds[i])
+		pm.inference.Observe(perElem)
+		pm.predictions.Inc()
+		s.cachePut(q.key, preds[i])
 		out[q.name] = preds[i]
 	}
 	s.met.cacheSize.Set(int64(s.cache.len()))
@@ -314,10 +418,10 @@ func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, q
 // phases: consult the cache and extract inputs for every element first,
 // then decode all misses together (through the engine's dynamic batcher
 // when enabled, where they coalesce with other requests' queries into
-// one batched beam decode). fast marks the cache entries: the full and
-// fast-math models may rank types differently, so their predictions
-// never share a key.
-func (s *Server) predictFunc(ctx context.Context, e *engine, fast bool, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
+// one batched beam decode). Cache keys carry the engine's content
+// fingerprint plus the fast flag, so models, versions, and precision
+// modes never answer from each other's entries.
+func (s *Server) predictFunc(ctx context.Context, pm *modelMetrics, e *engine, fast bool, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
 	sig, err := m.FuncTypeAt(uint32(funcIdx + m.NumImportedFuncs()))
 	if err != nil {
 		return nil, 0, err
@@ -329,14 +433,16 @@ func (s *Server) predictFunc(ctx context.Context, e *engine, fast bool, m *wasm.
 	if e.pred.Param != nil {
 		for pi := range sig.Params {
 			name := fmt.Sprintf("param%d", pi)
-			key := cacheKey{fn: fnHash, elem: name, k: k, fast: fast}
+			key := cacheKey{model: e.fp, fn: fnHash, elem: name, k: k, fast: fast}
 			if preds, ok := s.cache.get(key); ok {
 				s.met.cacheHits.Inc()
+				pm.cacheHits.Inc()
 				out[name] = preds
 				hits++
 				continue
 			}
 			s.met.cacheMisses.Inc()
+			pm.cacheMisses.Inc()
 			src, err := e.pred.ParamInput(m, funcIdx, pi)
 			if err != nil {
 				return nil, hits, err
@@ -345,13 +451,15 @@ func (s *Server) predictFunc(ctx context.Context, e *engine, fast bool, m *wasm.
 		}
 	}
 	if len(sig.Results) > 0 && e.pred.Return != nil {
-		key := cacheKey{fn: fnHash, elem: "return", k: k, fast: fast}
+		key := cacheKey{model: e.fp, fn: fnHash, elem: "return", k: k, fast: fast}
 		if preds, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Inc()
+			pm.cacheHits.Inc()
 			out["return"] = preds
 			hits++
 		} else {
 			s.met.cacheMisses.Inc()
+			pm.cacheMisses.Inc()
 			src, err := e.pred.ReturnInput(m, funcIdx)
 			if err != nil {
 				return nil, hits, err
@@ -359,10 +467,10 @@ func (s *Server) predictFunc(ctx context.Context, e *engine, fast bool, m *wasm.
 			returnQs = append(returnQs, elemQuery{key: key, name: "return", src: src, k: k})
 		}
 	}
-	if err := s.runQueries(ctx, e.pred.Param, e.paramBatch, paramQs, out); err != nil {
+	if err := s.runQueries(ctx, e.pred.Param, e.paramBatch, paramQs, out, pm); err != nil {
 		return nil, hits, err
 	}
-	if err := s.runQueries(ctx, e.pred.Return, e.returnBatch, returnQs, out); err != nil {
+	if err := s.runQueries(ctx, e.pred.Return, e.returnBatch, returnQs, out, pm); err != nil {
 		return nil, hits, err
 	}
 	return out, hits, nil
@@ -384,9 +492,10 @@ func (s *Server) ListenAndServe() error {
 
 // Shutdown gracefully stops the service: it stops accepting connections,
 // waits (up to ctx) for in-flight requests to finish, drains and stops
-// the worker pool, and only then stops the batching dispatchers — the
-// workers are the batchers' only producers, so every coalesced query
-// still in flight completes before its dispatcher exits.
+// the worker pool, then drains every registered engine set (stopping its
+// batching dispatchers — the workers are the batchers' only producers, so
+// every coalesced query still in flight completes first), and finally
+// compacts the prediction cache to its on-disk snapshot.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.httpMu.Lock()
@@ -399,18 +508,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.jobs)
 	})
 	s.workerWG.Wait()
-	engines := []*engine{&s.full}
-	if s.fast != nil {
-		engines = append(engines, s.fast)
-	}
-	for _, e := range engines {
-		if e.paramBatch != nil {
-			e.paramBatch.close()
-		}
-		if e.returnBatch != nil {
-			e.returnBatch.close()
+	for _, name := range s.reg.names() {
+		if e := s.reg.lookup(name); e != nil {
+			if es := e.cur.Load(); es != nil {
+				es.drain()
+			}
 		}
 	}
+	s.persistOnce.Do(func() {
+		if cerr := s.clog.close(); err == nil {
+			err = cerr
+		}
+		if s.cfg.CachePath != "" && s.cache != nil {
+			if _, serr := snapshotTo(s.cfg.CachePath, s.cache); err == nil {
+				err = serr
+			}
+		}
+	})
 	return err
 }
 

@@ -64,6 +64,47 @@ echo "== predict + eval + serving benchmarks (BENCH_predict.json) =="
 	go test -run '^$' -bench 'BenchmarkEvalThroughput|BenchmarkServerPredictConcurrent' -timeout 30m .
 } | tee /dev/stderr | to_json >BENCH_predict.json
 
+echo "== serve load: cold vs warm persistent cache (BENCH_predict.json \"serve\" key) =="
+# End-to-end serving latency under open-loop load, measured twice over
+# the same persistent cache file: a cold start (empty cache; the sweep's
+# first decodes pay full inference) and a warm restart (the compacted
+# snapshot replays, so the same requests answer from cache). The cold vs
+# warm p50/p99 gap and the warm hit rate land in BENCH_predict.json next
+# to the microbenchmarks.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+go build -o "$tmp/snowwhite" ./cmd/snowwhite
+"$tmp/snowwhite" train -packages 6 -epochs 1 -seed 1 -j 2 -checkpoint none \
+	-out "$tmp/model.bin" 2>/dev/null
+serve_addr=127.0.0.1:18652
+bench_wasm=internal/ingest/testdata/math_debug.wasm
+start_serve() {
+	"$tmp/snowwhite" serve -model "$tmp/model.bin" -addr "$serve_addr" \
+		-cache-file "$tmp/cache.jsonl" 2>>"$tmp/serve.log" &
+	serve_pid=$!
+	i=0
+	until "$tmp/snowwhite" bench-serve -addr "$serve_addr" -ready >/dev/null 2>&1; do
+		i=$((i+1))
+		[ "$i" -lt 150 ] || { echo "serve did not become ready"; cat "$tmp/serve.log"; exit 1; }
+		sleep 0.2
+	done
+}
+stop_serve() {
+	kill -TERM "$serve_pid"
+	wait "$serve_pid" || true
+	serve_pid=
+}
+start_serve
+"$tmp/snowwhite" bench-serve -addr "$serve_addr" -file "$bench_wasm" \
+	-label cold -sweep "5,20" -duration 5s -max-failures 0 \
+	-merge-into BENCH_predict.json >/dev/null
+stop_serve # graceful stop compacts the cache snapshot
+start_serve # warm start replays it
+"$tmp/snowwhite" bench-serve -addr "$serve_addr" -file "$bench_wasm" \
+	-label warm -sweep "5,20" -duration 5s -max-failures 0 \
+	-merge-into BENCH_predict.json >/dev/null
+stop_serve
+
 echo "== inference fast-math benchmarks (BENCH_infer.json) =="
 {
 	go test -run '^$' -bench 'BenchmarkFastKernels' ./internal/ad

@@ -60,4 +60,51 @@ echo "== accuracy budget (quantized fast-math vs full precision, top-3 >= 99%) =
 	-dir internal/ingest/testdata -k 3 -budget 0.99 >"$tmp/acctest.json" 2>/dev/null
 "$tmp/snowwhite" acctest -model "$tmp/model.bin" -quantize f32 \
 	-dir internal/ingest/testdata -k 3 -budget 0.99 >/dev/null 2>&1
+echo "== cache snapshot round-trip determinism (-count=2 to vary scheduling) =="
+go test -race -count=2 -run 'TestCacheSnapshotRoundTripDeterminism|TestLRUEntriesOrder|TestCacheLogTornTail' \
+	./internal/server
+echo "== bench-serve smoke: zero failed requests across a SIGHUP hot swap =="
+# Reuses the tiny model trained above: start the server with a persistent
+# cache, drive it open-loop at low QPS, hot-swap the model with SIGHUP
+# mid-run, and require zero failed requests (the zero-downtime gate).
+# After a graceful stop the compacted cache must replay: a second server
+# over the same file, stopped untouched, must re-emit a byte-identical
+# snapshot (CLI-level persistence determinism).
+trap 'rm -rf "$tmp"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+serve_addr=127.0.0.1:18653
+bench_wasm=internal/ingest/testdata/math_debug.wasm
+wait_ready() {
+	# -ready probes /healthz only: it must not touch the prediction cache,
+	# or the untouched-restart snapshot comparison below would see a
+	# reordered LRU.
+	i=0
+	until "$tmp/snowwhite" bench-serve -addr "$serve_addr" -ready >/dev/null 2>&1; do
+		i=$((i+1))
+		[ "$i" -lt 150 ] || { echo "serve did not become ready"; cat "$tmp/serve.log" 2>/dev/null || true; exit 1; }
+		sleep 0.2
+	done
+}
+"$tmp/snowwhite" serve -model "$tmp/model.bin" -addr "$serve_addr" \
+	-cache-file "$tmp/serve-cache.jsonl" 2>"$tmp/serve.log" &
+serve_pid=$!
+wait_ready
+"$tmp/snowwhite" bench-serve -addr "$serve_addr" -file "$bench_wasm" \
+	-qps 4 -duration 6s -max-failures 0 >/dev/null &
+bench_pid=$!
+sleep 2
+kill -HUP "$serve_pid"
+wait "$bench_pid"
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+serve_pid=
+[ -s "$tmp/serve-cache.jsonl" ] || { echo "no cache snapshot written"; exit 1; }
+cp "$tmp/serve-cache.jsonl" "$tmp/serve-cache.before"
+"$tmp/snowwhite" serve -model "$tmp/model.bin" -addr "$serve_addr" \
+	-cache-file "$tmp/serve-cache.jsonl" 2>>"$tmp/serve.log" &
+serve_pid=$!
+wait_ready
+kill -TERM "$serve_pid"
+wait "$serve_pid" || true
+serve_pid=
+cmp "$tmp/serve-cache.before" "$tmp/serve-cache.jsonl"
 echo "verify: OK"
