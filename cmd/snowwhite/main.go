@@ -7,12 +7,16 @@
 //
 //	snowwhite stats   [-packages N] [-j N]               dataset stats + Tables 2-4
 //	snowwhite eval    [-packages N] [-epochs N] [-task T] Table 5 / Figure 4
-//	snowwhite train   [-packages N] [-j N] [-checkpoint F] -out model.bin
+//	snowwhite train   [-packages N] [-j N] [-encoder bilstm|transformer] [-checkpoint F] -out model.bin
 //
 // The -j flag bounds the worker pools of the dataset pipeline, training
 // shards, validation scoring, and test-set evaluation (0 = NumCPU); any
 // worker count produces byte-identical datasets, trained weights, losses,
-// and predictions. `snowwhite train`
+// and predictions. -encoder selects the model architecture for newly
+// trained models (bilstm, the paper's, is the default; transformer is the
+// self-attention alternative behind the same interface) — saved models
+// record their architecture, so the flag is never needed at load time.
+// `snowwhite train`
 // writes a checkpoint after every epoch (default <out>.ckpt) and, when
 // re-launched with the same flags, resumes from it instead of starting
 // over; the file is removed once the model is saved.
@@ -93,6 +97,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/quant"
+	"repro/internal/seq2seq"
 	"repro/internal/server"
 	"repro/internal/typelang"
 	"repro/internal/wasm"
@@ -146,6 +151,7 @@ type commonOpts struct {
 	seed     *int64
 	testFrac *float64
 	jobs     *int
+	encoder  *string
 }
 
 func commonFlags(fs *flag.FlagSet) commonOpts {
@@ -155,6 +161,7 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		seed:     fs.Int64("seed", 1, "corpus seed"),
 		testFrac: fs.Float64("testfrac", 0.02, "validation/test package fraction (paper: 0.02)"),
 		jobs:     fs.Int("j", 0, "worker pool size for the dataset pipeline, training, and evaluation (0 = NumCPU); any value produces byte-identical output"),
+		encoder:  fs.String("encoder", "bilstm", "encoder architecture for newly trained models: bilstm (the paper's) or transformer; saved models carry their own"),
 	}
 }
 
@@ -166,6 +173,12 @@ func (o commonOpts) config() core.Config {
 	cfg.Split.Valid = *o.testFrac
 	cfg.Split.Test = *o.testFrac
 	cfg.Parallelism = *o.jobs
+	enc, err := seq2seq.ParseEncoder(*o.encoder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snowwhite:", err)
+		os.Exit(2)
+	}
+	cfg.Model.Encoder = enc
 	return cfg
 }
 

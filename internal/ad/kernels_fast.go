@@ -307,3 +307,34 @@ func weightedSumFast(out, alpha, enc []float64, B, T, H int) {
 		}
 	}
 }
+
+// attnScoresGroupedFast fills out [L,T] with scores[l,t] =
+// dec[l] · enc[groups[l]*T+t]: the fast-math sibling of the grouped
+// scalar loop in Tape.AttnScoresGrouped. Per (row, position) it runs the
+// exact dotFast arithmetic of attnScoresFast — the block indirection
+// changes which rows are read, never how a dot accumulates — so a
+// grouped fast decode is bitwise equal to a tiled fast decode.
+func attnScoresGroupedFast(out, dec, enc []float64, groups []int, T, H int) {
+	for l, g := range groups {
+		dl := dec[l*H : (l+1)*H]
+		ob := out[l*T : (l+1)*T]
+		eb := enc[g*T*H : (g+1)*T*H]
+		for tt := 0; tt < T; tt++ {
+			ob[tt] = dotFast(dl, eb[tt*H:(tt+1)*H])
+		}
+	}
+}
+
+// weightedSumGroupedFast fills out [L,H] with ctx[l] = sum_t alpha[l,t]
+// * enc[groups[l]*T+t]: the fast-math sibling of the grouped scalar loop
+// in Tape.WeightedSumGrouped — fused axpy per block row, no skip-zero
+// test, matching weightedSumFast per row bitwise.
+func weightedSumGroupedFast(out, alpha, enc []float64, groups []int, T, H int) {
+	for l, g := range groups {
+		ob := out[l*H : (l+1)*H : (l+1)*H]
+		eb := enc[g*T*H : (g+1)*T*H]
+		for tt := 0; tt < T; tt++ {
+			fmaAxpy(ob, eb[tt*H:(tt+1)*H], alpha[l*T+tt])
+		}
+	}
+}

@@ -58,7 +58,7 @@ func TestGatherRowBlocks(t *testing.T) {
 		got.G[i] = 1
 	}
 	tape.Backward()
-	for k := 0; k < 2 * a.C; k++ {
+	for k := 0; k < 2*a.C; k++ {
 		if a.G[1*2*a.C+k] != 2 { // block 1 tiled twice
 			t.Errorf("a.G block 1 elem %d = %v, want 2", k, a.G[1*2*a.C+k])
 		}

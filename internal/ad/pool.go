@@ -10,16 +10,28 @@ package ad
 // (Model.Predict and the parallel evaluators do this internally).
 type Pool struct {
 	free map[int][]*V
+	// maxElems is the element count of the largest buffer ever drawn
+	// from this pool — the high-water mark of the working set. Tests use
+	// it to pin memory-footprint properties (e.g. that beam decoding's
+	// attention working set is independent of beam width).
+	maxElems int
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{free: map[int][]*V{}} }
+
+// MaxBufferElems returns the element count of the largest single buffer
+// drawn from the pool since creation (recycled or fresh).
+func (p *Pool) MaxBufferElems() int { return p.maxElems }
 
 // get returns a zeroed [r,c] value, reusing released storage of the same
 // element count when available. Values from get carry no gradient
 // storage; forward tapes, which never run Backward, use them directly.
 func (p *Pool) get(r, c int) *V {
 	n := r * c
+	if n > p.maxElems {
+		p.maxElems = n
+	}
 	if v := p.take(n); v != nil {
 		v.R, v.C = r, c
 		return v
@@ -32,6 +44,9 @@ func (p *Pool) get(r, c int) *V {
 // tape gains its gradient slice here; the pool is shared either way.
 func (p *Pool) getGrad(r, c int) *V {
 	n := r * c
+	if n > p.maxElems {
+		p.maxElems = n
+	}
 	v := p.take(n)
 	if v == nil {
 		return New(r, c)

@@ -34,6 +34,10 @@ func (p *Params) Add(name string, v *ad.V) *ad.V {
 // All returns the registered parameters.
 func (p *Params) All() []*ad.V { return p.vals }
 
+// Names returns the registered parameter names in registration order —
+// the order that also fixes the serialized weight layout.
+func (p *Params) Names() []string { return append([]string(nil), p.names...) }
+
 // Count returns the total number of scalar parameters.
 func (p *Params) Count() int {
 	n := 0

@@ -217,15 +217,18 @@ type mbeam struct {
 // one tape, advancing every live hypothesis of every search in a single
 // batched decode step per token.
 //
-// Layout: each search encodes alone (batch size 1, the sequential
-// decoder's exact arithmetic); the per-search encoder outputs are packed
-// into one [S*Tmax, H] block matrix, zero-padded past each search's real
-// length with the padding masked out of attention. Each step gathers the
-// live hypotheses' decoder states into a [L, H] batch (nn.GatherState),
-// tiles each row's search-encoder block alongside it (GatherRowBlocks,
-// cached while the row→search mapping is stable), decodes once, and
-// scores all rows with one LogSoftmaxRows. Every op involved is row-wise
-// independent with fixed ascending-index accumulation, so each
+// Layout: the group encodes as one PAD-padded batch into an [S*Tmax, H]
+// block matrix, zero-padded past each search's real length with the
+// padding masked out of attention. That matrix and its mask are the
+// per-search attention operands, cached once at encode time
+// (encoded.operands) and read in place by every decode step. Each step
+// gathers the live hypotheses' decoder states into a [L, H] batch
+// (nn.GatherState) and decodes once with the grouped attention ops
+// (decodeStepGrouped): row l attends over shared block rowSearch[l]
+// directly — no per-hypothesis tiled copy, so attention memory traffic
+// per step is one [Tmax,H] block per search regardless of beam width —
+// then scores all rows with one LogSoftmaxRows. Every op involved is
+// row-wise independent with fixed ascending-index accumulation, so each
 // hypothesis's numbers are bit-identical to decoding it alone — batching
 // changes the GEMM shape, not the results (TestPredictBatchedMatchesSequential).
 //
@@ -263,11 +266,10 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int, stop fu
 		padded[si] = pad(ids, Tmax)
 	}
 	enc := m.encode(tape, padded, false)
-	encAll := enc.states // [S*Tmax, H], search-major
-	maskAll := enc.mask
+	ops := enc.operands()                    // [S*Tmax, H] shared blocks + mask
 	stateH, stateC := enc.init.H, enc.init.C // [S, H]
-	// The packed encoder matrix feeds attention tiles at every step:
-	// exempt it (and everything before it) from the per-step release
+	// The cached attention operands feed every decode step in place:
+	// exempt them (and everything before them) from the per-step release
 	// cycle.
 	tape.Keep()
 
@@ -291,9 +293,6 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int, stop fu
 		prev      []int
 		gatherIdx []int
 		rowSearch []int // owning search of each live row
-		tileFor   []int // rowSearch the cached encoder tile was built for
-		encTile   *ad.V
-		tileMask  []float64
 		cbuf      []cand
 		sbuf      []scoredTok
 	)
@@ -320,17 +319,7 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int, stop fu
 			break
 		}
 		st := nn.GatherState(tape, nn.State{H: stateH, C: stateC}, gatherIdx)
-		if encTile == nil || !equalInts(tileFor, rowSearch) {
-			// The tile broadcasts each search's encoder block to its live
-			// rows; it only changes when beams stop, so most steps reuse it.
-			tileFor = append(tileFor[:0], rowSearch...)
-			encTile = tape.GatherRowBlocks(encAll, rowSearch, Tmax)
-			tileMask = tileMask[:0]
-			for _, si := range rowSearch {
-				tileMask = append(tileMask, maskAll[si*Tmax:(si+1)*Tmax]...)
-			}
-		}
-		newState, logits := m.decodeStepOn(tape, encTile, tileMask, Tmax, st, prev, false)
+		newState, logits := m.decodeStepGrouped(tape, ops, rowSearch, st, prev)
 		lps := tape.LogSoftmaxRows(logits)
 
 		for si := range searches {
@@ -376,8 +365,8 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int, stop fu
 		}
 		stateH, stateC = newState.H, newState.C
 		// Recycle everything this step allocated except the surviving
-		// state batch and the cached encoder tile.
-		tape.ReleaseExcept(stateH, stateC, encTile)
+		// state batch; the attention operands live above the Keep mark.
+		tape.ReleaseExcept(stateH, stateC)
 	}
 
 	out := make([][]Prediction, S)
@@ -395,18 +384,6 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int, stop fu
 		out[si] = preds
 	}
 	return out, nil
-}
-
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // predictSequential is the pre-batching decoder, retained as the

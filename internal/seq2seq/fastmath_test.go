@@ -13,6 +13,19 @@ import (
 // predictions bit-for-bit.
 func TestPredictFastMathDeterministic(t *testing.T) {
 	m, srcs := benchGroup(8)
+	testPredictFastMathDeterministic(t, m, srcs)
+}
+
+// TestPredictFastMathDeterministicTransformer: the Transformer rides
+// the same forward-only fast tapes through the encoder interface, so it
+// owes the same contract — exact repeatability under fast-math, and a
+// bit-exact return to full precision when it is switched off.
+func TestPredictFastMathDeterministicTransformer(t *testing.T) {
+	m, srcs := benchGroupEncoder(8, EncoderTransformer)
+	testPredictFastMathDeterministic(t, m, srcs)
+}
+
+func testPredictFastMathDeterministic(t *testing.T, m *Model, srcs [][]string) {
 	ks := make([]int, len(srcs))
 	for i := range ks {
 		ks[i] = 3
@@ -41,6 +54,31 @@ func TestPredictFastMathDeterministic(t *testing.T) {
 	again := m.PredictMulti(srcs, ks)
 	if !reflect.DeepEqual(full, again) {
 		t.Error("full-precision predictions changed after a fast-math episode")
+	}
+}
+
+// BenchmarkPredictTransformer measures batched beam decoding behind the
+// Transformer encoder, full-precision and fast-math, on the same ragged
+// sources as BenchmarkPredict — the decode half of the
+// BiLSTM-vs-Transformer throughput comparison in EXPERIMENTS.md.
+func BenchmarkPredictTransformer(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"full", false}, {"fast", true}} {
+		b.Run(fmt.Sprintf("%s/maxLen=16", mode.name), func(b *testing.B) {
+			m, srcs := benchGroupEncoder(16, EncoderTransformer)
+			m.SetFastMath(mode.fast)
+			m.PredictBatch(srcs, 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(srcs, 5)
+			}
+			b.StopTimer()
+			perSearch := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(srcs))
+			b.ReportMetric(perSearch, "ns/search")
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ package seq2seq
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/ad"
@@ -161,17 +162,12 @@ type Model struct {
 	params  nn.Params
 	embSrc  *nn.Embedding
 	embTgt  *nn.Embedding
-	encFwd  []*nn.LSTM
-	encBwd  []*nn.LSTM
+	enc     encoder // architecture selected by Cfg.Encoder
 	bridgeH *nn.Linear
 	bridgeC *nn.Linear
 	dec     *nn.LSTM
 	combine *nn.Linear
 	out     *nn.Linear
-
-	// Transformer-encoder parameters (only when Cfg.Encoder selects it).
-	tfProj   *nn.Linear
-	tfLayers []*tfLayer
 
 	rng *rand.Rand
 
@@ -223,22 +219,12 @@ func (m *Model) putPool(p *ad.Pool) { m.pools.Put(p) }
 func NewModel(cfg Config, src, tgt *Vocab) *Model {
 	r := rand.New(rand.NewSource(cfg.Seed))
 	m := &Model{Cfg: cfg, Src: src, Tgt: tgt, rng: r}
-	half := cfg.Hidden / 2
 	m.embSrc = nn.NewEmbedding(&m.params, "emb.src", r, src.Size(), cfg.Embed)
 	m.embTgt = nn.NewEmbedding(&m.params, "emb.tgt", r, tgt.Size(), cfg.Embed)
-	if cfg.Encoder == EncoderTransformer {
-		m.tfProj = nn.NewLinear(&m.params, "tf.proj", r, cfg.Embed, cfg.Hidden)
-		for l := 0; l < cfg.EncLayers; l++ {
-			m.tfLayers = append(m.tfLayers, newTFLayer(&m.params, name("tf.layer", l), r, cfg.Hidden))
-		}
-	} else {
-		in := cfg.Embed
-		for l := 0; l < cfg.EncLayers; l++ {
-			m.encFwd = append(m.encFwd, nn.NewLSTM(&m.params, name("enc.fwd", l), r, in, half))
-			m.encBwd = append(m.encBwd, nn.NewLSTM(&m.params, name("enc.bwd", l), r, in, half))
-			in = cfg.Hidden // next layer consumes concatenated directions
-		}
-	}
+	// Encoder parameters register here, between the embeddings and the
+	// bridge — the same slot the pre-interface dispatch used — so each
+	// architecture's serialized weight order is unchanged.
+	m.enc = newEncoder(&m.params, r, cfg)
 	m.bridgeH = nn.NewLinear(&m.params, "bridge.h", r, cfg.Hidden, cfg.Hidden)
 	m.bridgeC = nn.NewLinear(&m.params, "bridge.c", r, cfg.Hidden, cfg.Hidden)
 	m.dec = nn.NewLSTM(&m.params, "dec", r, cfg.Embed, cfg.Hidden)
@@ -248,7 +234,7 @@ func NewModel(cfg Config, src, tgt *Vocab) *Model {
 }
 
 func name(prefix string, l int) string {
-	return prefix + string(rune('0'+l))
+	return prefix + strconv.Itoa(l)
 }
 
 // NumParams returns the number of scalar parameters.
@@ -265,76 +251,30 @@ type encoded struct {
 	T    int
 }
 
+// attnOps is the decoder's per-search attention operand cache: the
+// shared key/value blocks and mask a whole beam search attends over,
+// computed once at encode time and read in place by every decode step —
+// the LSTM+dot-attention analogue of a KV cache. With Luong dot
+// attention the keys and values are both the raw encoder states; an
+// encoder that projects separate keys/values (a cross-attention
+// Transformer decoder) would fill them here, once, instead of per step.
+type attnOps struct {
+	// keys is [S*T, H]: S consecutive [T,H] blocks, one per search.
+	keys *ad.V
+	// mask is [S*T] with 1 for real source positions.
+	mask []float64
+	T    int
+}
+
+// operands returns the attention operands cached in the encoder output.
+func (e encoded) operands() attnOps {
+	return attnOps{keys: e.states, mask: e.mask, T: e.T}
+}
+
 // encode runs the configured encoder over a padded batch.
 // srcIDs is [B][T] (padded with PAD); train enables dropout.
 func (m *Model) encode(t *ad.Tape, srcIDs [][]int, train bool) encoded {
-	if m.Cfg.Encoder == EncoderTransformer {
-		return m.encodeTransformer(t, srcIDs, train)
-	}
-	return m.encodeBiLSTM(t, srcIDs, train)
-}
-
-// encodeBiLSTM is the paper's 2-layer bidirectional LSTM encoder.
-func (m *Model) encodeBiLSTM(t *ad.Tape, srcIDs [][]int, train bool) encoded {
-	B := len(srcIDs)
-	T := len(srcIDs[0])
-	// Per-timestep masks.
-	masks := make([][]float64, T)
-	flat := make([]float64, B*T)
-	for tt := 0; tt < T; tt++ {
-		masks[tt] = make([]float64, B)
-		for b := 0; b < B; b++ {
-			if srcIDs[b][tt] != PAD {
-				masks[tt][b] = 1
-				flat[b*T+tt] = 1
-			}
-		}
-	}
-	// Layer-0 inputs: embeddings per timestep.
-	inputs := make([]*ad.V, T)
-	for tt := 0; tt < T; tt++ {
-		ids := make([]int, B)
-		for b := 0; b < B; b++ {
-			ids[b] = srcIDs[b][tt]
-		}
-		inputs[tt] = m.embSrc.Lookup(t, ids)
-	}
-
-	var finalFwd, finalBwd nn.State
-	for l := 0; l < m.Cfg.EncLayers; l++ {
-		fwdOut := make([]*ad.V, T)
-		bwdOut := make([]*ad.V, T)
-		sf := m.encFwd[l].ZeroState(B)
-		for tt := 0; tt < T; tt++ {
-			sf = m.encFwd[l].StepMasked(t, inputs[tt], sf, masks[tt])
-			fwdOut[tt] = sf.H
-		}
-		sb := m.encBwd[l].ZeroState(B)
-		for tt := T - 1; tt >= 0; tt-- {
-			sb = m.encBwd[l].StepMasked(t, inputs[tt], sb, masks[tt])
-			bwdOut[tt] = sb.H
-		}
-		next := make([]*ad.V, T)
-		for tt := 0; tt < T; tt++ {
-			h := t.ConcatCols(fwdOut[tt], bwdOut[tt])
-			if train && m.Cfg.Dropout > 0 {
-				h = t.Dropout(h, m.Cfg.Dropout, m.rng.Float64)
-			}
-			next[tt] = h
-		}
-		inputs = next
-		finalFwd, finalBwd = sf, sb
-	}
-	stack := t.StackRows(inputs) // [B*T, H]
-
-	// Bridge the final states into the decoder's initial state.
-	hCat := t.ConcatCols(finalFwd.H, finalBwd.H)
-	cCat := t.ConcatCols(finalFwd.C, finalBwd.C)
-	init := nn.State{
-		H: t.Tanh(m.bridgeH.Apply(t, hCat)),
-		C: t.Tanh(m.bridgeC.Apply(t, cCat)),
-	}
-	return encoded{states: stack, mask: flat, init: init, T: T}
+	return m.enc.encode(m, t, srcIDs, train)
 }
 
 // decodeStep advances the decoder one step: prev token ids -> logits.
@@ -344,13 +284,12 @@ func (m *Model) decodeStep(t *ad.Tape, enc encoded, s nn.State, prev []int, trai
 
 // decodeStepOn is decodeStep against an explicit encoder layout:
 // encStates is [B*T, H] row-major by batch row then time, mask is [B*T]
-// with 1 for real source positions. Training passes one example per
-// batch row; batched beam search passes one live hypothesis per row,
-// with each hypothesis's row block holding (a tiled copy of) its
-// search's encoder states. Every op in the chain is row-wise
-// independent with a fixed ascending-index accumulation order, so a
-// row's outputs do not depend on what other rows share the batch — the
-// property the batched/sequential decoder equivalence rests on.
+// with 1 for real source positions, one example per batch row (training
+// and the sequential reference decoder; batched beam search uses
+// decodeStepGrouped). Every op in the chain is row-wise independent
+// with a fixed ascending-index accumulation order, so a row's outputs
+// do not depend on what other rows share the batch — the property the
+// batched/sequential decoder equivalence rests on.
 func (m *Model) decodeStepOn(t *ad.Tape, encStates *ad.V, mask []float64, T int, s nn.State, prev []int, train bool) (nn.State, *ad.V) {
 	x := m.embTgt.Lookup(t, prev)
 	s = m.dec.Step(t, x, s)
@@ -361,6 +300,26 @@ func (m *Model) decodeStepOn(t *ad.Tape, encStates *ad.V, mask []float64, T int,
 	if train && m.Cfg.Dropout > 0 {
 		hTilde = t.Dropout(hTilde, m.Cfg.Dropout, m.rng.Float64)
 	}
+	logits := m.out.Apply(t, hTilde)
+	return s, logits
+}
+
+// decodeStepGrouped is the batched beam decoder's step: row l of the
+// [L,H] hypothesis batch attends over the shared encoder block
+// groups[l] of the encode-time operand cache, read in place by the
+// grouped attention ops — no per-hypothesis tiled copy, so the
+// attention working set is one [T,H] block per search regardless of
+// beam width. Inference-only (no dropout). Per row the chain runs
+// decodeStepOn's exact arithmetic (the grouped ops pin this bitwise
+// against the tiled formulation), preserving the batched/sequential
+// decoder equivalence.
+func (m *Model) decodeStepGrouped(t *ad.Tape, ops attnOps, groups []int, s nn.State, prev []int) (nn.State, *ad.V) {
+	x := m.embTgt.Lookup(t, prev)
+	s = m.dec.Step(t, x, s)
+	scores := t.AttnScoresGrouped(s.H, ops.keys, groups, ops.T)
+	alpha := t.SoftmaxRowsMaskedGrouped(scores, ops.mask, groups)
+	ctx := t.WeightedSumGrouped(alpha, ops.keys, groups, m.Cfg.Hidden)
+	hTilde := t.Tanh(m.combine.Apply(t, t.ConcatCols(ctx, s.H)))
 	logits := m.out.Apply(t, hTilde)
 	return s, logits
 }

@@ -350,9 +350,14 @@ func benchSrc(r *rand.Rand, v *Vocab, n int) []string {
 // Untrained weights keep every beam alive to maxTgtLen, making the
 // decode work fixed across runs.
 func benchmarkModel(maxTgtLen int) (*Model, []string) {
+	return benchmarkModelEncoder(maxTgtLen, EncoderBiLSTM)
+}
+
+func benchmarkModelEncoder(maxTgtLen int, encoder string) (*Model, []string) {
 	r := rand.New(rand.NewSource(3))
 	cfg := DefaultConfig()
 	cfg.MaxTgtLen = maxTgtLen
+	cfg.Encoder = encoder
 	m := NewModel(cfg, benchVocab("ins", 500), benchVocab("ty", 400))
 	return m, benchSrc(r, m.Src, 60)
 }
@@ -362,7 +367,11 @@ func benchmarkModel(maxTgtLen int) (*Model, []string) {
 // model. Both the batched and sequential decoder benchmarks run exactly
 // these sources, so their ns/search numbers divide into a clean ratio.
 func benchGroup(maxTgtLen int) (*Model, [][]string) {
-	m, _ := benchmarkModel(maxTgtLen)
+	return benchGroupEncoder(maxTgtLen, EncoderBiLSTM)
+}
+
+func benchGroupEncoder(maxTgtLen int, encoder string) (*Model, [][]string) {
+	m, _ := benchmarkModelEncoder(maxTgtLen, encoder)
 	r := rand.New(rand.NewSource(7))
 	srcs := make([][]string, predictGroup)
 	for i := range srcs {
@@ -455,6 +464,44 @@ func BenchmarkPredictBatched(b *testing.B) {
 			b.StopTimer()
 			perSearch := float64(b.Elapsed().Nanoseconds()) / float64(b.N*group)
 			b.ReportMetric(perSearch, "ns/search")
+		})
+	}
+}
+
+// BenchmarkPredictSharedAttn sweeps beam width over the shared-encoder
+// attention decode path. Each hypothesis row attends over its search's
+// [Tmax,H] encoder block in place (decodeStepGrouped), so widening the
+// beam grows the decoder GEMMs but not attention's memory traffic; the
+// maxbuf-KiB metric reports the largest buffer the decode drew from its
+// pool. At narrow widths that is the shared encoder matrix (flat across
+// widths); at wide beams the decoder's own row-scaled matrices (logits,
+// gates) take over. The old tiled path instead drew one
+// [liveRows*Tmax,H] encoder copy per step — width times the shared
+// matrix — which dominated everything at every width.
+func BenchmarkPredictSharedAttn(b *testing.B) {
+	for _, width := range []int{5, 10, 20} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			m, srcs := benchGroup(16)
+			ks := make([]int, len(srcs))
+			for i := range ks {
+				ks[i] = width
+			}
+			pool := ad.NewPool()
+			run := func() {
+				if _, err := m.predictMultiOn(ad.NewForward(pool), srcs, ks, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			perSearch := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(srcs))
+			b.ReportMetric(perSearch, "ns/search")
+			b.ReportMetric(float64(pool.MaxBufferElems())*8/1024, "maxbuf-KiB")
 		})
 	}
 }

@@ -12,11 +12,11 @@ import (
 	"repro/internal/nn"
 )
 
-// fitGoldenRun trains a fresh model on fixed toy data at the given
-// worker count, checkpointing every epoch, and returns the final
-// weights plus the last checkpoint's serialized bytes and the per-epoch
-// progress lines.
-func fitGoldenRun(t *testing.T, par int) (weights [][]float64, ckpt []byte, lines []string) {
+// fitGoldenRun trains a fresh model of the given encoder architecture
+// on fixed toy data at the given worker count, checkpointing every
+// epoch, and returns the final weights plus the last checkpoint's
+// serialized bytes and the per-epoch progress lines.
+func fitGoldenRun(t *testing.T, par int, encoder string) (weights [][]float64, ckpt []byte, lines []string) {
 	t.Helper()
 	r := rand.New(rand.NewSource(44))
 	train := makeToyData(r, 90)
@@ -24,6 +24,7 @@ func fitGoldenRun(t *testing.T, par int) (weights [][]float64, ckpt []byte, line
 	cfg := testConfig()
 	cfg.Epochs = 3
 	cfg.Parallelism = par
+	cfg.Encoder = encoder
 
 	var srcSeqs, tgtSeqs [][]string
 	for _, p := range train {
@@ -55,9 +56,22 @@ func fitGoldenRun(t *testing.T, par int) (weights [][]float64, ckpt []byte, line
 // are position-seeded — so the final weights, every epoch's loss line,
 // and the checkpoint files must be byte-identical at -j 1, 4, and 8.
 func TestFitParallelGolden(t *testing.T) {
-	wantW, wantCkpt, wantLines := fitGoldenRun(t, 1)
+	testFitParallelGolden(t, EncoderBiLSTM)
+}
+
+// TestFitParallelGoldenTransformer: the same -j invariance for the
+// Transformer encoder. Nothing architecture-specific earns it — the
+// encoder interface draws dropout from the shard-seeded rng and every
+// op reduces in shard order — but the golden pin keeps it honest as the
+// architectures diverge.
+func TestFitParallelGoldenTransformer(t *testing.T) {
+	testFitParallelGolden(t, EncoderTransformer)
+}
+
+func testFitParallelGolden(t *testing.T, encoder string) {
+	wantW, wantCkpt, wantLines := fitGoldenRun(t, 1, encoder)
 	for _, par := range []int{4, 8} {
-		gotW, gotCkpt, gotLines := fitGoldenRun(t, par)
+		gotW, gotCkpt, gotLines := fitGoldenRun(t, par, encoder)
 		for pi := range wantW {
 			for i := range wantW[pi] {
 				if math.Float64bits(gotW[pi][i]) != math.Float64bits(wantW[pi][i]) {
@@ -85,12 +99,23 @@ func TestFitParallelGolden(t *testing.T) {
 // after two epochs and resumed under -j 4 lands on the same weights as
 // an uninterrupted -j 1 run.
 func TestFitParallelResumeMatchesUninterrupted(t *testing.T) {
+	testFitParallelResume(t, EncoderBiLSTM)
+}
+
+// TestFitTransformerResumeMatchesUninterrupted gives Transformer
+// checkpoints the same kill-and-resume guarantee.
+func TestFitTransformerResumeMatchesUninterrupted(t *testing.T) {
+	testFitParallelResume(t, EncoderTransformer)
+}
+
+func testFitParallelResume(t *testing.T, encoder string) {
 	r := rand.New(rand.NewSource(45))
 	train := makeToyData(r, 100)
 	valid := makeToyData(r, 25)
 	cfg := testConfig()
 	cfg.Epochs = 4
 	cfg.Parallelism = 1
+	cfg.Encoder = encoder
 
 	var srcSeqs, tgtSeqs [][]string
 	for _, p := range train {
@@ -208,10 +233,22 @@ func TestShardSeedDistinct(t *testing.T) {
 // land within noise of each other — the step arithmetic is identical
 // and only scheduling differs; the shard phase is the parallel fraction.
 func BenchmarkTrainStep(b *testing.B) {
+	benchTrainStep(b, EncoderBiLSTM)
+}
+
+// BenchmarkTrainStepTransformer is the same sharded step on the
+// Transformer encoder — the training half of the BiLSTM-vs-Transformer
+// throughput comparison in EXPERIMENTS.md.
+func BenchmarkTrainStepTransformer(b *testing.B) {
+	benchTrainStep(b, EncoderTransformer)
+}
+
+func benchTrainStep(b *testing.B, encoder string) {
 	r := rand.New(rand.NewSource(47))
 	data := makeToyData(r, 256)
 	cfg := DefaultConfig()
 	cfg.BatchSize = 32
+	cfg.Encoder = encoder
 	var srcSeqs, tgtSeqs [][]string
 	for _, p := range data {
 		srcSeqs = append(srcSeqs, p.Src)

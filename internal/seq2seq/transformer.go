@@ -8,15 +8,6 @@ import (
 	"repro/internal/nn"
 )
 
-// Encoder kinds. The paper's final model uses the bidirectional LSTM; the
-// Transformer is the alternative the authors "also explored ... but did
-// not find it improving accuracy" (Section 4.2), provided here for the
-// same comparison.
-const (
-	EncoderBiLSTM      = ""
-	EncoderTransformer = "transformer"
-)
-
 // tfLayer holds one Transformer encoder layer's parameters
 // (single-head self-attention + position-wise feed-forward, post-norm).
 type tfLayer struct {
@@ -61,9 +52,28 @@ func posEncoding(t, dim int) []float64 {
 	return out
 }
 
-// encodeTransformer is the Transformer counterpart of encode: it produces
-// the same `encoded` interface the attention decoder consumes.
-func (m *Model) encodeTransformer(t *ad.Tape, srcIDs [][]int, train bool) encoded {
+// transformerEncoder is the alternative architecture behind the encoder
+// interface: an input projection to Hidden plus EncLayers post-norm
+// self-attention layers. Its self-attention reuses the same masked
+// attention ops as the decoder, so it inherits their fast-math forward
+// kernels on inference tapes and their bitwise row independence on
+// recording tapes.
+type transformerEncoder struct {
+	proj   *nn.Linear
+	layers []*tfLayer
+}
+
+func newTransformerEncoder(p *nn.Params, r *rand.Rand, cfg Config) *transformerEncoder {
+	e := &transformerEncoder{
+		proj: nn.NewLinear(p, "tf.proj", r, cfg.Embed, cfg.Hidden),
+	}
+	for l := 0; l < cfg.EncLayers; l++ {
+		e.layers = append(e.layers, newTFLayer(p, name("tf.layer", l), r, cfg.Hidden))
+	}
+	return e
+}
+
+func (e *transformerEncoder) encode(m *Model, t *ad.Tape, srcIDs [][]int, train bool) encoded {
 	B := len(srcIDs)
 	T := len(srcIDs[0])
 	H := m.Cfg.Hidden
@@ -82,7 +92,7 @@ func (m *Model) encodeTransformer(t *ad.Tape, srcIDs [][]int, train bool) encode
 		for b := 0; b < B; b++ {
 			ids[b] = srcIDs[b][tt]
 		}
-		x := m.tfProj.Apply(t, m.embSrc.Lookup(t, ids))
+		x := e.proj.Apply(t, m.embSrc.Lookup(t, ids))
 		pe := posEncoding(tt, H)
 		full := make([]float64, B*H)
 		for b := 0; b < B; b++ {
@@ -92,7 +102,7 @@ func (m *Model) encodeTransformer(t *ad.Tape, srcIDs [][]int, train bool) encode
 	}
 
 	scale := 1 / math.Sqrt(float64(H))
-	for _, layer := range m.tfLayers {
+	for _, layer := range e.layers {
 		// Self-attention: stack keys and values once, query per position.
 		ks := make([]*ad.V, T)
 		vs := make([]*ad.V, T)

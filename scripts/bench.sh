@@ -4,13 +4,21 @@
 # benchmarks and records the parsed results as JSON at the repo root:
 #
 #   BENCH_train.json    BenchmarkMatmulKernels, BenchmarkBandKernel,
-#                       BenchmarkTrainStep
+#                       BenchmarkTrainStep{,Transformer}
 #   BENCH_predict.json  BenchmarkPredict{,Sequential,Batched},
 #                       BenchmarkEvalThroughput,
 #                       BenchmarkServerPredictConcurrent
 #   BENCH_infer.json    BenchmarkFastKernels (exact vs fast-math
 #                       NN/NT/TN), BenchmarkPredictFastMath (end-to-end
-#                       full vs fast-math beam decode)
+#                       full vs fast-math beam decode),
+#                       BenchmarkPredictSharedAttn (shared-encoder
+#                       attention working set across beam widths),
+#                       BenchmarkPredictTransformer (decode behind the
+#                       Transformer encoder)
+#   BENCH_encoders.md   BiLSTM vs Transformer trained with identical
+#                       flags/seed/budget: wall-clock training time and
+#                       external-eval accuracy (the EXPERIMENTS.md
+#                       architecture-comparison table)
 #
 # Usage: scripts/bench.sh
 #
@@ -105,10 +113,58 @@ start_serve # warm start replays it
 	-merge-into BENCH_predict.json >/dev/null
 stop_serve
 
-echo "== inference fast-math benchmarks (BENCH_infer.json) =="
+echo "== inference fast-math + shared-attention benchmarks (BENCH_infer.json) =="
 {
 	go test -run '^$' -bench 'BenchmarkFastKernels' ./internal/ad
-	go test -run '^$' -bench 'BenchmarkPredictFastMath' -timeout 30m ./internal/seq2seq
+	go test -run '^$' \
+		-bench 'BenchmarkPredictFastMath|BenchmarkPredictSharedAttn|BenchmarkPredictTransformer' \
+		-timeout 30m ./internal/seq2seq
 } | tee /dev/stderr | to_json >BENCH_infer.json
 
-echo "bench: wrote BENCH_train.json BENCH_predict.json BENCH_infer.json"
+echo "== encoder comparison: BiLSTM vs Transformer (BENCH_encoders.md) =="
+# The controlled accuracy-vs-throughput comparison: both architectures
+# trained on the same corpus with identical flags, seed, and epoch
+# budget, then scored on the checked-in external eval binaries. Training
+# time is wall clock (this box, one process); accuracy is the aggregate
+# eval block of `snowwhite ingest -eval`. The table lands in
+# BENCH_encoders.md, which EXPERIMENTS.md's architecture section quotes.
+eval_row() { # $1 = ingest -eval report; prints "n top1 top5 tps"
+	# The file's last eval block is the cross-binary aggregate.
+	awk -F': ' '
+		/"labeled_elements"/ { n = $2 + 0 }
+		/"top1"/ { t1 = $2 + 0 }
+		/"top5"/ { t5 = $2 + 0 }
+		/"tps"/  { tp = $2 + 0 }
+		END { printf "%d %.3f %.3f %.3f", n, t1, t5, tp }
+	' "$1"
+}
+train_one() { # $1 = encoder, $2 = model out; prints wall-clock seconds
+	t0=$(date +%s.%N)
+	"$tmp/snowwhite" train -packages "$SNOWWHITE_BENCH_PACKAGES" \
+		-epochs "$SNOWWHITE_BENCH_EPOCHS" -seed 1 -j 2 -encoder "$1" \
+		-checkpoint none -out "$2" 2>/dev/null
+	t1=$(date +%s.%N)
+	awk "BEGIN{printf \"%.1f\", $t1 - $t0}"
+}
+bi_secs=$(train_one bilstm "$tmp/cmp_bilstm.bin")
+tf_secs=$(train_one transformer "$tmp/cmp_transformer.bin")
+"$tmp/snowwhite" ingest -model "$tmp/cmp_bilstm.bin" -dir internal/ingest/testdata \
+	-eval -k 5 -j 2 -out "$tmp/cmp_bilstm.json" 2>/dev/null
+"$tmp/snowwhite" ingest -model "$tmp/cmp_transformer.bin" -dir internal/ingest/testdata \
+	-eval -k 5 -j 2 -out "$tmp/cmp_transformer.json" 2>/dev/null
+set -- $(eval_row "$tmp/cmp_bilstm.json")
+bi_n=$1 bi_t1=$2 bi_t5=$3 bi_tps=$4
+set -- $(eval_row "$tmp/cmp_transformer.json")
+tf_n=$1 tf_t1=$2 tf_t5=$3 tf_tps=$4
+{
+	echo "<!-- generated by scripts/bench.sh: encoder comparison at"
+	echo "     -packages $SNOWWHITE_BENCH_PACKAGES -epochs $SNOWWHITE_BENCH_EPOCHS -seed 1 -j 2,"
+	echo "     external eval on internal/ingest/testdata ($bi_n labeled elements) -->"
+	echo
+	echo "| encoder | train wall-clock | eval top-1 | eval top-5 | eval TPS |"
+	echo "|---|---|---|---|---|"
+	echo "| bilstm | ${bi_secs}s | $bi_t1 | $bi_t5 | $bi_tps |"
+	echo "| transformer | ${tf_secs}s | $tf_t1 | $tf_t5 | $tf_tps |"
+} | tee BENCH_encoders.md
+
+echo "bench: wrote BENCH_train.json BENCH_predict.json BENCH_infer.json BENCH_encoders.md"

@@ -5,6 +5,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted="$(gofmt -l cmd internal scripts examples *.go)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
 echo "== go vet =="
 go vet ./...
 echo "== go build =="
@@ -29,15 +36,18 @@ go test -race -count=2 -run 'TestBatcher|TestServerBatcherStress' ./internal/ser
 echo "== fuzz seed corpora (no mutation; smoke-checks the native targets) =="
 go test -run 'FuzzRead|FuzzDecode|FuzzRoundTrip|FuzzEncodeDecode|FuzzIngest' \
 	./internal/dwarf ./internal/wasm ./internal/leb128 ./internal/bpe ./internal/ingest
-echo "== ingest external eval (train tiny model, j1 == j4 == golden) =="
+echo "== ingest external eval (train tiny model, j1 == j4 == golden, both encoders) =="
 # End-to-end: train a small deterministic predictor, ingest the checked-in
 # real-binary set with embedded-DWARF scoring, and require byte-identical
 # reports at different worker counts AND against the golden file (training
-# and batched decoding are bitwise deterministic). Regenerate the golden
-# with the same train flags after intentional model/report changes:
+# and batched decoding are bitwise deterministic). The same gate runs for
+# a Transformer-encoder model against its own golden, so both
+# architectures' full train-to-report paths are pinned. Regenerate the
+# goldens with the same train flags after intentional model/report changes:
 #   snowwhite train -packages 6 -epochs 1 -seed 1 -j 2 -checkpoint none -out M
 #   snowwhite ingest -model M -dir internal/ingest/testdata -eval -k 5 -j 1 \
 #     -out internal/ingest/testdata/golden_eval.json
+# and with `train ... -encoder transformer` for golden_eval_transformer.json.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/snowwhite" ./cmd/snowwhite
@@ -49,6 +59,14 @@ go build -o "$tmp/snowwhite" ./cmd/snowwhite
 	-eval -k 5 -j 4 -out "$tmp/ingest_j4.json" 2>/dev/null
 cmp "$tmp/ingest_j1.json" "$tmp/ingest_j4.json"
 cmp "$tmp/ingest_j1.json" internal/ingest/testdata/golden_eval.json
+"$tmp/snowwhite" train -packages 6 -epochs 1 -seed 1 -j 2 -encoder transformer \
+	-checkpoint none -out "$tmp/model_tf.bin" 2>/dev/null
+"$tmp/snowwhite" ingest -model "$tmp/model_tf.bin" -dir internal/ingest/testdata \
+	-eval -k 5 -j 1 -out "$tmp/ingest_tf_j1.json" 2>/dev/null
+"$tmp/snowwhite" ingest -model "$tmp/model_tf.bin" -dir internal/ingest/testdata \
+	-eval -k 5 -j 4 -out "$tmp/ingest_tf_j4.json" 2>/dev/null
+cmp "$tmp/ingest_tf_j1.json" "$tmp/ingest_tf_j4.json"
+cmp "$tmp/ingest_tf_j1.json" internal/ingest/testdata/golden_eval_transformer.json
 echo "== accuracy budget (quantized fast-math vs full precision, top-3 >= 99%) =="
 # Reuses the tiny model trained above. The int8+fast-math candidate's
 # top-1 prediction must fall within the full-precision top-3 on at least
@@ -59,6 +77,11 @@ echo "== accuracy budget (quantized fast-math vs full precision, top-3 >= 99%) =
 "$tmp/snowwhite" acctest -model "$tmp/model.bin" -fast-model "$tmp/model.qbin" \
 	-dir internal/ingest/testdata -k 3 -budget 0.99 >"$tmp/acctest.json" 2>/dev/null
 "$tmp/snowwhite" acctest -model "$tmp/model.bin" -quantize f32 \
+	-dir internal/ingest/testdata -k 3 -budget 0.99 >/dev/null 2>&1
+# The Transformer model trained above owes the same budget: its fast-math
+# decode (grouped attention + FMA kernels through the encoder interface)
+# must agree with its own full-precision top-3 on >= 99% of elements.
+"$tmp/snowwhite" acctest -model "$tmp/model_tf.bin" -quantize f32 \
 	-dir internal/ingest/testdata -k 3 -budget 0.99 >/dev/null 2>&1
 echo "== cache snapshot round-trip determinism (-count=2 to vary scheduling) =="
 go test -race -count=2 -run 'TestCacheSnapshotRoundTripDeterminism|TestLRUEntriesOrder|TestCacheLogTornTail' \
