@@ -214,15 +214,21 @@ func runBenchServe(args []string) error {
 	funcSel := fs.String("func", "", "function selector forwarded to the server")
 	topK := fs.Int("k", 0, "beam width forwarded to the server (0 = server default)")
 	fast := fs.Bool("fast", false, "request the fast-math engine")
+	precision := fs.String("precision", "", "request a precision tier (f32 routes to the single-precision engine)")
 	model := fs.String("model", "", "route to a named registry model (default: the server's default model)")
 	qps := fs.Float64("qps", 20, "target arrival rate (open loop)")
 	duration := fs.Duration("duration", 10*time.Second, "measurement length per load point")
 	sweep := fs.String("sweep", "", "comma-separated QPS list for a saturation sweep (overrides -qps)")
 	label := fs.String("label", "", "tag for this run (e.g. cold, warm)")
 	maxFailures := fs.Int("max-failures", -1, "exit 1 if any load point fails more than this many requests (-1 disables)")
+	prof := profileFlags(fs)
 	mergePath := fs.String("merge-into", "", "merge results into this benchmark JSON file under the \"serve\" key")
 	ready := fs.Bool("ready", false, "probe GET /healthz and exit (0 = serving); runs no load and touches no cache entries")
 	fs.Parse(args)
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
 	if *ready {
 		resp, err := (&http.Client{Timeout: 5 * time.Second}).Get("http://" + *addr + "/healthz")
 		if err != nil {
@@ -258,6 +264,9 @@ func runBenchServe(args []string) error {
 	}
 	if *fast {
 		params = append(params, "fast=true")
+	}
+	if *precision != "" {
+		params = append(params, "precision="+*precision)
 	}
 	if len(params) > 0 {
 		path += "?" + strings.Join(params, "&")
@@ -315,5 +324,5 @@ func runBenchServe(args []string) error {
 	if tooManyFailures {
 		return fmt.Errorf("bench-serve: failed requests exceeded -max-failures %d", *maxFailures)
 	}
-	return nil
+	return stopProf()
 }

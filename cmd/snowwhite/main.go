@@ -6,7 +6,7 @@
 // Usage:
 //
 //	snowwhite stats   [-packages N] [-j N]               dataset stats + Tables 2-4
-//	snowwhite eval    [-packages N] [-epochs N] [-task T] Table 5 / Figure 4
+//	snowwhite eval    [-packages N] [-epochs N] [-task T] [-precision f64|f32] [-cpuprofile F] [-memprofile F] Table 5 / Figure 4
 //	snowwhite train   [-packages N] [-j N] [-encoder bilstm|transformer] [-checkpoint F] -out model.bin
 //
 // The -j flag bounds the worker pools of the dataset pipeline, training
@@ -22,11 +22,11 @@
 // over; the file is removed once the model is saved.
 //
 //	snowwhite predict {-model model.bin | -packages N} -file prog.c
-//	snowwhite ingest  {-model model.bin | -packages N} {-file bin.wasm | -dir DIR} [-eval] [-k N] [-j N] [-out report.json]
-//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D] [-fast-math] [-fast-model model.qbin] [-cache-file cache.jsonl] [-add-model name=path...]
+//	snowwhite ingest  {-model model.bin | -packages N} {-file bin.wasm | -dir DIR} [-eval] [-k N] [-j N] [-precision f64|f32] [-out report.json]
+//	snowwhite serve   {-model model.bin | -packages N} [-addr :8642] [-batch N] [-batch-wait D] [-fast-math] [-fast-model model.qbin] [-f32] [-f32-model model.qbin] [-pprof-addr :6060] [-cache-file cache.jsonl] [-add-model name=path...]
 //	snowwhite bench-serve -addr host:port -file bin.wasm [-qps N] [-duration D] [-sweep "10,50,100"] [-out BENCH_predict.json]
 //	snowwhite export  -model model.bin -out model.qbin [-quantize int8|f32]
-//	snowwhite acctest {-model model.bin | -packages N} -dir DIR [-quantize int8|f32] [-fast-model model.qbin] [-k N] [-budget 0.99]
+//	snowwhite acctest {-model model.bin | -packages N} -dir DIR [-quantize int8|f32] [-fast-model model.qbin] [-precision f64|f32] [-k N] [-budget 0.99]
 //	snowwhite table1                                      Table 1
 //
 // `snowwhite ingest` accepts arbitrary MVP wasm binaries — unknown and
@@ -48,7 +48,12 @@
 // (quantized weights + fused-rounding inference kernels) that answers
 // requests opting in with fast=true; the engine comes from -fast-model
 // when given, otherwise from an in-memory int8 quantization of the
-// primary model.
+// primary model. -f32 (or -f32-model) likewise serves a single-precision
+// engine — float32 weights, f32 tapes, and 8-lane kernels — to requests
+// opting in with precision=f32; its in-memory form is the f32
+// quantization of the primary model loaded straight into float32
+// storage, halving that engine's resident weights. -pprof-addr exposes
+// net/http/pprof on a separate listener (off by default).
 //
 // The server is a multi-model registry: -add-model registers further
 // models (POST /v1/models/{name}/predict routes to them; /v1/predict
@@ -83,9 +88,12 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	rpprof "runtime/pprof"
 	"sort"
 	"strings"
 	"syscall"
@@ -214,12 +222,89 @@ func runStats(args []string) error {
 	return nil
 }
 
+// profileOpts wires the shared -cpuprofile/-memprofile flags: CPU
+// profiling runs from start() to the returned stop; the heap profile is
+// written (after a GC, so it reflects live memory) when stop runs.
+type profileOpts struct {
+	cpu *string
+	mem *string
+}
+
+func profileFlags(fs *flag.FlagSet) profileOpts {
+	return profileOpts{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+func (o profileOpts) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *o.cpu != "" {
+		if cpuFile, err = os.Create(*o.cpu); err != nil {
+			return nil, err
+		}
+		if err := rpprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			rpprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			logLine("wrote CPU profile to " + *o.cpu)
+		}
+		if *o.mem != "" {
+			f, err := os.Create(*o.mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := rpprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			logLine("wrote heap profile to " + *o.mem)
+		}
+		return nil
+	}, nil
+}
+
+// applyPrecision pins a predictor's task models to the given inference
+// engine ("" keeps the default). Training is untouched: precision only
+// selects the forward-only tape Predict uses.
+func applyPrecision(p *core.Predictor, precision string) error {
+	if precision == "" {
+		return nil
+	}
+	for _, tr := range []*core.Trained{p.Param, p.Return} {
+		if tr == nil {
+			continue
+		}
+		if err := tr.Model.SetPrecision(precision); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func runEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	opts := commonFlags(fs)
 	taskFilter := fs.String("task", "", "substring filter on task names (e.g. \"Lsw / param\")")
 	fig4 := fs.Bool("fig4", false, "also print Figure 4 (accuracy by nesting depth)")
+	precision := fs.String("precision", "", "inference engine for test-set evaluation (f64 or f32; training always runs f64)")
+	prof := profileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
 	cfg := opts.config()
 	d, err := core.BuildDataset(cfg, logLine)
 	if err != nil {
@@ -232,7 +317,14 @@ func runEval(args []string) error {
 			continue
 		}
 		logLine("training " + task.Name())
-		res, _ := d.RunTask(task, logLine)
+		tr, err := d.TrainTask(task, nil, logLine)
+		if err != nil {
+			return err
+		}
+		if err := tr.Model.SetPrecision(*precision); err != nil {
+			return err
+		}
+		res := d.EvalTask(task, tr, nil)
 		results = append(results, res)
 		if task.Variant == typelang.VariantLSW && !task.AblateLowType {
 			if task.Return {
@@ -247,7 +339,7 @@ func runEval(args []string) error {
 	if *fig4 && lswParam != nil && lswReturn != nil {
 		fmt.Println(core.FormatFigure4(lswParam, lswReturn))
 	}
-	return nil
+	return stopProf()
 }
 
 // runTrain trains parameter and return models and saves them to a file.
@@ -373,6 +465,7 @@ func runIngest(args []string) error {
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
 	modelPath := fs.String("model", "", "load a saved predictor instead of training one")
 	printMetrics := fs.Bool("print-metrics", false, "dump ingest metrics in exposition format to stderr")
+	precision := fs.String("precision", "", "inference engine for predictions (f64 or f32)")
 	fs.Parse(args)
 	if (*file == "") == (*dir == "") {
 		return fmt.Errorf("ingest requires exactly one of -file or -dir")
@@ -380,6 +473,9 @@ func runIngest(args []string) error {
 
 	p, err := loadOrTrain(*modelPath, opts)
 	if err != nil {
+		return err
+	}
+	if err := applyPrecision(p, *precision); err != nil {
 		return err
 	}
 	reg := metrics.NewRegistry()
@@ -425,11 +521,11 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 // parseModelSpec parses one -add-model value:
-// name=path[,fast=quantized.qbin][,quantize=int8|f32].
+// name=path[,fast=quantized.qbin][,quantize=int8|f32][,f32=quantized.qbin][,f32-quantize=int8|f32].
 func parseModelSpec(spec string) (name string, src server.ModelSource, err error) {
 	eq := strings.IndexByte(spec, '=')
 	if eq <= 0 {
-		return "", src, fmt.Errorf("invalid -add-model %q (want name=path[,fast=F][,quantize=M])", spec)
+		return "", src, fmt.Errorf("invalid -add-model %q (want name=path[,fast=F][,quantize=M][,f32=F][,f32-quantize=M])", spec)
 	}
 	name = spec[:eq]
 	parts := strings.Split(spec[eq+1:], ",")
@@ -440,6 +536,10 @@ func parseModelSpec(spec string) (name string, src server.ModelSource, err error
 			src.FastPath = strings.TrimPrefix(p, "fast=")
 		case strings.HasPrefix(p, "quantize="):
 			src.Quantize = strings.TrimPrefix(p, "quantize=")
+		case strings.HasPrefix(p, "f32="):
+			src.F32Path = strings.TrimPrefix(p, "f32=")
+		case strings.HasPrefix(p, "f32-quantize="):
+			src.F32Quantize = strings.TrimPrefix(p, "f32-quantize=")
 		default:
 			return "", src, fmt.Errorf("invalid -add-model option %q in %q", p, spec)
 		}
@@ -471,6 +571,9 @@ func runServe(args []string) error {
 	fastMath := fs.Bool("fast-math", false, "also serve a fast-math engine for requests with fast=true")
 	fastModel := fs.String("fast-model", "", "quantized model file for the fast-math engine (default: in-memory int8 quantization of the primary model; implies -fast-math)")
 	quantize := fs.String("quantize", "int8", "quantization mode for the in-memory fast-math engine (int8 or f32)")
+	f32 := fs.Bool("f32", false, "also serve a single-precision engine for requests with precision=f32")
+	f32Model := fs.String("f32-model", "", "quantized model file for the f32 engine (default: in-memory f32 quantization of the primary model; implies -f32)")
+	pprofAddr := fs.String("pprof-addr", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	var addModels multiFlag
 	fs.Var(&addModels, "add-model", "register an extra model: name=path[,fast=F][,quantize=M] (repeatable)")
 	fs.Parse(args)
@@ -498,6 +601,36 @@ func runServe(args []string) error {
 		defSrc.Quantize = string(mode)
 		logLine(fmt.Sprintf("fast-math engine ready (in-memory %s quantization)", mode))
 	}
+	var f32Pred *core.Predictor
+	if *f32Model != "" {
+		if f32Pred, err = core.LoadQuantizedPredictorPrecision(*f32Model, "f32"); err != nil {
+			return err
+		}
+		defSrc.F32Path = *f32Model
+		logLine("loaded f32 predictor from " + *f32Model)
+	} else if *f32 {
+		if f32Pred, err = core.QuantizePredictorPrecision(p, quant.F32, "f32"); err != nil {
+			return err
+		}
+		defSrc.F32Quantize = string(quant.F32)
+		logLine("f32 engine ready (in-memory f32 quantization, float32-resident weights)")
+	}
+	if *pprofAddr != "" {
+		// pprof lives on its own mux and listener so profiling endpoints
+		// never share a port with the public API.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logLine(fmt.Sprintf("pprof listener failed: %v", err))
+			}
+		}()
+		logLine("pprof listening on " + *pprofAddr)
+	}
 	srv, err := server.NewWithSource(p, server.Config{
 		Addr:           *addr,
 		Workers:        *workers,
@@ -509,6 +642,7 @@ func runServe(args []string) error {
 		BatchWait:      *batchWait,
 		DefaultModel:   *modelName,
 		FastPred:       fastPred,
+		F32Pred:        f32Pred,
 	}, defSrc)
 	if err != nil {
 		return err
@@ -602,6 +736,7 @@ func runAcctest(args []string) error {
 	dir := fs.String("dir", "", "directory of .wasm evaluation binaries")
 	quantize := fs.String("quantize", "int8", "quantization mode for the in-memory candidate (int8 or f32)")
 	fastModel := fs.String("fast-model", "", "use this quantized model file as the candidate instead of quantizing in memory")
+	precision := fs.String("precision", "", "candidate inference engine: f32 lands the candidate on the single-precision engine (default: fast-math f64)")
 	topK := fs.Int("k", 3, "reference beam width the candidate's top-1 must fall within")
 	budget := fs.Float64("budget", 0.99, "minimum fraction of queries whose candidate top-1 is in the reference top-k")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
@@ -616,7 +751,7 @@ func runAcctest(args []string) error {
 	}
 	var cand *core.Predictor
 	if *fastModel != "" {
-		if cand, err = core.LoadQuantizedPredictor(*fastModel); err != nil {
+		if cand, err = core.LoadQuantizedPredictorPrecision(*fastModel, *precision); err != nil {
 			return err
 		}
 		logLine("candidate: quantized predictor " + *fastModel)
@@ -625,10 +760,14 @@ func runAcctest(args []string) error {
 		if err != nil {
 			return err
 		}
-		if cand, err = core.QuantizePredictor(ref, mode); err != nil {
+		if cand, err = core.QuantizePredictorPrecision(ref, mode, *precision); err != nil {
 			return err
 		}
-		logLine(fmt.Sprintf("candidate: in-memory %s quantization + fast-math kernels", mode))
+		engine := "fast-math kernels"
+		if *precision == "f32" {
+			engine = "f32 engine"
+		}
+		logLine(fmt.Sprintf("candidate: in-memory %s quantization + %s", mode, engine))
 	}
 
 	queries, skipped, err := accbudget.QueriesFromDir(ref, *dir)

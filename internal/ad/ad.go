@@ -13,10 +13,18 @@ import (
 // V is a matrix value with storage for its gradient. Values participating
 // in training (parameters) are long-lived; intermediate values are created
 // per forward pass.
+//
+// A value carries float64 storage (W), float32 storage (W32), or both.
+// Training and full-precision inference use W exclusively; f32 forward
+// tapes (NewForwardF32) compute entirely in W32. Long-lived parameters
+// gain a cached W32 view via SyncF32 once, at precision-selection time,
+// so the f32 decode path never converts weights per step. A value loaded
+// directly from a quantized model for f32 serving may have W32 only.
 type V struct {
 	R, C int
 	W    []float64 // row-major values
 	G    []float64 // gradient, same shape
+	W32  []float32 // float32 values (f32 inference engine storage)
 }
 
 // New allocates a zero matrix.
@@ -31,6 +39,45 @@ func FromSlice(r, c int, data []float64) *V {
 		panic(fmt.Sprintf("ad: FromSlice %dx%d with %d elements", r, c, len(data)))
 	}
 	return &V{R: r, C: c, W: data, G: make([]float64, r*c)}
+}
+
+// Elems returns the number of scalar elements the value stores,
+// regardless of which precision backs it.
+func (v *V) Elems() int {
+	if len(v.W) > 0 {
+		return len(v.W)
+	}
+	return len(v.W32)
+}
+
+// SyncF32 materializes (or refreshes) the value's float32 view from its
+// float64 weights. Models call it once per parameter when an f32
+// inference engine is selected, so shared weights are converted exactly
+// once; it must not race with concurrent readers of W32 (convert before
+// serving, like SetFastMath). Values without f64 storage keep their W32
+// as is.
+func (v *V) SyncF32() {
+	if len(v.W) == 0 {
+		return
+	}
+	if len(v.W32) != len(v.W) {
+		v.W32 = make([]float32, len(v.W))
+	}
+	for i, x := range v.W {
+		v.W32[i] = float32(x)
+	}
+}
+
+// f32w returns v's float32 storage, converting lazily from W when
+// absent. Lazy conversion serves per-call constants (zero states,
+// pooling weights) that are goroutine-local; long-lived shared values
+// must be converted eagerly via SyncF32 before concurrent f32 use.
+func f32w(v *V) []float32 {
+	if v.W32 != nil {
+		return v.W32
+	}
+	v.SyncF32()
+	return v.W32
 }
 
 // At returns the element at row i, column j.
@@ -69,6 +116,12 @@ type Tape struct {
 	// additionally requires !grad, so a recording tape can never reach
 	// the fast kernels.
 	fast bool
+	// f32 marks a single-precision forward tape (NewForwardF32): every
+	// op computes in float32 (V.W32) through the kernels in
+	// kernels_f32.go. Like fast, only the forward-only constructor sets
+	// it and every dispatch additionally requires !grad, so recording
+	// tapes provably cannot reach the f32 kernels (TestF32Dispatch).
+	f32 bool
 }
 
 // NewTape returns an empty recording tape for training.
@@ -96,12 +149,26 @@ func NewForward(pool *Pool) *Tape { return &Tape{pool: pool} }
 // kernels.
 func NewForwardFast(pool *Pool) *Tape { return &Tape{pool: pool, fast: true} }
 
+// NewForwardF32 returns a forward-only single-precision tape: every op
+// computes in float32 storage (V.W32) with fused-rounding 8-lane
+// kernels and fast float32 transcendentals (kernels_f32.go). It is the
+// third engine tier after exact-f64 and fast-f64: deterministic for a
+// given input and host, but a different numeric contract governed by
+// the accbudget harness. There is deliberately no recording variant —
+// training stays float64 on the bitwise kernels — and inputs' float64
+// weights must be synced once via SyncF32 (Model.SetPrecision does)
+// before concurrent use.
+func NewForwardF32(pool *Pool) *Tape { return &Tape{pool: pool, fast: true, f32: true} }
+
 // Recording reports whether the tape retains a backward pass.
 func (t *Tape) Recording() bool { return t.grad }
 
 // FastMath reports whether the tape dispatches matmuls to the fast-math
 // inference kernels.
 func (t *Tape) FastMath() bool { return t.fast && !t.grad }
+
+// F32 reports whether the tape computes in single precision.
+func (t *Tape) F32() bool { return t.f32 && !t.grad }
 
 // new allocates an op output: with gradient storage on recording tapes,
 // gradient-free on forward tapes; pool-recycled on pooled tapes.
@@ -115,7 +182,13 @@ func (t *Tape) new(r, c int) *V {
 		return v
 	}
 	var v *V
-	if t.pool != nil {
+	if t.f32 {
+		if t.pool != nil {
+			v = t.pool.get32(r, c)
+		} else {
+			v = &V{R: r, C: c, W32: make([]float32, r*c)}
+		}
+	} else if t.pool != nil {
 		v = t.pool.get(r, c)
 	} else {
 		v = &V{R: r, C: c, W: make([]float64, r*c)}
@@ -135,6 +208,17 @@ func (t *Tape) scratch(n int) []float64 {
 	v := t.pool.get(n, 1)
 	t.live = append(t.live, v)
 	return v.W
+}
+
+// scratch32 is scratch for single-precision tapes: an n-element float32
+// buffer recycled through the pool where the tape is pooled.
+func (t *Tape) scratch32(n int) []float32 {
+	if t.pool == nil {
+		return make([]float32, n)
+	}
+	v := t.pool.get32(n, 1)
+	t.live = append(t.live, v)
+	return v.W32
 }
 
 // Keep marks every value allocated on the tape so far as permanent:
@@ -207,6 +291,9 @@ func (t *Tape) MatMul(a, b *V) *V {
 	if a.C != b.R {
 		panic(fmt.Sprintf("ad: MatMul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
 	}
+	if t.f32 && !t.grad {
+		return t.matMulF32(a, b)
+	}
 	out := t.new(a.R, b.C)
 	if t.fast && !t.grad {
 		matmulFast(out.W, a.W, b.W, a.R, a.C, b.C)
@@ -225,6 +312,9 @@ func (t *Tape) MatMul(a, b *V) *V {
 
 // Add returns a + b. b may be a [1,C] row vector, broadcast over a's rows.
 func (t *Tape) Add(a, b *V) *V {
+	if t.f32 && !t.grad {
+		return t.addF32(a, b)
+	}
 	if b.R == 1 && a.C == b.C && a.R != 1 {
 		out := t.new(a.R, a.C)
 		for i := 0; i < a.R; i++ {
@@ -264,6 +354,9 @@ func (t *Tape) Add(a, b *V) *V {
 // Sub returns a - b (same shape).
 func (t *Tape) Sub(a, b *V) *V {
 	sameShape("Sub", a, b)
+	if t.f32 && !t.grad {
+		return t.subF32(a, b)
+	}
 	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] - b.W[i]
@@ -282,6 +375,9 @@ func (t *Tape) Sub(a, b *V) *V {
 // Mul returns the elementwise product a * b.
 func (t *Tape) Mul(a, b *V) *V {
 	sameShape("Mul", a, b)
+	if t.f32 && !t.grad {
+		return t.mulF32(a, b)
+	}
 	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * b.W[i]
@@ -299,6 +395,9 @@ func (t *Tape) Mul(a, b *V) *V {
 
 // Scale returns a * s for a scalar constant s.
 func (t *Tape) Scale(a *V, s float64) *V {
+	if t.f32 && !t.grad {
+		return t.scaleF32(a, s)
+	}
 	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = a.W[i] * s
@@ -315,6 +414,9 @@ func (t *Tape) Scale(a *V, s float64) *V {
 
 // Sigmoid returns the elementwise logistic function.
 func (t *Tape) Sigmoid(a *V) *V {
+	if t.f32 && !t.grad {
+		return t.sigmoidF32(a)
+	}
 	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
@@ -332,6 +434,9 @@ func (t *Tape) Sigmoid(a *V) *V {
 
 // Tanh returns the elementwise hyperbolic tangent.
 func (t *Tape) Tanh(a *V) *V {
+	if t.f32 && !t.grad {
+		return t.tanhF32(a)
+	}
 	out := t.new(a.R, a.C)
 	for i := range out.W {
 		out.W[i] = math.Tanh(a.W[i])
@@ -356,6 +461,9 @@ func (t *Tape) ConcatCols(vs ...*V) *V {
 			panic("ad: ConcatCols with mismatched rows")
 		}
 		c += v.C
+	}
+	if t.f32 && !t.grad {
+		return t.concatColsF32(r, c, vs)
 	}
 	out := t.new(r, c)
 	off := 0
@@ -386,6 +494,9 @@ func (t *Tape) SliceCols(a *V, lo, hi int) *V {
 	if lo < 0 || hi > a.C || lo >= hi {
 		panic(fmt.Sprintf("ad: SliceCols [%d,%d) of %d cols", lo, hi, a.C))
 	}
+	if t.f32 && !t.grad {
+		return t.sliceColsF32(a, lo, hi)
+	}
 	out := t.new(a.R, hi-lo)
 	for i := 0; i < a.R; i++ {
 		copy(out.W[i*out.C:(i+1)*out.C], a.W[i*a.C+lo:i*a.C+hi])
@@ -405,6 +516,9 @@ func (t *Tape) SliceCols(a *V, lo, hi int) *V {
 // Rows gathers the given rows of a into a new matrix (used for embedding
 // lookup); backward scatter-adds.
 func (t *Tape) Rows(a *V, idx []int) *V {
+	if t.f32 && !t.grad {
+		return t.rowsF32(a, idx)
+	}
 	out := t.new(len(idx), a.C)
 	for i, id := range idx {
 		if id < 0 || id >= a.R {
@@ -431,6 +545,9 @@ func (t *Tape) Rows(a *V, idx []int) *V {
 func (t *Tape) Dropout(a *V, p float64, rng func() float64) *V {
 	if p <= 0 {
 		return a
+	}
+	if t.f32 && !t.grad {
+		return t.dropoutF32(a, p, rng)
 	}
 	out := t.new(a.R, a.C)
 	mask := t.scratch(len(a.W))

@@ -75,3 +75,48 @@ func ntPanelFMA(s *[16]float64, a0, a1, a2, a3, panel *float64, k int)
 //
 //go:noescape
 func dotFMA(a, b *float64, n int) float64
+
+// The float32 kernels below serve the f32 inference tier
+// (kernels_f32.go): 8-lane VFMADD231PS where the f64 FMA kernels run 4
+// doubles per vector. Unlike the f64 tiers they are NOT bitwise-pinned
+// to their pure-Go mirrors — the Go mirrors fuse through float64, which
+// can double-round against hardware single-precision FMA on
+// round-to-nearest ties — so asm and fallback are held together by ULP
+// bounds (TestF32KernelsULPBound) instead.
+
+// band2pFMA32 is band2pFMA in float32, 8 lanes per vector:
+//
+//	o_r[j] = fma(av[4+r], bq[j], fma(av[r], bp[j], o_r[j]))   r=0..3
+//
+//go:noescape
+func band2pFMA32(o0, o1, o2, o3, bp, bq *float32, av *[8]float32, n int)
+
+// axpyFMA32 computes o[j] = fma(s, b[j], o[j]) for j=0..n-1 in float32.
+//
+//go:noescape
+func axpyFMA32(o, b *float32, s float32, n int)
+
+// dotFMA32 returns the striped fused float32 dot product of a[:n] and
+// b[:n]: sixteen accumulator lanes (two 8-float32 vectors) stepped by
+// 16, reduced lane-pairwise, plus a single-chain fused n%16 tail.
+//
+//go:noescape
+func dotFMA32(a, b *float32, n int) float32
+
+// vexpFMA32 fills o[i] = exp(x[i]) for i < n (n a multiple of 8, n > 0)
+// with expf32's reduction and polynomial, 8 lanes per vector: n rounds
+// to nearest-even via VCVTPS2DQ, the polynomial runs on VFMADD213PS,
+// and the 2^n scale uses the same two half-factor products as the
+// scalar. Saturation (+Inf above expMaxIn, 0 below expMinIn) and NaN
+// propagation are applied by masks compared against the original input,
+// matching the scalar edges exactly. consts points at expConsts32's 14
+// pre-broadcast 8-lane constant rows.
+//
+//go:noescape
+func vexpFMA32(o, x, consts *float32, n int)
+
+// vaddFMA32 computes o[j] = a[j] + b[j] for j < n: plain VADDPS, so —
+// unlike the fused kernels — bitwise-identical to the scalar loop.
+//
+//go:noescape
+func vaddFMA32(o, a, b *float32, n int)

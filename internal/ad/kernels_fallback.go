@@ -37,3 +37,23 @@ func ntPanelFMA(s *[16]float64, a0, a1, a2, a3, panel *float64, k int) {
 func dotFMA(a, b *float64, n int) float64 {
 	panic("ad: dotFMA called without FMA support")
 }
+
+func band2pFMA32(o0, o1, o2, o3, bp, bq *float32, av *[8]float32, n int) {
+	panic("ad: band2pFMA32 called without FMA support")
+}
+
+func axpyFMA32(o, b *float32, s float32, n int) {
+	panic("ad: axpyFMA32 called without FMA support")
+}
+
+func dotFMA32(a, b *float32, n int) float32 {
+	panic("ad: dotFMA32 called without FMA support")
+}
+
+func vexpFMA32(o, x, consts *float32, n int) {
+	panic("ad: vexpFMA32 called without FMA support")
+}
+
+func vaddFMA32(o, a, b *float32, n int) {
+	panic("ad: vaddFMA32 called without FMA support")
+}

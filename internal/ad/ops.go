@@ -30,6 +30,12 @@ func (t *Tape) SoftmaxCrossEntropySum(logits *V, targets []int, weights []float6
 }
 
 func (t *Tape) softmaxCE(logits *V, targets []int, weights []float64, norm float64) *V {
+	if t.f32 {
+		// Training-only op: the f32 engine is inference-only by design
+		// (see NewForwardF32). Fail loudly rather than silently reading
+		// the absent float64 storage.
+		panic("ad: SoftmaxCrossEntropy on an f32 tape")
+	}
 	if len(targets) != logits.R || len(weights) != logits.R {
 		panic(fmt.Sprintf("ad: SoftmaxCrossEntropy %d logit rows, %d targets, %d weights", logits.R, len(targets), len(weights)))
 	}
@@ -125,6 +131,11 @@ func (t *Tape) AttnScores(dec, enc *V, T int) *V {
 	if enc.R != B*T || enc.C != H {
 		panic(fmt.Sprintf("ad: AttnScores enc %dx%d for B=%d T=%d H=%d", enc.R, enc.C, B, T, H))
 	}
+	if t.f32 && !t.grad {
+		out := t.new(B, T)
+		attnScores32(out.W32, f32w(dec), f32w(enc), B, T, H)
+		return out
+	}
 	out := t.new(B, T)
 	if t.FastMath() {
 		attnScoresFast(out.W, dec.W, enc.W, B, T, H)
@@ -170,6 +181,9 @@ func (t *Tape) SoftmaxRowsMasked(a *V, mask []float64) *V {
 	B, T := a.R, a.C
 	if len(mask) != B*T {
 		panic("ad: SoftmaxRowsMasked mask length mismatch")
+	}
+	if t.f32 && !t.grad {
+		return t.softmaxRowsMaskedF32(a, mask)
 	}
 	out := t.new(B, T)
 	for b := 0; b < B; b++ {
@@ -219,6 +233,11 @@ func (t *Tape) WeightedSum(alpha, enc *V, H int) *V {
 	if enc.R != B*T || enc.C != H {
 		panic("ad: WeightedSum shape mismatch")
 	}
+	if t.f32 && !t.grad {
+		out := t.new(B, H)
+		weightedSum32(out.W32, f32w(alpha), f32w(enc), B, T, H)
+		return out
+	}
 	out := t.new(B, H)
 	if t.FastMath() {
 		weightedSumFast(out.W, alpha.W, enc.W, B, T, H)
@@ -264,6 +283,9 @@ func (t *Tape) WeightedSum(alpha, enc *V, H int) *V {
 func (t *Tape) StackRows(vs []*V) *V {
 	T := len(vs)
 	B, C := vs[0].R, vs[0].C
+	if t.f32 && !t.grad {
+		return t.stackRowsF32(vs, T, B, C)
+	}
 	out := t.new(B*T, C)
 	for tt, v := range vs {
 		if v.R != B || v.C != C {
@@ -293,6 +315,9 @@ func (t *Tape) MaskRows(a *V, mask []float64) *V {
 	if len(mask) != a.R {
 		panic("ad: MaskRows mask length mismatch")
 	}
+	if t.f32 && !t.grad {
+		return t.maskRowsF32(a, mask)
+	}
 	out := t.new(a.R, a.C)
 	for i := 0; i < a.R; i++ {
 		if mask[i] != 0 {
@@ -320,6 +345,9 @@ func (t *Tape) Blend(a, b *V, mask []float64) *V {
 	sameShape("Blend", a, b)
 	if len(mask) != a.R {
 		panic("ad: Blend mask length mismatch")
+	}
+	if t.f32 && !t.grad {
+		return t.blendF32(a, b, mask)
 	}
 	out := t.new(a.R, a.C)
 	for i := 0; i < a.R; i++ {

@@ -4,6 +4,9 @@ import "math"
 
 // ReLU returns the elementwise rectifier max(0, x).
 func (t *Tape) ReLU(a *V) *V {
+	if t.f32 && !t.grad {
+		return t.reluF32(a)
+	}
 	out := t.new(a.R, a.C)
 	for i := range a.W {
 		if a.W[i] > 0 {
@@ -29,6 +32,9 @@ func (t *Tape) LayerNorm(a, gain, bias *V) *V {
 	R, C := a.R, a.C
 	if gain.C != C || bias.C != C || gain.R != 1 || bias.R != 1 {
 		panic("ad: LayerNorm parameter shape mismatch")
+	}
+	if t.f32 && !t.grad {
+		return t.layerNormF32(a, gain, bias, eps)
 	}
 	out := t.new(R, C)
 	means := make([]float64, R)
@@ -83,6 +89,9 @@ func (t *Tape) LayerNorm(a, gain, bias *V) *V {
 // AddRowsConst adds a constant (non-learned) matrix to a — used for
 // sinusoidal positional encodings.
 func (t *Tape) AddRowsConst(a *V, c []float64) *V {
+	if t.f32 && !t.grad {
+		return t.addRowsConstF32(a, c)
+	}
 	if len(c) != len(a.W) {
 		panic("ad: AddRowsConst length mismatch")
 	}

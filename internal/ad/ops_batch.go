@@ -33,6 +33,9 @@ func (t *Tape) GatherRowBlocks(a *V, idx []int, block int) *V {
 	}
 	nb := a.R / block
 	stride := block * a.C
+	if t.f32 && !t.grad {
+		return t.gatherRowBlocksF32(a, idx, block, nb, stride)
+	}
 	out := t.new(len(idx)*block, a.C)
 	for i, id := range idx {
 		if id < 0 || id >= nb {
@@ -63,6 +66,9 @@ func (t *Tape) GatherRowBlocks(a *V, idx []int, block int) *V {
 // ever touches its own real rows.
 func (t *Tape) StackRowBlocks(vs []*V, block int) *V {
 	C := vs[0].C
+	if t.f32 && !t.grad {
+		return t.stackRowBlocksF32(vs, block, C)
+	}
 	out := t.new(len(vs)*block, C)
 	for i, v := range vs {
 		if v.C != C || v.R > block {
@@ -89,6 +95,9 @@ func (t *Tape) StackRowBlocks(vs []*V, block int) *V {
 // alone. No gradients are recorded, matching LogSoftmaxRow
 // (inference-only).
 func (t *Tape) LogSoftmaxRows(a *V) *V {
+	if t.f32 && !t.grad {
+		return t.logSoftmaxRowsF32(a)
+	}
 	out := t.new(a.R, a.C)
 	for i := 0; i < a.R; i++ {
 		logSoftmaxRow(out.W[i*a.C:(i+1)*a.C], a.W[i*a.C:(i+1)*a.C])

@@ -47,6 +47,10 @@ func (t *Tape) AttnScoresGrouped(dec, enc *V, groups []int, T int) *V {
 	}
 	checkGroups("AttnScoresGrouped", groups, L, enc.R/T)
 	out := t.new(L, T)
+	if t.f32 && !t.grad {
+		attnScoresGrouped32(out.W32, f32w(dec), f32w(enc), groups, T, H)
+		return out
+	}
 	if t.FastMath() {
 		attnScoresGroupedFast(out.W, dec.W, enc.W, groups, T, H)
 		return out
@@ -99,6 +103,9 @@ func (t *Tape) SoftmaxRowsMaskedGrouped(a *V, mask []float64, groups []int) *V {
 		panic(fmt.Sprintf("ad: SoftmaxRowsMaskedGrouped mask %d for T=%d", len(mask), T))
 	}
 	checkGroups("SoftmaxRowsMaskedGrouped", groups, L, len(mask)/T)
+	if t.f32 && !t.grad {
+		return t.softmaxRowsMaskedGroupedF32(a, mask, groups)
+	}
 	out := t.new(L, T)
 	for l := 0; l < L; l++ {
 		mb := mask[groups[l]*T : (groups[l]+1)*T]
@@ -154,6 +161,10 @@ func (t *Tape) WeightedSumGrouped(alpha, enc *V, groups []int, H int) *V {
 	}
 	checkGroups("WeightedSumGrouped", groups, L, enc.R/T)
 	out := t.new(L, H)
+	if t.f32 && !t.grad {
+		weightedSumGrouped32(out.W32, f32w(alpha), f32w(enc), groups, T, H)
+		return out
+	}
 	if t.FastMath() {
 		weightedSumGroupedFast(out.W, alpha.W, enc.W, groups, T, H)
 		return out

@@ -6,23 +6,39 @@ package ad
 // a Predict call's allocation footprint bounded by one step's working
 // set instead of the whole search (maxLen × width steps).
 //
+// float64 and float32 storage are recycled through separate free lists
+// (a value is one or the other, discriminated by which slice is
+// non-empty), so a pool shared across engine tiers never hands f32
+// storage to an f64 tape or vice versa.
+//
 // A Pool is not safe for concurrent use: give each goroutine its own
 // (Model.Predict and the parallel evaluators do this internally).
 type Pool struct {
-	free map[int][]*V
+	free   map[int][]*V
+	free32 map[int][]*V
 	// maxElems is the element count of the largest buffer ever drawn
 	// from this pool — the high-water mark of the working set. Tests use
 	// it to pin memory-footprint properties (e.g. that beam decoding's
 	// attention working set is independent of beam width).
 	maxElems int
+	// maxBytes is the byte size of the largest value buffer ever drawn
+	// (8 bytes/elem for float64, 4 for float32; gradient storage not
+	// counted). Tests use it to pin that the f32 engine's working set is
+	// half the f64 one for the same shapes.
+	maxBytes int
 }
 
 // NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{free: map[int][]*V{}} }
+func NewPool() *Pool { return &Pool{free: map[int][]*V{}, free32: map[int][]*V{}} }
 
 // MaxBufferElems returns the element count of the largest single buffer
 // drawn from the pool since creation (recycled or fresh).
 func (p *Pool) MaxBufferElems() int { return p.maxElems }
+
+// MaxBufferBytes returns the byte size of the largest single value
+// buffer drawn from the pool since creation, accounting for element
+// width (float32 buffers count 4 bytes per element, float64 count 8).
+func (p *Pool) MaxBufferBytes() int { return p.maxBytes }
 
 // get returns a zeroed [r,c] value, reusing released storage of the same
 // element count when available. Values from get carry no gradient
@@ -32,11 +48,31 @@ func (p *Pool) get(r, c int) *V {
 	if n > p.maxElems {
 		p.maxElems = n
 	}
+	if b := n * 8; b > p.maxBytes {
+		p.maxBytes = b
+	}
 	if v := p.take(n); v != nil {
 		v.R, v.C = r, c
 		return v
 	}
 	return &V{R: r, C: c, W: make([]float64, n)}
+}
+
+// get32 returns a zeroed [r,c] float32-backed value for single-precision
+// forward tapes, recycled through the pool's separate f32 free list.
+func (p *Pool) get32(r, c int) *V {
+	n := r * c
+	if n > p.maxElems {
+		p.maxElems = n
+	}
+	if b := n * 4; b > p.maxBytes {
+		p.maxBytes = b
+	}
+	if v := p.take32(n); v != nil {
+		v.R, v.C = r, c
+		return v
+	}
+	return &V{R: r, C: c, W32: make([]float32, n)}
 }
 
 // getGrad returns a zeroed [r,c] value with zeroed gradient storage, for
@@ -46,6 +82,9 @@ func (p *Pool) getGrad(r, c int) *V {
 	n := r * c
 	if n > p.maxElems {
 		p.maxElems = n
+	}
+	if b := n * 8; b > p.maxBytes {
+		p.maxBytes = b
 	}
 	v := p.take(n)
 	if v == nil {
@@ -77,10 +116,30 @@ func (p *Pool) take(n int) *V {
 	return v
 }
 
+// take32 pops a free float32 value of element count n with W32 zeroed,
+// or nil.
+func (p *Pool) take32(n int) *V {
+	vs := p.free32[n]
+	if len(vs) == 0 {
+		return nil
+	}
+	v := vs[len(vs)-1]
+	p.free32[n] = vs[:len(vs)-1]
+	for i := range v.W32 {
+		v.W32[i] = 0
+	}
+	return v
+}
+
 // put returns a value's storage to the pool. The caller must not use v
-// after releasing it.
+// after releasing it. float32-only values go to the f32 free list;
+// everything else is keyed by its float64 storage.
 func (p *Pool) put(v *V) {
 	if len(v.W) == 0 {
+		if len(v.W32) == 0 {
+			return
+		}
+		p.free32[len(v.W32)] = append(p.free32[len(v.W32)], v)
 		return
 	}
 	p.free[len(v.W)] = append(p.free[len(v.W)], v)

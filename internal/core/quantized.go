@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/ad"
 	"repro/internal/bpe"
 	"repro/internal/quant"
 	"repro/internal/seq2seq"
@@ -64,12 +65,25 @@ func quantizeTrained(tr *Trained, mode quant.Mode) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// trainedFromQuantized rebuilds a Trained from its quantized form. The
-// model comes back with fast-math inference enabled: quantized weights
-// have already given up bitwise fidelity, so the load is pointed at the
-// inference-only fast kernels and the accuracy-budget harness
-// (internal/accbudget) governs the combined error.
-func trainedFromQuantized(data []byte) (*Trained, error) {
+// trainedFromQuantized rebuilds a Trained from its quantized form,
+// dequantizing each matrix straight into the model's own parameter
+// storage (seq2seq.NewModelFromFill) — no intermediate [][]float64 that
+// the old path allocated only for modelFromState to copy and discard.
+//
+// precision selects the inference engine the weights land in. "" or
+// "f64" dequantizes into the float64 buffers and enables fast-math
+// inference: quantized weights have already given up bitwise fidelity,
+// so the load is pointed at the inference-only fast kernels and the
+// accuracy-budget harness (internal/accbudget) governs the combined
+// error. "f32" dequantizes into float32 storage directly and drops the
+// never-read float64 weight and gradient buffers, halving the model's
+// resident memory; the model is pinned to the f32 engine.
+func trainedFromQuantized(data []byte, precision string) (*Trained, error) {
+	switch precision {
+	case "", "f64", "f32":
+	default:
+		return nil, fmt.Errorf("core: quantized trained: unknown precision %q (want f64 or f32)", precision)
+	}
 	var st quantTrainedState
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: quantized trained: %w", err)
@@ -78,15 +92,37 @@ func trainedFromQuantized(data []byte) (*Trained, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: quantized trained: %w", err)
 	}
-	weights := make([][]float64, len(ms))
-	for i, m := range ms {
-		weights[i] = m.Dequantize(nil)
+	f32 := precision == "f32"
+	fill := func(i int, v *ad.V) error {
+		if i >= len(ms) {
+			return fmt.Errorf("model wants more than the %d stored matrices", len(ms))
+		}
+		m := &ms[i]
+		if m.Rows*m.Cols != v.Elems() {
+			return fmt.Errorf("stored matrix is %dx%d, model wants %d elements", m.Rows, m.Cols, v.Elems())
+		}
+		if f32 {
+			v.W32 = m.DequantizeF32(v.W32[:0])
+			v.W, v.G = nil, nil
+			return nil
+		}
+		m.Dequantize(v.W)
+		return nil
 	}
-	model, err := seq2seq.NewModelFromWeights(st.Cfg, st.SrcToks, st.TgtToks, weights)
+	model, err := seq2seq.NewModelFromFill(st.Cfg, st.SrcToks, st.TgtToks, fill)
 	if err != nil {
 		return nil, err
 	}
-	model.SetFastMath(true)
+	if n := len(model.Params()); n != len(ms) {
+		return nil, fmt.Errorf("core: quantized trained: %d stored matrices, model has %d tensors", len(ms), n)
+	}
+	if f32 {
+		if err := model.SetPrecision("f32"); err != nil {
+			return nil, err
+		}
+	} else {
+		model.SetFastMath(true)
+	}
 	tr := &Trained{Task: st.Task, Model: model}
 	if len(st.BPE) > 0 {
 		if tr.BPE, err = bpe.Load(bytes.NewReader(st.BPE)); err != nil {
@@ -128,6 +164,15 @@ func ExportQuantized(p *Predictor, path string, mode quant.Mode) error {
 // The returned predictor's models run fast-math inference on the
 // dequantized weights; extraction options default to the paper's.
 func LoadQuantizedPredictor(path string) (*Predictor, error) {
+	return LoadQuantizedPredictorPrecision(path, "")
+}
+
+// LoadQuantizedPredictorPrecision is LoadQuantizedPredictor with an
+// engine choice: precision "f32" dequantizes straight into float32
+// parameter storage and pins the models to the f32 inference engine,
+// halving the predictor's resident memory; "" or "f64" is the fast-math
+// float64 load.
+func LoadQuantizedPredictorPrecision(path, precision string) (*Predictor, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -146,12 +191,12 @@ func LoadQuantizedPredictor(path string) (*Predictor, error) {
 	}
 	p := &Predictor{Opts: DefaultConfig().Extract}
 	if len(st.Param) > 0 {
-		if p.Param, err = trainedFromQuantized(st.Param); err != nil {
+		if p.Param, err = trainedFromQuantized(st.Param, precision); err != nil {
 			return nil, err
 		}
 	}
 	if len(st.Return) > 0 {
-		if p.Return, err = trainedFromQuantized(st.Return); err != nil {
+		if p.Return, err = trainedFromQuantized(st.Return, precision); err != nil {
 			return nil, err
 		}
 	}
@@ -182,13 +227,23 @@ func LoadPredictorAuto(path string) (*Predictor, error) {
 // training). Used by the accuracy-budget harness to compare full and
 // quantized predictions without touching disk.
 func QuantizePredictor(p *Predictor, mode quant.Mode) (*Predictor, error) {
+	return QuantizePredictorPrecision(p, mode, "")
+}
+
+// QuantizePredictorPrecision is QuantizePredictor with an engine
+// choice: precision "f32" lands the round-tripped weights in float32
+// storage on the f32 engine (the in-memory analogue of
+// LoadQuantizedPredictorPrecision), so the accuracy harness can score
+// the f32 engine against the full-precision reference without a
+// quantized file on disk.
+func QuantizePredictorPrecision(p *Predictor, mode quant.Mode, precision string) (*Predictor, error) {
 	out := &Predictor{Opts: p.Opts}
 	quantize := func(tr *Trained) (*Trained, error) {
 		data, err := quantizeTrained(tr, mode)
 		if err != nil {
 			return nil, err
 		}
-		q, err := trainedFromQuantized(data)
+		q, err := trainedFromQuantized(data, precision)
 		if err != nil {
 			return nil, err
 		}

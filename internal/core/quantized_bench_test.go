@@ -1,0 +1,92 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/typelang"
+)
+
+// weightBytes sums the resident parameter storage of a predictor's task
+// models: 8 bytes per float64 weight and gradient, 4 per float32. The
+// f32 quantized load drops W and G, so its figure pins the resident
+// memory the direct-to-f32 path buys back.
+func weightBytes(p *Predictor) int64 {
+	var n int64
+	for _, tr := range []*Trained{p.Param, p.Return} {
+		if tr == nil {
+			continue
+		}
+		for _, v := range tr.Model.Params() {
+			n += int64(8*(len(v.W)+len(v.G)) + 4*len(v.W32))
+		}
+	}
+	return n
+}
+
+// BenchmarkQuantizedLoad measures loading an int8-quantized predictor
+// into each inference engine: f64 dequantizes straight into the model's
+// float64 buffers (fast-math engine), f32 straight into float32 storage
+// (f32 engine). The weight-bytes metric records each engine's resident
+// parameter memory; f32 must come in at a quarter of the f64 figure
+// (half from float32 weights, half again from the dropped gradients).
+func BenchmarkQuantizedLoad(b *testing.B) {
+	d, err := BuildDataset(testConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := d.TrainTask(Task{Variant: typelang.VariantLSW}, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &Predictor{Param: tr, Opts: d.Cfg.Extract}
+	path := filepath.Join(b.TempDir(), "model.qbin")
+	if err := ExportQuantized(p, path, quant.Int8); err != nil {
+		b.Fatal(err)
+	}
+	for _, precision := range []string{"f64", "f32"} {
+		b.Run("precision="+precision, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				q, err := LoadQuantizedPredictorPrecision(path, precision)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = weightBytes(q)
+			}
+			b.ReportMetric(float64(bytes), "weight-bytes")
+		})
+	}
+}
+
+// TestQuantizedF32ResidentMemoryHalved pins the memory claim exactly.
+// The f32 load halves the weights themselves (float32 vs float64) and
+// additionally drops the gradient buffers the f64 load still carries
+// (ad.New allocates W and G together), so its resident parameter
+// storage is exactly a quarter of the f64 quantized load's: 4 bytes per
+// element against 16.
+func TestQuantizedF32ResidentMemoryHalved(t *testing.T) {
+	d := buildTestDataset(t)
+	_, tr := d.RunTask(Task{Variant: typelang.VariantLSW}, nil)
+	p := &Predictor{Param: tr, Opts: d.Cfg.Extract}
+	path := filepath.Join(t.TempDir(), "model.qbin")
+	if err := ExportQuantized(p, path, quant.Int8); err != nil {
+		t.Fatal(err)
+	}
+	q64, err := LoadQuantizedPredictorPrecision(path, "f64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q32, err := LoadQuantizedPredictorPrecision(path, "f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b64, b32 := weightBytes(q64), weightBytes(q32)
+	if b64 == 0 || b32 == 0 {
+		t.Fatalf("empty weight storage: f64=%d f32=%d", b64, b32)
+	}
+	if 4*b32 != b64 {
+		t.Errorf("f32 resident weight bytes = %d, want exactly a quarter of f64's %d", b32, b64)
+	}
+}

@@ -97,3 +97,66 @@ func TestLoadPredictorAuto(t *testing.T) {
 		t.Error("LoadQuantizedPredictor accepted a missing file")
 	}
 }
+
+// TestQuantizedF32Load: precision "f32" loads dequantize straight into
+// float32 parameter storage — the float64 weight and gradient buffers
+// are dropped, the models are pinned to the f32 engine, and predictions
+// are deterministic and agree between the on-disk and in-memory paths.
+func TestQuantizedF32Load(t *testing.T) {
+	d := buildTestDataset(t)
+	_, param := d.RunTask(Task{Variant: typelang.VariantLSW}, nil)
+	_, ret := d.RunTask(Task{Variant: typelang.VariantLSW, Return: true}, nil)
+	p := &Predictor{Param: param, Return: ret, Opts: d.Cfg.Extract}
+	src := []string{"i32", "<begin>", "local.get", "<param>", ";", "f64.load", "offset=8"}
+
+	for _, mode := range []quant.Mode{quant.F32, quant.Int8} {
+		path := filepath.Join(t.TempDir(), "model.qbin")
+		if err := ExportQuantized(p, path, mode); err != nil {
+			t.Fatalf("ExportQuantized(%s): %v", mode, err)
+		}
+		got, err := LoadQuantizedPredictorPrecision(path, "f32")
+		if err != nil {
+			t.Fatalf("LoadQuantizedPredictorPrecision(%s, f32): %v", mode, err)
+		}
+		for _, tr := range []*Trained{got.Param, got.Return} {
+			if pr := tr.Model.Precision(); pr != "f32" {
+				t.Fatalf("%s: model precision = %q, want f32", mode, pr)
+			}
+			if tr.Model.FastMath() {
+				t.Errorf("%s: f32 load also enabled fast-math", mode)
+			}
+			for i, v := range tr.Model.Params() {
+				if v.W != nil || v.G != nil {
+					t.Fatalf("%s: tensor %d kept float64 storage after f32 load", mode, i)
+				}
+				if len(v.W32) != v.R*v.C {
+					t.Fatalf("%s: tensor %d W32 has %d elems, want %d", mode, i, len(v.W32), v.R*v.C)
+				}
+			}
+		}
+
+		a := got.Param.Predict(src, 5)
+		if len(a) == 0 {
+			t.Fatalf("%s: f32 quantized predictor returned no predictions", mode)
+		}
+		if b := got.Param.Predict(src, 5); !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: f32 predictions not deterministic:\n%v\n%v", mode, a, b)
+		}
+		mem, err := QuantizePredictorPrecision(p, mode, "f32")
+		if err != nil {
+			t.Fatalf("QuantizePredictorPrecision(%s, f32): %v", mode, err)
+		}
+		if b := mem.Param.Predict(src, 5); !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: disk and in-memory f32 quantization disagree:\n%v\n%v", mode, a, b)
+		}
+	}
+
+	// Unknown precision values are rejected, not silently ignored.
+	path := filepath.Join(t.TempDir(), "model.qbin")
+	if err := ExportQuantized(p, path, quant.F32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadQuantizedPredictorPrecision(path, "f16"); err == nil {
+		t.Error("LoadQuantizedPredictorPrecision accepted precision f16")
+	}
+}

@@ -38,11 +38,14 @@ func (p *Params) All() []*ad.V { return p.vals }
 // the order that also fixes the serialized weight layout.
 func (p *Params) Names() []string { return append([]string(nil), p.names...) }
 
-// Count returns the total number of scalar parameters.
+// Count returns the total number of scalar parameters. Elems counts
+// whichever storage a parameter carries, so models loaded straight into
+// float32 weights (quantized f32 serving) report the same count as
+// their float64 twins.
 func (p *Params) Count() int {
 	n := 0
 	for _, v := range p.vals {
-		n += len(v.W)
+		n += v.Elems()
 	}
 	return n
 }

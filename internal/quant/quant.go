@@ -118,6 +118,28 @@ func (m *Matrix) Dequantize(dst []float64) []float64 {
 	return dst
 }
 
+// DequantizeF32 reconstructs the weights as float32 into dst (allocated
+// if nil or too short) and returns it: the direct-load path for the f32
+// inference engine. F32-mode payloads copy verbatim — they already are
+// the float32 truncation — and Int8 reconstructs in float64 and rounds
+// once, so every element equals float32 of the Dequantize result.
+func (m *Matrix) DequantizeF32(dst []float32) []float32 {
+	n := m.Rows * m.Cols
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	switch m.Mode {
+	case F32:
+		copy(dst, m.F32)
+	case Int8:
+		for i, q := range m.I8 {
+			dst[i] = float32((float64(q) - m.Zero) * m.Scale)
+		}
+	}
+	return dst
+}
+
 // MaxError bounds |w - Dequantize(QuantizeMatrix(w))| per element for
 // an Int8 matrix, and the relative error for F32 (as a fraction of
 // |w|; callers multiply by the weight magnitude).

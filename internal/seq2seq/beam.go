@@ -65,15 +65,21 @@ type scoredTok struct {
 // arrive ascending, a tied newcomer never displaces an incumbent, and
 // insertion keeps ties in arrival order, which realizes exactly the
 // (score desc, id asc) total order.
-func topContinuations(logProbs []float64, width int, buf []scoredTok) []scoredTok {
+//
+// Generic over the logit element width so f32 tapes feed their rows in
+// without a conversion pass; scores widen to float64 on entry and beam
+// totals accumulate in float64 on every engine, so ranking and reported
+// log-probs share one comparison domain.
+func topContinuations[F ~float64 | ~float32](logProbs []F, width int, buf []scoredTok) []scoredTok {
 	cands := buf[:0]
 	if width <= 0 {
 		return cands
 	}
-	for id, lp := range logProbs {
+	for id, lpn := range logProbs {
 		if id == PAD || id == BOS {
 			continue
 		}
+		lp := float64(lpn)
 		if len(cands) == width {
 			if lp <= cands[width-1].lp {
 				continue
@@ -89,6 +95,16 @@ func topContinuations(logProbs []float64, width int, buf []scoredTok) []scoredTo
 		cands[j] = scoredTok{id, lp}
 	}
 	return cands
+}
+
+// rowLogProbs slices hypothesis row r out of the step's log-prob batch
+// and selects its top continuations, reading whichever storage the
+// tape produced (float64, or float32 on f32 tapes).
+func rowLogProbs(lps *ad.V, r, width int, buf []scoredTok) []scoredTok {
+	if len(lps.W) > 0 {
+		return topContinuations(lps.W[r*lps.C:(r+1)*lps.C], width, buf)
+	}
+	return topContinuations(lps.W32[r*lps.C:(r+1)*lps.C], width, buf)
 }
 
 // cand is a scored continuation (or a carried-over stopped beam) of one
@@ -333,7 +349,7 @@ func (m *Model) predictMultiOn(tape *ad.Tape, srcs [][]string, ks []int, stop fu
 					continue
 				}
 				anyLive = true
-				top := topContinuations(lps.W[b.liveRow*lps.C:(b.liveRow+1)*lps.C], sr.width, sbuf)
+				top := rowLogProbs(lps, b.liveRow, sr.width, sbuf)
 				sbuf = top[:0]
 				for _, c := range top {
 					cands = append(cands, cand{

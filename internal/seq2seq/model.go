@@ -6,6 +6,7 @@
 package seq2seq
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -185,6 +186,14 @@ type Model struct {
 	// path. Set once at load time (quantized exports); never set on
 	// models that train.
 	fastMath bool
+
+	// f32 routes the Predict family onto single-precision forward tapes
+	// (ad.NewForwardF32): float32 values end to end, 8-lane FMA kernels,
+	// half the working set. Takes precedence over fastMath (an f32 tape
+	// is already fast-math). Set once via SetPrecision at load time;
+	// training entry points cannot reach the f32 kernels by construction
+	// (recording tapes never dispatch to them).
+	f32 bool
 }
 
 // SetFastMath selects fast-math inference for this model's Predict
@@ -196,8 +205,42 @@ func (m *Model) SetFastMath(on bool) { m.fastMath = on }
 // FastMath reports whether Predict runs on fast-math tapes.
 func (m *Model) FastMath() bool { return m.fastMath }
 
+// SetPrecision selects the arithmetic width of the Predict family:
+// "f64" (the default; exact or fast-math per SetFastMath) or "f32"
+// (single-precision tapes, ad.NewForwardF32). Selecting f32 eagerly
+// materializes every parameter's float32 view (ad.V.SyncF32), so the
+// conversion happens once here rather than racing lazily under
+// concurrent Predict calls. Call once after loading, before any
+// concurrent use; like fast math, training ignores it by construction.
+func (m *Model) SetPrecision(p string) error {
+	switch p {
+	case "", "f64":
+		m.f32 = false
+	case "f32":
+		for _, v := range m.params.All() {
+			v.SyncF32()
+		}
+		m.f32 = true
+	default:
+		return fmt.Errorf("seq2seq: unknown precision %q (want f64 or f32)", p)
+	}
+	return nil
+}
+
+// Precision reports the arithmetic width Predict runs at.
+func (m *Model) Precision() string {
+	if m.f32 {
+		return "f32"
+	}
+	return "f64"
+}
+
 // inferTape returns the forward tape the Predict family decodes on.
+// Precision outranks fast math: an f32 tape is already fused-rounding.
 func (m *Model) inferTape(pool *ad.Pool) *ad.Tape {
+	if m.f32 {
+		return ad.NewForwardF32(pool)
+	}
 	if m.fastMath {
 		return ad.NewForwardFast(pool)
 	}

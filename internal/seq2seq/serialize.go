@@ -80,6 +80,24 @@ func NewModelFromWeights(cfg Config, srcToks, tgtToks []string, weights [][]floa
 	return m, nil
 }
 
+// NewModelFromFill rebuilds a model letting the caller write each
+// parameter tensor's storage directly, in registration order — the
+// zero-copy loading hook for quantized checkpoints: fill(i, v)
+// dequantizes straight into v.W (or v.W32 for the f32 engine) instead
+// of materializing an intermediate [][]float64 that modelFromState
+// would copy once more and discard. fill may drop storage the engine
+// will never read (v.W and v.G on an f32-only load); the model must
+// then stay on the matching engine.
+func NewModelFromFill(cfg Config, srcToks, tgtToks []string, fill func(i int, v *ad.V) error) (*Model, error) {
+	m := NewModel(cfg, vocabFromTokens(srcToks), vocabFromTokens(tgtToks))
+	for i, v := range m.params.All() {
+		if err := fill(i, v); err != nil {
+			return nil, fmt.Errorf("seq2seq: from fill: tensor %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
 // vocabFromTokens rebuilds a vocabulary from its serialized token list
 // (which already includes the specials at the front).
 func vocabFromTokens(toks []string) *Vocab {

@@ -27,12 +27,13 @@ type cacheKey struct {
 	fn    [32]byte
 	elem  string
 	k     int
-	// fast separates the fast-math engine's entries even when its weights
-	// fingerprint identically (an f32 in-memory quantization): the
-	// fused-rounding kernels may rank types differently, so a fast
-	// request must never be answered from a full-precision entry (or
-	// vice versa).
-	fast bool
+	// engine separates the precision tiers' entries even when their
+	// weights fingerprint identically (an f32 in-memory quantization):
+	// "" is the full-precision engine, "fast" the fused-rounding
+	// fast-math engine, "f32" the single-precision engine. Each tier's
+	// kernels may rank types differently, so a request must never be
+	// answered from another tier's entry.
+	engine string
 }
 
 // funcHash fingerprints a module-defined function's prediction-relevant

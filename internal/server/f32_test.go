@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/quant"
+)
+
+// f32State caches the f32-engine counterpart of the shared test
+// predictor.
+var f32State struct {
+	once sync.Once
+	pred *core.Predictor
+	err  error
+}
+
+func testF32Predictor(t testing.TB) *core.Predictor {
+	t.Helper()
+	pred, _ := testPredictor(t)
+	f32State.once.Do(func() {
+		f32State.pred, f32State.err = core.QuantizePredictorPrecision(pred, quant.F32, "f32")
+	})
+	if f32State.err != nil {
+		t.Fatal(f32State.err)
+	}
+	return f32State.pred
+}
+
+func newF32TestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.F32Pred = testF32Predictor(t)
+	return newTestServer(t, cfg)
+}
+
+// TestF32Routing covers the precision=f32 opt-in across both request
+// encodings, the echo of the precision in the response, and rejection
+// when no f32 engine is loaded.
+func TestF32Routing(t *testing.T) {
+	_, ts := newF32TestServer(t, Config{})
+	_, bin := testPredictor(t)
+
+	resp, body := postWasm(t, ts.URL, bin, "func=first&k=3&precision=f32")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	pr := decodeResponse(t, body)
+	if pr.Precision != "f32" {
+		t.Errorf("response precision = %q, want f32", pr.Precision)
+	}
+	if pr.Fast {
+		t.Error("f32 response claims fast=true")
+	}
+	if len(pr.Functions) != 1 || len(pr.Functions[0].Elements) == 0 {
+		t.Fatalf("f32 request returned no predictions: %s", body)
+	}
+	for elem, preds := range pr.Functions[0].Elements {
+		if len(preds) == 0 || preds[0].Text == "" {
+			t.Errorf("%s: empty f32 prediction", elem)
+		}
+	}
+
+	// Same opt-in through the JSON envelope.
+	env, _ := json.Marshal(predictEnvelope{
+		WasmBase64: base64.StdEncoding.EncodeToString(bin),
+		Func:       "first",
+		K:          2,
+		Precision:  "f32",
+	})
+	hresp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("envelope status = %d, body %s", hresp.StatusCode, ebody)
+	}
+	if epr := decodeResponse(t, ebody); epr.Precision != "f32" {
+		t.Errorf("envelope response precision = %q, want f32", epr.Precision)
+	}
+
+	// precision=f64 (and omission) stays on the full-precision engine.
+	for _, q := range []string{"func=first&k=3", "func=first&k=3&precision=f64"} {
+		resp, body = postWasm(t, ts.URL, bin, q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d, body %s", q, resp.StatusCode, body)
+		}
+		if pr := decodeResponse(t, body); pr.Precision != "" {
+			t.Errorf("%s: response precision = %q, want empty", q, pr.Precision)
+		}
+	}
+
+	// Malformed and conflicting selections.
+	resp, body = postWasm(t, ts.URL, bin, "precision=f16")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("precision=f16: status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+	resp, body = postWasm(t, ts.URL, bin, "fast=true&precision=f32")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fast+f32: status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestF32Unavailable: precision=f32 against a server without an f32
+// engine is a client error, not a silent fallback.
+func TestF32Unavailable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, bin := testPredictor(t)
+	resp, body := postWasm(t, ts.URL, bin, "precision=f32")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestHealthzReportsF32: readiness tells clients whether precision=f32
+// will be accepted, and /v1/models lists the sibling.
+func TestHealthzReportsF32(t *testing.T) {
+	check := func(url string, want bool) {
+		t.Helper()
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := h["f32"].(bool); got != want {
+			t.Errorf("f32 = %v, want %v", got, want)
+		}
+	}
+	_, full := newTestServer(t, Config{})
+	check(full.URL, false)
+	s, f32 := newF32TestServer(t, Config{})
+	check(f32.URL, true)
+	models := s.Models()
+	if len(models) != 1 || !models[0].F32 || models[0].FastMath {
+		t.Errorf("model status = %+v, want F32 and no FastMath", models)
+	}
+}
+
+// TestF32CacheIsolation: the f32 engine must never answer full-precision
+// requests from the cache (or vice versa), even for the same function
+// and k — the tiers may rank types differently.
+func TestF32CacheIsolation(t *testing.T) {
+	_, ts := newF32TestServer(t, Config{})
+	_, bin := testPredictor(t)
+
+	_, body := postWasm(t, ts.URL, bin, "func=first&k=3")
+	full := decodeResponse(t, body)
+	if full.CacheHits != 0 {
+		t.Fatalf("first full request: cache_hits = %d, want 0", full.CacheHits)
+	}
+	// The f32 request for the identical (function, k) must miss.
+	_, body = postWasm(t, ts.URL, bin, "func=first&k=3&precision=f32")
+	f32 := decodeResponse(t, body)
+	if f32.CacheHits != 0 {
+		t.Errorf("f32 request answered from full-precision cache (%d hits)", f32.CacheHits)
+	}
+	// And each engine's repeat hits its own entries.
+	_, body = postWasm(t, ts.URL, bin, "func=first&k=3&precision=f32")
+	if again := decodeResponse(t, body); again.CacheHits != len(again.Functions[0].Elements) {
+		t.Errorf("repeated f32 request: cache_hits = %d, want %d",
+			again.CacheHits, len(again.Functions[0].Elements))
+	}
+}
+
+// TestF32Deterministic: repeated f32 requests through the batcher return
+// byte-identical predictions.
+func TestF32Deterministic(t *testing.T) {
+	_, ts := newF32TestServer(t, Config{CacheSize: -1})
+	_, bin := testPredictor(t)
+	_, first := postWasm(t, ts.URL, bin, "func=first&k=3&precision=f32")
+	_, second := postWasm(t, ts.URL, bin, "func=first&k=3&precision=f32")
+	if !bytes.Equal(first, second) {
+		t.Errorf("f32 responses differ across identical requests:\n%s\n%s", first, second)
+	}
+}

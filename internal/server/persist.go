@@ -42,19 +42,23 @@ type cacheRecord struct {
 	Fn   string `json:"fn"`
 	Elem string `json:"elem"`
 	K    int    `json:"k"`
-	Fast bool   `json:"fast,omitempty"`
+	// Engine is the precision tier that produced the entry ("" full,
+	// "fast", "f32"). Fast is the pre-f32 encoding of the fast tier,
+	// still accepted on read so old logs replay.
+	Engine string `json:"engine,omitempty"`
+	Fast   bool   `json:"fast,omitempty"`
 	// Preds is the cached ranked predictions for the element.
 	Preds []core.TypePrediction `json:"preds"`
 }
 
 func recordOf(key cacheKey, preds []core.TypePrediction) cacheRecord {
 	return cacheRecord{
-		Model: hex.EncodeToString(key.model[:]),
-		Fn:    hex.EncodeToString(key.fn[:]),
-		Elem:  key.elem,
-		K:     key.k,
-		Fast:  key.fast,
-		Preds: preds,
+		Model:  hex.EncodeToString(key.model[:]),
+		Fn:     hex.EncodeToString(key.fn[:]),
+		Elem:   key.elem,
+		K:      key.k,
+		Engine: key.engine,
+		Preds:  preds,
 	}
 }
 
@@ -71,7 +75,10 @@ func (r cacheRecord) key() (cacheKey, error) {
 	if n, err := hex.Decode(k.fn[:], []byte(r.Fn)); err != nil || n != len(k.fn) {
 		return k, fmt.Errorf("bad function hash %q", r.Fn)
 	}
-	k.elem, k.k, k.fast = r.Elem, r.K, r.Fast
+	k.elem, k.k, k.engine = r.Elem, r.K, r.Engine
+	if k.engine == "" && r.Fast {
+		k.engine = "fast"
+	}
 	return k, nil
 }
 

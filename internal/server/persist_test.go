@@ -14,10 +14,14 @@ import (
 // get-touch so the LRU order is non-trivial.
 func fillCache(c *lruCache, n int) {
 	for i := 0; i < n; i++ {
-		k := cacheKey{model: [32]byte{0xAA}, fn: [32]byte{byte(i)}, elem: "param0", k: 5, fast: i%2 == 0}
+		eng := ""
+		if i%2 == 0 {
+			eng = "fast"
+		}
+		k := cacheKey{model: [32]byte{0xAA}, fn: [32]byte{byte(i)}, elem: "param0", k: 5, engine: eng}
 		c.put(k, preds(fmt.Sprintf("t%d", i)))
 	}
-	c.get(cacheKey{model: [32]byte{0xAA}, fn: [32]byte{0}, elem: "param0", k: 5, fast: true})
+	c.get(cacheKey{model: [32]byte{0xAA}, fn: [32]byte{0}, elem: "param0", k: 5, engine: "fast"})
 }
 
 // TestCacheSnapshotRoundTripDeterminism: snapshot → load → snapshot must

@@ -43,17 +43,26 @@ type ModelSource struct {
 	// derives the fast-math sibling by quantizing the loaded model in
 	// memory.
 	Quantize string `json:"quantize,omitempty"`
+	// F32Path is a quantized predictor file loaded straight into float32
+	// storage and served to precision=f32 requests alongside this model.
+	F32Path string `json:"f32_path,omitempty"`
+	// F32Quantize, when non-empty ("int8" or "f32") and F32Path is unset,
+	// derives the f32 sibling by round-tripping the loaded model through
+	// that quantization mode in memory, landing the weights on the f32
+	// engine.
+	F32Quantize string `json:"f32_quantize,omitempty"`
 }
 
 // engineSet is one loaded version of one named model: the full-precision
-// engine, its optional fast-math sibling, and the refcount machinery the
-// hot-swap drain rides on.
+// engine, its optional fast-math and f32 siblings, and the refcount
+// machinery the hot-swap drain rides on.
 type engineSet struct {
 	name    string
 	version uint64
 	src     ModelSource
 	full    engine
 	fast    *engine
+	f32     *engine
 	pm      *modelMetrics
 
 	refs    atomic.Int64
@@ -80,7 +89,7 @@ func (es *engineSet) drain() {
 	for es.refs.Load() != 0 {
 		<-es.drained
 	}
-	for _, e := range []*engine{&es.full, es.fast} {
+	for _, e := range []*engine{&es.full, es.fast, es.f32} {
 		if e == nil {
 			continue
 		}
@@ -164,9 +173,9 @@ func (s *Server) acquireModel(name string) (*engineSet, error) {
 	}
 }
 
-// newEngineSet wires one loaded model (and optional fast sibling) with
-// batchers, fingerprints, and the entry's metrics.
-func (s *Server) newEngineSet(name string, pred, fastPred *core.Predictor, src ModelSource, pm *modelMetrics) (*engineSet, error) {
+// newEngineSet wires one loaded model (and optional fast and f32
+// siblings) with batchers, fingerprints, and the entry's metrics.
+func (s *Server) newEngineSet(name string, pred, fastPred, f32Pred *core.Predictor, src ModelSource, pm *modelMetrics) (*engineSet, error) {
 	if pred == nil || (pred.Param == nil && pred.Return == nil) {
 		return nil, fmt.Errorf("server: model %q has no task models", name)
 	}
@@ -185,6 +194,16 @@ func (s *Server) newEngineSet(name string, pred, fastPred *core.Predictor, src M
 		}
 		es.fast = &fe
 	}
+	if f32Pred != nil {
+		if f32Pred.Param == nil && f32Pred.Return == nil {
+			return nil, fmt.Errorf("server: model %q: f32 predictor has no task models", name)
+		}
+		fe, err := s.newEngine(f32Pred)
+		if err != nil {
+			return nil, fmt.Errorf("server: model %q f32 sibling: %w", name, err)
+		}
+		es.f32 = &fe
+	}
 	return es, nil
 }
 
@@ -194,7 +213,7 @@ func (s *Server) newEngineSet(name string, pred, fastPred *core.Predictor, src M
 // version's in-flight decodes drain to completion; only then are its
 // dispatchers stopped and the model released. src records how to reload
 // the name from disk (zero value: not reloadable).
-func (s *Server) RegisterModel(name string, pred, fastPred *core.Predictor, src ModelSource) error {
+func (s *Server) RegisterModel(name string, pred, fastPred, f32Pred *core.Predictor, src ModelSource) error {
 	if name == "" {
 		return errors.New("server: empty model name")
 	}
@@ -206,7 +225,7 @@ func (s *Server) RegisterModel(name string, pred, fastPred *core.Predictor, src 
 	}
 	s.reg.mu.Unlock()
 
-	es, err := s.newEngineSet(name, pred, fastPred, src, e.pm)
+	es, err := s.newEngineSet(name, pred, fastPred, f32Pred, src, e.pm)
 	if err != nil {
 		return err
 	}
@@ -225,7 +244,8 @@ func (s *Server) RegisterModel(name string, pred, fastPred *core.Predictor, src 
 // it under name. Either on-disk predictor format is accepted; quantized
 // files come back fast-math-enabled but still serve as the name's full
 // engine. The fast=true sibling comes from src.FastPath, or from an
-// in-memory quantization when src.Quantize is set.
+// in-memory quantization when src.Quantize is set; the precision=f32
+// sibling likewise from src.F32Path or src.F32Quantize.
 func (s *Server) LoadModel(name string, src ModelSource) error {
 	if src.Path == "" {
 		return fmt.Errorf("server: model %q: no path to load from", name)
@@ -249,7 +269,22 @@ func (s *Server) LoadModel(name string, src ModelSource) error {
 			return fmt.Errorf("server: quantize model %q: %w", name, err)
 		}
 	}
-	return s.RegisterModel(name, pred, fastPred, src)
+	var f32Pred *core.Predictor
+	switch {
+	case src.F32Path != "":
+		if f32Pred, err = core.LoadQuantizedPredictorPrecision(src.F32Path, "f32"); err != nil {
+			return fmt.Errorf("server: load model %q f32 sibling: %w", name, err)
+		}
+	case src.F32Quantize != "":
+		mode, err := quant.ParseMode(src.F32Quantize)
+		if err != nil {
+			return fmt.Errorf("server: model %q: %w", name, err)
+		}
+		if f32Pred, err = core.QuantizePredictorPrecision(pred, mode, "f32"); err != nil {
+			return fmt.Errorf("server: quantize model %q for f32: %w", name, err)
+		}
+	}
+	return s.RegisterModel(name, pred, fastPred, f32Pred, src)
 }
 
 // RemoveModel unregisters a name and drains its engines. The default
@@ -304,8 +339,10 @@ type ModelStatus struct {
 	// predictor — the namespace its cache entries live under.
 	Fingerprint string `json:"fingerprint"`
 	// FastMath reports whether the model has a fast=true sibling engine.
-	FastMath bool        `json:"fast_math"`
-	Source   ModelSource `json:"source,omitempty"`
+	FastMath bool `json:"fast_math"`
+	// F32 reports whether the model has a precision=f32 sibling engine.
+	F32    bool        `json:"f32"`
+	Source ModelSource `json:"source,omitempty"`
 }
 
 // Models lists the registered models, sorted by name.
@@ -326,6 +363,7 @@ func (s *Server) Models() []ModelStatus {
 			Version:     es.version,
 			Fingerprint: fmt.Sprintf("%x", es.full.fp),
 			FastMath:    es.fast != nil,
+			F32:         es.f32 != nil,
 			Source:      es.src,
 		})
 	}

@@ -82,6 +82,12 @@ type Config struct {
 	// models' predictions may differ). Nil means fast requests to the
 	// default model are rejected.
 	FastPred *core.Predictor
+	// F32Pred is an optional third predictor pinned to the f32 inference
+	// engine (core.LoadQuantizedPredictorPrecision with precision "f32"),
+	// serving requests that opt in with precision=f32. Like FastPred it
+	// gets its own dynamic batchers and cache entries. Nil means f32
+	// requests to the default model are rejected.
+	F32Pred *core.Predictor
 }
 
 func (c Config) withDefaults() Config {
@@ -299,7 +305,7 @@ func NewWithSource(pred *core.Predictor, cfg Config, src ModelSource) (*Server, 
 			return nil, err
 		}
 	}
-	if err := s.RegisterModel(cfg.DefaultModel, pred, cfg.FastPred, src); err != nil {
+	if err := s.RegisterModel(cfg.DefaultModel, pred, cfg.FastPred, cfg.F32Pred, src); err != nil {
 		s.clog.close()
 		return nil, err
 	}
@@ -419,9 +425,9 @@ func (s *Server) runQueries(ctx context.Context, tr *core.Trained, b *batcher, q
 // then decode all misses together (through the engine's dynamic batcher
 // when enabled, where they coalesce with other requests' queries into
 // one batched beam decode). Cache keys carry the engine's content
-// fingerprint plus the fast flag, so models, versions, and precision
-// modes never answer from each other's entries.
-func (s *Server) predictFunc(ctx context.Context, pm *modelMetrics, e *engine, fast bool, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
+// fingerprint plus the engine tier ("" full, "fast", "f32"), so models,
+// versions, and precision modes never answer from each other's entries.
+func (s *Server) predictFunc(ctx context.Context, pm *modelMetrics, e *engine, tier string, m *wasm.Module, funcIdx, k int) (map[string][]core.TypePrediction, int, error) {
 	sig, err := m.FuncTypeAt(uint32(funcIdx + m.NumImportedFuncs()))
 	if err != nil {
 		return nil, 0, err
@@ -433,7 +439,7 @@ func (s *Server) predictFunc(ctx context.Context, pm *modelMetrics, e *engine, f
 	if e.pred.Param != nil {
 		for pi := range sig.Params {
 			name := fmt.Sprintf("param%d", pi)
-			key := cacheKey{model: e.fp, fn: fnHash, elem: name, k: k, fast: fast}
+			key := cacheKey{model: e.fp, fn: fnHash, elem: name, k: k, engine: tier}
 			if preds, ok := s.cache.get(key); ok {
 				s.met.cacheHits.Inc()
 				pm.cacheHits.Inc()
@@ -451,7 +457,7 @@ func (s *Server) predictFunc(ctx context.Context, pm *modelMetrics, e *engine, f
 		}
 	}
 	if len(sig.Results) > 0 && e.pred.Return != nil {
-		key := cacheKey{model: e.fp, fn: fnHash, elem: "return", k: k, fast: fast}
+		key := cacheKey{model: e.fp, fn: fnHash, elem: "return", k: k, engine: tier}
 		if preds, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Inc()
 			pm.cacheHits.Inc()

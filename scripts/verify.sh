@@ -83,6 +83,18 @@ echo "== accuracy budget (quantized fast-math vs full precision, top-3 >= 99%) =
 # must agree with its own full-precision top-3 on >= 99% of elements.
 "$tmp/snowwhite" acctest -model "$tmp/model_tf.bin" -quantize f32 \
 	-dir internal/ingest/testdata -k 3 -budget 0.99 >/dev/null 2>&1
+echo "== f32 engine accuracy + determinism (top-3 >= 99%, byte-identical reports) =="
+# The single-precision inference engine (-precision f32: float32 tapes
+# and 8-lane kernels end to end) owes the same budget on both encoder
+# architectures, and its decode must be bitwise deterministic: two
+# identical f32 acctest runs must emit byte-identical reports.
+"$tmp/snowwhite" acctest -model "$tmp/model.bin" -quantize f32 -precision f32 \
+	-dir internal/ingest/testdata -k 3 -budget 0.99 >"$tmp/acctest_f32_a.json" 2>/dev/null
+"$tmp/snowwhite" acctest -model "$tmp/model.bin" -quantize f32 -precision f32 \
+	-dir internal/ingest/testdata -k 3 -budget 0.99 >"$tmp/acctest_f32_b.json" 2>/dev/null
+cmp "$tmp/acctest_f32_a.json" "$tmp/acctest_f32_b.json"
+"$tmp/snowwhite" acctest -model "$tmp/model_tf.bin" -quantize f32 -precision f32 \
+	-dir internal/ingest/testdata -k 3 -budget 0.99 >/dev/null 2>&1
 echo "== cache snapshot round-trip determinism (-count=2 to vary scheduling) =="
 go test -race -count=2 -run 'TestCacheSnapshotRoundTripDeterminism|TestLRUEntriesOrder|TestCacheLogTornTail' \
 	./internal/server
